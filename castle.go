@@ -1,0 +1,429 @@
+package castle
+
+// castle.go is the public API: a facade over the internal packages that
+// covers the full workflow — build or load a database, submit SQL, choose
+// an execution device and CAPE design point, and read back results with
+// simulation metrics. The internal packages stay importable only within
+// this module; external users program against these types.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"castle/internal/baseline"
+	"castle/internal/cape"
+	"castle/internal/exec"
+	"castle/internal/isa"
+	"castle/internal/optimizer"
+	"castle/internal/plan"
+	"castle/internal/sql"
+	"castle/internal/ssb"
+	"castle/internal/stats"
+	"castle/internal/storage"
+)
+
+// DB is a columnar analytic database with its statistics catalog.
+type DB struct {
+	store *storage.Database
+	cat   *stats.Catalog
+	dirty bool
+}
+
+// New returns an empty database. Add tables with CreateTable, then query.
+func New() *DB {
+	return &DB{store: storage.NewDatabase(), dirty: true}
+}
+
+// GenerateSSB returns a Star Schema Benchmark database at the given scale
+// factor (SF 1 ≈ 6M-row lineorder) with deterministic contents for a seed.
+func GenerateSSB(sf float64, seed uint64) *DB {
+	return &DB{store: ssb.Generate(ssb.Config{SF: sf, Seed: seed}), dirty: true}
+}
+
+// SSBQueries returns the 13 benchmark queries (paper numbering 1..13 =
+// flights Q1.1..Q4.3).
+func SSBQueries() []SSBQuery {
+	qs := ssb.Queries()
+	out := make([]SSBQuery, len(qs))
+	for i, q := range qs {
+		out[i] = SSBQuery{Num: q.Num, Flight: q.Flight, SQL: q.SQL}
+	}
+	return out
+}
+
+// SSBQuery names one benchmark query.
+type SSBQuery struct {
+	Num    int
+	Flight string
+	SQL    string
+}
+
+// Open loads a database saved with Save (the CSTL binary format).
+func Open(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	store, err := storage.ReadBinary(f)
+	if err != nil {
+		return nil, fmt.Errorf("castle: reading %s: %w", path, err)
+	}
+	return &DB{store: store, dirty: true}, nil
+}
+
+// Save writes the database to path in the CSTL binary format.
+func (db *DB) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return db.store.WriteBinary(f)
+}
+
+// ImportCSV adds a relation from a CSV file with a header row; columns
+// whose values all parse as unsigned integers become integer columns, the
+// rest are dictionary-encoded strings.
+func (db *DB) ImportCSV(tableName, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t, err := storage.ReadCSV(tableName, f)
+	if err != nil {
+		return err
+	}
+	db.store.Add(t)
+	db.dirty = true
+	return nil
+}
+
+// TableBuilder accumulates columns for a new relation.
+type TableBuilder struct {
+	db  *DB
+	tbl *storage.Table
+}
+
+// CreateTable starts a new relation; chain Int/String column calls.
+func (db *DB) CreateTable(name string) *TableBuilder {
+	t := storage.NewTable(name)
+	db.store.Add(t)
+	db.dirty = true
+	return &TableBuilder{db: db, tbl: t}
+}
+
+// Int adds an integer column (32-bit, CAPE's native element size).
+func (b *TableBuilder) Int(name string, values []uint32) *TableBuilder {
+	b.tbl.AddIntColumn(name, values)
+	b.db.dirty = true
+	return b
+}
+
+// String adds a dictionary-encoded string column.
+func (b *TableBuilder) String(name string, values []string) *TableBuilder {
+	b.tbl.AddStringColumn(name, values)
+	b.db.dirty = true
+	return b
+}
+
+// Tables lists relation names in creation order.
+func (db *DB) Tables() []string {
+	ts := db.store.Tables()
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// RowCount returns a relation's cardinality (0 for unknown tables).
+func (db *DB) RowCount(table string) int {
+	t := db.store.Table(table)
+	if t == nil {
+		return 0
+	}
+	return t.Rows()
+}
+
+// catalog lazily (re)collects statistics after schema changes.
+func (db *DB) catalog() *stats.Catalog {
+	if db.dirty || db.cat == nil {
+		db.cat = stats.Collect(db.store)
+		db.dirty = false
+	}
+	return db.cat
+}
+
+// Device selects the simulated execution engine.
+type Device int
+
+// Devices.
+const (
+	// DeviceCAPE executes on the associative-processor simulator.
+	DeviceCAPE Device = iota
+	// DeviceCPU executes on the AVX-512 out-of-order baseline model.
+	DeviceCPU
+	// DeviceHybrid routes dynamically: large-group aggregations and
+	// huge-dimension joins fall back to the CPU, everything else runs on
+	// CAPE (the paper's §7.2/§7.3 deployment model).
+	DeviceHybrid
+)
+
+// PlanShape forces a join-plan shape (§3.4); ShapeAuto lets the AP-aware
+// optimizer choose.
+type PlanShape int
+
+// Plan shapes.
+const (
+	ShapeAuto PlanShape = iota
+	ShapeLeftDeep
+	ShapeRightDeep
+	ShapeZigZag
+)
+
+// Options configure one query execution.
+type Options struct {
+	Device Device
+	// Shape forces a plan shape on CAPE (ShapeAuto = optimizer's choice).
+	Shape PlanShape
+	// MAXVL overrides the CAPE vector length (0 = the paper's 32,768).
+	MAXVL int
+	// DisableEnhancements runs unmodified CAPE (no ADL/MKS/ABA).
+	DisableEnhancements bool
+	// DisableFusion turns off operator fusion (§7.4 ablation).
+	DisableFusion bool
+	// MKSBufferBytes overrides the vmks buffer (0 = 512, the cacheline).
+	MKSBufferBytes int
+}
+
+// Metrics reports the simulation cost of one execution.
+type Metrics struct {
+	// Cycles is the end-to-end cycle count at 2.7 GHz.
+	Cycles int64
+	// Seconds is the simulated wall time.
+	Seconds float64
+	// BytesMoved is DRAM traffic in both directions.
+	BytesMoved int64
+	// Plan describes the executed physical plan (CAPE only).
+	Plan string
+	// CSBBreakdown gives the Figure 7 class shares (CAPE only).
+	CSBBreakdown map[string]float64
+	// DeviceUsed names the engine that ran ("CAPE" or "CPU") — relevant
+	// for DeviceHybrid.
+	DeviceUsed string
+}
+
+// Rows is a decoded result relation: group-key columns first (strings
+// decoded through their dictionaries), then one column per aggregate.
+type Rows struct {
+	Columns []string
+	Data    [][]string
+	// Raw exposes the undecoded row values for programmatic use: group
+	// keys as encoded uint32s and aggregates as int64s.
+	Raw []RawRow
+}
+
+// RawRow is one result row in encoded form.
+type RawRow struct {
+	Keys []uint32
+	Aggs []int64
+}
+
+// Format renders the relation as an aligned text table.
+func (r *Rows) Format() string {
+	var b strings.Builder
+	for _, c := range r.Columns {
+		fmt.Fprintf(&b, "%-24s", c)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Data {
+		for _, v := range row {
+			fmt.Fprintf(&b, "%-24s", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Query executes SQL on the full CAPE design point (all enhancements, the
+// AP-aware optimizer) and returns the result relation.
+func (db *DB) Query(sqlText string) (*Rows, error) {
+	rows, _, err := db.QueryWith(sqlText, Options{})
+	return rows, err
+}
+
+// QueryWith executes SQL with explicit options and returns the result
+// relation plus simulation metrics.
+func (db *DB) QueryWith(sqlText string, opt Options) (*Rows, *Metrics, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, nil, err
+	}
+	bound, err := plan.Bind(stmt, db.store)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if opt.Device == DeviceCPU {
+		cpu := baseline.New(baseline.DefaultConfig())
+		res := exec.NewCPUExec(cpu).Run(bound, db.store)
+		return db.decode(res), &Metrics{
+			Cycles:     cpu.Cycles(),
+			Seconds:    cpu.Seconds(),
+			BytesMoved: cpu.Mem().BytesMoved(),
+			DeviceUsed: "CPU",
+		}, nil
+	}
+
+	cfg := cape.DefaultConfig()
+	if !opt.DisableEnhancements {
+		cfg = cfg.WithEnhancements()
+	}
+	if opt.MAXVL > 0 {
+		cfg.MAXVL = opt.MAXVL
+	}
+	if opt.MKSBufferBytes > 0 {
+		cfg.MKSBufferBytes = opt.MKSBufferBytes
+	}
+
+	cat := db.catalog()
+	var phys *plan.Physical
+	if opt.Shape == ShapeAuto {
+		phys, err = optimizer.Optimize(bound, cat, cfg.MAXVL)
+	} else {
+		phys, err = optimizer.BestWithShape(bound, cat, cfg.MAXVL, internalShape(opt.Shape))
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if opt.Device == DeviceHybrid {
+		h := exec.NewDefaultHybrid(cfg, cat)
+		res, dev := h.Run(phys, db.store)
+		m := &Metrics{DeviceUsed: dev.String(), Plan: phys.String()}
+		if dev == exec.DeviceCPU {
+			cpu := h.CPUExec().CPU()
+			m.Cycles, m.Seconds, m.BytesMoved = cpu.Cycles(), cpu.Seconds(), cpu.Mem().BytesMoved()
+		} else {
+			st := h.Castle().Engine().Stats()
+			m.Cycles, m.Seconds = st.TotalCycles(), st.Seconds(cfg.ClockHz)
+			m.BytesMoved = h.Castle().Engine().Mem().BytesMoved()
+		}
+		return db.decode(res), m, nil
+	}
+
+	eng := cape.New(cfg)
+	opts := exec.DefaultCastleOptions()
+	opts.Fusion = !opt.DisableFusion
+	res := exec.NewCastle(eng, cat, opts).Run(phys, db.store)
+	st := eng.Stats()
+
+	breakdown := make(map[string]float64, isa.NumClasses)
+	share := st.ClassShare()
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		breakdown[c.String()] = share[c]
+	}
+	return db.decode(res), &Metrics{
+		Cycles:       st.TotalCycles(),
+		Seconds:      st.Seconds(cfg.ClockHz),
+		BytesMoved:   eng.Mem().BytesMoved(),
+		Plan:         phys.String(),
+		CSBBreakdown: breakdown,
+		DeviceUsed:   "CAPE",
+	}, nil
+}
+
+func internalShape(s PlanShape) plan.Shape {
+	switch s {
+	case ShapeLeftDeep:
+		return plan.LeftDeep
+	case ShapeRightDeep:
+		return plan.RightDeep
+	default:
+		return plan.ZigZag
+	}
+}
+
+// PlanChoice describes one candidate plan from Explain.
+type PlanChoice struct {
+	Shape    string
+	Order    []string
+	Searches int64
+	Chosen   bool
+}
+
+// Explain enumerates the optimizer's candidate plans for a query with
+// their estimated search counts (Figure 5's cost unit).
+func (db *DB) Explain(sqlText string) ([]PlanChoice, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := plan.Bind(stmt, db.store)
+	if err != nil {
+		return nil, err
+	}
+	cat := db.catalog()
+	cfg := cape.DefaultConfig()
+	best, err := optimizer.Optimize(bound, cat, cfg.MAXVL)
+	if err != nil {
+		return nil, err
+	}
+	var out []PlanChoice
+	for _, c := range optimizer.Enumerate(bound, cat, cfg.MAXVL) {
+		order := make([]string, len(c.Joins))
+		same := c.SwitchAt == best.Switch && len(c.Joins) == len(best.Joins)
+		for i, j := range c.Joins {
+			order[i] = j.Dim
+			if same && best.Joins[i].Dim != j.Dim {
+				same = false
+			}
+		}
+		out = append(out, PlanChoice{
+			Shape:    c.Shape().String(),
+			Order:    order,
+			Searches: c.Searches,
+			Chosen:   same,
+		})
+	}
+	return out, nil
+}
+
+// decode converts an internal result into the public Rows form.
+func (db *DB) decode(res *exec.Result) *Rows {
+	out := &Rows{}
+	for _, g := range res.GroupBy {
+		out.Columns = append(out.Columns, g.String())
+	}
+	for _, a := range res.AggExprs {
+		label := a.String()
+		if a.Alias != "" {
+			label = a.Alias
+		}
+		out.Columns = append(out.Columns, label)
+	}
+	for _, row := range res.Rows {
+		raw := RawRow{
+			Keys: append([]uint32(nil), row.Keys...),
+			Aggs: append([]int64(nil), row.Aggs...),
+		}
+		out.Raw = append(out.Raw, raw)
+		rec := make([]string, 0, len(row.Keys)+len(row.Aggs))
+		for i, g := range res.GroupBy {
+			col := db.store.MustTable(g.Table).MustColumn(g.Column)
+			if col.Dict != nil {
+				rec = append(rec, col.Dict.Decode(row.Keys[i]))
+			} else {
+				rec = append(rec, fmt.Sprintf("%d", row.Keys[i]))
+			}
+		}
+		for _, v := range row.Aggs {
+			rec = append(rec, fmt.Sprintf("%d", v))
+		}
+		out.Data = append(out.Data, rec)
+	}
+	return out
+}

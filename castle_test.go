@@ -1,0 +1,234 @@
+package castle_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	castle "castle"
+)
+
+func demoDB(t *testing.T) *castle.DB {
+	t.Helper()
+	db := castle.New()
+	db.CreateTable("customers").
+		Int("c_id", []uint32{1, 2, 3, 4}).
+		String("c_region", []string{"ASIA", "EUROPE", "ASIA", "AMERICA"})
+	db.CreateTable("orders").
+		Int("o_customer", []uint32{1, 2, 3, 4, 1, 2, 3, 4}).
+		Int("o_amount", []uint32{10, 20, 30, 40, 50, 60, 70, 80})
+	return db
+}
+
+func TestPublicAPIQuery(t *testing.T) {
+	db := demoDB(t)
+	rows, err := db.Query(`
+		SELECT c_region, SUM(o_amount) AS revenue
+		FROM orders, customers
+		WHERE o_customer = c_id
+		GROUP BY c_region
+		ORDER BY revenue DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Columns) != 2 || rows.Columns[1] != "revenue" {
+		t.Fatalf("columns: %v", rows.Columns)
+	}
+	if len(rows.Data) != 3 {
+		t.Fatalf("rows: %v", rows.Data)
+	}
+	// ASIA = 10+30+50+70 = 160, first due to ORDER BY revenue DESC.
+	if rows.Data[0][0] != "ASIA" || rows.Data[0][1] != "160" {
+		t.Fatalf("first row: %v", rows.Data[0])
+	}
+	if rows.Raw[0].Aggs[0] != 160 {
+		t.Fatalf("raw row: %+v", rows.Raw[0])
+	}
+	if !strings.Contains(rows.Format(), "ASIA") {
+		t.Fatal("Format missing data")
+	}
+}
+
+func TestPublicAPIDevicesAgree(t *testing.T) {
+	db := castle.GenerateSSB(0.01, 7)
+	q := castle.SSBQueries()[3] // Q2.1
+	if q.Flight != "Q2.1" || q.Num != 4 {
+		t.Fatalf("query meta: %+v", q)
+	}
+	capeRows, capeM, err := db.QueryWith(q.SQL, castle.Options{Device: castle.DeviceCAPE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuRows, cpuM, err := db.QueryWith(q.SQL, castle.Options{Device: castle.DeviceCPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capeRows.Data) != len(cpuRows.Data) {
+		t.Fatalf("row counts differ: %d vs %d", len(capeRows.Data), len(cpuRows.Data))
+	}
+	for i := range capeRows.Data {
+		for j := range capeRows.Data[i] {
+			if capeRows.Data[i][j] != cpuRows.Data[i][j] {
+				t.Fatalf("row %d col %d: %q vs %q", i, j, capeRows.Data[i][j], cpuRows.Data[i][j])
+			}
+		}
+	}
+	if capeM.Cycles <= 0 || cpuM.Cycles <= 0 || capeM.Seconds <= 0 {
+		t.Fatal("metrics missing")
+	}
+	if capeM.Plan == "" || len(capeM.CSBBreakdown) == 0 {
+		t.Fatal("CAPE metrics should include plan and breakdown")
+	}
+	if capeM.Cycles >= cpuM.Cycles {
+		t.Fatalf("CAPE (%d cycles) should beat the baseline (%d) on Q2.1", capeM.Cycles, cpuM.Cycles)
+	}
+}
+
+func TestPublicAPIOptions(t *testing.T) {
+	db := castle.GenerateSSB(0.01, 7)
+	q := castle.SSBQueries()[6].SQL // Q3.1
+
+	base, mBase, err := db.QueryWith(q, castle.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mPlain, err := db.QueryWith(q, castle.Options{DisableEnhancements: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mPlain.Cycles <= mBase.Cycles {
+		t.Fatalf("unmodified CAPE (%d) should cost more than enhanced (%d)", mPlain.Cycles, mBase.Cycles)
+	}
+	ld, mLD, err := db.QueryWith(q, castle.Options{Shape: castle.ShapeLeftDeep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ld.Data) != len(base.Data) {
+		t.Fatal("forced shape changed the answer")
+	}
+	if !strings.Contains(mLD.Plan, "left-deep") {
+		t.Fatalf("plan = %q, want left-deep", mLD.Plan)
+	}
+	_, mSmall, err := db.QueryWith(q, castle.Options{MAXVL: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mSmall.Cycles == mBase.Cycles {
+		t.Fatal("MAXVL override had no effect")
+	}
+	_, mNoFuse, err := db.QueryWith(q, castle.Options{DisableFusion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mNoFuse.Cycles <= mBase.Cycles {
+		t.Fatal("disabling fusion should cost cycles")
+	}
+}
+
+func TestPublicAPIExplain(t *testing.T) {
+	db := castle.GenerateSSB(0.01, 7)
+	choices, err := db.Explain(castle.SSBQueries()[3].SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 joins: 3! orders x 4 switch points.
+	if len(choices) != 24 {
+		t.Fatalf("choices = %d, want 24", len(choices))
+	}
+	chosen := 0
+	for _, c := range choices {
+		if c.Searches <= 0 || c.Shape == "" || len(c.Order) != 3 {
+			t.Fatalf("bad choice: %+v", c)
+		}
+		if c.Chosen {
+			chosen++
+		}
+	}
+	if chosen == 0 {
+		t.Fatal("no chosen plan marked")
+	}
+}
+
+func TestPublicAPISaveOpenImport(t *testing.T) {
+	dir := t.TempDir()
+	db := demoDB(t)
+	path := filepath.Join(dir, "demo.cstl")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := castle.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.RowCount("orders") != 8 || len(back.Tables()) != 2 {
+		t.Fatalf("reopened db wrong: %v rows=%d", back.Tables(), back.RowCount("orders"))
+	}
+	rows, err := back.Query(`SELECT SUM(o_amount) FROM orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Data[0][0] != "360" {
+		t.Fatalf("sum = %v", rows.Data[0])
+	}
+
+	// CSV import.
+	csvPath := filepath.Join(dir, "extra.csv")
+	if err := os.WriteFile(csvPath, []byte("p_id,p_color\n1,RED\n2,BLUE\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.ImportCSV("parts", csvPath); err != nil {
+		t.Fatal(err)
+	}
+	if back.RowCount("parts") != 2 {
+		t.Fatal("CSV import failed")
+	}
+
+	if _, err := castle.Open(filepath.Join(dir, "missing.cstl")); err == nil {
+		t.Fatal("Open of missing file should fail")
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	db := demoDB(t)
+	if _, err := db.Query("not sql"); err == nil {
+		t.Fatal("parse error expected")
+	}
+	if _, err := db.Query("SELECT SUM(nope) FROM orders"); err == nil {
+		t.Fatal("bind error expected")
+	}
+	if _, err := db.Explain("not sql"); err == nil {
+		t.Fatal("explain parse error expected")
+	}
+	if db.RowCount("missing") != 0 {
+		t.Fatal("missing table should have zero rows")
+	}
+}
+
+func TestPublicAPIHybridDevice(t *testing.T) {
+	db := castle.GenerateSSB(0.01, 7)
+	// Small-group aggregation stays on CAPE.
+	rows, m, err := db.QueryWith(`
+		SELECT d_year, SUM(lo_revenue) FROM lineorder, date
+		WHERE lo_orderdate = d_datekey GROUP BY d_year`,
+		castle.Options{Device: castle.DeviceHybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DeviceUsed != "CAPE" {
+		t.Fatalf("device = %q, want CAPE", m.DeviceUsed)
+	}
+	if len(rows.Data) == 0 || m.Cycles <= 0 {
+		t.Fatal("missing results or metrics")
+	}
+	// High-cardinality group-by falls back to the CPU.
+	_, m2, err := db.QueryWith(`
+		SELECT lo_orderkey, SUM(lo_revenue) FROM lineorder GROUP BY lo_orderkey`,
+		castle.Options{Device: castle.DeviceHybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.DeviceUsed != "CPU" {
+		t.Fatalf("device = %q, want CPU (Figure 12 crossover)", m2.DeviceUsed)
+	}
+}

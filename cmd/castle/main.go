@@ -1,0 +1,247 @@
+// Command castle is an interactive analytic query runner: it generates (or
+// loads) an SSB database and executes SQL against the CAPE simulator, the
+// AVX-512 baseline model, or both, printing results, plans, and cycle
+// accounting.
+//
+// Usage:
+//
+//	castle -sf 0.1 -query "SELECT SUM(lo_revenue), d_year FROM lineorder, date WHERE lo_orderdate = d_datekey GROUP BY d_year"
+//	castle -sf 0.1 -ssb 4                  # run SSB query 4 (Q2.1)
+//	castle -sf 0.1 -ssb 4 -device cpu
+//	castle -sf 0.1 -ssb 4 -explain         # show candidate plans and costs
+//	castle -sf 0.1 -save ssb.cstl          # persist the generated database
+//	castle -load ssb.cstl -interactive     # REPL against a saved database
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"castle/internal/baseline"
+	"castle/internal/cape"
+	"castle/internal/exec"
+	"castle/internal/optimizer"
+	"castle/internal/plan"
+	"castle/internal/sql"
+	"castle/internal/ssb"
+	"castle/internal/stats"
+	"castle/internal/storage"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.1, "SSB scale factor")
+	queryText := flag.String("query", "", "SQL query to run")
+	ssbNum := flag.Int("ssb", 0, "run SSB query 1..13 instead of -query")
+	device := flag.String("device", "cape", "execution device: cape, cpu, or both")
+	explain := flag.Bool("explain", false, "print every candidate plan with its cost")
+	noEnh := flag.Bool("no-enhancements", false, "disable ADL/MKS/ABA (unmodified CAPE)")
+	shape := flag.String("shape", "", "force plan shape: left-deep, right-deep, zig-zag")
+	savePath := flag.String("save", "", "write the database to this file (CSTL binary format) and exit unless a query is given")
+	loadPath := flag.String("load", "", "load a database from a CSTL binary file instead of generating SSB")
+	interactive := flag.Bool("interactive", false, "read SQL queries from stdin (one per line)")
+	flag.Parse()
+
+	qsql := *queryText
+	if *ssbNum != 0 {
+		found := false
+		for _, q := range ssb.Queries() {
+			if q.Num == *ssbNum {
+				qsql, found = q.SQL, true
+				fmt.Printf("SSB query %d (%s)\n", q.Num, q.Flight)
+			}
+		}
+		if !found {
+			fatalf("no SSB query %d (valid: 1..13)", *ssbNum)
+		}
+	}
+
+	var db *storage.Database
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		db, err = storage.ReadBinary(f)
+		f.Close()
+		if err != nil {
+			fatalf("loading %s: %v", *loadPath, err)
+		}
+		fmt.Printf("loaded database from %s\n", *loadPath)
+	} else {
+		fmt.Printf("generating SSB at SF=%.2f...\n", *sf)
+		db = ssb.Generate(ssb.Config{SF: *sf, Seed: 1})
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := db.WriteBinary(f); err != nil {
+			fatalf("saving: %v", err)
+		}
+		f.Close()
+		fmt.Printf("saved database to %s\n", *savePath)
+	}
+	cat := stats.Collect(db)
+
+	sess := &session{
+		db: db, cat: cat,
+		device: *device, explain: *explain, noEnh: *noEnh, shape: *shape,
+	}
+
+	if *interactive {
+		sess.repl()
+		return
+	}
+	if qsql == "" {
+		if *savePath != "" {
+			return
+		}
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := sess.runQuery(qsql); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// session holds the loaded database and execution settings.
+type session struct {
+	db      *storage.Database
+	cat     *stats.Catalog
+	device  string
+	explain bool
+	noEnh   bool
+	shape   string
+}
+
+// repl reads SQL statements from stdin, one per line; \q quits.
+func (s *session) repl() {
+	fmt.Println("castle> enter SQL (one statement per line; \\q to quit)")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("castle> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == "\\q" || line == "quit" || line == "exit":
+			return
+		default:
+			if err := s.runQuery(line); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
+		}
+		fmt.Print("castle> ")
+	}
+}
+
+// runQuery parses, optimizes and executes one statement on the configured
+// device(s).
+func (s *session) runQuery(qsql string) error {
+	stmt, err := sql.Parse(qsql)
+	if err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	q, err := plan.Bind(stmt, s.db)
+	if err != nil {
+		return fmt.Errorf("bind: %w", err)
+	}
+
+	cfg := cape.DefaultConfig()
+	if !s.noEnh {
+		cfg = cfg.WithEnhancements()
+	}
+
+	var phys *plan.Physical
+	if s.shape != "" {
+		sh, err := parseShape(s.shape)
+		if err != nil {
+			return err
+		}
+		phys, err = optimizer.BestWithShape(q, s.cat, cfg.MAXVL, sh)
+		if err != nil {
+			return fmt.Errorf("optimize: %w", err)
+		}
+	} else {
+		phys, err = optimizer.Optimize(q, s.cat, cfg.MAXVL)
+		if err != nil {
+			return fmt.Errorf("optimize: %w", err)
+		}
+	}
+
+	if s.explain {
+		fmt.Println("candidate plans:")
+		for _, c := range optimizer.Enumerate(q, s.cat, cfg.MAXVL) {
+			marker := " "
+			if c.SwitchAt == phys.Switch && sameOrder(c.Joins, phys.Joins) {
+				marker = "*"
+			}
+			fmt.Printf("  %s %-11v switch=%d searches=%-12d order=%v\n",
+				marker, c.Shape(), c.SwitchAt, c.Searches, dimNames(c.Joins))
+		}
+	}
+	fmt.Printf("plan: %v\n\n", phys)
+
+	if s.device == "cape" || s.device == "both" {
+		eng := cape.New(cfg)
+		castle := exec.NewCastle(eng, s.cat, exec.DefaultCastleOptions())
+		res := castle.Run(phys, s.db)
+		st := eng.Stats()
+		fmt.Printf("== CAPE (%v)\n", cfg)
+		fmt.Print(res.Format(s.db))
+		fmt.Printf("\n%v\n", st)
+		fmt.Printf("wall time at %.1f GHz: %.3f ms; DRAM traffic: %.1f MB\n\n",
+			cfg.ClockHz/1e9, st.Seconds(cfg.ClockHz)*1e3,
+			float64(eng.Mem().BytesMoved())/(1<<20))
+	}
+	if s.device == "cpu" || s.device == "both" {
+		cpu := baseline.New(baseline.DefaultConfig())
+		res := exec.NewCPUExec(cpu).Run(q, s.db)
+		fmt.Printf("== baseline (%v)\n", cpu.Config())
+		fmt.Print(res.Format(s.db))
+		fmt.Printf("\ntotal=%d cycles; wall time: %.3f ms; DRAM traffic: %.1f MB\n",
+			cpu.Cycles(), cpu.Seconds()*1e3, float64(cpu.Mem().BytesMoved())/(1<<20))
+	}
+	return nil
+}
+
+func parseShape(s string) (plan.Shape, error) {
+	switch s {
+	case "left-deep":
+		return plan.LeftDeep, nil
+	case "right-deep":
+		return plan.RightDeep, nil
+	case "zig-zag", "zigzag":
+		return plan.ZigZag, nil
+	}
+	return 0, fmt.Errorf("unknown shape %q (left-deep, right-deep, zig-zag)", s)
+}
+
+func sameOrder(a, b []plan.JoinEdge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Dim != b[i].Dim {
+			return false
+		}
+	}
+	return true
+}
+
+func dimNames(joins []plan.JoinEdge) []string {
+	out := make([]string, len(joins))
+	for i, j := range joins {
+		out[i] = j.Dim
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "castle: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command ssbgen generates Star Schema Benchmark data and writes it out
+// either as CSV files (one per relation, dictionary-encoded string columns
+// decoded), mirroring the classic dbgen tool, or as a single CSTL binary
+// database file that cmd/castle can -load directly.
+//
+// Usage:
+//
+//	ssbgen -sf 0.1 -out /tmp/ssb
+//	ssbgen -sf 0.1 -format binary -out /tmp/ssb
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"castle/internal/ssb"
+	"castle/internal/storage"
+)
+
+func main() {
+	sf := flag.Float64("sf", 1.0, "scale factor (SF 1 = 6M lineorder rows)")
+	out := flag.String("out", ".", "output directory")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	format := flag.String("format", "csv", "output format: csv or binary")
+	flag.Parse()
+
+	fmt.Printf("generating SSB at SF=%.2f (seed %d)...\n", *sf, *seed)
+	db := ssb.Generate(ssb.Config{SF: *sf, Seed: *seed})
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatalf("%v", err)
+	}
+	switch *format {
+	case "csv":
+		for _, t := range db.Tables() {
+			path := filepath.Join(*out, t.Name+".csv")
+			if err := writeCSV(path, t); err != nil {
+				fatalf("writing %s: %v", path, err)
+			}
+			fmt.Printf("  %-12s %9d rows  -> %s\n", t.Name, t.Rows(), path)
+		}
+	case "binary":
+		path := filepath.Join(*out, "ssb.cstl")
+		f, err := os.Create(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := db.WriteBinary(f); err != nil {
+			fatalf("writing %s: %v", path, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("  database -> %s (load with: castle -load %s)\n", path, path)
+	default:
+		fatalf("unknown format %q (csv, binary)", *format)
+	}
+}
+
+func writeCSV(path string, t *storage.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+
+	cols := t.Columns()
+	for i, c := range cols {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(c.Name)
+	}
+	w.WriteByte('\n')
+	for r := 0; r < t.Rows(); r++ {
+		for i, c := range cols {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			if c.Dict != nil {
+				w.WriteString(c.Dict.Decode(c.Data[r]))
+			} else {
+				fmt.Fprintf(w, "%d", c.Data[r])
+			}
+		}
+		w.WriteByte('\n')
+	}
+	return w.Flush()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ssbgen: "+format+"\n", args...)
+	os.Exit(1)
+}

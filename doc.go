@@ -1,0 +1,30 @@
+// Package castle is a from-scratch reproduction of "Accelerating Database
+// Analytic Query Workloads Using an Associative Processor" (Caminal,
+// Chronis, Wu, Patel, Martínez — ISCA 2022).
+//
+// The repository contains the complete system stack the paper describes:
+//
+//   - internal/cape — a functional, cycle-cost simulator of the CAPE
+//     associative-processor core (CSB, VMU, VCU) with the paper's three
+//     database-aware microarchitectural enhancements: adaptive bitwidth
+//     arithmetic (ABA), adaptive data layout (ADL), and multi-key search
+//     (MKS);
+//   - internal/cape/micro — genuine bit-serial associative algorithms
+//     (search/update pairs over bit-sliced storage) validating the Table 1
+//     cost model;
+//   - internal/baseline — the iso-area AVX-512 out-of-order CPU comparison
+//     system with an analytic cache/memory timing model;
+//   - Castle, the analytic database: internal/storage (columnar engine,
+//     dictionary encoding), internal/sql (parser), internal/plan (binder),
+//     internal/optimizer (AP-aware join ordering and the left-deep /
+//     right-deep / zig-zag plan shapes of §3.4), internal/exec (the CAPE
+//     and CPU executors plus a reference engine);
+//   - internal/ssb — a deterministic Star Schema Benchmark generator and
+//     the 13 benchmark queries;
+//   - internal/experiments — runners that regenerate every table and
+//     figure in the paper's evaluation.
+//
+// Entry points: cmd/castle (interactive query runner), cmd/experiments
+// (figure regeneration), cmd/ssbgen (data generator). The benchmarks in
+// bench_test.go exercise one experiment per published table and figure.
+package castle

@@ -1,0 +1,101 @@
+// Adaptive hardware: a tour of the paper's three microarchitectural
+// enhancements (§5) and of the associative computing model itself.
+//
+// Part 1 replays Figure 2's bit-serial increment on the search/update
+// microop engine. Part 2 runs one SSB query while enabling ADL, MKS and
+// ABA one at a time — a per-query Figure 10 waterfall.
+//
+//	go run ./examples/adaptive-hardware
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"castle/internal/cape"
+	"castle/internal/cape/micro"
+	"castle/internal/exec"
+	"castle/internal/optimizer"
+	"castle/internal/plan"
+	"castle/internal/sql"
+	"castle/internal/ssb"
+	"castle/internal/stats"
+)
+
+func main() {
+	// --- Part 1: associative processing from first principles (Figure 2).
+	fmt.Println("Part 1 — bit-serial associative increment (Figure 2)")
+	engine := micro.NewEngine(3)
+	vec := micro.NewArray(3, 2)
+	vec.Load([]uint32{0, 1, 3})
+	fmt.Printf("  before: %v (two-bit elements)\n", vec.Words())
+	engine.Increment(vec)
+	fmt.Printf("  after:  %v (3 wrapped to 0)\n", vec.Words())
+	fmt.Printf("  microops: %d searches, %d updates, %d broadcasts\n",
+		engine.Stats().Searches, engine.Stats().Updates, engine.Stats().Broadcasts)
+
+	e32 := micro.NewEngine(1024)
+	w := make([]uint32, 1024)
+	for i := range w {
+		w[i] = 0xFFFFFFFF // worst case: the carry ripples through all 32 bits
+	}
+	v32 := micro.NewArray(1024, 32)
+	v32.Load(w)
+	e32.Increment(v32)
+	fmt.Printf("  a 32-bit increment takes %d search/update steps (§2.1: 'over 100')\n\n",
+		e32.Stats().Steps())
+
+	// --- Part 2: the §5 enhancements, one at a time.
+	fmt.Println("Part 2 — microarchitectural enhancements on SSB query 7 (Q3.1)")
+	// Scale factor 0.25 is the smallest at which the probe-key batches of
+	// Q3.1's dimension joins exceed a cacheline, letting vmks engage
+	// (§6.2: smaller batches deliberately avoid vmks).
+	const sf = 0.25
+	db := ssb.Generate(ssb.Config{SF: sf, Seed: 99})
+	catalog := stats.Collect(db)
+
+	q := ssb.Queries()[6]
+	stmt, err := sql.Parse(q.SQL)
+	if err != nil {
+		log.Fatalf("parse: %v", err)
+	}
+	bound, err := plan.Bind(stmt, db)
+	if err != nil {
+		log.Fatalf("bind: %v", err)
+	}
+
+	steps := []struct {
+		name          string
+		adl, mks, aba bool
+	}{
+		{"unmodified CAPE", false, false, false},
+		{"+ADL (CAM-mode searches)", true, false, false},
+		{"+MKS (multi-key search)", true, true, false},
+		{"+ABA (adaptive bitwidth)", true, true, true},
+	}
+	var first int64
+	var reference *exec.Result
+	for _, s := range steps {
+		cfg := cape.DefaultConfig()
+		cfg.EnableADL, cfg.EnableMKS, cfg.EnableABA = s.adl, s.mks, s.aba
+		physical, err := optimizer.Optimize(bound, catalog, cfg.MAXVL)
+		if err != nil {
+			log.Fatalf("optimize: %v", err)
+		}
+		eng := cape.New(cfg)
+		res := exec.NewCastle(eng, catalog, exec.DefaultCastleOptions()).Run(physical, db)
+		if reference == nil {
+			reference = res
+		} else if !reference.Equal(res) {
+			log.Fatalf("%s changed the answer!", s.name)
+		}
+		cycles := eng.Stats().TotalCycles()
+		if first == 0 {
+			first = cycles
+		}
+		fmt.Printf("  %-28s %12d cycles  (%.2fx vs unmodified)\n",
+			s.name, cycles, float64(first)/float64(cycles))
+	}
+	fmt.Println("\nall configurations returned identical results —")
+	fmt.Println("the enhancements change cost, never answers (ABA is exact, §5.1)")
+}

@@ -1,0 +1,69 @@
+// Quickstart: the public castle API end to end — build a small star
+// schema, run SQL on the CAPE associative-processor simulator, inspect the
+// chosen plan and the cycle accounting, and compare against the AVX-512
+// baseline model.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	castle "castle"
+)
+
+func main() {
+	// 1. Build a database: an orders fact table and a customers dimension.
+	// String columns are dictionary-encoded to 32-bit values (the paper's
+	// SSB treatment, §4.1).
+	db := castle.New()
+	db.CreateTable("customers").
+		Int("c_id", []uint32{1, 2, 3, 4}).
+		String("c_region", []string{"ASIA", "EUROPE", "ASIA", "AMERICA"})
+	db.CreateTable("orders").
+		Int("o_customer", []uint32{1, 2, 3, 4, 1, 2, 3, 4, 1, 3}).
+		Int("o_amount", []uint32{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}).
+		Int("o_quantity", []uint32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+
+	query := `
+		SELECT c_region, SUM(o_amount) AS revenue, MAX(o_amount) AS largest
+		FROM orders, customers
+		WHERE o_customer = c_id AND c_region = 'ASIA' AND o_quantity >= 3
+		GROUP BY c_region
+		ORDER BY revenue DESC`
+
+	// 2. Ask the AP-aware optimizer what it would do (§3.4): candidate
+	// join orders and shapes, costed in associative searches.
+	choices, err := db.Explain(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("candidate plans:")
+	for _, c := range choices {
+		marker := "  "
+		if c.Chosen {
+			marker = "* "
+		}
+		fmt.Printf("  %s%-11s %8d searches\n", marker, c.Shape, c.Searches)
+	}
+
+	// 3. Execute on a CAPE core (all §5 enhancements on by default).
+	rows, metrics, err := db.QueryWith(query, castle.Options{Device: castle.DeviceCAPE})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplan: %s\n\nresult:\n%s", metrics.Plan, rows.Format())
+	fmt.Printf("\nCAPE: %d cycles (%.2f µs simulated), %d bytes of DRAM traffic\n",
+		metrics.Cycles, metrics.Seconds*1e6, metrics.BytesMoved)
+	fmt.Printf("CSB cycle breakdown: search %.0f%%, arithmetic %.0f%%\n",
+		100*metrics.CSBBreakdown["search"], 100*metrics.CSBBreakdown["vv arithmetic"])
+
+	// 4. The same query on the baseline CPU model for comparison.
+	_, cpuMetrics, err := db.QueryWith(query, castle.Options{Device: castle.DeviceCPU})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline CPU: %d cycles -> speedup %.1fx\n",
+		cpuMetrics.Cycles, float64(cpuMetrics.Cycles)/float64(metrics.Cycles))
+}

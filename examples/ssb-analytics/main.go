@@ -1,0 +1,79 @@
+// SSB analytics: generate a Star Schema Benchmark database, run three
+// representative queries end-to-end on both the CAPE core and the AVX-512
+// baseline, cross-check the results, and report the speedups — the paper's
+// headline experiment in miniature.
+//
+//	go run ./examples/ssb-analytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"castle/internal/baseline"
+	"castle/internal/cape"
+	"castle/internal/exec"
+	"castle/internal/optimizer"
+	"castle/internal/plan"
+	"castle/internal/sql"
+	"castle/internal/ssb"
+	"castle/internal/stats"
+)
+
+func main() {
+	const sf = 0.05
+	fmt.Printf("generating SSB at scale factor %.2f...\n", sf)
+	db := ssb.Generate(ssb.Config{SF: sf, Seed: 42})
+	catalog := stats.Collect(db)
+	capeCfg := cape.DefaultConfig().WithEnhancements()
+
+	// One query from each flight family: a scan-heavy aggregate, a
+	// two-dimension group-by, and a four-join profit query.
+	for _, num := range []int{1, 4, 11} {
+		var q ssb.Query
+		for _, cand := range ssb.Queries() {
+			if cand.Num == num {
+				q = cand
+			}
+		}
+		fmt.Printf("\n=== SSB query %d (%s)\n", q.Num, q.Flight)
+
+		stmt, err := sql.Parse(q.SQL)
+		if err != nil {
+			log.Fatalf("parse: %v", err)
+		}
+		bound, err := plan.Bind(stmt, db)
+		if err != nil {
+			log.Fatalf("bind: %v", err)
+		}
+		physical, err := optimizer.Optimize(bound, catalog, capeCfg.MAXVL)
+		if err != nil {
+			log.Fatalf("optimize: %v", err)
+		}
+		fmt.Printf("castle plan: %v\n", physical)
+
+		// CAPE execution.
+		engine := cape.New(capeCfg)
+		castleRes := exec.NewCastle(engine, catalog, exec.DefaultCastleOptions()).Run(physical, db)
+		capeCycles := engine.Stats().TotalCycles()
+
+		// Baseline execution.
+		cpu := baseline.New(baseline.DefaultConfig())
+		cpuRes := exec.NewCPUExec(cpu).Run(bound, db)
+
+		if !castleRes.Equal(cpuRes) {
+			log.Fatalf("%s: engines disagree!", q.Flight)
+		}
+		fmt.Printf("results agree (%d group(s)); first rows:\n", len(castleRes.Rows))
+		shown := castleRes
+		if len(shown.Rows) > 5 {
+			shown = &exec.Result{GroupBy: castleRes.GroupBy, AggExprs: castleRes.AggExprs, Rows: castleRes.Rows[:5]}
+		}
+		fmt.Print(shown.Format(db))
+
+		fmt.Printf("CAPE:     %12d cycles (%.3f ms)\n", capeCycles,
+			float64(capeCycles)/capeCfg.ClockHz*1e3)
+		fmt.Printf("baseline: %12d cycles (%.3f ms)\n", cpu.Cycles(), cpu.Seconds()*1e3)
+		fmt.Printf("speedup:  %.1fx\n", float64(cpu.Cycles())/float64(capeCycles))
+	}
+}

@@ -1,0 +1,3 @@
+module castle
+
+go 1.22

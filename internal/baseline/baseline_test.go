@@ -1,0 +1,283 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"castle/internal/bitvec"
+)
+
+func TestSelectionScanFunctional(t *testing.T) {
+	c := New(DefaultConfig())
+	col := make([]uint32, 1000)
+	for i := range col {
+		col[i] = uint32(i % 10)
+	}
+	m := c.SelectionScan(col, func(x uint32) bool { return x == 3 })
+	if m.Count() != 100 {
+		t.Fatalf("matches = %d, want 100", m.Count())
+	}
+	for i := range col {
+		if m.Get(i) != (col[i] == 3) {
+			t.Fatalf("mask wrong at %d", i)
+		}
+	}
+	if c.Cycles() == 0 {
+		t.Error("selection should charge cycles")
+	}
+	if c.Mem().BytesRead() == 0 {
+		t.Error("selection should account column traffic")
+	}
+}
+
+func TestHashJoinSemiFunctional(t *testing.T) {
+	c := New(DefaultConfig())
+	fact := []uint32{1, 2, 3, 4, 5, 2, 3, 9}
+	dim := []uint32{2, 3}
+	m := c.HashJoinSemi(fact, dim, nil)
+	want := []bool{false, true, true, false, false, true, true, false}
+	for i, w := range want {
+		if m.Get(i) != w {
+			t.Fatalf("semi-join mask wrong at %d", i)
+		}
+	}
+}
+
+func TestHashJoinSemiWithProbeMask(t *testing.T) {
+	c := New(DefaultConfig())
+	fact := []uint32{2, 2, 2, 2}
+	dim := []uint32{2}
+	probe := bitvec.FromIndices(4, []int{1, 3})
+	m := c.HashJoinSemi(fact, dim, probe)
+	if m.Get(0) || !m.Get(1) || m.Get(2) || !m.Get(3) {
+		t.Fatal("probe mask not honored")
+	}
+}
+
+func TestHashJoinMapFunctional(t *testing.T) {
+	c := New(DefaultConfig())
+	fact := []uint32{10, 20, 30, 20}
+	dimKeys := []uint32{10, 20}
+	dimVals := []uint32{1990, 1995}
+	m, vals := c.HashJoinMap(fact, dimKeys, dimVals, nil)
+	if !m.Get(0) || !m.Get(1) || m.Get(2) || !m.Get(3) {
+		t.Fatal("map-join mask wrong")
+	}
+	if vals[0] != 1990 || vals[1] != 1995 || vals[3] != 1995 {
+		t.Fatalf("map-join values wrong: %v", vals)
+	}
+}
+
+func TestHashJoinMapLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(DefaultConfig()).HashJoinMap(nil, []uint32{1}, nil, nil)
+}
+
+func TestHashAggregateFunctional(t *testing.T) {
+	c := New(DefaultConfig())
+	g := []uint32{1, 2, 1, 3, 2, 1}
+	v := []uint32{10, 20, 30, 40, 50, 60}
+	res := c.HashAggregate(g, v, nil)
+	got := map[uint32]int64{}
+	for _, r := range res {
+		got[r.Key] = r.Sum
+	}
+	if got[1] != 100 || got[2] != 70 || got[3] != 40 {
+		t.Fatalf("aggregate wrong: %v", got)
+	}
+	// First-seen order is preserved.
+	if res[0].Key != 1 || res[1].Key != 2 || res[2].Key != 3 {
+		t.Fatalf("group order wrong: %v", res)
+	}
+}
+
+func TestHashAggregateWithMask(t *testing.T) {
+	c := New(DefaultConfig())
+	g := []uint32{1, 1, 2, 2}
+	v := []uint32{5, 7, 11, 13}
+	m := bitvec.FromIndices(4, []int{1, 2})
+	res := c.HashAggregate(g, v, m)
+	got := map[uint32]int64{}
+	for _, r := range res {
+		got[r.Key] = r.Sum
+	}
+	if len(got) != 2 || got[1] != 7 || got[2] != 11 {
+		t.Fatalf("masked aggregate wrong: %v", got)
+	}
+}
+
+func TestSumAndMulSumReduce(t *testing.T) {
+	c := New(DefaultConfig())
+	a := []uint32{1, 2, 3, 4}
+	b := []uint32{10, 10, 10, 10}
+	if got := c.SumReduce(a, nil); got != 10 {
+		t.Fatalf("SumReduce = %d, want 10", got)
+	}
+	if got := c.MulSumReduce(a, b, nil); got != 100 {
+		t.Fatalf("MulSumReduce = %d, want 100", got)
+	}
+	m := bitvec.FromIndices(4, []int{0, 3})
+	if got := c.SumReduce(a, m); got != 5 {
+		t.Fatalf("masked SumReduce = %d, want 5", got)
+	}
+	if got := c.MulSumReduce(a, b, m); got != 50 {
+		t.Fatalf("masked MulSumReduce = %d, want 50", got)
+	}
+}
+
+// TestAggregationCostGrowsWithGroups reproduces the mechanism behind
+// Figure 12: per-row aggregation cost rises as the table spills the caches.
+func TestAggregationCostGrowsWithGroups(t *testing.T) {
+	cost := func(groups int) float64 {
+		c := New(DefaultConfig())
+		n := 1 << 20
+		g := make([]uint32, n)
+		v := make([]uint32, n)
+		rng := rand.New(rand.NewSource(1))
+		for i := range g {
+			g[i] = uint32(rng.Intn(groups))
+			v[i] = 1
+		}
+		c.HashAggregate(g, v, nil)
+		return float64(c.Cycles())
+	}
+	small := cost(100)
+	large := cost(1 << 20)
+	if large <= small*2 {
+		t.Fatalf("aggregation with 1M groups (%.0f cycles) should cost far more than 100 groups (%.0f)", large, small)
+	}
+}
+
+// TestJoinCostGrowsWithDimensionSize reproduces the mechanism behind
+// Figure 11's baseline curve.
+func TestJoinCostGrowsWithDimensionSize(t *testing.T) {
+	cost := func(dimRows int) float64 {
+		c := New(DefaultConfig())
+		fact := make([]uint32, 1<<20)
+		rng := rand.New(rand.NewSource(2))
+		for i := range fact {
+			fact[i] = uint32(rng.Intn(dimRows))
+		}
+		dim := make([]uint32, dimRows)
+		for i := range dim {
+			dim[i] = uint32(i)
+		}
+		c.HashJoinSemi(fact, dim, nil)
+		return float64(c.Cycles())
+	}
+	small := cost(1 << 10)
+	large := cost(1 << 22)
+	if large <= small*1.5 {
+		t.Fatalf("probing a 4M-row dim table (%.0f) should cost more than 1K rows (%.0f)", large, small)
+	}
+}
+
+func TestHashTableInternals(t *testing.T) {
+	h := newHashTable(3)
+	h.put(1, 100)
+	h.put(2, 200)
+	h.put(1, 150) // overwrite
+	if v, ok := h.get(1); !ok || v != 150 {
+		t.Fatalf("get(1) = %d,%v", v, ok)
+	}
+	if v, ok := h.get(2); !ok || v != 200 {
+		t.Fatalf("get(2) = %d,%v", v, ok)
+	}
+	if _, ok := h.get(99); ok {
+		t.Fatal("get(99) should miss")
+	}
+	if h.count != 2 {
+		t.Fatalf("count = %d, want 2", h.count)
+	}
+}
+
+// Property: hash table behaves like a map.
+func TestQuickHashTableMatchesMap(t *testing.T) {
+	f := func(keys []uint32, vals []uint32) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		if n == 0 {
+			return true
+		}
+		ref := map[uint32]uint32{}
+		h := newHashTable(n)
+		for i := 0; i < n; i++ {
+			h.put(keys[i], vals[i])
+			ref[keys[i]] = vals[i]
+		}
+		for k, v := range ref {
+			got, ok := h.get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: semi-join mask equals a nested-loop scan for small inputs.
+func TestQuickSemiJoinMatchesNestedLoop(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fact := make([]uint32, rng.Intn(200)+1)
+		for i := range fact {
+			fact[i] = uint32(rng.Intn(20))
+		}
+		dim := make([]uint32, rng.Intn(10)+1)
+		for i := range dim {
+			dim[i] = uint32(rng.Intn(20))
+		}
+		c := New(DefaultConfig())
+		got := c.HashJoinSemi(fact, dim, nil)
+		for i, f := range fact {
+			want := false
+			for _, d := range dim {
+				if f == d {
+					want = true
+					break
+				}
+			}
+			if got.Get(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	if DefaultConfig().String() == "" {
+		t.Fatal("empty config string")
+	}
+}
+
+func BenchmarkHashJoinProbe1M(b *testing.B) {
+	fact := make([]uint32, 1<<20)
+	rng := rand.New(rand.NewSource(3))
+	for i := range fact {
+		fact[i] = uint32(rng.Intn(30000))
+	}
+	dim := make([]uint32, 30000)
+	for i := range dim {
+		dim[i] = uint32(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := New(DefaultConfig())
+		c.HashJoinSemi(fact, dim, nil)
+	}
+}

@@ -1,0 +1,81 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFitsInL1(t *testing.T) {
+	h := Skylake()
+	if got := h.ExpectedAccessCycles(16 << 10); got != h.Levels[0].LatencyCycles {
+		t.Fatalf("L1-resident access = %.1f cycles, want %.1f", got, h.Levels[0].LatencyCycles)
+	}
+}
+
+func TestFitsInL2(t *testing.T) {
+	h := Skylake()
+	got := h.ExpectedAccessCycles(512 << 10)
+	// Mostly L2 latency with an L1-hit fraction.
+	if got <= h.Levels[0].LatencyCycles || got >= h.Levels[1].LatencyCycles {
+		t.Fatalf("512KB working set = %.1f cycles, want between L1 and L2 latency", got)
+	}
+}
+
+func TestHugeWorkingSetApproachesDRAM(t *testing.T) {
+	h := Skylake()
+	got := h.ExpectedAccessCycles(1 << 33) // 8 GB
+	wantMin := h.DRAMLatencyCycles / h.MLP * 0.95
+	if got < wantMin {
+		t.Fatalf("8GB working set = %.1f cycles, want >= %.1f", got, wantMin)
+	}
+}
+
+func TestMonotonicInWorkingSet(t *testing.T) {
+	h := Skylake()
+	prev := 0.0
+	for ws := int64(1 << 10); ws <= 1<<34; ws <<= 1 {
+		c := h.ExpectedAccessCycles(ws)
+		if c < prev {
+			t.Fatalf("cost decreased at ws=%d: %.2f < %.2f", ws, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestZeroWorkingSet(t *testing.T) {
+	h := Skylake()
+	if h.ExpectedAccessCycles(0) != 0 || h.DRAMMissFraction(0) != 0 {
+		t.Fatal("zero working set should cost nothing")
+	}
+}
+
+func TestDRAMMissFraction(t *testing.T) {
+	h := Skylake()
+	if f := h.DRAMMissFraction(1 << 20); f != 0 {
+		t.Fatalf("L3-resident working set miss fraction = %f, want 0", f)
+	}
+	f := h.DRAMMissFraction(11264 << 10) // 2x LLC
+	if f < 0.49 || f > 0.51 {
+		t.Fatalf("2xLLC miss fraction = %f, want ~0.5", f)
+	}
+}
+
+// Property: expected cost is bounded by [L1 latency, DRAM latency] for any
+// positive working set.
+func TestQuickCostBounds(t *testing.T) {
+	h := Skylake()
+	f := func(wsRaw uint32) bool {
+		ws := int64(wsRaw) + 1
+		c := h.ExpectedAccessCycles(ws)
+		return c >= h.Levels[0].LatencyCycles && c <= h.DRAMLatencyCycles
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if Skylake().String() == "" {
+		t.Fatal("empty hierarchy string")
+	}
+}

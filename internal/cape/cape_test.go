@@ -1,0 +1,752 @@
+package cape
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"castle/internal/isa"
+)
+
+func newTestEngine(cfg Config, vl int) *Engine {
+	e := New(cfg)
+	e.SetVL(vl)
+	e.ResetStats()
+	return e
+}
+
+func seq(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(i)
+	}
+	return out
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.MAXVL = 0
+	if bad.Validate() == nil {
+		t.Error("MAXVL=0 should be invalid")
+	}
+	bad = DefaultConfig()
+	bad.NumVRegs = 33
+	if bad.Validate() == nil {
+		t.Error("NumVRegs=33 should be invalid")
+	}
+	bad = DefaultConfig().WithEnhancements()
+	bad.MKSBufferBytes = 0
+	if bad.Validate() == nil {
+		t.Error("MKS with zero buffer should be invalid")
+	}
+}
+
+func TestCSBCapacity(t *testing.T) {
+	// §4.1: 4 MB effective capacity (32 vectors of 32,768 32-bit elements).
+	if got := DefaultConfig().CSBBytes(); got != 4<<20 {
+		t.Fatalf("CSBBytes = %d, want 4MB", got)
+	}
+}
+
+func TestSetVLClampsToMAXVL(t *testing.T) {
+	e := New(DefaultConfig())
+	if got := e.SetVL(1 << 20); got != e.Config().MAXVL {
+		t.Fatalf("SetVL granted %d, want MAXVL %d", got, e.Config().MAXVL)
+	}
+	if got := e.SetVL(100); got != 100 {
+		t.Fatalf("SetVL granted %d, want 100", got)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	e := newTestEngine(DefaultConfig(), 1000)
+	data := seq(1000)
+	e.Load(0, data, 0)
+	got := e.Store(0)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("element %d = %d, want %d", i, got[i], data[i])
+		}
+	}
+	st := e.Stats()
+	if st.MemCycles == 0 {
+		t.Error("load+store should charge memory cycles")
+	}
+	if e.Mem().BytesRead() == 0 || e.Mem().BytesWritten() == 0 {
+		t.Error("load+store should count memory traffic")
+	}
+}
+
+func TestSearchFunctional(t *testing.T) {
+	e := newTestEngine(DefaultConfig(), 100)
+	data := make([]uint32, 100)
+	for i := range data {
+		data[i] = uint32(i % 7)
+	}
+	e.Put(0, data, 0)
+	m := e.Search(0, 3)
+	for i := range data {
+		if m.Get(i) != (data[i] == 3) {
+			t.Fatalf("search mask wrong at %d", i)
+		}
+	}
+}
+
+func TestSearchCostGPvsCAM(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableADL = true
+	e := newTestEngine(cfg, 64)
+	e.Put(0, seq(64), 0)
+
+	e.ResetStats()
+	e.Search(0, 1)
+	gp := e.Stats().CSBCyclesByClass[isa.ClassSearch]
+	if gp != 33 {
+		t.Fatalf("GP search cost %d cycles, want 33 (32-bit configuration)", gp)
+	}
+
+	e.SetLayout(CAMMode)
+	e.Put(0, seq(64), 0) // reload after layout switch
+	e.ResetStats()
+	e.Search(0, 1)
+	cam := e.Stats().CSBCyclesByClass[isa.ClassSearch]
+	if cam != 3 {
+		t.Fatalf("CAM search cost %d cycles, want 3", cam)
+	}
+}
+
+func TestSetLayoutNoOpWithoutADL(t *testing.T) {
+	e := newTestEngine(DefaultConfig(), 64) // ADL disabled
+	e.Put(0, seq(64), 0)
+	e.SetLayout(CAMMode)
+	if e.Layout() != GPMode {
+		t.Fatal("vsetdl must decode to a no-op when ADL is unsupported (§5.2)")
+	}
+	// Register contents survive because no switch happened.
+	if got := e.Peek(0); got[5] != 5 {
+		t.Fatal("register should be intact")
+	}
+}
+
+func TestLayoutSwitchInvalidatesRegisters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableADL = true
+	e := newTestEngine(cfg, 64)
+	e.Put(0, seq(64), 0)
+	e.SetLayout(CAMMode)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reading a register across a layout switch must panic (corrupted data, §5.2)")
+		}
+	}()
+	e.Search(0, 1)
+}
+
+func TestRelayoutCarriesMask(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableADL = true
+	e := newTestEngine(cfg, 64)
+	e.Put(0, seq(64), 0)
+	m := e.Search(0, 7)
+	e.ResetStats()
+	e.SetLayout(CAMMode)
+	m2 := e.Relayout(m)
+	if !m2.Get(7) || m2.Count() != 1 {
+		t.Fatal("relayout must preserve mask contents")
+	}
+	st := e.Stats()
+	// vsetdl (1) + vrelayout (2) cycles.
+	if got := st.CSBCycles; got != 3 {
+		t.Fatalf("setdl+relayout cost %d CSB cycles, want 3", got)
+	}
+}
+
+func TestArithmeticFunctional(t *testing.T) {
+	e := newTestEngine(DefaultConfig(), 256)
+	rng := rand.New(rand.NewSource(7))
+	a := make([]uint32, 256)
+	b := make([]uint32, 256)
+	for i := range a {
+		a[i] = rng.Uint32() % 10000
+		b[i] = rng.Uint32() % 10000
+	}
+	e.Put(1, a, 0)
+	e.Put(2, b, 0)
+	e.AddVV(3, 1, 2)
+	e.SubVV(4, 1, 2)
+	e.MulVV(5, 1, 2)
+	add, sub, mul := e.Peek(3), e.Peek(4), e.Peek(5)
+	for i := range a {
+		if add[i] != a[i]+b[i] || sub[i] != a[i]-b[i] || mul[i] != a[i]*b[i] {
+			t.Fatalf("arith mismatch at %d", i)
+		}
+	}
+}
+
+func TestArithmeticRequiresGPMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableADL = true
+	e := newTestEngine(cfg, 64)
+	e.SetLayout(CAMMode)
+	e.Put(1, seq(64), 0)
+	e.Put(2, seq(64), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("vv arithmetic must panic in CAM mode")
+		}
+	}()
+	e.AddVV(3, 1, 2)
+}
+
+func TestABAReducesMultiplyCost(t *testing.T) {
+	run := func(aba bool, width int) int64 {
+		cfg := DefaultConfig()
+		cfg.EnableABA = aba
+		e := newTestEngine(cfg, 128)
+		data := make([]uint32, 128)
+		for i := range data {
+			data[i] = uint32(i % 10) // fits in 4 bits
+		}
+		e.Put(1, data, width)
+		e.Put(2, data, width)
+		e.ResetStats()
+		e.MulVV(3, 1, 2)
+		return e.Stats().CSBCycles
+	}
+	full := run(false, 0)
+	if full != 4224 {
+		t.Fatalf("32-bit multiply = %d cycles, want 4224", full)
+	}
+	// ABA with DB-provided width 4: multiply at 80 cycles + sign extension.
+	reduced := run(true, 4)
+	if reduced >= full/10 {
+		t.Fatalf("ABA multiply = %d cycles, want far below %d", reduced, full)
+	}
+	if reduced < 80 {
+		t.Fatalf("ABA multiply = %d cycles, cannot beat the 4x4 floor of 80", reduced)
+	}
+}
+
+func TestABADiscoveryWhenWidthUnknown(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableABA = true
+	e := newTestEngine(cfg, 128)
+	data := make([]uint32, 128)
+	for i := range data {
+		data[i] = uint32(i % 13) // needs 4 bits
+	}
+	e.Put(1, data, 0) // width unknown: discovery embedded in the instruction
+	e.Put(2, data, 0)
+	e.ResetStats()
+	e.MulVV(3, 1, 2)
+	c := e.Stats().CSBCycles
+	if c >= 4224 {
+		t.Fatalf("discovery multiply = %d cycles, should be far below 4224", c)
+	}
+	got := e.Peek(3)
+	for i := range data {
+		if got[i] != data[i]*data[i] {
+			t.Fatal("ABA must not change results (exact, no precision loss)")
+		}
+	}
+}
+
+func TestMultiKeySearchFunctionalAndCost(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableADL = true
+	cfg.EnableMKS = true
+	e := newTestEngine(cfg, 1024)
+	data := make([]uint32, 1024)
+	for i := range data {
+		data[i] = uint32(i % 300)
+	}
+	e.SetLayout(CAMMode)
+	e.Put(0, data, 0)
+	keys := []uint32{5, 17, 250}
+	e.ResetStats()
+	m := e.MultiKeySearch(0, keys)
+	for i := range data {
+		want := data[i] == 5 || data[i] == 17 || data[i] == 250
+		if m.Get(i) != want {
+			t.Fatalf("vmks mask wrong at %d", i)
+		}
+	}
+	// CSB side: numkeys + 2 = 5 cycles for one buffer fill.
+	if got := e.Stats().CSBCyclesByClass[isa.ClassSearch]; got != 5 {
+		t.Fatalf("vmks CSB cost %d, want 5", got)
+	}
+	if e.Stats().MemCycles == 0 {
+		t.Error("vmks must charge the key fetch")
+	}
+}
+
+func TestMultiKeySearchSplitsAcrossBufferFills(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableADL = true
+	cfg.EnableMKS = true
+	cfg.MKSBufferBytes = 64 // 16 keys per fill
+	e := newTestEngine(cfg, 256)
+	e.SetLayout(CAMMode)
+	e.Put(0, seq(256), 0)
+	keys := make([]uint32, 40) // 3 buffer fills: 16+16+8
+	for i := range keys {
+		keys[i] = uint32(i)
+	}
+	e.ResetStats()
+	m := e.MultiKeySearch(0, keys)
+	if m.Count() != 40 {
+		t.Fatalf("vmks found %d matches, want 40", m.Count())
+	}
+	// CSB: (16+2)+(16+2)+(8+2) = 46.
+	if got := e.Stats().CSBCyclesByClass[isa.ClassSearch]; got != 46 {
+		t.Fatalf("vmks CSB cost %d, want 46", got)
+	}
+	if got := e.Stats().InstrsByOp[isa.OpVMKS]; got != 3 {
+		t.Fatalf("vmks issued %d times, want 3", got)
+	}
+}
+
+func TestMKSDisabledPanics(t *testing.T) {
+	e := newTestEngine(DefaultConfig(), 64)
+	e.Put(0, seq(64), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("vmks on a core without MKS must panic")
+		}
+	}()
+	e.MultiKeySearch(0, []uint32{1})
+}
+
+func TestCompareOps(t *testing.T) {
+	e := newTestEngine(DefaultConfig(), 100)
+	e.Put(0, seq(100), 0)
+	cases := []struct {
+		op   CmpOp
+		key  uint32
+		want func(x uint32) bool
+	}{
+		{CmpLT, 50, func(x uint32) bool { return x < 50 }},
+		{CmpLE, 50, func(x uint32) bool { return x <= 50 }},
+		{CmpGT, 50, func(x uint32) bool { return x > 50 }},
+		{CmpGE, 50, func(x uint32) bool { return x >= 50 }},
+		{CmpEQ, 50, func(x uint32) bool { return x == 50 }},
+	}
+	for _, c := range cases {
+		m := e.Compare(c.op, 0, c.key)
+		for i := 0; i < 100; i++ {
+			if m.Get(i) != c.want(uint32(i)) {
+				t.Fatalf("%v %d: wrong at %d", c.op, c.key, i)
+			}
+		}
+	}
+}
+
+func TestCompareVV(t *testing.T) {
+	e := newTestEngine(DefaultConfig(), 64)
+	a, b := seq(64), make([]uint32, 64)
+	for i := range b {
+		b[i] = 32
+	}
+	e.Put(0, a, 0)
+	e.Put(1, b, 0)
+	eq := e.CompareVV(CmpEQ, 0, 1)
+	lt := e.CompareVV(CmpLT, 0, 1)
+	for i := 0; i < 64; i++ {
+		if eq.Get(i) != (uint32(i) == 32) || lt.Get(i) != (uint32(i) < 32) {
+			t.Fatalf("CompareVV wrong at %d", i)
+		}
+	}
+}
+
+func TestMaskOpsAndAggregationPrimitives(t *testing.T) {
+	e := newTestEngine(DefaultConfig(), 64)
+	gcol := make([]uint32, 64)
+	scol := make([]uint32, 64)
+	for i := range gcol {
+		gcol[i] = uint32(i % 4)
+		scol[i] = uint32(i)
+	}
+	e.Put(0, gcol, 0)
+	e.Put(1, scol, 0)
+
+	// Algorithm 2's inner loop for one group.
+	input := e.MaskInit(true)
+	idx := e.MFirst(input)
+	if idx != 0 {
+		t.Fatalf("MFirst = %d, want 0", idx)
+	}
+	key := e.Extract(0, idx)
+	groupMask := e.Search(0, key)
+	sum := e.RedSum(1, groupMask)
+	want := int64(0)
+	for i := range gcol {
+		if gcol[i] == key {
+			want += int64(scol[i])
+		}
+	}
+	if sum != want {
+		t.Fatalf("RedSum = %d, want %d", sum, want)
+	}
+	input = e.MaskXor(input, groupMask)
+	if input.Count() != 48 {
+		t.Fatalf("after retiring group 0, %d rows remain, want 48", input.Count())
+	}
+	if got := e.MPopc(groupMask); got != 16 {
+		t.Fatalf("MPopc = %d, want 16", got)
+	}
+}
+
+func TestMergeMaterializesAttribute(t *testing.T) {
+	e := newTestEngine(DefaultConfig(), 64)
+	fk := make([]uint32, 64)
+	for i := range fk {
+		fk[i] = uint32(i % 8)
+	}
+	e.Put(0, fk, 0)
+	e.Broadcast(1, 0)
+	// Map dimension key 3 -> attribute 1995.
+	m := e.Search(0, 3)
+	e.Merge(1, m, 1995)
+	got := e.Peek(1)
+	for i := range fk {
+		want := uint32(0)
+		if fk[i] == 3 {
+			want = 1995
+		}
+		if got[i] != want {
+			t.Fatalf("merge wrong at %d: got %d want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestStatsBreakdownAndString(t *testing.T) {
+	e := newTestEngine(DefaultConfig(), 64)
+	e.Put(0, seq(64), 0)
+	e.Put(1, seq(64), 0)
+	e.Search(0, 1)
+	e.AddVV(2, 0, 1)
+	st := e.Stats()
+	if st.CSBCyclesByClass[isa.ClassSearch] == 0 {
+		t.Error("search class cycles missing")
+	}
+	if st.CSBCyclesByClass[isa.ClassArithmetic] == 0 {
+		t.Error("arithmetic class cycles missing")
+	}
+	share := st.ClassShare()
+	var total float64
+	for _, s := range share {
+		total += s
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Errorf("class shares sum to %.3f, want 1.0", total)
+	}
+	if st.String() == "" {
+		t.Error("Stats.String empty")
+	}
+	var agg Stats
+	agg.Add(st)
+	agg.Add(st)
+	if agg.CSBCycles != 2*st.CSBCycles || agg.VectorInstrs != 2*st.VectorInstrs {
+		t.Error("Stats.Add broken")
+	}
+}
+
+func TestScalarCharging(t *testing.T) {
+	e := newTestEngine(DefaultConfig(), 64)
+	e.Scalar(100)
+	st := e.Stats()
+	if st.ScalarInstrs != 100 {
+		t.Fatalf("ScalarInstrs = %d, want 100", st.ScalarInstrs)
+	}
+	if st.CPCycles != 75 { // 100 * 0.75 CPI
+		t.Fatalf("CPCycles = %d, want 75", st.CPCycles)
+	}
+}
+
+// Property: search mask matches a straightforward scan for arbitrary data.
+func TestQuickSearchMatchesScan(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed int64, keyRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vl := rng.Intn(500) + 1
+		e := newTestEngine(cfg, vl)
+		data := make([]uint32, vl)
+		for i := range data {
+			data[i] = uint32(rng.Intn(32))
+		}
+		key := uint32(keyRaw % 32)
+		e.Put(0, data, 0)
+		m := e.Search(0, key)
+		for i := range data {
+			if m.Get(i) != (data[i] == key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ABA never changes arithmetic results (exactness, §5.1).
+func TestQuickABAExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vl := rng.Intn(300) + 1
+		a := make([]uint32, vl)
+		b := make([]uint32, vl)
+		for i := range a {
+			a[i] = uint32(rng.Intn(1 << 12))
+			b[i] = uint32(rng.Intn(1 << 12))
+		}
+		run := func(aba bool) []uint32 {
+			cfg := DefaultConfig()
+			cfg.EnableABA = aba
+			e := newTestEngine(cfg, vl)
+			e.Put(0, a, 0)
+			e.Put(1, b, 0)
+			e.MulVV(2, 0, 1)
+			return e.Peek(2)
+		}
+		x, y := run(false), run(true)
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: vmks result equals the OR of individual searches.
+func TestQuickVMKSEqualsSearchOr(t *testing.T) {
+	cfg := DefaultConfig().WithEnhancements()
+	f := func(seed int64, nKeysRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vl := rng.Intn(400) + 1
+		nKeys := int(nKeysRaw%20) + 1
+		data := make([]uint32, vl)
+		for i := range data {
+			data[i] = uint32(rng.Intn(64))
+		}
+		keys := make([]uint32, nKeys)
+		for i := range keys {
+			keys[i] = uint32(rng.Intn(64))
+		}
+		e := newTestEngine(cfg, vl)
+		e.SetLayout(CAMMode)
+		e.Put(0, data, 0)
+		got := e.MultiKeySearch(0, keys)
+		want := e.MaskInit(false)
+		for _, k := range keys {
+			want.Or(e.Search(0, k))
+		}
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSearchGPMode(b *testing.B) {
+	e := newTestEngine(DefaultConfig(), 32768)
+	e.Put(0, seq(32768), 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Search(0, uint32(i%32768))
+	}
+}
+
+func BenchmarkMultiKeySearchCAM(b *testing.B) {
+	cfg := DefaultConfig().WithEnhancements()
+	e := newTestEngine(cfg, 32768)
+	e.SetLayout(CAMMode)
+	e.Put(0, seq(32768), 0)
+	keys := seq(128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MultiKeySearch(0, keys)
+	}
+}
+
+func TestTracerCapturesInstructionStream(t *testing.T) {
+	e := newTestEngine(DefaultConfig(), 64)
+	tr := NewTracer(100)
+	e.AttachTracer(tr)
+	e.Put(0, seq(64), 0)
+	e.Search(0, 1)
+	e.Search(0, 2)
+	e.Search(0, 3)
+	e.MaskInit(true)
+	if got := tr.Instructions(); got != 4 {
+		t.Fatalf("traced %d instructions, want 4", got)
+	}
+	// Three identical searches coalesce into one entry.
+	entries := tr.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (coalesced searches + broadcast): %v", len(entries), entries)
+	}
+	if entries[0].Count != 3 || entries[0].Op.String() != "vmseq.vx" {
+		t.Fatalf("first entry: %+v", entries[0])
+	}
+	var buf strings.Builder
+	tr.Dump(&buf)
+	if !strings.Contains(buf.String(), "vmseq.vx") {
+		t.Fatal("dump missing mnemonic")
+	}
+	tr.Reset()
+	if tr.Instructions() != 0 || len(tr.Entries()) != 0 {
+		t.Fatal("Reset should clear the trace")
+	}
+}
+
+func TestTracerDropsWhenFull(t *testing.T) {
+	e := newTestEngine(DefaultConfig(), 16)
+	tr := NewTracer(2)
+	e.AttachTracer(tr)
+	e.Put(0, seq(16), 0)
+	e.Search(0, 1)   // entry 1
+	e.MaskInit(true) // entry 2
+	e.MPopc(e.MaskInit(false))
+	if tr.Dropped() == 0 {
+		t.Fatal("expected dropped instructions")
+	}
+	var buf strings.Builder
+	tr.Dump(&buf)
+	if !strings.Contains(buf.String(), "dropped") {
+		t.Fatal("dump should report drops")
+	}
+}
+
+func TestChargeBulkTracesAndBills(t *testing.T) {
+	e := newTestEngine(DefaultConfig(), 64)
+	tr := NewTracer(10)
+	e.AttachTracer(tr)
+	e.Charge(isa.OpVMFirst, 32, 5)
+	st := e.Stats()
+	if st.InstrsByOp[isa.OpVMFirst] != 5 {
+		t.Fatalf("bulk charge billed %d instrs", st.InstrsByOp[isa.OpVMFirst])
+	}
+	if st.CSBCycles != 5*isa.MFirstSteps {
+		t.Fatalf("bulk charge billed %d cycles", st.CSBCycles)
+	}
+	if tr.Instructions() != 5 {
+		t.Fatalf("trace recorded %d", tr.Instructions())
+	}
+	// Zero and negative counts are no-ops.
+	e.Charge(isa.OpVMFirst, 32, 0)
+	e.Charge(isa.OpVMFirst, 32, -3)
+	if e.Stats().InstrsByOp[isa.OpVMFirst] != 5 {
+		t.Fatal("zero/negative counts must not bill")
+	}
+}
+
+func TestSearchFirstAndSearchBatch(t *testing.T) {
+	e := newTestEngine(DefaultConfig(), 100)
+	data := make([]uint32, 100)
+	for i := range data {
+		data[i] = uint32(i % 10)
+	}
+	e.Put(0, data, 0)
+	if idx := e.SearchFirst(0, 7); idx != 7 {
+		t.Fatalf("SearchFirst = %d, want 7", idx)
+	}
+	if idx := e.SearchFirst(0, 99); idx != -1 {
+		t.Fatalf("SearchFirst(miss) = %d, want -1", idx)
+	}
+	m := e.SearchBatch(0, []uint32{1, 3})
+	for i := range data {
+		want := data[i] == 1 || data[i] == 3
+		if m.Get(i) != want {
+			t.Fatalf("SearchBatch wrong at %d", i)
+		}
+	}
+	// Cost: 2 searches + 2 mask ORs.
+	e.ResetStats()
+	e.SearchBatch(0, []uint32{1, 3})
+	st := e.Stats()
+	if st.InstrsByOp[isa.OpVMSeqVX] != 2 || st.InstrsByOp[isa.OpVMOr] != 2 {
+		t.Fatalf("SearchBatch instruction mix wrong: %v", st.InstrsByOp)
+	}
+}
+
+func TestRegWidthAndCPAccess(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableABA = true
+	e := newTestEngine(cfg, 64)
+	e.Put(0, []uint32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0,
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, 0)
+	if w := e.RegWidth(0); w != 4 {
+		t.Fatalf("RegWidth = %d, want 4 (max value 15)", w)
+	}
+	before := e.Stats().CPCycles
+	e.CPAccess(100, 16<<10) // L1-resident: ~1 cycle each
+	after := e.Stats().CPCycles
+	if d := after - before; d < 90 || d > 110 {
+		t.Fatalf("CPAccess charged %d cycles, want ~100", d)
+	}
+	e.CPAccess(0, 1000) // no-op
+}
+
+func TestStoreAndRelayoutCost(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableADL = true
+	e := newTestEngine(cfg, 128)
+	e.Put(0, seq(128), 0)
+	out := e.Store(0)
+	if out[100] != 100 {
+		t.Fatal("Store contents wrong")
+	}
+	if e.Mem().BytesWritten() == 0 {
+		t.Fatal("Store must write memory")
+	}
+}
+
+func TestPIMConfigStepMultiplier(t *testing.T) {
+	pim := PIMConfig()
+	if pim.CSBStepMultiplier != 3 {
+		t.Fatalf("PIM step multiplier = %f", pim.CSBStepMultiplier)
+	}
+	if pim.Mem.BandwidthBytesPerSec <= DefaultConfig().Mem.BandwidthBytesPerSec*7 {
+		t.Fatal("PIM internal bandwidth should be much higher")
+	}
+	// A CAM search costs 3x more CSB cycles under PIM.
+	pim.MAXVL = 1024
+	e := New(pim)
+	e.SetVL(64)
+	e.SetLayout(CAMMode)
+	e.Put(0, seq(64), 0)
+	e.ResetStats()
+	e.Search(0, 1)
+	if got := e.Stats().CSBCyclesByClass[isa.ClassSearch]; got != 9 {
+		t.Fatalf("PIM CAM search = %d cycles, want 9 (3 steps x 3)", got)
+	}
+	// Loads are ~8x cheaper.
+	sram := DefaultConfig()
+	sram.MAXVL = 1024
+	es := New(sram)
+	es.SetVL(1024)
+	es.Put(1, seq(1024), 0)
+	es.ResetStats()
+	es.Load(2, seq(1024), 0)
+	sramMem := es.Stats().MemCycles
+	e.SetVL(1024)
+	e.ResetStats()
+	e.Load(2, seq(1024), 0)
+	pimMem := e.Stats().MemCycles
+	if pimMem >= sramMem {
+		t.Fatalf("PIM load (%d cycles) should be cheaper than SRAM load (%d)", pimMem, sramMem)
+	}
+}

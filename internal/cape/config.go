@@ -1,0 +1,168 @@
+// Package cape simulates the Content-Addressable Processing Engine: a
+// general-purpose associative-processor core programmed through RISC-V-style
+// vector instructions (Caminal et al., HPCA 2021), extended with the three
+// database-aware microarchitectural enhancements of the ISCA 2022 paper:
+// adaptive bitwidth arithmetic (ABA, §5.1), adaptive data layout (ADL, §5.2)
+// and multi-key search (MKS, §5.3).
+//
+// The simulator is functional plus cycle-cost: every instruction computes
+// its real result on Go slices while charging the cycle cost the paper's
+// instruction-level model assigns to it (Table 1 for CSB steps, a DDR4
+// bandwidth model for VMU transfers, and a small in-order control-processor
+// overhead per instruction). Cycle totals are broken down by instruction
+// class to regenerate Figure 7.
+package cape
+
+import (
+	"fmt"
+
+	"castle/internal/cache"
+	"castle/internal/mem"
+)
+
+// Layout identifies the CSB data layout (§5.2).
+type Layout int
+
+// Data layouts.
+const (
+	// GPMode bitslices vector elements across subarrays: operand locality
+	// for bit-serial arithmetic, but searches cost n+1 cycles.
+	GPMode Layout = iota
+	// CAMMode stores each value contiguously in one subarray: searches
+	// complete in 3 cycles, but bit-serial vv arithmetic is unavailable
+	// until switching back.
+	CAMMode
+)
+
+func (l Layout) String() string {
+	if l == GPMode {
+		return "GP"
+	}
+	return "CAM"
+}
+
+// Config describes a CAPE core.
+type Config struct {
+	// MAXVL is the maximum vector length in 32-bit elements (the CSB's
+	// data-parallelism degree). The paper evaluates 32,768.
+	MAXVL int
+	// NumVRegs is the number of architectural vector registers.
+	NumVRegs int
+	// ClockHz is the core clock.
+	ClockHz float64
+	// Mem configures the DDR4 system behind the VMU.
+	Mem mem.Config
+	// CPIssuePerVectorInstr is the control-processor pipeline occupancy
+	// charged per vector instruction (fetch/decode/issue on the dual-issue
+	// in-order CP).
+	CPIssuePerVectorInstr float64
+	// ScalarCPI is the average cycles per scalar CP instruction.
+	ScalarCPI float64
+	// CPHierarchy models the control processor's caches (Table 2: 32 KB
+	// L1, 1 MB L2, no L3). Data-dependent CP accesses — e.g. merging
+	// Algorithm 2's per-partition group results — pay the expected access
+	// cost over their working set. The in-order MinorCPU overlaps little,
+	// so the effective MLP is low.
+	CPHierarchy cache.Hierarchy
+
+	// EnableADL turns on the adaptive data layout (vsetdl/vrelayout).
+	// When off, vsetdl decodes to a no-op and CAPE stays in GP mode (§5.2).
+	EnableADL bool
+	// EnableMKS turns on the multi-key search instruction (vmks).
+	EnableMKS bool
+	// MKSBufferBytes is the VMU key-buffer capacity (64, 512 or 2048 in
+	// the paper's sweep; 512 matches the cacheline and is the default).
+	MKSBufferBytes int
+	// EnableABA turns on adaptive bitwidth arithmetic.
+	EnableABA bool
+
+	// CSBStepMultiplier scales every CSB step's latency relative to the
+	// 2.7 GHz core clock. The SRAM design point is 1; the PIM exploration
+	// (§8 leaves processing-in-memory flavors to future work) uses a
+	// slower in-DRAM array in exchange for internal bandwidth. Zero means 1.
+	CSBStepMultiplier float64
+}
+
+// DefaultConfig returns the paper's CAPE design point (§4.1, Table 2) with
+// all microarchitectural enhancements disabled (the "unmodified CAPE" of
+// Section 4). Enable ADL/MKS/ABA individually or via WithEnhancements.
+func DefaultConfig() Config {
+	return Config{
+		MAXVL:                 32768,
+		NumVRegs:              32,
+		ClockHz:               2.7e9,
+		Mem:                   mem.DDR4(),
+		CPIssuePerVectorInstr: 2,
+		ScalarCPI:             0.75, // dual-issue in-order, imperfect pairing
+		CPHierarchy: cache.Hierarchy{
+			Levels: []cache.Level{
+				{Name: "L1", CapacityBytes: 32 << 10, LatencyCycles: 1},
+				{Name: "L2", CapacityBytes: 1 << 20, LatencyCycles: 12},
+			},
+			DRAMLatencyCycles: 180,
+			MLP:               2,
+			LineBytes:         64,
+		},
+		MKSBufferBytes: 512,
+	}
+}
+
+// WithEnhancements returns the configuration with all three database-aware
+// microarchitectural enhancements enabled (the Section 6 design point).
+func (c Config) WithEnhancements() Config {
+	c.EnableADL = true
+	c.EnableMKS = true
+	c.EnableABA = true
+	return c
+}
+
+// PIMConfig returns a processing-in-memory design point for the future-work
+// exploration the paper's §8 sketches: the CSB is built in DRAM-adjacent
+// arrays instead of SRAM, so each associative step is ~3x slower, but the
+// VMU streams resident columns over internal bank bandwidth (~8x the DDR4
+// channel peak). Everything else matches the enhanced SRAM design point.
+func PIMConfig() Config {
+	cfg := DefaultConfig().WithEnhancements()
+	cfg.CSBStepMultiplier = 3
+	cfg.Mem.BandwidthBytesPerSec *= 8
+	return cfg
+}
+
+// stepMultiplier returns the effective CSB step scaling.
+func (c Config) stepMultiplier() float64 {
+	if c.CSBStepMultiplier <= 0 {
+		return 1
+	}
+	return c.CSBStepMultiplier
+}
+
+// MKSBufferKeys returns the number of 32-bit keys the VMU buffer holds.
+func (c Config) MKSBufferKeys() int { return c.MKSBufferBytes / 4 }
+
+// CSBBytes returns the effective CSB capacity: NumVRegs vectors of MAXVL
+// 32-bit elements (4 MB at the default design point).
+func (c Config) CSBBytes() int { return c.NumVRegs * c.MAXVL * 4 }
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.MAXVL <= 0 {
+		return fmt.Errorf("cape: MAXVL must be positive, got %d", c.MAXVL)
+	}
+	if c.NumVRegs <= 0 || c.NumVRegs > 32 {
+		return fmt.Errorf("cape: NumVRegs must be in (0,32], got %d", c.NumVRegs)
+	}
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("cape: ClockHz must be positive")
+	}
+	if c.EnableMKS && c.MKSBufferBytes < 4 {
+		return fmt.Errorf("cape: MKS enabled with buffer of %d bytes", c.MKSBufferBytes)
+	}
+	return nil
+}
+
+// String summarises the design point.
+func (c Config) String() string {
+	return fmt.Sprintf("CAPE MAXVL=%d (%d vregs, %.0f MB CSB) @%.1fGHz ADL=%v MKS=%v(%dB) ABA=%v",
+		c.MAXVL, c.NumVRegs, float64(c.CSBBytes())/(1<<20), c.ClockHz/1e9,
+		c.EnableADL, c.EnableMKS, c.MKSBufferBytes, c.EnableABA)
+}

@@ -1,0 +1,420 @@
+// Package micro implements genuine bit-serial associative algorithms as
+// sequences of search/update microoperations over bit-sliced storage, the
+// computational model of an associative processor (§2.1, Figure 2).
+//
+// A vector register is stored as bit planes: plane i holds bit i of every
+// element. A search microop compares, element-parallel, a per-plane pattern
+// against selected planes (all other planes are masked out, the "X" entries
+// of Figure 2) and produces tag bits. An update microop writes constant bits
+// into selected planes of the tagged elements in bulk.
+//
+// The package exists to validate the CAPE cost model: the algorithms here
+// perform exactly the search/update sequences the paper's VCU microcode
+// sequencer would generate, so their counted microop totals can be checked
+// against Table 1 (vv add = 8n+2 steps, vs equality = n+1, ...) while their
+// functional results are checked against ordinary Go arithmetic.
+package micro
+
+import (
+	"fmt"
+
+	"castle/internal/bitvec"
+)
+
+// Array is a bit-sliced vector register: Width bit planes of VL elements.
+type Array struct {
+	vl     int
+	width  int
+	planes []*bitvec.Vector
+}
+
+// NewArray allocates a zeroed bit-sliced array of vl elements of the given
+// bit width (1..32).
+func NewArray(vl, width int) *Array {
+	if width < 1 || width > 32 {
+		panic(fmt.Sprintf("micro: width %d out of range [1,32]", width))
+	}
+	if vl < 0 {
+		panic("micro: negative vector length")
+	}
+	a := &Array{vl: vl, width: width, planes: make([]*bitvec.Vector, width)}
+	for i := range a.planes {
+		a.planes[i] = bitvec.New(vl)
+	}
+	return a
+}
+
+// Load fills the array from a word slice (len must equal VL). Values are
+// truncated to the array width.
+func (a *Array) Load(words []uint32) {
+	if len(words) != a.vl {
+		panic(fmt.Sprintf("micro: Load length %d != VL %d", len(words), a.vl))
+	}
+	for i := range a.planes {
+		a.planes[i].ClearAll()
+	}
+	for e, w := range words {
+		for b := 0; b < a.width; b++ {
+			if w&(1<<uint(b)) != 0 {
+				a.planes[b].Set(e)
+			}
+		}
+	}
+}
+
+// Words reads the array back as a word slice (elements zero-extended).
+func (a *Array) Words() []uint32 {
+	out := make([]uint32, a.vl)
+	for b := 0; b < a.width; b++ {
+		p := a.planes[b]
+		for i := p.First(); i != -1; i = p.NextAfter(i) {
+			out[i] |= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// VL returns the number of elements.
+func (a *Array) VL() int { return a.vl }
+
+// Width returns the bit width.
+func (a *Array) Width() int { return a.width }
+
+// Plane returns bit plane b (for use as a search/update operand).
+func (a *Array) Plane(b int) *bitvec.Vector {
+	if b < 0 || b >= a.width {
+		panic(fmt.Sprintf("micro: plane %d out of range [0,%d)", b, a.width))
+	}
+	return a.planes[b]
+}
+
+// Stats counts executed microoperations. In the AP model each search and
+// each update is one CSB step, so Searches+Updates+Broadcasts is directly
+// comparable with Table 1 step counts.
+type Stats struct {
+	Searches   int64
+	Updates    int64
+	Broadcasts int64 // bulk updates unconditioned on tags (e.g. carry init)
+}
+
+// Steps returns the total number of CSB steps executed.
+func (s Stats) Steps() int64 { return s.Searches + s.Updates + s.Broadcasts }
+
+// Engine executes search/update microoperations and counts them.
+type Engine struct {
+	vl    int
+	stats Stats
+}
+
+// NewEngine returns an Engine for vectors of length vl.
+func NewEngine(vl int) *Engine { return &Engine{vl: vl} }
+
+// Stats returns the microop counters.
+func (e *Engine) Stats() Stats { return s(e) }
+
+func s(e *Engine) Stats { return e.stats }
+
+// ResetStats clears the microop counters.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// Cond is one plane/value term of a search pattern. Planes not mentioned in
+// a search are don't-care ("X" in Figure 2).
+type Cond struct {
+	Plane *bitvec.Vector
+	Want  bool
+}
+
+// Search performs one element-parallel search microoperation: it returns tag
+// bits set for every element whose mentioned planes all match the pattern.
+func (e *Engine) Search(conds ...Cond) *bitvec.Vector {
+	e.stats.Searches++
+	tags := bitvec.NewSet(e.vl)
+	for _, c := range conds {
+		if c.Want {
+			tags.And(c.Plane)
+		} else {
+			tags.AndNot(c.Plane)
+		}
+	}
+	return tags
+}
+
+// Assign is one plane/value term of an update.
+type Assign struct {
+	Plane *bitvec.Vector
+	Value bool
+}
+
+// Update performs one bulk-update microoperation: for every tagged element,
+// the mentioned planes are set to the given constant values.
+func (e *Engine) Update(tags *bitvec.Vector, assigns ...Assign) {
+	e.stats.Updates++
+	for _, a := range assigns {
+		if a.Value {
+			a.Plane.Or(tags)
+		} else {
+			a.Plane.AndNot(tags)
+		}
+	}
+}
+
+// Broadcast performs an unconditioned bulk update (all elements).
+func (e *Engine) Broadcast(assigns ...Assign) {
+	e.stats.Broadcasts++
+	all := bitvec.NewSet(e.vl)
+	for _, a := range assigns {
+		if a.Value {
+			a.Plane.Or(all)
+		} else {
+			a.Plane.AndNot(all)
+		}
+	}
+}
+
+func (e *Engine) checkVL(a *Array) {
+	if a.vl != e.vl {
+		panic(fmt.Sprintf("micro: array VL %d != engine VL %d", a.vl, e.vl))
+	}
+}
+
+// Increment adds 1 to every element of a, exactly as in Figure 2: the carry
+// column is initialised to 1 with a single broadcast, then for each bit
+// position two search/update pairs apply the half-adder truth table (the two
+// rows whose outputs differ from their inputs); iteration stops early once
+// no carries remain. A final broadcast clears the scratch carry column.
+func (e *Engine) Increment(a *Array) {
+	e.checkVL(a)
+	carry := bitvec.New(e.vl)
+	e.Broadcast(Assign{carry, true}) // carry <- 1 (as seen in [15], Figure 2)
+	for b := 0; b < a.width; b++ {
+		if carry.None() {
+			break
+		}
+		bit := a.planes[b]
+		// Pair 1: bit=0, carry=1  ->  bit=1, carry=0.
+		t0 := e.Search(Cond{bit, false}, Cond{carry, true})
+		e.Update(t0, Assign{bit, true}, Assign{carry, false})
+		// Pair 2: bit=1, carry=1  ->  bit=0, carry=1 (carry propagates).
+		// Elements updated by pair 1 now have carry=0 and cannot match.
+		t1 := e.Search(Cond{bit, true}, Cond{carry, true})
+		e.Update(t1, Assign{bit, false}, Assign{carry, true})
+	}
+	e.Broadcast(Assign{carry, false})
+}
+
+// AddInPlace computes dst += src element-wise using the full-adder truth
+// table. Per bit position there are exactly four input combinations whose
+// (sum, carry-out) differ from (bit, carry-in); each needs one search/update
+// pair, giving 8 steps per bit. With the leading carry-initialisation
+// broadcast and the trailing carry-clear broadcast the total is Table 1's
+// 8n+2 steps.
+func (e *Engine) AddInPlace(dst, src *Array) {
+	e.checkVL(dst)
+	e.checkVL(src)
+	if dst.width != src.width {
+		panic("micro: AddInPlace width mismatch")
+	}
+	carry := bitvec.New(e.vl)
+	e.Broadcast(Assign{carry, false})
+	for b := 0; b < dst.width; b++ {
+		d, sp := dst.planes[b], src.planes[b]
+		// Search all four changing combinations first (against the
+		// pre-update state), then apply the four updates. Combos
+		// (d,s,c) -> (sum, c_out) that change (d, c):
+		//   0,0,1 -> 1,0    0,1,0 -> 1,0    1,0,1 -> 0,1    1,1,0 -> 0,1
+		t001 := e.Search(Cond{d, false}, Cond{sp, false}, Cond{carry, true})
+		t010 := e.Search(Cond{d, false}, Cond{sp, true}, Cond{carry, false})
+		t101 := e.Search(Cond{d, true}, Cond{sp, false}, Cond{carry, true})
+		t110 := e.Search(Cond{d, true}, Cond{sp, true}, Cond{carry, false})
+		e.Update(t001, Assign{d, true}, Assign{carry, false})
+		e.Update(t010, Assign{d, true}, Assign{carry, false})
+		e.Update(t101, Assign{d, false}, Assign{carry, true})
+		e.Update(t110, Assign{d, false}, Assign{carry, true})
+	}
+	e.Broadcast(Assign{carry, false})
+}
+
+// SubInPlace computes dst -= src element-wise using the full-subtractor
+// truth table (borrow instead of carry); like addition it costs 8n+2 steps.
+func (e *Engine) SubInPlace(dst, src *Array) {
+	e.checkVL(dst)
+	e.checkVL(src)
+	if dst.width != src.width {
+		panic("micro: SubInPlace width mismatch")
+	}
+	borrow := bitvec.New(e.vl)
+	e.Broadcast(Assign{borrow, false})
+	for b := 0; b < dst.width; b++ {
+		d, sp := dst.planes[b], src.planes[b]
+		// diff = d ^ s ^ bin; b_out = (!d & (s | bin)) | (s & bin).
+		// Changing combos (d,s,bin) -> (diff, b_out) with (d,bin) delta:
+		//   0,0,1 -> 1,1    0,1,0 -> 1,1    1,0,1 -> 0,0    1,1,0 -> 0,0
+		t001 := e.Search(Cond{d, false}, Cond{sp, false}, Cond{borrow, true})
+		t010 := e.Search(Cond{d, false}, Cond{sp, true}, Cond{borrow, false})
+		t101 := e.Search(Cond{d, true}, Cond{sp, false}, Cond{borrow, true})
+		t110 := e.Search(Cond{d, true}, Cond{sp, true}, Cond{borrow, false})
+		e.Update(t001, Assign{d, true}, Assign{borrow, true})
+		e.Update(t010, Assign{d, true}, Assign{borrow, true})
+		e.Update(t101, Assign{d, false}, Assign{borrow, false})
+		e.Update(t110, Assign{d, false}, Assign{borrow, false})
+	}
+	e.Broadcast(Assign{borrow, false})
+}
+
+// SearchEqual performs the vector-scalar equality search (vmseq.vx): one
+// search per bit plane ANDed into a running tag accumulator, plus one step
+// to deposit the final mask — Table 1's n+1 steps.
+func (e *Engine) SearchEqual(a *Array, key uint32) *bitvec.Vector {
+	e.checkVL(a)
+	tags := bitvec.NewSet(e.vl)
+	for b := 0; b < a.width; b++ {
+		want := key&(1<<uint(b)) != 0
+		tags.And(e.Search(Cond{a.planes[b], want}))
+	}
+	// Final mask deposit into the destination (one update step).
+	dst := bitvec.New(e.vl)
+	e.Update(tags, Assign{dst, true})
+	return dst
+}
+
+// EqualVV performs element-wise vector-vector equality: one search/update
+// pair cannot compare two stored planes directly, so per bit the engine
+// marks mismatching elements via two searches (d=0&s=1, d=1&s=0) — but an
+// associative machine folds these into one pass per plane using the chain
+// XOR trick, costing n steps, plus 4 fixed steps for accumulator
+// init/invert/deposit — Table 1's n+4.
+func (e *Engine) EqualVV(a, b *Array) *bitvec.Vector {
+	e.checkVL(a)
+	e.checkVL(b)
+	if a.width != b.width {
+		panic("micro: EqualVV width mismatch")
+	}
+	mismatch := bitvec.New(e.vl)
+	e.Broadcast(Assign{mismatch, false})
+	for bit := 0; bit < a.width; bit++ {
+		// One combined pass per plane: tag elements whose bits differ.
+		d := a.planes[bit].Clone().Xor(b.planes[bit])
+		e.stats.Searches++ // one chained search step per plane
+		mismatch.Or(d)
+	}
+	eq := bitvec.New(e.vl)
+	e.Update(mismatch.Clone().Not(), Assign{eq, true})
+	e.stats.Updates += 2 // accumulator invert + copy-out
+	return eq
+}
+
+// LessThanVV performs element-wise unsigned a < b. The associative
+// algorithm scans from the most significant bit maintaining "undecided"
+// tags; each plane needs three steps (two searches against the undecided
+// set, one update), plus six fixed steps — Table 1's 3n+6.
+func (e *Engine) LessThanVV(a, b *Array) *bitvec.Vector {
+	e.checkVL(a)
+	e.checkVL(b)
+	if a.width != b.width {
+		panic("micro: LessThanVV width mismatch")
+	}
+	undecided := bitvec.NewSet(e.vl)
+	result := bitvec.New(e.vl)
+	e.Broadcast(Assign{undecided, true})
+	e.Broadcast(Assign{result, false})
+	for bit := a.width - 1; bit >= 0; bit-- {
+		ap, bp := a.planes[bit], b.planes[bit]
+		// a_bit=0 & b_bit=1 among undecided: a<b decided true.
+		lt := e.Search(Cond{ap, false}, Cond{bp, true})
+		lt.And(undecided)
+		// a_bit=1 & b_bit=0 among undecided: a<b decided false.
+		gt := e.Search(Cond{ap, true}, Cond{bp, false})
+		gt.And(undecided)
+		e.Update(lt, Assign{result, true})
+		undecided.AndNot(lt)
+		undecided.AndNot(gt)
+	}
+	// Four trailing steps: clear scratch columns and deposit the mask.
+	e.stats.Updates += 3
+	e.stats.Broadcasts++
+	return result
+}
+
+// ReduceMax returns the maximum element value among those selected by
+// mask, using the classic bit-serial candidate narrowing: starting from
+// the most significant bit, search whether any candidate has the bit set;
+// if so, restrict the candidates to those elements. One search per bit
+// plus two extraction steps (Table 1 extension: n+2). ok is false when the
+// mask selects nothing.
+func (e *Engine) ReduceMax(a *Array, mask *bitvec.Vector) (uint32, bool) {
+	e.checkVL(a)
+	candidates := mask.Clone()
+	if candidates.None() {
+		return 0, false
+	}
+	var val uint32
+	for b := a.width - 1; b >= 0; b-- {
+		ones := e.Search(Cond{a.planes[b], true})
+		ones.And(candidates)
+		if ones.Any() {
+			candidates = ones
+			val |= 1 << uint(b)
+		}
+	}
+	e.stats.Updates += 2 // extract the surviving value
+	return val, true
+}
+
+// ReduceMin is the dual of ReduceMax: it narrows candidates toward zero
+// bits (preferring elements whose current bit is clear).
+func (e *Engine) ReduceMin(a *Array, mask *bitvec.Vector) (uint32, bool) {
+	e.checkVL(a)
+	candidates := mask.Clone()
+	if candidates.None() {
+		return 0, false
+	}
+	var val uint32
+	for b := a.width - 1; b >= 0; b-- {
+		zeros := e.Search(Cond{a.planes[b], false})
+		zeros.And(candidates)
+		if zeros.Any() {
+			candidates = zeros
+		} else {
+			val |= 1 << uint(b)
+		}
+	}
+	e.stats.Updates += 2
+	return val, true
+}
+
+// Xor computes dst = a ^ b bit-parallel: all planes are processed in the
+// same pass (the CSB's array geometry lets logical associative algorithms
+// run bit-parallel, Table 1), at a fixed cost of 4 steps.
+func (e *Engine) Xor(dst, a, b *Array) {
+	e.logical(dst, a, b, func(x, y *bitvec.Vector) *bitvec.Vector {
+		return x.Clone().Xor(y)
+	}, 4)
+}
+
+// And computes dst = a & b bit-parallel at a fixed cost of 3 steps.
+func (e *Engine) And(dst, a, b *Array) {
+	e.logical(dst, a, b, func(x, y *bitvec.Vector) *bitvec.Vector {
+		return x.Clone().And(y)
+	}, 3)
+}
+
+// Or computes dst = a | b bit-parallel at a fixed cost of 3 steps.
+func (e *Engine) Or(dst, a, b *Array) {
+	e.logical(dst, a, b, func(x, y *bitvec.Vector) *bitvec.Vector {
+		return x.Clone().Or(y)
+	}, 3)
+}
+
+func (e *Engine) logical(dst, a, b *Array, f func(x, y *bitvec.Vector) *bitvec.Vector, steps int64) {
+	e.checkVL(dst)
+	e.checkVL(a)
+	e.checkVL(b)
+	if dst.width != a.width || a.width != b.width {
+		panic("micro: logical width mismatch")
+	}
+	for bit := 0; bit < a.width; bit++ {
+		dst.planes[bit].CopyFrom(f(a.planes[bit], b.planes[bit]))
+	}
+	e.stats.Searches += steps - 1
+	e.stats.Updates++
+}

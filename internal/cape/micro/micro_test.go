@@ -1,0 +1,461 @@
+package micro
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"castle/internal/bitvec"
+	"castle/internal/isa"
+)
+
+func loadArray(vl, width int, words []uint32) *Array {
+	a := NewArray(vl, width)
+	a.Load(words)
+	return a
+}
+
+func randWords(rng *rand.Rand, vl, width int) []uint32 {
+	mask := uint32(1)<<uint(width) - 1
+	if width == 32 {
+		mask = ^uint32(0)
+	}
+	w := make([]uint32, vl)
+	for i := range w {
+		w[i] = rng.Uint32() & mask
+	}
+	return w
+}
+
+func TestArrayRoundTrip(t *testing.T) {
+	words := []uint32{0, 1, 2, 3, 0xFF, 0xFFFFFFFF}
+	a := loadArray(len(words), 32, words)
+	got := a.Words()
+	for i := range words {
+		if got[i] != words[i] {
+			t.Fatalf("element %d = %d, want %d", i, got[i], words[i])
+		}
+	}
+	if a.VL() != len(words) || a.Width() != 32 {
+		t.Fatal("VL/Width wrong")
+	}
+}
+
+func TestArrayTruncatesToWidth(t *testing.T) {
+	a := loadArray(2, 4, []uint32{0x1F, 0x10})
+	got := a.Words()
+	if got[0] != 0xF || got[1] != 0 {
+		t.Fatalf("got %v, want [15 0]", got)
+	}
+}
+
+func TestNewArrayValidation(t *testing.T) {
+	for _, w := range []int{0, 33, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewArray width %d should panic", w)
+				}
+			}()
+			NewArray(4, w)
+		}()
+	}
+}
+
+// TestIncrementFigure2 replays the worked example of Figure 2: a vector of
+// three two-bit elements is incremented (with wraparound).
+func TestIncrementFigure2(t *testing.T) {
+	e := NewEngine(3)
+	a := loadArray(3, 2, []uint32{0, 1, 3})
+	e.Increment(a)
+	got := a.Words()
+	want := []uint32{1, 2, 0} // 3 wraps to 0 in two bits
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("increment: got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestIncrement32BitCost checks the paper's claim (§2.1) that "even a
+// relatively simple increment instruction on a 32-bit value requires over
+// 100 such operations".
+func TestIncrement32BitCost(t *testing.T) {
+	e := NewEngine(4)
+	// Use an element that carries through all 32 bits to defeat the
+	// early-out: 0xFFFFFFFF.
+	a := loadArray(4, 32, []uint32{0xFFFFFFFF, 0, 1, 7})
+	e.Increment(a)
+	if steps := e.Stats().Steps(); steps <= 100 {
+		t.Fatalf("32-bit increment took %d steps, paper says over 100", steps)
+	}
+	got := a.Words()
+	want := []uint32{0, 1, 2, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("increment: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAddMatchesTable1StepCount(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		e := NewEngine(8)
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := loadArray(8, n, randWords(rng, 8, n))
+		b := loadArray(8, n, randWords(rng, 8, n))
+		e.AddInPlace(a, b)
+		want := isa.AddSteps(n)
+		if got := e.Stats().Steps(); got != want {
+			t.Errorf("n=%d: add executed %d steps, Table 1 says %d", n, got, want)
+		}
+	}
+}
+
+func TestSubMatchesTable1StepCount(t *testing.T) {
+	e := NewEngine(8)
+	rng := rand.New(rand.NewSource(1))
+	a := loadArray(8, 32, randWords(rng, 8, 32))
+	b := loadArray(8, 32, randWords(rng, 8, 32))
+	e.SubInPlace(a, b)
+	if got, want := e.Stats().Steps(), isa.AddSteps(32); got != want {
+		t.Errorf("sub executed %d steps, Table 1 says %d", got, want)
+	}
+}
+
+func TestSearchEqualMatchesTable1StepCount(t *testing.T) {
+	for _, n := range []int{4, 16, 32} {
+		e := NewEngine(16)
+		a := NewArray(16, n)
+		e.SearchEqual(a, 0)
+		if got, want := e.Stats().Steps(), isa.SearchSteps(n); got != want {
+			t.Errorf("n=%d: search executed %d steps, Table 1 says %d", n, got, want)
+		}
+	}
+}
+
+func TestEqualVVMatchesTable1StepCount(t *testing.T) {
+	e := NewEngine(8)
+	a, b := NewArray(8, 32), NewArray(8, 32)
+	e.EqualVV(a, b)
+	if got, want := e.Stats().Steps(), isa.EqVVSteps(32); got != want {
+		t.Errorf("vv equality executed %d steps, Table 1 says %d", got, want)
+	}
+}
+
+func TestLessThanMatchesTable1StepCount(t *testing.T) {
+	e := NewEngine(8)
+	a, b := NewArray(8, 32), NewArray(8, 32)
+	e.LessThanVV(a, b)
+	if got, want := e.Stats().Steps(), isa.IneqVVSteps(32); got != want {
+		t.Errorf("vv inequality executed %d steps, Table 1 says %d", got, want)
+	}
+}
+
+func TestLogicalStepCounts(t *testing.T) {
+	e := NewEngine(4)
+	d, a, b := NewArray(4, 32), NewArray(4, 32), NewArray(4, 32)
+	e.Xor(d, a, b)
+	if got := e.Stats().Steps(); got != isa.XorSteps {
+		t.Errorf("xor executed %d steps, Table 1 says %d", got, isa.XorSteps)
+	}
+	e.ResetStats()
+	e.And(d, a, b)
+	if got := e.Stats().Steps(); got != int64(isa.AndSteps) {
+		t.Errorf("and executed %d steps, Table 1 says %d", got, isa.AndSteps)
+	}
+	e.ResetStats()
+	e.Or(d, a, b)
+	if got := e.Stats().Steps(); got != int64(isa.OrSteps) {
+		t.Errorf("or executed %d steps, Table 1 says %d", got, isa.OrSteps)
+	}
+}
+
+// Property: bit-serial AddInPlace agrees with native uint32 addition.
+func TestQuickAddFunctional(t *testing.T) {
+	f := func(seed int64, vlRaw uint8) bool {
+		vl := int(vlRaw%64) + 1
+		rng := rand.New(rand.NewSource(seed))
+		aw := randWords(rng, vl, 32)
+		bw := randWords(rng, vl, 32)
+		e := NewEngine(vl)
+		a := loadArray(vl, 32, aw)
+		b := loadArray(vl, 32, bw)
+		e.AddInPlace(a, b)
+		got := a.Words()
+		for i := range aw {
+			if got[i] != aw[i]+bw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bit-serial SubInPlace agrees with native uint32 subtraction.
+func TestQuickSubFunctional(t *testing.T) {
+	f := func(seed int64, vlRaw uint8) bool {
+		vl := int(vlRaw%64) + 1
+		rng := rand.New(rand.NewSource(seed))
+		aw := randWords(rng, vl, 32)
+		bw := randWords(rng, vl, 32)
+		e := NewEngine(vl)
+		a := loadArray(vl, 32, aw)
+		b := loadArray(vl, 32, bw)
+		e.SubInPlace(a, b)
+		got := a.Words()
+		for i := range aw {
+			if got[i] != aw[i]-bw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: increment agrees with native +1 at several widths.
+func TestQuickIncrementFunctional(t *testing.T) {
+	f := func(seed int64, vlRaw, widthRaw uint8) bool {
+		vl := int(vlRaw%64) + 1
+		width := int(widthRaw%32) + 1
+		mask := uint32(1)<<uint(width) - 1
+		if width == 32 {
+			mask = ^uint32(0)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		w := randWords(rng, vl, width)
+		e := NewEngine(vl)
+		a := loadArray(vl, width, w)
+		e.Increment(a)
+		got := a.Words()
+		for i := range w {
+			if got[i] != (w[i]+1)&mask {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SearchEqual tags exactly the matching elements.
+func TestQuickSearchEqualFunctional(t *testing.T) {
+	f := func(seed int64, vlRaw uint8, key uint32) bool {
+		vl := int(vlRaw%128) + 1
+		rng := rand.New(rand.NewSource(seed))
+		// Narrow value range so matches actually occur.
+		w := make([]uint32, vl)
+		for i := range w {
+			w[i] = uint32(rng.Intn(8))
+		}
+		key %= 8
+		e := NewEngine(vl)
+		a := loadArray(vl, 32, w)
+		mask := e.SearchEqual(a, key)
+		for i := range w {
+			if mask.Get(i) != (w[i] == key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EqualVV and LessThanVV agree with native comparisons.
+func TestQuickComparesFunctional(t *testing.T) {
+	f := func(seed int64, vlRaw uint8) bool {
+		vl := int(vlRaw%64) + 1
+		rng := rand.New(rand.NewSource(seed))
+		// Mix of equal and unequal elements.
+		aw := randWords(rng, vl, 8)
+		bw := make([]uint32, vl)
+		for i := range bw {
+			if rng.Intn(2) == 0 {
+				bw[i] = aw[i]
+			} else {
+				bw[i] = uint32(rng.Intn(256))
+			}
+		}
+		e := NewEngine(vl)
+		a := loadArray(vl, 32, aw)
+		b := loadArray(vl, 32, bw)
+		eq := e.EqualVV(a, b)
+		lt := e.LessThanVV(a, b)
+		for i := range aw {
+			if eq.Get(i) != (aw[i] == bw[i]) {
+				return false
+			}
+			if lt.Get(i) != (aw[i] < bw[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: logical ops agree with native operators.
+func TestQuickLogicalFunctional(t *testing.T) {
+	f := func(seed int64, vlRaw uint8) bool {
+		vl := int(vlRaw%64) + 1
+		rng := rand.New(rand.NewSource(seed))
+		aw := randWords(rng, vl, 32)
+		bw := randWords(rng, vl, 32)
+		e := NewEngine(vl)
+		a := loadArray(vl, 32, aw)
+		b := loadArray(vl, 32, bw)
+		d := NewArray(vl, 32)
+		e.Xor(d, a, b)
+		xw := d.Words()
+		e.And(d, a, b)
+		nw := d.Words()
+		e.Or(d, a, b)
+		ow := d.Words()
+		for i := range aw {
+			if xw[i] != aw[i]^bw[i] || nw[i] != aw[i]&bw[i] || ow[i] != aw[i]|bw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineVLMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on VL mismatch")
+		}
+	}()
+	NewEngine(8).Increment(NewArray(4, 8))
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on width mismatch")
+		}
+	}()
+	e := NewEngine(4)
+	e.AddInPlace(NewArray(4, 8), NewArray(4, 16))
+}
+
+func BenchmarkBitSerialAdd32(b *testing.B) {
+	const vl = 32768
+	rng := rand.New(rand.NewSource(42))
+	aw := randWords(rng, vl, 32)
+	bw := randWords(rng, vl, 32)
+	e := NewEngine(vl)
+	x := loadArray(vl, 32, aw)
+	y := loadArray(vl, 32, bw)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.AddInPlace(x, y)
+	}
+}
+
+func BenchmarkBitSerialSearch32(b *testing.B) {
+	const vl = 32768
+	rng := rand.New(rand.NewSource(42))
+	e := NewEngine(vl)
+	x := loadArray(vl, 32, randWords(rng, vl, 32))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.SearchEqual(x, uint32(i))
+	}
+}
+
+func TestReduceMaxMinFunctionalAndCost(t *testing.T) {
+	e := NewEngine(8)
+	a := loadArray(8, 32, []uint32{5, 99, 3, 42, 7, 99, 1, 0})
+	full := bitvec.NewSet(8)
+	v, ok := e.ReduceMax(a, full)
+	if !ok || v != 99 {
+		t.Fatalf("ReduceMax = %d,%v, want 99", v, ok)
+	}
+	// Cost: one search per bit + 2 extraction steps = n+2.
+	if got, want := e.Stats().Steps(), isa.RedMinMaxSteps(32); got != want {
+		t.Fatalf("ReduceMax executed %d steps, want %d", got, want)
+	}
+	e.ResetStats()
+	v, ok = e.ReduceMin(a, full)
+	if !ok || v != 0 {
+		t.Fatalf("ReduceMin = %d,%v, want 0", v, ok)
+	}
+	if got, want := e.Stats().Steps(), isa.RedMinMaxSteps(32); got != want {
+		t.Fatalf("ReduceMin executed %d steps, want %d", got, want)
+	}
+
+	// Masked: only odd positions participate.
+	mask := bitvec.FromIndices(8, []int{1, 3, 5, 7})
+	if v, _ := e.ReduceMax(a, mask); v != 99 {
+		t.Fatalf("masked max = %d", v)
+	}
+	if v, _ := e.ReduceMin(a, mask); v != 0 {
+		t.Fatalf("masked min = %d", v)
+	}
+	// Empty mask.
+	if _, ok := e.ReduceMax(a, bitvec.New(8)); ok {
+		t.Fatal("empty-mask max should report !ok")
+	}
+	if _, ok := e.ReduceMin(a, bitvec.New(8)); ok {
+		t.Fatal("empty-mask min should report !ok")
+	}
+}
+
+// Property: bit-serial reduce max/min agree with plain scans.
+func TestQuickReduceMaxMin(t *testing.T) {
+	f := func(seed int64, vlRaw uint8) bool {
+		vl := int(vlRaw%64) + 1
+		rng := rand.New(rand.NewSource(seed))
+		w := randWords(rng, vl, 32)
+		mask := bitvec.New(vl)
+		for i := 0; i < vl; i++ {
+			if rng.Intn(2) == 0 {
+				mask.Set(i)
+			}
+		}
+		e := NewEngine(vl)
+		a := loadArray(vl, 32, w)
+		gotMax, okMax := e.ReduceMax(a, mask)
+		gotMin, okMin := e.ReduceMin(a, mask)
+		var wantMax, wantMin uint32
+		found := false
+		for i := mask.First(); i != -1; i = mask.NextAfter(i) {
+			if !found {
+				wantMax, wantMin, found = w[i], w[i], true
+			} else {
+				if w[i] > wantMax {
+					wantMax = w[i]
+				}
+				if w[i] < wantMin {
+					wantMin = w[i]
+				}
+			}
+		}
+		if !found {
+			return !okMax && !okMin
+		}
+		return okMax && okMin && gotMax == wantMax && gotMin == wantMin
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package cape
+
+import (
+	"fmt"
+	"io"
+
+	"castle/internal/isa"
+)
+
+// TraceEntry records one issued vector instruction (or, for bulk-billed
+// fast paths, a run of identical instructions).
+type TraceEntry struct {
+	Op     isa.Op
+	Steps  int64 // CSB steps per instruction
+	Count  int64 // identical instructions represented by this entry
+	VL     int
+	Layout Layout
+}
+
+func (e TraceEntry) String() string {
+	if e.Count > 1 {
+		return fmt.Sprintf("%-12v x%-8d %4d steps  vl=%-6d %v", e.Op, e.Count, e.Steps, e.VL, e.Layout)
+	}
+	return fmt.Sprintf("%-12v           %4d steps  vl=%-6d %v", e.Op, e.Steps, e.VL, e.Layout)
+}
+
+// Tracer captures the engine's instruction stream for debugging and for
+// inspecting the microcode sequences an operator emits. It keeps at most
+// max entries; further instructions are counted but not stored.
+type Tracer struct {
+	max     int
+	entries []TraceEntry
+	dropped int64
+}
+
+// NewTracer returns a Tracer storing up to max entries (<=0 means 4096).
+func NewTracer(max int) *Tracer {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Tracer{max: max}
+}
+
+func (t *Tracer) record(e TraceEntry) {
+	// Coalesce runs of identical instructions (e.g. the per-key searches
+	// of a join probe loop).
+	if n := len(t.entries); n > 0 {
+		last := &t.entries[n-1]
+		if last.Op == e.Op && last.Steps == e.Steps && last.VL == e.VL && last.Layout == e.Layout {
+			last.Count += e.Count
+			return
+		}
+	}
+	if len(t.entries) >= t.max {
+		t.dropped += e.Count
+		return
+	}
+	t.entries = append(t.entries, e)
+}
+
+// Entries returns the captured entries.
+func (t *Tracer) Entries() []TraceEntry { return t.entries }
+
+// Dropped returns how many instructions arrived after the buffer filled.
+func (t *Tracer) Dropped() int64 { return t.dropped }
+
+// Instructions returns the total instruction count captured (including
+// coalesced runs, excluding dropped).
+func (t *Tracer) Instructions() int64 {
+	var n int64
+	for _, e := range t.entries {
+		n += e.Count
+	}
+	return n
+}
+
+// Reset clears the trace.
+func (t *Tracer) Reset() {
+	t.entries = t.entries[:0]
+	t.dropped = 0
+}
+
+// Dump writes the trace in program order.
+func (t *Tracer) Dump(w io.Writer) {
+	for _, e := range t.entries {
+		fmt.Fprintln(w, e)
+	}
+	if t.dropped > 0 {
+		fmt.Fprintf(w, "... %d further instructions dropped (buffer full)\n", t.dropped)
+	}
+}
+
+// AttachTracer starts recording the engine's instruction stream into tr.
+// Pass nil to stop tracing.
+func (e *Engine) AttachTracer(tr *Tracer) { e.tracer = tr }
+
+// trace is called from the charge paths.
+func (e *Engine) trace(op isa.Op, steps, count int64) {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.record(TraceEntry{Op: op, Steps: steps, Count: count, VL: e.vl, Layout: e.layout})
+}

@@ -1,0 +1,208 @@
+package cape
+
+// vcu.go models the Vector Control Unit's microcode sequencer: the
+// component that expands each vector instruction into the search/update
+// microoperation sequence the CSB executes (§2.2: "the sequence of
+// operations that implement the increment instruction needs to be 'stored'
+// somewhere — e.g., the micro-memory of a sequencer"; §5.1: ABA
+// "configures CAPE's microcode sequencer to use the new discovered
+// bitwidth").
+//
+// Microprogram returns the abstract step sequence for an opcode at a given
+// operand width; its length equals the Table 1 cost model by construction,
+// which TestMicroprogramLengthsMatchCostModel asserts against isa.Steps.
+
+import (
+	"fmt"
+
+	"castle/internal/isa"
+)
+
+// MicroOpKind classifies one sequencer step.
+type MicroOpKind int
+
+// Sequencer step kinds.
+const (
+	// MicroSearch is an element-parallel compare producing tag bits.
+	MicroSearch MicroOpKind = iota
+	// MicroUpdate is a predicated bulk write of tagged elements.
+	MicroUpdate
+	// MicroBroadcast is an unconditioned bulk write (e.g. carry init).
+	MicroBroadcast
+	// MicroTagMove transfers tag bits through the chain logic (mask
+	// deposits, CAM-mode result moves).
+	MicroTagMove
+	// MicroReduce is one pass of the hardware reduction tree.
+	MicroReduce
+	// MicroControl is a CSR/configuration step (vsetvl, vsetdl).
+	MicroControl
+)
+
+func (k MicroOpKind) String() string {
+	switch k {
+	case MicroSearch:
+		return "search"
+	case MicroUpdate:
+		return "update"
+	case MicroBroadcast:
+		return "broadcast"
+	case MicroTagMove:
+		return "tagmove"
+	case MicroReduce:
+		return "reduce"
+	case MicroControl:
+		return "control"
+	}
+	return fmt.Sprintf("microop(%d)", int(k))
+}
+
+// MicroOp is one sequencer step. Bit is the operand bit position the step
+// addresses (-1 for whole-operand steps).
+type MicroOp struct {
+	Kind MicroOpKind
+	Bit  int
+	Note string
+}
+
+// Microprogram expands op at the given operand width into its microop
+// sequence in the default bitsliced (GP-mode) layout. Ops whose microcode
+// is not bit-serial (loads, stores) return nil — they are handled by the
+// VMU, not the sequencer.
+func Microprogram(op isa.Op, width int) []MicroOp {
+	n := width
+	switch op {
+	case isa.OpVAddVV, isa.OpVSubVV:
+		// Full adder/subtractor: 4 search/update pairs per bit, plus
+		// carry init and carry clear (8n+2).
+		prog := []MicroOp{{MicroBroadcast, -1, "carry <- 0"}}
+		for b := 0; b < n; b++ {
+			for pair := 0; pair < 4; pair++ {
+				prog = append(prog,
+					MicroOp{MicroSearch, b, "truth-table row"},
+					MicroOp{MicroUpdate, b, "write sum+carry"})
+			}
+		}
+		return append(prog, MicroOp{MicroBroadcast, -1, "carry clear"})
+	case isa.OpVMulVV:
+		// Shift-add partial products: 4 steps per bit pair plus a final
+		// pass per bit (4n^2 + 4n).
+		var prog []MicroOp
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				prog = append(prog,
+					MicroOp{MicroSearch, j, "partial product"},
+					MicroOp{MicroUpdate, j, "accumulate"},
+					MicroOp{MicroSearch, j, "carry"},
+					MicroOp{MicroUpdate, j, "carry"})
+			}
+			prog = append(prog,
+				MicroOp{MicroSearch, i, "shift"},
+				MicroOp{MicroUpdate, i, "shift"},
+				MicroOp{MicroSearch, i, "sign"},
+				MicroOp{MicroUpdate, i, "sign"})
+		}
+		return prog
+	case isa.OpVRedSum:
+		prog := make([]MicroOp, 0, n)
+		for b := 0; b < n; b++ {
+			prog = append(prog, MicroOp{MicroReduce, b, "tree pass"})
+		}
+		return prog
+	case isa.OpVRedMax, isa.OpVRedMin:
+		prog := make([]MicroOp, 0, n+2)
+		for b := n - 1; b >= 0; b-- {
+			prog = append(prog, MicroOp{MicroSearch, b, "candidate narrowing"})
+		}
+		return append(prog,
+			MicroOp{MicroTagMove, -1, "survivor tags"},
+			MicroOp{MicroTagMove, -1, "extract value"})
+	case isa.OpVAndVV, isa.OpVOrVV:
+		return []MicroOp{
+			{MicroSearch, -1, "operand a (bit-parallel)"},
+			{MicroSearch, -1, "operand b (bit-parallel)"},
+			{MicroUpdate, -1, "write result"},
+		}
+	case isa.OpVXorVV, isa.OpVNotV:
+		return []MicroOp{
+			{MicroSearch, -1, "operand a (bit-parallel)"},
+			{MicroSearch, -1, "operand b (bit-parallel)"},
+			{MicroSearch, -1, "difference tags"},
+			{MicroUpdate, -1, "write result"},
+		}
+	case isa.OpVMAnd, isa.OpVMOr, isa.OpVMXor:
+		return []MicroOp{{MicroUpdate, -1, "mask combine"}}
+	case isa.OpVMSeqVX:
+		// GP-mode search: bit-serial tag accumulation plus one deposit
+		// (n+1; CAM mode collapses this to 3 — see MicroprogramCAMSearch).
+		prog := make([]MicroOp, 0, n+1)
+		for b := 0; b < n; b++ {
+			prog = append(prog, MicroOp{MicroSearch, b, "key bit compare"})
+		}
+		return append(prog, MicroOp{MicroTagMove, -1, "deposit mask"})
+	case isa.OpVMSeqVV:
+		prog := make([]MicroOp, 0, n+4)
+		prog = append(prog, MicroOp{MicroBroadcast, -1, "mismatch clear"})
+		for b := 0; b < n; b++ {
+			prog = append(prog, MicroOp{MicroSearch, b, "plane compare"})
+		}
+		return append(prog,
+			MicroOp{MicroTagMove, -1, "invert"},
+			MicroOp{MicroTagMove, -1, "accumulate"},
+			MicroOp{MicroUpdate, -1, "deposit mask"})
+	case isa.OpVMSltVV, isa.OpVMSltVX, isa.OpVMSleVX, isa.OpVMSgtVX, isa.OpVMSgeVX:
+		// Magnitude scan: two searches + one update per bit, plus six
+		// fixed steps (3n+6).
+		prog := []MicroOp{
+			{MicroBroadcast, -1, "undecided <- 1"},
+			{MicroBroadcast, -1, "result <- 0"},
+		}
+		for b := n - 1; b >= 0; b-- {
+			prog = append(prog,
+				MicroOp{MicroSearch, b, "a<b at bit"},
+				MicroOp{MicroSearch, b, "a>b at bit"},
+				MicroOp{MicroUpdate, b, "decide"})
+		}
+		return append(prog,
+			MicroOp{MicroUpdate, -1, "clear scratch"},
+			MicroOp{MicroUpdate, -1, "clear scratch"},
+			MicroOp{MicroUpdate, -1, "deposit mask"},
+			MicroOp{MicroBroadcast, -1, "release"})
+	case isa.OpVMvVX, isa.OpVMergeVX:
+		return []MicroOp{
+			{MicroSearch, -1, "select lanes"},
+			{MicroUpdate, -1, "bulk write"},
+		}
+	case isa.OpVMFirst, isa.OpVMPopc:
+		return []MicroOp{
+			{MicroReduce, -1, "encoder tree"},
+			{MicroTagMove, -1, "result out"},
+		}
+	case isa.OpVExtract:
+		return []MicroOp{
+			{MicroSearch, -1, "row select"},
+			{MicroTagMove, -1, "bitline read"},
+			{MicroTagMove, -1, "bitline read"},
+			{MicroTagMove, -1, "result out"},
+		}
+	case isa.OpVSetVL, isa.OpVSetDL:
+		return []MicroOp{{MicroControl, -1, "CSR write"}}
+	case isa.OpVRelayout:
+		return []MicroOp{
+			{MicroSearch, -1, "echo mask to tags"},
+			{MicroUpdate, -1, "deposit in new layout"},
+		}
+	default:
+		return nil
+	}
+}
+
+// MicroprogramCAMSearch is the CAM-mode search sequence (§5.2): one search
+// in the contiguous value subarray, one copy to the chain register, one
+// transfer into the mask subarray — 3 steps at any width.
+func MicroprogramCAMSearch() []MicroOp {
+	return []MicroOp{
+		{MicroSearch, -1, "contiguous value compare"},
+		{MicroTagMove, -1, "tags -> chain register"},
+		{MicroTagMove, -1, "chain -> mask subarray"},
+	}
+}

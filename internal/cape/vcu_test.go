@@ -1,0 +1,127 @@
+package cape
+
+import (
+	"testing"
+
+	"castle/internal/isa"
+)
+
+// TestMicroprogramLengthsMatchCostModel is the sequencer's contract: the
+// expanded microop sequence of every opcode has exactly the Table 1 step
+// count at every ABA width.
+func TestMicroprogramLengthsMatchCostModel(t *testing.T) {
+	ops := []isa.Op{
+		isa.OpVAddVV, isa.OpVSubVV, isa.OpVMulVV, isa.OpVRedSum,
+		isa.OpVRedMax, isa.OpVRedMin,
+		isa.OpVAndVV, isa.OpVOrVV, isa.OpVXorVV, isa.OpVNotV,
+		isa.OpVMAnd, isa.OpVMOr, isa.OpVMXor,
+		isa.OpVMSeqVX, isa.OpVMSeqVV, isa.OpVMSltVV,
+		isa.OpVMSltVX, isa.OpVMSleVX, isa.OpVMSgtVX, isa.OpVMSgeVX,
+		isa.OpVMvVX, isa.OpVMergeVX, isa.OpVExtract,
+		isa.OpVMFirst, isa.OpVMPopc,
+		isa.OpVSetVL, isa.OpVSetDL, isa.OpVRelayout,
+	}
+	for _, op := range ops {
+		for _, w := range []int{4, 8, 16, 32} {
+			prog := Microprogram(op, w)
+			if got, want := int64(len(prog)), isa.Steps(op, w); got != want {
+				t.Errorf("%v at width %d: microprogram has %d steps, cost model says %d",
+					op, w, got, want)
+			}
+		}
+	}
+}
+
+func TestMicroprogramCAMSearch(t *testing.T) {
+	prog := MicroprogramCAMSearch()
+	if int64(len(prog)) != isa.SearchStepsCAM {
+		t.Fatalf("CAM search microprogram has %d steps, want %d", len(prog), isa.SearchStepsCAM)
+	}
+	if prog[0].Kind != MicroSearch {
+		t.Fatal("CAM search must begin with a search step")
+	}
+}
+
+func TestMicroprogramLoadsHandledByVMU(t *testing.T) {
+	if Microprogram(isa.OpVLoad, 32) != nil || Microprogram(isa.OpVStore, 32) != nil {
+		t.Fatal("memory instructions have no sequencer microcode (VMU path)")
+	}
+	if Microprogram(isa.OpVMKS, 32) != nil {
+		t.Fatal("vmks is sequenced by the VMU key buffer, not the VCU table")
+	}
+}
+
+func TestMicroprogramStructure(t *testing.T) {
+	// The add microprogram alternates search/update inside each bit.
+	prog := Microprogram(isa.OpVAddVV, 4)
+	if prog[0].Kind != MicroBroadcast || prog[len(prog)-1].Kind != MicroBroadcast {
+		t.Fatal("add must be bracketed by carry broadcasts")
+	}
+	searches, updates := 0, 0
+	for _, m := range prog[1 : len(prog)-1] {
+		switch m.Kind {
+		case MicroSearch:
+			searches++
+		case MicroUpdate:
+			updates++
+		default:
+			t.Fatalf("unexpected %v inside add body", m.Kind)
+		}
+	}
+	if searches != updates || searches != 4*4 {
+		t.Fatalf("add body: %d searches / %d updates, want 16/16", searches, updates)
+	}
+	// GP search: n key-bit compares then one deposit.
+	sp := Microprogram(isa.OpVMSeqVX, 32)
+	if sp[len(sp)-1].Kind != MicroTagMove {
+		t.Fatal("search must end with a tag deposit")
+	}
+}
+
+func TestMicroOpKindStrings(t *testing.T) {
+	for k := MicroSearch; k <= MicroControl; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if MicroOpKind(99).String() == "" {
+		t.Error("out-of-range kind should render")
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	g := GeometryFor(DefaultConfig())
+	// MAXVL 32768 at 32 elements per chain = 1024 chains of 32 subarrays.
+	if g.Chains != 1024 {
+		t.Fatalf("chains = %d, want 1024", g.Chains)
+	}
+	if g.Subarrays() != 32768 {
+		t.Fatalf("subarrays = %d, want 32768 ('tens of thousands', §2.2)", g.Subarrays())
+	}
+	// Geometry capacity equals the configured CSB capacity (4 MB).
+	if g.CapacityBytes() != DefaultConfig().CSBBytes() {
+		t.Fatalf("geometry capacity %d != config capacity %d",
+			g.CapacityBytes(), DefaultConfig().CSBBytes())
+	}
+	if g.CAMValueSubarrays() != 31 {
+		t.Fatalf("CAM value subarrays = %d, want 31 (one reserved for masks)", g.CAMValueSubarrays())
+	}
+	if g.CAMValuesPerChain() != 31*32 {
+		t.Fatalf("CAM values per chain = %d", g.CAMValuesPerChain())
+	}
+	if g.RenameCAMBytes() != 64 {
+		t.Fatalf("rename CAM = %d bytes, paper says 64", g.RenameCAMBytes())
+	}
+	if g.String() == "" {
+		t.Fatal("empty geometry string")
+	}
+}
+
+func TestGeometryScalesWithMAXVL(t *testing.T) {
+	small := DefaultConfig()
+	small.MAXVL = 4096
+	g := GeometryFor(small)
+	if g.Chains != 128 {
+		t.Fatalf("chains = %d, want 128", g.Chains)
+	}
+}

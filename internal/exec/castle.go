@@ -1,0 +1,834 @@
+package exec
+
+import (
+	"fmt"
+
+	"castle/internal/bitvec"
+	"castle/internal/cape"
+	"castle/internal/isa"
+	"castle/internal/plan"
+	"castle/internal/stats"
+	"castle/internal/storage"
+)
+
+// CastleOptions tune the CAPE executor.
+type CastleOptions struct {
+	// Fusion enables operator fusion (§7.4): consecutive operators process
+	// a CSB-resident partition back to back instead of materializing masks
+	// through main memory between operator sweeps.
+	Fusion bool
+	// MKSMinKeys is the minimum probe-key batch size for which vmks is
+	// emitted; smaller batches use vmseq.vx (§6.2: sub-cacheline batches
+	// waste memory bandwidth). Zero selects the cacheline-derived default.
+	MKSMinKeys int
+	// NoBulkAggFastPath forces the literal per-group Algorithm 2 loop even
+	// for single-column group-bys. The fast path computes identical
+	// results and bills identical cycles; this switch exists so tests can
+	// assert that equivalence.
+	NoBulkAggFastPath bool
+}
+
+// DefaultCastleOptions returns the paper's configuration.
+func DefaultCastleOptions() CastleOptions {
+	return CastleOptions{Fusion: true}
+}
+
+// Castle executes physical plans on a CAPE core.
+type Castle struct {
+	eng  *cape.Engine
+	cat  *stats.Catalog
+	opts CastleOptions
+
+	// perJoin accumulates cycles attributed to each join edge of the last
+	// Run (keyed by dimension name) — the §7.2 per-join analysis.
+	perJoin map[string]int64
+}
+
+// NewCastle wraps a CAPE engine. The statistics catalog supplies column
+// bitwidths to ABA (§5.1); pass nil to force embedded bitwidth discovery.
+func NewCastle(eng *cape.Engine, cat *stats.Catalog, opts CastleOptions) *Castle {
+	return &Castle{eng: eng, cat: cat, opts: opts}
+}
+
+// Engine returns the underlying CAPE engine (for cycle/traffic inspection).
+func (c *Castle) Engine() *cape.Engine { return c.eng }
+
+// PerJoinCycles returns the cycles attributed to each join edge of the
+// last Run, keyed by dimension name (§7.2's per-join analysis; join-edge
+// work only — selections, aggregation and dimension prep are excluded).
+func (c *Castle) PerJoinCycles() map[string]int64 { return c.perJoin }
+
+// dimSide is a filtered dimension prepared for probing.
+type dimSide struct {
+	edge plan.JoinEdge
+	// keys are the qualifying dimension keys.
+	keys []uint32
+	// attrs[i] are the attribute tuples aligned with keys (one slice per
+	// NeedAttrs entry).
+	attrs [][]uint32
+	// groups batch keys by attribute tuple so a whole group can probe with
+	// one vmks and materialize with one vmerge per attribute.
+	groups []attrGroup
+	// totalRows is the dimension's unfiltered cardinality.
+	totalRows int
+}
+
+type attrGroup struct {
+	attrVals []uint32
+	keys     []uint32
+}
+
+// Run executes a physical plan and returns the result relation. Cycle and
+// traffic accounting accumulates on the engine; callers snapshot
+// eng.Stats() around Run.
+func (c *Castle) Run(p *plan.Physical, db *storage.Database) *Result {
+	q := p.Query
+	eng := c.eng
+	cfg := eng.Config()
+	c.perJoin = make(map[string]int64, len(p.Joins))
+
+	camCapable := cfg.EnableADL
+	// Queries whose aggregates need vv arithmetic (SUM(a*b)) run their
+	// aggregation phase in GP mode; everything else stays in one layout.
+	needGPArith := false
+	for _, a := range q.Aggs {
+		if a.Kind == plan.AggSumMul {
+			needGPArith = true
+		}
+	}
+
+	// Phase 0: filter dimensions on CAPE and compact qualifying keys and
+	// attributes to values arrays (Figure 4).
+	if camCapable {
+		eng.SetLayout(cape.CAMMode)
+	}
+	dims := make([]dimSide, len(p.Joins))
+	for i, e := range p.Joins {
+		dims[i] = c.prepareDim(q, e, db)
+	}
+
+	// Fused fact sweep.
+	fact := db.MustTable(q.Fact)
+	factRows := fact.Rows()
+	maxvl := cfg.MAXVL
+
+	acc := newGroupAcc(q.Aggs)
+
+	for base := 0; base < factRows; base += maxvl {
+		vl := factRows - base
+		if vl > maxvl {
+			vl = maxvl
+		}
+		c.runPartition(p, db, dims, base, vl, needGPArith, camCapable, acc)
+		if camCapable {
+			// Next partition returns to CAM mode for selections/joins.
+			eng.SetLayout(cape.CAMMode)
+		}
+	}
+
+	if !c.opts.Fusion {
+		c.chargeFissionOverhead(p, factRows, maxvl)
+	}
+
+	if len(q.GroupBy) == 0 && len(acc.order) == 0 {
+		acc.add(nil, make([]int64, len(q.Aggs)), 0)
+	}
+	return acc.result(q)
+}
+
+// regAlloc hands out CSB vector registers.
+type regAlloc struct {
+	next  int
+	max   int
+	byCol map[string]cape.VReg
+}
+
+func newRegAlloc(n int) *regAlloc {
+	return &regAlloc{max: n, byCol: make(map[string]cape.VReg)}
+}
+
+func (r *regAlloc) fresh() cape.VReg {
+	if r.next >= r.max {
+		panic(fmt.Sprintf("exec: out of CSB vector registers (%d)", r.max))
+	}
+	v := cape.VReg(r.next)
+	r.next++
+	return v
+}
+
+func (r *regAlloc) forCol(name string) (cape.VReg, bool) {
+	if v, ok := r.byCol[name]; ok {
+		return v, true
+	}
+	v := r.fresh()
+	r.byCol[name] = v
+	return v, false
+}
+
+// runPartition executes the fused operator pipeline over one fact
+// partition: selections -> joins (right-deep then left-deep segments) ->
+// aggregation (Algorithm 2).
+func (c *Castle) runPartition(p *plan.Physical, db *storage.Database, dims []dimSide,
+	base, vl int, needGPArith, camCapable bool, acc *groupAcc) {
+
+	q := p.Query
+	eng := c.eng
+	fact := db.MustTable(q.Fact)
+	eng.SetVL(vl)
+
+	regs := newRegAlloc(eng.Config().NumVRegs)
+	loadFactCol := func(name string) cape.VReg {
+		r, cached := regs.forCol(name)
+		if !cached {
+			col := fact.MustColumn(name)
+			eng.Load(r, col.Data[base:base+vl], c.colWidth(q.Fact, name))
+		}
+		return r
+	}
+
+	// --- Selections (Figure 4): per-predicate masks combined with mask ops.
+	eng.Scalar(8) // loop setup
+	var rowMask *bitvec.Vector
+	for _, pr := range q.FactPreds {
+		m := c.predMask(loadFactCol(pr.Column), pr)
+		if rowMask == nil {
+			rowMask = m
+		} else {
+			rowMask = eng.MaskAnd(rowMask, m)
+		}
+	}
+	if rowMask == nil {
+		rowMask = eng.MaskInit(true)
+	}
+
+	// --- Right-deep joins: filtered dimensions probe the resident fact
+	// partition (Algorithm 1 with the probe side swapped, §3.2).
+	attrRegs := make(map[string]cape.VReg) // "dim.attr" -> fact-aligned vector
+	for di := 0; di < p.Switch; di++ {
+		d := dims[di]
+		before := eng.Stats().TotalCycles()
+		fkReg := loadFactCol(d.edge.FactFK)
+		joinMask := c.probeFactWithDim(fkReg, d, regs, attrRegs)
+		rowMask = eng.MaskAnd(rowMask, joinMask)
+		c.perJoin[d.edge.Dim] += eng.Stats().TotalCycles() - before
+	}
+
+	// --- Left-deep segment: surviving intermediate rows probe
+	// CSB-resident dimension partitions.
+	for di := p.Switch; di < len(p.Joins); di++ {
+		d := dims[di]
+		before := eng.Stats().TotalCycles()
+		loadFactCol(d.edge.FactFK) // FK column resident for the CP to read
+		rowMask = c.probeDimWithRows(fact, d, base, vl, rowMask, regs, attrRegs)
+		c.perJoin[d.edge.Dim] += eng.Stats().TotalCycles() - before
+	}
+
+	// --- Aggregation (Algorithm 2), fused on the partition's rowMask.
+	if needGPArith && camCapable {
+		// Bit-serial vv arithmetic requires the bitsliced layout: switch,
+		// carry the row mask across with vrelayout, and reload the
+		// aggregate input columns in GP layout (§5.2).
+		eng.SetLayout(cape.GPMode)
+		rowMask = eng.Relayout(rowMask)
+		regs = newRegAlloc(eng.Config().NumVRegs)
+		if len(q.GroupBy) > 0 {
+			panic("exec: GROUP BY with vv-arithmetic aggregates is outside SSB's shape")
+		}
+	}
+
+	if len(q.GroupBy) == 0 {
+		c.aggregateScalar(q, fact, base, vl, rowMask, regs, acc)
+		return
+	}
+	c.aggregateGroups(q, fact, base, vl, rowMask, regs, attrRegs, acc, loadFactCol)
+}
+
+// chargeDistinctLoop bills the nested Algorithm-2-style loop that counts a
+// column's distinct values under a mask on the AP: per distinct value one
+// vfirst, one vextract, one search, and one mask XOR retire the value's
+// rows (plus loop scalars); one final vfirst finds the exhausted mask.
+func (c *Castle) chargeDistinctLoop(distinct int64, width int) {
+	eng := c.eng
+	eng.Charge(isa.OpVMFirst, 32, distinct+1)
+	eng.Charge(isa.OpVExtract, 32, distinct)
+	eng.Charge(isa.OpVMSeqVX, width, distinct)
+	eng.Charge(isa.OpVMXor, 32, distinct)
+	eng.Scalar(6 * distinct)
+}
+
+// distinctUnder gathers the distinct values of a fact column among the
+// masked rows of the current partition (the functional result of the
+// charged loop above).
+func distinctUnder(col []uint32, base int, mask *bitvec.Vector) []uint32 {
+	seen := make(map[uint32]struct{})
+	out := make([]uint32, 0, 16)
+	for i := mask.First(); i != -1; i = mask.NextAfter(i) {
+		v := col[base+i]
+		if _, dup := seen[v]; !dup {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// colWidth returns the ABA bitwidth for a column from catalog statistics
+// (0 = unknown, triggering embedded discovery).
+func (c *Castle) colWidth(table, col string) int {
+	if c.cat == nil {
+		return 0
+	}
+	if cs, ok := c.cat.Column(table, col); ok {
+		return cs.BitWidth
+	}
+	return 0
+}
+
+// predMask evaluates one predicate on a loaded column.
+func (c *Castle) predMask(r cape.VReg, pr plan.Predicate) *bitvec.Vector {
+	eng := c.eng
+	if pr.Never {
+		return eng.MaskInit(false)
+	}
+	switch pr.Op {
+	case plan.PredEQ:
+		return eng.Search(r, pr.Value)
+	case plan.PredNE:
+		return eng.MaskNot(eng.Search(r, pr.Value))
+	case plan.PredLT:
+		return eng.Compare(cape.CmpLT, r, pr.Value)
+	case plan.PredLE:
+		return eng.Compare(cape.CmpLE, r, pr.Value)
+	case plan.PredGT:
+		return eng.Compare(cape.CmpGT, r, pr.Value)
+	case plan.PredGE:
+		return eng.Compare(cape.CmpGE, r, pr.Value)
+	case plan.PredBetween:
+		lo := eng.Compare(cape.CmpGE, r, pr.Lo)
+		hi := eng.Compare(cape.CmpLE, r, pr.Hi)
+		return eng.MaskAnd(lo, hi)
+	case plan.PredIn:
+		// A disjunction of searches (Figure 4's m1 OR m2).
+		var m *bitvec.Vector
+		for _, v := range pr.Values {
+			s := eng.Search(r, v)
+			if m == nil {
+				m = s
+			} else {
+				m = eng.MaskOr(m, s)
+			}
+		}
+		if m == nil {
+			return eng.MaskInit(false)
+		}
+		return m
+	}
+	panic(fmt.Sprintf("exec: unhandled predicate %v", pr))
+}
+
+// mksThreshold returns the minimum batch size worth a vmks.
+func (c *Castle) mksThreshold() int {
+	if c.opts.MKSMinKeys > 0 {
+		return c.opts.MKSMinKeys
+	}
+	// One cacheline of keys: smaller fetches waste bandwidth (§6.2).
+	return c.eng.Config().Mem.LineBytes / 4
+}
+
+// probeFactWithDim probes the resident fact FK column with every qualifying
+// key of a filtered dimension, returning the semi-join mask and
+// materializing needed attributes via bulk updates.
+func (c *Castle) probeFactWithDim(fkReg cape.VReg, d dimSide, regs *regAlloc, attrRegs map[string]cape.VReg) *bitvec.Vector {
+	eng := c.eng
+	useMKS := eng.Config().EnableMKS
+
+	// Attribute target vectors, zero-initialised per partition.
+	targets := make([]cape.VReg, len(d.edge.NeedAttrs))
+	for i, a := range d.edge.NeedAttrs {
+		key := d.edge.Dim + "." + a
+		r, ok := attrRegs[key]
+		if !ok {
+			r = regs.fresh()
+			attrRegs[key] = r
+		}
+		eng.Broadcast(r, 0)
+		targets[i] = r
+	}
+
+	searchKeys := func(keys []uint32) *bitvec.Vector {
+		if useMKS && len(keys) >= c.mksThreshold() {
+			eng.Scalar(4)
+			return eng.MultiKeySearch(fkReg, keys)
+		}
+		eng.Scalar(int64(3 * len(keys))) // key load + loop control per vmseq.vx
+		return eng.SearchBatch(fkReg, keys)
+	}
+
+	if len(d.edge.NeedAttrs) == 0 {
+		return searchKeys(d.keys)
+	}
+	// Group-aware probing: all keys sharing an attribute tuple probe as
+	// one batch, then a single predicated bulk update per attribute
+	// materializes the tuple into the fact-aligned vectors.
+	var join *bitvec.Vector
+	for _, g := range d.groups {
+		m := searchKeys(g.keys)
+		for i, r := range targets {
+			eng.Merge(r, m, g.attrVals[i])
+		}
+		if join == nil {
+			join = m
+		} else {
+			join = eng.MaskOr(join, m)
+		}
+	}
+	if join == nil {
+		return eng.MaskInit(false)
+	}
+	return join
+}
+
+// probeDimWithRows implements the left-deep direction: each surviving fact
+// row's foreign key probes CSB-resident partitions of the filtered
+// dimension; rows without a match are cleared from the row mask, and needed
+// attributes are fetched via vfirst+extract.
+func (c *Castle) probeDimWithRows(fact *storage.Table, d dimSide, base, factVL int,
+	rowMask *bitvec.Vector, regs *regAlloc, attrRegs map[string]cape.VReg) *bitvec.Vector {
+
+	eng := c.eng
+	maxvl := eng.Config().MAXVL
+	fkData := fact.MustColumn(d.edge.FactFK).Data
+
+	// Compact the surviving rows to a CP-side values array (Figure 4).
+	survivors := rowMask.Indices()
+	eng.Scalar(int64(2 * len(survivors))) // compaction bookkeeping
+	eng.ChargeStreamWrite(int64(4 * len(survivors)))
+
+	keyReg := regs.fresh()
+	attrSrc := make([]cape.VReg, len(d.edge.NeedAttrs))
+	for i := range d.edge.NeedAttrs {
+		attrSrc[i] = regs.fresh()
+	}
+	targets := make([]cape.VReg, len(d.edge.NeedAttrs))
+	for i, a := range d.edge.NeedAttrs {
+		key := d.edge.Dim + "." + a
+		r, ok := attrRegs[key]
+		if !ok {
+			r = regs.fresh()
+			attrRegs[key] = r
+			eng.SetVL(factVL)
+			eng.Broadcast(r, 0)
+		}
+		targets[i] = r
+	}
+
+	matched := bitvec.New(factVL)
+	rowAttr := make(map[int][]uint32, len(survivors))
+
+	for off := 0; off < len(d.keys) || off == 0; off += maxvl {
+		dvl := len(d.keys) - off
+		if dvl > maxvl {
+			dvl = maxvl
+		}
+		if dvl <= 0 {
+			break
+		}
+		eng.SetVL(dvl)
+		eng.Load(keyReg, d.keys[off:off+dvl], 0)
+		for i := range attrSrc {
+			eng.Load(attrSrc[i], d.attrs[i][off:off+dvl], 0)
+		}
+		for _, row := range survivors {
+			fk := fkData[base+row]
+			eng.Scalar(3)
+			idx := eng.SearchFirst(keyReg, fk)
+			if idx == -1 {
+				continue
+			}
+			matched.Set(row)
+			if len(attrSrc) > 0 {
+				vals := make([]uint32, len(attrSrc))
+				for i, r := range attrSrc {
+					vals[i] = eng.Extract(r, idx)
+				}
+				rowAttr[row] = vals
+			}
+		}
+	}
+
+	eng.SetVL(factVL)
+	newMask := rowMask.Clone().And(matched)
+	eng.Scalar(2)
+
+	// Materialize fetched attributes into the fact-aligned vectors with
+	// single-row bulk updates.
+	for row, vals := range rowAttr {
+		if !newMask.Get(row) {
+			continue
+		}
+		single := bitvec.New(factVL)
+		single.Set(row)
+		for i, r := range targets {
+			eng.Merge(r, single, vals[i])
+		}
+	}
+	return newMask
+}
+
+// aggregateScalar handles queries without GROUP BY: per-partition partial
+// reductions merge into the CP-side accumulator.
+func (c *Castle) aggregateScalar(q *plan.Query, fact *storage.Table, base, vl int,
+	rowMask *bitvec.Vector, regs *regAlloc, acc *groupAcc) {
+
+	eng := c.eng
+	rows := int64(eng.MPopc(rowMask))
+	if rows == 0 {
+		return
+	}
+	loadCol := func(name string) cape.VReg {
+		r, cached := regs.forCol(name)
+		if !cached {
+			eng.Load(r, fact.MustColumn(name).Data[base:base+vl], c.colWidth(q.Fact, name))
+		}
+		return r
+	}
+	vals := make([]int64, len(q.Aggs))
+	for i, a := range q.Aggs {
+		switch a.Kind {
+		case plan.AggSumCol, plan.AggAvg:
+			vals[i] = eng.RedSum(loadCol(a.A), rowMask)
+		case plan.AggSumMul:
+			ra, rb := loadCol(a.A), loadCol(a.B)
+			tmp := regs.fresh()
+			eng.MulVV(tmp, ra, rb)
+			vals[i] = eng.RedSum(tmp, rowMask)
+		case plan.AggSumSub:
+			// sum(a-b) = sum(a) - sum(b): two predicated reductions and a
+			// scalar subtract, avoiding bit-serial vv subtraction.
+			vals[i] = eng.RedSum(loadCol(a.A), rowMask) - eng.RedSum(loadCol(a.B), rowMask)
+			eng.Scalar(1)
+		case plan.AggCount:
+			vals[i] = rows
+		case plan.AggMin:
+			v, _ := eng.RedMin(loadCol(a.A), rowMask)
+			vals[i] = int64(v)
+		case plan.AggMax:
+			v, _ := eng.RedMax(loadCol(a.A), rowMask)
+			vals[i] = int64(v)
+		case plan.AggCountDistinct:
+			r := loadCol(a.A)
+			values := distinctUnder(fact.MustColumn(a.A).Data, base, rowMask)
+			c.chargeDistinctLoop(int64(len(values)), eng.RegWidth(r))
+			acc.addDistinct(nil, i, values)
+		}
+		eng.Scalar(4)
+	}
+	acc.add(nil, vals, rows)
+}
+
+// aggregateGroups is Algorithm 2 generalised to composite group keys: the
+// first unprocessed row identifies a group; one search per group column
+// (ANDed) recovers all of the group's rows; predicated reductions compute
+// the aggregates; XOR retires the group.
+func (c *Castle) aggregateGroups(q *plan.Query, fact *storage.Table, base, vl int,
+	rowMask *bitvec.Vector, regs *regAlloc, attrRegs map[string]cape.VReg,
+	acc *groupAcc, loadFactCol func(string) cape.VReg) {
+
+	eng := c.eng
+
+	groupRegs := make([]cape.VReg, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		if g.Table == q.Fact {
+			groupRegs[i] = loadFactCol(g.Column)
+			continue
+		}
+		r, ok := attrRegs[g.Table+"."+g.Column]
+		if !ok {
+			panic("exec: group-by attribute " + g.String() + " was not materialized by any join")
+		}
+		groupRegs[i] = r
+	}
+	aggRegs := make([][2]cape.VReg, len(q.Aggs))
+	for i, a := range q.Aggs {
+		if a.Kind != plan.AggCount {
+			aggRegs[i][0] = loadFactCol(a.A)
+		}
+		if a.Kind == plan.AggSumMul || a.Kind == plan.AggSumSub {
+			aggRegs[i][1] = loadFactCol(a.B)
+		}
+	}
+
+	if len(groupRegs) == 1 && !c.opts.NoBulkAggFastPath &&
+		c.bulkGroupLoop(q, groupRegs[0], aggRegs, rowMask, acc) {
+		return
+	}
+
+	remaining := rowMask
+	keys := make([]uint32, len(q.GroupBy))
+	aggs := make([]int64, len(q.Aggs))
+	for {
+		idx := eng.MFirst(remaining)
+		if idx == -1 {
+			break
+		}
+		groupMask := remaining
+		for i, r := range groupRegs {
+			keys[i] = eng.Extract(r, idx)
+			groupMask = eng.MaskAnd(groupMask, eng.Search(r, keys[i]))
+		}
+		groupRows := int64(eng.MPopc(groupMask))
+		for i, a := range q.Aggs {
+			switch a.Kind {
+			case plan.AggSumCol, plan.AggAvg:
+				aggs[i] = eng.RedSum(aggRegs[i][0], groupMask)
+			case plan.AggSumSub:
+				aggs[i] = eng.RedSum(aggRegs[i][0], groupMask) - eng.RedSum(aggRegs[i][1], groupMask)
+				eng.Scalar(1)
+			case plan.AggSumMul:
+				tmp := regs.fresh()
+				eng.MulVV(tmp, aggRegs[i][0], aggRegs[i][1])
+				aggs[i] = eng.RedSum(tmp, groupMask)
+			case plan.AggCount:
+				aggs[i] = groupRows
+			case plan.AggMin:
+				v, _ := eng.RedMin(aggRegs[i][0], groupMask)
+				aggs[i] = int64(v)
+			case plan.AggMax:
+				v, _ := eng.RedMax(aggRegs[i][0], groupMask)
+				aggs[i] = int64(v)
+			case plan.AggCountDistinct:
+				values := distinctUnder(fact.MustColumn(a.A).Data, base, groupMask)
+				c.chargeDistinctLoop(int64(len(values)), eng.RegWidth(aggRegs[i][0]))
+				acc.addDistinct(keys, i, values)
+				aggs[i] = 0
+			}
+		}
+		acc.add(keys, aggs, groupRows)
+		eng.Scalar(12) // CP-side result append/merge instructions
+		// Merging into the CP-side result table is data-dependent: its
+		// working set is the accumulated group set.
+		eng.CPAccess(1, int64(len(acc.order))*16)
+		remaining = eng.MaskXor(remaining, groupMask)
+	}
+}
+
+// bulkGroupLoop is a simulator fast path for Algorithm 2 with a single
+// group column: it computes every group's aggregates in one pass over the
+// partition and bills the exact per-group instruction sequence the
+// iterative loop would issue (vfirst + extract + search + mask AND +
+// predicated reductions + mask XOR + CP bookkeeping). Returns false when an
+// aggregate shape is unsupported, falling back to the literal loop.
+func (c *Castle) bulkGroupLoop(q *plan.Query, groupReg cape.VReg, aggRegs [][2]cape.VReg,
+	rowMask *bitvec.Vector, acc *groupAcc) bool {
+
+	for _, a := range q.Aggs {
+		if a.Kind == plan.AggSumMul || a.Kind == plan.AggCountDistinct {
+			return false // the literal loop handles these shapes
+		}
+	}
+	eng := c.eng
+	gdata := eng.Peek(groupReg)
+	adata := make([][2][]uint32, len(q.Aggs))
+	widths := make([][2]int, len(q.Aggs))
+	for i, a := range q.Aggs {
+		if a.Kind != plan.AggCount {
+			adata[i][0] = eng.Peek(aggRegs[i][0])
+			widths[i][0] = eng.RegWidth(aggRegs[i][0])
+		}
+		if a.Kind == plan.AggSumSub {
+			adata[i][1] = eng.Peek(aggRegs[i][1])
+			widths[i][1] = eng.RegWidth(aggRegs[i][1])
+		}
+	}
+
+	type gacc struct {
+		sums  []int64
+		count int64
+	}
+	groups := make(map[uint32]*gacc)
+	order := make([]uint32, 0, 64)
+	for i := rowMask.First(); i != -1; i = rowMask.NextAfter(i) {
+		k := gdata[i]
+		g := groups[k]
+		if g == nil {
+			g = &gacc{sums: make([]int64, len(q.Aggs))}
+			for ai, a := range q.Aggs {
+				if a.Kind == plan.AggMin || a.Kind == plan.AggMax {
+					g.sums[ai] = int64(adata[ai][0][i])
+				}
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.count++
+		for ai, a := range q.Aggs {
+			switch a.Kind {
+			case plan.AggSumCol, plan.AggAvg:
+				g.sums[ai] += int64(adata[ai][0][i])
+			case plan.AggSumSub:
+				g.sums[ai] += int64(adata[ai][0][i]) - int64(adata[ai][1][i])
+			case plan.AggCount:
+				g.sums[ai]++
+			case plan.AggMin:
+				if v := int64(adata[ai][0][i]); v < g.sums[ai] {
+					g.sums[ai] = v
+				}
+			case plan.AggMax:
+				if v := int64(adata[ai][0][i]); v > g.sums[ai] {
+					g.sums[ai] = v
+				}
+			}
+		}
+	}
+
+	// Bill the instruction stream the iterative loop would have issued.
+	n := int64(len(order))
+	gw := 32
+	if eng.Layout() == cape.GPMode {
+		// GP-mode searches are bit-serial at the register's ABA width;
+		// CAM-mode searches cost 3 cycles regardless, with no width
+		// discovery.
+		gw = eng.RegWidth(groupReg)
+	}
+	eng.Charge(isa.OpVMFirst, 32, n+1) // one extra probe finds the empty mask
+	eng.Charge(isa.OpVExtract, 32, n)
+	eng.Charge(isa.OpVMSeqVX, gw, n)
+	eng.Charge(isa.OpVMAnd, 32, n)
+	eng.Charge(isa.OpVMXor, 32, n)
+	eng.Charge(isa.OpVMPopc, 32, n) // per-group row count
+	for ai, a := range q.Aggs {
+		switch a.Kind {
+		case plan.AggSumCol, plan.AggAvg:
+			eng.Charge(isa.OpVRedSum, widths[ai][0], n)
+		case plan.AggSumSub:
+			eng.Charge(isa.OpVRedSum, widths[ai][0], n)
+			eng.Charge(isa.OpVRedSum, widths[ai][1], n)
+			eng.Scalar(n)
+		case plan.AggCount:
+			// counted by the shared vcpop above
+		case plan.AggMin:
+			eng.Charge(isa.OpVRedMin, widths[ai][0], n)
+		case plan.AggMax:
+			eng.Charge(isa.OpVRedMax, widths[ai][0], n)
+		}
+	}
+	eng.Scalar(12 * n)
+
+	key := make([]uint32, 1)
+	for _, k := range order {
+		key[0] = k
+		acc.add(key, groups[k].sums, groups[k].count)
+		eng.CPAccess(1, int64(len(acc.order))*16)
+	}
+	return true
+}
+
+// prepareDim filters one dimension on CAPE and compacts the qualifying keys
+// plus needed attributes into values arrays (Figure 4), grouped by
+// attribute tuple for batched probing.
+func (c *Castle) prepareDim(q *plan.Query, e plan.JoinEdge, db *storage.Database) dimSide {
+	eng := c.eng
+	dim := db.MustTable(e.Dim)
+	maxvl := eng.Config().MAXVL
+	preds := q.DimPreds[e.Dim]
+
+	d := dimSide{edge: e, totalRows: dim.Rows(), attrs: make([][]uint32, len(e.NeedAttrs))}
+	keyData := dim.MustColumn(e.DimKey).Data
+	attrData := make([][]uint32, len(e.NeedAttrs))
+	for i, a := range e.NeedAttrs {
+		attrData[i] = dim.MustColumn(a).Data
+	}
+
+	// Unfiltered dimensions need no CAPE pass: the key (and attribute)
+	// columns are the values arrays already.
+	if len(preds) == 0 {
+		d.keys = keyData
+		copy(d.attrs, attrData)
+		eng.Scalar(8)
+		d.buildGroups(e)
+		if len(e.NeedAttrs) > 0 {
+			eng.Scalar(int64(4 * len(d.keys)))
+		}
+		return d
+	}
+
+	for base := 0; base < dim.Rows(); base += maxvl {
+		vl := dim.Rows() - base
+		if vl > maxvl {
+			vl = maxvl
+		}
+		eng.SetVL(vl)
+		regs := newRegAlloc(eng.Config().NumVRegs)
+		var mask *bitvec.Vector
+		for _, pr := range preds {
+			r, cached := regs.forCol(pr.Column)
+			if !cached {
+				eng.Load(r, dim.MustColumn(pr.Column).Data[base:base+vl], c.colWidth(e.Dim, pr.Column))
+			}
+			m := c.predMask(r, pr)
+			if mask == nil {
+				mask = m
+			} else {
+				mask = eng.MaskAnd(mask, m)
+			}
+		}
+		if mask == nil {
+			mask = eng.MaskInit(true)
+		}
+		// Compact to a values array: matched keys and attributes stream
+		// back to memory (Figure 4's "values array").
+		n := eng.MPopc(mask)
+		eng.Scalar(int64(3 * n))
+		eng.ChargeStreamWrite(int64(4 * n * (1 + len(e.NeedAttrs))))
+		for i := mask.First(); i != -1; i = mask.NextAfter(i) {
+			d.keys = append(d.keys, keyData[base+i])
+			for ai := range attrData {
+				d.attrs[ai] = append(d.attrs[ai], attrData[ai][base+i])
+			}
+		}
+	}
+
+	// Batch keys by attribute tuple for group-aware probing.
+	d.buildGroups(e)
+	if len(e.NeedAttrs) > 0 {
+		eng.Scalar(int64(4 * len(d.keys)))
+	}
+	return d
+}
+
+// buildGroups batches the filtered keys by attribute tuple.
+func (d *dimSide) buildGroups(e plan.JoinEdge) {
+	if len(e.NeedAttrs) == 0 {
+		return
+	}
+	idx := make(map[string]int)
+	for r := range d.keys {
+		tuple := make([]uint32, len(e.NeedAttrs))
+		for ai := range tuple {
+			tuple[ai] = d.attrs[ai][r]
+		}
+		ks := groupKeyString(tuple)
+		gi, ok := idx[ks]
+		if !ok {
+			gi = len(d.groups)
+			idx[ks] = gi
+			d.groups = append(d.groups, attrGroup{attrVals: tuple})
+		}
+		d.groups[gi].keys = append(d.groups[gi].keys, d.keys[r])
+	}
+}
+
+// chargeFissionOverhead models disabling operator fusion (§7.4): each
+// operator boundary materializes its output mask through main memory once
+// per partition instead of keeping it resident in the CSB.
+func (c *Castle) chargeFissionOverhead(p *plan.Physical, factRows, maxvl int) {
+	eng := c.eng
+	parts := (factRows + maxvl - 1) / maxvl
+	boundaries := 1 + len(p.Joins) // selections | joins... | aggregation
+	maskBytes := int64((maxvl + 7) / 8)
+	for i := 0; i < parts*boundaries; i++ {
+		eng.ChargeStreamWrite(maskBytes)
+		eng.ChargeStreamRead(maskBytes)
+		eng.Scalar(40) // per-sweep loop re-setup
+	}
+}

@@ -1,0 +1,167 @@
+package exec
+
+import (
+	"castle/internal/baseline"
+	"castle/internal/cape"
+	"castle/internal/plan"
+	"castle/internal/stats"
+	"castle/internal/storage"
+)
+
+// Hybrid routes each query to the better engine, implementing the paper's
+// deployment model: "CAPE being closely integrated in a tiled architecture
+// along other cores allows for a software architecture in which such
+// decisions are made dynamically" (§7.2). The heuristics come straight
+// from the microbenchmark crossovers:
+//
+//   - aggregations with more than ~5,000 estimated groups run on the CPU
+//     (Figure 12: "such aggregates are better evaluated on the CPU");
+//   - joins whose filtered probe side exceeds ~250K rows run on the CPU
+//     (Figure 11: parity near 250K-row dimensions);
+//   - everything else runs on CAPE.
+type Hybrid struct {
+	castle *Castle
+	cpu    *CPUExec
+	cat    *stats.Catalog
+
+	// GroupThreshold and DimThreshold override the paper's crossovers
+	// (zero selects the defaults).
+	GroupThreshold int
+	DimThreshold   int
+}
+
+// NewHybrid couples a Castle executor and a baseline executor.
+func NewHybrid(castle *Castle, cpu *CPUExec, cat *stats.Catalog) *Hybrid {
+	return &Hybrid{castle: castle, cpu: cpu, cat: cat}
+}
+
+// Device names the engine a hybrid decision selected.
+type Device int
+
+// Devices.
+const (
+	DeviceCAPE Device = iota
+	DeviceCPU
+)
+
+func (d Device) String() string {
+	if d == DeviceCAPE {
+		return "CAPE"
+	}
+	return "CPU"
+}
+
+func (h *Hybrid) groupThreshold() int {
+	if h.GroupThreshold > 0 {
+		return h.GroupThreshold
+	}
+	return 5000
+}
+
+func (h *Hybrid) dimThreshold() int {
+	if h.DimThreshold > 0 {
+		return h.DimThreshold
+	}
+	return 250_000
+}
+
+// EstimateGroups predicts the number of result groups: the product of the
+// group columns' distinct counts, capped by the fact cardinality.
+func (h *Hybrid) EstimateGroups(q *plan.Query) int {
+	if len(q.GroupBy) == 0 {
+		return 1
+	}
+	groups := 1
+	for _, g := range q.GroupBy {
+		if cs, ok := h.cat.Column(g.Table, g.Column); ok && cs.Distinct > 0 {
+			if groups > 1<<30/cs.Distinct {
+				groups = 1 << 30
+				break
+			}
+			groups *= cs.Distinct
+		}
+	}
+	if rows := h.cat.MustTable(q.Fact).Rows; groups > rows {
+		groups = rows
+	}
+	return groups
+}
+
+// Decide returns the engine the heuristics select for a plan.
+func (h *Hybrid) Decide(p *plan.Physical) Device {
+	q := p.Query
+	if h.EstimateGroups(q) > h.groupThreshold() {
+		return DeviceCPU
+	}
+	for _, j := range q.Joins {
+		// Filtered probe-side size (right-deep direction probes with the
+		// filtered dimension).
+		total := float64(h.cat.MustTable(j.Dim).Rows)
+		sel := 1.0
+		for _, pr := range q.DimPreds[j.Dim] {
+			sel *= predSelectivity(h.cat, pr)
+		}
+		if int(total*sel) > h.dimThreshold() {
+			return DeviceCPU
+		}
+	}
+	return DeviceCAPE
+}
+
+// predSelectivity mirrors the optimizer's estimate without importing it
+// (avoiding an exec -> optimizer dependency cycle).
+func predSelectivity(cat *stats.Catalog, p plan.Predicate) float64 {
+	if p.Never {
+		return 0
+	}
+	cs, ok := cat.Column(p.Table, p.Column)
+	if !ok {
+		return 1
+	}
+	switch p.Op {
+	case plan.PredEQ:
+		return cs.EqSelectivity()
+	case plan.PredNE:
+		return 1 - cs.EqSelectivity()
+	case plan.PredLT, plan.PredLE:
+		return cs.RangeSelectivity(cs.Min, p.Value)
+	case plan.PredGT, plan.PredGE:
+		return cs.RangeSelectivity(p.Value, cs.Max)
+	case plan.PredBetween:
+		return cs.RangeSelectivity(p.Lo, p.Hi)
+	case plan.PredIn:
+		return cs.InSelectivity(len(p.Values))
+	}
+	return 1
+}
+
+// Run executes the plan on the selected engine and reports which one ran.
+func (h *Hybrid) Run(p *plan.Physical, db *storage.Database) (*Result, Device) {
+	if h.Decide(p) == DeviceCPU {
+		return h.cpu.Run(p.Query, db), DeviceCPU
+	}
+	return h.castle.Run(p, db), DeviceCAPE
+}
+
+// Cycles returns the cycle count of whichever engine ran last under the
+// given decision (callers snapshot engines around Run for finer control).
+func (h *Hybrid) Cycles(d Device) int64 {
+	if d == DeviceCPU {
+		return h.cpu.CPU().Cycles()
+	}
+	return h.castle.Engine().Stats().TotalCycles()
+}
+
+// Castle returns the CAPE-side executor.
+func (h *Hybrid) Castle() *Castle { return h.castle }
+
+// CPUExec returns the baseline-side executor.
+func (h *Hybrid) CPUExec() *CPUExec { return h.cpu }
+
+// NewDefaultHybrid builds a hybrid with fresh engines at the paper's design
+// points.
+func NewDefaultHybrid(capeCfg cape.Config, cat *stats.Catalog) *Hybrid {
+	castle := NewCastle(cape.New(capeCfg), cat, DefaultCastleOptions())
+	cpu := NewCPUExec(baseline.New(baseline.DefaultConfig()))
+	return NewHybrid(castle, cpu, cat)
+}

@@ -1,0 +1,155 @@
+package exec
+
+import (
+	"castle/internal/plan"
+	"castle/internal/storage"
+)
+
+// Reference executes a bound query with a naive row-at-a-time strategy:
+// hash maps for dimensions, a single scan of the fact relation, and a Go
+// map for aggregation. It has no timing model — it exists purely as the
+// correctness oracle for the CAPE and baseline executors.
+func Reference(q *plan.Query, db *storage.Database) *Result {
+	fact := db.MustTable(q.Fact)
+
+	// Dimension lookup: key -> attribute values (nil slice when the row
+	// fails the dimension's selections).
+	type dimLookup struct {
+		edge  plan.JoinEdge
+		pass  map[uint32][]uint32
+		fkCol []uint32
+	}
+	dims := make([]dimLookup, 0, len(q.Joins))
+	for _, e := range q.Joins {
+		dim := db.MustTable(e.Dim)
+		keyCol := dim.MustColumn(e.DimKey).Data
+		preds := q.DimPreds[e.Dim]
+		attrCols := make([][]uint32, len(e.NeedAttrs))
+		for i, a := range e.NeedAttrs {
+			attrCols[i] = dim.MustColumn(a).Data
+		}
+		predCols := make([][]uint32, len(preds))
+		for i, p := range preds {
+			predCols[i] = dim.MustColumn(p.Column).Data
+		}
+		lk := dimLookup{edge: e, pass: make(map[uint32][]uint32), fkCol: fact.MustColumn(e.FactFK).Data}
+		for r := 0; r < dim.Rows(); r++ {
+			ok := true
+			for i, p := range preds {
+				if !p.Matches(predCols[i][r]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			attrs := make([]uint32, len(attrCols))
+			for i := range attrCols {
+				attrs[i] = attrCols[i][r]
+			}
+			lk.pass[keyCol[r]] = attrs
+		}
+		dims = append(dims, lk)
+	}
+
+	factPredCols := make([][]uint32, len(q.FactPreds))
+	for i, p := range q.FactPreds {
+		factPredCols[i] = fact.MustColumn(p.Column).Data
+	}
+
+	// Group-key extraction: each group column is either a fact column or a
+	// dimension attribute reachable through a join edge.
+	type keySource struct {
+		factCol []uint32 // non-nil for fact columns
+		dimIdx  int      // index into dims
+		attrIdx int      // index into NeedAttrs
+	}
+	sources := make([]keySource, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		if g.Table == q.Fact {
+			sources[i] = keySource{factCol: fact.MustColumn(g.Column).Data}
+			continue
+		}
+		found := false
+		for di, d := range dims {
+			if d.edge.Dim != g.Table {
+				continue
+			}
+			for ai, a := range d.edge.NeedAttrs {
+				if a == g.Column {
+					sources[i] = keySource{dimIdx: di, attrIdx: ai}
+					found = true
+				}
+			}
+		}
+		if !found {
+			panic("exec: group-by column " + g.String() + " unreachable")
+		}
+	}
+
+	aggA := make([][]uint32, len(q.Aggs))
+	aggB := make([][]uint32, len(q.Aggs))
+	var distinctSlots []int
+	for i, a := range q.Aggs {
+		if a.Kind != plan.AggCount {
+			aggA[i] = fact.MustColumn(a.A).Data
+		}
+		if a.Kind == plan.AggSumMul || a.Kind == plan.AggSumSub {
+			aggB[i] = fact.MustColumn(a.B).Data
+		}
+		if a.Kind == plan.AggCountDistinct {
+			distinctSlots = append(distinctSlots, i)
+		}
+	}
+
+	acc := newGroupAcc(q.Aggs)
+	keys := make([]uint32, len(q.GroupBy))
+	aggs := make([]int64, len(q.Aggs))
+	attrRow := make([][]uint32, len(dims))
+
+rowLoop:
+	for r := 0; r < fact.Rows(); r++ {
+		for i, p := range q.FactPreds {
+			if !p.Matches(factPredCols[i][r]) {
+				continue rowLoop
+			}
+		}
+		for di := range dims {
+			attrs, ok := dims[di].pass[dims[di].fkCol[r]]
+			if !ok {
+				continue rowLoop
+			}
+			attrRow[di] = attrs
+		}
+		for i, s := range sources {
+			if s.factCol != nil {
+				keys[i] = s.factCol[r]
+			} else {
+				keys[i] = attrRow[s.dimIdx][s.attrIdx]
+			}
+		}
+		for i, a := range q.Aggs {
+			switch a.Kind {
+			case plan.AggSumCol, plan.AggMin, plan.AggMax, plan.AggAvg:
+				aggs[i] = int64(aggA[i][r])
+			case plan.AggSumMul:
+				aggs[i] = int64(aggA[i][r]) * int64(aggB[i][r])
+			case plan.AggSumSub:
+				aggs[i] = int64(aggA[i][r]) - int64(aggB[i][r])
+			case plan.AggCount, plan.AggCountDistinct:
+				aggs[i] = 1
+			}
+		}
+		acc.add(keys, aggs, 1)
+		for _, slot := range distinctSlots {
+			acc.addDistinct(keys, slot, []uint32{aggA[slot][r]})
+		}
+	}
+	// Grand aggregates always produce one row (zeros when nothing matched;
+	// this engine does not model SQL NULL).
+	if len(q.GroupBy) == 0 && len(acc.order) == 0 {
+		acc.add(nil, make([]int64, len(q.Aggs)), 0)
+	}
+	return acc.result(q)
+}

@@ -1,0 +1,243 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the Figure 1 waterfall, the per-query speedups of Figures 6
+// and 10, the Figure 7 CSB cycle breakdown, the Figure 5 plan-shape costs,
+// the join/aggregation/selection microbenchmarks of Section 7 (Figures 11
+// and 12), the MKS buffer sweep and data-movement comparison of Section 6,
+// and the configuration/cost-model tables (Tables 1 and 2).
+//
+// Experiments report speedups (CAPE cycles vs baseline cycles at the same
+// 2.7 GHz clock); EXPERIMENTS.md records these against the paper's values.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"castle/internal/baseline"
+	"castle/internal/cape"
+	"castle/internal/exec"
+	"castle/internal/isa"
+	"castle/internal/optimizer"
+	"castle/internal/plan"
+	"castle/internal/sql"
+	"castle/internal/ssb"
+	"castle/internal/stats"
+	"castle/internal/storage"
+)
+
+// Tier identifies a cumulative Castle configuration tier, matching the
+// waterfall structure of Figures 1, 6 and 10.
+type Tier int
+
+// Tiers in waterfall order.
+const (
+	// TierOps: CAPE database operators only — unmodified CAPE, traditional
+	// (left-deep) query optimization.
+	TierOps Tier = iota
+	// TierQO: + CAPE-aware query optimization (right-deep/zig-zag shapes).
+	TierQO
+	// TierADL: + adaptive data layout (§5.2).
+	TierADL
+	// TierMKS: + multi-key search (§5.3).
+	TierMKS
+	// TierABA: + adaptive bitwidth arithmetic (§5.1) — the full system.
+	TierABA
+	NumTiers
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierOps:
+		return "CAPE operators"
+	case TierQO:
+		return "+query optimization"
+	case TierADL:
+		return "+ADL"
+	case TierMKS:
+		return "+MKS"
+	case TierABA:
+		return "+ABA"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// config returns the CAPE configuration for a tier.
+func (t Tier) config(maxvl int) cape.Config {
+	cfg := cape.DefaultConfig()
+	cfg.MAXVL = maxvl
+	switch t {
+	case TierOps, TierQO:
+	case TierADL:
+		cfg.EnableADL = true
+	case TierMKS:
+		cfg.EnableADL, cfg.EnableMKS = true, true
+	case TierABA:
+		cfg.EnableADL, cfg.EnableMKS, cfg.EnableABA = true, true, true
+	}
+	return cfg
+}
+
+// Runner executes experiments against one generated SSB database.
+type Runner struct {
+	SF    float64
+	MAXVL int
+	DB    *storage.Database
+	Cat   *stats.Catalog
+}
+
+// NewRunner generates the SSB database at the given scale factor. MAXVL
+// defaults to the paper's 32,768.
+func NewRunner(sf float64) *Runner {
+	db := ssb.Generate(ssb.Config{SF: sf, Seed: 3527435}) // the paper's DOI suffix
+	return &Runner{SF: sf, MAXVL: 32768, DB: db, Cat: stats.Collect(db)}
+}
+
+// QueryRun is the outcome of one SSB query at one tier.
+type QueryRun struct {
+	Cycles     int64
+	CSBByClass [isa.NumClasses]int64
+	BytesMoved int64
+	PlanShape  plan.Shape
+	Searches   int64 // optimizer estimate
+}
+
+// QueryResult aggregates one query across the baseline and all tiers.
+type QueryResult struct {
+	Num            int
+	Flight         string
+	BaselineCycles int64
+	BaselineBytes  int64
+	Tiers          [NumTiers]QueryRun
+}
+
+// Speedup returns baseline/castle cycle ratio at a tier.
+func (q QueryResult) Speedup(t Tier) float64 {
+	c := q.Tiers[t].Cycles
+	if c == 0 {
+		return 0
+	}
+	return float64(q.BaselineCycles) / float64(c)
+}
+
+func (r *Runner) bind(qsql string) *plan.Query {
+	stmt, err := sql.Parse(qsql)
+	if err != nil {
+		panic(err)
+	}
+	q, err := plan.Bind(stmt, r.DB)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// planFor picks the physical plan a tier's optimizer would emit: TierOps
+// uses the traditional left-deep shape; all others use the AP-aware
+// optimizer.
+func (r *Runner) planFor(q *plan.Query, t Tier) *plan.Physical {
+	if t == TierOps {
+		p, err := optimizer.BestWithShape(q, r.Cat, r.MAXVL, plan.LeftDeep)
+		if err == nil {
+			return p
+		}
+		// Joinless queries have a single trivial plan.
+	}
+	p, err := optimizer.Optimize(q, r.Cat, r.MAXVL)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// RunQueryTier executes one SSB query at one tier and returns its run
+// metrics together with the result relation (for cross-checking).
+func (r *Runner) RunQueryTier(num int, t Tier) (QueryRun, *exec.Result) {
+	q := r.bind(querySQL(num))
+	p := r.planFor(q, t)
+	eng := cape.New(t.config(r.MAXVL))
+	castle := exec.NewCastle(eng, r.Cat, exec.DefaultCastleOptions())
+	res := castle.Run(p, r.DB)
+	st := eng.Stats()
+	return QueryRun{
+		Cycles:     st.TotalCycles(),
+		CSBByClass: st.CSBCyclesByClass,
+		BytesMoved: eng.Mem().BytesMoved(),
+		PlanShape:  p.Shape(),
+		Searches:   p.EstimatedSearches,
+	}, res
+}
+
+// RunBaseline executes one SSB query on the AVX-512 baseline.
+func (r *Runner) RunBaseline(num int) (int64, int64, *exec.Result) {
+	q := r.bind(querySQL(num))
+	cpu := baseline.New(baseline.DefaultConfig())
+	res := exec.NewCPUExec(cpu).Run(q, r.DB)
+	return cpu.Cycles(), cpu.Mem().BytesMoved(), res
+}
+
+// RunQuery executes one query across the baseline and every tier,
+// verifying all engines agree.
+func (r *Runner) RunQuery(num int) QueryResult {
+	meta := queryMeta(num)
+	out := QueryResult{Num: num, Flight: meta.Flight}
+	bc, bb, bres := r.RunBaseline(num)
+	out.BaselineCycles, out.BaselineBytes = bc, bb
+
+	ref := exec.Reference(r.bind(meta.SQL), r.DB)
+	if !ref.Equal(bres) {
+		panic(fmt.Sprintf("experiments: %s baseline result mismatch", meta.Flight))
+	}
+	for t := Tier(0); t < NumTiers; t++ {
+		run, res := r.RunQueryTier(num, t)
+		if !ref.Equal(res) {
+			panic(fmt.Sprintf("experiments: %s tier %v result mismatch", meta.Flight, t))
+		}
+		out.Tiers[t] = run
+	}
+	return out
+}
+
+// RunSuite executes all 13 queries across all tiers. Queries run in
+// parallel — every run owns its engine instances and the database is
+// read-only, so results and cycle accounting are unaffected.
+func (r *Runner) RunSuite() []QueryResult {
+	out := make([]QueryResult, 13)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for n := 1; n <= 13; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[n-1] = r.RunQuery(n)
+		}(n)
+	}
+	wg.Wait()
+	return out
+}
+
+// GeoMean computes the geometric mean of per-query speedups at a tier.
+func GeoMean(results []QueryResult, t Tier) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, q := range results {
+		sum += math.Log(q.Speedup(t))
+	}
+	return math.Exp(sum / float64(len(results)))
+}
+
+func querySQL(num int) string { return queryMeta(num).SQL }
+
+func queryMeta(num int) ssb.Query {
+	for _, q := range ssb.Queries() {
+		if q.Num == num {
+			return q
+		}
+	}
+	panic(fmt.Sprintf("experiments: no SSB query %d", num))
+}

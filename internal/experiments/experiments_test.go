@@ -1,0 +1,450 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"castle/internal/optimizer"
+	"castle/internal/plan"
+)
+
+// suiteSF is small enough for CI but large enough that plan shapes and tier
+// orderings match the paper's direction.
+const suiteSF = 0.02
+
+var suiteResults []QueryResult
+
+func suite(t *testing.T) []QueryResult {
+	t.Helper()
+	if suiteResults == nil {
+		r := NewRunner(suiteSF)
+		suiteResults = r.RunSuite()
+	}
+	return suiteResults
+}
+
+func TestSuiteRunsAllQueriesAndCrossChecks(t *testing.T) {
+	results := suite(t)
+	if len(results) != 13 {
+		t.Fatalf("suite ran %d queries, want 13", len(results))
+	}
+	for _, q := range results {
+		if q.BaselineCycles <= 0 {
+			t.Errorf("%s: no baseline cycles", q.Flight)
+		}
+		for tier := Tier(0); tier < NumTiers; tier++ {
+			if q.Tiers[tier].Cycles <= 0 {
+				t.Errorf("%s tier %v: no cycles", q.Flight, tier)
+			}
+		}
+	}
+}
+
+// TestWaterfallOrdering asserts the Figure 1 / Figure 10 direction:
+// operators-only is a slowdown; each added stage helps (or at worst is
+// neutral) at the geomean level.
+func TestWaterfallOrdering(t *testing.T) {
+	results := suite(t)
+	ops := GeoMean(results, TierOps)
+	qo := GeoMean(results, TierQO)
+	adl := GeoMean(results, TierADL)
+	mks := GeoMean(results, TierMKS)
+	aba := GeoMean(results, TierABA)
+
+	if ops >= 1 {
+		t.Errorf("operators-only geomean = %.2f, paper reports a slowdown (0.3x)", ops)
+	}
+	if qo <= 1 {
+		t.Errorf("+query optimization geomean = %.2f, paper reports 5.3x", qo)
+	}
+	if qo <= ops {
+		t.Errorf("query optimization (%.2f) must improve on operators-only (%.2f)", qo, ops)
+	}
+	if adl < qo*0.99 {
+		t.Errorf("ADL (%.2f) must not regress QO (%.2f)", adl, qo)
+	}
+	if mks < adl*0.99 {
+		t.Errorf("MKS (%.2f) must not regress ADL (%.2f)", mks, adl)
+	}
+	if aba < mks*0.99 {
+		t.Errorf("ABA (%.2f) must not regress MKS (%.2f)", aba, mks)
+	}
+}
+
+// TestQueryOptimizationPicksNonLeftDeep: §4.2 reports every best plan is
+// right-deep or zig-zag.
+func TestQueryOptimizationPicksNonLeftDeep(t *testing.T) {
+	results := suite(t)
+	for _, q := range results {
+		if shape := q.Tiers[TierQO].PlanShape; shape == plan.LeftDeep {
+			t.Errorf("%s: optimizer picked left-deep; paper reports only right-deep and zig-zag winners", q.Flight)
+		}
+	}
+}
+
+// TestFig7SearchDominatesJoinQueries: §4.3 reports queries 4-13 dominated
+// by searches and joins consuming 96%% of all cycles.
+func TestFig7SearchDominatesJoinQueries(t *testing.T) {
+	results := suite(t)
+	for _, q := range results {
+		if q.Num < 4 {
+			continue
+		}
+		by := q.Tiers[TierQO].CSBByClass
+		var total, search int64
+		for c, v := range by {
+			total += v
+			if c == 0 { // isa.ClassSearch
+				search += v
+			}
+		}
+		if total == 0 {
+			t.Fatalf("%s: no CSB cycles recorded", q.Flight)
+		}
+		if frac := float64(search) / float64(total); frac < 0.5 {
+			t.Errorf("%s: searches are %.0f%% of CSB cycles, paper shows them dominating queries 4-13",
+				q.Flight, 100*frac)
+		}
+	}
+}
+
+func TestFig5CostsAndRenderers(t *testing.T) {
+	q, cat := Fig5Query()
+	est := optimizer.Estimator{Cat: cat}
+	d1 := *q.JoinFor("d1")
+	d2 := *q.JoinFor("d2")
+	order := []plan.JoinEdge{d1, d2}
+	ld := optimizer.Cost(q, est, 32768, order, 0)
+	rd := optimizer.Cost(q, est, 32768, order, 2)
+	zz := optimizer.Cost(q, est, 32768, order, 1)
+	if !(zz < rd && rd < ld) {
+		t.Fatalf("Figure 5 ordering violated: zz=%d rd=%d ld=%d", zz, rd, ld)
+	}
+
+	results := suite(t)
+	var buf bytes.Buffer
+	RenderFig1(&buf, results)
+	RenderFig5(&buf)
+	RenderFig6(&buf, results)
+	RenderFig7(&buf, results)
+	RenderFig10(&buf, results)
+	RenderTable1(&buf)
+	RenderTable2(&buf)
+	RenderDataMovement(&buf, DataMovementSweep(results))
+	RenderSuiteSummary(&buf, suiteSF, results)
+	for _, want := range []string{"Figure 1", "Figure 5", "Figure 6", "Figure 7", "Figure 10", "Table 1", "Table 2", "geomean"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+// TestJoinMicroShape asserts Figure 11's direction: speedup falls as the
+// dimension grows, and the optimized Castle beats the unoptimized one.
+func TestJoinMicroShape(t *testing.T) {
+	points := JoinMicro(200_000, []int{100, 10_000, 100_000})
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].Speedup() <= points[2].Speedup() {
+		t.Errorf("join speedup should fall with dimension size: %.2f vs %.2f",
+			points[0].Speedup(), points[2].Speedup())
+	}
+	for _, p := range points {
+		if p.Speedup() < p.SpeedupNoOpt() {
+			t.Errorf("dim=%d: optimized Castle (%.2f) should beat non-optimized (%.2f)",
+				p.X, p.Speedup(), p.SpeedupNoOpt())
+		}
+	}
+	if points[0].Speedup() < 5 {
+		t.Errorf("small-dimension join speedup = %.2f, expected a large win (paper: 79x at SF-scale)",
+			points[0].Speedup())
+	}
+}
+
+// TestAggregationMicroShape asserts Figure 12's direction: a large win at
+// few groups, baseline overtaking at very many groups.
+func TestAggregationMicroShape(t *testing.T) {
+	points := AggregationMicro(500_000, []int{10, 1_000, 200_000})
+	if points[0].Speedup() <= 1 {
+		t.Errorf("10-group aggregation speedup = %.2f, want >1", points[0].Speedup())
+	}
+	if points[2].Speedup() >= 1 {
+		t.Errorf("200K-group aggregation speedup = %.2f, paper shows baseline winning beyond ~5K groups",
+			points[2].Speedup())
+	}
+	if !(points[0].Speedup() > points[1].Speedup() && points[1].Speedup() > points[2].Speedup()) {
+		t.Errorf("speedup should fall monotonically with groups: %.2f, %.2f, %.2f",
+			points[0].Speedup(), points[1].Speedup(), points[2].Speedup())
+	}
+}
+
+// TestSelectionMicroShape asserts §7.1: Castle wins big, more so at higher
+// selectivity and larger inputs.
+func TestSelectionMicroShape(t *testing.T) {
+	points := SelectionMicro([]int{100_000, 2_000_000}, []int{1, 90})
+	for _, p := range points {
+		if p.Speedup() < 5 {
+			t.Errorf("selection speedup at rows=%d sel=%d%% = %.2f, want >5x", p.X, p.Series, p.Speedup())
+		}
+	}
+	// Higher selectivity -> higher speedup at fixed size.
+	if points[1].Speedup() <= points[0].Speedup() {
+		t.Errorf("selectivity should increase the win: %.2f (90%%) vs %.2f (1%%)",
+			points[1].Speedup(), points[0].Speedup())
+	}
+}
+
+// TestMKSBufferSweepShape asserts §6.1: a sub-cacheline buffer hurts, a
+// larger buffer does not.
+func TestMKSBufferSweepShape(t *testing.T) {
+	r := NewRunner(suiteSF)
+	points := r.MKSBufferSweep([]int{64, 512, 2048})
+	var p64, p512, p2048 MKSBufferPoint
+	for _, p := range points {
+		switch p.BufferBytes {
+		case 64:
+			p64 = p
+		case 512:
+			p512 = p
+		case 2048:
+			p2048 = p
+		}
+	}
+	if p512.Relative != 1 {
+		t.Fatalf("512B reference relative = %.2f, want 1", p512.Relative)
+	}
+	if p64.Relative > 1 {
+		t.Errorf("64B buffer relative = %.2f, paper shows a slowdown (0.8x)", p64.Relative)
+	}
+	if p2048.Relative < 1 {
+		t.Errorf("2KB buffer relative = %.2f, paper shows a speedup (2.0x)", p2048.Relative)
+	}
+}
+
+// TestFusionAblationAlwaysHelps: §7.4.
+func TestFusionAblationAlwaysHelps(t *testing.T) {
+	r := NewRunner(suiteSF)
+	for _, p := range r.RunFusionAblation() {
+		if p.Penalty() <= 1 {
+			t.Errorf("Q%d: fusion penalty %.3f, want >1", p.Num, p.Penalty())
+		}
+	}
+}
+
+// TestABADiscoveryCostsMore: embedded discovery must cost at least as much
+// as statistics-provided widths (§5.1).
+func TestABADiscoveryCostsMore(t *testing.T) {
+	r := NewRunner(suiteSF)
+	for _, p := range r.RunABADiscoveryAblation() {
+		if p.DiscoveryCycles < p.StatsCycles {
+			t.Errorf("Q%d: discovery (%d) cheaper than stats-provided (%d)",
+				p.Num, p.DiscoveryCycles, p.StatsCycles)
+		}
+	}
+}
+
+// TestDataMovementDirection: §6.3 — the baseline moves more bytes.
+func TestDataMovementDirection(t *testing.T) {
+	d := DataMovementSweep(suite(t))
+	if d.Ratio() <= 1 {
+		t.Errorf("baseline/castle byte ratio = %.2f, paper reports 1.51x", d.Ratio())
+	}
+}
+
+func TestTierStringsAndConfigs(t *testing.T) {
+	for tier := Tier(0); tier < NumTiers; tier++ {
+		if tier.String() == "" {
+			t.Errorf("tier %d has no name", int(tier))
+		}
+		cfg := tier.config(1024)
+		if cfg.MAXVL != 1024 {
+			t.Errorf("tier %v config MAXVL = %d", tier, cfg.MAXVL)
+		}
+	}
+	if Tier(99).String() == "" {
+		t.Error("out-of-range tier should still render")
+	}
+	full := TierABA.config(32768)
+	if !full.EnableADL || !full.EnableMKS || !full.EnableABA {
+		t.Error("TierABA must enable all enhancements")
+	}
+	base := TierQO.config(32768)
+	if base.EnableADL || base.EnableMKS || base.EnableABA {
+		t.Error("TierQO must be unmodified CAPE")
+	}
+}
+
+func TestQueryMetaPanicsOnBadNumber(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	queryMeta(99)
+}
+
+func TestAuxiliaryRenderers(t *testing.T) {
+	r := NewRunner(suiteSF)
+	var buf bytes.Buffer
+	RenderCodebases(&buf, r.RunCodebaseComparison())
+	RenderPower(&buf, []PowerComparison{r.RunPowerComparison(4)})
+	RenderFusion(&buf, r.RunFusionAblation()[:2])
+	RenderABADiscovery(&buf, r.RunABADiscoveryAblation()[:1])
+	RenderMKSBuffer(&buf, r.MKSBufferSweep([]int{64, 512}))
+	RenderFig11(&buf, map[int][]MicroPoint{100000: JoinMicro(100000, []int{100})})
+	RenderFig12(&buf, map[int][]MicroPoint{100000: AggregationMicro(100000, []int{10})})
+	RenderSelection(&buf, SelectionMicro([]int{10000}, []int{10}))
+	for _, want := range []string{"codebases", "Power", "fusion", "ABA", "MKS buffer", "Figure 11", "Figure 12", "Selection"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestCodebaseComparisonDirection: §4.1 — the vectorized codebase wins.
+func TestCodebaseComparisonDirection(t *testing.T) {
+	r := NewRunner(suiteSF)
+	c := r.RunCodebaseComparison()
+	if c.Ratio() <= 1.1 {
+		t.Fatalf("AVX-512/scalar ratio = %.2f, want a clear vectorization win (paper ~1.8x)", c.Ratio())
+	}
+}
+
+// TestPowerComparisonDirection: §6.1 — CAPE wins on energy despite higher
+// TDP.
+func TestPowerComparisonDirection(t *testing.T) {
+	r := NewRunner(suiteSF)
+	p := r.RunPowerComparison(4)
+	if p.Comparison.EnergyRatioX <= 1 {
+		t.Fatalf("energy ratio = %.2f, want CAPE ahead", p.Comparison.EnergyRatioX)
+	}
+	if p.Comparison.PowerRatioTDPX >= 3 {
+		t.Fatalf("TDP ratio = %.2f, paper says under 3x", p.Comparison.PowerRatioTDPX)
+	}
+}
+
+// TestScaleFactorStability: §4.1 — "we have also used the simulation
+// framework to run experiments for scale factors from 0.5 up to 10 and the
+// results are similar". At test scale we check two SFs give geomeans
+// within 2x of each other at every tier.
+func TestScaleFactorStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-SF sweep")
+	}
+	a := NewRunner(0.02).RunSuite()
+	b := NewRunner(0.05).RunSuite()
+	for tier := Tier(0); tier < NumTiers; tier++ {
+		ga, gb := GeoMean(a, tier), GeoMean(b, tier)
+		ratio := ga / gb
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("tier %v geomean unstable across SFs: %.2f vs %.2f", tier, ga, gb)
+		}
+	}
+}
+
+// TestPIMStudyShowsTradeoff: the §8 future-work flavor must help some
+// load-bound queries and hurt some search-bound ones — a genuine tradeoff,
+// not a dominance.
+func TestPIMStudyShowsTradeoff(t *testing.T) {
+	r := NewRunner(suiteSF)
+	points := r.RunPIMStudy()
+	wins, losses := 0, 0
+	for _, p := range points {
+		if p.Ratio() > 1 {
+			wins++
+		} else {
+			losses++
+		}
+	}
+	if wins == 0 || losses == 0 {
+		t.Fatalf("PIM study should show a tradeoff, got %d wins / %d losses", wins, losses)
+	}
+	var buf bytes.Buffer
+	RenderPIM(&buf, points)
+	if !strings.Contains(buf.String(), "PIM") {
+		t.Fatal("render missing")
+	}
+}
+
+// TestPerJoinStudy: §7.2 — per-join speedups within one query differ, and
+// each join wins on CAPE.
+func TestPerJoinStudy(t *testing.T) {
+	r := NewRunner(suiteSF)
+	points, overall := r.RunPerJoinStudy(10)
+	if len(points) != 3 {
+		t.Fatalf("Q3.4 has 3 joins, got %d", len(points))
+	}
+	min, max := points[0].Speedup(), points[0].Speedup()
+	for _, p := range points {
+		if p.CastleCycles <= 0 || p.CPUCycles <= 0 {
+			t.Fatalf("missing attribution: %+v", p)
+		}
+		if s := p.Speedup(); s < min {
+			min = s
+		} else if s > max {
+			max = s
+		}
+	}
+	if max/min < 1.5 {
+		t.Errorf("per-join speedups should differ markedly (paper: 2.4x..77x), got %.1f..%.1f", min, max)
+	}
+	if overall <= 1 {
+		t.Errorf("overall speedup = %.2f", overall)
+	}
+	var buf bytes.Buffer
+	RenderPerJoin(&buf, 10, points, overall)
+	if !strings.Contains(buf.String(), "join 1") {
+		t.Fatal("render missing")
+	}
+}
+
+// TestOrderSensitivity: §3.4 — right-deep executed cost is order
+// independent; shapes with left-deep segments are order sensitive.
+func TestOrderSensitivity(t *testing.T) {
+	r := NewRunner(suiteSF)
+	points := r.RunOrderSensitivity(11) // Q4.1: four joins
+	var rd, ld OrderSensitivity
+	for _, p := range points {
+		switch p.Shape {
+		case plan.RightDeep:
+			rd = p
+		case plan.LeftDeep:
+			ld = p
+		}
+	}
+	if rd.Spread() > 1.001 {
+		t.Errorf("right-deep spread = %.3f, §3.4 says cost is order independent", rd.Spread())
+	}
+	if ld.Spread() < 1.2 {
+		t.Errorf("left-deep spread = %.3f, should be order sensitive", ld.Spread())
+	}
+	var buf bytes.Buffer
+	RenderOrderSensitivity(&buf, 11, points)
+	if !strings.Contains(buf.String(), "right-deep") {
+		t.Fatal("render missing")
+	}
+}
+
+// TestHybridTracksWinnerInFig12: the dynamic router must stay within a few
+// percent of the better engine on both sides of the crossover.
+func TestHybridTracksWinnerInFig12(t *testing.T) {
+	points := AggregationMicro(300_000, []int{10, 150_000})
+	for _, p := range points {
+		best := p.Speedup()
+		if 1 > best {
+			best = 1 // baseline itself
+		}
+		if p.HybridSpeedup() < best*0.95 {
+			t.Errorf("groups=%d: hybrid %.2fx should track the winner (castle %.2fx, cpu 1x, routed %s)",
+				p.X, p.HybridSpeedup(), p.Speedup(), p.HybridDevice)
+		}
+	}
+	if points[0].HybridDevice != "CAPE" {
+		t.Errorf("10 groups routed to %s, want CAPE", points[0].HybridDevice)
+	}
+	if points[1].HybridDevice != "CPU" {
+		t.Errorf("150K groups routed to %s, want CPU", points[1].HybridDevice)
+	}
+}

@@ -1,0 +1,357 @@
+package experiments
+
+import (
+	"castle/internal/baseline"
+	"castle/internal/cape"
+	"castle/internal/exec"
+	"castle/internal/optimizer"
+	"castle/internal/plan"
+	"castle/internal/power"
+)
+
+// MKSBufferPoint is one buffer size of the §6.1 sensitivity sweep.
+type MKSBufferPoint struct {
+	BufferBytes int
+	// TotalCycles across all 13 SSB queries.
+	TotalCycles int64
+	// Relative is performance relative to the 512-byte reference buffer
+	// (>1 means faster than the 512 B configuration).
+	Relative float64
+}
+
+// MKSBufferSweep runs the full SSB suite at the ADL+MKS+ABA design point
+// for each vmks buffer size (the paper evaluates 64 B, 512 B and 2 KB,
+// §6.1) and reports performance relative to 512 B.
+func (r *Runner) MKSBufferSweep(sizes []int) []MKSBufferPoint {
+	cycles := make([]int64, len(sizes))
+	for si, size := range sizes {
+		var total int64
+		for n := 1; n <= 13; n++ {
+			q := r.bind(querySQL(n))
+			p := r.planFor(q, TierABA)
+			cfg := TierABA.config(r.MAXVL)
+			cfg.MKSBufferBytes = size
+			eng := cape.New(cfg)
+			opts := exec.DefaultCastleOptions()
+			// The vmks threshold follows the buffer: batches below one
+			// cacheline of keys never use vmks (§6.2).
+			exec.NewCastle(eng, r.Cat, opts).Run(p, r.DB)
+			total += eng.Stats().TotalCycles()
+		}
+		cycles[si] = total
+	}
+	var ref int64
+	for si, size := range sizes {
+		if size == 512 {
+			ref = cycles[si]
+		}
+	}
+	if ref == 0 && len(cycles) > 0 {
+		ref = cycles[0]
+	}
+	out := make([]MKSBufferPoint, len(sizes))
+	for si, size := range sizes {
+		out[si] = MKSBufferPoint{
+			BufferBytes: size,
+			TotalCycles: cycles[si],
+			Relative:    float64(ref) / float64(cycles[si]),
+		}
+	}
+	return out
+}
+
+// DataMovement reports total bytes moved by the baseline and by Castle
+// (full design point) across the 13 SSB queries (§6.3; the paper measures
+// the baseline transferring 1.51x more bytes than Castle).
+type DataMovement struct {
+	BaselineBytes int64
+	CastleBytes   int64
+}
+
+// Ratio is baseline bytes over Castle bytes.
+func (d DataMovement) Ratio() float64 {
+	if d.CastleBytes == 0 {
+		return 0
+	}
+	return float64(d.BaselineBytes) / float64(d.CastleBytes)
+}
+
+// DataMovementSweep measures §6.3 from a completed suite run.
+func DataMovementSweep(results []QueryResult) DataMovement {
+	var d DataMovement
+	for _, q := range results {
+		d.BaselineBytes += q.BaselineBytes
+		d.CastleBytes += q.Tiers[TierABA].BytesMoved
+	}
+	return d
+}
+
+// FusionAblation compares fused and unfused execution of one query (§7.4).
+type FusionAblation struct {
+	Num                      int
+	FusedCycles, SplitCycles int64
+}
+
+// Penalty is the slowdown from disabling fusion.
+func (f FusionAblation) Penalty() float64 {
+	return float64(f.SplitCycles) / float64(f.FusedCycles)
+}
+
+// RunFusionAblation measures the fusion benefit for every SSB query at the
+// full design point.
+func (r *Runner) RunFusionAblation() []FusionAblation {
+	out := make([]FusionAblation, 0, 13)
+	for n := 1; n <= 13; n++ {
+		q := r.bind(querySQL(n))
+		p := r.planFor(q, TierABA)
+		cfg := TierABA.config(r.MAXVL)
+
+		engF := cape.New(cfg)
+		exec.NewCastle(engF, r.Cat, exec.CastleOptions{Fusion: true}).Run(p, r.DB)
+		engS := cape.New(cfg)
+		exec.NewCastle(engS, r.Cat, exec.CastleOptions{Fusion: false}).Run(p, r.DB)
+
+		out = append(out, FusionAblation{
+			Num:         n,
+			FusedCycles: engF.Stats().TotalCycles(),
+			SplitCycles: engS.Stats().TotalCycles(),
+		})
+	}
+	return out
+}
+
+// ABADiscoveryAblation compares ABA with database-provided column widths
+// against ABA with embedded per-instruction discovery (§5.1's two options)
+// on the arithmetic-heavy query flight 1.
+type ABADiscoveryAblation struct {
+	Num                          int
+	StatsCycles, DiscoveryCycles int64
+}
+
+// RunABADiscoveryAblation measures §5.1's discovery modes on queries 1-3.
+func (r *Runner) RunABADiscoveryAblation() []ABADiscoveryAblation {
+	out := make([]ABADiscoveryAblation, 0, 3)
+	for n := 1; n <= 3; n++ {
+		q := r.bind(querySQL(n))
+		p := r.planFor(q, TierABA)
+		cfg := TierABA.config(r.MAXVL)
+
+		engStats := cape.New(cfg)
+		exec.NewCastle(engStats, r.Cat, exec.DefaultCastleOptions()).Run(p, r.DB)
+		engDisc := cape.New(cfg)
+		// nil catalog: widths unknown, the instruction embeds discovery.
+		exec.NewCastle(engDisc, nil, exec.DefaultCastleOptions()).Run(p, r.DB)
+
+		out = append(out, ABADiscoveryAblation{
+			Num:             n,
+			StatsCycles:     engStats.Stats().TotalCycles(),
+			DiscoveryCycles: engDisc.Stats().TotalCycles(),
+		})
+	}
+	return out
+}
+
+// CodebaseComparison reproduces the §4.1 reference-codebase validation:
+// the AVX-512 vectorized codebase versus the scalar codebase (compiler
+// auto-vectorization disabled) on the full SSB suite. The paper reports
+// the scalar codebase at 2.1x MonetDB and the AVX-512 one at 3.8x MonetDB,
+// i.e. the vectorized codebase is ~1.8x faster than the scalar one.
+type CodebaseComparison struct {
+	ScalarCycles int64
+	AVXCycles    int64
+}
+
+// Ratio returns scalar cycles over AVX-512 cycles.
+func (c CodebaseComparison) Ratio() float64 {
+	if c.AVXCycles == 0 {
+		return 0
+	}
+	return float64(c.ScalarCycles) / float64(c.AVXCycles)
+}
+
+// RunCodebaseComparison executes the 13 SSB queries on both baseline
+// configurations.
+func (r *Runner) RunCodebaseComparison() CodebaseComparison {
+	var out CodebaseComparison
+	for n := 1; n <= 13; n++ {
+		q := r.bind(querySQL(n))
+
+		avx := baseline.New(baseline.DefaultConfig())
+		resA := exec.NewCPUExec(avx).Run(q, r.DB)
+		out.AVXCycles += avx.Cycles()
+
+		scalar := baseline.New(baseline.ScalarConfig())
+		resS := exec.NewCPUExec(scalar).Run(q, r.DB)
+		out.ScalarCycles += scalar.Cycles()
+
+		if !resA.Equal(resS) {
+			panic("experiments: scalar and AVX codebases disagree")
+		}
+	}
+	return out
+}
+
+// PowerComparison reproduces the §6.1 energy argument for one query: CAPE
+// runs under 3x the baseline's TDP but finishes an order of magnitude
+// sooner, so it wins on energy.
+type PowerComparison struct {
+	Num        int
+	Comparison power.Comparison
+}
+
+// RunPowerComparison runs one SSB query at the full design point and
+// converts both engines' cycles into energy.
+func (r *Runner) RunPowerComparison(num int) PowerComparison {
+	q := r.bind(querySQL(num))
+	p := r.planFor(q, TierABA)
+	eng := cape.New(TierABA.config(r.MAXVL))
+	exec.NewCastle(eng, r.Cat, exec.DefaultCastleOptions()).Run(p, r.DB)
+
+	cpu := baseline.New(baseline.DefaultConfig())
+	exec.NewCPUExec(cpu).Run(q, r.DB)
+
+	m := power.DefaultModel()
+	return PowerComparison{
+		Num:        num,
+		Comparison: m.Compare(eng.Stats(), eng.Config().EnableADL, cpu.Cycles()),
+	}
+}
+
+// PIMPoint compares the SRAM CAPE against a processing-in-memory flavor
+// for one query (the §8 future-work exploration: slower in-DRAM arrays,
+// much higher internal load bandwidth).
+type PIMPoint struct {
+	Num                   int
+	SRAMCycles, PIMCycles int64
+}
+
+// Ratio returns SRAM/PIM (>1 means the PIM flavor wins).
+func (p PIMPoint) Ratio() float64 { return float64(p.SRAMCycles) / float64(p.PIMCycles) }
+
+// RunPIMStudy executes the SSB suite on both CAPE flavors.
+func (r *Runner) RunPIMStudy() []PIMPoint {
+	out := make([]PIMPoint, 0, 13)
+	for n := 1; n <= 13; n++ {
+		q := r.bind(querySQL(n))
+		p := r.planFor(q, TierABA)
+
+		sram := cape.New(TierABA.config(r.MAXVL))
+		resS := exec.NewCastle(sram, r.Cat, exec.DefaultCastleOptions()).Run(p, r.DB)
+
+		pimCfg := cape.PIMConfig()
+		pimCfg.MAXVL = r.MAXVL
+		pim := cape.New(pimCfg)
+		resP := exec.NewCastle(pim, r.Cat, exec.DefaultCastleOptions()).Run(p, r.DB)
+
+		if !resS.Equal(resP) {
+			panic("experiments: PIM flavor changed results")
+		}
+		out = append(out, PIMPoint{
+			Num:        n,
+			SRAMCycles: sram.Stats().TotalCycles(),
+			PIMCycles:  pim.Stats().TotalCycles(),
+		})
+	}
+	return out
+}
+
+// PerJoinPoint reports the speedup of one join edge within an end-to-end
+// query (§7.2: "query 10 has three join operations ... speedups of 2.4x,
+// 56x and 77x, with an overall query speedup of 16x").
+type PerJoinPoint struct {
+	Dim          string
+	CastleCycles int64
+	CPUCycles    int64
+}
+
+// Speedup is baseline join cycles over Castle join cycles.
+func (p PerJoinPoint) Speedup() float64 {
+	if p.CastleCycles == 0 {
+		return 0
+	}
+	return float64(p.CPUCycles) / float64(p.CastleCycles)
+}
+
+// PerJoinStudy runs one query at the full design point and attributes
+// cycles to each join edge on both engines. The second return value is the
+// overall query speedup.
+func (r *Runner) RunPerJoinStudy(num int) ([]PerJoinPoint, float64) {
+	q := r.bind(querySQL(num))
+	p := r.planFor(q, TierABA)
+
+	eng := cape.New(TierABA.config(r.MAXVL))
+	castle := exec.NewCastle(eng, r.Cat, exec.DefaultCastleOptions())
+	resC := castle.Run(p, r.DB)
+
+	cpu := baseline.New(baseline.DefaultConfig())
+	cpuExec := exec.NewCPUExec(cpu)
+	resB := cpuExec.Run(q, r.DB)
+	if !resC.Equal(resB) {
+		panic("experiments: per-join study result mismatch")
+	}
+
+	capeJoins := castle.PerJoinCycles()
+	cpuJoins := cpuExec.PerJoinCycles()
+	out := make([]PerJoinPoint, 0, len(p.Joins))
+	for _, j := range p.Joins {
+		out = append(out, PerJoinPoint{
+			Dim:          j.Dim,
+			CastleCycles: capeJoins[j.Dim],
+			CPUCycles:    cpuJoins[j.Dim],
+		})
+	}
+	overall := float64(cpu.Cycles()) / float64(eng.Stats().TotalCycles())
+	return out, overall
+}
+
+// OrderSensitivity reports, for a plan shape, the executed-cycle spread
+// across all join orders of that shape — §3.4's robustness claim: a
+// right-deep plan's cost does not depend on the join order, so a bad
+// cardinality estimate cannot produce a bad right-deep plan, while
+// order matters greatly for shapes with left-deep segments.
+type OrderSensitivity struct {
+	Shape             plan.Shape
+	BestCycles, Worst int64
+}
+
+// Spread is worst over best executed cycles.
+func (o OrderSensitivity) Spread() float64 {
+	if o.BestCycles == 0 {
+		return 0
+	}
+	return float64(o.Worst) / float64(o.BestCycles)
+}
+
+// RunOrderSensitivity executes every join order of each plan shape for one
+// query and measures real cycles (not estimates).
+func (r *Runner) RunOrderSensitivity(num int) []OrderSensitivity {
+	q := r.bind(querySQL(num))
+	byShape := map[plan.Shape]*OrderSensitivity{}
+	for _, cand := range optimizer.Enumerate(q, r.Cat, r.MAXVL) {
+		phys := &plan.Physical{Query: q, Joins: cand.Joins, Switch: cand.SwitchAt,
+			EstimatedSearches: cand.Searches}
+		eng := cape.New(TierABA.config(r.MAXVL))
+		exec.NewCastle(eng, r.Cat, exec.DefaultCastleOptions()).Run(phys, r.DB)
+		cycles := eng.Stats().TotalCycles()
+
+		s := byShape[phys.Shape()]
+		if s == nil {
+			s = &OrderSensitivity{Shape: phys.Shape(), BestCycles: cycles, Worst: cycles}
+			byShape[phys.Shape()] = s
+			continue
+		}
+		if cycles < s.BestCycles {
+			s.BestCycles = cycles
+		}
+		if cycles > s.Worst {
+			s.Worst = cycles
+		}
+	}
+	out := make([]OrderSensitivity, 0, len(byShape))
+	for _, shape := range []plan.Shape{plan.LeftDeep, plan.RightDeep, plan.ZigZag} {
+		if s := byShape[shape]; s != nil {
+			out = append(out, *s)
+		}
+	}
+	return out
+}

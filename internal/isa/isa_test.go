@@ -1,0 +1,181 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestTable1Formulas pins the published cost model (Table 1) at n=32.
+func TestTable1Formulas(t *testing.T) {
+	cases := []struct {
+		op   Op
+		n    int
+		want int64
+	}{
+		{OpVAddVV, 32, 8*32 + 2},
+		{OpVSubVV, 32, 8*32 + 2},
+		{OpVMulVV, 32, 4*32*32 + 4*32},
+		{OpVRedSum, 32, 32},
+		{OpVAndVV, 32, 3},
+		{OpVOrVV, 32, 3},
+		{OpVXorVV, 32, 4},
+		{OpVMSeqVX, 32, 33},
+		{OpVMSeqVV, 32, 36},
+		{OpVMSltVV, 32, 3*32 + 6},
+	}
+	for _, c := range cases {
+		if got := Steps(c.op, c.n); got != c.want {
+			t.Errorf("Steps(%v, %d) = %d, want %d", c.op, c.n, got, c.want)
+		}
+	}
+}
+
+// TestABAMultiplyExample pins the §5.1 worked example: ABA reduces a 32-bit
+// multiplication from 4,224 cycles to 80 when both operands fit in 4 bits.
+func TestABAMultiplyExample(t *testing.T) {
+	if got := MulSteps(32, 32); got != 4224 {
+		t.Errorf("MulSteps(32,32) = %d, want 4224", got)
+	}
+	if got := MulSteps(4, 4); got != 80 {
+		t.Errorf("MulSteps(4,4) = %d, want 80", got)
+	}
+	// Mixed width: far cheaper than full width, far costlier than 4x4.
+	mixed := MulSteps(4, 32)
+	if mixed <= 80 || mixed >= 4224 {
+		t.Errorf("MulSteps(4,32) = %d, want between 80 and 4224", mixed)
+	}
+}
+
+func TestSearchCosts(t *testing.T) {
+	if got := SearchSteps(32); got != 33 {
+		t.Errorf("GP search = %d, want 33 (paper: 33 cycles on a 32-bit configuration)", got)
+	}
+	if SearchStepsCAM != 3 {
+		t.Errorf("CAM search = %d, want 3", SearchStepsCAM)
+	}
+}
+
+func TestVMKSCost(t *testing.T) {
+	// §5.3: Cycles(vmks) = M + numkeys + 2; the CSB-side part is numkeys+2.
+	if got := VMKSSteps(128); got != 130 {
+		t.Errorf("VMKSSteps(128) = %d, want 130", got)
+	}
+}
+
+func TestConfigInstructionCosts(t *testing.T) {
+	if Steps(OpVSetDL, 32) != 1 {
+		t.Error("vsetdl must cost 1 cycle (§5.2)")
+	}
+	if Steps(OpVRelayout, 32) != 2 {
+		t.Error("vrelayout must cost 2 cycles (§5.2)")
+	}
+}
+
+// TestFig7Classes checks the instruction-class taxonomy used for the
+// Figure 7 breakdown.
+func TestFig7Classes(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want Class
+	}{
+		{OpVMSeqVX, ClassSearch},
+		{OpVMKS, ClassSearch},
+		{OpVMSgeVX, ClassSearch},
+		{OpVAndVV, ClassLogical},
+		{OpVMXor, ClassLogical},
+		{OpVMSeqVV, ClassComparison},
+		{OpVMSltVV, ClassComparison},
+		{OpVAddVV, ClassArithmetic},
+		{OpVMulVV, ClassArithmetic},
+		{OpVRedSum, ClassArithmetic},
+		{OpVLoad, ClassOther},
+		{OpVMFirst, ClassOther},
+		{OpVSetDL, ClassOther},
+	}
+	for _, c := range cases {
+		if got := c.op.Class(); got != c.want {
+			t.Errorf("%v.Class() = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestComputeModes(t *testing.T) {
+	// Table 1: arithmetic and comparisons are bit-serial; logic is
+	// bit-parallel.
+	bitSerial := []Op{OpVAddVV, OpVSubVV, OpVMulVV, OpVMSeqVX, OpVMSeqVV, OpVMSltVV}
+	for _, op := range bitSerial {
+		if op.ComputeMode() != BitSerial {
+			t.Errorf("%v should be bit-serial", op)
+		}
+	}
+	bitParallel := []Op{OpVAndVV, OpVOrVV, OpVXorVV}
+	for _, op := range bitParallel {
+		if op.ComputeMode() != BitParallel {
+			t.Errorf("%v should be bit-parallel", op)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for o := Op(0); int(o) < NumOps(); o++ {
+		if s := o.String(); s == "" || s[0] == 'o' && s[1] == 'p' && s[2] == '(' {
+			t.Errorf("op %d has no mnemonic", int(o))
+		}
+	}
+	if Op(-1).String() == "" || Op(999).String() == "" {
+		t.Error("out-of-range ops should still render")
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has no name", int(c))
+		}
+	}
+	if BitSerial.String() != "bit-serial" || BitParallel.String() != "bit-parallel" {
+		t.Error("mode strings wrong")
+	}
+}
+
+// Property: every defined op has a class and a non-negative GP cost.
+func TestQuickAllOpsCosted(t *testing.T) {
+	for o := Op(0); int(o) < NumOps(); o++ {
+		if c := o.Class(); c < 0 || c >= NumClasses {
+			t.Errorf("%v has invalid class %v", o, c)
+		}
+		if s := Steps(o, 32); s < 0 {
+			t.Errorf("Steps(%v, 32) = %d < 0", o, s)
+		}
+	}
+}
+
+// Property: bit-serial costs are monotonically non-decreasing in bitwidth.
+func TestQuickCostsMonotonicInBitwidth(t *testing.T) {
+	ops := []Op{OpVAddVV, OpVSubVV, OpVMulVV, OpVRedSum, OpVMSeqVX, OpVMSeqVV, OpVMSltVV}
+	f := func(aRaw, bRaw uint8) bool {
+		a := int(aRaw%32) + 1
+		b := int(bRaw%32) + 1
+		if a > b {
+			a, b = b, a
+		}
+		for _, op := range ops {
+			if Steps(op, a) > Steps(op, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ABA can only reduce multiply cost (narrower never costs more).
+func TestQuickMulStepsMonotonic(t *testing.T) {
+	f := func(a1, b1, a2, b2 uint8) bool {
+		w1a, w1b := int(a1%32)+1, int(b1%32)+1
+		w2a, w2b := w1a+int(a2%8), w1b+int(b2%8)
+		return MulSteps(w1a, w1b) <= MulSteps(w2a, w2b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

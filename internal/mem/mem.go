@@ -1,0 +1,153 @@
+// Package mem models the DDR4 main-memory system shared by the CAPE core and
+// the baseline CPU in the paper's experimental setup (Table 2): 64 GB DDR4,
+// eight channels, 19.2 GB/s per channel (153.6 GB/s aggregate).
+//
+// The model is analytic rather than event-driven: a transfer of B bytes
+// issued as R requests costs R*Latency + B/BytesPerCycle cycles of memory
+// time. Sequential streaming (the dominant access pattern for columnar
+// scans and CAPE vector loads) overlaps request latency, so bulk transfers
+// charge a single leading latency. The model also keeps byte counters that
+// back the paper's data-movement comparison (§6.3).
+package mem
+
+import "fmt"
+
+// Config describes a DDR4 memory system.
+type Config struct {
+	// CapacityBytes is the total memory capacity.
+	CapacityBytes int64
+	// Channels is the number of DDR4 channels.
+	Channels int
+	// BandwidthBytesPerSec is the peak aggregate bandwidth.
+	BandwidthBytesPerSec float64
+	// CoreHz is the clock of the core the cycle costs are expressed in.
+	CoreHz float64
+	// RequestLatencyCycles is the leading latency of a memory request train,
+	// in core cycles (row activation + channel + controller queuing).
+	RequestLatencyCycles int64
+	// LineBytes is the transfer granularity (cacheline).
+	LineBytes int
+}
+
+// DDR4 returns the paper's memory configuration (Table 2) expressed against
+// a 2.7 GHz core clock with 512-byte lines.
+func DDR4() Config {
+	return Config{
+		CapacityBytes:        64 << 30,
+		Channels:             8,
+		BandwidthBytesPerSec: 153.6e9,
+		CoreHz:               2.7e9,
+		RequestLatencyCycles: 100,
+		LineBytes:            512,
+	}
+}
+
+// BytesPerCycle returns the peak bytes deliverable per core cycle.
+func (c Config) BytesPerCycle() float64 {
+	return c.BandwidthBytesPerSec / c.CoreHz
+}
+
+// System is a memory system with traffic accounting.
+type System struct {
+	cfg Config
+
+	bytesRead    int64
+	bytesWritten int64
+	requests     int64
+}
+
+// NewSystem returns a memory System with the given configuration.
+func NewSystem(cfg Config) *System {
+	if cfg.LineBytes <= 0 || cfg.BandwidthBytesPerSec <= 0 || cfg.CoreHz <= 0 {
+		panic("mem: invalid config")
+	}
+	return &System{cfg: cfg}
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// roundUpToLine rounds n up to a whole number of memory lines. Memory moves
+// whole lines; a 4-byte request still occupies a full line of bandwidth.
+func (s *System) roundUpToLine(n int64) int64 {
+	line := int64(s.cfg.LineBytes)
+	return (n + line - 1) / line * line
+}
+
+// StreamRead charges a sequential read of n bytes and returns its cost in
+// core cycles. Request latency is charged once; the transfer then proceeds
+// at peak bandwidth (the paper's VMU saturates DRAM on vector loads).
+func (s *System) StreamRead(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	moved := s.roundUpToLine(n)
+	s.bytesRead += moved
+	s.requests++
+	return s.cfg.RequestLatencyCycles + ceilDiv(moved, s.cfg.BytesPerCycle())
+}
+
+// StreamWrite charges a sequential write of n bytes and returns its cost in
+// core cycles.
+func (s *System) StreamWrite(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	moved := s.roundUpToLine(n)
+	s.bytesWritten += moved
+	s.requests++
+	return s.cfg.RequestLatencyCycles + ceilDiv(moved, s.cfg.BytesPerCycle())
+}
+
+// RandomRead charges r independent reads of lineBytes each (no latency
+// overlap) and returns the cost in core cycles. Used by the baseline cache
+// model for miss traffic with poor locality.
+func (s *System) RandomRead(r int64) int64 {
+	if r <= 0 {
+		return 0
+	}
+	moved := r * int64(s.cfg.LineBytes)
+	s.bytesRead += moved
+	s.requests += r
+	return r*s.cfg.RequestLatencyCycles + ceilDiv(moved, s.cfg.BytesPerCycle())
+}
+
+// AccountRead records n bytes of read traffic without returning a cycle cost.
+// Used when the caller computes timing itself but traffic must be counted.
+func (s *System) AccountRead(n int64) { s.bytesRead += s.roundUpToLine(n) }
+
+// AccountWrite records n bytes of write traffic.
+func (s *System) AccountWrite(n int64) { s.bytesWritten += s.roundUpToLine(n) }
+
+// BytesRead returns total bytes read since creation or the last Reset.
+func (s *System) BytesRead() int64 { return s.bytesRead }
+
+// BytesWritten returns total bytes written.
+func (s *System) BytesWritten() int64 { return s.bytesWritten }
+
+// BytesMoved returns total traffic in both directions.
+func (s *System) BytesMoved() int64 { return s.bytesRead + s.bytesWritten }
+
+// Requests returns the number of request trains issued.
+func (s *System) Requests() int64 { return s.requests }
+
+// Reset clears the traffic counters.
+func (s *System) Reset() {
+	s.bytesRead, s.bytesWritten, s.requests = 0, 0, 0
+}
+
+// String summarises the configuration.
+func (c Config) String() string {
+	return fmt.Sprintf("%dGB DDR4, %d channels, %.1fGB/s (%.1f B/cycle @%.1fGHz), %dB lines",
+		c.CapacityBytes>>30, c.Channels, c.BandwidthBytesPerSec/1e9,
+		c.BytesPerCycle(), c.CoreHz/1e9, c.LineBytes)
+}
+
+func ceilDiv(n int64, per float64) int64 {
+	cycles := float64(n) / per
+	i := int64(cycles)
+	if float64(i) < cycles {
+		i++
+	}
+	return i
+}

@@ -1,0 +1,160 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDDR4Config(t *testing.T) {
+	cfg := DDR4()
+	if got := cfg.BytesPerCycle(); got < 56 || got > 58 {
+		t.Fatalf("BytesPerCycle = %.2f, want ~56.9 (153.6GB/s @ 2.7GHz)", got)
+	}
+	if cfg.Channels != 8 {
+		t.Fatalf("Channels = %d, want 8", cfg.Channels)
+	}
+	if cfg.CapacityBytes != 64<<30 {
+		t.Fatalf("Capacity = %d, want 64GB", cfg.CapacityBytes)
+	}
+}
+
+func TestStreamReadCost(t *testing.T) {
+	s := NewSystem(DDR4())
+	// A full CAPE vector: 32768 x 4B = 128KiB. At ~56.9 B/cycle that is
+	// ~2300 transfer cycles plus 100 latency.
+	c := s.StreamRead(32768 * 4)
+	if c < 2300 || c > 2500 {
+		t.Fatalf("StreamRead(128KiB) = %d cycles, want ~2400", c)
+	}
+	if s.BytesRead() != 32768*4 {
+		t.Fatalf("BytesRead = %d, want %d", s.BytesRead(), 32768*4)
+	}
+}
+
+func TestLineRounding(t *testing.T) {
+	s := NewSystem(DDR4())
+	s.StreamRead(1) // one byte still moves a whole 512B line
+	if s.BytesRead() != 512 {
+		t.Fatalf("BytesRead = %d, want 512", s.BytesRead())
+	}
+}
+
+func TestZeroAndNegativeTransfers(t *testing.T) {
+	s := NewSystem(DDR4())
+	if s.StreamRead(0) != 0 || s.StreamWrite(-5) != 0 || s.RandomRead(0) != 0 {
+		t.Fatal("zero/negative transfers should cost nothing")
+	}
+	if s.BytesMoved() != 0 {
+		t.Fatal("zero transfers should move no bytes")
+	}
+}
+
+func TestRandomReadChargesPerRequestLatency(t *testing.T) {
+	s := NewSystem(DDR4())
+	r := int64(1000)
+	c := s.RandomRead(r)
+	minCost := r * s.Config().RequestLatencyCycles
+	if c <= minCost {
+		t.Fatalf("RandomRead(%d) = %d cycles, want > %d (latency-bound)", r, c, minCost)
+	}
+	if s.Requests() != r {
+		t.Fatalf("Requests = %d, want %d", s.Requests(), r)
+	}
+}
+
+func TestStreamFasterThanRandomForSameBytes(t *testing.T) {
+	s := NewSystem(DDR4())
+	lines := int64(4096)
+	bytes := lines * int64(s.Config().LineBytes)
+	stream := s.StreamRead(bytes)
+	random := s.RandomRead(lines)
+	if stream >= random {
+		t.Fatalf("stream (%d) should be cheaper than random (%d) for same bytes", stream, random)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	s := NewSystem(DDR4())
+	s.AccountRead(1000)
+	s.AccountWrite(2000)
+	if s.BytesRead() != 1024 { // rounded to 512B lines
+		t.Fatalf("BytesRead = %d, want 1024", s.BytesRead())
+	}
+	if s.BytesWritten() != 2048 {
+		t.Fatalf("BytesWritten = %d, want 2048", s.BytesWritten())
+	}
+	s.Reset()
+	if s.BytesMoved() != 0 || s.Requests() != 0 {
+		t.Fatal("Reset should clear counters")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid config")
+		}
+	}()
+	NewSystem(Config{})
+}
+
+// Property: transfer cost is monotonic in size.
+func TestQuickStreamMonotonic(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int64(a%1<<26), int64(b%1<<26)
+		if x > y {
+			x, y = y, x
+		}
+		s := NewSystem(DDR4())
+		cx := s.StreamRead(x)
+		cy := s.StreamRead(y)
+		return cx <= cy
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bytes moved are always a whole number of lines and >= requested.
+func TestQuickLineAccounting(t *testing.T) {
+	f := func(n uint32) bool {
+		v := int64(n % 1 << 24)
+		s := NewSystem(DDR4())
+		s.StreamRead(v)
+		moved := s.BytesRead()
+		if v == 0 {
+			return moved == 0
+		}
+		return moved >= v && moved%int64(s.Config().LineBytes) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	if s := DDR4().String(); len(s) == 0 {
+		t.Fatal("empty config string")
+	}
+}
+
+func TestStreamWriteCostsAndCounts(t *testing.T) {
+	s := NewSystem(DDR4())
+	c := s.StreamWrite(1 << 20)
+	if c <= 0 {
+		t.Fatal("write should cost cycles")
+	}
+	if s.BytesWritten() != 1<<20 {
+		t.Fatalf("BytesWritten = %d", s.BytesWritten())
+	}
+	if s.BytesMoved() != s.BytesRead()+s.BytesWritten() {
+		t.Fatal("BytesMoved must sum directions")
+	}
+}
+
+func TestConfigAccessor(t *testing.T) {
+	s := NewSystem(DDR4())
+	if s.Config().Channels != 8 {
+		t.Fatal("Config accessor broken")
+	}
+}

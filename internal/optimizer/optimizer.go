@@ -1,0 +1,240 @@
+// Package optimizer implements Castle's AP-aware query optimizer (§3.4).
+//
+// CAPE inverts the cost structure of joins: data loaded into a vector
+// register is implicitly indexed, so there is no build phase and the
+// cheaper relation should *probe* rather than be probed. The optimizer
+// therefore scores plans by the number of associative searches they perform
+// (Figure 5's unit):
+//
+//	cost(probe P into stored R) = |P| * |Part(R)|,  Part(R) = ceil(|R|/MAXVL)
+//
+// and enumerates join orders together with plan shapes — left-deep,
+// right-deep, and zig-zag (right-deep prefix, then a probe-direction switch
+// once the intermediate result undercuts the remaining dimensions).
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"castle/internal/plan"
+	"castle/internal/stats"
+)
+
+// Estimator derives cardinality estimates from catalog statistics.
+type Estimator struct {
+	Cat *stats.Catalog
+}
+
+// PredSelectivity estimates the fraction of rows a predicate retains.
+func (e Estimator) PredSelectivity(p plan.Predicate) float64 {
+	if p.Never {
+		return 0
+	}
+	cs, ok := e.Cat.Column(p.Table, p.Column)
+	if !ok {
+		return 1
+	}
+	switch p.Op {
+	case plan.PredEQ:
+		return cs.EqSelectivity()
+	case plan.PredNE:
+		return 1 - cs.EqSelectivity()
+	case plan.PredLT:
+		if p.Value == 0 {
+			return 0
+		}
+		return cs.RangeSelectivity(cs.Min, p.Value-1)
+	case plan.PredLE:
+		return cs.RangeSelectivity(cs.Min, p.Value)
+	case plan.PredGT:
+		if p.Value == math.MaxUint32 {
+			return 0
+		}
+		return cs.RangeSelectivity(p.Value+1, cs.Max)
+	case plan.PredGE:
+		return cs.RangeSelectivity(p.Value, cs.Max)
+	case plan.PredBetween:
+		return cs.RangeSelectivity(p.Lo, p.Hi)
+	case plan.PredIn:
+		return cs.InSelectivity(len(p.Values))
+	}
+	return 1
+}
+
+// ConjunctionSelectivity multiplies the independent selectivities of a
+// predicate list (the standard independence assumption).
+func (e Estimator) ConjunctionSelectivity(preds []plan.Predicate) float64 {
+	s := 1.0
+	for _, p := range preds {
+		s *= e.PredSelectivity(p)
+	}
+	return s
+}
+
+// FilteredDimRows estimates the surviving rows of a dimension after its
+// selections.
+func (e Estimator) FilteredDimRows(q *plan.Query, dim string) float64 {
+	rows := float64(e.Cat.MustTable(dim).Rows)
+	return rows * e.ConjunctionSelectivity(q.DimPreds[dim])
+}
+
+// JoinFraction estimates the fraction of fact rows surviving the semi-join
+// with a filtered dimension (uniform foreign keys over the dimension's key
+// domain).
+func (e Estimator) JoinFraction(q *plan.Query, dim string) float64 {
+	total := float64(e.Cat.MustTable(dim).Rows)
+	if total == 0 {
+		return 0
+	}
+	f := e.FilteredDimRows(q, dim) / total
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// partitions returns ceil(rows / maxvl), the Part(X) of Figure 5.
+func partitions(rows float64, maxvl int) float64 {
+	p := math.Ceil(rows / float64(maxvl))
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Cost computes the estimated number of searches for executing the joins in
+// the given order with the given switch point (joins[0:switch] right-deep,
+// joins[switch:] left-deep). Exported so experiments can reproduce the
+// Figure 5 worked example.
+func Cost(q *plan.Query, est Estimator, maxvl int, joins []plan.JoinEdge, switchAt int) int64 {
+	factRows := float64(est.Cat.MustTable(q.Fact).Rows)
+	factParts := partitions(factRows, maxvl)
+
+	cost := 0.0
+	// Right-deep segment: every filtered dimension probes all fact
+	// partitions. Cost is independent of order within the segment (§3.4).
+	intermediate := factRows * est.ConjunctionSelectivity(q.FactPreds)
+	for _, j := range joins[:switchAt] {
+		cost += est.FilteredDimRows(q, j.Dim) * factParts
+		intermediate *= est.JoinFraction(q, j.Dim)
+	}
+	// Left-deep segment: the intermediate result probes each stored
+	// (filtered) dimension in turn.
+	for _, j := range joins[switchAt:] {
+		dimRows := est.FilteredDimRows(q, j.Dim)
+		cost += intermediate * partitions(dimRows, maxvl)
+		intermediate *= est.JoinFraction(q, j.Dim)
+	}
+	return int64(math.Round(cost))
+}
+
+// Candidate couples a physical plan alternative with its cost.
+type Candidate struct {
+	Joins    []plan.JoinEdge
+	SwitchAt int
+	Searches int64
+}
+
+// Shape classifies the candidate like plan.Physical.
+func (c Candidate) Shape() plan.Shape {
+	switch {
+	case c.SwitchAt == 0 && len(c.Joins) > 0:
+		return plan.LeftDeep
+	case c.SwitchAt == len(c.Joins):
+		return plan.RightDeep
+	default:
+		return plan.ZigZag
+	}
+}
+
+// Enumerate returns every (join order, switch point) candidate with its
+// estimated search count. SSB queries join at most four dimensions, so
+// exhaustive enumeration (n! * (n+1) candidates) is cheap.
+func Enumerate(q *plan.Query, cat *stats.Catalog, maxvl int) []Candidate {
+	est := Estimator{Cat: cat}
+	var out []Candidate
+	permute(q.Joins, func(order []plan.JoinEdge) {
+		for sw := 0; sw <= len(order); sw++ {
+			js := make([]plan.JoinEdge, len(order))
+			copy(js, order)
+			out = append(out, Candidate{
+				Joins:    js,
+				SwitchAt: sw,
+				Searches: Cost(q, est, maxvl, js, sw),
+			})
+		}
+	})
+	return out
+}
+
+func permute(js []plan.JoinEdge, emit func([]plan.JoinEdge)) {
+	n := len(js)
+	if n == 0 {
+		emit(nil)
+		return
+	}
+	cur := make([]plan.JoinEdge, n)
+	copy(cur, js)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			emit(cur)
+			return
+		}
+		for i := k; i < n; i++ {
+			cur[k], cur[i] = cur[i], cur[k]
+			rec(k + 1)
+			cur[k], cur[i] = cur[i], cur[k]
+		}
+	}
+	rec(0)
+}
+
+// Optimize picks the minimum-search candidate (ties broken toward larger
+// switch points, i.e. more right-deep, whose cost is robust to join-order
+// estimation errors, §3.4).
+func Optimize(q *plan.Query, cat *stats.Catalog, maxvl int) (*plan.Physical, error) {
+	cands := Enumerate(q, cat, maxvl)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("optimizer: no candidates for query %s", q)
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Searches < best.Searches ||
+			(c.Searches == best.Searches && c.SwitchAt > best.SwitchAt) {
+			best = c
+		}
+	}
+	return &plan.Physical{
+		Query:             q,
+		Joins:             best.Joins,
+		Switch:            best.SwitchAt,
+		EstimatedSearches: best.Searches,
+	}, nil
+}
+
+// BestWithShape picks the minimum-search candidate of a given shape — used
+// to compare plan shapes (Figure 6's "CAPE database operators" tier forces
+// the traditional left-deep shape).
+func BestWithShape(q *plan.Query, cat *stats.Catalog, maxvl int, shape plan.Shape) (*plan.Physical, error) {
+	var best *Candidate
+	for _, c := range Enumerate(q, cat, maxvl) {
+		c := c
+		if len(q.Joins) > 0 && c.Shape() != shape {
+			continue
+		}
+		if best == nil || c.Searches < best.Searches {
+			best = &c
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("optimizer: no %v plan exists for query %s", shape, q)
+	}
+	return &plan.Physical{
+		Query:             q,
+		Joins:             best.Joins,
+		Switch:            best.SwitchAt,
+		EstimatedSearches: best.Searches,
+	}, nil
+}

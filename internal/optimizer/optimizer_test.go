@@ -1,0 +1,233 @@
+package optimizer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"castle/internal/plan"
+	"castle/internal/sql"
+	"castle/internal/stats"
+	"castle/internal/storage"
+)
+
+const fig5MAXVL = 32768
+
+// fig5DB reconstructs the worked example of Figure 5: a 6M-row fact joined
+// with two dimensions. d1 filters down to 3K rows and the f-d1 join
+// intermediate is 200K rows (join fraction 1/30 => d1 has 90K total rows);
+// d2 has 20K rows, unfiltered.
+func fig5DB(t *testing.T) (*plan.Query, *stats.Catalog) {
+	t.Helper()
+	db := storage.NewDatabase()
+
+	const d1Rows = 90000
+	d1Key := make([]uint32, d1Rows)
+	d1Attr := make([]uint32, d1Rows)
+	for i := range d1Key {
+		d1Key[i] = uint32(i)
+		d1Attr[i] = uint32(i % 30) // filter d1_attr = 0 keeps 3K rows
+	}
+	d1 := storage.NewTable("d1")
+	d1.AddIntColumn("d1_key", d1Key)
+	d1.AddIntColumn("d1_attr", d1Attr)
+	db.Add(d1)
+
+	const d2Rows = 20000
+	d2Key := make([]uint32, d2Rows)
+	for i := range d2Key {
+		d2Key[i] = uint32(i)
+	}
+	d2 := storage.NewTable("d2")
+	d2.AddIntColumn("d2_key", d2Key)
+	db.Add(d2)
+
+	// The fact relation only needs its cardinality for costing; keep its
+	// columns tiny-valued to build fast. 6M rows.
+	const fRows = 6000000
+	c1 := make([]uint32, fRows)
+	c2 := make([]uint32, fRows)
+	rev := make([]uint32, fRows)
+	for i := range c1 {
+		c1[i] = uint32(i % d1Rows)
+		c2[i] = uint32(i % d2Rows)
+	}
+	f := storage.NewTable("fact")
+	f.AddIntColumn("f_c1", c1)
+	f.AddIntColumn("f_c2", c2)
+	f.AddIntColumn("f_rev", rev)
+	db.Add(f)
+
+	stmt, err := sql.Parse(`SELECT SUM(f_rev) FROM fact, d1, d2
+		WHERE f_c1 = d1_key AND f_c2 = d2_key AND d1_attr = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := plan.Bind(stmt, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, stats.Collect(db)
+}
+
+// TestFig5PlanShapeCosts pins the Figure 5 ordering: left-deep ~6M searches,
+// right-deep ~4M, zig-zag under 1M.
+func TestFig5PlanShapeCosts(t *testing.T) {
+	q, cat := fig5DB(t)
+	est := Estimator{Cat: cat}
+
+	d1 := *q.JoinFor("d1")
+	d2 := *q.JoinFor("d2")
+	order := []plan.JoinEdge{d1, d2}
+
+	leftDeep := Cost(q, est, fig5MAXVL, order, 0)
+	rightDeep := Cost(q, est, fig5MAXVL, order, 2)
+	zigZag := Cost(q, est, fig5MAXVL, order, 1)
+
+	if leftDeep < 6000000 || leftDeep > 6500000 {
+		t.Errorf("left-deep = %d searches, want ~6.2M (Figure 5: '6M searches')", leftDeep)
+	}
+	if rightDeep < 4000000 || rightDeep > 4500000 {
+		t.Errorf("right-deep = %d searches, want ~4.2M (Figure 5: '4M searches')", rightDeep)
+	}
+	if zigZag < 600000 || zigZag > 800000 {
+		t.Errorf("zig-zag = %d searches, want ~750K (Figure 5: '600K searches')", zigZag)
+	}
+	if !(zigZag < rightDeep && rightDeep < leftDeep) {
+		t.Errorf("ordering violated: zigzag=%d rightdeep=%d leftdeep=%d", zigZag, rightDeep, leftDeep)
+	}
+}
+
+func TestOptimizePicksZigZagForFig5(t *testing.T) {
+	q, cat := fig5DB(t)
+	p, err := Optimize(q, cat, fig5MAXVL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shape() != plan.ZigZag {
+		t.Fatalf("best shape = %v, want zig-zag", p.Shape())
+	}
+	// d1 (small filtered) must be the right-deep prefix.
+	if p.Joins[0].Dim != "d1" || p.Switch != 1 {
+		t.Fatalf("plan = %v", p)
+	}
+}
+
+// TestRightDeepCostOrderIndependent verifies §3.4's observation: a
+// right-deep plan's cost does not depend on the join order.
+func TestRightDeepCostOrderIndependent(t *testing.T) {
+	q, cat := fig5DB(t)
+	est := Estimator{Cat: cat}
+	d1 := *q.JoinFor("d1")
+	d2 := *q.JoinFor("d2")
+	a := Cost(q, est, fig5MAXVL, []plan.JoinEdge{d1, d2}, 2)
+	b := Cost(q, est, fig5MAXVL, []plan.JoinEdge{d2, d1}, 2)
+	if a != b {
+		t.Fatalf("right-deep cost depends on order: %d vs %d", a, b)
+	}
+}
+
+func TestBestWithShape(t *testing.T) {
+	q, cat := fig5DB(t)
+	for _, shape := range []plan.Shape{plan.LeftDeep, plan.RightDeep, plan.ZigZag} {
+		p, err := BestWithShape(q, cat, fig5MAXVL, shape)
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		if p.Shape() != shape {
+			t.Fatalf("asked %v, got %v", shape, p.Shape())
+		}
+	}
+	best, _ := Optimize(q, cat, fig5MAXVL)
+	ld, _ := BestWithShape(q, cat, fig5MAXVL, plan.LeftDeep)
+	if best.EstimatedSearches > ld.EstimatedSearches {
+		t.Fatal("optimal plan cannot be worse than the best left-deep plan")
+	}
+}
+
+func TestEnumerateCount(t *testing.T) {
+	q, cat := fig5DB(t)
+	cands := Enumerate(q, cat, fig5MAXVL)
+	// 2 joins: 2! orders x 3 switch points = 6 candidates.
+	if len(cands) != 6 {
+		t.Fatalf("candidates = %d, want 6", len(cands))
+	}
+	for _, c := range cands {
+		if c.Searches <= 0 {
+			t.Fatalf("non-positive cost: %+v", c)
+		}
+		if c.Shape() == plan.ZigZag && (c.SwitchAt == 0 || c.SwitchAt == len(c.Joins)) {
+			t.Fatal("shape misclassified")
+		}
+	}
+}
+
+// Property: Optimize returns the minimum over Enumerate.
+func TestQuickOptimizeIsMinimum(t *testing.T) {
+	q, cat := fig5DB(t)
+	best, err := Optimize(q, cat, fig5MAXVL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range Enumerate(q, cat, fig5MAXVL) {
+		if c.Searches < best.EstimatedSearches {
+			t.Fatalf("candidate %+v beats chosen plan (%d)", c, best.EstimatedSearches)
+		}
+	}
+}
+
+func TestPredSelectivities(t *testing.T) {
+	db := storage.NewDatabase()
+	tb := storage.NewTable("t")
+	data := make([]uint32, 100)
+	for i := range data {
+		data[i] = uint32(i)
+	}
+	tb.AddIntColumn("x", data)
+	db.Add(tb)
+	est := Estimator{Cat: stats.Collect(db)}
+
+	check := func(p plan.Predicate, want float64) {
+		t.Helper()
+		p.Table, p.Column = "t", "x"
+		got := est.PredSelectivity(p)
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("selectivity(%v) = %.3f, want ~%.3f", p, got, want)
+		}
+	}
+	check(plan.Predicate{Op: plan.PredEQ, Value: 5}, 0.01)
+	check(plan.Predicate{Op: plan.PredNE, Value: 5}, 0.99)
+	check(plan.Predicate{Op: plan.PredLT, Value: 50}, 0.5)
+	check(plan.Predicate{Op: plan.PredLE, Value: 49}, 0.5)
+	check(plan.Predicate{Op: plan.PredGT, Value: 49}, 0.5)
+	check(plan.Predicate{Op: plan.PredGE, Value: 50}, 0.5)
+	check(plan.Predicate{Op: plan.PredBetween, Lo: 10, Hi: 19}, 0.1)
+	check(plan.Predicate{Op: plan.PredIn, Values: []uint32{1, 2, 3}}, 0.03)
+	check(plan.Predicate{Never: true}, 0)
+	// Unknown column: neutral selectivity.
+	p := plan.Predicate{Table: "t", Column: "nope", Op: plan.PredEQ}
+	if est.PredSelectivity(p) != 1 {
+		t.Error("unknown column should have selectivity 1")
+	}
+}
+
+// Property: selectivity estimates stay in [0,1] for arbitrary predicates.
+func TestQuickSelectivityBounds(t *testing.T) {
+	db := storage.NewDatabase()
+	tb := storage.NewTable("t")
+	tb.AddIntColumn("x", []uint32{3, 17, 99, 3, 42})
+	db.Add(tb)
+	est := Estimator{Cat: stats.Collect(db)}
+	f := func(opRaw uint8, v, lo, hi uint32) bool {
+		p := plan.Predicate{
+			Table: "t", Column: "x",
+			Op:    plan.PredOp(opRaw % 8),
+			Value: v, Lo: lo, Hi: hi,
+			Values: []uint32{v, lo},
+		}
+		s := est.PredSelectivity(p)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,515 @@
+package plan
+
+import (
+	"fmt"
+
+	"castle/internal/sql"
+	"castle/internal/storage"
+)
+
+// Bind resolves a parsed statement against a database schema into a star
+// Query. The fact relation is the largest FROM relation; every join
+// predicate must connect the fact to a dimension (star schemas have no
+// dimension-to-dimension joins).
+func Bind(stmt *sql.SelectStmt, db *storage.Database) (*Query, error) {
+	if len(stmt.Tables) == 0 {
+		return nil, fmt.Errorf("plan: no FROM tables")
+	}
+	tables := make([]*storage.Table, 0, len(stmt.Tables))
+	for _, ref := range stmt.Tables {
+		t := db.Table(ref.Name)
+		if t == nil {
+			return nil, fmt.Errorf("plan: unknown table %q", ref.Name)
+		}
+		tables = append(tables, t)
+	}
+	fact := tables[0]
+	for _, t := range tables[1:] {
+		if t.Rows() > fact.Rows() {
+			fact = t
+		}
+	}
+
+	q := &Query{Fact: fact.Name, DimPreds: make(map[string][]Predicate)}
+	b := &binder{db: db, tables: tables, fact: fact, q: q}
+
+	if stmt.Where != nil {
+		if err := b.walkConjuncts(stmt.Where); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, g := range stmt.GroupBy {
+		ref, err := b.resolve(g)
+		if err != nil {
+			return nil, err
+		}
+		q.GroupBy = append(q.GroupBy, ref)
+		if ref.Table != q.Fact {
+			j := q.JoinFor(ref.Table)
+			if j == nil {
+				return nil, fmt.Errorf("plan: GROUP BY %s references unjoined table %s", g, ref.Table)
+			}
+			j.addAttr(ref.Column)
+		}
+	}
+
+	for _, item := range stmt.Items {
+		switch item.Agg {
+		case "":
+			col, ok := item.Expr.(sql.ColRef)
+			if !ok {
+				return nil, fmt.Errorf("plan: non-aggregate select item %s must be a column", item.Expr)
+			}
+			ref, err := b.resolve(col.Name)
+			if err != nil {
+				return nil, err
+			}
+			if !containsRef(q.GroupBy, ref) {
+				return nil, fmt.Errorf("plan: select column %s is not in GROUP BY", col.Name)
+			}
+		case "SUM":
+			agg, err := b.bindSum(item)
+			if err != nil {
+				return nil, err
+			}
+			q.Aggs = append(q.Aggs, agg)
+		case "COUNT":
+			if item.Distinct {
+				col, ok := item.Expr.(sql.ColRef)
+				if !ok {
+					return nil, fmt.Errorf("plan: COUNT(DISTINCT ...) argument must be a column")
+				}
+				ref, err := b.resolve(col.Name)
+				if err != nil {
+					return nil, err
+				}
+				if ref.Table != q.Fact {
+					return nil, fmt.Errorf("plan: COUNT(DISTINCT) over non-fact column %s", col.Name)
+				}
+				q.Aggs = append(q.Aggs, AggExpr{Kind: AggCountDistinct, A: ref.Column, Alias: item.Alias})
+				continue
+			}
+			q.Aggs = append(q.Aggs, AggExpr{Kind: AggCount, Alias: item.Alias})
+		case "MIN", "MAX", "AVG":
+			agg, err := b.bindSimpleAgg(item)
+			if err != nil {
+				return nil, err
+			}
+			q.Aggs = append(q.Aggs, agg)
+		default:
+			return nil, fmt.Errorf("plan: unsupported aggregate %s", item.Agg)
+		}
+	}
+	if len(q.Aggs) == 0 {
+		return nil, fmt.Errorf("plan: analytic queries must have at least one aggregate")
+	}
+
+	for _, o := range stmt.OrderBy {
+		term, err := b.resolveOrderTerm(o)
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = append(q.OrderBy, term)
+	}
+	q.Limit = stmt.Limit
+	return q, nil
+}
+
+// resolveOrderTerm maps an ORDER BY name to a group-by column or an
+// aggregate alias.
+func (b *binder) resolveOrderTerm(o sql.OrderItem) (OrderTerm, error) {
+	if ref, err := b.resolve(o.Col); err == nil {
+		for i, g := range b.q.GroupBy {
+			if g == ref {
+				return OrderTerm{KeyIdx: i, AggIdx: -1, Desc: o.Desc}, nil
+			}
+		}
+	}
+	for i, a := range b.q.Aggs {
+		if a.Alias == o.Col {
+			return OrderTerm{KeyIdx: -1, AggIdx: i, Desc: o.Desc}, nil
+		}
+	}
+	return OrderTerm{}, fmt.Errorf("plan: ORDER BY %s is neither a GROUP BY column nor an aggregate alias", o.Col)
+}
+
+func (j *JoinEdge) addAttr(col string) {
+	for _, a := range j.NeedAttrs {
+		if a == col {
+			return
+		}
+	}
+	j.NeedAttrs = append(j.NeedAttrs, col)
+}
+
+func containsRef(refs []ColRef, r ColRef) bool {
+	for _, x := range refs {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+type binder struct {
+	db     *storage.Database
+	tables []*storage.Table
+	fact   *storage.Table
+	q      *Query
+}
+
+// resolve finds the FROM relation owning an unqualified column name.
+func (b *binder) resolve(col string) (ColRef, error) {
+	var found ColRef
+	n := 0
+	for _, t := range b.tables {
+		if t.Column(col) != nil {
+			found = ColRef{Table: t.Name, Column: col}
+			n++
+		}
+	}
+	switch n {
+	case 0:
+		return ColRef{}, fmt.Errorf("plan: column %q not found in FROM tables", col)
+	case 1:
+		return found, nil
+	default:
+		return ColRef{}, fmt.Errorf("plan: column %q is ambiguous", col)
+	}
+}
+
+func (b *binder) column(ref ColRef) *storage.Column {
+	return b.db.MustTable(ref.Table).MustColumn(ref.Column)
+}
+
+// walkConjuncts flattens the WHERE AND-chain and binds each conjunct.
+func (b *binder) walkConjuncts(e sql.Expr) error {
+	if and, ok := e.(sql.BinaryExpr); ok && and.Op == "AND" {
+		if err := b.walkConjuncts(and.L); err != nil {
+			return err
+		}
+		return b.walkConjuncts(and.R)
+	}
+	return b.bindConjunct(e)
+}
+
+func (b *binder) bindConjunct(e sql.Expr) error {
+	switch x := e.(type) {
+	case sql.BinaryExpr:
+		switch x.Op {
+		case "OR":
+			return b.bindOrGroup(x)
+		case "=", "<>", "<", "<=", ">", ">=":
+			return b.bindComparison(x)
+		default:
+			return fmt.Errorf("plan: unsupported WHERE operator %q", x.Op)
+		}
+	case sql.BetweenExpr:
+		return b.bindBetween(x)
+	case sql.InExpr:
+		return b.bindIn(x)
+	default:
+		return fmt.Errorf("plan: unsupported WHERE clause %s", e)
+	}
+}
+
+func (b *binder) bindComparison(x sql.BinaryExpr) error {
+	lc, lIsCol := x.L.(sql.ColRef)
+	rc, rIsCol := x.R.(sql.ColRef)
+	switch {
+	case lIsCol && rIsCol:
+		if x.Op != "=" {
+			return fmt.Errorf("plan: join predicates must be equalities, got %s", x)
+		}
+		return b.bindJoin(lc.Name, rc.Name)
+	case lIsCol:
+		return b.bindColLiteral(lc.Name, x.Op, x.R)
+	case rIsCol:
+		return b.bindColLiteral(rc.Name, flipOp(x.Op), x.L)
+	default:
+		return fmt.Errorf("plan: predicate %s references no column", x)
+	}
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op // = and <> are symmetric
+}
+
+func (b *binder) bindJoin(colA, colB string) error {
+	ra, err := b.resolve(colA)
+	if err != nil {
+		return err
+	}
+	rb, err := b.resolve(colB)
+	if err != nil {
+		return err
+	}
+	var fk, dk ColRef
+	switch {
+	case ra.Table == b.q.Fact && rb.Table != b.q.Fact:
+		fk, dk = ra, rb
+	case rb.Table == b.q.Fact && ra.Table != b.q.Fact:
+		fk, dk = rb, ra
+	default:
+		return fmt.Errorf("plan: join %s = %s does not connect fact and dimension (star schema required)", colA, colB)
+	}
+	if j := b.q.JoinFor(dk.Table); j != nil {
+		return fmt.Errorf("plan: dimension %s joined twice", dk.Table)
+	}
+	b.q.Joins = append(b.q.Joins, JoinEdge{Dim: dk.Table, FactFK: fk.Column, DimKey: dk.Column})
+	return nil
+}
+
+// encodeLiteral converts a SQL literal to a column's encoded 32-bit domain.
+// ok is false when a string value is absent from the dictionary.
+func (b *binder) encodeLiteral(col *storage.Column, lit sql.Expr) (uint32, bool, error) {
+	switch v := lit.(type) {
+	case sql.IntLit:
+		if v.V < 0 || v.V > int64(^uint32(0)) {
+			return 0, false, fmt.Errorf("plan: literal %d out of 32-bit range", v.V)
+		}
+		return uint32(v.V), true, nil
+	case sql.StrLit:
+		if col.Dict == nil {
+			return 0, false, fmt.Errorf("plan: string literal %q compared with non-string column %s", v.V, col.Name)
+		}
+		c, ok := col.Dict.Encode(v.V)
+		return c, ok, nil
+	default:
+		return 0, false, fmt.Errorf("plan: unsupported literal %s", lit)
+	}
+}
+
+func (b *binder) addPred(ref ColRef, p Predicate) {
+	p.Table, p.Column = ref.Table, ref.Column
+	if ref.Table == b.q.Fact {
+		b.q.FactPreds = append(b.q.FactPreds, p)
+	} else {
+		b.q.DimPreds[ref.Table] = append(b.q.DimPreds[ref.Table], p)
+	}
+}
+
+func (b *binder) bindColLiteral(col, op string, lit sql.Expr) error {
+	ref, err := b.resolve(col)
+	if err != nil {
+		return err
+	}
+	c := b.column(ref)
+	v, ok, err := b.encodeLiteral(c, lit)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		// Unknown dictionary value: equality can never match; inequality
+		// always matches (drop); ordering against an unseen string is out
+		// of the benchmark's scope.
+		switch op {
+		case "=":
+			b.addPred(ref, Predicate{Op: PredEQ, Never: true})
+			return nil
+		case "<>":
+			return nil
+		default:
+			return fmt.Errorf("plan: ordering comparison with unknown string %s", lit)
+		}
+	}
+	var p Predicate
+	switch op {
+	case "=":
+		p = Predicate{Op: PredEQ, Value: v}
+	case "<>":
+		p = Predicate{Op: PredNE, Value: v}
+	case "<":
+		p = Predicate{Op: PredLT, Value: v}
+	case "<=":
+		p = Predicate{Op: PredLE, Value: v}
+	case ">":
+		p = Predicate{Op: PredGT, Value: v}
+	case ">=":
+		p = Predicate{Op: PredGE, Value: v}
+	default:
+		return fmt.Errorf("plan: unsupported comparison %q", op)
+	}
+	b.addPred(ref, p)
+	return nil
+}
+
+func (b *binder) bindBetween(x sql.BetweenExpr) error {
+	col, ok := x.Operand.(sql.ColRef)
+	if !ok {
+		return fmt.Errorf("plan: BETWEEN operand must be a column, got %s", x.Operand)
+	}
+	ref, err := b.resolve(col.Name)
+	if err != nil {
+		return err
+	}
+	c := b.column(ref)
+	// String ranges map to code ranges via the sorted dictionary.
+	loS, loStr := x.Lo.(sql.StrLit)
+	hiS, hiStr := x.Hi.(sql.StrLit)
+	if loStr && hiStr {
+		if c.Dict == nil {
+			return fmt.Errorf("plan: string BETWEEN on non-string column %s", col.Name)
+		}
+		lo, hi, any := c.Dict.Bounds(loS.V, hiS.V)
+		if !any {
+			b.addPred(ref, Predicate{Op: PredBetween, Never: true})
+			return nil
+		}
+		b.addPred(ref, Predicate{Op: PredBetween, Lo: lo, Hi: hi})
+		return nil
+	}
+	lo, okLo, err := b.encodeLiteral(c, x.Lo)
+	if err != nil {
+		return err
+	}
+	hi, okHi, err := b.encodeLiteral(c, x.Hi)
+	if err != nil {
+		return err
+	}
+	if !okLo || !okHi {
+		return fmt.Errorf("plan: BETWEEN bound not found in dictionary")
+	}
+	b.addPred(ref, Predicate{Op: PredBetween, Lo: lo, Hi: hi})
+	return nil
+}
+
+func (b *binder) bindIn(x sql.InExpr) error {
+	col, ok := x.Operand.(sql.ColRef)
+	if !ok {
+		return fmt.Errorf("plan: IN operand must be a column, got %s", x.Operand)
+	}
+	ref, err := b.resolve(col.Name)
+	if err != nil {
+		return err
+	}
+	c := b.column(ref)
+	var vals []uint32
+	for _, lit := range x.List {
+		v, ok, err := b.encodeLiteral(c, lit)
+		if err != nil {
+			return err
+		}
+		if ok {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		b.addPred(ref, Predicate{Op: PredIn, Never: true})
+		return nil
+	}
+	b.addPred(ref, Predicate{Op: PredIn, Values: vals})
+	return nil
+}
+
+// bindOrGroup folds a disjunction of equalities on one column into PredIn.
+func (b *binder) bindOrGroup(x sql.BinaryExpr) error {
+	var terms []sql.Expr
+	var flatten func(e sql.Expr)
+	flatten = func(e sql.Expr) {
+		if or, ok := e.(sql.BinaryExpr); ok && or.Op == "OR" {
+			flatten(or.L)
+			flatten(or.R)
+			return
+		}
+		terms = append(terms, e)
+	}
+	flatten(x)
+
+	colName := ""
+	var lits []sql.Expr
+	for _, t := range terms {
+		eq, ok := t.(sql.BinaryExpr)
+		if !ok || eq.Op != "=" {
+			return fmt.Errorf("plan: OR groups must be disjunctions of equalities, got %s", t)
+		}
+		c, cok := eq.L.(sql.ColRef)
+		lit := eq.R
+		if !cok {
+			c, cok = eq.R.(sql.ColRef)
+			lit = eq.L
+		}
+		if !cok {
+			return fmt.Errorf("plan: OR term %s has no column", t)
+		}
+		if colName == "" {
+			colName = c.Name
+		} else if colName != c.Name {
+			return fmt.Errorf("plan: OR group mixes columns %s and %s", colName, c.Name)
+		}
+		lits = append(lits, lit)
+	}
+	return b.bindIn(sql.InExpr{Operand: sql.ColRef{Name: colName}, List: lits})
+}
+
+// bindSimpleAgg binds MIN/MAX/AVG over a single fact column.
+func (b *binder) bindSimpleAgg(item sql.SelectItem) (AggExpr, error) {
+	col, ok := item.Expr.(sql.ColRef)
+	if !ok {
+		return AggExpr{}, fmt.Errorf("plan: %s argument must be a column, got %s", item.Agg, item.Expr)
+	}
+	ref, err := b.resolve(col.Name)
+	if err != nil {
+		return AggExpr{}, err
+	}
+	if ref.Table != b.q.Fact {
+		return AggExpr{}, fmt.Errorf("plan: aggregate over non-fact column %s", col.Name)
+	}
+	kind := map[string]AggKind{"MIN": AggMin, "MAX": AggMax, "AVG": AggAvg}[item.Agg]
+	return AggExpr{Kind: kind, A: ref.Column, Alias: item.Alias}, nil
+}
+
+func (b *binder) bindSum(item sql.SelectItem) (AggExpr, error) {
+	requireFactCol := func(e sql.Expr) (string, error) {
+		c, ok := e.(sql.ColRef)
+		if !ok {
+			return "", fmt.Errorf("plan: aggregate term %s must be a column", e)
+		}
+		ref, err := b.resolve(c.Name)
+		if err != nil {
+			return "", err
+		}
+		if ref.Table != b.q.Fact {
+			return "", fmt.Errorf("plan: aggregate over non-fact column %s", c.Name)
+		}
+		return ref.Column, nil
+	}
+	switch e := item.Expr.(type) {
+	case sql.ColRef:
+		a, err := requireFactCol(e)
+		if err != nil {
+			return AggExpr{}, err
+		}
+		return AggExpr{Kind: AggSumCol, A: a, Alias: item.Alias}, nil
+	case sql.BinaryExpr:
+		a, err := requireFactCol(e.L)
+		if err != nil {
+			return AggExpr{}, err
+		}
+		bcol, err := requireFactCol(e.R)
+		if err != nil {
+			return AggExpr{}, err
+		}
+		switch e.Op {
+		case "*":
+			return AggExpr{Kind: AggSumMul, A: a, B: bcol, Alias: item.Alias}, nil
+		case "-":
+			return AggExpr{Kind: AggSumSub, A: a, B: bcol, Alias: item.Alias}, nil
+		default:
+			return AggExpr{}, fmt.Errorf("plan: unsupported aggregate arithmetic %q", e.Op)
+		}
+	default:
+		return AggExpr{}, fmt.Errorf("plan: unsupported aggregate expression %s", item.Expr)
+	}
+}

@@ -1,0 +1,409 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"castle/internal/sql"
+	"castle/internal/storage"
+)
+
+// starDB builds a small star schema: fact(6 rows) with two dimensions.
+func starDB() *storage.Database {
+	db := storage.NewDatabase()
+
+	d1 := storage.NewTable("dates")
+	d1.AddIntColumn("d_datekey", []uint32{10, 11, 12})
+	d1.AddIntColumn("d_year", []uint32{1992, 1992, 1993})
+	db.Add(d1)
+
+	d2 := storage.NewTable("part")
+	d2.AddIntColumn("p_partkey", []uint32{1, 2})
+	d2.AddStringColumn("p_mfgr", []string{"MFGR#1", "MFGR#2"})
+	db.Add(d2)
+
+	f := storage.NewTable("lineorder")
+	f.AddIntColumn("lo_orderdate", []uint32{10, 10, 11, 11, 12, 12})
+	f.AddIntColumn("lo_partkey", []uint32{1, 2, 1, 2, 1, 2})
+	f.AddIntColumn("lo_revenue", []uint32{5, 10, 15, 20, 25, 30})
+	f.AddIntColumn("lo_discount", []uint32{1, 2, 3, 4, 5, 6})
+	f.AddIntColumn("lo_quantity", []uint32{10, 20, 30, 40, 50, 60})
+	db.Add(f)
+	return db
+}
+
+func bind(t *testing.T, q string) *Query {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	bound, err := Bind(stmt, starDB())
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	return bound
+}
+
+func bindErr(t *testing.T, q string) error {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Bind(stmt, starDB())
+	if err == nil {
+		t.Fatalf("Bind(%q) should fail", q)
+	}
+	return err
+}
+
+func TestBindSimpleAggregate(t *testing.T) {
+	q := bind(t, `SELECT SUM(lo_revenue * lo_discount) AS revenue
+		FROM lineorder, dates
+		WHERE lo_orderdate = d_datekey AND d_year = 1992 AND lo_quantity < 25`)
+	if q.Fact != "lineorder" {
+		t.Fatalf("fact = %s", q.Fact)
+	}
+	if len(q.Joins) != 1 || q.Joins[0].Dim != "dates" || q.Joins[0].FactFK != "lo_orderdate" || q.Joins[0].DimKey != "d_datekey" {
+		t.Fatalf("joins: %+v", q.Joins)
+	}
+	if len(q.FactPreds) != 1 || q.FactPreds[0].Op != PredLT || q.FactPreds[0].Value != 25 {
+		t.Fatalf("fact preds: %+v", q.FactPreds)
+	}
+	if len(q.DimPreds["dates"]) != 1 || q.DimPreds["dates"][0].Value != 1992 {
+		t.Fatalf("dim preds: %+v", q.DimPreds)
+	}
+	if len(q.Aggs) != 1 || q.Aggs[0].Kind != AggSumMul || q.Aggs[0].A != "lo_revenue" || q.Aggs[0].B != "lo_discount" {
+		t.Fatalf("aggs: %+v", q.Aggs)
+	}
+}
+
+func TestBindGroupByDimensionAttr(t *testing.T) {
+	q := bind(t, `SELECT SUM(lo_revenue), d_year
+		FROM lineorder, dates
+		WHERE lo_orderdate = d_datekey
+		GROUP BY d_year`)
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != (ColRef{"dates", "d_year"}) {
+		t.Fatalf("group by: %+v", q.GroupBy)
+	}
+	j := q.JoinFor("dates")
+	if j == nil || len(j.NeedAttrs) != 1 || j.NeedAttrs[0] != "d_year" {
+		t.Fatalf("join attrs: %+v", j)
+	}
+}
+
+func TestBindStringPredicateEncoded(t *testing.T) {
+	q := bind(t, `SELECT SUM(lo_revenue)
+		FROM lineorder, part
+		WHERE lo_partkey = p_partkey AND p_mfgr = 'MFGR#2'`)
+	ps := q.DimPreds["part"]
+	if len(ps) != 1 || ps[0].Op != PredEQ {
+		t.Fatalf("preds: %+v", ps)
+	}
+	// 'MFGR#2' sorts after 'MFGR#1', so its code is 1.
+	if ps[0].Value != 1 {
+		t.Fatalf("encoded value = %d, want 1", ps[0].Value)
+	}
+}
+
+func TestBindUnknownStringBecomesNever(t *testing.T) {
+	q := bind(t, `SELECT SUM(lo_revenue)
+		FROM lineorder, part
+		WHERE lo_partkey = p_partkey AND p_mfgr = 'NO SUCH MFGR'`)
+	ps := q.DimPreds["part"]
+	if len(ps) != 1 || !ps[0].Never {
+		t.Fatalf("preds: %+v", ps)
+	}
+	if ps[0].Matches(0) {
+		t.Fatal("Never predicate must match nothing")
+	}
+}
+
+func TestBindOrGroupFoldsToIn(t *testing.T) {
+	q := bind(t, `SELECT SUM(lo_revenue)
+		FROM lineorder, part
+		WHERE lo_partkey = p_partkey AND (p_mfgr = 'MFGR#1' OR p_mfgr = 'MFGR#2')`)
+	ps := q.DimPreds["part"]
+	if len(ps) != 1 || ps[0].Op != PredIn || len(ps[0].Values) != 2 {
+		t.Fatalf("preds: %+v", ps)
+	}
+}
+
+func TestBindBetween(t *testing.T) {
+	q := bind(t, `SELECT SUM(lo_revenue) FROM lineorder WHERE lo_discount BETWEEN 2 AND 4`)
+	if len(q.FactPreds) != 1 || q.FactPreds[0].Op != PredBetween ||
+		q.FactPreds[0].Lo != 2 || q.FactPreds[0].Hi != 4 {
+		t.Fatalf("preds: %+v", q.FactPreds)
+	}
+	p := q.FactPreds[0]
+	if !p.Matches(3) || p.Matches(5) || p.Matches(1) {
+		t.Fatal("between semantics wrong")
+	}
+}
+
+func TestBindStringBetweenUsesDictBounds(t *testing.T) {
+	q := bind(t, `SELECT SUM(lo_revenue)
+		FROM lineorder, part
+		WHERE lo_partkey = p_partkey AND p_mfgr BETWEEN 'MFGR#1' AND 'MFGR#2'`)
+	ps := q.DimPreds["part"]
+	if len(ps) != 1 || ps[0].Op != PredBetween || ps[0].Lo != 0 || ps[0].Hi != 1 {
+		t.Fatalf("preds: %+v", ps)
+	}
+}
+
+func TestBindReversedLiteral(t *testing.T) {
+	q := bind(t, `SELECT SUM(lo_revenue) FROM lineorder WHERE 25 > lo_quantity`)
+	if len(q.FactPreds) != 1 || q.FactPreds[0].Op != PredLT || q.FactPreds[0].Value != 25 {
+		t.Fatalf("preds: %+v", q.FactPreds)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cases := []struct {
+		q    string
+		frag string
+	}{
+		{"SELECT SUM(lo_revenue) FROM nosuch", "unknown table"},
+		{"SELECT SUM(nosuchcol) FROM lineorder", "not found"},
+		{"SELECT lo_revenue FROM lineorder", "not in GROUP BY"},
+		{"SELECT SUM(lo_revenue), d_year FROM lineorder, dates WHERE lo_orderdate = d_datekey ORDER BY d_year", "not in GROUP BY"},
+		{"SELECT SUM(lo_revenue), lo_quantity FROM lineorder", "not in GROUP BY"},
+		{"SELECT SUM(d_year) FROM lineorder, dates WHERE lo_orderdate = d_datekey", "non-fact"},
+		{"SELECT SUM(lo_revenue) FROM lineorder, dates WHERE lo_orderdate < d_datekey", "equalities"},
+		{"SELECT SUM(lo_revenue) FROM lineorder, dates, part WHERE d_datekey = p_partkey", "fact and dimension"},
+		{"SELECT SUM(lo_revenue) FROM lineorder WHERE lo_quantity = 'abc'", "non-string column"},
+		{"SELECT SUM(lo_revenue), d_year FROM lineorder, dates GROUP BY d_year", "unjoined"},
+		{"SELECT SUM(lo_revenue) FROM lineorder, part WHERE lo_partkey = p_partkey AND (p_mfgr = 'MFGR#1' OR lo_quantity = 5)", "mixes columns"},
+		{"SELECT SUM(lo_revenue + lo_discount) FROM lineorder", "unsupported aggregate arithmetic"},
+		{"SELECT SUM(lo_revenue) FROM lineorder WHERE lo_quantity > 'MFGR#1'", "non-string"},
+	}
+	for _, c := range cases {
+		err := bindErr(t, c.q)
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Bind(%q) error %q does not mention %q", c.q, err, c.frag)
+		}
+	}
+}
+
+func TestBindDoubleJoinSameDimFails(t *testing.T) {
+	bindErr(t, `SELECT SUM(lo_revenue) FROM lineorder, dates
+		WHERE lo_orderdate = d_datekey AND lo_partkey = d_datekey`)
+}
+
+func TestPredicateMatchesAllOps(t *testing.T) {
+	cases := []struct {
+		p    Predicate
+		v    uint32
+		want bool
+	}{
+		{Predicate{Op: PredEQ, Value: 5}, 5, true},
+		{Predicate{Op: PredEQ, Value: 5}, 6, false},
+		{Predicate{Op: PredNE, Value: 5}, 6, true},
+		{Predicate{Op: PredLT, Value: 5}, 4, true},
+		{Predicate{Op: PredLE, Value: 5}, 5, true},
+		{Predicate{Op: PredGT, Value: 5}, 6, true},
+		{Predicate{Op: PredGE, Value: 5}, 5, true},
+		{Predicate{Op: PredGE, Value: 5}, 4, false},
+		{Predicate{Op: PredIn, Values: []uint32{1, 3}}, 3, true},
+		{Predicate{Op: PredIn, Values: []uint32{1, 3}}, 2, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Matches(c.v); got != c.want {
+			t.Errorf("%v.Matches(%d) = %v, want %v", c.p, c.v, got, c.want)
+		}
+	}
+}
+
+func TestShapeClassification(t *testing.T) {
+	q := &Query{}
+	joins := []JoinEdge{{Dim: "a"}, {Dim: "b"}}
+	cases := []struct {
+		sw   int
+		want Shape
+	}{
+		{0, LeftDeep},
+		{1, ZigZag},
+		{2, RightDeep},
+	}
+	for _, c := range cases {
+		p := &Physical{Query: q, Joins: joins, Switch: c.sw}
+		if got := p.Shape(); got != c.want {
+			t.Errorf("switch=%d: shape = %v, want %v", c.sw, got, c.want)
+		}
+		if p.String() == "" {
+			t.Error("empty plan string")
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, s := range []fmt.Stringer{
+		PredEQ, PredBetween, PredIn,
+		Predicate{Table: "t", Column: "c", Op: PredEQ, Value: 1},
+		Predicate{Table: "t", Column: "c", Op: PredBetween, Lo: 1, Hi: 2},
+		Predicate{Table: "t", Column: "c", Op: PredIn, Values: []uint32{1}},
+		Predicate{Table: "t", Column: "c", Never: true},
+		ColRef{"t", "c"},
+		AggExpr{Kind: AggSumCol, A: "a"},
+		AggExpr{Kind: AggSumMul, A: "a", B: "b"},
+		AggExpr{Kind: AggSumSub, A: "a", B: "b"},
+		AggExpr{Kind: AggCount},
+		JoinEdge{Dim: "d", FactFK: "fk", DimKey: "k", NeedAttrs: []string{"a"}},
+		LeftDeep, RightDeep, ZigZag,
+	} {
+		if s.String() == "" {
+			t.Errorf("%T has empty String", s)
+		}
+	}
+	q := bind(t, `SELECT SUM(lo_revenue), d_year FROM lineorder, dates WHERE lo_orderdate = d_datekey GROUP BY d_year`)
+	if q.String() == "" {
+		t.Error("query string empty")
+	}
+}
+
+func TestBindOrderBy(t *testing.T) {
+	q := bind(t, `SELECT SUM(lo_revenue) AS revenue, d_year
+		FROM lineorder, dates
+		WHERE lo_orderdate = d_datekey
+		GROUP BY d_year
+		ORDER BY d_year, revenue DESC`)
+	if len(q.OrderBy) != 2 {
+		t.Fatalf("order terms: %+v", q.OrderBy)
+	}
+	if q.OrderBy[0].KeyIdx != 0 || q.OrderBy[0].AggIdx != -1 || q.OrderBy[0].Desc {
+		t.Fatalf("first term: %+v", q.OrderBy[0])
+	}
+	if q.OrderBy[1].AggIdx != 0 || q.OrderBy[1].KeyIdx != -1 || !q.OrderBy[1].Desc {
+		t.Fatalf("second term: %+v", q.OrderBy[1])
+	}
+	for _, o := range q.OrderBy {
+		if o.String() == "" {
+			t.Error("empty OrderTerm string")
+		}
+	}
+}
+
+func TestBindOrderByErrors(t *testing.T) {
+	bindErr(t, `SELECT SUM(lo_revenue), d_year FROM lineorder, dates
+		WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY lo_quantity`)
+	bindErr(t, `SELECT SUM(lo_revenue), d_year FROM lineorder, dates
+		WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY nosuch`)
+}
+
+func TestBindMinMaxAvg(t *testing.T) {
+	q := bind(t, `SELECT MIN(lo_revenue), MAX(lo_revenue) AS peak, AVG(lo_quantity)
+		FROM lineorder WHERE lo_discount < 5`)
+	if len(q.Aggs) != 3 {
+		t.Fatalf("aggs: %+v", q.Aggs)
+	}
+	if q.Aggs[0].Kind != AggMin || q.Aggs[1].Kind != AggMax || q.Aggs[2].Kind != AggAvg {
+		t.Fatalf("kinds: %+v", q.Aggs)
+	}
+	if q.Aggs[1].Alias != "peak" {
+		t.Fatalf("alias: %+v", q.Aggs[1])
+	}
+}
+
+func TestBindMinMaxAvgErrors(t *testing.T) {
+	cases := []struct{ q, frag string }{
+		{"SELECT MIN(lo_revenue * lo_discount) FROM lineorder", "must be a column"},
+		{"SELECT MAX(d_year) FROM lineorder, dates WHERE lo_orderdate = d_datekey", "non-fact"},
+		{"SELECT AVG(nope) FROM lineorder", "not found"},
+	}
+	for _, c := range cases {
+		err := bindErr(t, c.q)
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Bind(%q) error %q does not mention %q", c.q, err, c.frag)
+		}
+	}
+}
+
+func TestBindFlippedInequalities(t *testing.T) {
+	cases := []struct {
+		q  string
+		op PredOp
+		v  uint32
+	}{
+		{"SELECT SUM(lo_revenue) FROM lineorder WHERE 25 < lo_quantity", PredGT, 25},
+		{"SELECT SUM(lo_revenue) FROM lineorder WHERE 25 <= lo_quantity", PredGE, 25},
+		{"SELECT SUM(lo_revenue) FROM lineorder WHERE 25 >= lo_quantity", PredLE, 25},
+		{"SELECT SUM(lo_revenue) FROM lineorder WHERE 25 = lo_quantity", PredEQ, 25},
+		{"SELECT SUM(lo_revenue) FROM lineorder WHERE 25 <> lo_quantity", PredNE, 25},
+	}
+	for _, c := range cases {
+		q := bind(t, c.q)
+		if len(q.FactPreds) != 1 || q.FactPreds[0].Op != c.op || q.FactPreds[0].Value != c.v {
+			t.Errorf("Bind(%q) preds = %+v, want op %v value %d", c.q, q.FactPreds, c.op, c.v)
+		}
+	}
+}
+
+func TestBindNEUnknownStringDropsPredicate(t *testing.T) {
+	q := bind(t, `SELECT SUM(lo_revenue) FROM lineorder, part
+		WHERE lo_partkey = p_partkey AND p_mfgr <> 'NO SUCH'`)
+	if len(q.DimPreds["part"]) != 0 {
+		t.Fatalf("NE against unknown string should drop: %+v", q.DimPreds["part"])
+	}
+}
+
+func TestBindInWithUnknownStrings(t *testing.T) {
+	// All values unknown: Never predicate.
+	q := bind(t, `SELECT SUM(lo_revenue) FROM lineorder, part
+		WHERE lo_partkey = p_partkey AND p_mfgr IN ('NOPE1', 'NOPE2')`)
+	ps := q.DimPreds["part"]
+	if len(ps) != 1 || !ps[0].Never {
+		t.Fatalf("preds: %+v", ps)
+	}
+	// Mixed known/unknown: only the known survive.
+	q = bind(t, `SELECT SUM(lo_revenue) FROM lineorder, part
+		WHERE lo_partkey = p_partkey AND p_mfgr IN ('MFGR#1', 'NOPE')`)
+	ps = q.DimPreds["part"]
+	if len(ps) != 1 || ps[0].Never || len(ps[0].Values) != 1 {
+		t.Fatalf("preds: %+v", ps)
+	}
+}
+
+func TestBindStringBetweenNoOverlap(t *testing.T) {
+	q := bind(t, `SELECT SUM(lo_revenue) FROM lineorder, part
+		WHERE lo_partkey = p_partkey AND p_mfgr BETWEEN 'ZZZ1' AND 'ZZZ9'`)
+	ps := q.DimPreds["part"]
+	if len(ps) != 1 || !ps[0].Never {
+		t.Fatalf("empty string range should be Never: %+v", ps)
+	}
+}
+
+func TestBindMoreErrors(t *testing.T) {
+	cases := []string{
+		`SELECT SUM(lo_revenue) FROM lineorder WHERE lo_quantity BETWEEN 'a' AND 5`,
+		`SELECT SUM(lo_revenue) FROM lineorder WHERE 5 = 6`,
+		`SELECT SUM(lo_revenue) FROM lineorder, part WHERE lo_partkey = p_partkey AND (p_mfgr = 'MFGR#1' OR p_mfgr < 'MFGR#2')`,
+		`SELECT SUM(lo_revenue) FROM lineorder WHERE lo_quantity < 99999999999`,
+		`SELECT SUM(lo_revenue) FROM lineorder WHERE lo_quantity IN ('abc')`,
+	}
+	for _, q := range cases {
+		bindErr(t, q)
+	}
+}
+
+func TestQueryJoinForMissing(t *testing.T) {
+	q := bind(t, `SELECT SUM(lo_revenue) FROM lineorder`)
+	if q.JoinFor("nope") != nil {
+		t.Fatal("JoinFor on unjoined table should be nil")
+	}
+}
+
+func TestPredOpStrings(t *testing.T) {
+	for op := PredEQ; op <= PredIn; op++ {
+		if op.String() == "" {
+			t.Errorf("op %d has no name", int(op))
+		}
+	}
+	if PredOp(99).String() == "" || Shape(99).String() == "" {
+		t.Error("out-of-range values should render")
+	}
+	if (Predicate{Op: PredNE, Table: "t", Column: "c", Value: 4}).String() == "" {
+		t.Error("NE predicate string")
+	}
+}

@@ -1,0 +1,167 @@
+// Package power reproduces the paper's area and power analysis (§6.1):
+// SRAM-derived area estimates for the vmks key buffer, CAPE's TDP budget
+// (control processor + CSB dynamic + CSB leakage), the per-enhancement
+// power arguments (ADL power-gates idle subarrays; ABA's bit-serial sign
+// extension avoids a power spike; MKS reduces fetch/decode energy), and an
+// energy accounting that converts the simulator's cycle breakdown into a
+// CAPE-vs-baseline energy comparison.
+//
+// The paper reports component figures rather than per-operation energies,
+// so this model is calibrated to those anchors: a 16.39 W CAPE TDP
+// (16.23 W worst-case microoperation power plus a 155 mW control
+// processor), 0.48 W of CSB leakage inside that envelope, a 5.63 W
+// baseline TDP, and 7 nm high-performance SRAM bitcells of 0.032 µm².
+package power
+
+import (
+	"fmt"
+
+	"castle/internal/cape"
+	"castle/internal/isa"
+)
+
+// Physical anchor constants from §6.1 and its citations.
+const (
+	// SRAMBitcellUM2 is the 7 nm high-performance SRAM bitcell area.
+	SRAMBitcellUM2 = 0.032
+	// CAPECoreAreaMM2 is one CAPE core (4 MB CSB design point) [15].
+	CAPECoreAreaMM2 = 8.8
+	// CAPEWorstMicroopWatts is the worst-case microoperation power.
+	CAPEWorstMicroopWatts = 16.23
+	// CPWatts is the control processor's power: a 20 nm Cortex-A53-class
+	// core (269 mW at 1.3 GHz) scaled to 2.7 GHz in 7 nm -> 155 mW.
+	CPWatts = 0.155
+	// CSBLeakageWatts is the CSB's leakage power.
+	CSBLeakageWatts = 0.48
+	// BaselineTDPWatts is the iso-area out-of-order baseline's TDP.
+	BaselineTDPWatts = 5.63
+)
+
+// BufferAreaUM2 returns the area of a vmks key buffer of the given byte
+// capacity in high-performance SRAM (bits x bitcell area). For the paper's
+// sweep: 64 B -> 16.384 µm², 512 B -> 131.072 µm². (The paper lists
+// 1048.576 µm² for its largest buffer, which corresponds to 4 KB of
+// bitcells at this node; 2 KB computes to 524.288 µm² — either way the
+// overhead against an 8.8 mm² core is negligible, which is the claim being
+// supported.)
+func BufferAreaUM2(bytes int) float64 {
+	return float64(bytes) * 8 * SRAMBitcellUM2
+}
+
+// BufferAreaOverhead returns a buffer's area as a fraction of the CAPE
+// core.
+func BufferAreaOverhead(bytes int) float64 {
+	return BufferAreaUM2(bytes) / (CAPECoreAreaMM2 * 1e6)
+}
+
+// CAPETDPWatts returns CAPE's thermal design power: the worst-case
+// microoperation envelope (which already contains CSB leakage) plus the
+// control processor. §6.1 reports 16.39 W.
+func CAPETDPWatts() float64 { return CAPEWorstMicroopWatts + CPWatts }
+
+// TDPRatio returns CAPE TDP over baseline TDP (§6.1: "less than 3x").
+func TDPRatio() float64 { return CAPETDPWatts() / BaselineTDPWatts }
+
+// Model converts a simulated cycle breakdown into energy. Dynamic CSB
+// power is scaled by an activity factor per instruction class: bit-serial
+// GP-mode operations drive every subarray every cycle (near the worst-case
+// envelope), while ADL's CAM-mode searches run in one value subarray per
+// chain with the idle subarrays' peripherals power-gated (§6.1).
+type Model struct {
+	// ClockHz converts cycles to seconds.
+	ClockHz float64
+	// CSBDynamicPeakWatts is the dynamic (non-leakage) CSB power at full
+	// activity.
+	CSBDynamicPeakWatts float64
+	// ActivityByClass scales dynamic power per Figure 7 class.
+	ActivityByClass [isa.NumClasses]float64
+	// CAMSearchActivity applies to searches executed in CAM mode (ADL
+	// power-gates the idle subarrays in each chain).
+	CAMSearchActivity float64
+}
+
+// DefaultModel returns the calibrated model at the paper's design point.
+func DefaultModel() Model {
+	return Model{
+		ClockHz:             2.7e9,
+		CSBDynamicPeakWatts: CAPEWorstMicroopWatts - CSBLeakageWatts,
+		ActivityByClass: [isa.NumClasses]float64{
+			isa.ClassSearch:     0.9, // GP-mode searches touch every subarray
+			isa.ClassLogical:    0.8,
+			isa.ClassComparison: 1.0, // bit-serial magnitude scans
+			isa.ClassArithmetic: 1.0, // worst case: search/update every cycle
+			isa.ClassOther:      0.3, // loads/config dominated by the VMU
+		},
+		CAMSearchActivity: 0.25, // one active subarray per chain, rest gated
+	}
+}
+
+// Energy is a joules breakdown for one simulated execution.
+type Energy struct {
+	CSBDynamicJ float64
+	LeakageJ    float64
+	CPJ         float64
+}
+
+// TotalJ returns total joules.
+func (e Energy) TotalJ() float64 { return e.CSBDynamicJ + e.LeakageJ + e.CPJ }
+
+// CAPEEnergy estimates the energy of a simulated CAPE execution from its
+// statistics. camSearches indicates whether searches ran in CAM mode (the
+// ADL design point) for the power-gating credit.
+func (m Model) CAPEEnergy(st cape.Stats, camSearches bool) Energy {
+	seconds := st.Seconds(m.ClockHz)
+	var dyn float64
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		activity := m.ActivityByClass[c]
+		if c == isa.ClassSearch && camSearches {
+			activity = m.CAMSearchActivity
+		}
+		dyn += float64(st.CSBCyclesByClass[c]) / m.ClockHz * m.CSBDynamicPeakWatts * activity
+	}
+	return Energy{
+		CSBDynamicJ: dyn,
+		LeakageJ:    CSBLeakageWatts * seconds,
+		CPJ:         CPWatts * seconds,
+	}
+}
+
+// BaselineEnergy estimates the baseline core's energy from its cycle count,
+// at a sustained fraction of its TDP (an out-of-order core running an
+// optimized analytic kernel sits near its power envelope).
+func (m Model) BaselineEnergy(cycles int64, sustainedFraction float64) float64 {
+	return float64(cycles) / m.ClockHz * BaselineTDPWatts * sustainedFraction
+}
+
+// Comparison summarises a CAPE-vs-baseline energy comparison for one
+// workload.
+type Comparison struct {
+	CAPE           Energy
+	BaselineJ      float64
+	SpeedupX       float64
+	EnergyRatioX   float64 // baseline joules / CAPE joules
+	PowerRatioTDPX float64
+}
+
+// Compare builds the §6.1 summary: CAPE burns under 3x the baseline's TDP
+// but finishes ~10x sooner, so the energy advantage compounds.
+func (m Model) Compare(capeStats cape.Stats, camSearches bool, baselineCycles int64) Comparison {
+	ce := m.CAPEEnergy(capeStats, camSearches)
+	be := m.BaselineEnergy(baselineCycles, 0.85)
+	speedup := float64(baselineCycles) / float64(capeStats.TotalCycles())
+	return Comparison{
+		CAPE:           ce,
+		BaselineJ:      be,
+		SpeedupX:       speedup,
+		EnergyRatioX:   be / ce.TotalJ(),
+		PowerRatioTDPX: TDPRatio(),
+	}
+}
+
+// String renders the comparison.
+func (c Comparison) String() string {
+	return fmt.Sprintf(
+		"CAPE %.3g J (dyn %.3g + leak %.3g + CP %.3g) vs baseline %.3g J: %.1fx faster, %.1fx less energy (TDP ratio %.2fx)",
+		c.CAPE.TotalJ(), c.CAPE.CSBDynamicJ, c.CAPE.LeakageJ, c.CAPE.CPJ,
+		c.BaselineJ, c.SpeedupX, c.EnergyRatioX, c.PowerRatioTDPX)
+}

@@ -1,0 +1,118 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"castle/internal/cape"
+	"castle/internal/isa"
+)
+
+// TestPaperAnchors pins the §6.1 component figures.
+func TestPaperAnchors(t *testing.T) {
+	if got := CAPETDPWatts(); math.Abs(got-16.39) > 0.01 {
+		t.Errorf("CAPE TDP = %.3f W, paper says 16.39 W", got)
+	}
+	if r := TDPRatio(); r >= 3 {
+		t.Errorf("TDP ratio = %.2f, paper says 'less than 3x'", r)
+	}
+	if got := BufferAreaUM2(64); math.Abs(got-16.384) > 1e-9 {
+		t.Errorf("64B buffer area = %f µm², paper says 16.384", got)
+	}
+	if got := BufferAreaUM2(512); math.Abs(got-131.072) > 1e-9 {
+		t.Errorf("512B buffer area = %f µm², paper says 131.072", got)
+	}
+}
+
+// TestBufferOverheadNegligible: §6.1 calls the buffer overhead negligible
+// against the 8.8 mm² core.
+func TestBufferOverheadNegligible(t *testing.T) {
+	for _, b := range []int{64, 512, 2048} {
+		if f := BufferAreaOverhead(b); f > 1e-4 {
+			t.Errorf("%dB buffer is %.2e of the core — should be negligible", b, f)
+		}
+	}
+}
+
+func synthStats(search, arith int64) cape.Stats {
+	var st cape.Stats
+	st.CSBCyclesByClass[isa.ClassSearch] = search
+	st.CSBCyclesByClass[isa.ClassArithmetic] = arith
+	st.CSBCycles = search + arith
+	st.CPCycles = (search + arith) / 10
+	return st
+}
+
+func TestCAPEEnergyComponents(t *testing.T) {
+	m := DefaultModel()
+	e := m.CAPEEnergy(synthStats(1e9, 1e9), false)
+	if e.CSBDynamicJ <= 0 || e.LeakageJ <= 0 || e.CPJ <= 0 {
+		t.Fatalf("all components must be positive: %+v", e)
+	}
+	if e.TotalJ() != e.CSBDynamicJ+e.LeakageJ+e.CPJ {
+		t.Fatal("TotalJ must sum the components")
+	}
+	// Dynamic power dominates leakage and CP at full activity.
+	if e.CSBDynamicJ < e.LeakageJ || e.CSBDynamicJ < e.CPJ {
+		t.Errorf("dynamic energy should dominate: %+v", e)
+	}
+}
+
+// TestADLSavesPower: §6.1 — CAM-mode searches power-gate idle subarrays,
+// so search-heavy executions burn less energy under ADL.
+func TestADLSavesPower(t *testing.T) {
+	m := DefaultModel()
+	st := synthStats(1e9, 0)
+	gp := m.CAPEEnergy(st, false)
+	cam := m.CAPEEnergy(st, true)
+	if cam.CSBDynamicJ >= gp.CSBDynamicJ {
+		t.Errorf("CAM search energy (%.3g J) should be below GP (%.3g J)", cam.CSBDynamicJ, gp.CSBDynamicJ)
+	}
+}
+
+// TestEnergyAdvantageCompounds: a 10x speedup at <3x TDP must yield a clear
+// energy win.
+func TestEnergyAdvantageCompounds(t *testing.T) {
+	m := DefaultModel()
+	capeStats := synthStats(5e8, 5e8) // 1e9 CSB cycles + CP
+	baselineCycles := int64(10) * capeStats.TotalCycles()
+	cmp := m.Compare(capeStats, true, baselineCycles)
+	if cmp.SpeedupX < 9 || cmp.SpeedupX > 11 {
+		t.Fatalf("speedup = %.2f, want ~10", cmp.SpeedupX)
+	}
+	if cmp.EnergyRatioX <= 1 {
+		t.Errorf("energy ratio = %.2f, CAPE should win on energy", cmp.EnergyRatioX)
+	}
+	if cmp.String() == "" {
+		t.Error("empty comparison string")
+	}
+}
+
+// Property: energy is monotone in cycle counts.
+func TestQuickEnergyMonotone(t *testing.T) {
+	m := DefaultModel()
+	f := func(aRaw, bRaw uint32) bool {
+		a, b := int64(aRaw), int64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		ea := m.CAPEEnergy(synthStats(a, a), false).TotalJ()
+		eb := m.CAPEEnergy(synthStats(b, b), false).TotalJ()
+		return ea <= eb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: area grows linearly with buffer size.
+func TestQuickBufferAreaLinear(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := int(nRaw) + 1
+		return math.Abs(BufferAreaUM2(2*n)-2*BufferAreaUM2(n)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

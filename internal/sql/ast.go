@@ -1,0 +1,156 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a parsed expression node.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// ColRef references a column by (lower-cased) name; SSB column names are
+// globally unique so qualification is unnecessary.
+type ColRef struct{ Name string }
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+// StrLit is a string literal.
+type StrLit struct{ V string }
+
+// BinaryExpr covers arithmetic (+ - * /), comparisons (= <> < <= > >=) and
+// boolean connectives (AND OR). Op is the lexeme, upper-cased for
+// connectives.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// BetweenExpr is `col BETWEEN lo AND hi` (inclusive).
+type BetweenExpr struct {
+	Operand Expr
+	Lo, Hi  Expr
+}
+
+// InExpr is `col IN (v1, v2, ...)`.
+type InExpr struct {
+	Operand Expr
+	List    []Expr
+}
+
+func (ColRef) exprNode()      {}
+func (IntLit) exprNode()      {}
+func (StrLit) exprNode()      {}
+func (BinaryExpr) exprNode()  {}
+func (BetweenExpr) exprNode() {}
+func (InExpr) exprNode()      {}
+
+func (e ColRef) String() string { return e.Name }
+func (e IntLit) String() string { return fmt.Sprintf("%d", e.V) }
+func (e StrLit) String() string { return fmt.Sprintf("'%s'", e.V) }
+func (e BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+func (e BetweenExpr) String() string {
+	return fmt.Sprintf("(%s BETWEEN %s AND %s)", e.Operand, e.Lo, e.Hi)
+}
+func (e InExpr) String() string {
+	parts := make([]string, len(e.List))
+	for i, x := range e.List {
+		parts[i] = x.String()
+	}
+	return fmt.Sprintf("(%s IN (%s))", e.Operand, strings.Join(parts, ", "))
+}
+
+// SelectItem is one output of the SELECT list: either a plain column or an
+// aggregate over an arithmetic expression.
+type SelectItem struct {
+	Agg string // "" for a plain column, else SUM/COUNT/MIN/MAX/AVG
+	// Distinct marks COUNT(DISTINCT col).
+	Distinct bool
+	Expr     Expr
+	Alias    string
+}
+
+func (s SelectItem) String() string {
+	out := s.Expr.String()
+	if s.Distinct {
+		out = "DISTINCT " + out
+	}
+	if s.Agg != "" {
+		out = fmt.Sprintf("%s(%s)", s.Agg, out)
+	}
+	if s.Alias != "" {
+		out += " AS " + s.Alias
+	}
+	return out
+}
+
+// TableRef names a FROM relation with an optional alias.
+type TableRef struct {
+	Name, Alias string
+}
+
+// OrderItem is one ORDER BY column.
+type OrderItem struct {
+	Col  string
+	Desc bool
+}
+
+// SelectStmt is a parsed query.
+type SelectStmt struct {
+	Items   []SelectItem
+	Tables  []TableRef
+	Where   Expr // nil when absent
+	GroupBy []string
+	OrderBy []OrderItem
+	// Limit caps the result rows; 0 means no limit.
+	Limit int
+}
+
+// String reconstructs a canonical form of the statement.
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.Tables {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Name)
+		if t.Alias != "" {
+			b.WriteString(" AS " + t.Alias)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY " + strings.Join(s.GroupBy, ", "))
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Col)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}

@@ -1,0 +1,144 @@
+// Package sql implements Castle's declarative front end: a lexer and
+// recursive-descent parser for the SQL subset the Star Schema Benchmark
+// uses — SELECT with SUM aggregates and arithmetic, multi-table FROM,
+// WHERE conjunctions with =, <>, ordering comparisons, BETWEEN, IN and
+// parenthesized OR groups, GROUP BY and ORDER BY.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokOp // = <> < <= > >= + - * /
+	TokComma
+	TokLParen
+	TokRParen
+	TokSemi
+	TokKeyword
+)
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"GROUP": true, "ORDER": true, "BY": true, "AS": true, "BETWEEN": true,
+	"IN": true, "ASC": true, "DESC": true, "SUM": true, "COUNT": true,
+	"MIN": true, "MAX": true, "AVG": true, "LIMIT": true, "DISTINCT": true,
+	"NOT": true,
+}
+
+// Token is one lexical element. Text of keywords is upper-cased; identifier
+// text preserves the original spelling lower-cased (SSB column names are
+// lower-case).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// Lex tokenizes the input, returning an error for unexpected characters or
+// unterminated strings.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, Token{TokComma, ",", i})
+			i++
+		case c == '(':
+			toks = append(toks, Token{TokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, Token{TokRParen, ")", i})
+			i++
+		case c == ';':
+			toks = append(toks, Token{TokSemi, ";", i})
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < n && input[j] != '\'' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sql: unterminated string at position %d", i)
+			}
+			toks = append(toks, Token{TokString, input[i+1 : j], i})
+			i = j + 1
+		case c == '<':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokOp, "<=", i})
+				i += 2
+			} else if i+1 < n && input[i+1] == '>' {
+				toks = append(toks, Token{TokOp, "<>", i})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokOp, ">", i})
+				i++
+			}
+		case c == '=' || c == '+' || c == '-' || c == '*' || c == '/':
+			toks = append(toks, Token{TokOp, string(c), i})
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && input[j] >= '0' && input[j] <= '9' {
+				j++
+			}
+			toks = append(toks, Token{TokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{TokKeyword, up, i})
+			} else {
+				toks = append(toks, Token{TokIdent, strings.ToLower(word), i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at position %d", c, i)
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '#'
+}

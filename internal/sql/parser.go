@@ -1,0 +1,394 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a single SELECT statement.
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokSemi {
+		p.next()
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, fmt.Errorf("sql: unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.Kind != TokKeyword || t.Text != kw {
+		return fmt.Errorf("sql: expected %s, got %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.next()
+		if t.Kind != TokIdent {
+			return nil, fmt.Errorf("sql: expected table name, got %s", t)
+		}
+		ref := TableRef{Name: t.Text}
+		if p.atKeyword("AS") {
+			p.next()
+			a := p.next()
+			if a.Kind != TokIdent {
+				return nil, fmt.Errorf("sql: expected alias, got %s", a)
+			}
+			ref.Alias = a.Text
+		} else if p.peek().Kind == TokIdent {
+			ref.Alias = p.next().Text
+		}
+		stmt.Tables = append(stmt.Tables, ref)
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	if p.atKeyword("WHERE") {
+		p.next()
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	if p.atKeyword("GROUP") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.next()
+			if t.Kind != TokIdent {
+				return nil, fmt.Errorf("sql: expected group-by column, got %s", t)
+			}
+			stmt.GroupBy = append(stmt.GroupBy, t.Text)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.atKeyword("ORDER") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.next()
+			if t.Kind != TokIdent {
+				return nil, fmt.Errorf("sql: expected order-by column, got %s", t)
+			}
+			item := OrderItem{Col: t.Text}
+			if p.atKeyword("ASC") {
+				p.next()
+			} else if p.atKeyword("DESC") {
+				p.next()
+				item.Desc = true
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.atKeyword("LIMIT") {
+		p.next()
+		t := p.next()
+		if t.Kind != TokNumber {
+			return nil, fmt.Errorf("sql: expected LIMIT count, got %s", t)
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("sql: invalid LIMIT %s", t.Text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.Kind == TokKeyword && isAggKeyword(t.Text) {
+		p.next()
+		if n := p.next(); n.Kind != TokLParen {
+			return SelectItem{}, fmt.Errorf("sql: expected ( after %s, got %s", t.Text, n)
+		}
+		distinct := false
+		if p.atKeyword("DISTINCT") {
+			if t.Text != "COUNT" {
+				return SelectItem{}, fmt.Errorf("sql: DISTINCT is only supported inside COUNT")
+			}
+			p.next()
+			distinct = true
+		}
+		e, err := p.arith()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		if n := p.next(); n.Kind != TokRParen {
+			return SelectItem{}, fmt.Errorf("sql: expected ) closing %s, got %s", t.Text, n)
+		}
+		item := SelectItem{Agg: t.Text, Distinct: distinct, Expr: e}
+		if p.atKeyword("AS") {
+			p.next()
+			a := p.next()
+			if a.Kind != TokIdent {
+				return SelectItem{}, fmt.Errorf("sql: expected alias, got %s", a)
+			}
+			item.Alias = a.Text
+		}
+		return item, nil
+	}
+	if t.Kind == TokIdent {
+		p.next()
+		item := SelectItem{Expr: ColRef{Name: t.Text}}
+		if p.atKeyword("AS") {
+			p.next()
+			a := p.next()
+			if a.Kind != TokIdent {
+				return SelectItem{}, fmt.Errorf("sql: expected alias, got %s", a)
+			}
+			item.Alias = a.Text
+		}
+		return item, nil
+	}
+	return SelectItem{}, fmt.Errorf("sql: expected select item, got %s", t)
+}
+
+// orExpr := andExpr (OR andExpr)*
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		p.next()
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+// andExpr := predicate (AND predicate)*
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.predicate()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.next()
+		right, err := p.predicate()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+// predicate := '(' orExpr ')' | arith (cmp arith | BETWEEN a AND b | IN list)
+func (p *parser) predicate() (Expr, error) {
+	if p.peek().Kind == TokLParen {
+		// Could be a parenthesized boolean group or a parenthesized
+		// arithmetic operand; try boolean first by lookahead reparse.
+		save := p.pos
+		p.next()
+		inner, err := p.orExpr()
+		if err == nil && p.peek().Kind == TokRParen {
+			p.next()
+			return inner, nil
+		}
+		p.pos = save
+	}
+	left, err := p.arith()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	switch {
+	case t.Kind == TokOp && isCmp(t.Text):
+		p.next()
+		right, err := p.arith()
+		if err != nil {
+			return nil, err
+		}
+		return BinaryExpr{Op: t.Text, L: left, R: right}, nil
+	case t.Kind == TokKeyword && t.Text == "BETWEEN":
+		p.next()
+		lo, err := p.arith()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.arith()
+		if err != nil {
+			return nil, err
+		}
+		return BetweenExpr{Operand: left, Lo: lo, Hi: hi}, nil
+	case t.Kind == TokKeyword && t.Text == "IN":
+		p.next()
+		if n := p.next(); n.Kind != TokLParen {
+			return nil, fmt.Errorf("sql: expected ( after IN, got %s", n)
+		}
+		var list []Expr
+		for {
+			e, err := p.arith()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if p.peek().Kind == TokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if n := p.next(); n.Kind != TokRParen {
+			return nil, fmt.Errorf("sql: expected ) closing IN list, got %s", n)
+		}
+		return InExpr{Operand: left, List: list}, nil
+	}
+	return nil, fmt.Errorf("sql: expected comparison, BETWEEN or IN, got %s", t)
+}
+
+func isAggKeyword(kw string) bool {
+	switch kw {
+	case "SUM", "COUNT", "MIN", "MAX", "AVG":
+		return true
+	}
+	return false
+}
+
+func isCmp(op string) bool {
+	switch op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+// arith := term (('+'|'-') term)*
+func (p *parser) arith() (Expr, error) {
+	left, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "+" || t.Text == "-") {
+			p.next()
+			right, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			left = BinaryExpr{Op: t.Text, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+// term := factor (('*'|'/') factor)*
+func (p *parser) term() (Expr, error) {
+	left, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "*" || t.Text == "/") {
+			p.next()
+			right, err := p.factor()
+			if err != nil {
+				return nil, err
+			}
+			left = BinaryExpr{Op: t.Text, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+// factor := ident | number | string | '(' arith ')'
+func (p *parser) factor() (Expr, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokIdent:
+		return ColRef{Name: t.Text}, nil
+	case TokNumber:
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %s: %v", t.Text, err)
+		}
+		return IntLit{V: v}, nil
+	case TokString:
+		return StrLit{V: t.Text}, nil
+	case TokLParen:
+		e, err := p.arith()
+		if err != nil {
+			return nil, err
+		}
+		if n := p.next(); n.Kind != TokRParen {
+			return nil, fmt.Errorf("sql: expected ), got %s", n)
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("sql: expected operand, got %s", t)
+}

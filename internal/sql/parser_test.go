@@ -1,0 +1,263 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	s, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return s
+}
+
+func TestParseSSBQ11(t *testing.T) {
+	s := mustParse(t, `
+		SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+		FROM lineorder, date
+		WHERE lo_orderdate = d_datekey AND d_year = 1993
+		  AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25;`)
+	if len(s.Items) != 1 || s.Items[0].Agg != "SUM" || s.Items[0].Alias != "revenue" {
+		t.Fatalf("items: %+v", s.Items)
+	}
+	mul, ok := s.Items[0].Expr.(BinaryExpr)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("agg expr = %v", s.Items[0].Expr)
+	}
+	if len(s.Tables) != 2 || s.Tables[0].Name != "lineorder" || s.Tables[1].Name != "date" {
+		t.Fatalf("tables: %+v", s.Tables)
+	}
+	// WHERE is a left-deep AND chain of 4 conjuncts.
+	conjuncts := flattenAnd(s.Where)
+	if len(conjuncts) != 4 {
+		t.Fatalf("conjuncts = %d, want 4: %v", len(conjuncts), s.Where)
+	}
+	if _, ok := conjuncts[2].(BetweenExpr); !ok {
+		t.Fatalf("third conjunct should be BETWEEN: %v", conjuncts[2])
+	}
+}
+
+func flattenAnd(e Expr) []Expr {
+	if b, ok := e.(BinaryExpr); ok && b.Op == "AND" {
+		return append(flattenAnd(b.L), flattenAnd(b.R)...)
+	}
+	return []Expr{e}
+}
+
+func TestParseGroupByAndOrderBy(t *testing.T) {
+	s := mustParse(t, `
+		SELECT SUM(lo_revenue), d_year, p_brand1
+		FROM lineorder, date, part, supplier
+		WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey
+		  AND lo_suppkey = s_suppkey AND p_category = 'MFGR#12'
+		  AND s_region = 'AMERICA'
+		GROUP BY d_year, p_brand1
+		ORDER BY d_year, p_brand1`)
+	if len(s.GroupBy) != 2 || s.GroupBy[0] != "d_year" || s.GroupBy[1] != "p_brand1" {
+		t.Fatalf("group by: %v", s.GroupBy)
+	}
+	if len(s.OrderBy) != 2 || s.OrderBy[0].Col != "d_year" || s.OrderBy[0].Desc {
+		t.Fatalf("order by: %v", s.OrderBy)
+	}
+	if len(s.Tables) != 4 {
+		t.Fatalf("tables: %v", s.Tables)
+	}
+	// String literal predicate.
+	found := false
+	for _, c := range flattenAnd(s.Where) {
+		if b, ok := c.(BinaryExpr); ok && b.Op == "=" {
+			if lit, ok := b.R.(StrLit); ok && lit.V == "MFGR#12" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("string literal MFGR#12 not parsed")
+	}
+}
+
+func TestParseParenthesizedOr(t *testing.T) {
+	s := mustParse(t, `
+		SELECT d_year, c_nation, SUM(lo_revenue - lo_supplycost) AS profit
+		FROM date, customer, supplier, part, lineorder
+		WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+		  AND lo_partkey = p_partkey AND lo_orderdate = d_datekey
+		  AND c_region = 'AMERICA' AND s_region = 'AMERICA'
+		  AND (p_mfgr = 'MFGR#1' OR p_mfgr = 'MFGR#2')
+		GROUP BY d_year, c_nation`)
+	conjuncts := flattenAnd(s.Where)
+	if len(conjuncts) != 7 {
+		t.Fatalf("conjuncts = %d, want 7", len(conjuncts))
+	}
+	last := conjuncts[6]
+	or, ok := last.(BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("last conjunct should be OR group: %v", last)
+	}
+	// sum(a - b)
+	var agg *SelectItem
+	for i := range s.Items {
+		if s.Items[i].Agg == "SUM" {
+			agg = &s.Items[i]
+		}
+	}
+	if agg == nil {
+		t.Fatal("no SUM item")
+	}
+	sub, ok := agg.Expr.(BinaryExpr)
+	if !ok || sub.Op != "-" {
+		t.Fatalf("SUM expr = %v", agg.Expr)
+	}
+}
+
+func TestParseInList(t *testing.T) {
+	s := mustParse(t, `SELECT c_city FROM customer WHERE c_city IN ('UNITED KI1', 'UNITED KI5')`)
+	in, ok := s.Where.(InExpr)
+	if !ok || len(in.List) != 2 {
+		t.Fatalf("where = %v", s.Where)
+	}
+}
+
+func TestParseTableAliases(t *testing.T) {
+	s := mustParse(t, `SELECT x FROM fact AS f, dimension1 d1 WHERE x = 1`)
+	if s.Tables[0].Alias != "f" || s.Tables[1].Alias != "d1" {
+		t.Fatalf("aliases: %+v", s.Tables)
+	}
+}
+
+func TestParseComparisonOperators(t *testing.T) {
+	for _, op := range []string{"=", "<>", "<", "<=", ">", ">="} {
+		s := mustParse(t, "SELECT x FROM t WHERE x "+op+" 5")
+		b, ok := s.Where.(BinaryExpr)
+		if !ok || b.Op != op {
+			t.Fatalf("op %s: got %v", op, s.Where)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT x",
+		"SELECT x FROM",
+		"SELECT x FROM t WHERE",
+		"SELECT x FROM t WHERE x",
+		"SELECT x FROM t WHERE x = ",
+		"SELECT x FROM t WHERE x BETWEEN 1",
+		"SELECT x FROM t WHERE x IN 1",
+		"SELECT x FROM t WHERE x IN (1",
+		"SELECT SUM(x FROM t",
+		"SELECT x FROM t GROUP",
+		"SELECT x FROM t ORDER",
+		"SELECT x FROM t trailing junk here",
+		"SELECT x FROM t WHERE x = 'unterminated",
+		"SELECT x FROM t WHERE x = 99999999999999999999",
+		"SELECT x FROM t WHERE x ? 1",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseSemicolonOptional(t *testing.T) {
+	mustParse(t, "SELECT x FROM t WHERE x = 1")
+	mustParse(t, "SELECT x FROM t WHERE x = 1;")
+}
+
+func TestStmtStringRoundTrips(t *testing.T) {
+	q := `SELECT SUM(lo_revenue), d_year FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_year >= 1992 GROUP BY d_year ORDER BY d_year DESC`
+	s1 := mustParse(t, q)
+	s2 := mustParse(t, s1.String())
+	if s1.String() != s2.String() {
+		t.Fatalf("String not stable:\n%s\n%s", s1.String(), s2.String())
+	}
+	if !strings.Contains(s1.String(), "DESC") {
+		t.Fatal("DESC lost")
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := Lex("SELECT x, 42 <= 'str' ( ) ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{TokKeyword, TokIdent, TokComma, TokNumber, TokOp, TokString, TokLParen, TokRParen, TokSemi, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want kind %d", i, toks[i], k)
+		}
+	}
+}
+
+func TestLexerCaseInsensitiveKeywords(t *testing.T) {
+	s := mustParse(t, "select X from T where X = 1 group by X")
+	if len(s.GroupBy) != 1 || s.GroupBy[0] != "x" {
+		t.Fatalf("group by: %v", s.GroupBy)
+	}
+	if s.Tables[0].Name != "t" {
+		t.Fatalf("table: %v", s.Tables)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := Lex("SELECT @"); err == nil {
+		t.Error("@ should fail lexing")
+	}
+	if _, err := Lex("'open"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	exprs := []Expr{
+		ColRef{"a"},
+		IntLit{5},
+		StrLit{"x"},
+		BinaryExpr{"=", ColRef{"a"}, IntLit{1}},
+		BetweenExpr{ColRef{"a"}, IntLit{1}, IntLit{2}},
+		InExpr{ColRef{"a"}, []Expr{IntLit{1}, IntLit{2}}},
+	}
+	for _, e := range exprs {
+		if e.String() == "" {
+			t.Errorf("%T has empty String", e)
+		}
+	}
+}
+
+func TestParseLimitAndCountDistinct(t *testing.T) {
+	s := mustParse(t, `SELECT COUNT(DISTINCT x), SUM(y) FROM t WHERE y > 1 ORDER BY x LIMIT 5`)
+	if s.Limit != 5 {
+		t.Fatalf("limit = %d", s.Limit)
+	}
+	if !s.Items[0].Distinct || s.Items[0].Agg != "COUNT" {
+		t.Fatalf("items: %+v", s.Items)
+	}
+	if s.Items[1].Distinct {
+		t.Fatal("SUM should not be distinct")
+	}
+	// Round trip.
+	s2 := mustParse(t, s.String())
+	if s2.Limit != 5 || !s2.Items[0].Distinct {
+		t.Fatalf("round trip lost features: %s", s.String())
+	}
+	for _, bad := range []string{
+		"SELECT x FROM t LIMIT",
+		"SELECT x FROM t LIMIT 0",
+		"SELECT x FROM t LIMIT abc",
+		"SELECT SUM(DISTINCT x) FROM t",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}

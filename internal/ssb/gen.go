@@ -1,0 +1,280 @@
+// Package ssb implements the Star Schema Benchmark (O'Neil et al.): a
+// deterministic data generator for the lineorder fact relation and its four
+// dimensions (customer, supplier, part, date), plus the thirteen benchmark
+// queries in the paper's numbering (queries 1–13 = SSB Q1.1–Q4.3).
+//
+// Per the paper's methodology (§4.1), string columns used in selection and
+// join predicates are dictionary-encoded to 32-bit values at generation
+// time (the storage layer does this transparently), and the final ORDER BY
+// of each query is omitted.
+package ssb
+
+import (
+	"fmt"
+	"math"
+
+	"castle/internal/storage"
+)
+
+// Config parameterises generation.
+type Config struct {
+	// SF is the scale factor; SF 1 is ~6M lineorder rows (~600 MB raw).
+	SF float64
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+// Rows per relation at SF 1 (O'Neil et al.).
+const (
+	lineorderPerSF = 6_000_000
+	customerPerSF  = 30_000
+	supplierPerSF  = 2_000
+	partBase       = 200_000 // 200,000 * (1 + log2(SF))
+)
+
+// nations lists the 25 TPC-H nations with their regions.
+var nations = []struct {
+	name   string
+	region string
+}{
+	{"ALGERIA", "AFRICA"}, {"ARGENTINA", "AMERICA"}, {"BRAZIL", "AMERICA"},
+	{"CANADA", "AMERICA"}, {"EGYPT", "MIDDLE EAST"}, {"ETHIOPIA", "AFRICA"},
+	{"FRANCE", "EUROPE"}, {"GERMANY", "EUROPE"}, {"INDIA", "ASIA"},
+	{"INDONESIA", "ASIA"}, {"IRAN", "MIDDLE EAST"}, {"IRAQ", "MIDDLE EAST"},
+	{"JAPAN", "ASIA"}, {"JORDAN", "MIDDLE EAST"}, {"KENYA", "AFRICA"},
+	{"MOROCCO", "AFRICA"}, {"MOZAMBIQUE", "AFRICA"}, {"PERU", "AMERICA"},
+	{"CHINA", "ASIA"}, {"ROMANIA", "EUROPE"}, {"RUSSIA", "EUROPE"},
+	{"SAUDI ARABIA", "MIDDLE EAST"}, {"UNITED KINGDOM", "EUROPE"},
+	{"UNITED STATES", "AMERICA"}, {"VIETNAM", "ASIA"},
+}
+
+// cityName builds SSB's city names: the nation name padded/truncated to
+// nine characters plus a digit 0-9 ("UNITED KI1" is UNITED KIngdom city 1).
+func cityName(nation string, k int) string {
+	n := nation
+	for len(n) < 9 {
+		n += " "
+	}
+	return n[:9] + string(rune('0'+k))
+}
+
+var monthNames = []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+	"Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+
+// rng is a small splitmix64 generator: deterministic, fast, seedable.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Generate builds an SSB database at the configured scale factor.
+func Generate(cfg Config) *storage.Database {
+	if cfg.SF <= 0 {
+		panic(fmt.Sprintf("ssb: scale factor must be positive, got %f", cfg.SF))
+	}
+	db := storage.NewDatabase()
+	dateKeys := genDate(db)
+	custRows := scaled(customerPerSF, cfg.SF)
+	suppRows := scaled(supplierPerSF, cfg.SF)
+	partRows := partCount(cfg.SF)
+	genCustomer(db, custRows, cfg.Seed)
+	genSupplier(db, suppRows, cfg.Seed)
+	genPart(db, partRows)
+	genLineorder(db, scaled(lineorderPerSF, cfg.SF), custRows, suppRows, partRows, dateKeys, cfg.Seed)
+	return db
+}
+
+func scaled(base int, sf float64) int {
+	n := int(float64(base) * sf)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func partCount(sf float64) int {
+	if sf >= 1 {
+		return int(float64(partBase) * (1 + math.Log2(sf)))
+	}
+	return scaled(partBase, sf)
+}
+
+// genDate emits the 7-year date dimension (1992-01-01 .. 1998-12-31) and
+// returns the datekey column for FK generation.
+func genDate(db *storage.Database) []uint32 {
+	var (
+		keys      []uint32
+		years     []uint32
+		ymNums    []uint32
+		yms       []string
+		weeks     []uint32
+		months    []uint32
+		dayOfWeek []uint32
+	)
+	daysIn := func(y, m int) int {
+		switch m {
+		case 1, 3, 5, 7, 8, 10, 12:
+			return 31
+		case 4, 6, 9, 11:
+			return 30
+		default:
+			if y%4 == 0 && (y%100 != 0 || y%400 == 0) {
+				return 29
+			}
+			return 28
+		}
+	}
+	dow := 3 // 1992-01-01 was a Wednesday
+	for y := 1992; y <= 1998; y++ {
+		dayOfYear := 0
+		for m := 1; m <= 12; m++ {
+			for d := 1; d <= daysIn(y, m); d++ {
+				dayOfYear++
+				keys = append(keys, uint32(y*10000+m*100+d))
+				years = append(years, uint32(y))
+				ymNums = append(ymNums, uint32(y*100+m))
+				yms = append(yms, fmt.Sprintf("%s%d", monthNames[m-1], y))
+				weeks = append(weeks, uint32(1+(dayOfYear-1)/7))
+				months = append(months, uint32(m))
+				dayOfWeek = append(dayOfWeek, uint32(dow))
+				dow = (dow + 1) % 7
+			}
+		}
+	}
+	t := storage.NewTable("date")
+	t.AddIntColumn("d_datekey", keys)
+	t.AddIntColumn("d_year", years)
+	t.AddIntColumn("d_yearmonthnum", ymNums)
+	t.AddStringColumn("d_yearmonth", yms)
+	t.AddIntColumn("d_weeknuminyear", weeks)
+	t.AddIntColumn("d_monthnuminyear", months)
+	t.AddIntColumn("d_daynuminweek", dayOfWeek)
+	db.Add(t)
+	return keys
+}
+
+func genCustomer(db *storage.Database, rows int, seed uint64) {
+	r := &rng{s: seed ^ 0xC057}
+	keys := make([]uint32, rows)
+	cities := make([]string, rows)
+	nats := make([]string, rows)
+	regs := make([]string, rows)
+	segs := make([]string, rows)
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	for i := 0; i < rows; i++ {
+		keys[i] = uint32(i + 1)
+		n := nations[r.intn(len(nations))]
+		nats[i] = n.name
+		regs[i] = n.region
+		cities[i] = cityName(n.name, r.intn(10))
+		segs[i] = segments[r.intn(len(segments))]
+	}
+	t := storage.NewTable("customer")
+	t.AddIntColumn("c_custkey", keys)
+	t.AddStringColumn("c_city", cities)
+	t.AddStringColumn("c_nation", nats)
+	t.AddStringColumn("c_region", regs)
+	t.AddStringColumn("c_mktsegment", segs)
+	db.Add(t)
+}
+
+func genSupplier(db *storage.Database, rows int, seed uint64) {
+	r := &rng{s: seed ^ 0x5099}
+	keys := make([]uint32, rows)
+	cities := make([]string, rows)
+	nats := make([]string, rows)
+	regs := make([]string, rows)
+	for i := 0; i < rows; i++ {
+		keys[i] = uint32(i + 1)
+		n := nations[r.intn(len(nations))]
+		nats[i] = n.name
+		regs[i] = n.region
+		cities[i] = cityName(n.name, r.intn(10))
+	}
+	t := storage.NewTable("supplier")
+	t.AddIntColumn("s_suppkey", keys)
+	t.AddStringColumn("s_city", cities)
+	t.AddStringColumn("s_nation", nats)
+	t.AddStringColumn("s_region", regs)
+	db.Add(t)
+}
+
+func genPart(db *storage.Database, rows int) {
+	keys := make([]uint32, rows)
+	mfgrs := make([]string, rows)
+	cats := make([]string, rows)
+	brands := make([]string, rows)
+	sizes := make([]uint32, rows)
+	for i := 0; i < rows; i++ {
+		keys[i] = uint32(i + 1)
+		m := 1 + i%5
+		c := 1 + (i/5)%5
+		b := 1 + (i/25)%40
+		mfgrs[i] = fmt.Sprintf("MFGR#%d", m)
+		cats[i] = fmt.Sprintf("MFGR#%d%d", m, c)
+		brands[i] = fmt.Sprintf("MFGR#%d%d%d", m, c, b)
+		sizes[i] = uint32(1 + i%50)
+	}
+	t := storage.NewTable("part")
+	t.AddIntColumn("p_partkey", keys)
+	t.AddStringColumn("p_mfgr", mfgrs)
+	t.AddStringColumn("p_category", cats)
+	t.AddStringColumn("p_brand1", brands)
+	t.AddIntColumn("p_size", sizes)
+	db.Add(t)
+}
+
+func genLineorder(db *storage.Database, rows, custRows, suppRows, partRows int, dateKeys []uint32, seed uint64) {
+	r := &rng{s: seed ^ 0x11E0}
+	custkey := make([]uint32, rows)
+	partkey := make([]uint32, rows)
+	suppkey := make([]uint32, rows)
+	orderdate := make([]uint32, rows)
+	quantity := make([]uint32, rows)
+	extprice := make([]uint32, rows)
+	discount := make([]uint32, rows)
+	revenue := make([]uint32, rows)
+	supplycost := make([]uint32, rows)
+	ordkey := make([]uint32, rows)
+	for i := 0; i < rows; i++ {
+		ordkey[i] = uint32(1 + i/4)
+		custkey[i] = uint32(1 + r.intn(custRows))
+		partkey[i] = uint32(1 + r.intn(partRows))
+		suppkey[i] = uint32(1 + r.intn(suppRows))
+		orderdate[i] = dateKeys[r.intn(len(dateKeys))]
+		q := uint32(1 + r.intn(50))
+		quantity[i] = q
+		price := uint32(90_000 + r.intn(110_000))
+		ep := q * price // <= 50 * 200,000 = 10M, product with discount fits 32 bits
+		extprice[i] = ep
+		d := uint32(r.intn(11)) // 0..10 percent
+		discount[i] = d
+		rev := ep * (100 - d) / 100
+		revenue[i] = rev
+		supplycost[i] = rev * uint32(40+r.intn(20)) / 100
+	}
+	t := storage.NewTable("lineorder")
+	t.AddIntColumn("lo_orderkey", ordkey)
+	t.AddIntColumn("lo_custkey", custkey)
+	t.AddIntColumn("lo_partkey", partkey)
+	t.AddIntColumn("lo_suppkey", suppkey)
+	t.AddIntColumn("lo_orderdate", orderdate)
+	t.AddIntColumn("lo_quantity", quantity)
+	t.AddIntColumn("lo_extendedprice", extprice)
+	t.AddIntColumn("lo_discount", discount)
+	t.AddIntColumn("lo_revenue", revenue)
+	t.AddIntColumn("lo_supplycost", supplycost)
+	db.Add(t)
+}

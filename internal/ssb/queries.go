@@ -1,0 +1,139 @@
+package ssb
+
+// Query is one SSB benchmark query.
+type Query struct {
+	// Num is the paper's numbering (1..13).
+	Num int
+	// Flight is the conventional SSB name (Q1.1..Q4.3).
+	Flight string
+	// SQL is the query text (final ORDER BY omitted per §4.1).
+	SQL string
+	// JoinCount is the number of dimension joins (queries 1-3 have one
+	// join; 4-13 have two to four, §4.2).
+	JoinCount int
+}
+
+// Queries returns the thirteen SSB queries in the paper's order.
+func Queries() []Query {
+	return []Query{
+		{1, "Q1.1", `
+			SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+			FROM lineorder, date
+			WHERE lo_orderdate = d_datekey
+			  AND d_year = 1993
+			  AND lo_discount BETWEEN 1 AND 3
+			  AND lo_quantity < 25`, 1},
+		{2, "Q1.2", `
+			SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+			FROM lineorder, date
+			WHERE lo_orderdate = d_datekey
+			  AND d_yearmonthnum = 199401
+			  AND lo_discount BETWEEN 4 AND 6
+			  AND lo_quantity BETWEEN 26 AND 35`, 1},
+		{3, "Q1.3", `
+			SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+			FROM lineorder, date
+			WHERE lo_orderdate = d_datekey
+			  AND d_weeknuminyear = 6 AND d_year = 1994
+			  AND lo_discount BETWEEN 5 AND 7
+			  AND lo_quantity BETWEEN 26 AND 35`, 1},
+		{4, "Q2.1", `
+			SELECT SUM(lo_revenue), d_year, p_brand1
+			FROM lineorder, date, part, supplier
+			WHERE lo_orderdate = d_datekey
+			  AND lo_partkey = p_partkey
+			  AND lo_suppkey = s_suppkey
+			  AND p_category = 'MFGR#12'
+			  AND s_region = 'AMERICA'
+			GROUP BY d_year, p_brand1`, 3},
+		{5, "Q2.2", `
+			SELECT SUM(lo_revenue), d_year, p_brand1
+			FROM lineorder, date, part, supplier
+			WHERE lo_orderdate = d_datekey
+			  AND lo_partkey = p_partkey
+			  AND lo_suppkey = s_suppkey
+			  AND p_brand1 BETWEEN 'MFGR#2221' AND 'MFGR#2228'
+			  AND s_region = 'ASIA'
+			GROUP BY d_year, p_brand1`, 3},
+		{6, "Q2.3", `
+			SELECT SUM(lo_revenue), d_year, p_brand1
+			FROM lineorder, date, part, supplier
+			WHERE lo_orderdate = d_datekey
+			  AND lo_partkey = p_partkey
+			  AND lo_suppkey = s_suppkey
+			  AND p_brand1 = 'MFGR#2339'
+			  AND s_region = 'EUROPE'
+			GROUP BY d_year, p_brand1`, 3},
+		{7, "Q3.1", `
+			SELECT c_nation, s_nation, d_year, SUM(lo_revenue) AS revenue
+			FROM customer, lineorder, supplier, date
+			WHERE lo_custkey = c_custkey
+			  AND lo_suppkey = s_suppkey
+			  AND lo_orderdate = d_datekey
+			  AND c_region = 'ASIA' AND s_region = 'ASIA'
+			  AND d_year >= 1992 AND d_year <= 1997
+			GROUP BY c_nation, s_nation, d_year`, 3},
+		{8, "Q3.2", `
+			SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue
+			FROM customer, lineorder, supplier, date
+			WHERE lo_custkey = c_custkey
+			  AND lo_suppkey = s_suppkey
+			  AND lo_orderdate = d_datekey
+			  AND c_nation = 'UNITED STATES' AND s_nation = 'UNITED STATES'
+			  AND d_year >= 1992 AND d_year <= 1997
+			GROUP BY c_city, s_city, d_year`, 3},
+		{9, "Q3.3", `
+			SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue
+			FROM customer, lineorder, supplier, date
+			WHERE lo_custkey = c_custkey
+			  AND lo_suppkey = s_suppkey
+			  AND lo_orderdate = d_datekey
+			  AND (c_city = 'UNITED KI1' OR c_city = 'UNITED KI5')
+			  AND (s_city = 'UNITED KI1' OR s_city = 'UNITED KI5')
+			  AND d_year >= 1992 AND d_year <= 1997
+			GROUP BY c_city, s_city, d_year`, 3},
+		{10, "Q3.4", `
+			SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue
+			FROM customer, lineorder, supplier, date
+			WHERE lo_custkey = c_custkey
+			  AND lo_suppkey = s_suppkey
+			  AND lo_orderdate = d_datekey
+			  AND (c_city = 'UNITED KI1' OR c_city = 'UNITED KI5')
+			  AND (s_city = 'UNITED KI1' OR s_city = 'UNITED KI5')
+			  AND d_yearmonth = 'Dec1997'
+			GROUP BY c_city, s_city, d_year`, 3},
+		{11, "Q4.1", `
+			SELECT d_year, c_nation, SUM(lo_revenue - lo_supplycost) AS profit
+			FROM date, customer, supplier, part, lineorder
+			WHERE lo_custkey = c_custkey
+			  AND lo_suppkey = s_suppkey
+			  AND lo_partkey = p_partkey
+			  AND lo_orderdate = d_datekey
+			  AND c_region = 'AMERICA' AND s_region = 'AMERICA'
+			  AND (p_mfgr = 'MFGR#1' OR p_mfgr = 'MFGR#2')
+			GROUP BY d_year, c_nation`, 4},
+		{12, "Q4.2", `
+			SELECT d_year, s_nation, p_category, SUM(lo_revenue - lo_supplycost) AS profit
+			FROM date, customer, supplier, part, lineorder
+			WHERE lo_custkey = c_custkey
+			  AND lo_suppkey = s_suppkey
+			  AND lo_partkey = p_partkey
+			  AND lo_orderdate = d_datekey
+			  AND c_region = 'AMERICA' AND s_region = 'AMERICA'
+			  AND (d_year = 1997 OR d_year = 1998)
+			  AND (p_mfgr = 'MFGR#1' OR p_mfgr = 'MFGR#2')
+			GROUP BY d_year, s_nation, p_category`, 4},
+		{13, "Q4.3", `
+			SELECT d_year, s_city, p_brand1, SUM(lo_revenue - lo_supplycost) AS profit
+			FROM date, customer, supplier, part, lineorder
+			WHERE lo_custkey = c_custkey
+			  AND lo_suppkey = s_suppkey
+			  AND lo_partkey = p_partkey
+			  AND lo_orderdate = d_datekey
+			  AND s_nation = 'UNITED STATES'
+			  AND c_region = 'AMERICA'
+			  AND (d_year = 1997 OR d_year = 1998)
+			  AND p_category = 'MFGR#14'
+			GROUP BY d_year, s_city, p_brand1`, 4},
+	}
+}

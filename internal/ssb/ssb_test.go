@@ -1,0 +1,207 @@
+package ssb
+
+import (
+	"testing"
+
+	"castle/internal/plan"
+	"castle/internal/sql"
+)
+
+func TestGenerateSchema(t *testing.T) {
+	db := Generate(Config{SF: 0.01, Seed: 42})
+	lo := db.MustTable("lineorder")
+	if lo.Rows() != 60000 {
+		t.Fatalf("lineorder rows = %d, want 60000 at SF 0.01", lo.Rows())
+	}
+	if db.MustTable("customer").Rows() != 300 {
+		t.Fatalf("customer rows = %d, want 300", db.MustTable("customer").Rows())
+	}
+	if db.MustTable("supplier").Rows() != 20 {
+		t.Fatalf("supplier rows = %d, want 20", db.MustTable("supplier").Rows())
+	}
+	if db.MustTable("part").Rows() != 2000 {
+		t.Fatalf("part rows = %d, want 2000", db.MustTable("part").Rows())
+	}
+	// 1992..1998 inclusive with leap years 1992 and 1996.
+	if got := db.MustTable("date").Rows(); got != 2557 {
+		t.Fatalf("date rows = %d, want 2557", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{SF: 0.01, Seed: 7})
+	b := Generate(Config{SF: 0.01, Seed: 7})
+	ca := a.MustTable("lineorder").MustColumn("lo_custkey").Data
+	cb := b.MustTable("lineorder").MustColumn("lo_custkey").Data
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("generation not deterministic at row %d", i)
+		}
+	}
+	c := Generate(Config{SF: 0.01, Seed: 8})
+	cc := c.MustTable("lineorder").MustColumn("lo_custkey").Data
+	same := true
+	for i := range ca {
+		if ca[i] != cc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different data")
+	}
+}
+
+func TestForeignKeysResolve(t *testing.T) {
+	db := Generate(Config{SF: 0.01, Seed: 1})
+	lo := db.MustTable("lineorder")
+	checkFK := func(fkCol, dim, keyCol string) {
+		t.Helper()
+		keys := map[uint32]bool{}
+		for _, k := range db.MustTable(dim).MustColumn(keyCol).Data {
+			keys[k] = true
+		}
+		for i, v := range lo.MustColumn(fkCol).Data {
+			if !keys[v] {
+				t.Fatalf("%s row %d = %d not in %s.%s", fkCol, i, v, dim, keyCol)
+			}
+		}
+	}
+	checkFK("lo_custkey", "customer", "c_custkey")
+	checkFK("lo_suppkey", "supplier", "s_suppkey")
+	checkFK("lo_partkey", "part", "p_partkey")
+	checkFK("lo_orderdate", "date", "d_datekey")
+}
+
+func TestValueDomains(t *testing.T) {
+	db := Generate(Config{SF: 0.01, Seed: 1})
+	lo := db.MustTable("lineorder")
+	for i := range lo.MustColumn("lo_quantity").Data {
+		q := lo.MustColumn("lo_quantity").Data[i]
+		d := lo.MustColumn("lo_discount").Data[i]
+		rev := lo.MustColumn("lo_revenue").Data[i]
+		sc := lo.MustColumn("lo_supplycost").Data[i]
+		ep := lo.MustColumn("lo_extendedprice").Data[i]
+		if q < 1 || q > 50 {
+			t.Fatalf("quantity %d out of [1,50]", q)
+		}
+		if d > 10 {
+			t.Fatalf("discount %d out of [0,10]", d)
+		}
+		if sc > rev {
+			t.Fatalf("supplycost %d exceeds revenue %d (profit must be non-negative)", sc, rev)
+		}
+		// The Q1 aggregate extendedprice*discount must fit in 32 bits.
+		if uint64(ep)*uint64(d) > uint64(^uint32(0)) {
+			t.Fatalf("extendedprice*discount overflows 32 bits: %d * %d", ep, d)
+		}
+	}
+}
+
+func TestDimensionAttributes(t *testing.T) {
+	db := Generate(Config{SF: 0.02, Seed: 1})
+	cust := db.MustTable("customer")
+	region := cust.MustColumn("c_region")
+	seen := map[string]bool{}
+	for _, v := range region.Data {
+		seen[region.Dict.Decode(v)] = true
+	}
+	for _, want := range []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"} {
+		if !seen[want] {
+			t.Errorf("region %s never generated", want)
+		}
+	}
+	// City name format: 9 chars + digit.
+	city := cust.MustColumn("c_city")
+	for _, v := range city.Data[:10] {
+		s := city.Dict.Decode(v)
+		if len(s) != 10 {
+			t.Fatalf("city %q should be 10 characters", s)
+		}
+	}
+	// Part hierarchy: brand prefix is category, category prefix is mfgr.
+	part := db.MustTable("part")
+	mfgr := part.MustColumn("p_mfgr")
+	cat := part.MustColumn("p_category")
+	brand := part.MustColumn("p_brand1")
+	for i := 0; i < part.Rows(); i++ {
+		m := mfgr.Dict.Decode(mfgr.Data[i])
+		c := cat.Dict.Decode(cat.Data[i])
+		b := brand.Dict.Decode(brand.Data[i])
+		if c[:len(m)] != m || b[:len(c)] != c {
+			t.Fatalf("hierarchy broken: %s / %s / %s", m, c, b)
+		}
+	}
+}
+
+func TestDateDimension(t *testing.T) {
+	db := Generate(Config{SF: 0.01, Seed: 1})
+	d := db.MustTable("date")
+	years := d.MustColumn("d_year")
+	if years.Min != 1992 || years.Max != 1998 {
+		t.Fatalf("year range [%d,%d], want [1992,1998]", years.Min, years.Max)
+	}
+	ym := d.MustColumn("d_yearmonth")
+	if _, ok := ym.Dict.Encode("Dec1997"); !ok {
+		t.Fatal("d_yearmonth should contain Dec1997 (needed by Q3.4)")
+	}
+	ymn := d.MustColumn("d_yearmonthnum")
+	found := false
+	for _, v := range ymn.Data {
+		if v == 199401 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("d_yearmonthnum should contain 199401 (needed by Q1.2)")
+	}
+}
+
+func TestInvalidSFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for SF <= 0")
+		}
+	}()
+	Generate(Config{SF: 0})
+}
+
+// TestAllQueriesParseAndBind ensures every benchmark query goes through the
+// full SQL front end against the generated schema.
+func TestAllQueriesParseAndBind(t *testing.T) {
+	db := Generate(Config{SF: 0.01, Seed: 42})
+	qs := Queries()
+	if len(qs) != 13 {
+		t.Fatalf("query count = %d, want 13", len(qs))
+	}
+	for _, q := range qs {
+		stmt, err := sql.Parse(q.SQL)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", q.Flight, err)
+		}
+		bound, err := plan.Bind(stmt, db)
+		if err != nil {
+			t.Fatalf("%s: bind: %v", q.Flight, err)
+		}
+		if bound.Fact != "lineorder" {
+			t.Fatalf("%s: fact = %s", q.Flight, bound.Fact)
+		}
+		if len(bound.Joins) != q.JoinCount {
+			t.Fatalf("%s: joins = %d, want %d", q.Flight, len(bound.Joins), q.JoinCount)
+		}
+		if q.Num != 0 && (q.Num < 1 || q.Num > 13) {
+			t.Fatalf("%s: bad number %d", q.Flight, q.Num)
+		}
+	}
+	// Queries 1-3 have one join, 4-13 have 2-4 (§4.2 says queries 4-13
+	// execute two to four joins).
+	for _, q := range qs {
+		if q.Num <= 3 && q.JoinCount != 1 {
+			t.Errorf("%s: expected single join", q.Flight)
+		}
+		if q.Num >= 4 && (q.JoinCount < 2 || q.JoinCount > 4) {
+			t.Errorf("%s: expected 2-4 joins", q.Flight)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram is an equi-depth histogram: bucket boundaries chosen so each
+// bucket covers (approximately) the same number of rows. Range selectivity
+// estimates interpolate within the partially covered edge buckets, which
+// handles skewed value distributions far better than the min/max uniform
+// assumption.
+type Histogram struct {
+	// Bounds[i] is the inclusive upper bound of bucket i; bucket i covers
+	// (Bounds[i-1], Bounds[i]] with bucket 0 starting at Min.
+	Bounds []uint32
+	// Fractions[i] is the fraction of rows in bucket i (sums to ~1).
+	Fractions []float64
+	// Min is the lowest value.
+	Min uint32
+}
+
+// histogramSampleCap bounds the per-column sample used to build histograms
+// (statistics collection must stay cheap at ingestion time).
+const histogramSampleCap = 1 << 16
+
+// defaultBuckets is the histogram resolution.
+const defaultBuckets = 32
+
+// BuildHistogram constructs an equi-depth histogram over data with at most
+// the given number of buckets. Large columns are sampled with a fixed
+// stride. Returns nil for empty input.
+func BuildHistogram(data []uint32, buckets int) *Histogram {
+	if len(data) == 0 || buckets <= 0 {
+		return nil
+	}
+	sample := data
+	if len(data) > histogramSampleCap {
+		stride := len(data) / histogramSampleCap
+		sample = make([]uint32, 0, histogramSampleCap)
+		for i := 0; i < len(data); i += stride {
+			sample = append(sample, data[i])
+		}
+	} else {
+		sample = append([]uint32(nil), data...)
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+
+	h := &Histogram{Min: sample[0]}
+	n := len(sample)
+	per := n / buckets
+	if per < 1 {
+		per = 1
+	}
+	start := 0
+	for start < n {
+		end := start + per
+		if end > n {
+			end = n
+		}
+		bound := sample[end-1]
+		// Extend the bucket through duplicates of its upper bound so a
+		// value never straddles buckets.
+		for end < n && sample[end] == bound {
+			end++
+		}
+		h.Bounds = append(h.Bounds, bound)
+		h.Fractions = append(h.Fractions, float64(end-start)/float64(n))
+		start = end
+	}
+	return h
+}
+
+// RangeFraction estimates the fraction of rows with lo <= value <= hi.
+func (h *Histogram) RangeFraction(lo, hi uint32) float64 {
+	if h == nil || len(h.Bounds) == 0 || hi < lo {
+		return 0
+	}
+	total := 0.0
+	prevBound := h.Min
+	for i, bound := range h.Bounds {
+		bLo, bHi := prevBound, bound
+		if i > 0 {
+			// Bucket i covers (prevBound, bound]; approximate with
+			// [prevBound+1, bound] in the integer domain.
+			if prevBound < ^uint32(0) {
+				bLo = prevBound + 1
+			}
+		}
+		prevBound = bound
+		if bHi < lo || bLo > hi {
+			continue
+		}
+		// Overlap fraction within the bucket, assuming uniformity inside.
+		oLo, oHi := bLo, bHi
+		if lo > oLo {
+			oLo = lo
+		}
+		if hi < oHi {
+			oHi = hi
+		}
+		span := float64(bHi-bLo) + 1
+		total += h.Fractions[i] * (float64(oHi-oLo) + 1) / span
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total
+}
+
+// Buckets returns the bucket count.
+func (h *Histogram) Buckets() int { return len(h.Bounds) }
+
+// String renders a compact summary.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "equi-depth histogram, %d buckets, min=%d:", len(h.Bounds), h.Min)
+	show := len(h.Bounds)
+	if show > 8 {
+		show = 8
+	}
+	for i := 0; i < show; i++ {
+		fmt.Fprintf(&b, " ≤%d:%.1f%%", h.Bounds[i], 100*h.Fractions[i])
+	}
+	if show < len(h.Bounds) {
+		b.WriteString(" ...")
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"castle/internal/storage"
+)
+
+func TestBuildHistogramBasics(t *testing.T) {
+	data := make([]uint32, 1000)
+	for i := range data {
+		data[i] = uint32(i)
+	}
+	h := BuildHistogram(data, 10)
+	if h == nil || h.Buckets() == 0 {
+		t.Fatal("no histogram built")
+	}
+	var total float64
+	for _, f := range h.Fractions {
+		total += f
+	}
+	if math.Abs(total-1) > 0.01 {
+		t.Fatalf("fractions sum to %f", total)
+	}
+	if h.Min != 0 {
+		t.Fatalf("min = %d", h.Min)
+	}
+	if h.String() == "" {
+		t.Fatal("empty histogram string")
+	}
+}
+
+func TestBuildHistogramEdgeCases(t *testing.T) {
+	if BuildHistogram(nil, 8) != nil {
+		t.Fatal("empty input should yield nil")
+	}
+	if BuildHistogram([]uint32{1}, 0) != nil {
+		t.Fatal("zero buckets should yield nil")
+	}
+	// All-equal column: single bucket, full fraction.
+	h := BuildHistogram([]uint32{7, 7, 7, 7}, 4)
+	if h.Buckets() != 1 || math.Abs(h.Fractions[0]-1) > 1e-9 {
+		t.Fatalf("constant column histogram: %+v", h)
+	}
+	if got := h.RangeFraction(7, 7); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("constant range fraction = %f", got)
+	}
+	if got := h.RangeFraction(8, 9); got != 0 {
+		t.Fatalf("out-of-range fraction = %f", got)
+	}
+	if got := h.RangeFraction(9, 8); got != 0 {
+		t.Fatalf("inverted range fraction = %f", got)
+	}
+	var nilH *Histogram
+	if nilH.RangeFraction(1, 2) != 0 {
+		t.Fatal("nil histogram should estimate 0")
+	}
+}
+
+// TestHistogramBeatsUniformOnSkew is the reason histograms exist: on a
+// heavily skewed column, the equi-depth estimate for a hot range is far
+// closer to the truth than the min/max uniform assumption.
+func TestHistogramBeatsUniformOnSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]uint32, 100000)
+	for i := range data {
+		if rng.Intn(100) < 90 {
+			data[i] = uint32(rng.Intn(10)) // 90% of rows in [0,10)
+		} else {
+			data[i] = uint32(10 + rng.Intn(1_000_000))
+		}
+	}
+	truth := 0.0
+	for _, v := range data {
+		if v < 10 {
+			truth++
+		}
+	}
+	truth /= float64(len(data))
+
+	db := storage.NewDatabase()
+	tb := storage.NewTable("t")
+	tb.AddIntColumn("x", data)
+	db.Add(tb)
+	cs, _ := Collect(db).Column("t", "x")
+
+	histEst := cs.RangeSelectivity(0, 9)
+	uniform := (float64(9) + 1) / (float64(cs.Max-cs.Min) + 1)
+
+	if math.Abs(histEst-truth) > 0.1 {
+		t.Fatalf("histogram estimate %f too far from truth %f", histEst, truth)
+	}
+	if math.Abs(uniform-truth) < math.Abs(histEst-truth) {
+		t.Fatalf("uniform (%f) should be worse than histogram (%f) for truth %f",
+			uniform, histEst, truth)
+	}
+}
+
+// Property: range fractions are within [0,1] and monotone in range width.
+func TestQuickHistogramBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]uint32, 5000)
+	for i := range data {
+		data[i] = uint32(rng.Intn(1 << 16))
+	}
+	h := BuildHistogram(data, 16)
+	f := func(aRaw, bRaw, cRaw uint16) bool {
+		lo, hi := uint32(aRaw), uint32(bRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		wider := uint32(cRaw)
+		fNarrow := h.RangeFraction(lo, hi)
+		fWide := h.RangeFraction(lo, hi+wider)
+		return fNarrow >= 0 && fNarrow <= 1 && fWide >= fNarrow-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a full-domain range estimates ~1.
+func TestQuickHistogramFullRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(2000) + 10
+		data := make([]uint32, n)
+		for i := range data {
+			data[i] = uint32(rng.Intn(1000))
+		}
+		h := BuildHistogram(data, 8)
+		got := h.RangeFraction(0, 1000)
+		return got > 0.95 && got <= 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,259 @@
+package storage
+
+// io.go implements persistence for the columnar engine: a compact binary
+// format ("CSTL") that serializes tables column-wise with their
+// dictionaries, and a CSV importer compatible with cmd/ssbgen's output
+// (string-typed columns are re-encoded on load).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Binary format:
+//
+//	magic "CSTL" | version u32 | tableCount u32
+//	per table: nameLen u32 | name | rows u32 | colCount u32
+//	  per column: nameLen u32 | name | kind u32 |
+//	    [kind==string: dictSize u32, per entry: len u32 | bytes]
+//	    rows x u32 data
+//
+// All integers are little-endian.
+const (
+	binaryMagic   = "CSTL"
+	binaryVersion = 1
+)
+
+// WriteBinary serializes the database.
+func (db *Database) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	writeU32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	writeStr := func(s string) error {
+		if err := writeU32(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeU32(binaryVersion); err != nil {
+		return err
+	}
+	tables := db.Tables()
+	if err := writeU32(uint32(len(tables))); err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if err := writeStr(t.Name); err != nil {
+			return err
+		}
+		if err := writeU32(uint32(t.Rows())); err != nil {
+			return err
+		}
+		cols := t.Columns()
+		if err := writeU32(uint32(len(cols))); err != nil {
+			return err
+		}
+		for _, c := range cols {
+			if err := writeStr(c.Name); err != nil {
+				return err
+			}
+			if err := writeU32(uint32(c.Kind)); err != nil {
+				return err
+			}
+			if c.Kind == KindString {
+				if err := writeU32(uint32(c.Dict.Size())); err != nil {
+					return err
+				}
+				for code := 0; code < c.Dict.Size(); code++ {
+					if err := writeStr(c.Dict.Decode(uint32(code))); err != nil {
+						return err
+					}
+				}
+			}
+			if err := binary.Write(bw, binary.LittleEndian, c.Data); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a database written by WriteBinary.
+func ReadBinary(r io.Reader) (*Database, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("storage: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("storage: bad magic %q", magic)
+	}
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	readStr := func() (string, error) {
+		n, err := readU32()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<24 {
+			return "", fmt.Errorf("storage: unreasonable string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	version, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("storage: unsupported format version %d", version)
+	}
+	tableCount, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	db := NewDatabase()
+	for ti := uint32(0); ti < tableCount; ti++ {
+		name, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		rows, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		colCount, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		t := NewTable(name)
+		for ci := uint32(0); ci < colCount; ci++ {
+			colName, err := readStr()
+			if err != nil {
+				return nil, err
+			}
+			kindRaw, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			var dictVals []string
+			if Kind(kindRaw) == KindString {
+				dictSize, err := readU32()
+				if err != nil {
+					return nil, err
+				}
+				dictVals = make([]string, dictSize)
+				for di := range dictVals {
+					if dictVals[di], err = readStr(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			data := make([]uint32, rows)
+			if err := binary.Read(br, binary.LittleEndian, data); err != nil {
+				return nil, fmt.Errorf("storage: reading %s.%s: %w", name, colName, err)
+			}
+			switch Kind(kindRaw) {
+			case KindInt:
+				t.AddIntColumn(colName, data)
+			case KindString:
+				// Rebuild the string column through its dictionary so the
+				// invariant (codes sorted lexicographically) is restored.
+				vals := make([]string, rows)
+				for i, code := range data {
+					if int(code) >= len(dictVals) {
+						return nil, fmt.Errorf("storage: %s.%s row %d has code %d outside dictionary", name, colName, i, code)
+					}
+					vals[i] = dictVals[code]
+				}
+				t.AddStringColumn(colName, vals)
+			default:
+				return nil, fmt.Errorf("storage: unknown column kind %d", kindRaw)
+			}
+		}
+		db.Add(t)
+	}
+	return db, nil
+}
+
+// ReadCSV imports one relation from CSV (header row of column names; the
+// typed schema is inferred: a column whose values all parse as unsigned
+// integers becomes KindInt, anything else is dictionary-encoded). This is
+// the inverse of cmd/ssbgen's writer.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	header, err := readCSVLine(br)
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading CSV header: %w", err)
+	}
+	if len(header) == 0 {
+		return nil, fmt.Errorf("storage: empty CSV header")
+	}
+	cols := make([][]string, len(header))
+	for {
+		rec, err := readCSVLine(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("storage: CSV row has %d fields, header has %d", len(rec), len(header))
+		}
+		for i, v := range rec {
+			cols[i] = append(cols[i], v)
+		}
+	}
+
+	t := NewTable(name)
+	for i, colName := range header {
+		if data, ok := parseUintColumn(cols[i]); ok {
+			t.AddIntColumn(colName, data)
+		} else {
+			t.AddStringColumn(colName, cols[i])
+		}
+	}
+	return t, nil
+}
+
+func readCSVLine(br *bufio.Reader) ([]string, error) {
+	line, err := br.ReadString('\n')
+	if err == io.EOF && line == "" {
+		return nil, io.EOF
+	}
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if line == "" {
+		return nil, io.EOF
+	}
+	return strings.Split(line, ","), nil
+}
+
+func parseUintColumn(vals []string) ([]uint32, bool) {
+	out := make([]uint32, len(vals))
+	for i, v := range vals {
+		n, err := strconv.ParseUint(v, 10, 32)
+		if err != nil {
+			return nil, false
+		}
+		out[i] = uint32(n)
+	}
+	return out, true
+}

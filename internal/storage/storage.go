@@ -1,0 +1,248 @@
+// Package storage implements Castle's columnar storage engine. Relations
+// are stored column-wise; every column is a dense []uint32, CAPE's default
+// data size. String columns used in selection and join predicates are
+// dictionary-encoded to 32-bit codes at load time, matching the paper's SSB
+// modification (§4.1: "we compress string columns ... using standard
+// encoding techniques to 32-bit values").
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind distinguishes plain integer columns from dictionary-encoded strings.
+type Kind int
+
+// Column kinds.
+const (
+	KindInt Kind = iota
+	KindString
+)
+
+// Dictionary maps strings to dense 32-bit codes. Codes are assigned in
+// sorted order of first full-load contents so that range predicates on
+// encoded columns remain meaningful where the benchmark needs them.
+type Dictionary struct {
+	vals []string
+	idx  map[string]uint32
+}
+
+// NewDictionary builds a dictionary over the distinct values of vals,
+// assigning codes in lexicographic order.
+func NewDictionary(vals []string) *Dictionary {
+	set := make(map[string]struct{})
+	for _, v := range vals {
+		set[v] = struct{}{}
+	}
+	uniq := make([]string, 0, len(set))
+	for v := range set {
+		uniq = append(uniq, v)
+	}
+	sort.Strings(uniq)
+	d := &Dictionary{vals: uniq, idx: make(map[string]uint32, len(uniq))}
+	for i, v := range uniq {
+		d.idx[v] = uint32(i)
+	}
+	return d
+}
+
+// Encode returns the code for s and whether it exists.
+func (d *Dictionary) Encode(s string) (uint32, bool) {
+	c, ok := d.idx[s]
+	return c, ok
+}
+
+// Decode returns the string for code c.
+func (d *Dictionary) Decode(c uint32) string {
+	if int(c) >= len(d.vals) {
+		return fmt.Sprintf("<code %d>", c)
+	}
+	return d.vals[c]
+}
+
+// Size returns the number of distinct values.
+func (d *Dictionary) Size() int { return len(d.vals) }
+
+// Bounds maps a lexicographic string range [lo, hi] to the corresponding
+// code range. Because codes are assigned in sorted order, the set of codes
+// in [loCode, hiCode] is exactly the set of values in [lo, hi]. ok is false
+// when no dictionary value falls in the range.
+func (d *Dictionary) Bounds(lo, hi string) (loCode, hiCode uint32, ok bool) {
+	i := sort.SearchStrings(d.vals, lo)                                       // first value >= lo
+	j := sort.Search(len(d.vals), func(k int) bool { return d.vals[k] > hi }) // first value > hi
+	if i >= j {
+		return 0, 0, false
+	}
+	return uint32(i), uint32(j - 1), true
+}
+
+// Column is a fixed-length 32-bit column with load-time min/max statistics.
+type Column struct {
+	Name string
+	Kind Kind
+	Data []uint32
+	Dict *Dictionary // non-nil only for KindString
+
+	Min, Max uint32
+}
+
+// computeStats refreshes the column's min/max.
+func (c *Column) computeStats() {
+	if len(c.Data) == 0 {
+		c.Min, c.Max = 0, 0
+		return
+	}
+	c.Min, c.Max = c.Data[0], c.Data[0]
+	for _, v := range c.Data {
+		if v < c.Min {
+			c.Min = v
+		}
+		if v > c.Max {
+			c.Max = v
+		}
+	}
+}
+
+// BitWidth returns the number of bits needed to represent the column's
+// maximum value — the statistic ABA consumes to set instruction bitwidths
+// without a discovery phase (§5.1).
+func (c *Column) BitWidth() int {
+	w, m := 0, c.Max
+	for m != 0 {
+		w++
+		m >>= 1
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// Table is a named relation of equal-length columns.
+type Table struct {
+	Name string
+	cols []*Column
+	byN  map[string]*Column
+	rows int
+}
+
+// NewTable returns an empty relation.
+func NewTable(name string) *Table {
+	return &Table{Name: name, byN: make(map[string]*Column)}
+}
+
+// Rows returns the row count.
+func (t *Table) Rows() int { return t.rows }
+
+// Columns returns the columns in definition order.
+func (t *Table) Columns() []*Column { return t.cols }
+
+// AddIntColumn attaches a plain integer column. All columns of a table must
+// have the same length.
+func (t *Table) AddIntColumn(name string, data []uint32) *Column {
+	return t.addColumn(&Column{Name: name, Kind: KindInt, Data: data})
+}
+
+// AddStringColumn dictionary-encodes vals and attaches the encoded column.
+func (t *Table) AddStringColumn(name string, vals []string) *Column {
+	d := NewDictionary(vals)
+	data := make([]uint32, len(vals))
+	for i, v := range vals {
+		data[i], _ = d.Encode(v)
+	}
+	return t.addColumn(&Column{Name: name, Kind: KindString, Data: data, Dict: d})
+}
+
+func (t *Table) addColumn(c *Column) *Column {
+	if _, dup := t.byN[c.Name]; dup {
+		panic(fmt.Sprintf("storage: duplicate column %s.%s", t.Name, c.Name))
+	}
+	if len(t.cols) > 0 && len(c.Data) != t.rows {
+		panic(fmt.Sprintf("storage: column %s.%s has %d rows, table has %d",
+			t.Name, c.Name, len(c.Data), t.rows))
+	}
+	if len(t.cols) == 0 {
+		t.rows = len(c.Data)
+	}
+	c.computeStats()
+	t.cols = append(t.cols, c)
+	t.byN[c.Name] = c
+	return c
+}
+
+// Column returns the named column, or nil if absent.
+func (t *Table) Column(name string) *Column { return t.byN[name] }
+
+// MustColumn returns the named column or panics.
+func (t *Table) MustColumn(name string) *Column {
+	c := t.byN[name]
+	if c == nil {
+		panic(fmt.Sprintf("storage: no column %s.%s", t.Name, name))
+	}
+	return c
+}
+
+// SizeBytes returns the in-memory size of the relation's column data.
+func (t *Table) SizeBytes() int64 { return int64(len(t.cols)) * int64(t.rows) * 4 }
+
+// Database is a named collection of relations.
+type Database struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*Table)}
+}
+
+// Add registers a relation; it panics on duplicates.
+func (db *Database) Add(t *Table) {
+	if _, dup := db.tables[t.Name]; dup {
+		panic(fmt.Sprintf("storage: duplicate table %s", t.Name))
+	}
+	db.tables[t.Name] = t
+	db.order = append(db.order, t.Name)
+}
+
+// Table returns the named relation, or nil.
+func (db *Database) Table(name string) *Table { return db.tables[name] }
+
+// MustTable returns the named relation or panics.
+func (db *Database) MustTable(name string) *Table {
+	t := db.tables[name]
+	if t == nil {
+		panic(fmt.Sprintf("storage: no table %s", name))
+	}
+	return t
+}
+
+// Tables returns relations in registration order.
+func (db *Database) Tables() []*Table {
+	out := make([]*Table, len(db.order))
+	for i, n := range db.order {
+		out[i] = db.tables[n]
+	}
+	return out
+}
+
+// FindColumn locates an unqualified column name across all relations,
+// returning its table. SSB (like most star schemas) prefixes column names
+// per table, so unqualified names are unambiguous; ambiguity is an error.
+func (db *Database) FindColumn(name string) (*Table, *Column, error) {
+	var ft *Table
+	var fc *Column
+	for _, tn := range db.order {
+		if c := db.tables[tn].Column(name); c != nil {
+			if fc != nil {
+				return nil, nil, fmt.Errorf("storage: column %s is ambiguous (%s and %s)", name, ft.Name, tn)
+			}
+			ft, fc = db.tables[tn], c
+		}
+	}
+	if fc == nil {
+		return nil, nil, fmt.Errorf("storage: no column %s in any table", name)
+	}
+	return ft, fc, nil
+}

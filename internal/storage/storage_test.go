@@ -1,0 +1,230 @@
+package storage
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictionaryRoundTrip(t *testing.T) {
+	vals := []string{"AMERICA", "ASIA", "EUROPE", "ASIA", "AMERICA"}
+	d := NewDictionary(vals)
+	if d.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", d.Size())
+	}
+	for _, v := range vals {
+		c, ok := d.Encode(v)
+		if !ok {
+			t.Fatalf("Encode(%q) missing", v)
+		}
+		if got := d.Decode(c); got != v {
+			t.Fatalf("Decode(Encode(%q)) = %q", v, got)
+		}
+	}
+	if _, ok := d.Encode("MARS"); ok {
+		t.Fatal("Encode of unknown value should fail")
+	}
+	if d.Decode(99) == "" {
+		t.Fatal("Decode of unknown code should return a placeholder")
+	}
+}
+
+func TestDictionaryCodesAreSorted(t *testing.T) {
+	d := NewDictionary([]string{"b", "a", "c"})
+	ca, _ := d.Encode("a")
+	cb, _ := d.Encode("b")
+	cc, _ := d.Encode("c")
+	if !(ca < cb && cb < cc) {
+		t.Fatalf("codes not sorted: a=%d b=%d c=%d", ca, cb, cc)
+	}
+}
+
+func TestColumnStatsAndBitWidth(t *testing.T) {
+	tb := NewTable("t")
+	c := tb.AddIntColumn("x", []uint32{5, 3, 12, 7})
+	if c.Min != 3 || c.Max != 12 {
+		t.Fatalf("min/max = %d/%d, want 3/12", c.Min, c.Max)
+	}
+	if c.BitWidth() != 4 {
+		t.Fatalf("BitWidth = %d, want 4", c.BitWidth())
+	}
+	empty := NewTable("e").AddIntColumn("y", nil)
+	if empty.BitWidth() != 1 {
+		t.Fatalf("empty column BitWidth = %d, want 1", empty.BitWidth())
+	}
+}
+
+func TestTableConstruction(t *testing.T) {
+	tb := NewTable("orders")
+	tb.AddIntColumn("qty", []uint32{1, 2, 3})
+	tb.AddStringColumn("region", []string{"ASIA", "ASIA", "EUROPE"})
+	if tb.Rows() != 3 {
+		t.Fatalf("Rows = %d, want 3", tb.Rows())
+	}
+	if len(tb.Columns()) != 2 {
+		t.Fatalf("Columns = %d, want 2", len(tb.Columns()))
+	}
+	r := tb.MustColumn("region")
+	if r.Kind != KindString || r.Dict == nil {
+		t.Fatal("region should be dictionary-encoded")
+	}
+	if got := r.Dict.Decode(r.Data[2]); got != "EUROPE" {
+		t.Fatalf("row 2 region = %q, want EUROPE", got)
+	}
+	if tb.SizeBytes() != 2*3*4 {
+		t.Fatalf("SizeBytes = %d", tb.SizeBytes())
+	}
+	if tb.Column("nope") != nil {
+		t.Fatal("missing column should be nil")
+	}
+}
+
+func TestTableMismatchedLengthPanics(t *testing.T) {
+	tb := NewTable("t")
+	tb.AddIntColumn("a", []uint32{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	tb.AddIntColumn("b", []uint32{1})
+}
+
+func TestDuplicateColumnPanics(t *testing.T) {
+	tb := NewTable("t")
+	tb.AddIntColumn("a", []uint32{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate column")
+		}
+	}()
+	tb.AddIntColumn("a", []uint32{2})
+}
+
+func TestMustColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTable("t").MustColumn("missing")
+}
+
+func TestDatabase(t *testing.T) {
+	db := NewDatabase()
+	t1 := NewTable("fact")
+	t1.AddIntColumn("fk", []uint32{1})
+	t2 := NewTable("dim")
+	t2.AddIntColumn("key", []uint32{1})
+	db.Add(t1)
+	db.Add(t2)
+	if db.Table("fact") != t1 || db.MustTable("dim") != t2 {
+		t.Fatal("lookup broken")
+	}
+	if db.Table("nope") != nil {
+		t.Fatal("missing table should be nil")
+	}
+	names := db.Tables()
+	if len(names) != 2 || names[0].Name != "fact" || names[1].Name != "dim" {
+		t.Fatal("Tables order wrong")
+	}
+}
+
+func TestDatabaseDuplicatePanics(t *testing.T) {
+	db := NewDatabase()
+	db.Add(NewTable("t"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	db.Add(NewTable("t"))
+}
+
+func TestMustTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDatabase().MustTable("missing")
+}
+
+func TestFindColumn(t *testing.T) {
+	db := NewDatabase()
+	f := NewTable("fact")
+	f.AddIntColumn("lo_qty", []uint32{1})
+	d := NewTable("dim")
+	d.AddIntColumn("d_year", []uint32{1})
+	db.Add(f)
+	db.Add(d)
+
+	tb, c, err := db.FindColumn("d_year")
+	if err != nil || tb.Name != "dim" || c.Name != "d_year" {
+		t.Fatalf("FindColumn(d_year) = %v %v %v", tb, c, err)
+	}
+	if _, _, err := db.FindColumn("missing"); err == nil {
+		t.Fatal("missing column should error")
+	}
+
+	// Ambiguity.
+	d2 := NewTable("dim2")
+	d2.AddIntColumn("d_year", []uint32{1})
+	db.Add(d2)
+	if _, _, err := db.FindColumn("d_year"); err == nil {
+		t.Fatal("ambiguous column should error")
+	}
+}
+
+// Property: dictionary encode/decode is a bijection over distinct inputs.
+func TestQuickDictionaryBijection(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = "v" + strconv.Itoa(rng.Intn(20))
+		}
+		d := NewDictionary(vals)
+		seen := map[uint32]string{}
+		for _, v := range vals {
+			c, ok := d.Encode(v)
+			if !ok {
+				return false
+			}
+			if prev, dup := seen[c]; dup && prev != v {
+				return false
+			}
+			seen[c] = v
+			if d.Decode(c) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: column stats bound every element.
+func TestQuickColumnStatsBound(t *testing.T) {
+	f := func(data []uint32) bool {
+		if len(data) == 0 {
+			return true
+		}
+		tb := NewTable("t")
+		c := tb.AddIntColumn("x", data)
+		for _, v := range data {
+			if v < c.Min || v > c.Max {
+				return false
+			}
+		}
+		width := c.BitWidth()
+		return width >= 1 && width <= 32 && (width == 32 || c.Max < 1<<uint(width))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
