@@ -21,6 +21,7 @@ import (
 	"castle/internal/ssb"
 	"castle/internal/stats"
 	"castle/internal/storage"
+	"castle/internal/telemetry"
 )
 
 // DB is a columnar analytic database with its statistics catalog.
@@ -197,7 +198,27 @@ type Options struct {
 	DisableFusion bool
 	// MKSBufferBytes overrides the vmks buffer (0 = 512, the cacheline).
 	MKSBufferBytes int
+	// Telemetry, when non-nil, records the query lifecycle: a span tree
+	// (query → parse/bind/optimize/execute → per-operator) into its trace
+	// recorder and cycle/row counters into its metrics registry. Nil costs
+	// nothing.
+	Telemetry *Telemetry
 }
+
+// Telemetry bundles a span recorder and a metrics registry. Create one with
+// NewTelemetry, pass it via Options.Telemetry across any number of queries,
+// then export with WriteChromeTrace (Perfetto / chrome://tracing) and
+// WritePrometheus.
+type Telemetry = telemetry.Telemetry
+
+// NewTelemetry returns a telemetry sink with default capacity.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// Breakdown is the per-operator cycle breakdown behind EXPLAIN ANALYZE.
+type Breakdown = telemetry.Breakdown
+
+// OperatorStats is one operator row of a Breakdown.
+type OperatorStats = telemetry.OperatorStats
 
 // Metrics reports the simulation cost of one execution.
 type Metrics struct {
@@ -214,6 +235,9 @@ type Metrics struct {
 	// DeviceUsed names the engine that ran ("CAPE" or "CPU") — relevant
 	// for DeviceHybrid.
 	DeviceUsed string
+	// Breakdown is the per-operator cycle breakdown of the execution (the
+	// EXPLAIN ANALYZE table). Its operator cycles sum exactly to Cycles.
+	Breakdown *Breakdown
 }
 
 // Rows is a decoded result relation: group-key columns first (strings
@@ -258,24 +282,42 @@ func (db *DB) Query(sqlText string) (*Rows, error) {
 // QueryWith executes SQL with explicit options and returns the result
 // relation plus simulation metrics.
 func (db *DB) QueryWith(sqlText string, opt Options) (*Rows, *Metrics, error) {
+	tel := opt.Telemetry
+	qs := tel.StartSpan("query")
+	defer qs.End()
+
+	sp := qs.Child("parse")
 	stmt, err := sql.Parse(sqlText)
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
+	sp = qs.Child("bind")
 	bound, err := plan.Bind(stmt, db.store)
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
 
 	if opt.Device == DeviceCPU {
 		cpu := baseline.New(baseline.DefaultConfig())
-		res := exec.NewCPUExec(cpu).Run(bound, db.store)
-		return db.decode(res), &Metrics{
+		exec.AttachCPUTelemetry(cpu, tel)
+		x := exec.NewCPUExec(cpu)
+		es := qs.Child("execute")
+		x.SetTelemetry(tel, es)
+		res := x.Run(bound, db.store)
+		es.SetInt("cycles", cpu.Cycles())
+		es.SetStr("device", "CPU")
+		es.End()
+		m := &Metrics{
 			Cycles:     cpu.Cycles(),
 			Seconds:    cpu.Seconds(),
 			BytesMoved: cpu.Mem().BytesMoved(),
 			DeviceUsed: "CPU",
-		}, nil
+			Breakdown:  x.Breakdown(),
+		}
+		db.recordQueryMetrics(tel, qs, m, "")
+		return db.decode(res), m, nil
 	}
 
 	cfg := cape.DefaultConfig()
@@ -291,49 +333,99 @@ func (db *DB) QueryWith(sqlText string, opt Options) (*Rows, *Metrics, error) {
 
 	cat := db.catalog()
 	var phys *plan.Physical
+	sp = qs.Child("optimize")
 	if opt.Shape == ShapeAuto {
-		phys, err = optimizer.Optimize(bound, cat, cfg.MAXVL)
+		phys, err = optimizer.OptimizeTraced(bound, cat, cfg.MAXVL, sp)
 	} else {
-		phys, err = optimizer.BestWithShape(bound, cat, cfg.MAXVL, internalShape(opt.Shape))
+		phys, err = optimizer.BestWithShapeTraced(bound, cat, cfg.MAXVL, internalShape(opt.Shape), sp)
 	}
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
 
 	if opt.Device == DeviceHybrid {
 		h := exec.NewDefaultHybrid(cfg, cat)
+		exec.AttachEngineTelemetry(h.Castle().Engine(), tel)
+		exec.AttachCPUTelemetry(h.CPUExec().CPU(), tel)
+		es := qs.Child("execute")
+		h.SetTelemetry(tel, es)
 		res, dev := h.Run(phys, db.store)
 		m := &Metrics{DeviceUsed: dev.String(), Plan: phys.String()}
 		if dev == exec.DeviceCPU {
 			cpu := h.CPUExec().CPU()
 			m.Cycles, m.Seconds, m.BytesMoved = cpu.Cycles(), cpu.Seconds(), cpu.Mem().BytesMoved()
+			m.Breakdown = h.CPUExec().Breakdown()
 		} else {
 			st := h.Castle().Engine().Stats()
 			m.Cycles, m.Seconds = st.TotalCycles(), st.Seconds(cfg.ClockHz)
 			m.BytesMoved = h.Castle().Engine().Mem().BytesMoved()
+			m.Breakdown = h.Castle().Breakdown()
 		}
+		es.SetInt("cycles", m.Cycles)
+		es.SetStr("device", m.DeviceUsed)
+		es.End()
+		shape := ""
+		if dev == exec.DeviceCAPE {
+			shape = phys.Shape().String()
+		}
+		db.recordQueryMetrics(tel, qs, m, shape)
 		return db.decode(res), m, nil
 	}
 
 	eng := cape.New(cfg)
+	exec.AttachEngineTelemetry(eng, tel)
 	opts := exec.DefaultCastleOptions()
 	opts.Fusion = !opt.DisableFusion
-	res := exec.NewCastle(eng, cat, opts).Run(phys, db.store)
+	cas := exec.NewCastle(eng, cat, opts)
+	es := qs.Child("execute")
+	cas.SetTelemetry(tel, es)
+	res := cas.Run(phys, db.store)
 	st := eng.Stats()
+	es.SetInt("cycles", st.TotalCycles())
+	es.SetStr("device", "CAPE")
+	es.End()
 
 	breakdown := make(map[string]float64, isa.NumClasses)
 	share := st.ClassShare()
 	for c := isa.Class(0); c < isa.NumClasses; c++ {
 		breakdown[c.String()] = share[c]
 	}
-	return db.decode(res), &Metrics{
+	m := &Metrics{
 		Cycles:       st.TotalCycles(),
 		Seconds:      st.Seconds(cfg.ClockHz),
 		BytesMoved:   eng.Mem().BytesMoved(),
 		Plan:         phys.String(),
 		CSBBreakdown: breakdown,
 		DeviceUsed:   "CAPE",
-	}, nil
+		Breakdown:    cas.Breakdown(),
+	}
+	db.recordQueryMetrics(tel, qs, m, phys.Shape().String())
+	return db.decode(res), m, nil
+}
+
+// recordQueryMetrics updates the run-level counters and histograms after a
+// query completes, and stamps summary attributes on the root span.
+func (db *DB) recordQueryMetrics(tel *Telemetry, qs *telemetry.Span, m *Metrics, shape string) {
+	qs.SetInt("cycles", m.Cycles)
+	qs.SetStr("device", m.DeviceUsed)
+	if tel == nil {
+		return
+	}
+	reg := tel.Metrics()
+	dev := strings.ToLower(m.DeviceUsed)
+	reg.Counter(telemetry.MetricQueries, "Queries executed.",
+		telemetry.L("device", dev)).Inc()
+	reg.Counter(telemetry.MetricBytesMoved, "Simulated DRAM bytes moved in both directions.",
+		telemetry.L("device", dev)).Add(m.BytesMoved)
+	if shape != "" {
+		reg.Counter(telemetry.MetricPlanShapes, "Executed physical plan shapes.",
+			telemetry.L("shape", shape)).Inc()
+	}
+	reg.Histogram(telemetry.MetricQueryCycles, "Simulated cycles per query.").
+		Observe(float64(m.Cycles))
+	reg.Histogram(telemetry.MetricQuerySeconds, "Simulated seconds per query.").
+		Observe(m.Seconds)
 }
 
 func internalShape(s PlanShape) plan.Shape {
@@ -390,6 +482,17 @@ func (db *DB) Explain(sqlText string) ([]PlanChoice, error) {
 		})
 	}
 	return out, nil
+}
+
+// ExplainAnalyze executes the query and returns the rendered per-operator
+// cycle breakdown (the EXPLAIN ANALYZE table) alongside the result rows and
+// metrics.
+func (db *DB) ExplainAnalyze(sqlText string, opt Options) (*Rows, *Metrics, string, error) {
+	rows, m, err := db.QueryWith(sqlText, opt)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return rows, m, m.Breakdown.Format(), nil
 }
 
 // decode converts an internal result into the public Rows form.

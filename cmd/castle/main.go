@@ -29,6 +29,7 @@ import (
 	"castle/internal/ssb"
 	"castle/internal/stats"
 	"castle/internal/storage"
+	"castle/internal/telemetry"
 )
 
 func main() {
@@ -37,12 +38,21 @@ func main() {
 	ssbNum := flag.Int("ssb", 0, "run SSB query 1..13 instead of -query")
 	device := flag.String("device", "cape", "execution device: cape, cpu, or both")
 	explain := flag.Bool("explain", false, "print every candidate plan with its cost")
+	analyze := flag.Bool("analyze", false, "print the EXPLAIN ANALYZE per-operator cycle breakdown")
 	noEnh := flag.Bool("no-enhancements", false, "disable ADL/MKS/ABA (unmodified CAPE)")
 	shape := flag.String("shape", "", "force plan shape: left-deep, right-deep, zig-zag")
 	savePath := flag.String("save", "", "write the database to this file (CSTL binary format) and exit unless a query is given")
 	loadPath := flag.String("load", "", "load a database from a CSTL binary file instead of generating SSB")
 	interactive := flag.Bool("interactive", false, "read SQL queries from stdin (one per line)")
+	traceOut := flag.String("trace-out", "", "write spans as Chrome trace-event JSON to this file on exit (open in Perfetto)")
+	metricsOut := flag.String("metrics-out", "", "write metrics in Prometheus text format to this file on exit")
 	flag.Parse()
+
+	switch *device {
+	case "cape", "cpu", "both":
+	default:
+		fatalf("unknown -device %q (valid: cape, cpu, both)", *device)
+	}
 
 	qsql := *queryText
 	if *ssbNum != 0 {
@@ -51,6 +61,7 @@ func main() {
 			if q.Num == *ssbNum {
 				qsql, found = q.SQL, true
 				fmt.Printf("SSB query %d (%s)\n", q.Num, q.Flight)
+				break
 			}
 		}
 		if !found {
@@ -87,25 +98,71 @@ func main() {
 	}
 	cat := stats.Collect(db)
 
+	var tel *telemetry.Telemetry
+	if *traceOut != "" || *metricsOut != "" {
+		tel = telemetry.New()
+	}
+
 	sess := &session{
 		db: db, cat: cat,
-		device: *device, explain: *explain, noEnh: *noEnh, shape: *shape,
+		device: *device, explain: *explain, analyze: *analyze,
+		noEnh: *noEnh, shape: *shape, tel: tel,
 	}
 
 	if *interactive {
 		sess.repl()
-		return
-	}
-	if qsql == "" {
-		if *savePath != "" {
-			return
+	} else {
+		if qsql == "" {
+			if *savePath != "" {
+				return
+			}
+			flag.Usage()
+			os.Exit(2)
 		}
-		flag.Usage()
-		os.Exit(2)
+		if err := sess.runQuery(qsql); err != nil {
+			fatalf("%v", err)
+		}
 	}
-	if err := sess.runQuery(qsql); err != nil {
+	if err := writeTelemetry(tel, *traceOut, *metricsOut); err != nil {
 		fatalf("%v", err)
 	}
+}
+
+// writeTelemetry exports the trace and metrics files requested on the
+// command line.
+func writeTelemetry(tel *telemetry.Telemetry, tracePath, metricsPath string) error {
+	if tel == nil {
+		return nil
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		err = tel.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n", tracePath)
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		err = tel.WritePrometheus(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+		fmt.Printf("wrote Prometheus metrics to %s\n", metricsPath)
+	}
+	return nil
 }
 
 // session holds the loaded database and execution settings.
@@ -114,13 +171,16 @@ type session struct {
 	cat     *stats.Catalog
 	device  string
 	explain bool
+	analyze bool
 	noEnh   bool
 	shape   string
+	tel     *telemetry.Telemetry
 }
 
-// repl reads SQL statements from stdin, one per line; \q quits.
+// repl reads SQL statements from stdin, one per line; \q quits, \analyze
+// toggles the EXPLAIN ANALYZE breakdown.
 func (s *session) repl() {
-	fmt.Println("castle> enter SQL (one statement per line; \\q to quit)")
+	fmt.Println("castle> enter SQL (one statement per line; \\analyze toggles breakdowns; \\q to quit)")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Print("castle> ")
@@ -130,6 +190,13 @@ func (s *session) repl() {
 		case line == "":
 		case line == "\\q" || line == "quit" || line == "exit":
 			return
+		case line == "\\analyze":
+			s.analyze = !s.analyze
+			if s.analyze {
+				fmt.Println("explain analyze: on")
+			} else {
+				fmt.Println("explain analyze: off")
+			}
 		default:
 			if err := s.runQuery(line); err != nil {
 				fmt.Fprintf(os.Stderr, "error: %v\n", err)
@@ -142,11 +209,18 @@ func (s *session) repl() {
 // runQuery parses, optimizes and executes one statement on the configured
 // device(s).
 func (s *session) runQuery(qsql string) error {
+	qs := s.tel.StartSpan("query")
+	defer qs.End()
+
+	sp := qs.Child("parse")
 	stmt, err := sql.Parse(qsql)
+	sp.End()
 	if err != nil {
 		return fmt.Errorf("parse: %w", err)
 	}
+	sp = qs.Child("bind")
 	q, err := plan.Bind(stmt, s.db)
+	sp.End()
 	if err != nil {
 		return fmt.Errorf("bind: %w", err)
 	}
@@ -157,21 +231,26 @@ func (s *session) runQuery(qsql string) error {
 	}
 
 	var phys *plan.Physical
+	osp := qs.Child("optimize")
 	if s.shape != "" {
 		sh, err := parseShape(s.shape)
 		if err != nil {
+			osp.End()
 			return err
 		}
-		phys, err = optimizer.BestWithShape(q, s.cat, cfg.MAXVL, sh)
+		phys, err = optimizer.BestWithShapeTraced(q, s.cat, cfg.MAXVL, sh, osp)
 		if err != nil {
+			osp.End()
 			return fmt.Errorf("optimize: %w", err)
 		}
 	} else {
-		phys, err = optimizer.Optimize(q, s.cat, cfg.MAXVL)
+		phys, err = optimizer.OptimizeTraced(q, s.cat, cfg.MAXVL, osp)
 		if err != nil {
+			osp.End()
 			return fmt.Errorf("optimize: %w", err)
 		}
 	}
+	osp.End()
 
 	if s.explain {
 		fmt.Println("candidate plans:")
@@ -188,25 +267,69 @@ func (s *session) runQuery(qsql string) error {
 
 	if s.device == "cape" || s.device == "both" {
 		eng := cape.New(cfg)
+		exec.AttachEngineTelemetry(eng, s.tel)
 		castle := exec.NewCastle(eng, s.cat, exec.DefaultCastleOptions())
+		es := qs.Child("execute")
+		castle.SetTelemetry(s.tel, es)
 		res := castle.Run(phys, s.db)
 		st := eng.Stats()
+		es.SetInt("cycles", st.TotalCycles())
+		es.SetStr("device", "CAPE")
+		es.End()
+		s.countQuery("cape", st.TotalCycles(), eng.Mem().BytesMoved(),
+			phys.Shape().String(), st.Seconds(cfg.ClockHz))
 		fmt.Printf("== CAPE (%v)\n", cfg)
 		fmt.Print(res.Format(s.db))
 		fmt.Printf("\n%v\n", st)
 		fmt.Printf("wall time at %.1f GHz: %.3f ms; DRAM traffic: %.1f MB\n\n",
 			cfg.ClockHz/1e9, st.Seconds(cfg.ClockHz)*1e3,
 			float64(eng.Mem().BytesMoved())/(1<<20))
+		if s.analyze {
+			fmt.Println("EXPLAIN ANALYZE:")
+			fmt.Println(castle.Breakdown().Format())
+		}
 	}
 	if s.device == "cpu" || s.device == "both" {
 		cpu := baseline.New(baseline.DefaultConfig())
-		res := exec.NewCPUExec(cpu).Run(q, s.db)
+		exec.AttachCPUTelemetry(cpu, s.tel)
+		x := exec.NewCPUExec(cpu)
+		es := qs.Child("execute")
+		x.SetTelemetry(s.tel, es)
+		res := x.Run(q, s.db)
+		es.SetInt("cycles", cpu.Cycles())
+		es.SetStr("device", "CPU")
+		es.End()
+		s.countQuery("cpu", cpu.Cycles(), cpu.Mem().BytesMoved(), "", cpu.Seconds())
 		fmt.Printf("== baseline (%v)\n", cpu.Config())
 		fmt.Print(res.Format(s.db))
 		fmt.Printf("\ntotal=%d cycles; wall time: %.3f ms; DRAM traffic: %.1f MB\n",
 			cpu.Cycles(), cpu.Seconds()*1e3, float64(cpu.Mem().BytesMoved())/(1<<20))
+		if s.analyze {
+			fmt.Println("\nEXPLAIN ANALYZE:")
+			fmt.Println(x.Breakdown().Format())
+		}
 	}
 	return nil
+}
+
+// countQuery records run-level metrics for one device execution.
+func (s *session) countQuery(device string, cycles, bytesMoved int64, shape string, seconds float64) {
+	if s.tel == nil {
+		return
+	}
+	reg := s.tel.Metrics()
+	reg.Counter(telemetry.MetricQueries, "Queries executed.",
+		telemetry.L("device", device)).Inc()
+	reg.Counter(telemetry.MetricBytesMoved, "Simulated DRAM bytes moved in both directions.",
+		telemetry.L("device", device)).Add(bytesMoved)
+	if shape != "" {
+		reg.Counter(telemetry.MetricPlanShapes, "Executed physical plan shapes.",
+			telemetry.L("shape", shape)).Inc()
+	}
+	reg.Histogram(telemetry.MetricQueryCycles, "Simulated cycles per query.").
+		Observe(float64(cycles))
+	reg.Histogram(telemetry.MetricQuerySeconds, "Simulated seconds per query.").
+		Observe(seconds)
 }
 
 func parseShape(s string) (plan.Shape, error) {

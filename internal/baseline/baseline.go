@@ -125,6 +125,25 @@ type CPU struct {
 	cfg    Config
 	mm     *mem.System
 	cycles float64
+	hook   CycleHook
+}
+
+// CycleHook observes cycle charges as the timing model bills them — the
+// baseline twin of cape.CycleHook, so CAPE-vs-CPU telemetry is
+// span-for-span. The hook sees the same fractional cycles the accumulator
+// adds; Cycles() truncates only at read time.
+type CycleHook func(cycles float64)
+
+// AttachCycleHook starts streaming cycle charges into h (nil detaches).
+func (c *CPU) AttachCycleHook(h CycleHook) { c.hook = h }
+
+// add centralizes cycle accumulation so the hook cannot diverge from the
+// counter.
+func (c *CPU) add(cycles float64) {
+	c.cycles += cycles
+	if c.hook != nil {
+		c.hook(cycles)
+	}
 }
 
 // New returns a baseline CPU.
@@ -148,7 +167,7 @@ func (c *CPU) Seconds() float64 { return c.cycles / c.cfg.ClockHz }
 func (c *CPU) ResetCycles() { c.cycles = 0 }
 
 // ChargeCompute charges pure compute cycles.
-func (c *CPU) ChargeCompute(cycles float64) { c.cycles += cycles }
+func (c *CPU) ChargeCompute(cycles float64) { c.add(cycles) }
 
 // ChargeStream charges a streaming kernel that reads/writes the given bytes
 // while executing computeCycles of work; the OoO core and the prefetchers
@@ -156,9 +175,9 @@ func (c *CPU) ChargeCompute(cycles float64) { c.cycles += cycles }
 func (c *CPU) ChargeStream(computeCycles float64, bytes int64) {
 	memCycles := float64(bytes) / c.cfg.StreamBytesPerCycle
 	if memCycles > computeCycles {
-		c.cycles += memCycles
+		c.add(memCycles)
 	} else {
-		c.cycles += computeCycles
+		c.add(computeCycles)
 	}
 	c.mm.AccountRead(bytes)
 }
@@ -168,9 +187,9 @@ func (c *CPU) ChargeStream(computeCycles float64, bytes int64) {
 func (c *CPU) ChargeStreamWrite(computeCycles float64, bytes int64) {
 	memCycles := float64(bytes) / c.cfg.StreamBytesPerCycle
 	if memCycles > computeCycles {
-		c.cycles += memCycles
+		c.add(memCycles)
 	} else {
-		c.cycles += computeCycles
+		c.add(computeCycles)
 	}
 	c.mm.AccountWrite(bytes)
 }
@@ -181,7 +200,7 @@ func (c *CPU) ChargeRandomAccesses(n int64, wsBytes int64) {
 	if n <= 0 {
 		return
 	}
-	c.cycles += float64(n) * c.cfg.Hierarchy.ExpectedAccessCycles(wsBytes)
+	c.add(float64(n) * c.cfg.Hierarchy.ExpectedAccessCycles(wsBytes))
 	missed := float64(n) * c.cfg.Hierarchy.DRAMMissFraction(wsBytes)
 	c.mm.AccountRead(int64(missed) * int64(c.cfg.Hierarchy.LineBytes))
 }

@@ -33,8 +33,45 @@ type Engine struct {
 	regs []vreg
 
 	tracer *Tracer
+	hook   CycleHook
 
 	st Stats
+}
+
+// CycleHook observes cycle charges as the engine bills them, mirroring the
+// three Stats pools (CSB attributed by Figure 7 class, control processor,
+// VMU/memory). It runs inline on the charge paths alongside the Tracer, so
+// a telemetry bridge sees exactly the cycles Stats accumulates — the sums
+// match Stats() to the cycle.
+type CycleHook interface {
+	// CSBCycles is called for every CSB charge with its instruction class.
+	CSBCycles(class isa.Class, cycles int64)
+	// CPCycles is called for control-processor occupancy charges.
+	CPCycles(cycles int64)
+	// MemCycles is called for VMU transfer charges.
+	MemCycles(cycles int64)
+}
+
+// AttachCycleHook starts streaming cycle charges into h (nil detaches).
+func (e *Engine) AttachCycleHook(h CycleHook) { e.hook = h }
+
+// addCSB centralizes CSB cycle attribution: every charge path (instruction
+// issue, bulk billing, ABA discovery/extension) funnels through here so
+// Stats and the CycleHook cannot diverge.
+func (e *Engine) addCSB(class isa.Class, cycles int64) {
+	e.st.CSBCycles += cycles
+	e.st.CSBCyclesByClass[class] += cycles
+	if e.hook != nil {
+		e.hook.CSBCycles(class, cycles)
+	}
+}
+
+// addCP centralizes control-processor cycle charges.
+func (e *Engine) addCP(cycles int64) {
+	e.st.CPCycles += cycles
+	if e.hook != nil {
+		e.hook.CPCycles(cycles)
+	}
 }
 
 type vreg struct {
@@ -149,7 +186,7 @@ func (e *Engine) ChargeStreamWrite(n int64) { e.chargeMem(e.mm.StreamWrite(n)) }
 // Scalar charges n scalar control-processor instructions (loop control,
 // address generation, branches around the vector stream).
 func (e *Engine) Scalar(n int64) {
-	e.st.CPCycles += int64(float64(n)*e.cfg.ScalarCPI + 0.5)
+	e.addCP(int64(float64(n)*e.cfg.ScalarCPI + 0.5))
 	e.st.ScalarInstrs += n
 }
 
@@ -163,7 +200,7 @@ func (e *Engine) CPAccess(n int64, wsBytes int64) {
 	if n <= 0 {
 		return
 	}
-	e.st.CPCycles += int64(float64(n) * e.cfg.CPHierarchy.ExpectedAccessCycles(wsBytes))
+	e.addCP(int64(float64(n) * e.cfg.CPHierarchy.ExpectedAccessCycles(wsBytes)))
 }
 
 func (e *Engine) reg(r VReg) *vreg {
@@ -189,9 +226,8 @@ func (e *Engine) validReg(r VReg) *vreg {
 func (e *Engine) chargeCSB(op isa.Op, steps int64) {
 	steps = int64(float64(steps)*e.cfg.stepMultiplier() + 0.5)
 	e.st.VectorInstrs++
-	e.st.CPCycles += int64(e.cfg.CPIssuePerVectorInstr)
-	e.st.CSBCycles += steps
-	e.st.CSBCyclesByClass[op.Class()] += steps
+	e.addCP(int64(e.cfg.CPIssuePerVectorInstr))
+	e.addCSB(op.Class(), steps)
 	if e.st.InstrsByOp == nil {
 		e.st.InstrsByOp = make(map[isa.Op]int64)
 	}
@@ -202,6 +238,9 @@ func (e *Engine) chargeCSB(op isa.Op, steps int64) {
 // chargeMem records VMU transfer cycles.
 func (e *Engine) chargeMem(cycles int64) {
 	e.st.MemCycles += cycles
+	if e.hook != nil {
+		e.hook.MemCycles(cycles)
+	}
 }
 
 // width returns the operating bitwidth for a register under ABA. Without
@@ -222,8 +261,7 @@ func (e *Engine) width(v *vreg) int {
 	w := 32
 	need := v.neededWidth(e.vl)
 	for _, g := range guesses {
-		e.st.CSBCycles += 2 // search all-0s + all-1s above bit g
-		e.st.CSBCyclesByClass[isa.ClassOther] += 2
+		e.addCSB(isa.ClassOther, 2) // search all-0s + all-1s above bit g
 		if need > g {
 			break
 		}
@@ -275,7 +313,6 @@ func (e *Engine) abaExtend(w int) {
 		if ext > 16 {
 			ext = 16
 		}
-		e.st.CSBCycles += ext
-		e.st.CSBCyclesByClass[isa.ClassOther] += ext
+		e.addCSB(isa.ClassOther, ext)
 	}
 }

@@ -174,9 +174,8 @@ func (e *Engine) Charge(op isa.Op, width int, count int64) {
 	}
 	steps = int64(float64(steps)*e.cfg.stepMultiplier() + 0.5)
 	e.st.VectorInstrs += count
-	e.st.CPCycles += int64(e.cfg.CPIssuePerVectorInstr) * count
-	e.st.CSBCycles += steps * count
-	e.st.CSBCyclesByClass[op.Class()] += steps * count
+	e.addCP(int64(e.cfg.CPIssuePerVectorInstr) * count)
+	e.addCSB(op.Class(), steps*count)
 	if e.st.InstrsByOp == nil {
 		e.st.InstrsByOp = make(map[isa.Op]int64)
 	}

@@ -83,6 +83,11 @@ func (s Stats) String() string {
 	return b.String()
 }
 
+// TotalCycles returns the engine's current end-to-end cycle count without
+// copying the full Stats (the executors snapshot this around operator
+// regions, so it must stay allocation-free).
+func (e *Engine) TotalCycles() int64 { return e.st.TotalCycles() }
+
 // Stats returns a copy of the engine's accumulated statistics.
 func (e *Engine) Stats() Stats {
 	out := e.st

@@ -1,0 +1,115 @@
+package cape
+
+import (
+	"testing"
+
+	"castle/internal/isa"
+)
+
+func TestStatsAddAccumulates(t *testing.T) {
+	var s Stats
+	o := Stats{
+		CSBCycles:    100,
+		CPCycles:     10,
+		MemCycles:    5,
+		VectorInstrs: 3,
+		ScalarInstrs: 2,
+		InstrsByOp:   map[isa.Op]int64{isa.OpVMSeqVX: 3},
+	}
+	o.CSBCyclesByClass[isa.ClassSearch] = 100
+	s.Add(o)
+	s.Add(o)
+	if s.CSBCycles != 200 || s.CPCycles != 20 || s.MemCycles != 10 {
+		t.Fatalf("cycle sums wrong: %+v", s)
+	}
+	if s.CSBCyclesByClass[isa.ClassSearch] != 200 {
+		t.Fatalf("class cycles = %d, want 200", s.CSBCyclesByClass[isa.ClassSearch])
+	}
+	if s.TotalCycles() != 230 {
+		t.Fatalf("TotalCycles = %d, want 230", s.TotalCycles())
+	}
+	if s.InstrsByOp[isa.OpVMSeqVX] != 6 {
+		t.Fatalf("InstrsByOp = %v", s.InstrsByOp)
+	}
+}
+
+func TestStatsAddNilInstrsByOp(t *testing.T) {
+	// Adding a Stats with a nil op map must not allocate one on the
+	// receiver or panic; adding into a nil receiver map must allocate.
+	var s Stats
+	s.Add(Stats{CSBCycles: 1})
+	if s.InstrsByOp != nil {
+		t.Fatalf("InstrsByOp should stay nil, got %v", s.InstrsByOp)
+	}
+	s.Add(Stats{InstrsByOp: map[isa.Op]int64{isa.OpVAddVV: 4}})
+	if s.InstrsByOp[isa.OpVAddVV] != 4 {
+		t.Fatalf("InstrsByOp = %v", s.InstrsByOp)
+	}
+}
+
+func TestClassShareZeroCycles(t *testing.T) {
+	var s Stats
+	share := s.ClassShare()
+	for c, f := range share {
+		if f != 0 {
+			t.Fatalf("class %v share = %v for zero CSB cycles", isa.Class(c), f)
+		}
+	}
+	// String must not divide by zero either.
+	if got := s.String(); got == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestClassShareSumsToOne(t *testing.T) {
+	var s Stats
+	s.CSBCycles = 40
+	s.CSBCyclesByClass[isa.ClassSearch] = 10
+	s.CSBCyclesByClass[isa.ClassArithmetic] = 30
+	share := s.ClassShare()
+	var total float64
+	for _, f := range share {
+		total += f
+	}
+	if total != 1.0 {
+		t.Fatalf("shares sum to %v, want 1", total)
+	}
+	if share[isa.ClassSearch] != 0.25 {
+		t.Fatalf("search share = %v, want 0.25", share[isa.ClassSearch])
+	}
+}
+
+func TestTracerCoalesceAccounting(t *testing.T) {
+	tr := NewTracer(2)
+	e := TraceEntry{Op: isa.OpVMSeqVX, Steps: 4, VL: 64, Count: 1}
+	for i := 0; i < 5; i++ {
+		tr.record(e)
+	}
+	// Five identical instructions coalesce into one entry, none dropped.
+	if got := len(tr.Entries()); got != 1 {
+		t.Fatalf("entries = %d, want 1", got)
+	}
+	if tr.Instructions() != 5 || tr.Dropped() != 0 {
+		t.Fatalf("instructions=%d dropped=%d", tr.Instructions(), tr.Dropped())
+	}
+	// A different op starts entry 2; the next different op overflows and is
+	// counted as dropped, not silently lost.
+	tr.record(TraceEntry{Op: isa.OpVAddVV, Steps: 32, VL: 64, Count: 1})
+	tr.record(TraceEntry{Op: isa.OpVMFirst, Steps: 1, VL: 64, Count: 7})
+	if got := len(tr.Entries()); got != 2 {
+		t.Fatalf("entries = %d, want 2", got)
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", tr.Dropped())
+	}
+}
+
+func TestTracerEntriesIsACopy(t *testing.T) {
+	tr := NewTracer(4)
+	tr.record(TraceEntry{Op: isa.OpVMSeqVX, Steps: 4, VL: 64, Count: 1})
+	got := tr.Entries()
+	got[0].Count = 999
+	if tr.Entries()[0].Count == 999 {
+		t.Fatal("Entries aliases the live buffer")
+	}
+}

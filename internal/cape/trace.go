@@ -58,8 +58,11 @@ func (t *Tracer) record(e TraceEntry) {
 	t.entries = append(t.entries, e)
 }
 
-// Entries returns the captured entries.
-func (t *Tracer) Entries() []TraceEntry { return t.entries }
+// Entries returns a copy of the captured entries (callers cannot alias the
+// live buffer, which later instructions still coalesce into).
+func (t *Tracer) Entries() []TraceEntry {
+	return append([]TraceEntry(nil), t.entries...)
+}
 
 // Dropped returns how many instructions arrived after the buffer filled.
 func (t *Tracer) Dropped() int64 { return t.dropped }

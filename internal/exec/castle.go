@@ -9,6 +9,7 @@ import (
 	"castle/internal/plan"
 	"castle/internal/stats"
 	"castle/internal/storage"
+	"castle/internal/telemetry"
 )
 
 // CastleOptions tune the CAPE executor.
@@ -42,6 +43,22 @@ type Castle struct {
 	// perJoin accumulates cycles attributed to each join edge of the last
 	// Run (keyed by dimension name) — the §7.2 per-join analysis.
 	perJoin map[string]int64
+
+	// tel and parent carry the observability pipeline: operator spans nest
+	// under parent (the caller's "execute" span). Both may be nil; span
+	// calls on nil receivers are no-ops, so a disabled pipeline costs only
+	// nil checks.
+	tel    *telemetry.Telemetry
+	parent *telemetry.Span
+
+	// Per-phase cycle accounting for the last Run's EXPLAIN ANALYZE
+	// breakdown (always maintained; int64 snapshots are free next to the
+	// simulated work).
+	prepCycles   map[string]int64
+	prepRows     map[string]int64
+	filterCycles int64
+	aggCycles    int64
+	breakdown    *telemetry.Breakdown
 }
 
 // NewCastle wraps a CAPE engine. The statistics catalog supplies column
@@ -56,7 +73,28 @@ func (c *Castle) Engine() *cape.Engine { return c.eng }
 // PerJoinCycles returns the cycles attributed to each join edge of the
 // last Run, keyed by dimension name (§7.2's per-join analysis; join-edge
 // work only — selections, aggregation and dimension prep are excluded).
-func (c *Castle) PerJoinCycles() map[string]int64 { return c.perJoin }
+// The map is a defensive copy: callers cannot alias the executor's live
+// accounting across runs.
+func (c *Castle) PerJoinCycles() map[string]int64 {
+	out := make(map[string]int64, len(c.perJoin))
+	for k, v := range c.perJoin {
+		out[k] = v
+	}
+	return out
+}
+
+// SetTelemetry attaches an observability pipeline for subsequent Runs:
+// operator spans nest under parent (typically the caller's "execute"
+// span), and run-level metrics are recorded into tel. Pass nils to detach.
+func (c *Castle) SetTelemetry(tel *telemetry.Telemetry, parent *telemetry.Span) {
+	c.tel = tel
+	c.parent = parent
+}
+
+// Breakdown returns the last Run's per-operator cycle breakdown (the
+// EXPLAIN ANALYZE surface). The operator rows partition the run's total
+// cycles exactly. Returns a copy; nil before the first Run.
+func (c *Castle) Breakdown() *telemetry.Breakdown { return c.breakdown.Clone() }
 
 // dimSide is a filtered dimension prepared for probing.
 type dimSide struct {
@@ -86,6 +124,10 @@ func (c *Castle) Run(p *plan.Physical, db *storage.Database) *Result {
 	eng := c.eng
 	cfg := eng.Config()
 	c.perJoin = make(map[string]int64, len(p.Joins))
+	c.prepCycles = make(map[string]int64, len(p.Joins))
+	c.prepRows = make(map[string]int64, len(p.Joins))
+	c.filterCycles, c.aggCycles = 0, 0
+	runStart := eng.TotalCycles()
 
 	camCapable := cfg.EnableADL
 	// Queries whose aggregates need vv arithmetic (SUM(a*b)) run their
@@ -104,7 +146,16 @@ func (c *Castle) Run(p *plan.Physical, db *storage.Database) *Result {
 	}
 	dims := make([]dimSide, len(p.Joins))
 	for i, e := range p.Joins {
+		sp := c.parent.Child("prep:" + e.Dim)
+		before := eng.TotalCycles()
 		dims[i] = c.prepareDim(q, e, db)
+		cy := eng.TotalCycles() - before
+		c.prepCycles[e.Dim] = cy
+		c.prepRows[e.Dim] = int64(len(dims[i].keys))
+		sp.SetInt("cycles", cy)
+		sp.SetInt("rows_out", int64(len(dims[i].keys)))
+		sp.SetInt("rows_in", int64(dims[i].totalRows))
+		sp.End()
 	}
 
 	// Fused fact sweep.
@@ -114,12 +165,14 @@ func (c *Castle) Run(p *plan.Physical, db *storage.Database) *Result {
 
 	acc := newGroupAcc(q.Aggs)
 
+	sweep := c.parent.Child("fact-sweep")
+	sweepStart := eng.TotalCycles()
 	for base := 0; base < factRows; base += maxvl {
 		vl := factRows - base
 		if vl > maxvl {
 			vl = maxvl
 		}
-		c.runPartition(p, db, dims, base, vl, needGPArith, camCapable, acc)
+		c.runPartition(p, db, dims, base, vl, needGPArith, camCapable, acc, sweep)
 		if camCapable {
 			// Next partition returns to CAM mode for selections/joins.
 			eng.SetLayout(cape.CAMMode)
@@ -129,11 +182,63 @@ func (c *Castle) Run(p *plan.Physical, db *storage.Database) *Result {
 	if !c.opts.Fusion {
 		c.chargeFissionOverhead(p, factRows, maxvl)
 	}
+	sweep.SetInt("cycles", eng.TotalCycles()-sweepStart)
+	sweep.SetInt("rows", int64(factRows))
+	sweep.SetInt("partitions", int64((factRows+maxvl-1)/maxvl))
+	sweep.End()
 
 	if len(q.GroupBy) == 0 && len(acc.order) == 0 {
 		acc.add(nil, make([]int64, len(q.Aggs)), 0)
 	}
-	return acc.result(q)
+	res := acc.result(q)
+	c.finishBreakdown(p, eng.TotalCycles()-runStart, int64(factRows), int64(len(res.Rows)))
+	c.recordRunMetrics(p, db, int64(factRows))
+	return res
+}
+
+// finishBreakdown closes the per-operator books for the last Run. The
+// rows partition the total exactly: whatever the phase regions did not
+// cover (layout switches, vsetvl, fission overhead, inter-phase scalars)
+// lands in an explicit "overhead" row.
+func (c *Castle) finishBreakdown(p *plan.Physical, total, factRows, groups int64) {
+	b := &telemetry.Breakdown{Device: "CAPE", TotalCycles: total}
+	var covered int64
+	for _, e := range p.Joins {
+		cy := c.prepCycles[e.Dim]
+		b.Operators = append(b.Operators, telemetry.OperatorStats{
+			Operator: "prep:" + e.Dim, Cycles: cy, Rows: c.prepRows[e.Dim]})
+		covered += cy
+	}
+	b.Operators = append(b.Operators, telemetry.OperatorStats{
+		Operator: "filter", Cycles: c.filterCycles, Rows: factRows})
+	covered += c.filterCycles
+	for _, e := range p.Joins {
+		cy := c.perJoin[e.Dim]
+		b.Operators = append(b.Operators, telemetry.OperatorStats{
+			Operator: "join:" + e.Dim, Cycles: cy, Rows: c.prepRows[e.Dim]})
+		covered += cy
+	}
+	b.Operators = append(b.Operators, telemetry.OperatorStats{
+		Operator: "aggregate", Cycles: c.aggCycles, Rows: groups})
+	covered += c.aggCycles
+	b.Operators = append(b.Operators, telemetry.OperatorStats{
+		Operator: "overhead", Cycles: total - covered, Rows: -1})
+	c.breakdown = b
+}
+
+// recordRunMetrics updates run-level counters (rows scanned) on the
+// attached registry; class-cycle counters stream live via the engine hook.
+func (c *Castle) recordRunMetrics(p *plan.Physical, db *storage.Database, factRows int64) {
+	if c.tel == nil {
+		return
+	}
+	scanned := factRows
+	for _, e := range p.Joins {
+		scanned += int64(db.MustTable(e.Dim).Rows())
+	}
+	c.tel.Metrics().Counter(telemetry.MetricRowsScanned,
+		"Rows scanned across fact and dimension tables.",
+		telemetry.L("device", "cape")).Add(scanned)
 }
 
 // regAlloc hands out CSB vector registers.
@@ -169,7 +274,7 @@ func (r *regAlloc) forCol(name string) (cape.VReg, bool) {
 // partition: selections -> joins (right-deep then left-deep segments) ->
 // aggregation (Algorithm 2).
 func (c *Castle) runPartition(p *plan.Physical, db *storage.Database, dims []dimSide,
-	base, vl int, needGPArith, camCapable bool, acc *groupAcc) {
+	base, vl int, needGPArith, camCapable bool, acc *groupAcc, sweep *telemetry.Span) {
 
 	q := p.Query
 	eng := c.eng
@@ -187,6 +292,8 @@ func (c *Castle) runPartition(p *plan.Physical, db *storage.Database, dims []dim
 	}
 
 	// --- Selections (Figure 4): per-predicate masks combined with mask ops.
+	spf := sweep.Child("filter")
+	before := eng.TotalCycles()
 	eng.Scalar(8) // loop setup
 	var rowMask *bitvec.Vector
 	for _, pr := range q.FactPreds {
@@ -200,30 +307,47 @@ func (c *Castle) runPartition(p *plan.Physical, db *storage.Database, dims []dim
 	if rowMask == nil {
 		rowMask = eng.MaskInit(true)
 	}
+	cy := eng.TotalCycles() - before
+	c.filterCycles += cy
+	spf.SetInt("cycles", cy)
+	spf.SetInt("rows", int64(vl))
+	spf.End()
 
 	// --- Right-deep joins: filtered dimensions probe the resident fact
 	// partition (Algorithm 1 with the probe side swapped, §3.2).
 	attrRegs := make(map[string]cape.VReg) // "dim.attr" -> fact-aligned vector
 	for di := 0; di < p.Switch; di++ {
 		d := dims[di]
-		before := eng.Stats().TotalCycles()
+		spj := sweep.Child("join:" + d.edge.Dim)
+		before := eng.TotalCycles()
 		fkReg := loadFactCol(d.edge.FactFK)
 		joinMask := c.probeFactWithDim(fkReg, d, regs, attrRegs)
 		rowMask = eng.MaskAnd(rowMask, joinMask)
-		c.perJoin[d.edge.Dim] += eng.Stats().TotalCycles() - before
+		cy := eng.TotalCycles() - before
+		c.perJoin[d.edge.Dim] += cy
+		spj.SetInt("cycles", cy)
+		spj.SetInt("probe_keys", int64(len(d.keys)))
+		spj.End()
 	}
 
 	// --- Left-deep segment: surviving intermediate rows probe
 	// CSB-resident dimension partitions.
 	for di := p.Switch; di < len(p.Joins); di++ {
 		d := dims[di]
-		before := eng.Stats().TotalCycles()
+		spj := sweep.Child("join:" + d.edge.Dim)
+		before := eng.TotalCycles()
 		loadFactCol(d.edge.FactFK) // FK column resident for the CP to read
 		rowMask = c.probeDimWithRows(fact, d, base, vl, rowMask, regs, attrRegs)
-		c.perJoin[d.edge.Dim] += eng.Stats().TotalCycles() - before
+		cy := eng.TotalCycles() - before
+		c.perJoin[d.edge.Dim] += cy
+		spj.SetInt("cycles", cy)
+		spj.SetInt("dim_rows", int64(len(d.keys)))
+		spj.End()
 	}
 
 	// --- Aggregation (Algorithm 2), fused on the partition's rowMask.
+	spa := sweep.Child("aggregate")
+	before = eng.TotalCycles()
 	if needGPArith && camCapable {
 		// Bit-serial vv arithmetic requires the bitsliced layout: switch,
 		// carry the row mask across with vrelayout, and reload the
@@ -238,9 +362,13 @@ func (c *Castle) runPartition(p *plan.Physical, db *storage.Database, dims []dim
 
 	if len(q.GroupBy) == 0 {
 		c.aggregateScalar(q, fact, base, vl, rowMask, regs, acc)
-		return
+	} else {
+		c.aggregateGroups(q, fact, base, vl, rowMask, regs, attrRegs, acc, loadFactCol)
 	}
-	c.aggregateGroups(q, fact, base, vl, rowMask, regs, attrRegs, acc, loadFactCol)
+	cy = eng.TotalCycles() - before
+	c.aggCycles += cy
+	spa.SetInt("cycles", cy)
+	spa.End()
 }
 
 // chargeDistinctLoop bills the nested Algorithm-2-style loop that counts a

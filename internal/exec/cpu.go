@@ -7,6 +7,7 @@ import (
 	"castle/internal/bitvec"
 	"castle/internal/plan"
 	"castle/internal/storage"
+	"castle/internal/telemetry"
 )
 
 // CPUExec executes bound queries on the baseline AVX-512 core using the
@@ -18,6 +19,10 @@ type CPUExec struct {
 	cpu *baseline.CPU
 
 	perJoin map[string]int64
+
+	tel       *telemetry.Telemetry
+	parent    *telemetry.Span
+	breakdown *telemetry.Breakdown
 }
 
 // NewCPUExec wraps a baseline CPU.
@@ -27,16 +32,38 @@ func NewCPUExec(cpu *baseline.CPU) *CPUExec { return &CPUExec{cpu: cpu} }
 func (x *CPUExec) CPU() *baseline.CPU { return x.cpu }
 
 // PerJoinCycles returns cycles attributed to each join edge of the last
-// Run, keyed by dimension name (dimension filter + build + probe).
-func (x *CPUExec) PerJoinCycles() map[string]int64 { return x.perJoin }
+// Run, keyed by dimension name (dimension filter + build + probe). The map
+// is a copy; callers may mutate it freely.
+func (x *CPUExec) PerJoinCycles() map[string]int64 {
+	out := make(map[string]int64, len(x.perJoin))
+	for k, v := range x.perJoin {
+		out[k] = v
+	}
+	return out
+}
+
+// SetTelemetry attaches a telemetry sink and the span Run's operator spans
+// should nest under. Both may be nil (telemetry off).
+func (x *CPUExec) SetTelemetry(tel *telemetry.Telemetry, parent *telemetry.Span) {
+	x.tel = tel
+	x.parent = parent
+}
+
+// Breakdown returns the per-operator cycle breakdown of the last Run.
+func (x *CPUExec) Breakdown() *telemetry.Breakdown { return x.breakdown.Clone() }
 
 // Run executes a bound query and returns its result relation.
 func (x *CPUExec) Run(q *plan.Query, db *storage.Database) *Result {
 	cpu := x.cpu
 	fact := db.MustTable(q.Fact)
 	rows := fact.Rows()
+	runStart := cpu.Cycles()
+	prepCycles := make(map[string]int64, len(q.Joins))
+	prepRows := make(map[string]int64, len(q.Joins))
 
 	// Fact selections: SIMD scans, masks ANDed.
+	spf := x.parent.Child("filter")
+	filterStart := cpu.Cycles()
 	var sel *bitvec.Vector
 	for _, pr := range q.FactPreds {
 		col := fact.MustColumn(pr.Column)
@@ -49,6 +76,10 @@ func (x *CPUExec) Run(q *plan.Query, db *storage.Database) *Result {
 			cpu.ChargeCompute(float64(rows) / 64) // word-wise mask AND
 		}
 	}
+	filterCycles := cpu.Cycles() - filterStart
+	spf.SetInt("cycles", filterCycles)
+	spf.SetInt("rows", int64(rows))
+	spf.End()
 
 	// Pipelined left-deep joins: filter each dimension (scan), build a
 	// hash table, probe with the surviving fact rows. The optimized
@@ -65,6 +96,9 @@ func (x *CPUExec) Run(q *plan.Query, db *storage.Database) *Result {
 	for _, e := range q.Joins {
 		dim := db.MustTable(e.Dim)
 		preds := q.DimPreds[e.Dim]
+
+		spp := x.parent.Child("prep:" + e.Dim)
+		prepStart := cpu.Cycles()
 
 		// Dimension selection scan.
 		var dimMask *bitvec.Vector
@@ -97,6 +131,13 @@ func (x *CPUExec) Run(q *plan.Query, db *storage.Database) *Result {
 			frac = float64(len(keys)) / float64(dim.Rows())
 		}
 		joins = append(joins, dimJoin{edge: e, dimMask: dimMask, keys: keys, fraction: frac})
+
+		prepCycles[e.Dim] = cpu.Cycles() - prepStart
+		prepRows[e.Dim] = int64(len(keys))
+		spp.SetInt("cycles", prepCycles[e.Dim])
+		spp.SetInt("rows_in", int64(dim.Rows()))
+		spp.SetInt("rows_out", int64(len(keys)))
+		spp.End()
 	}
 	sort.SliceStable(joins, func(i, j int) bool { return joins[i].fraction < joins[j].fraction })
 
@@ -104,6 +145,7 @@ func (x *CPUExec) Run(q *plan.Query, db *storage.Database) *Result {
 	attrCols := make(map[string][]uint32) // "dim.attr" -> fact-aligned values
 	for _, j := range joins {
 		e := j.edge
+		spj := x.parent.Child("join:" + e.Dim)
 		joinStart := cpu.Cycles()
 		dim := db.MustTable(e.Dim)
 		dimMask, keys := j.dimMask, j.keys
@@ -114,8 +156,6 @@ func (x *CPUExec) Run(q *plan.Query, db *storage.Database) *Result {
 		case 0:
 			m := cpu.HashJoinSemi(fkCol, keys, sel)
 			sel = intersect(sel, m)
-			x.perJoin[e.Dim] += cpu.Cycles() - joinStart
-			continue
 		default:
 			// One build pass per needed attribute re-uses the same probe
 			// pattern; the first probe prunes the selection mask.
@@ -139,11 +179,17 @@ func (x *CPUExec) Run(q *plan.Query, db *storage.Database) *Result {
 				}
 			}
 		}
-		x.perJoin[e.Dim] += cpu.Cycles() - joinStart
+		cy := cpu.Cycles() - joinStart
+		x.perJoin[e.Dim] += cy
+		spj.SetInt("cycles", cy)
+		spj.SetInt("build_keys", int64(len(keys)))
+		spj.End()
 	}
 
 	// Aggregate input columns. Per-row values feed the kind-aware group
 	// accumulator (MIN/MAX take extrema, the rest add).
+	spa := x.parent.Child("aggregate")
+	aggStart := cpu.Cycles()
 	valueOf := make([]func(i int) int64, len(q.Aggs))
 	type distinctSlot struct {
 		slot int
@@ -253,6 +299,50 @@ func (x *CPUExec) Run(q *plan.Query, db *storage.Database) *Result {
 	// A single global group always yields one output row.
 	if len(q.GroupBy) == 0 && len(acc.order) == 0 {
 		acc.add(nil, make([]int64, len(q.Aggs)), 0)
+	}
+	aggCycles := cpu.Cycles() - aggStart
+	spa.SetInt("cycles", aggCycles)
+	spa.SetInt("groups", int64(len(acc.order)))
+	spa.End()
+
+	total := cpu.Cycles() - runStart
+	b := &telemetry.Breakdown{Device: "CPU", TotalCycles: total}
+	var covered int64
+	for _, e := range q.Joins {
+		b.Operators = append(b.Operators, telemetry.OperatorStats{
+			Operator: "prep:" + e.Dim, Cycles: prepCycles[e.Dim], Rows: prepRows[e.Dim],
+		})
+		covered += prepCycles[e.Dim]
+	}
+	b.Operators = append(b.Operators, telemetry.OperatorStats{
+		Operator: "filter", Cycles: filterCycles, Rows: int64(rows),
+	})
+	covered += filterCycles
+	for _, e := range q.Joins {
+		b.Operators = append(b.Operators, telemetry.OperatorStats{
+			Operator: "join:" + e.Dim, Cycles: x.perJoin[e.Dim], Rows: -1,
+		})
+		covered += x.perJoin[e.Dim]
+	}
+	b.Operators = append(b.Operators, telemetry.OperatorStats{
+		Operator: "aggregate", Cycles: aggCycles, Rows: int64(len(acc.order)),
+	})
+	covered += aggCycles
+	if oh := total - covered; oh != 0 {
+		b.Operators = append(b.Operators, telemetry.OperatorStats{
+			Operator: "overhead", Cycles: oh, Rows: -1,
+		})
+	}
+	x.breakdown = b
+
+	if x.tel != nil {
+		scanned := int64(rows)
+		for _, e := range q.Joins {
+			scanned += int64(db.MustTable(e.Dim).Rows())
+		}
+		reg := x.tel.Metrics()
+		reg.Counter(telemetry.MetricRowsScanned, "Rows scanned across fact and dimension tables.",
+			telemetry.L("device", "cpu")).Add(scanned)
 	}
 	return acc.result(q)
 }

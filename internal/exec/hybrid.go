@@ -6,6 +6,7 @@ import (
 	"castle/internal/plan"
 	"castle/internal/stats"
 	"castle/internal/storage"
+	"castle/internal/telemetry"
 )
 
 // Hybrid routes each query to the better engine, implementing the paper's
@@ -150,6 +151,13 @@ func (h *Hybrid) Cycles(d Device) int64 {
 		return h.cpu.CPU().Cycles()
 	}
 	return h.castle.Engine().Stats().TotalCycles()
+}
+
+// SetTelemetry forwards a telemetry sink and parent span to both
+// underlying executors (either argument may be nil).
+func (h *Hybrid) SetTelemetry(tel *telemetry.Telemetry, parent *telemetry.Span) {
+	h.castle.SetTelemetry(tel, parent)
+	h.cpu.SetTelemetry(tel, parent)
 }
 
 // Castle returns the CAPE-side executor.

@@ -19,6 +19,7 @@ import (
 
 	"castle/internal/plan"
 	"castle/internal/stats"
+	"castle/internal/telemetry"
 )
 
 // Estimator derives cardinality estimates from catalog statistics.
@@ -195,10 +196,20 @@ func permute(js []plan.JoinEdge, emit func([]plan.JoinEdge)) {
 // switch points, i.e. more right-deep, whose cost is robust to join-order
 // estimation errors, §3.4).
 func Optimize(q *plan.Query, cat *stats.Catalog, maxvl int) (*plan.Physical, error) {
+	return OptimizeTraced(q, cat, maxvl, nil)
+}
+
+// OptimizeTraced is Optimize with candidate enumeration and selection
+// recorded as child spans of parent (nil parent traces nothing).
+func OptimizeTraced(q *plan.Query, cat *stats.Catalog, maxvl int, parent *telemetry.Span) (*plan.Physical, error) {
+	spe := parent.Child("enumerate")
 	cands := Enumerate(q, cat, maxvl)
+	spe.SetInt("candidates", int64(len(cands)))
+	spe.End()
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("optimizer: no candidates for query %s", q)
 	}
+	sps := parent.Child("select")
 	best := cands[0]
 	for _, c := range cands[1:] {
 		if c.Searches < best.Searches ||
@@ -206,6 +217,9 @@ func Optimize(q *plan.Query, cat *stats.Catalog, maxvl int) (*plan.Physical, err
 			best = c
 		}
 	}
+	sps.SetInt("est_searches", best.Searches)
+	sps.SetStr("shape", best.Shape().String())
+	sps.End()
 	return &plan.Physical{
 		Query:             q,
 		Joins:             best.Joins,
@@ -218,8 +232,20 @@ func Optimize(q *plan.Query, cat *stats.Catalog, maxvl int) (*plan.Physical, err
 // to compare plan shapes (Figure 6's "CAPE database operators" tier forces
 // the traditional left-deep shape).
 func BestWithShape(q *plan.Query, cat *stats.Catalog, maxvl int, shape plan.Shape) (*plan.Physical, error) {
+	return BestWithShapeTraced(q, cat, maxvl, shape, nil)
+}
+
+// BestWithShapeTraced is BestWithShape with enumeration and selection
+// recorded as child spans of parent (nil parent traces nothing).
+func BestWithShapeTraced(q *plan.Query, cat *stats.Catalog, maxvl int, shape plan.Shape, parent *telemetry.Span) (*plan.Physical, error) {
+	spe := parent.Child("enumerate")
+	cands := Enumerate(q, cat, maxvl)
+	spe.SetInt("candidates", int64(len(cands)))
+	spe.End()
+	sps := parent.Child("select")
+	defer sps.End()
 	var best *Candidate
-	for _, c := range Enumerate(q, cat, maxvl) {
+	for _, c := range cands {
 		c := c
 		if len(q.Joins) > 0 && c.Shape() != shape {
 			continue
@@ -231,6 +257,8 @@ func BestWithShape(q *plan.Query, cat *stats.Catalog, maxvl int, shape plan.Shap
 	if best == nil {
 		return nil, fmt.Errorf("optimizer: no %v plan exists for query %s", shape, q)
 	}
+	sps.SetInt("est_searches", best.Searches)
+	sps.SetStr("shape", shape.String())
 	return &plan.Physical{
 		Query:             q,
 		Joins:             best.Joins,

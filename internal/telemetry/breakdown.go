@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OperatorStats is one row of an EXPLAIN ANALYZE breakdown: the simulated
+// cycles (and, where meaningful, rows handled) attributed to one physical
+// operator of the executed plan.
+type OperatorStats struct {
+	// Operator names the plan node, e.g. "prep:date", "join:part",
+	// "filter", "aggregate", "overhead".
+	Operator string
+	// Cycles is the simulated cycle count attributed to the operator.
+	Cycles int64
+	// Rows is the operator's row cardinality (filtered dimension rows for
+	// prep/join nodes, scanned fact rows for filter, groups for aggregate;
+	// -1 when not meaningful).
+	Rows int64
+}
+
+// Breakdown is the per-operator accounting of one executed query — the
+// EXPLAIN ANALYZE surface. The operator cycle counts partition the total:
+// sum(Operators[i].Cycles) == TotalCycles exactly (the executor closes the
+// books with an explicit "overhead" row).
+type Breakdown struct {
+	// Device names the engine that ran ("CAPE" or "CPU").
+	Device string
+	// Operators lists plan nodes in execution order.
+	Operators []OperatorStats
+	// TotalCycles is the engine's end-to-end cycle count for the query.
+	TotalCycles int64
+}
+
+// Clone returns a deep copy (executors hand these out across runs).
+func (b *Breakdown) Clone() *Breakdown {
+	if b == nil {
+		return nil
+	}
+	out := &Breakdown{Device: b.Device, TotalCycles: b.TotalCycles}
+	out.Operators = append([]OperatorStats(nil), b.Operators...)
+	return out
+}
+
+// SumCycles returns the sum of the operator rows (== TotalCycles for a
+// well-formed breakdown; tests assert the reconciliation).
+func (b *Breakdown) SumCycles() int64 {
+	if b == nil {
+		return 0
+	}
+	var n int64
+	for _, o := range b.Operators {
+		n += o.Cycles
+	}
+	return n
+}
+
+// Format renders the aligned EXPLAIN ANALYZE table:
+//
+//	operator           cycles      share    rows
+//	prep:date          1234        0.1%     2556
+//	join:date          456789     42.3%     2556
+//	...
+//	total              1080000    100.0%
+func (b *Breakdown) Format() string {
+	if b == nil {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %14s %8s %12s\n", "operator", "cycles", "share", "rows")
+	for _, o := range b.Operators {
+		share := 0.0
+		if b.TotalCycles > 0 {
+			share = 100 * float64(o.Cycles) / float64(b.TotalCycles)
+		}
+		rows := ""
+		if o.Rows >= 0 {
+			rows = fmt.Sprintf("%d", o.Rows)
+		}
+		fmt.Fprintf(&sb, "%-20s %14d %7.1f%% %12s\n", o.Operator, o.Cycles, share, rows)
+	}
+	fmt.Fprintf(&sb, "%-20s %14d %7.1f%%\n", "total ("+b.Device+")", b.TotalCycles, 100.0)
+	return sb.String()
+}

@@ -1,0 +1,275 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one span attribute. Exactly one of Int/Str is meaningful; IsInt
+// distinguishes them (span attributes carry simulated cycle counts and
+// traffic bytes far more often than strings, and int64 keeps them exact).
+type Attr struct {
+	Key   string
+	Int   int64
+	Str   string
+	IsInt bool
+}
+
+// Span is one open interval of the query lifecycle (query, phase, or
+// operator). Spans form a tree through Child; End closes the span and
+// commits it to the recorder's ring buffer. A nil *Span is a valid no-op,
+// so call sites need no enabled-checks.
+type Span struct {
+	rec   *TraceRecorder
+	name  string
+	id    uint64
+	paren uint64
+	root  uint64
+	start time.Time
+	attrs []Attr
+	ended bool
+}
+
+// Child opens a sub-span. Returns nil when s is nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.rec.start(name, s)
+}
+
+// SetInt attaches an integer attribute (cycles, bytes, rows...).
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Int: v, IsInt: true})
+}
+
+// SetStr attaches a string attribute (device, plan shape...).
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Str: v})
+}
+
+// End closes the span and records it. Safe to call more than once; only
+// the first call commits.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.rec.commit(s, time.Now())
+}
+
+// SpanRecord is a completed span as stored by the recorder.
+type SpanRecord struct {
+	Name   string
+	ID     uint64
+	Parent uint64 // 0 for roots
+	Root   uint64 // ID of the tree's root span (its own ID for roots)
+	Start  time.Time
+	Dur    time.Duration
+	Attrs  []Attr
+}
+
+// Int returns the value of an integer attribute (0, false when absent).
+func (r SpanRecord) Int(key string) (int64, bool) {
+	for _, a := range r.Attrs {
+		if a.Key == key && a.IsInt {
+			return a.Int, true
+		}
+	}
+	return 0, false
+}
+
+// TraceRecorder stores completed spans in a fixed-capacity ring buffer.
+// When the buffer is full the oldest spans are evicted (and counted), so a
+// long-lived process keeps the most recent queries' traces.
+type TraceRecorder struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	cap     int
+	spans   []SpanRecord
+	next    int // ring cursor once len(spans) == cap
+	wrapped bool
+	nextID  uint64
+	evicted int64
+}
+
+// DefaultSpanCapacity is the recorder's default ring size.
+const DefaultSpanCapacity = 8192
+
+// NewTraceRecorder returns a recorder keeping up to capacity completed
+// spans (<= 0 selects DefaultSpanCapacity).
+func NewTraceRecorder(capacity int) *TraceRecorder {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &TraceRecorder{epoch: time.Now(), cap: capacity}
+}
+
+// start opens a span; parent == nil makes a root.
+func (t *TraceRecorder) start(name string, parent *Span) *Span {
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	s := &Span{rec: t, name: name, id: id, root: id, start: time.Now()}
+	if parent != nil {
+		s.paren = parent.id
+		s.root = parent.root
+	}
+	return s
+}
+
+// commit appends a finished span to the ring.
+func (t *TraceRecorder) commit(s *Span, end time.Time) {
+	r := SpanRecord{
+		Name:   s.name,
+		ID:     s.id,
+		Parent: s.paren,
+		Root:   s.root,
+		Start:  s.start,
+		Dur:    end.Sub(s.start),
+		Attrs:  s.attrs,
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) < t.cap {
+		t.spans = append(t.spans, r)
+		return
+	}
+	t.spans[t.next] = r
+	t.next = (t.next + 1) % t.cap
+	t.wrapped = true
+	t.evicted++
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (t *TraceRecorder) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.spans))
+	if t.wrapped {
+		out = append(out, t.spans[t.next:]...)
+		out = append(out, t.spans[:t.next]...)
+	} else {
+		out = append(out, t.spans...)
+	}
+	return out
+}
+
+// Evicted reports how many spans the ring buffer has overwritten.
+func (t *TraceRecorder) Evicted() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
+// Reset drops all recorded spans (the epoch is preserved so timestamps
+// from before and after a reset stay comparable).
+func (t *TraceRecorder) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = t.spans[:0]
+	t.next = 0
+	t.wrapped = false
+	t.evicted = 0
+}
+
+// chromeEvent is one Chrome trace-event object ("X" = complete event).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds since trace epoch
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the recorded spans as Chrome trace-event JSON.
+// Each span tree renders on its own track (tid = root span ID), and
+// synchronous nesting shows as stacked slices in Perfetto.
+func (t *TraceRecorder) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  "castle",
+			Ph:   "X",
+			TS:   float64(s.Start.Sub(t.epoch).Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  s.Root,
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				if a.IsInt {
+					ev.Args[a.Key] = a.Int
+				} else {
+					ev.Args[a.Key] = a.Str
+				}
+			}
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+	}{"ms", events})
+}
+
+// TreeString renders the recorded spans as an indented tree (debugging and
+// test-failure aid; the Chrome export is the machine-readable form).
+func (t *TraceRecorder) TreeString() string {
+	spans := t.Spans()
+	children := make(map[uint64][]SpanRecord)
+	var roots []SpanRecord
+	for _, s := range spans {
+		if s.Parent == 0 {
+			roots = append(roots, s)
+		} else {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	var b []byte
+	var walk func(s SpanRecord, depth int)
+	walk = func(s SpanRecord, depth int) {
+		for i := 0; i < depth; i++ {
+			b = append(b, "  "...)
+		}
+		b = append(b, fmt.Sprintf("%s (%.3fms)\n", s.Name, float64(s.Dur.Nanoseconds())/1e6)...)
+		cs := children[s.ID]
+		sort.SliceStable(cs, func(i, j int) bool { return cs[i].Start.Before(cs[j].Start) })
+		for _, c := range cs {
+			walk(c, depth+1)
+		}
+	}
+	sort.SliceStable(roots, func(i, j int) bool { return roots[i].Start.Before(roots[j].Start) })
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return string(b)
+}

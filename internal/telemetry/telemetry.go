@@ -1,0 +1,97 @@
+// Package telemetry is Castle's observability subsystem: hierarchical
+// query-lifecycle spans (query -> phase -> operator) carrying wall-clock
+// time and simulated cycle/traffic attributes, a metrics registry
+// (counters, gauges, log-bucket histograms) with Prometheus text
+// exposition, and the per-operator EXPLAIN ANALYZE breakdown.
+//
+// The package depends only on the standard library and knows nothing about
+// the simulator: producers attach cycle counts and class names as plain
+// attributes, so the trace and metrics formats stay stable as the engine
+// evolves. Everything is safe for concurrent use, and every entry point is
+// nil-receiver safe — a disabled pipeline passes *Telemetry(nil) around and
+// pays only a nil check per call site.
+package telemetry
+
+import "io"
+
+// Telemetry couples a span recorder and a metrics registry for one
+// observation scope (typically one process; tests use one per query).
+type Telemetry struct {
+	trace   *TraceRecorder
+	metrics *Registry
+}
+
+// New returns a Telemetry with a default-capacity span recorder and an
+// empty metrics registry.
+func New() *Telemetry {
+	return &Telemetry{trace: NewTraceRecorder(0), metrics: NewRegistry()}
+}
+
+// Trace returns the span recorder (nil for a nil Telemetry).
+func (t *Telemetry) Trace() *TraceRecorder {
+	if t == nil {
+		return nil
+	}
+	return t.trace
+}
+
+// Metrics returns the metrics registry (nil for a nil Telemetry).
+func (t *Telemetry) Metrics() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.metrics
+}
+
+// StartSpan opens a root span. Returns nil (a no-op span) when t is nil.
+func (t *Telemetry) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.trace.start(name, nil)
+}
+
+// WriteChromeTrace exports recorded spans as Chrome trace-event JSON
+// (viewable in Perfetto / chrome://tracing). A nil Telemetry writes an
+// empty-but-valid trace.
+func (t *Telemetry) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return NewTraceRecorder(1).WriteChromeTrace(w)
+	}
+	return t.trace.WriteChromeTrace(w)
+}
+
+// WritePrometheus exports the registry in Prometheus text exposition
+// format. A nil Telemetry writes nothing.
+func (t *Telemetry) WritePrometheus(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	return t.metrics.WritePrometheus(w)
+}
+
+// Standard metric names recorded by the Castle stack. Keeping them in one
+// place makes dashboards and tests resilient to call-site refactors.
+const (
+	// MetricQueries counts queries run, labelled by device.
+	MetricQueries = "castle_queries_total"
+	// MetricCSBCycles counts simulated CSB cycles, labelled by Figure 7
+	// instruction class. Matches cape.Stats.CSBCyclesByClass exactly.
+	MetricCSBCycles = "castle_csb_cycles_total"
+	// MetricCPCycles counts simulated control-processor cycles.
+	MetricCPCycles = "castle_cp_cycles_total"
+	// MetricMemCycles counts simulated VMU/memory transfer cycles.
+	MetricMemCycles = "castle_mem_cycles_total"
+	// MetricCPUCycles counts simulated baseline-CPU cycles.
+	MetricCPUCycles = "castle_cpu_cycles_total"
+	// MetricRowsScanned counts table rows scanned (fact and dimension).
+	MetricRowsScanned = "castle_rows_scanned_total"
+	// MetricBytesMoved counts simulated DRAM traffic, labelled by device.
+	MetricBytesMoved = "castle_bytes_moved_total"
+	// MetricPlanShapes counts optimizer plan-shape choices.
+	MetricPlanShapes = "castle_plan_shape_total"
+	// MetricQueryCycles is a histogram of end-to-end query cycles.
+	MetricQueryCycles = "castle_query_cycles"
+	// MetricQuerySeconds is a histogram of simulated query wall time.
+	MetricQuerySeconds = "castle_query_seconds"
+)

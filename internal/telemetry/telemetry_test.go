@@ -1,0 +1,351 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tel *Telemetry
+	sp := tel.StartSpan("query")
+	if sp != nil {
+		t.Fatal("nil Telemetry should hand out nil spans")
+	}
+	child := sp.Child("phase")
+	child.SetInt("cycles", 1)
+	child.SetStr("device", "CAPE")
+	child.End()
+	sp.End()
+	if tel.Trace() != nil || tel.Metrics() != nil {
+		t.Fatal("nil Telemetry accessors should return nil")
+	}
+	var b strings.Builder
+	if err := tel.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "traceEvents") {
+		t.Fatalf("nil trace export invalid: %s", b.String())
+	}
+	if err := tel.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+
+	var reg *Registry
+	reg.Counter("x", "").Inc()
+	reg.Gauge("y", "").Set(3)
+	reg.Histogram("z", "").Observe(1)
+	if reg.CounterValue("x") != 0 {
+		t.Fatal("nil registry counter should read 0")
+	}
+
+	var rec *TraceRecorder
+	if rec.Spans() != nil || rec.Evicted() != 0 {
+		t.Fatal("nil recorder accessors should be no-ops")
+	}
+	rec.Reset()
+}
+
+func TestSpanTree(t *testing.T) {
+	tel := New()
+	q := tel.StartSpan("query")
+	p := q.Child("parse")
+	p.End()
+	e := q.Child("execute")
+	j := e.Child("join:date")
+	j.SetInt("cycles", 42)
+	j.End()
+	e.End()
+	q.SetStr("device", "CAPE")
+	q.End()
+	q.End() // double End must not double-commit
+
+	spans := tel.Trace().Spans()
+	if len(spans) != 4 {
+		t.Fatalf("recorded %d spans, want 4", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	root := byName["query"]
+	if root.Parent != 0 || root.Root != root.ID {
+		t.Fatalf("root span wrong: %+v", root)
+	}
+	if byName["parse"].Parent != root.ID || byName["execute"].Parent != root.ID {
+		t.Fatal("phases should be children of the root")
+	}
+	join := byName["join:date"]
+	if join.Parent != byName["execute"].ID || join.Root != root.ID {
+		t.Fatalf("operator span wrong: %+v", join)
+	}
+	if cy, ok := join.Int("cycles"); !ok || cy != 42 {
+		t.Fatalf("cycles attr = %d,%v", cy, ok)
+	}
+	if _, ok := join.Int("missing"); ok {
+		t.Fatal("missing attr should report absent")
+	}
+	tree := tel.Trace().TreeString()
+	if !strings.Contains(tree, "query") || !strings.Contains(tree, "  execute") ||
+		!strings.Contains(tree, "    join:date") {
+		t.Fatalf("tree rendering wrong:\n%s", tree)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	rec := NewTraceRecorder(3)
+	for i := 0; i < 5; i++ {
+		rec.start("s", nil).End()
+	}
+	spans := rec.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("kept %d spans, want 3", len(spans))
+	}
+	if rec.Evicted() != 2 {
+		t.Fatalf("evicted = %d, want 2", rec.Evicted())
+	}
+	// The survivors are the three most recent commits, oldest first.
+	if spans[0].ID != 3 || spans[2].ID != 5 {
+		t.Fatalf("wrong survivors: %v %v %v", spans[0].ID, spans[1].ID, spans[2].ID)
+	}
+	rec.Reset()
+	if len(rec.Spans()) != 0 || rec.Evicted() != 0 {
+		t.Fatal("Reset should clear spans and eviction count")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tel := New()
+	q := tel.StartSpan("query")
+	e := q.Child("execute")
+	e.SetInt("cycles", 7)
+	e.End()
+	q.End()
+
+	var b strings.Builder
+	if err := tel.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  uint64         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) != 2 {
+		t.Fatalf("unexpected doc: %+v", doc)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Cat != "castle" || ev.PID != 1 {
+			t.Fatalf("bad event: %+v", ev)
+		}
+	}
+	// Events are sorted by start time: the root opened first.
+	if doc.TraceEvents[0].Name != "query" {
+		t.Fatalf("first event = %s, want query", doc.TraceEvents[0].Name)
+	}
+	// Both spans of one tree share the root span's ID as their track.
+	if doc.TraceEvents[0].TID != doc.TraceEvents[1].TID {
+		t.Fatal("tree spans should share a tid")
+	}
+	if got := doc.TraceEvents[1].Args["cycles"]; got != float64(7) {
+		t.Fatalf("cycles arg = %v", got)
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "help", L("k", "v"))
+	c.Inc()
+	c.Add(4)
+	c.Add(-100) // ignored: counters are monotone
+	c.Add(0)    // ignored
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if reg.CounterValue("c_total", L("k", "v")) != 5 {
+		t.Fatal("CounterValue mismatch")
+	}
+	if reg.CounterValue("c_total", L("k", "other")) != 0 {
+		t.Fatal("absent series should read 0")
+	}
+	// Same (name, labels) must return the same underlying series.
+	if reg.Counter("c_total", "help", L("k", "v")) != c {
+		t.Fatal("lookup should be stable")
+	}
+
+	g := reg.Gauge("g", "help")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	reg.Gauge("m", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "help")
+	h.Observe(1)   // le="1"
+	h.Observe(3)   // le="4"
+	h.Observe(4)   // le="4" (boundaries are inclusive)
+	h.Observe(1e9) // le="2^30"
+	if h.Count() != 4 || h.Sum() != 1e9+8 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat histogram",
+		`lat_bucket{le="1"} 1`,
+		`lat_bucket{le="4"} 3`,
+		`lat_bucket{le="1073741824"} 4`,
+		`lat_bucket{le="+Inf"} 4`,
+		"lat_sum 1000000008",
+		"lat_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The cumulative ladder never decreases.
+	if strings.Contains(out, `lat_bucket{le="2"} 0`) {
+		t.Fatalf("cumulative count dropped below earlier bucket:\n%s", out)
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("castle_queries_total", "Queries executed.", L("device", "cape")).Inc()
+	reg.Counter("castle_queries_total", "Queries executed.", L("device", "cpu")).Add(2)
+	reg.Gauge("castle_up", "Liveness.").Set(1)
+	reg.Counter("escaped_total", "", L("v", "a\"b\\c\nd")).Inc()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP castle_queries_total Queries executed.",
+		"# TYPE castle_queries_total counter",
+		`castle_queries_total{device="cape"} 1`,
+		`castle_queries_total{device="cpu"} 2`,
+		"# TYPE castle_up gauge",
+		"castle_up 1",
+		`escaped_total{v="a\"b\\c\nd"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Families render sorted by name for deterministic diffs.
+	if strings.Index(out, "castle_queries_total") > strings.Index(out, "escaped_total") {
+		t.Fatalf("families out of order:\n%s", out)
+	}
+	// A second render is identical (deterministic ordering within families).
+	var b2 strings.Builder
+	if err := reg.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Fatal("exposition is not deterministic")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	tel := New()
+	ctr := tel.Metrics().Counter("n_total", "")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tel.StartSpan("q")
+				c := sp.Child("op")
+				c.SetInt("i", int64(i))
+				c.End()
+				sp.End()
+				ctr.Inc()
+				tel.Metrics().Histogram("h", "").Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if ctr.Value() != 8*200 {
+		t.Fatalf("counter = %d, want %d", ctr.Value(), 8*200)
+	}
+	if got := len(tel.Trace().Spans()); got != 8*200*2 {
+		t.Fatalf("spans = %d, want %d", got, 8*200*2)
+	}
+	var b strings.Builder
+	if err := tel.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownFormatAndClone(t *testing.T) {
+	b := &Breakdown{
+		Device:      "CAPE",
+		TotalCycles: 100,
+		Operators: []OperatorStats{
+			{Operator: "prep:date", Cycles: 10, Rows: 5},
+			{Operator: "join:date", Cycles: 60, Rows: 5},
+			{Operator: "aggregate", Cycles: 25, Rows: 2},
+			{Operator: "overhead", Cycles: 5, Rows: -1},
+		},
+	}
+	if b.SumCycles() != b.TotalCycles {
+		t.Fatalf("sum %d != total %d", b.SumCycles(), b.TotalCycles)
+	}
+	out := b.Format()
+	for _, want := range []string{"operator", "join:date", "60.0%", "total (CAPE)", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The overhead row renders without a rows value.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "overhead") && strings.Contains(line, "-1") {
+			t.Fatalf("overhead row should blank its rows cell: %q", line)
+		}
+	}
+	c := b.Clone()
+	c.Operators[0].Cycles = 999
+	if b.Operators[0].Cycles == 999 {
+		t.Fatal("Clone aliases the operator slice")
+	}
+	var nilB *Breakdown
+	if nilB.Clone() != nil || nilB.SumCycles() != 0 || nilB.Format() != "" {
+		t.Fatal("nil breakdown accessors should be no-ops")
+	}
+}
