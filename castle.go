@@ -7,9 +7,11 @@ package castle
 // this module; external users program against these types.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"castle/internal/baseline"
 	"castle/internal/cape"
@@ -24,22 +26,37 @@ import (
 	"castle/internal/telemetry"
 )
 
-// DB is a columnar analytic database with its statistics catalog.
+// DB is a columnar analytic database with its statistics catalog and
+// prepared-plan cache. Queries may run concurrently (each execution gets
+// its own simulated engine); schema changes (CreateTable, ImportCSV,
+// column adds) must not race with in-flight queries, matching the usual
+// analytic contract of load-then-serve.
 type DB struct {
 	store *storage.Database
-	cat   *stats.Catalog
-	dirty bool
+
+	// mu guards the lazily collected catalog and the mutation version so
+	// concurrent first-queries collect statistics exactly once.
+	mu      sync.Mutex
+	cat     *stats.Catalog
+	dirty   bool
+	version uint64
+
+	plans *optimizer.PlanCache
+}
+
+func newDB(store *storage.Database) *DB {
+	return &DB{store: store, dirty: true, plans: optimizer.NewPlanCache(0)}
 }
 
 // New returns an empty database. Add tables with CreateTable, then query.
 func New() *DB {
-	return &DB{store: storage.NewDatabase(), dirty: true}
+	return newDB(storage.NewDatabase())
 }
 
 // GenerateSSB returns a Star Schema Benchmark database at the given scale
 // factor (SF 1 ≈ 6M-row lineorder) with deterministic contents for a seed.
 func GenerateSSB(sf float64, seed uint64) *DB {
-	return &DB{store: ssb.Generate(ssb.Config{SF: sf, Seed: seed}), dirty: true}
+	return newDB(ssb.Generate(ssb.Config{SF: sf, Seed: seed}))
 }
 
 // SSBQueries returns the 13 benchmark queries (paper numbering 1..13 =
@@ -71,7 +88,7 @@ func Open(path string) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("castle: reading %s: %w", path, err)
 	}
-	return &DB{store: store, dirty: true}, nil
+	return newDB(store), nil
 }
 
 // Save writes the database to path in the CSTL binary format.
@@ -98,8 +115,25 @@ func (db *DB) ImportCSV(tableName, path string) error {
 		return err
 	}
 	db.store.Add(t)
-	db.dirty = true
+	db.mutate()
 	return nil
+}
+
+// mutate records a schema or data change: catalog statistics are stale and
+// plans bound against the previous contents must not be reused.
+func (db *DB) mutate() {
+	db.mu.Lock()
+	db.dirty = true
+	db.version++
+	db.mu.Unlock()
+}
+
+// storeVersion returns the current mutation version (the plan cache's
+// consistency token).
+func (db *DB) storeVersion() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.version
 }
 
 // TableBuilder accumulates columns for a new relation.
@@ -112,21 +146,21 @@ type TableBuilder struct {
 func (db *DB) CreateTable(name string) *TableBuilder {
 	t := storage.NewTable(name)
 	db.store.Add(t)
-	db.dirty = true
+	db.mutate()
 	return &TableBuilder{db: db, tbl: t}
 }
 
 // Int adds an integer column (32-bit, CAPE's native element size).
 func (b *TableBuilder) Int(name string, values []uint32) *TableBuilder {
 	b.tbl.AddIntColumn(name, values)
-	b.db.dirty = true
+	b.db.mutate()
 	return b
 }
 
 // String adds a dictionary-encoded string column.
 func (b *TableBuilder) String(name string, values []string) *TableBuilder {
 	b.tbl.AddStringColumn(name, values)
-	b.db.dirty = true
+	b.db.mutate()
 	return b
 }
 
@@ -149,8 +183,12 @@ func (db *DB) RowCount(table string) int {
 	return t.Rows()
 }
 
-// catalog lazily (re)collects statistics after schema changes.
+// catalog lazily (re)collects statistics after schema changes. Safe under
+// concurrent QueryWith calls: the mutex makes the collect-once decision
+// atomic, so simultaneous first-queries share a single catalog.
 func (db *DB) catalog() *stats.Catalog {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.dirty || db.cat == nil {
 		db.cat = stats.Collect(db.store)
 		db.dirty = false
@@ -172,6 +210,41 @@ const (
 	// CAPE (the paper's §7.2/§7.3 deployment model).
 	DeviceHybrid
 )
+
+// String names the device for logs and API payloads.
+func (d Device) String() string {
+	switch d {
+	case DeviceCAPE:
+		return "cape"
+	case DeviceCPU:
+		return "cpu"
+	case DeviceHybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("device(%d)", int(d))
+}
+
+// validate rejects out-of-range device values instead of letting them fall
+// through to an arbitrary execution path.
+func (d Device) validate() error {
+	if d < DeviceCAPE || d > DeviceHybrid {
+		return fmt.Errorf("castle: unknown device %d (valid: DeviceCAPE, DeviceCPU, DeviceHybrid)", int(d))
+	}
+	return nil
+}
+
+// ParseDevice maps a device name ("cape", "cpu", "hybrid") to its Device.
+func ParseDevice(s string) (Device, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "cape":
+		return DeviceCAPE, nil
+	case "cpu":
+		return DeviceCPU, nil
+	case "hybrid":
+		return DeviceHybrid, nil
+	}
+	return 0, fmt.Errorf("castle: unknown device %q (valid: cape, cpu, hybrid)", s)
+}
 
 // PlanShape forces a join-plan shape (§3.4); ShapeAuto lets the AP-aware
 // optimizer choose.
@@ -198,6 +271,10 @@ type Options struct {
 	DisableFusion bool
 	// MKSBufferBytes overrides the vmks buffer (0 = 512, the cacheline).
 	MKSBufferBytes int
+	// DisablePlanCache bypasses the prepared-plan cache for this query:
+	// the statement is parsed, bound and optimized from scratch and the
+	// result is not cached.
+	DisablePlanCache bool
 	// Telemetry, when non-nil, records the query lifecycle: a span tree
 	// (query → parse/bind/optimize/execute → per-operator) into its trace
 	// recorder and cycle/row counters into its metrics registry. Nil costs
@@ -282,19 +359,144 @@ func (db *DB) Query(sqlText string) (*Rows, error) {
 // QueryWith executes SQL with explicit options and returns the result
 // relation plus simulation metrics.
 func (db *DB) QueryWith(sqlText string, opt Options) (*Rows, *Metrics, error) {
-	tel := opt.Telemetry
-	qs := tel.StartSpan("query")
-	defer qs.End()
+	return db.QueryContext(context.Background(), sqlText, opt)
+}
+
+// capeConfig builds the CAPE design point the options select.
+func capeConfig(opt Options) cape.Config {
+	cfg := cape.DefaultConfig()
+	if !opt.DisableEnhancements {
+		cfg = cfg.WithEnhancements()
+	}
+	if opt.MAXVL > 0 {
+		cfg.MAXVL = opt.MAXVL
+	}
+	if opt.MKSBufferBytes > 0 {
+		cfg.MKSBufferBytes = opt.MKSBufferBytes
+	}
+	return cfg
+}
+
+// prepare parses, binds and (for paths that reach the optimizer) optimizes
+// a statement, consulting the prepared-plan cache first. On a hit the
+// parse/bind/optimize spans are skipped entirely and the root span is
+// stamped plan_cache=hit.
+func (db *DB) prepare(qs *telemetry.Span, sqlText string, opt Options, maxvl int) (optimizer.CachedPlan, error) {
+	deviceClass := "cape"
+	shapeForced := opt.Shape != ShapeAuto
+	needPhys := opt.Device != DeviceCPU
+	if !needPhys {
+		// CPU preparations stop at binding: the key ignores optimizer
+		// inputs so cpu entries don't fragment by vector length or shape.
+		deviceClass, maxvl, shapeForced = "cpu", 0, false
+	}
+	key := optimizer.Fingerprint(sqlText, deviceClass, maxvl, internalShape(opt.Shape), shapeForced)
+	version := db.storeVersion()
+	if !opt.DisablePlanCache {
+		if cp, ok := db.plans.Get(key, version); ok {
+			qs.SetStr("plan_cache", "hit")
+			db.countPlanCache(opt.Telemetry, true)
+			return cp, nil
+		}
+	}
 
 	sp := qs.Child("parse")
 	stmt, err := sql.Parse(sqlText)
 	sp.End()
 	if err != nil {
-		return nil, nil, err
+		return optimizer.CachedPlan{}, err
 	}
 	sp = qs.Child("bind")
 	bound, err := plan.Bind(stmt, db.store)
 	sp.End()
+	if err != nil {
+		return optimizer.CachedPlan{}, err
+	}
+	cp := optimizer.CachedPlan{Bound: bound}
+	if needPhys {
+		sp = qs.Child("optimize")
+		var phys *plan.Physical
+		if opt.Shape == ShapeAuto {
+			phys, err = optimizer.OptimizeTraced(bound, db.catalog(), maxvl, sp)
+		} else {
+			phys, err = optimizer.BestWithShapeTraced(bound, db.catalog(), maxvl, internalShape(opt.Shape), sp)
+		}
+		sp.End()
+		if err != nil {
+			return optimizer.CachedPlan{}, err
+		}
+		cp.Phys = phys
+	}
+	if !opt.DisablePlanCache {
+		db.plans.Put(key, version, cp)
+		qs.SetStr("plan_cache", "miss")
+		db.countPlanCache(opt.Telemetry, false)
+	}
+	return cp, nil
+}
+
+// countPlanCache records a plan-cache outcome on the query's metrics
+// registry (nil telemetry costs nothing).
+func (db *DB) countPlanCache(tel *Telemetry, hit bool) {
+	if tel == nil {
+		return
+	}
+	if hit {
+		tel.Metrics().Counter(telemetry.MetricPlanCacheHits, "Prepared-plan cache hits.").Inc()
+	} else {
+		tel.Metrics().Counter(telemetry.MetricPlanCacheMisses, "Prepared-plan cache misses.").Inc()
+	}
+}
+
+// PlanCacheStats reports prepared-plan cache effectiveness for this DB.
+type PlanCacheStats = optimizer.PlanCacheStats
+
+// PlanCacheStats snapshots the prepared-plan cache counters.
+func (db *DB) PlanCacheStats() PlanCacheStats { return db.plans.Stats() }
+
+// Route resolves the concrete device a query would execute on under opt:
+// DeviceCAPE and DeviceCPU return themselves; DeviceHybrid consults the
+// §7.2 crossover heuristics against the optimized plan. Preparation goes
+// through the plan cache, so routing an already-seen statement costs one
+// cache lookup — cheap enough for a scheduler to call per request before
+// committing an execution resource.
+func (db *DB) Route(sqlText string, opt Options) (Device, error) {
+	if err := opt.Device.validate(); err != nil {
+		return 0, err
+	}
+	if opt.Device != DeviceHybrid {
+		return opt.Device, nil
+	}
+	cp, err := db.prepare(nil, sqlText, opt, capeConfig(opt).MAXVL)
+	if err != nil {
+		return 0, err
+	}
+	if exec.DecideDevice(cp.Phys, db.catalog(), 0, 0) == exec.DeviceCPU {
+		return DeviceCPU, nil
+	}
+	return DeviceCAPE, nil
+}
+
+// QueryContext executes SQL with explicit options under a context: a
+// canceled or expired ctx stops the simulated work at the next operator
+// boundary and returns ctx.Err(). The database stays fully usable after a
+// cancellation (each execution runs on its own simulated engine).
+func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*Rows, *Metrics, error) {
+	if err := opt.Device.validate(); err != nil {
+		return nil, nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	tel := opt.Telemetry
+	qs := tel.StartSpan("query")
+	defer qs.End()
+
+	cfg := capeConfig(opt)
+	cp, err := db.prepare(qs, sqlText, opt, cfg.MAXVL)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -305,10 +507,13 @@ func (db *DB) QueryWith(sqlText string, opt Options) (*Rows, *Metrics, error) {
 		x := exec.NewCPUExec(cpu)
 		es := qs.Child("execute")
 		x.SetTelemetry(tel, es)
-		res := x.Run(bound, db.store)
+		res, err := x.RunContext(ctx, cp.Bound, db.store)
 		es.SetInt("cycles", cpu.Cycles())
 		es.SetStr("device", "CPU")
 		es.End()
+		if err != nil {
+			return nil, nil, err
+		}
 		m := &Metrics{
 			Cycles:     cpu.Cycles(),
 			Seconds:    cpu.Seconds(),
@@ -320,29 +525,8 @@ func (db *DB) QueryWith(sqlText string, opt Options) (*Rows, *Metrics, error) {
 		return db.decode(res), m, nil
 	}
 
-	cfg := cape.DefaultConfig()
-	if !opt.DisableEnhancements {
-		cfg = cfg.WithEnhancements()
-	}
-	if opt.MAXVL > 0 {
-		cfg.MAXVL = opt.MAXVL
-	}
-	if opt.MKSBufferBytes > 0 {
-		cfg.MKSBufferBytes = opt.MKSBufferBytes
-	}
-
 	cat := db.catalog()
-	var phys *plan.Physical
-	sp = qs.Child("optimize")
-	if opt.Shape == ShapeAuto {
-		phys, err = optimizer.OptimizeTraced(bound, cat, cfg.MAXVL, sp)
-	} else {
-		phys, err = optimizer.BestWithShapeTraced(bound, cat, cfg.MAXVL, internalShape(opt.Shape), sp)
-	}
-	sp.End()
-	if err != nil {
-		return nil, nil, err
-	}
+	phys := cp.Phys
 
 	if opt.Device == DeviceHybrid {
 		h := exec.NewDefaultHybrid(cfg, cat)
@@ -350,7 +534,11 @@ func (db *DB) QueryWith(sqlText string, opt Options) (*Rows, *Metrics, error) {
 		exec.AttachCPUTelemetry(h.CPUExec().CPU(), tel)
 		es := qs.Child("execute")
 		h.SetTelemetry(tel, es)
-		res, dev := h.Run(phys, db.store)
+		res, dev, err := h.RunContext(ctx, phys, db.store)
+		if err != nil {
+			es.End()
+			return nil, nil, err
+		}
 		m := &Metrics{DeviceUsed: dev.String(), Plan: phys.String()}
 		if dev == exec.DeviceCPU {
 			cpu := h.CPUExec().CPU()
@@ -380,11 +568,14 @@ func (db *DB) QueryWith(sqlText string, opt Options) (*Rows, *Metrics, error) {
 	cas := exec.NewCastle(eng, cat, opts)
 	es := qs.Child("execute")
 	cas.SetTelemetry(tel, es)
-	res := cas.Run(phys, db.store)
+	res, err := cas.RunContext(ctx, phys, db.store)
 	st := eng.Stats()
 	es.SetInt("cycles", st.TotalCycles())
 	es.SetStr("device", "CAPE")
 	es.End()
+	if err != nil {
+		return nil, nil, err
+	}
 
 	breakdown := make(map[string]float64, isa.NumClasses)
 	share := st.ClassShare()

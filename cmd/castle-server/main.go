@@ -1,0 +1,186 @@
+// Command castle-server serves SQL over HTTP against the CAPE simulator:
+// it generates (or loads) a database, starts the admission-controlled query
+// service, and exposes POST /query, GET /metrics (Prometheus text format)
+// and GET /healthz. SIGINT/SIGTERM drain gracefully: in-flight and queued
+// queries finish, then the process exits 0.
+//
+// Usage:
+//
+//	castle-server -sf 0.01 -listen :8642              # serve SSB at SF 0.01
+//	castle-server -load ssb.cstl -device hybrid
+//	castle-server -client http://localhost:8642 -clients 8 -requests 50
+//
+// The -client mode is a load generator: it fires mixed SSB queries at a
+// running server from concurrent clients and prints a latency/outcome
+// summary, exiting non-zero if any request fails.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"castle"
+	"castle/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", ":8642", "address to serve HTTP on")
+	sf := flag.Float64("sf", 0.01, "SSB scale factor to generate")
+	seed := flag.Uint64("seed", 1, "SSB generator seed")
+	loadPath := flag.String("load", "", "load a CSTL binary database instead of generating SSB")
+	device := flag.String("device", "hybrid", "default execution device: cape, cpu, or hybrid")
+	capeTiles := flag.Int("cape-tiles", 2, "number of CAPE tiles to schedule")
+	cpuSlots := flag.Int("cpu-slots", 2, "number of baseline-CPU slots to schedule")
+	queueDepth := flag.Int("queue", 64, "admission queue depth (beyond this, requests are shed with 429)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+
+	clientURL := flag.String("client", "", "run as a load-generating client against this base URL instead of serving")
+	clients := flag.Int("clients", 8, "client mode: concurrent clients")
+	requests := flag.Int("requests", 50, "client mode: requests per client")
+	flag.Parse()
+
+	if *clientURL != "" {
+		os.Exit(runClient(*clientURL, *clients, *requests, *timeout))
+	}
+
+	if _, err := castle.ParseDevice(*device); err != nil {
+		fatalf("%v", err)
+	}
+
+	var db *castle.DB
+	if *loadPath != "" {
+		var err error
+		if db, err = castle.Open(*loadPath); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("loaded database from %s\n", *loadPath)
+	} else {
+		fmt.Printf("generating SSB at SF=%.2f...\n", *sf)
+		db = castle.GenerateSSB(*sf, *seed)
+	}
+
+	svc, err := server.New(db, nil, server.Config{
+		Device:         *device,
+		QueueDepth:     *queueDepth,
+		CAPETiles:      *capeTiles,
+		CPUSlots:       *cpuSlots,
+		DefaultTimeout: *timeout,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("%v listening on %s\n", svc, *listen)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Println("shutting down: draining in-flight queries...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fatalf("shutdown: %v", err)
+		}
+		if err := svc.Close(); err != nil {
+			fatalf("drain: %v", err)
+		}
+		fmt.Println("drained cleanly")
+	case err := <-errCh:
+		fatalf("serve: %v", err)
+	}
+}
+
+// runClient is the load generator: nClients goroutines each issue nRequests
+// mixed SSB queries and record latency and outcome.
+func runClient(baseURL string, nClients, nRequests int, timeout time.Duration) int {
+	queries := castle.SSBQueries()
+	httpc := &http.Client{Timeout: timeout + 5*time.Second}
+
+	type outcome struct {
+		status  int
+		micros  int64
+		failure string
+	}
+	results := make([][]outcome, nClients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < nRequests; i++ {
+				q := queries[(c+i)%len(queries)]
+				body, _ := json.Marshal(server.Request{SQL: q.SQL})
+				t0 := time.Now()
+				resp, err := httpc.Post(baseURL+"/query", "application/json", bytes.NewReader(body))
+				o := outcome{micros: time.Since(t0).Microseconds()}
+				if err != nil {
+					o.failure = err.Error()
+				} else {
+					o.status = resp.StatusCode
+					if resp.StatusCode != http.StatusOK {
+						b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+						o.failure = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+					}
+					resp.Body.Close()
+				}
+				results[c] = append(results[c], o)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var ok, failed int
+	var lat []int64
+	for _, rs := range results {
+		for _, o := range rs {
+			if o.failure == "" {
+				ok++
+				lat = append(lat, o.micros)
+			} else {
+				failed++
+				fmt.Fprintf(os.Stderr, "request failed: %s\n", o.failure)
+			}
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return float64(lat[i]) / 1e3
+	}
+	fmt.Printf("clients=%d requests=%d ok=%d failed=%d elapsed=%.2fs throughput=%.1f req/s\n",
+		nClients, nClients*nRequests, ok, failed, elapsed.Seconds(),
+		float64(ok)/elapsed.Seconds())
+	fmt.Printf("latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "castle-server: "+format+"\n", args...)
+	os.Exit(1)
+}

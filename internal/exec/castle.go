@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"castle/internal/bitvec"
@@ -120,6 +121,20 @@ type attrGroup struct {
 // traffic accounting accumulates on the engine; callers snapshot
 // eng.Stats() around Run.
 func (c *Castle) Run(p *plan.Physical, db *storage.Database) *Result {
+	res, _ := c.RunContext(context.Background(), p, db)
+	return res
+}
+
+// RunContext is Run with cancellation: ctx is checked at operator
+// boundaries (each dimension prep, each fact partition, and each operator
+// within a partition), so a canceled or expired context stops the
+// simulated work promptly and returns ctx.Err(). The engine keeps the
+// cycles it charged before the cancellation point; abandoned runs simply
+// stop accruing.
+func (c *Castle) RunContext(ctx context.Context, p *plan.Physical, db *storage.Database) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	q := p.Query
 	eng := c.eng
 	cfg := eng.Config()
@@ -146,6 +161,9 @@ func (c *Castle) Run(p *plan.Physical, db *storage.Database) *Result {
 	}
 	dims := make([]dimSide, len(p.Joins))
 	for i, e := range p.Joins {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sp := c.parent.Child("prep:" + e.Dim)
 		before := eng.TotalCycles()
 		dims[i] = c.prepareDim(q, e, db)
@@ -172,7 +190,9 @@ func (c *Castle) Run(p *plan.Physical, db *storage.Database) *Result {
 		if vl > maxvl {
 			vl = maxvl
 		}
-		c.runPartition(p, db, dims, base, vl, needGPArith, camCapable, acc, sweep)
+		if err := c.runPartition(ctx, p, db, dims, base, vl, needGPArith, camCapable, acc, sweep); err != nil {
+			return nil, err
+		}
 		if camCapable {
 			// Next partition returns to CAM mode for selections/joins.
 			eng.SetLayout(cape.CAMMode)
@@ -193,7 +213,7 @@ func (c *Castle) Run(p *plan.Physical, db *storage.Database) *Result {
 	res := acc.result(q)
 	c.finishBreakdown(p, eng.TotalCycles()-runStart, int64(factRows), int64(len(res.Rows)))
 	c.recordRunMetrics(p, db, int64(factRows))
-	return res
+	return res, nil
 }
 
 // finishBreakdown closes the per-operator books for the last Run. The
@@ -272,9 +292,10 @@ func (r *regAlloc) forCol(name string) (cape.VReg, bool) {
 
 // runPartition executes the fused operator pipeline over one fact
 // partition: selections -> joins (right-deep then left-deep segments) ->
-// aggregation (Algorithm 2).
-func (c *Castle) runPartition(p *plan.Physical, db *storage.Database, dims []dimSide,
-	base, vl int, needGPArith, camCapable bool, acc *groupAcc, sweep *telemetry.Span) {
+// aggregation (Algorithm 2). Cancellation is checked at every operator
+// boundary within the partition.
+func (c *Castle) runPartition(ctx context.Context, p *plan.Physical, db *storage.Database, dims []dimSide,
+	base, vl int, needGPArith, camCapable bool, acc *groupAcc, sweep *telemetry.Span) error {
 
 	q := p.Query
 	eng := c.eng
@@ -317,6 +338,9 @@ func (c *Castle) runPartition(p *plan.Physical, db *storage.Database, dims []dim
 	// partition (Algorithm 1 with the probe side swapped, §3.2).
 	attrRegs := make(map[string]cape.VReg) // "dim.attr" -> fact-aligned vector
 	for di := 0; di < p.Switch; di++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		d := dims[di]
 		spj := sweep.Child("join:" + d.edge.Dim)
 		before := eng.TotalCycles()
@@ -333,6 +357,9 @@ func (c *Castle) runPartition(p *plan.Physical, db *storage.Database, dims []dim
 	// --- Left-deep segment: surviving intermediate rows probe
 	// CSB-resident dimension partitions.
 	for di := p.Switch; di < len(p.Joins); di++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		d := dims[di]
 		spj := sweep.Child("join:" + d.edge.Dim)
 		before := eng.TotalCycles()
@@ -346,6 +373,9 @@ func (c *Castle) runPartition(p *plan.Physical, db *storage.Database, dims []dim
 	}
 
 	// --- Aggregation (Algorithm 2), fused on the partition's rowMask.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	spa := sweep.Child("aggregate")
 	before = eng.TotalCycles()
 	if needGPArith && camCapable {
@@ -369,6 +399,7 @@ func (c *Castle) runPartition(p *plan.Physical, db *storage.Database, dims []dim
 	c.aggCycles += cy
 	spa.SetInt("cycles", cy)
 	spa.End()
+	return nil
 }
 
 // chargeDistinctLoop bills the nested Algorithm-2-style loop that counts a

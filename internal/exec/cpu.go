@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sort"
 
 	"castle/internal/baseline"
@@ -54,6 +55,22 @@ func (x *CPUExec) Breakdown() *telemetry.Breakdown { return x.breakdown.Clone() 
 
 // Run executes a bound query and returns its result relation.
 func (x *CPUExec) Run(q *plan.Query, db *storage.Database) *Result {
+	res, _ := x.RunContext(context.Background(), q, db)
+	return res
+}
+
+// cancelCheckRows is how many aggregation-visit rows pass between context
+// checks; checking per row would put a mutexed Err() read in the inner loop.
+const cancelCheckRows = 1 << 16
+
+// RunContext is Run with cancellation: ctx is checked at operator
+// boundaries (filter, each dimension prep, each join, aggregation) and
+// periodically inside the aggregation visit loop, so a canceled or expired
+// context stops the simulated work promptly and returns ctx.Err().
+func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Database) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cpu := x.cpu
 	fact := db.MustTable(q.Fact)
 	rows := fact.Rows()
@@ -94,6 +111,9 @@ func (x *CPUExec) Run(q *plan.Query, db *storage.Database) *Result {
 	}
 	joins := make([]dimJoin, 0, len(q.Joins))
 	for _, e := range q.Joins {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		dim := db.MustTable(e.Dim)
 		preds := q.DimPreds[e.Dim]
 
@@ -144,6 +164,9 @@ func (x *CPUExec) Run(q *plan.Query, db *storage.Database) *Result {
 	x.perJoin = make(map[string]int64, len(joins))
 	attrCols := make(map[string][]uint32) // "dim.attr" -> fact-aligned values
 	for _, j := range joins {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		e := j.edge
 		spj := x.parent.Child("join:" + e.Dim)
 		joinStart := cpu.Cycles()
@@ -188,6 +211,9 @@ func (x *CPUExec) Run(q *plan.Query, db *storage.Database) *Result {
 
 	// Aggregate input columns. Per-row values feed the kind-aware group
 	// accumulator (MIN/MAX take extrema, the rest add).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	spa := x.parent.Child("aggregate")
 	aggStart := cpu.Cycles()
 	valueOf := make([]func(i int) int64, len(q.Aggs))
@@ -250,11 +276,21 @@ func (x *CPUExec) Run(q *plan.Query, db *storage.Database) *Result {
 	matched := 0
 	if sel == nil {
 		for i := 0; i < rows; i++ {
+			if i%cancelCheckRows == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			visit(i)
 		}
 		matched = rows
 	} else {
 		for i := sel.First(); i != -1; i = sel.NextAfter(i) {
+			if matched%cancelCheckRows == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			visit(i)
 			matched++
 		}
@@ -344,7 +380,7 @@ func (x *CPUExec) Run(q *plan.Query, db *storage.Database) *Result {
 		reg.Counter(telemetry.MetricRowsScanned, "Rows scanned across fact and dimension tables.",
 			telemetry.L("device", "cpu")).Add(scanned)
 	}
-	return acc.result(q)
+	return acc.result(q), nil
 }
 
 // intersect ANDs a nullable selection mask with a new mask.

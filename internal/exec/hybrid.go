@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"castle/internal/baseline"
 	"castle/internal/cape"
 	"castle/internal/plan"
@@ -52,29 +54,19 @@ func (d Device) String() string {
 	return "CPU"
 }
 
-func (h *Hybrid) groupThreshold() int {
-	if h.GroupThreshold > 0 {
-		return h.GroupThreshold
-	}
-	return 5000
-}
-
-func (h *Hybrid) dimThreshold() int {
-	if h.DimThreshold > 0 {
-		return h.DimThreshold
-	}
-	return 250_000
-}
-
 // EstimateGroups predicts the number of result groups: the product of the
 // group columns' distinct counts, capped by the fact cardinality.
 func (h *Hybrid) EstimateGroups(q *plan.Query) int {
+	return estimateGroups(q, h.cat)
+}
+
+func estimateGroups(q *plan.Query, cat *stats.Catalog) int {
 	if len(q.GroupBy) == 0 {
 		return 1
 	}
 	groups := 1
 	for _, g := range q.GroupBy {
-		if cs, ok := h.cat.Column(g.Table, g.Column); ok && cs.Distinct > 0 {
+		if cs, ok := cat.Column(g.Table, g.Column); ok && cs.Distinct > 0 {
 			if groups > 1<<30/cs.Distinct {
 				groups = 1 << 30
 				break
@@ -82,7 +74,7 @@ func (h *Hybrid) EstimateGroups(q *plan.Query) int {
 			groups *= cs.Distinct
 		}
 	}
-	if rows := h.cat.MustTable(q.Fact).Rows; groups > rows {
+	if rows := cat.MustTable(q.Fact).Rows; groups > rows {
 		groups = rows
 	}
 	return groups
@@ -90,19 +82,33 @@ func (h *Hybrid) EstimateGroups(q *plan.Query) int {
 
 // Decide returns the engine the heuristics select for a plan.
 func (h *Hybrid) Decide(p *plan.Physical) Device {
+	return DecideDevice(p, h.cat, h.GroupThreshold, h.DimThreshold)
+}
+
+// DecideDevice applies the §7.2 crossover heuristics to a plan without
+// needing executor (or engine) instances — the serving layer routes
+// DeviceHybrid requests with it before acquiring a CAPE tile or CPU slot.
+// Zero thresholds select the paper's crossover defaults.
+func DecideDevice(p *plan.Physical, cat *stats.Catalog, groupThreshold, dimThreshold int) Device {
+	if groupThreshold <= 0 {
+		groupThreshold = 5000
+	}
+	if dimThreshold <= 0 {
+		dimThreshold = 250_000
+	}
 	q := p.Query
-	if h.EstimateGroups(q) > h.groupThreshold() {
+	if estimateGroups(q, cat) > groupThreshold {
 		return DeviceCPU
 	}
 	for _, j := range q.Joins {
 		// Filtered probe-side size (right-deep direction probes with the
 		// filtered dimension).
-		total := float64(h.cat.MustTable(j.Dim).Rows)
+		total := float64(cat.MustTable(j.Dim).Rows)
 		sel := 1.0
 		for _, pr := range q.DimPreds[j.Dim] {
-			sel *= predSelectivity(h.cat, pr)
+			sel *= predSelectivity(cat, pr)
 		}
-		if int(total*sel) > h.dimThreshold() {
+		if int(total*sel) > dimThreshold {
 			return DeviceCPU
 		}
 	}
@@ -138,10 +144,19 @@ func predSelectivity(cat *stats.Catalog, p plan.Predicate) float64 {
 
 // Run executes the plan on the selected engine and reports which one ran.
 func (h *Hybrid) Run(p *plan.Physical, db *storage.Database) (*Result, Device) {
+	res, dev, _ := h.RunContext(context.Background(), p, db)
+	return res, dev
+}
+
+// RunContext is Run with cancellation forwarded to whichever engine the
+// crossover heuristics select.
+func (h *Hybrid) RunContext(ctx context.Context, p *plan.Physical, db *storage.Database) (*Result, Device, error) {
 	if h.Decide(p) == DeviceCPU {
-		return h.cpu.Run(p.Query, db), DeviceCPU
+		res, err := h.cpu.RunContext(ctx, p.Query, db)
+		return res, DeviceCPU, err
 	}
-	return h.castle.Run(p, db), DeviceCAPE
+	res, err := h.castle.RunContext(ctx, p, db)
+	return res, DeviceCAPE, err
 }
 
 // Cycles returns the cycle count of whichever engine ran last under the

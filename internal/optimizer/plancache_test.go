@@ -1,0 +1,91 @@
+package optimizer
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"castle/internal/plan"
+)
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := NewPlanCache(2)
+	p1 := CachedPlan{Bound: &plan.Query{Fact: "a"}}
+	p2 := CachedPlan{Bound: &plan.Query{Fact: "b"}}
+	p3 := CachedPlan{Bound: &plan.Query{Fact: "c"}}
+	c.Put("k1", 1, p1)
+	c.Put("k2", 1, p2)
+	if _, ok := c.Get("k1", 1); !ok {
+		t.Fatal("k1 missing before eviction")
+	}
+	// k2 is now least recently used; inserting k3 must evict it.
+	c.Put("k3", 1, p3)
+	if _, ok := c.Get("k2", 1); ok {
+		t.Fatal("k2 survived eviction")
+	}
+	if got, ok := c.Get("k1", 1); !ok || got.Bound.Fact != "a" {
+		t.Fatalf("k1 lost or wrong: %v %v", got, ok)
+	}
+	if got, ok := c.Get("k3", 1); !ok || got.Bound.Fact != "c" {
+		t.Fatalf("k3 lost or wrong: %v %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPlanCacheVersionFlush(t *testing.T) {
+	c := NewPlanCache(8)
+	c.Put("k", 1, CachedPlan{Bound: &plan.Query{Fact: "a"}})
+	if _, ok := c.Get("k", 1); !ok {
+		t.Fatal("warm get missed")
+	}
+	// A newer database version stales every cached plan.
+	if _, ok := c.Get("k", 2); ok {
+		t.Fatal("stale plan served after version bump")
+	}
+	st := c.Stats()
+	if st.Flushes != 1 || st.Entries != 0 {
+		t.Fatalf("stats after flush: %+v", st)
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	c := NewPlanCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				if _, ok := c.Get(key, 1); !ok {
+					c.Put(key, 1, CachedPlan{Bound: &plan.Query{Fact: key}})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Entries > 16 {
+		t.Fatalf("capacity exceeded: %+v", st)
+	}
+}
+
+func TestFingerprintDistinguishesInputs(t *testing.T) {
+	base := Fingerprint("SELECT 1", "cape", 32768, plan.LeftDeep, false)
+	same := Fingerprint("  SELECT 1  ", "cape", 32768, plan.RightDeep, false)
+	if base != same {
+		t.Fatal("whitespace or unforced shape fragmented the key")
+	}
+	for _, other := range []string{
+		Fingerprint("SELECT 2", "cape", 32768, plan.LeftDeep, false),
+		Fingerprint("SELECT 1", "cpu", 32768, plan.LeftDeep, false),
+		Fingerprint("SELECT 1", "cape", 1024, plan.LeftDeep, false),
+		Fingerprint("SELECT 1", "cape", 32768, plan.LeftDeep, true),
+	} {
+		if other == base {
+			t.Fatalf("key collision: %q", other)
+		}
+	}
+}

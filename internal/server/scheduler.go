@@ -1,0 +1,87 @@
+package server
+
+// scheduler.go models CAPE's deployment as schedulable resources: the paper
+// places CAPE "along other cores" in a tiled architecture (§7.2), so the
+// serving layer sees N CAPE tiles and M CPU slots. Each tile runs one query
+// at a time — queries that route to the same device serialize once the
+// pool drains, while CAPE- and CPU-bound queries proceed independently.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"castle"
+	"castle/internal/telemetry"
+)
+
+// Scheduler hands out execution tokens for concrete devices. Tokens are
+// tile (or slot) ids; a buffered channel per device makes acquisition
+// naturally queue-fair and cancellable.
+type Scheduler struct {
+	pools map[castle.Device]chan int
+	busy  map[castle.Device]*telemetry.Gauge
+}
+
+// NewScheduler builds pools of capeTiles CAPE tiles and cpuSlots CPU slots
+// (minimum one each) and registers the busy gauges so an idle server still
+// exposes them at zero.
+func NewScheduler(capeTiles, cpuSlots int, reg *telemetry.Registry) *Scheduler {
+	if capeTiles < 1 {
+		capeTiles = 1
+	}
+	if cpuSlots < 1 {
+		cpuSlots = 1
+	}
+	s := &Scheduler{
+		pools: make(map[castle.Device]chan int, 2),
+		busy:  make(map[castle.Device]*telemetry.Gauge, 2),
+	}
+	for dev, n := range map[castle.Device]int{
+		castle.DeviceCAPE: capeTiles,
+		castle.DeviceCPU:  cpuSlots,
+	} {
+		pool := make(chan int, n)
+		for i := 0; i < n; i++ {
+			pool <- i
+		}
+		s.pools[dev] = pool
+		if reg != nil {
+			s.busy[dev] = reg.Gauge(telemetry.MetricServerTilesBusy,
+				"Execution resources in use.", telemetry.L("device", dev.String()))
+		}
+	}
+	return s
+}
+
+// Capacity reports the pool size for a device (0 for unknown devices).
+func (s *Scheduler) Capacity(dev castle.Device) int {
+	return cap(s.pools[dev])
+}
+
+// Acquire blocks until a tile of the requested concrete device frees up or
+// ctx ends. DeviceHybrid has no pool — callers resolve routing first (see
+// DB.Route). The returned release is idempotent and must be called.
+func (s *Scheduler) Acquire(ctx context.Context, dev castle.Device) (func(), error) {
+	pool, ok := s.pools[dev]
+	if !ok {
+		return nil, fmt.Errorf("server: no resource pool for device %q (resolve hybrid routing before acquiring)", dev)
+	}
+	select {
+	case tile := <-pool:
+		if g := s.busy[dev]; g != nil {
+			g.Add(1)
+		}
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				if g := s.busy[dev]; g != nil {
+					g.Add(-1)
+				}
+				pool <- tile
+			})
+		}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

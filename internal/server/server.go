@@ -1,0 +1,359 @@
+// Package server is the concurrent query service in front of castle.DB: an
+// admission-controlled worker pool that routes each request to a simulated
+// execution resource (CAPE tile or CPU slot), runs it with a per-request
+// deadline through DB.QueryContext, and exposes the whole lifecycle through
+// the telemetry registry. The HTTP layer in http.go is a thin JSON skin
+// over Do; embedders can drive Do directly.
+//
+// Admission is a bounded queue: requests beyond the queue depth are shed
+// immediately with ErrOverloaded (HTTP 429) rather than queued without
+// bound, so latency under overload stays flat instead of growing with the
+// backlog.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"castle"
+	"castle/internal/telemetry"
+)
+
+// Sentinel errors the service reports for admission decisions.
+var (
+	// ErrOverloaded means the admission queue was full and the request was
+	// shed without queuing.
+	ErrOverloaded = errors.New("server: overloaded, request shed")
+	// ErrClosed means the server is draining or stopped.
+	ErrClosed = errors.New("server: closed")
+	// ErrEmptySQL rejects requests with no statement.
+	ErrEmptySQL = errors.New("server: empty sql")
+)
+
+// Config sizes the service. The zero value picks workable defaults.
+type Config struct {
+	// Device is the default execution device for requests that don't name
+	// one: "cape", "cpu" or "hybrid". Empty selects "hybrid", the paper's
+	// deployment model.
+	Device string
+	// QueueDepth bounds the admission queue (default 64). Requests arriving
+	// with the queue full are shed with ErrOverloaded.
+	QueueDepth int
+	// CAPETiles is the number of CAPE tiles available (default 2).
+	CAPETiles int
+	// CPUSlots is the number of baseline-CPU slots available (default 2).
+	CPUSlots int
+	// DefaultTimeout applies when a request carries no deadline
+	// (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (default 2m).
+	MaxTimeout time.Duration
+	// Options is the base query configuration (design point, plan shape).
+	// Device and Telemetry are managed by the server; a request's NoCache
+	// flag overrides DisablePlanCache per call.
+	Options castle.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Device == "" {
+		c.Device = "hybrid"
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CAPETiles <= 0 {
+		c.CAPETiles = 2
+	}
+	if c.CPUSlots <= 0 {
+		c.CPUSlots = 2
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Request is one query submission.
+type Request struct {
+	// SQL is the statement to run.
+	SQL string `json:"sql"`
+	// Device optionally overrides the server's default device
+	// ("cape", "cpu", "hybrid").
+	Device string `json:"device,omitempty"`
+	// TimeoutMillis optionally sets the request deadline (capped by
+	// Config.MaxTimeout; 0 means Config.DefaultTimeout).
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the prepared-plan cache for this request.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// Response is one query result with its simulation cost.
+type Response struct {
+	Columns  []string   `json:"columns"`
+	Rows     [][]string `json:"rows"`
+	RowCount int        `json:"row_count"`
+	// Device names the engine that executed ("CAPE" or "CPU").
+	Device string `json:"device"`
+	// Cycles and SimSeconds are the simulated execution cost.
+	Cycles     int64   `json:"cycles"`
+	SimSeconds float64 `json:"sim_seconds"`
+	// WallMicros is real service time, admission to completion.
+	WallMicros int64 `json:"wall_micros"`
+}
+
+// Server is the admission controller plus worker pool. Create with New,
+// submit with Do (or the HTTP handler), stop with Close.
+type Server struct {
+	db     *castle.DB
+	cfg    Config
+	device castle.Device // resolved Config.Device
+	tel    *castle.Telemetry
+	sched  *Scheduler
+	queue  chan *task
+
+	mu     sync.RWMutex // guards closed against concurrent enqueues
+	closed bool
+	wg     sync.WaitGroup
+
+	depth     *telemetry.Gauge
+	shed      *telemetry.Counter
+	latency   *telemetry.Histogram
+	queueWait *telemetry.Histogram
+}
+
+type task struct {
+	ctx      context.Context
+	req      Request
+	device   castle.Device
+	enqueued time.Time
+	done     chan taskResult // buffered: workers never block on delivery
+}
+
+type taskResult struct {
+	resp *Response
+	err  error
+}
+
+// New builds a server over db. The telemetry sink is shared by every
+// request (the registry and trace recorder are thread-safe and bounded);
+// pass nil to have the server create one. Workers are started immediately —
+// one per execution resource, so the pools can saturate.
+func New(db *castle.DB, tel *castle.Telemetry, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	device, err := castle.ParseDevice(cfg.Device)
+	if err != nil {
+		return nil, err
+	}
+	if tel == nil {
+		tel = castle.NewTelemetry()
+	}
+	reg := tel.Metrics()
+	s := &Server{
+		db:     db,
+		cfg:    cfg,
+		device: device,
+		tel:    tel,
+		sched: NewScheduler(cfg.CAPETiles, cfg.CPUSlots, reg),
+		queue: make(chan *task, cfg.QueueDepth),
+		depth: reg.Gauge(telemetry.MetricServerQueueDepth,
+			"Requests waiting in the admission queue."),
+		shed: reg.Counter(telemetry.MetricServerShed,
+			"Requests shed because the admission queue was full."),
+		latency: reg.Histogram(telemetry.MetricServerLatency,
+			"End-to-end request wall time in microseconds."),
+		queueWait: reg.Histogram(telemetry.MetricServerQueueWait,
+			"Queue wait before a worker picked the request up, in microseconds."),
+	}
+	// Pre-register the per-status request counters so /metrics shows the
+	// full vocabulary at zero before the first request lands.
+	for _, status := range []string{"ok", "error", "deadline", "canceled", "shed", "closed"} {
+		s.requests(status)
+	}
+	reg.Counter(telemetry.MetricPlanCacheHits, "Prepared-plan cache hits.")
+	reg.Counter(telemetry.MetricPlanCacheMisses, "Prepared-plan cache misses.")
+	workers := cfg.CAPETiles + cfg.CPUSlots
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Telemetry returns the server's shared telemetry sink (backs /metrics).
+func (s *Server) Telemetry() *castle.Telemetry { return s.tel }
+
+// DB returns the database the server fronts.
+func (s *Server) DB() *castle.DB { return s.db }
+
+func (s *Server) requests(status string) *telemetry.Counter {
+	return s.tel.Metrics().Counter(telemetry.MetricServerRequests,
+		"Completed requests by outcome.", telemetry.L("status", status))
+}
+
+// statusOf maps a Do outcome to its metrics label.
+func statusOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrOverloaded):
+		return "shed"
+	case errors.Is(err, ErrClosed):
+		return "closed"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+// Do admits, schedules and executes one request, honoring both the caller's
+// ctx and the request deadline. It returns ErrOverloaded without blocking
+// when the queue is full.
+func (s *Server) Do(ctx context.Context, req Request) (*Response, error) {
+	start := time.Now()
+	resp, err := s.do(ctx, req, start)
+	s.requests(statusOf(err)).Inc()
+	if err == nil || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.latency.Observe(float64(time.Since(start).Microseconds()))
+	}
+	if resp != nil {
+		resp.WallMicros = time.Since(start).Microseconds()
+	}
+	return resp, err
+}
+
+func (s *Server) do(ctx context.Context, req Request, start time.Time) (*Response, error) {
+	if strings.TrimSpace(req.SQL) == "" {
+		return nil, ErrEmptySQL
+	}
+	device := s.device
+	if req.Device != "" {
+		var err error
+		if device, err = castle.ParseDevice(req.Device); err != nil {
+			return nil, err
+		}
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	t := &task{
+		ctx:      ctx,
+		req:      req,
+		device:   device,
+		enqueued: start,
+		done:     make(chan taskResult, 1),
+	}
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- t:
+		s.mu.RUnlock()
+		s.depth.Add(1)
+	default:
+		s.mu.RUnlock()
+		s.shed.Inc()
+		return nil, ErrOverloaded
+	}
+
+	select {
+	case r := <-t.done:
+		return r.resp, r.err
+	case <-ctx.Done():
+		// The worker that eventually dequeues this task sees the dead ctx
+		// and drops it; done is buffered so it never blocks.
+		return nil, ctx.Err()
+	}
+}
+
+// worker drains the admission queue until Close closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		s.depth.Add(-1)
+		s.queueWait.Observe(float64(time.Since(t.enqueued).Microseconds()))
+		resp, err := s.run(t)
+		t.done <- taskResult{resp: resp, err: err}
+	}
+}
+
+// run executes one admitted task: resolve hybrid routing, acquire the
+// device resource, execute under the request ctx.
+func (s *Server) run(t *task) (*Response, error) {
+	if err := t.ctx.Err(); err != nil {
+		return nil, err
+	}
+	opt := s.cfg.Options
+	opt.Telemetry = s.tel
+	if t.req.NoCache {
+		opt.DisablePlanCache = true
+	}
+
+	opt.Device = t.device
+	dev, err := s.db.Route(t.req.SQL, opt)
+	if err != nil {
+		return nil, err
+	}
+	release, err := s.sched.Acquire(t.ctx, dev)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	opt.Device = dev
+	rows, m, err := s.db.QueryContext(t.ctx, t.req.SQL, opt)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{
+		Columns:    rows.Columns,
+		Rows:       rows.Data,
+		RowCount:   len(rows.Data),
+		Device:     m.DeviceUsed,
+		Cycles:     m.Cycles,
+		SimSeconds: m.Seconds,
+	}
+	return resp, nil
+}
+
+// Close drains the server: no new requests are admitted, queued and
+// in-flight requests run to completion, then the workers exit. Safe to call
+// more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+	return nil
+}
+
+// String describes the service sizing (for startup logs).
+func (s *Server) String() string {
+	return fmt.Sprintf("server{device=%s queue=%d cape_tiles=%d cpu_slots=%d timeout=%s}",
+		s.cfg.Device, cap(s.queue), s.sched.Capacity(castle.DeviceCAPE),
+		s.sched.Capacity(castle.DeviceCPU), s.cfg.DefaultTimeout)
+}

@@ -1,0 +1,340 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"castle"
+	"castle/internal/telemetry"
+)
+
+var (
+	testOnce sync.Once
+	testDB   *castle.DB
+	// reference holds single-threaded results for every SSB query, the
+	// ground truth concurrent executions must reproduce.
+	reference map[int][][]string
+)
+
+func sharedDB(t *testing.T) *castle.DB {
+	t.Helper()
+	testOnce.Do(func() {
+		testDB = castle.GenerateSSB(0.01, 20260805)
+		reference = make(map[int][][]string)
+		for _, q := range castle.SSBQueries() {
+			rows, _, err := testDB.QueryWith(q.SQL, castle.Options{Device: castle.DeviceHybrid})
+			if err != nil {
+				panic(fmt.Sprintf("reference %s: %v", q.Flight, err))
+			}
+			reference[q.Num] = rows.Data
+		}
+	})
+	return testDB
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(sharedDB(t), nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestServerConcurrentLoad is the acceptance load test: 8 concurrent
+// clients x 50 mixed SSB queries against a running server, every result
+// checked against the single-threaded reference. Run with -race.
+func TestServerConcurrentLoad(t *testing.T) {
+	s := newTestServer(t, Config{QueueDepth: 512, CAPETiles: 2, CPUSlots: 2})
+	queries := castle.SSBQueries()
+
+	const clients, perClient = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				q := queries[(c*perClient+i)%len(queries)]
+				resp, err := s.Do(context.Background(), Request{SQL: q.SQL})
+				if err != nil {
+					errs <- fmt.Errorf("client %d req %d (%s): %w", c, i, q.Flight, err)
+					continue
+				}
+				if !reflect.DeepEqual(resp.Rows, reference[q.Num]) {
+					errs <- fmt.Errorf("client %d req %d (%s): rows diverged from reference", c, i, q.Flight)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	reg := s.Telemetry().Metrics()
+	if got := reg.CounterValue(telemetry.MetricServerRequests, telemetry.L("status", "ok")); got != clients*perClient {
+		t.Fatalf("ok requests counter = %d, want %d", got, clients*perClient)
+	}
+	if st := s.DB().PlanCacheStats(); st.Hits == 0 {
+		t.Fatalf("load ran without plan-cache hits: %+v", st)
+	}
+}
+
+// pinPools checks out every execution resource so admitted tasks block in
+// the scheduler, making overload and deadline behavior deterministic.
+func pinPools(t *testing.T, s *Server) (release func()) {
+	t.Helper()
+	relCAPE, err := s.sched.Acquire(context.Background(), castle.DeviceCAPE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relCPU, err := s.sched.Acquire(context.Background(), castle.DeviceCPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() { relCAPE(); relCPU() }
+}
+
+func TestServerShedsWhenOverloaded(t *testing.T) {
+	s := newTestServer(t, Config{QueueDepth: 1, CAPETiles: 1, CPUSlots: 1})
+	q := castle.SSBQueries()[0].SQL
+	release := pinPools(t, s)
+
+	// With both resources pinned, the 2 workers stall on their first tasks
+	// and the queue holds 1 more: a burst of 8 admits at most 3 (fewer when
+	// sends race ahead of worker dequeues) and sheds the rest immediately.
+	const burst = 8
+	var wg sync.WaitGroup
+	var ok, shed, other int64
+	var mu sync.Mutex
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Do(context.Background(), Request{SQL: q})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				ok++
+			case errors.Is(err, ErrOverloaded):
+				shed++
+			default:
+				other++
+			}
+		}()
+	}
+	// Release the pools once every non-admitted request has been shed.
+	reg := s.Telemetry().Metrics()
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if reg.CounterValue(telemetry.MetricServerShed) >= burst-3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sheds never reached %d", burst-3)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	wg.Wait()
+	if other != 0 || ok < 1 || ok > 3 || ok+shed != burst {
+		t.Fatalf("burst outcomes: ok=%d shed=%d other=%d (want 1..3 admitted, rest shed)", ok, shed, other)
+	}
+	if got := reg.CounterValue(telemetry.MetricServerShed); got != shed {
+		t.Fatalf("shed counter = %d, want %d", got, shed)
+	}
+}
+
+func TestServerRequestTimeout(t *testing.T) {
+	s := newTestServer(t, Config{QueueDepth: 8, CAPETiles: 1, CPUSlots: 1})
+	release := pinPools(t, s)
+	defer release()
+
+	// With the pools pinned, the request's 1ms deadline expires while it
+	// waits for a CAPE tile.
+	_, err := s.Do(context.Background(), Request{SQL: castle.SSBQueries()[0].SQL, TimeoutMillis: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	reg := s.Telemetry().Metrics()
+	if got := reg.CounterValue(telemetry.MetricServerRequests, telemetry.L("status", "deadline")); got == 0 {
+		t.Fatal("deadline outcome not counted")
+	}
+	// The server keeps serving once resources free up.
+	release()
+	if _, err := s.Do(context.Background(), Request{SQL: castle.SSBQueries()[0].SQL}); err != nil {
+		t.Fatalf("post-timeout request: %v", err)
+	}
+}
+
+func TestServerGracefulDrain(t *testing.T) {
+	s := newTestServer(t, Config{QueueDepth: 64, CAPETiles: 1, CPUSlots: 1})
+	q := castle.SSBQueries()[0].SQL
+
+	const inflight = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Do(context.Background(), Request{SQL: q}); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	// Give the burst a moment to be admitted, then drain.
+	time.Sleep(20 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		// Admitted requests must complete; only requests that raced Close
+		// may see ErrClosed, and nothing else is acceptable.
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("drain dropped a request: %v", err)
+		}
+	}
+	if _, err := s.Do(context.Background(), Request{SQL: q}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Do: want ErrClosed, got %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if _, err := s.Do(context.Background(), Request{SQL: "   "}); !errors.Is(err, ErrEmptySQL) {
+		t.Fatalf("empty sql: %v", err)
+	}
+	if _, err := s.Do(context.Background(), Request{SQL: "SELECT 1", Device: "gpu"}); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if _, err := s.Do(context.Background(), Request{SQL: "SELECT FROM WHERE"}); err == nil {
+		t.Fatal("unparseable sql accepted")
+	}
+}
+
+func TestSchedulerSerializesPerDevice(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sched := NewScheduler(1, 1, reg)
+	release, err := sched.Acquire(context.Background(), castle.DeviceCAPE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second CAPE acquire must block until release; a CPU acquire must not.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := sched.Acquire(ctx, castle.DeviceCAPE); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("second CAPE acquire: want DeadlineExceeded, got %v", err)
+	}
+	cpuRelease, err := sched.Acquire(context.Background(), castle.DeviceCPU)
+	if err != nil {
+		t.Fatalf("CPU acquire blocked by CAPE tile: %v", err)
+	}
+	cpuRelease()
+	release()
+	release() // idempotent
+	if r2, err := sched.Acquire(context.Background(), castle.DeviceCAPE); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	} else {
+		r2()
+	}
+	if _, err := sched.Acquire(context.Background(), castle.DeviceHybrid); err == nil {
+		t.Fatal("hybrid acquire must fail: no pool")
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s := newTestServer(t, Config{QueueDepth: 16, CAPETiles: 1, CPUSlots: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	q := castle.SSBQueries()[0]
+	body, _ := json.Marshal(Request{SQL: q.SQL})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query = %d", resp.StatusCode)
+	}
+	var qr Response
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !reflect.DeepEqual(qr.Rows, reference[q.Num]) || qr.RowCount != len(reference[q.Num]) {
+		t.Fatalf("HTTP rows diverged from reference: %+v", qr)
+	}
+
+	// Metrics must expose the server families after one request.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		telemetry.MetricServerRequests, telemetry.MetricServerQueueDepth,
+		telemetry.MetricServerLatency, telemetry.MetricServerTilesBusy,
+		telemetry.MetricQueries, telemetry.MetricPlanCacheMisses,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	// Liveness.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", resp.StatusCode)
+	}
+
+	// Error mapping: bad JSON and GET /query are client errors.
+	resp, _ = http.Post(ts.URL+"/query", "application/json", strings.NewReader("{"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON = %d", resp.StatusCode)
+	}
+	resp, _ = http.Get(ts.URL + "/query")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query = %d", resp.StatusCode)
+	}
+
+	// Draining servers answer 503 on both /query and /healthz.
+	s.Close()
+	resp, _ = http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST /query after Close = %d", resp.StatusCode)
+	}
+	resp, _ = http.Get(ts.URL + "/healthz")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /healthz after Close = %d", resp.StatusCode)
+	}
+}

@@ -94,4 +94,30 @@ const (
 	MetricQueryCycles = "castle_query_cycles"
 	// MetricQuerySeconds is a histogram of simulated query wall time.
 	MetricQuerySeconds = "castle_query_seconds"
+	// MetricPlanCacheHits counts prepared-plan cache hits.
+	MetricPlanCacheHits = "castle_plan_cache_hits_total"
+	// MetricPlanCacheMisses counts prepared-plan cache misses.
+	MetricPlanCacheMisses = "castle_plan_cache_misses_total"
+)
+
+// Metric names recorded by the query service (internal/server). Histograms
+// observe microseconds: the shared power-of-two bucket ladder starts at 1,
+// so sub-second latencies need a sub-second unit to resolve.
+const (
+	// MetricServerQueueDepth gauges requests sitting in the admission queue.
+	MetricServerQueueDepth = "castle_server_queue_depth"
+	// MetricServerShed counts requests rejected because the queue was full.
+	MetricServerShed = "castle_server_shed_total"
+	// MetricServerRequests counts completed requests, labelled by status
+	// (ok, error, deadline, canceled, shed, closed).
+	MetricServerRequests = "castle_server_requests_total"
+	// MetricServerLatency is a histogram of end-to-end request wall time in
+	// microseconds (admission to response).
+	MetricServerLatency = "castle_server_request_micros"
+	// MetricServerQueueWait is a histogram of time spent queued before a
+	// worker picked the request up, in microseconds.
+	MetricServerQueueWait = "castle_server_queue_wait_micros"
+	// MetricServerTilesBusy gauges execution resources in use, labelled by
+	// device (cape tiles, cpu slots).
+	MetricServerTilesBusy = "castle_server_tiles_busy"
 )
