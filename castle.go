@@ -275,6 +275,13 @@ type Options struct {
 	// the statement is parsed, bound and optimized from scratch and the
 	// result is not cached.
 	DisablePlanCache bool
+	// Parallelism is the number of CAPE tiles (or baseline CPU cores) the
+	// fact sweep may fan out across. Values <= 1 run serially; K > 1
+	// partitions the sweep into morsels executed concurrently and merges
+	// the partial aggregates deterministically, so results are bit-identical
+	// to serial execution. The value is clamped to the available morsels;
+	// it does not affect plan-cache identity. Negative values are rejected.
+	Parallelism int
 	// Telemetry, when non-nil, records the query lifecycle: a span tree
 	// (query → parse/bind/optimize/execute → per-operator) into its trace
 	// recorder and cycle/row counters into its metrics registry. Nil costs
@@ -297,6 +304,10 @@ type Breakdown = telemetry.Breakdown
 // OperatorStats is one operator row of a Breakdown.
 type OperatorStats = telemetry.OperatorStats
 
+// ParallelStats describes how an execution's fact sweep fanned out: tile
+// (or core) count, per-tile work, and the elapsed-versus-work cycle views.
+type ParallelStats = exec.ParallelStats
+
 // Metrics reports the simulation cost of one execution.
 type Metrics struct {
 	// Cycles is the end-to-end cycle count at 2.7 GHz.
@@ -315,6 +326,11 @@ type Metrics struct {
 	// Breakdown is the per-operator cycle breakdown of the execution (the
 	// EXPLAIN ANALYZE table). Its operator cycles sum exactly to Cycles.
 	Breakdown *Breakdown
+	// Parallel profiles the fact sweep's fan-out (Tiles == 1 when serial).
+	// Cycles above reports the elapsed view; Parallel.WorkCycles adds back
+	// the tile cycles that overlapped under the critical tile — the energy
+	// and §6.3 byte-accounting view.
+	Parallel ParallelStats
 }
 
 // Rows is a decoded result relation: group-key columns first (strings
@@ -485,6 +501,9 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*R
 	if err := opt.Device.validate(); err != nil {
 		return nil, nil, err
 	}
+	if opt.Parallelism < 0 {
+		return nil, nil, fmt.Errorf("castle: negative Parallelism %d", opt.Parallelism)
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -505,6 +524,7 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*R
 		cpu := baseline.New(baseline.DefaultConfig())
 		exec.AttachCPUTelemetry(cpu, tel)
 		x := exec.NewCPUExec(cpu)
+		x.SetParallelism(opt.Parallelism)
 		es := qs.Child("execute")
 		x.SetTelemetry(tel, es)
 		res, err := x.RunContext(ctx, cp.Bound, db.store)
@@ -520,6 +540,7 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*R
 			BytesMoved: cpu.Mem().BytesMoved(),
 			DeviceUsed: "CPU",
 			Breakdown:  x.Breakdown(),
+			Parallel:   x.ParallelStats(),
 		}
 		db.recordQueryMetrics(tel, qs, m, "")
 		return db.decode(res), m, nil
@@ -530,6 +551,7 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*R
 
 	if opt.Device == DeviceHybrid {
 		h := exec.NewDefaultHybrid(cfg, cat)
+		h.SetParallelism(opt.Parallelism)
 		exec.AttachEngineTelemetry(h.Castle().Engine(), tel)
 		exec.AttachCPUTelemetry(h.CPUExec().CPU(), tel)
 		es := qs.Child("execute")
@@ -544,11 +566,13 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*R
 			cpu := h.CPUExec().CPU()
 			m.Cycles, m.Seconds, m.BytesMoved = cpu.Cycles(), cpu.Seconds(), cpu.Mem().BytesMoved()
 			m.Breakdown = h.CPUExec().Breakdown()
+			m.Parallel = h.CPUExec().ParallelStats()
 		} else {
 			st := h.Castle().Engine().Stats()
 			m.Cycles, m.Seconds = st.TotalCycles(), st.Seconds(cfg.ClockHz)
 			m.BytesMoved = h.Castle().Engine().Mem().BytesMoved()
 			m.Breakdown = h.Castle().Breakdown()
+			m.Parallel = h.Castle().ParallelStats()
 		}
 		es.SetInt("cycles", m.Cycles)
 		es.SetStr("device", m.DeviceUsed)
@@ -565,6 +589,7 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*R
 	exec.AttachEngineTelemetry(eng, tel)
 	opts := exec.DefaultCastleOptions()
 	opts.Fusion = !opt.DisableFusion
+	opts.Parallelism = opt.Parallelism
 	cas := exec.NewCastle(eng, cat, opts)
 	es := qs.Child("execute")
 	cas.SetTelemetry(tel, es)
@@ -590,6 +615,7 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*R
 		CSBBreakdown: breakdown,
 		DeviceUsed:   "CAPE",
 		Breakdown:    cas.Breakdown(),
+		Parallel:     cas.ParallelStats(),
 	}
 	db.recordQueryMetrics(tel, qs, m, phys.Shape().String())
 	return db.decode(res), m, nil

@@ -42,6 +42,7 @@ func main() {
 	device := flag.String("device", "hybrid", "default execution device: cape, cpu, or hybrid")
 	capeTiles := flag.Int("cape-tiles", 2, "number of CAPE tiles to schedule")
 	cpuSlots := flag.Int("cpu-slots", 2, "number of baseline-CPU slots to schedule")
+	maxTiles := flag.Int("max-tiles", 1, "elastic lease size: tiles/slots a single query may fan its fact sweep across")
 	queueDepth := flag.Int("queue", 64, "admission queue depth (beyond this, requests are shed with 429)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 
@@ -71,11 +72,12 @@ func main() {
 	}
 
 	svc, err := server.New(db, nil, server.Config{
-		Device:         *device,
-		QueueDepth:     *queueDepth,
-		CAPETiles:      *capeTiles,
-		CPUSlots:       *cpuSlots,
-		DefaultTimeout: *timeout,
+		Device:           *device,
+		QueueDepth:       *queueDepth,
+		CAPETiles:        *capeTiles,
+		CPUSlots:         *cpuSlots,
+		MaxTilesPerQuery: *maxTiles,
+		DefaultTimeout:   *timeout,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"castle/internal/baseline"
@@ -44,6 +45,7 @@ func main() {
 	savePath := flag.String("save", "", "write the database to this file (CSTL binary format) and exit unless a query is given")
 	loadPath := flag.String("load", "", "load a database from a CSTL binary file instead of generating SSB")
 	interactive := flag.Bool("interactive", false, "read SQL queries from stdin (one per line)")
+	parallel := flag.Int("parallel", 1, "fan the fact sweep across N tiles/cores (clamped to available morsels)")
 	traceOut := flag.String("trace-out", "", "write spans as Chrome trace-event JSON to this file on exit (open in Perfetto)")
 	metricsOut := flag.String("metrics-out", "", "write metrics in Prometheus text format to this file on exit")
 	flag.Parse()
@@ -103,10 +105,13 @@ func main() {
 		tel = telemetry.New()
 	}
 
+	if *parallel < 1 {
+		fatalf("-parallel must be at least 1 (got %d)", *parallel)
+	}
 	sess := &session{
 		db: db, cat: cat,
 		device: *device, explain: *explain, analyze: *analyze,
-		noEnh: *noEnh, shape: *shape, tel: tel,
+		noEnh: *noEnh, shape: *shape, parallel: *parallel, tel: tel,
 	}
 
 	if *interactive {
@@ -167,20 +172,22 @@ func writeTelemetry(tel *telemetry.Telemetry, tracePath, metricsPath string) err
 
 // session holds the loaded database and execution settings.
 type session struct {
-	db      *storage.Database
-	cat     *stats.Catalog
-	device  string
-	explain bool
-	analyze bool
-	noEnh   bool
-	shape   string
-	tel     *telemetry.Telemetry
+	db       *storage.Database
+	cat      *stats.Catalog
+	device   string
+	explain  bool
+	analyze  bool
+	noEnh    bool
+	shape    string
+	parallel int
+	tel      *telemetry.Telemetry
 }
 
 // repl reads SQL statements from stdin, one per line; \q quits, \analyze
-// toggles the EXPLAIN ANALYZE breakdown.
+// toggles the EXPLAIN ANALYZE breakdown, \parallel N sets the fact-sweep
+// fan-out.
 func (s *session) repl() {
-	fmt.Println("castle> enter SQL (one statement per line; \\analyze toggles breakdowns; \\q to quit)")
+	fmt.Println("castle> enter SQL (one statement per line; \\analyze toggles breakdowns; \\parallel N sets fan-out; \\q to quit)")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Print("castle> ")
@@ -197,6 +204,26 @@ func (s *session) repl() {
 			} else {
 				fmt.Println("explain analyze: off")
 			}
+		case line == "\\parallel" || strings.HasPrefix(line, "\\parallel "):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, "\\parallel"))
+			switch {
+			case arg == "":
+				// Bare \parallel toggles between serial and a 4-way sweep.
+				if s.parallel > 1 {
+					s.parallel = 1
+				} else {
+					s.parallel = 4
+				}
+			default:
+				n, err := strconv.Atoi(arg)
+				if err != nil || n < 1 {
+					fmt.Fprintf(os.Stderr, "error: \\parallel wants a positive integer, got %q\n", arg)
+					fmt.Print("castle> ")
+					continue
+				}
+				s.parallel = n
+			}
+			fmt.Printf("parallelism: %d\n", s.parallel)
 		default:
 			if err := s.runQuery(line); err != nil {
 				fmt.Fprintf(os.Stderr, "error: %v\n", err)
@@ -269,6 +296,7 @@ func (s *session) runQuery(qsql string) error {
 		eng := cape.New(cfg)
 		exec.AttachEngineTelemetry(eng, s.tel)
 		castle := exec.NewCastle(eng, s.cat, exec.DefaultCastleOptions())
+		castle.SetParallelism(s.parallel)
 		es := qs.Child("execute")
 		castle.SetTelemetry(s.tel, es)
 		res := castle.Run(phys, s.db)
@@ -281,9 +309,11 @@ func (s *session) runQuery(qsql string) error {
 		fmt.Printf("== CAPE (%v)\n", cfg)
 		fmt.Print(res.Format(s.db))
 		fmt.Printf("\n%v\n", st)
-		fmt.Printf("wall time at %.1f GHz: %.3f ms; DRAM traffic: %.1f MB\n\n",
+		fmt.Printf("wall time at %.1f GHz: %.3f ms; DRAM traffic: %.1f MB\n",
 			cfg.ClockHz/1e9, st.Seconds(cfg.ClockHz)*1e3,
 			float64(eng.Mem().BytesMoved())/(1<<20))
+		printParallel(castle.ParallelStats())
+		fmt.Println()
 		if s.analyze {
 			fmt.Println("EXPLAIN ANALYZE:")
 			fmt.Println(castle.Breakdown().Format())
@@ -293,6 +323,7 @@ func (s *session) runQuery(qsql string) error {
 		cpu := baseline.New(baseline.DefaultConfig())
 		exec.AttachCPUTelemetry(cpu, s.tel)
 		x := exec.NewCPUExec(cpu)
+		x.SetParallelism(s.parallel)
 		es := qs.Child("execute")
 		x.SetTelemetry(s.tel, es)
 		res := x.Run(q, s.db)
@@ -304,12 +335,23 @@ func (s *session) runQuery(qsql string) error {
 		fmt.Print(res.Format(s.db))
 		fmt.Printf("\ntotal=%d cycles; wall time: %.3f ms; DRAM traffic: %.1f MB\n",
 			cpu.Cycles(), cpu.Seconds()*1e3, float64(cpu.Mem().BytesMoved())/(1<<20))
+		printParallel(x.ParallelStats())
 		if s.analyze {
 			fmt.Println("\nEXPLAIN ANALYZE:")
 			fmt.Println(x.Breakdown().Format())
 		}
 	}
 	return nil
+}
+
+// printParallel reports the fact-sweep fan-out of the last run, when it
+// actually parallelised (the sweep may clamp below the requested degree).
+func printParallel(ps exec.ParallelStats) {
+	if ps.Tiles <= 1 {
+		return
+	}
+	fmt.Printf("parallel sweep: %d tiles; elapsed=%d work=%d merge=%d; per-tile=%v\n",
+		ps.Tiles, ps.ElapsedCycles, ps.WorkCycles, ps.MergeCycles, ps.TileCycles)
 }
 
 // countQuery records run-level metrics for one device execution.

@@ -24,7 +24,29 @@ func main() {
 	sf := flag.Float64("sf", 1.0, "SSB scale factor (SF 1 = 6M-row lineorder, the paper's setting)")
 	runList := flag.String("run", "all", "comma-separated experiments to run")
 	quick := flag.Bool("quick", false, "shrink microbenchmark sweeps for a fast pass")
+	benchJSON := flag.String("bench-json", "", "write a benchmark report (geomean, per-query cycles, K=1..4 scaling, server latency) as JSON to this path and exit")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		fmt.Printf("benchmarking at SF=%.2f (suite + scaling curve + server load)...\n", *sf)
+		rep := experiments.RunBench(*sf)
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		err = rep.WriteBenchJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", *benchJSON, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (geomean speedup %.2fx; server p50=%dus p99=%dus)\n",
+			*benchJSON, rep.GeomeanSpeedup, rep.Server.P50Micros, rep.Server.P99Micros)
+		return
+	}
 
 	want := map[string]bool{}
 	for _, s := range strings.Split(*runList, ",") {

@@ -163,8 +163,58 @@ func (c *CPU) Cycles() int64 { return int64(c.cycles) }
 // Seconds returns accumulated wall time.
 func (c *CPU) Seconds() float64 { return c.cycles / c.cfg.ClockHz }
 
+// RawCycles returns the fractional cycle accumulator (Cycles truncates).
+// Parallel merges compare cores on the raw value so sub-cycle differences
+// cannot flip which core is critical.
+func (c *CPU) RawCycles() float64 { return c.cycles }
+
 // ResetCycles clears the cycle counter.
 func (c *CPU) ResetCycles() { c.cycles = 0 }
+
+// Fork clones the CPU into k sibling cores for a morsel-parallel sweep on
+// the same socket. Each clone gets an independent cycle counter and memory
+// traffic accounting but no hook (per-core telemetry closures are not
+// shareable; attach fresh hooks per core).
+//
+// The clones model resource sharing on a multicore: private L1/L2 are
+// per-core and keep their capacity, while the last (shared) cache level is
+// split k ways, so random-access working sets spill earlier when more cores
+// run — the classic contention effect. Per-core streaming bandwidth is left
+// unchanged: k cores at ~13 GB/s each stay under the 153.6 GB/s socket peak
+// for any k this simulator schedules.
+func (c *CPU) Fork(k int) []*CPU {
+	if k < 1 {
+		panic(fmt.Sprintf("baseline: Fork(%d): need at least one core", k))
+	}
+	cores := make([]*CPU, k)
+	for i := range cores {
+		cfg := c.cfg
+		levels := make([]cache.Level, len(cfg.Hierarchy.Levels))
+		copy(levels, cfg.Hierarchy.Levels)
+		if n := len(levels); n > 0 && k > 1 {
+			levels[n-1].CapacityBytes /= int64(k)
+		}
+		cfg.Hierarchy.Levels = levels
+		cores[i] = New(cfg)
+	}
+	return cores
+}
+
+// AbsorbElapsed adds cycles to the counter without firing the hook. Used
+// when a parent core absorbs the critical (max-cycle) forked core after a
+// parallel sweep: per-core hooks already streamed those charges as work, and
+// the elapsed-time absorption must not double-count them.
+func (c *CPU) AbsorbElapsed(cycles float64) { c.cycles += cycles }
+
+// AbsorbTraffic folds a forked core's memory-traffic counters into c
+// without any cycle cost, keeping BytesMoved a work metric (§6.3) that sums
+// over all cores.
+func (c *CPU) AbsorbTraffic(o *CPU) {
+	if o == nil {
+		return
+	}
+	c.mm.Absorb(o.mm)
+}
 
 // ChargeCompute charges pure compute cycles.
 func (c *CPU) ChargeCompute(cycles float64) { c.add(cycles) }
@@ -232,9 +282,12 @@ func (c *CPU) SelectionScan(col []uint32, pred CmpFunc) *bitvec.Vector {
 	return m
 }
 
-// hashTable is a minimal open-addressing uint32->uint32 map used by the
-// join and aggregation kernels (functional only; timing is analytic).
-type hashTable struct {
+// HashTable is a minimal open-addressing uint32->uint32 map used by the
+// join and aggregation kernels (functional only; timing is analytic). It is
+// exported opaquely so an executor can build a dimension table once on the
+// primary core and probe it from several forked cores; all mutation stays
+// inside this package.
+type HashTable struct {
 	keys  []uint32
 	vals  []uint32
 	used  []bool
@@ -242,12 +295,12 @@ type hashTable struct {
 	count int
 }
 
-func newHashTable(capacity int) *hashTable {
+func newHashTable(capacity int) *HashTable {
 	size := 16
 	for size < capacity*2 {
 		size <<= 1
 	}
-	return &hashTable{
+	return &HashTable{
 		keys: make([]uint32, size),
 		vals: make([]uint32, size),
 		used: make([]bool, size),
@@ -264,7 +317,7 @@ func hash32(x uint32) uint32 {
 	return x
 }
 
-func (h *hashTable) put(k, v uint32) {
+func (h *HashTable) put(k, v uint32) {
 	i := hash32(k) & h.mask
 	for h.used[i] {
 		if h.keys[i] == k {
@@ -277,7 +330,7 @@ func (h *hashTable) put(k, v uint32) {
 	h.count++
 }
 
-func (h *hashTable) get(k uint32) (uint32, bool) {
+func (h *HashTable) get(k uint32) (uint32, bool) {
 	i := hash32(k) & h.mask
 	for h.used[i] {
 		if h.keys[i] == k {
@@ -289,20 +342,40 @@ func (h *hashTable) get(k uint32) (uint32, bool) {
 }
 
 // bytes returns the table's working-set size (key+value+metadata per slot).
-func (h *hashTable) bytes() int64 { return int64(len(h.keys)) * 9 }
+func (h *HashTable) bytes() int64 { return int64(len(h.keys)) * 9 }
 
-// HashJoinSemi builds a hash table on the dimension keys and probes it with
-// the fact foreign-key column, returning the fact-side match mask (the
-// semi-join the paper's microbenchmark measures, §7.2). probeMask, when
-// non-nil, restricts which fact rows probe (rows filtered out by earlier
-// selections are skipped by the optimized kernel).
-func (c *CPU) HashJoinSemi(factFK []uint32, dimKeys []uint32, probeMask *bitvec.Vector) *bitvec.Vector {
+// BuildHashSemi builds a semi-join hash table on the dimension keys,
+// charging the build to c. The table is read-only afterwards, so several
+// forked cores may probe it concurrently.
+func (c *CPU) BuildHashSemi(dimKeys []uint32) *HashTable {
 	ht := newHashTable(len(dimKeys))
 	for _, k := range dimKeys {
 		ht.put(k, 1)
 	}
 	c.chargeBuild(len(dimKeys), ht)
+	return ht
+}
 
+// BuildHashMap builds a key→attribute hash table (dimVals[i] for
+// dimKeys[i]), charging the build to c.
+func (c *CPU) BuildHashMap(dimKeys, dimVals []uint32) *HashTable {
+	if len(dimKeys) != len(dimVals) {
+		panic("baseline: dimension key/value length mismatch")
+	}
+	ht := newHashTable(len(dimKeys))
+	for i, k := range dimKeys {
+		ht.put(k, dimVals[i])
+	}
+	c.chargeBuild(len(dimKeys), ht)
+	return ht
+}
+
+// ProbeSemi probes ht with the fact foreign-key column and returns the
+// fact-side match mask. probeMask, when non-nil, restricts which fact rows
+// probe (rows filtered out by earlier selections are skipped by the
+// optimized kernel). The returned mask is indexed relative to factFK, so a
+// forked core can probe a sub-range of the column.
+func (c *CPU) ProbeSemi(factFK []uint32, ht *HashTable, probeMask *bitvec.Vector) *bitvec.Vector {
 	out := bitvec.New(len(factFK))
 	probes := 0
 	if probeMask == nil {
@@ -324,18 +397,10 @@ func (c *CPU) HashJoinSemi(factFK []uint32, dimKeys []uint32, probeMask *bitvec.
 	return out
 }
 
-// HashJoinMap joins like HashJoinSemi but also materializes the dimension
-// attribute (dimVals[i] for dimKeys[i]) into a fact-aligned output column.
-func (c *CPU) HashJoinMap(factFK []uint32, dimKeys, dimVals []uint32, probeMask *bitvec.Vector) (*bitvec.Vector, []uint32) {
-	if len(dimKeys) != len(dimVals) {
-		panic("baseline: dimension key/value length mismatch")
-	}
-	ht := newHashTable(len(dimKeys))
-	for i, k := range dimKeys {
-		ht.put(k, dimVals[i])
-	}
-	c.chargeBuild(len(dimKeys), ht)
-
+// ProbeMap probes ht like ProbeSemi but also materializes the dimension
+// attribute into a fact-aligned output column (vals[i] is meaningful where
+// the mask is set).
+func (c *CPU) ProbeMap(factFK []uint32, ht *HashTable, probeMask *bitvec.Vector) (*bitvec.Vector, []uint32) {
 	out := bitvec.New(len(factFK))
 	vals := make([]uint32, len(factFK))
 	probes := 0
@@ -368,14 +433,28 @@ func (c *CPU) HashJoinMap(factFK []uint32, dimKeys, dimVals []uint32, probeMask 
 	return out, vals
 }
 
-func (c *CPU) chargeBuild(rows int, ht *hashTable) {
+// HashJoinSemi builds a hash table on the dimension keys and probes it with
+// the fact foreign-key column, returning the fact-side match mask (the
+// semi-join the paper's microbenchmark measures, §7.2). It is
+// charge-identical to BuildHashSemi followed by ProbeSemi.
+func (c *CPU) HashJoinSemi(factFK []uint32, dimKeys []uint32, probeMask *bitvec.Vector) *bitvec.Vector {
+	return c.ProbeSemi(factFK, c.BuildHashSemi(dimKeys), probeMask)
+}
+
+// HashJoinMap joins like HashJoinSemi but also materializes the dimension
+// attribute (dimVals[i] for dimKeys[i]) into a fact-aligned output column.
+func (c *CPU) HashJoinMap(factFK []uint32, dimKeys, dimVals []uint32, probeMask *bitvec.Vector) (*bitvec.Vector, []uint32) {
+	return c.ProbeMap(factFK, c.BuildHashMap(dimKeys, dimVals), probeMask)
+}
+
+func (c *CPU) chargeBuild(rows int, ht *HashTable) {
 	k := c.cfg.Kernels
 	c.ChargeCompute(float64(rows) * (k.HashCyclesPerKey + k.BuildCyclesPerRow))
 	c.ChargeRandomAccesses(int64(rows), ht.bytes())
 	c.mm.AccountRead(int64(rows) * 4)
 }
 
-func (c *CPU) chargeProbe(probes, factRows int, ht *hashTable) {
+func (c *CPU) chargeProbe(probes, factRows int, ht *HashTable) {
 	k := c.cfg.Kernels
 	c.ChargeCompute(float64(probes) * (k.HashCyclesPerKey + k.ProbeCyclesPerRow))
 	c.ChargeRandomAccesses(int64(probes), ht.bytes())

@@ -1,0 +1,83 @@
+package baseline
+
+import "testing"
+
+// TestForkSplitsSharedCache: forked cores model private L1/L2 but a shared
+// last-level cache, so only the LLC capacity divides by the core count.
+func TestForkSplitsSharedCache(t *testing.T) {
+	c := New(DefaultConfig())
+	orig := c.Config().Hierarchy.Levels
+	llc := orig[len(orig)-1].CapacityBytes
+
+	cores := c.Fork(2)
+	if len(cores) != 2 {
+		t.Fatalf("Fork(2) returned %d cores", len(cores))
+	}
+	for i, core := range cores {
+		lv := core.Config().Hierarchy.Levels
+		if got := lv[len(lv)-1].CapacityBytes; got != llc/2 {
+			t.Fatalf("core %d LLC = %d bytes, want %d (half)", i, got, llc/2)
+		}
+		for l := 0; l < len(lv)-1; l++ {
+			if lv[l].CapacityBytes != orig[l].CapacityBytes {
+				t.Fatalf("core %d private level %d resized: %d != %d",
+					i, l, lv[l].CapacityBytes, orig[l].CapacityBytes)
+			}
+		}
+		if core.Cycles() != 0 {
+			t.Fatalf("core %d starts with %d cycles", i, core.Cycles())
+		}
+	}
+	// The parent's own hierarchy must be untouched.
+	if got := c.Config().Hierarchy.Levels[len(orig)-1].CapacityBytes; got != llc {
+		t.Fatalf("Fork mutated the parent's LLC: %d != %d", got, llc)
+	}
+	// A single-core fork keeps the whole LLC.
+	one := c.Fork(1)
+	lv := one[0].Config().Hierarchy.Levels
+	if got := lv[len(lv)-1].CapacityBytes; got != llc {
+		t.Fatalf("Fork(1) LLC = %d, want full %d", got, llc)
+	}
+}
+
+func TestForkInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fork(0) must panic")
+		}
+	}()
+	New(DefaultConfig()).Fork(0)
+}
+
+// TestAbsorbElapsedAndTraffic: AbsorbElapsed advances cycles without
+// touching traffic; AbsorbTraffic folds a core's DRAM bytes without
+// touching cycles — together they implement the elapsed/work split.
+func TestAbsorbElapsedAndTraffic(t *testing.T) {
+	c := New(DefaultConfig())
+	cores := c.Fork(2)
+	cores[0].ChargeStream(10, 1<<20)
+	cores[1].ChargeStreamWrite(5, 1<<20)
+
+	baseCycles := c.Cycles()
+	baseBytes := c.Mem().BytesMoved()
+
+	c.AbsorbElapsed(cores[0].RawCycles())
+	if got, want := c.Cycles(), baseCycles+cores[0].Cycles(); got != want {
+		t.Fatalf("AbsorbElapsed: cycles %d, want %d", got, want)
+	}
+	if c.Mem().BytesMoved() != baseBytes {
+		t.Fatal("AbsorbElapsed must not move traffic")
+	}
+
+	afterElapsed := c.Cycles()
+	c.AbsorbTraffic(cores[0])
+	c.AbsorbTraffic(cores[1])
+	c.AbsorbTraffic(nil) // nil-safe
+	want := baseBytes + cores[0].Mem().BytesMoved() + cores[1].Mem().BytesMoved()
+	if got := c.Mem().BytesMoved(); got != want {
+		t.Fatalf("AbsorbTraffic: bytes %d, want %d", got, want)
+	}
+	if c.Cycles() != afterElapsed {
+		t.Fatal("AbsorbTraffic must not charge cycles")
+	}
+}

@@ -1,0 +1,85 @@
+package cape
+
+import "testing"
+
+func TestForkMergeCycleViews(t *testing.T) {
+	eng := New(DefaultConfig())
+	eng.Scalar(100)
+	prep := eng.TotalCycles()
+
+	g := eng.Fork(3)
+	forked := eng.TotalCycles()
+	if forked <= prep {
+		t.Fatal("Fork must charge the parent for morsel dispatch")
+	}
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", g.Len())
+	}
+	for i, tile := range g.Tiles() {
+		if tile.TotalCycles() != 0 {
+			t.Fatalf("tile %d starts with %d cycles, want fresh Stats", i, tile.TotalCycles())
+		}
+		if tile.Config().MAXVL != eng.Config().MAXVL {
+			t.Fatalf("tile %d config diverged from parent", i)
+		}
+	}
+
+	// Unequal work: tile 1 is the critical one, and tile 0 also moves memory.
+	g.Tile(0).Scalar(10)
+	g.Tile(0).ChargeStreamRead(1 << 16)
+	g.Tile(1).Scalar(5000)
+	g.Tile(2).Scalar(30)
+
+	if got := g.CriticalTile(); got != 1 {
+		t.Fatalf("CriticalTile = %d, want 1", got)
+	}
+	cyc := g.TileCycles()
+	sum := cyc[0] + cyc[1] + cyc[2]
+	if got := g.WorkCycles(); got != sum {
+		t.Fatalf("WorkCycles = %d, want sum of tiles %d", got, sum)
+	}
+	if got := g.WorkStats().TotalCycles(); got != sum {
+		t.Fatalf("WorkStats cycles = %d, want %d", got, sum)
+	}
+
+	tileTraffic := g.Tile(0).Mem().BytesMoved()
+	if tileTraffic == 0 {
+		t.Fatal("tile stream read accounted no traffic")
+	}
+	baseTraffic := eng.Mem().BytesMoved()
+
+	merged := g.Merge()
+	for i := range merged {
+		if merged[i] != cyc[i] {
+			t.Fatalf("Merge returned %v, want tile cycles %v", merged, cyc)
+		}
+	}
+	// Elapsed view: the parent advances by exactly the critical tile.
+	if got, want := eng.TotalCycles(), forked+cyc[1]; got != want {
+		t.Fatalf("parent after Merge = %d, want prep+fork+max(tiles) = %d", got, want)
+	}
+	// Work view: every tile's traffic folds into the parent.
+	if got, want := eng.Mem().BytesMoved(), baseTraffic+tileTraffic; got != want {
+		t.Fatalf("parent traffic after Merge = %d, want %d", got, want)
+	}
+}
+
+func TestForkMergeTwicePanics(t *testing.T) {
+	g := New(DefaultConfig()).Fork(2)
+	g.Merge()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Merge must panic")
+		}
+	}()
+	g.Merge()
+}
+
+func TestForkInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fork(0) must panic")
+		}
+	}()
+	New(DefaultConfig()).Fork(0)
+}

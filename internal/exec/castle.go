@@ -3,6 +3,8 @@ package exec
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"castle/internal/bitvec"
 	"castle/internal/cape"
@@ -28,6 +30,13 @@ type CastleOptions struct {
 	// results and bills identical cycles; this switch exists so tests can
 	// assert that equivalence.
 	NoBulkAggFastPath bool
+	// Parallelism is the number of CAPE tiles the fact sweep may fan out
+	// across (§7.2's tiled deployment). Values <= 1 run the sweep serially
+	// on the executor's engine; K > 1 forks K tile engines, dispatches
+	// MAXVL-sized morsels round-robin, and merges the partial group
+	// accumulators in fixed tile order, so results are bit-identical to
+	// serial execution.
+	Parallelism int
 }
 
 // DefaultCastleOptions returns the paper's configuration.
@@ -35,15 +44,22 @@ func DefaultCastleOptions() CastleOptions {
 	return CastleOptions{Fusion: true}
 }
 
+// mergeScalarsPerRow is the CP cost of folding one partial group row into
+// the merged result table — the same append/merge instruction count the
+// serial Algorithm 2 loop bills per group.
+const mergeScalarsPerRow = 12
+
 // Castle executes physical plans on a CAPE core.
+//
+// All mutable per-run accounting lives in a run-scoped book that is
+// published atomically when a run finishes, so the executor itself is
+// reentrant: nothing on the receiver is written mid-run. The underlying
+// cape.Engine still executes one run at a time — use one engine (and one
+// Castle) per in-flight query, as the server's tile pool does.
 type Castle struct {
 	eng  *cape.Engine
 	cat  *stats.Catalog
 	opts CastleOptions
-
-	// perJoin accumulates cycles attributed to each join edge of the last
-	// Run (keyed by dimension name) — the §7.2 per-join analysis.
-	perJoin map[string]int64
 
 	// tel and parent carry the observability pipeline: operator spans nest
 	// under parent (the caller's "execute" span). Both may be nil; span
@@ -52,14 +68,52 @@ type Castle struct {
 	tel    *telemetry.Telemetry
 	parent *telemetry.Span
 
-	// Per-phase cycle accounting for the last Run's EXPLAIN ANALYZE
-	// breakdown (always maintained; int64 snapshots are free next to the
-	// simulated work).
+	// last is the most recent run's closed books (nil before the first
+	// run). Accessors snapshot from here.
+	last atomic.Pointer[runBooks]
+}
+
+// runBooks is the run-scoped accounting of one RunContext invocation: the
+// per-join attribution, per-phase cycle tallies, and the finished
+// breakdown. Exactly one run writes a given runBooks; it is published to
+// Castle.last only after the run completes.
+type runBooks struct {
+	perJoin      map[string]int64
 	prepCycles   map[string]int64
 	prepRows     map[string]int64
 	filterCycles int64
 	aggCycles    int64
-	breakdown    *telemetry.Breakdown
+
+	// Parallel-sweep accounting (tileCycles nil for serial runs).
+	tiles       int
+	tileCycles  []int64
+	tileRows    []int64
+	mergeCycles int64
+	elapsed     int64
+
+	breakdown *telemetry.Breakdown
+}
+
+// ParallelStats describes how the last run's fact sweep executed: how many
+// tiles it occupied, each tile's work, and the two cycle views — elapsed
+// (prep + max over tiles + merge) versus work (every tile cycle counts,
+// the energy/§6.3 view).
+type ParallelStats struct {
+	// Tiles is the number of tile engines the sweep used (1 = serial).
+	Tiles int
+	// TileCycles is each tile's sweep work in tile order (nil when serial).
+	TileCycles []int64
+	// TileRows is the fact rows each tile processed (nil when serial).
+	TileRows []int64
+	// MergeCycles is the CP-side merge of the partial group accumulators.
+	MergeCycles int64
+	// ElapsedCycles is the run's simulated elapsed time (what the engine's
+	// Stats advanced by).
+	ElapsedCycles int64
+	// WorkCycles is the total work: elapsed plus the overlapped tile
+	// cycles hidden under the critical tile. Equals ElapsedCycles for
+	// serial runs.
+	WorkCycles int64
 }
 
 // NewCastle wraps a CAPE engine. The statistics catalog supplies column
@@ -71,14 +125,24 @@ func NewCastle(eng *cape.Engine, cat *stats.Catalog, opts CastleOptions) *Castle
 // Engine returns the underlying CAPE engine (for cycle/traffic inspection).
 func (c *Castle) Engine() *cape.Engine { return c.eng }
 
+// SetParallelism sets how many tiles subsequent Runs' fact sweeps may fan
+// out across (see CastleOptions.Parallelism). Not safe to call while a run
+// is in flight.
+func (c *Castle) SetParallelism(k int) { c.opts.Parallelism = k }
+
 // PerJoinCycles returns the cycles attributed to each join edge of the
 // last Run, keyed by dimension name (§7.2's per-join analysis; join-edge
 // work only — selections, aggregation and dimension prep are excluded).
-// The map is a defensive copy: callers cannot alias the executor's live
-// accounting across runs.
+// For parallel runs the attribution sums work across tiles. The map is a
+// defensive copy: callers cannot alias the executor's live accounting
+// across runs.
 func (c *Castle) PerJoinCycles() map[string]int64 {
-	out := make(map[string]int64, len(c.perJoin))
-	for k, v := range c.perJoin {
+	b := c.last.Load()
+	if b == nil {
+		return map[string]int64{}
+	}
+	out := make(map[string]int64, len(b.perJoin))
+	for k, v := range b.perJoin {
 		out[k] = v
 	}
 	return out
@@ -87,6 +151,7 @@ func (c *Castle) PerJoinCycles() map[string]int64 {
 // SetTelemetry attaches an observability pipeline for subsequent Runs:
 // operator spans nest under parent (typically the caller's "execute"
 // span), and run-level metrics are recorded into tel. Pass nils to detach.
+// Not safe to call while a run is in flight.
 func (c *Castle) SetTelemetry(tel *telemetry.Telemetry, parent *telemetry.Span) {
 	c.tel = tel
 	c.parent = parent
@@ -94,8 +159,40 @@ func (c *Castle) SetTelemetry(tel *telemetry.Telemetry, parent *telemetry.Span) 
 
 // Breakdown returns the last Run's per-operator cycle breakdown (the
 // EXPLAIN ANALYZE surface). The operator rows partition the run's total
-// cycles exactly. Returns a copy; nil before the first Run.
-func (c *Castle) Breakdown() *telemetry.Breakdown { return c.breakdown.Clone() }
+// cycles exactly; parallel runs report per-tile sweep work plus an
+// explicit negative "parallel-overlap" credit for the cycles hidden under
+// the critical tile. Returns a copy; nil before the first Run.
+func (c *Castle) Breakdown() *telemetry.Breakdown {
+	b := c.last.Load()
+	if b == nil {
+		return nil
+	}
+	return b.breakdown.Clone()
+}
+
+// ParallelStats returns the last run's sweep execution profile (zero value
+// before the first run). Slices are defensive copies.
+func (c *Castle) ParallelStats() ParallelStats {
+	b := c.last.Load()
+	if b == nil {
+		return ParallelStats{}
+	}
+	var sum, max int64
+	for _, cy := range b.tileCycles {
+		sum += cy
+		if cy > max {
+			max = cy
+		}
+	}
+	return ParallelStats{
+		Tiles:         b.tiles,
+		TileCycles:    append([]int64(nil), b.tileCycles...),
+		TileRows:      append([]int64(nil), b.tileRows...),
+		MergeCycles:   b.mergeCycles,
+		ElapsedCycles: b.elapsed,
+		WorkCycles:    b.elapsed + (sum - max),
+	}
+}
 
 // dimSide is a filtered dimension prepared for probing.
 type dimSide struct {
@@ -131,6 +228,13 @@ func (c *Castle) Run(p *plan.Physical, db *storage.Database) *Result {
 // simulated work promptly and returns ctx.Err(). The engine keeps the
 // cycles it charged before the cancellation point; abandoned runs simply
 // stop accruing.
+//
+// With opts.Parallelism > 1 the fact sweep runs morsel-parallel: the
+// engine forks into K tile engines, partition m executes on tile m%K, and
+// the partial group accumulators merge in fixed tile order. Results are
+// bit-identical to serial execution; the engine's Stats advance by the
+// elapsed view (prep + max tile + merge) while per-tile work remains
+// visible through ParallelStats and the breakdown.
 func (c *Castle) RunContext(ctx context.Context, p *plan.Physical, db *storage.Database) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -138,10 +242,11 @@ func (c *Castle) RunContext(ctx context.Context, p *plan.Physical, db *storage.D
 	q := p.Query
 	eng := c.eng
 	cfg := eng.Config()
-	c.perJoin = make(map[string]int64, len(p.Joins))
-	c.prepCycles = make(map[string]int64, len(p.Joins))
-	c.prepRows = make(map[string]int64, len(p.Joins))
-	c.filterCycles, c.aggCycles = 0, 0
+	run := &runBooks{
+		perJoin:    make(map[string]int64, len(p.Joins)),
+		prepCycles: make(map[string]int64, len(p.Joins)),
+		prepRows:   make(map[string]int64, len(p.Joins)),
+	}
 	runStart := eng.TotalCycles()
 
 	camCapable := cfg.EnableADL
@@ -168,82 +273,228 @@ func (c *Castle) RunContext(ctx context.Context, p *plan.Physical, db *storage.D
 		before := eng.TotalCycles()
 		dims[i] = c.prepareDim(q, e, db)
 		cy := eng.TotalCycles() - before
-		c.prepCycles[e.Dim] = cy
-		c.prepRows[e.Dim] = int64(len(dims[i].keys))
+		run.prepCycles[e.Dim] = cy
+		run.prepRows[e.Dim] = int64(len(dims[i].keys))
 		sp.SetInt("cycles", cy)
 		sp.SetInt("rows_out", int64(len(dims[i].keys)))
 		sp.SetInt("rows_in", int64(dims[i].totalRows))
 		sp.End()
 	}
 
-	// Fused fact sweep.
+	// Fact sweep: serial on this engine, or morsel-parallel across forked
+	// tiles.
 	fact := db.MustTable(q.Fact)
 	factRows := fact.Rows()
 	maxvl := cfg.MAXVL
+	parts := (factRows + maxvl - 1) / maxvl
+
+	k := c.opts.Parallelism
+	if k < 1 || parts < 1 {
+		k = 1
+	}
+	if k > parts && parts > 0 {
+		// Never fork more tiles than there are morsels to run on them.
+		k = parts
+	}
+	run.tiles = k
 
 	acc := newGroupAcc(q.Aggs)
 
 	sweep := c.parent.Child("fact-sweep")
 	sweepStart := eng.TotalCycles()
-	for base := 0; base < factRows; base += maxvl {
-		vl := factRows - base
-		if vl > maxvl {
-			vl = maxvl
+	if k == 1 {
+		s := &tileSweep{c: c, eng: eng, acc: acc, perJoin: run.perJoin, span: sweep}
+		for base := 0; base < factRows; base += maxvl {
+			vl := factRows - base
+			if vl > maxvl {
+				vl = maxvl
+			}
+			if err := s.runPartition(ctx, p, db, dims, base, vl, needGPArith, camCapable); err != nil {
+				return nil, err
+			}
+			if camCapable {
+				// Next partition returns to CAM mode for selections/joins.
+				eng.SetLayout(cape.CAMMode)
+			}
 		}
-		if err := c.runPartition(ctx, p, db, dims, base, vl, needGPArith, camCapable, acc, sweep); err != nil {
+		if !c.opts.Fusion {
+			s.chargeFissionOverhead(p, parts, maxvl)
+		}
+		run.filterCycles, run.aggCycles = s.filterCycles, s.aggCycles
+	} else {
+		if err := c.runParallelSweep(ctx, run, p, db, dims, factRows, parts, maxvl, k,
+			needGPArith, camCapable, acc, sweep); err != nil {
 			return nil, err
 		}
-		if camCapable {
-			// Next partition returns to CAM mode for selections/joins.
-			eng.SetLayout(cape.CAMMode)
-		}
-	}
-
-	if !c.opts.Fusion {
-		c.chargeFissionOverhead(p, factRows, maxvl)
 	}
 	sweep.SetInt("cycles", eng.TotalCycles()-sweepStart)
 	sweep.SetInt("rows", int64(factRows))
-	sweep.SetInt("partitions", int64((factRows+maxvl-1)/maxvl))
+	sweep.SetInt("partitions", int64(parts))
+	sweep.SetInt("tiles", int64(k))
 	sweep.End()
 
 	if len(q.GroupBy) == 0 && len(acc.order) == 0 {
 		acc.add(nil, make([]int64, len(q.Aggs)), 0)
 	}
 	res := acc.result(q)
-	c.finishBreakdown(p, eng.TotalCycles()-runStart, int64(factRows), int64(len(res.Rows)))
+	run.elapsed = eng.TotalCycles() - runStart
+	c.finishBreakdown(run, p, int64(factRows), int64(len(res.Rows)))
 	c.recordRunMetrics(p, db, int64(factRows))
+	c.last.Store(run)
 	return res, nil
+}
+
+// runParallelSweep forks the engine into k tiles and executes the fact
+// sweep morsel-parallel: partition m runs on tile m%k (a static assignment
+// keeps every tile's charge sequence deterministic), each tile accumulates
+// into its own partial groupAcc, and the partials merge into acc in fixed
+// tile order on the primary engine's CP. After the sweep the parent engine
+// absorbs the critical tile's Stats (elapsed view) and every tile's memory
+// traffic (work view).
+func (c *Castle) runParallelSweep(ctx context.Context, run *runBooks, p *plan.Physical,
+	db *storage.Database, dims []dimSide, factRows, parts, maxvl, k int,
+	needGPArith, camCapable bool, acc *groupAcc, sweep *telemetry.Span) error {
+
+	eng := c.eng
+	q := p.Query
+	group := eng.Fork(k)
+
+	sweeps := make([]*tileSweep, k)
+	for i, t := range group.Tiles() {
+		if c.tel != nil {
+			// Tile hooks stream live, so telemetry counters accumulate
+			// work cycles (the sum over tiles), not elapsed.
+			AttachEngineTelemetry(t, c.tel)
+		}
+		sweeps[i] = &tileSweep{
+			c:       c,
+			eng:     t,
+			acc:     newGroupAcc(q.Aggs),
+			perJoin: make(map[string]int64, len(p.Joins)),
+			span:    sweep.Child(fmt.Sprintf("tile%d", i)),
+		}
+	}
+
+	rows := make([]int64, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := range sweeps {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			s := sweeps[ti]
+			defer s.span.End()
+			for pi := ti; pi < parts; pi += k {
+				base := pi * maxvl
+				vl := factRows - base
+				if vl > maxvl {
+					vl = maxvl
+				}
+				if err := s.runPartition(ctx, p, db, dims, base, vl, needGPArith, camCapable); err != nil {
+					errs[ti] = err
+					return
+				}
+				if camCapable {
+					s.eng.SetLayout(cape.CAMMode)
+				}
+				rows[ti] += int64(vl)
+			}
+			if !c.opts.Fusion {
+				s.chargeFissionOverhead(p, (parts-ti+k-1)/k, maxvl)
+			}
+			s.span.SetInt("cycles", s.eng.TotalCycles())
+			s.span.SetInt("rows", rows[ti])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Fold the tiles back into the parent: elapsed advances by the
+	// critical tile, traffic by the sum.
+	run.tileCycles = group.Merge()
+	run.tileRows = rows
+	for _, s := range sweeps {
+		for d, cy := range s.perJoin {
+			run.perJoin[d] += cy
+		}
+		run.filterCycles += s.filterCycles
+		run.aggCycles += s.aggCycles
+	}
+
+	// CP-side merge of the per-tile partial group tables, in fixed tile
+	// order so the accumulated result is deterministic.
+	msp := sweep.Child("merge")
+	mergeStart := eng.TotalCycles()
+	var partialRows int64
+	for _, s := range sweeps {
+		acc.merge(s.acc)
+		partialRows += int64(len(s.acc.order))
+	}
+	eng.Scalar(mergeScalarsPerRow * partialRows)
+	eng.CPAccess(partialRows, int64(len(acc.order))*16)
+	run.mergeCycles = eng.TotalCycles() - mergeStart
+	msp.SetInt("cycles", run.mergeCycles)
+	msp.SetInt("rows", partialRows)
+	msp.End()
+	return nil
 }
 
 // finishBreakdown closes the per-operator books for the last Run. The
 // rows partition the total exactly: whatever the phase regions did not
-// cover (layout switches, vsetvl, fission overhead, inter-phase scalars)
-// lands in an explicit "overhead" row.
-func (c *Castle) finishBreakdown(p *plan.Physical, total, factRows, groups int64) {
-	b := &telemetry.Breakdown{Device: "CAPE", TotalCycles: total}
+// cover (layout switches, vsetvl, fork dispatch, inter-phase scalars)
+// lands in an explicit "overhead" row. Parallel runs replace the serial
+// filter/join/aggregate rows with per-tile sweep work plus a negative
+// "parallel-overlap" credit — tiles run concurrently, so only the critical
+// tile's cycles are elapsed time — and a "merge" row.
+func (c *Castle) finishBreakdown(run *runBooks, p *plan.Physical, factRows, groups int64) {
+	b := &telemetry.Breakdown{Device: "CAPE", TotalCycles: run.elapsed}
 	var covered int64
 	for _, e := range p.Joins {
-		cy := c.prepCycles[e.Dim]
+		cy := run.prepCycles[e.Dim]
 		b.Operators = append(b.Operators, telemetry.OperatorStats{
-			Operator: "prep:" + e.Dim, Cycles: cy, Rows: c.prepRows[e.Dim]})
+			Operator: "prep:" + e.Dim, Cycles: cy, Rows: run.prepRows[e.Dim]})
 		covered += cy
 	}
-	b.Operators = append(b.Operators, telemetry.OperatorStats{
-		Operator: "filter", Cycles: c.filterCycles, Rows: factRows})
-	covered += c.filterCycles
-	for _, e := range p.Joins {
-		cy := c.perJoin[e.Dim]
+	if run.tileCycles == nil {
 		b.Operators = append(b.Operators, telemetry.OperatorStats{
-			Operator: "join:" + e.Dim, Cycles: cy, Rows: c.prepRows[e.Dim]})
-		covered += cy
+			Operator: "filter", Cycles: run.filterCycles, Rows: factRows})
+		covered += run.filterCycles
+		for _, e := range p.Joins {
+			cy := run.perJoin[e.Dim]
+			b.Operators = append(b.Operators, telemetry.OperatorStats{
+				Operator: "join:" + e.Dim, Cycles: cy, Rows: run.prepRows[e.Dim]})
+			covered += cy
+		}
+		b.Operators = append(b.Operators, telemetry.OperatorStats{
+			Operator: "aggregate", Cycles: run.aggCycles, Rows: groups})
+		covered += run.aggCycles
+	} else {
+		var sum, max int64
+		for t, cy := range run.tileCycles {
+			b.Operators = append(b.Operators, telemetry.OperatorStats{
+				Operator: fmt.Sprintf("sweep[%d]", t), Cycles: cy, Rows: run.tileRows[t]})
+			sum += cy
+			if cy > max {
+				max = cy
+			}
+			covered += cy
+		}
+		// The tiles overlapped: only the critical tile is elapsed time, so
+		// credit the hidden work back with an explicit negative row.
+		b.Operators = append(b.Operators, telemetry.OperatorStats{
+			Operator: "parallel-overlap", Cycles: max - sum, Rows: -1})
+		covered += max - sum
+		b.Operators = append(b.Operators, telemetry.OperatorStats{
+			Operator: "merge", Cycles: run.mergeCycles, Rows: groups})
+		covered += run.mergeCycles
 	}
 	b.Operators = append(b.Operators, telemetry.OperatorStats{
-		Operator: "aggregate", Cycles: c.aggCycles, Rows: groups})
-	covered += c.aggCycles
-	b.Operators = append(b.Operators, telemetry.OperatorStats{
-		Operator: "overhead", Cycles: total - covered, Rows: -1})
-	c.breakdown = b
+		Operator: "overhead", Cycles: run.elapsed - covered, Rows: -1})
+	run.breakdown = b
 }
 
 // recordRunMetrics updates run-level counters (rows scanned) on the
@@ -290,15 +541,35 @@ func (r *regAlloc) forCol(name string) (cape.VReg, bool) {
 	return v, false
 }
 
+// tileSweep is one engine's share of the fact sweep and its accounting: the
+// serial path runs a single sweep over the executor's own engine; the
+// parallel path runs one per forked tile, each on its own goroutine. A
+// sweep only reads shared state (catalog, options, storage, prepared
+// dimensions) and writes its own fields, which is what makes the fan-out
+// race-free.
+type tileSweep struct {
+	c   *Castle
+	eng *cape.Engine
+	acc *groupAcc
+
+	perJoin      map[string]int64
+	filterCycles int64
+	aggCycles    int64
+
+	// span hosts the per-operator child spans: the "fact-sweep" span when
+	// serial, this tile's "tileN" span when parallel.
+	span *telemetry.Span
+}
+
 // runPartition executes the fused operator pipeline over one fact
 // partition: selections -> joins (right-deep then left-deep segments) ->
 // aggregation (Algorithm 2). Cancellation is checked at every operator
 // boundary within the partition.
-func (c *Castle) runPartition(ctx context.Context, p *plan.Physical, db *storage.Database, dims []dimSide,
-	base, vl int, needGPArith, camCapable bool, acc *groupAcc, sweep *telemetry.Span) error {
+func (s *tileSweep) runPartition(ctx context.Context, p *plan.Physical, db *storage.Database,
+	dims []dimSide, base, vl int, needGPArith, camCapable bool) error {
 
 	q := p.Query
-	eng := c.eng
+	eng := s.eng
 	fact := db.MustTable(q.Fact)
 	eng.SetVL(vl)
 
@@ -307,18 +578,18 @@ func (c *Castle) runPartition(ctx context.Context, p *plan.Physical, db *storage
 		r, cached := regs.forCol(name)
 		if !cached {
 			col := fact.MustColumn(name)
-			eng.Load(r, col.Data[base:base+vl], c.colWidth(q.Fact, name))
+			eng.Load(r, col.Data[base:base+vl], s.c.colWidth(q.Fact, name))
 		}
 		return r
 	}
 
 	// --- Selections (Figure 4): per-predicate masks combined with mask ops.
-	spf := sweep.Child("filter")
+	spf := s.span.Child("filter")
 	before := eng.TotalCycles()
 	eng.Scalar(8) // loop setup
 	var rowMask *bitvec.Vector
 	for _, pr := range q.FactPreds {
-		m := c.predMask(loadFactCol(pr.Column), pr)
+		m := predMask(eng, loadFactCol(pr.Column), pr)
 		if rowMask == nil {
 			rowMask = m
 		} else {
@@ -329,7 +600,7 @@ func (c *Castle) runPartition(ctx context.Context, p *plan.Physical, db *storage
 		rowMask = eng.MaskInit(true)
 	}
 	cy := eng.TotalCycles() - before
-	c.filterCycles += cy
+	s.filterCycles += cy
 	spf.SetInt("cycles", cy)
 	spf.SetInt("rows", int64(vl))
 	spf.End()
@@ -342,13 +613,13 @@ func (c *Castle) runPartition(ctx context.Context, p *plan.Physical, db *storage
 			return err
 		}
 		d := dims[di]
-		spj := sweep.Child("join:" + d.edge.Dim)
+		spj := s.span.Child("join:" + d.edge.Dim)
 		before := eng.TotalCycles()
 		fkReg := loadFactCol(d.edge.FactFK)
-		joinMask := c.probeFactWithDim(fkReg, d, regs, attrRegs)
+		joinMask := s.probeFactWithDim(fkReg, d, regs, attrRegs)
 		rowMask = eng.MaskAnd(rowMask, joinMask)
 		cy := eng.TotalCycles() - before
-		c.perJoin[d.edge.Dim] += cy
+		s.perJoin[d.edge.Dim] += cy
 		spj.SetInt("cycles", cy)
 		spj.SetInt("probe_keys", int64(len(d.keys)))
 		spj.End()
@@ -361,12 +632,12 @@ func (c *Castle) runPartition(ctx context.Context, p *plan.Physical, db *storage
 			return err
 		}
 		d := dims[di]
-		spj := sweep.Child("join:" + d.edge.Dim)
+		spj := s.span.Child("join:" + d.edge.Dim)
 		before := eng.TotalCycles()
 		loadFactCol(d.edge.FactFK) // FK column resident for the CP to read
-		rowMask = c.probeDimWithRows(fact, d, base, vl, rowMask, regs, attrRegs)
+		rowMask = s.probeDimWithRows(fact, d, base, vl, rowMask, regs, attrRegs)
 		cy := eng.TotalCycles() - before
-		c.perJoin[d.edge.Dim] += cy
+		s.perJoin[d.edge.Dim] += cy
 		spj.SetInt("cycles", cy)
 		spj.SetInt("dim_rows", int64(len(d.keys)))
 		spj.End()
@@ -376,7 +647,7 @@ func (c *Castle) runPartition(ctx context.Context, p *plan.Physical, db *storage
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	spa := sweep.Child("aggregate")
+	spa := s.span.Child("aggregate")
 	before = eng.TotalCycles()
 	if needGPArith && camCapable {
 		// Bit-serial vv arithmetic requires the bitsliced layout: switch,
@@ -391,12 +662,12 @@ func (c *Castle) runPartition(ctx context.Context, p *plan.Physical, db *storage
 	}
 
 	if len(q.GroupBy) == 0 {
-		c.aggregateScalar(q, fact, base, vl, rowMask, regs, acc)
+		s.aggregateScalar(q, fact, base, vl, rowMask, regs)
 	} else {
-		c.aggregateGroups(q, fact, base, vl, rowMask, regs, attrRegs, acc, loadFactCol)
+		s.aggregateGroups(q, fact, base, vl, rowMask, regs, attrRegs, loadFactCol)
 	}
 	cy = eng.TotalCycles() - before
-	c.aggCycles += cy
+	s.aggCycles += cy
 	spa.SetInt("cycles", cy)
 	spa.End()
 	return nil
@@ -406,8 +677,8 @@ func (c *Castle) runPartition(ctx context.Context, p *plan.Physical, db *storage
 // column's distinct values under a mask on the AP: per distinct value one
 // vfirst, one vextract, one search, and one mask XOR retire the value's
 // rows (plus loop scalars); one final vfirst finds the exhausted mask.
-func (c *Castle) chargeDistinctLoop(distinct int64, width int) {
-	eng := c.eng
+func (s *tileSweep) chargeDistinctLoop(distinct int64, width int) {
+	eng := s.eng
 	eng.Charge(isa.OpVMFirst, 32, distinct+1)
 	eng.Charge(isa.OpVExtract, 32, distinct)
 	eng.Charge(isa.OpVMSeqVX, width, distinct)
@@ -444,8 +715,7 @@ func (c *Castle) colWidth(table, col string) int {
 }
 
 // predMask evaluates one predicate on a loaded column.
-func (c *Castle) predMask(r cape.VReg, pr plan.Predicate) *bitvec.Vector {
-	eng := c.eng
+func predMask(eng *cape.Engine, r cape.VReg, pr plan.Predicate) *bitvec.Vector {
 	if pr.Never {
 		return eng.MaskInit(false)
 	}
@@ -470,11 +740,11 @@ func (c *Castle) predMask(r cape.VReg, pr plan.Predicate) *bitvec.Vector {
 		// A disjunction of searches (Figure 4's m1 OR m2).
 		var m *bitvec.Vector
 		for _, v := range pr.Values {
-			s := eng.Search(r, v)
+			sm := eng.Search(r, v)
 			if m == nil {
-				m = s
+				m = sm
 			} else {
-				m = eng.MaskOr(m, s)
+				m = eng.MaskOr(m, sm)
 			}
 		}
 		if m == nil {
@@ -486,19 +756,19 @@ func (c *Castle) predMask(r cape.VReg, pr plan.Predicate) *bitvec.Vector {
 }
 
 // mksThreshold returns the minimum batch size worth a vmks.
-func (c *Castle) mksThreshold() int {
-	if c.opts.MKSMinKeys > 0 {
-		return c.opts.MKSMinKeys
+func (s *tileSweep) mksThreshold() int {
+	if s.c.opts.MKSMinKeys > 0 {
+		return s.c.opts.MKSMinKeys
 	}
 	// One cacheline of keys: smaller fetches waste bandwidth (§6.2).
-	return c.eng.Config().Mem.LineBytes / 4
+	return s.eng.Config().Mem.LineBytes / 4
 }
 
 // probeFactWithDim probes the resident fact FK column with every qualifying
 // key of a filtered dimension, returning the semi-join mask and
 // materializing needed attributes via bulk updates.
-func (c *Castle) probeFactWithDim(fkReg cape.VReg, d dimSide, regs *regAlloc, attrRegs map[string]cape.VReg) *bitvec.Vector {
-	eng := c.eng
+func (s *tileSweep) probeFactWithDim(fkReg cape.VReg, d dimSide, regs *regAlloc, attrRegs map[string]cape.VReg) *bitvec.Vector {
+	eng := s.eng
 	useMKS := eng.Config().EnableMKS
 
 	// Attribute target vectors, zero-initialised per partition.
@@ -515,7 +785,7 @@ func (c *Castle) probeFactWithDim(fkReg cape.VReg, d dimSide, regs *regAlloc, at
 	}
 
 	searchKeys := func(keys []uint32) *bitvec.Vector {
-		if useMKS && len(keys) >= c.mksThreshold() {
+		if useMKS && len(keys) >= s.mksThreshold() {
 			eng.Scalar(4)
 			return eng.MultiKeySearch(fkReg, keys)
 		}
@@ -551,10 +821,10 @@ func (c *Castle) probeFactWithDim(fkReg cape.VReg, d dimSide, regs *regAlloc, at
 // row's foreign key probes CSB-resident partitions of the filtered
 // dimension; rows without a match are cleared from the row mask, and needed
 // attributes are fetched via vfirst+extract.
-func (c *Castle) probeDimWithRows(fact *storage.Table, d dimSide, base, factVL int,
+func (s *tileSweep) probeDimWithRows(fact *storage.Table, d dimSide, base, factVL int,
 	rowMask *bitvec.Vector, regs *regAlloc, attrRegs map[string]cape.VReg) *bitvec.Vector {
 
-	eng := c.eng
+	eng := s.eng
 	maxvl := eng.Config().MAXVL
 	fkData := fact.MustColumn(d.edge.FactFK).Data
 
@@ -636,10 +906,11 @@ func (c *Castle) probeDimWithRows(fact *storage.Table, d dimSide, base, factVL i
 
 // aggregateScalar handles queries without GROUP BY: per-partition partial
 // reductions merge into the CP-side accumulator.
-func (c *Castle) aggregateScalar(q *plan.Query, fact *storage.Table, base, vl int,
-	rowMask *bitvec.Vector, regs *regAlloc, acc *groupAcc) {
+func (s *tileSweep) aggregateScalar(q *plan.Query, fact *storage.Table, base, vl int,
+	rowMask *bitvec.Vector, regs *regAlloc) {
 
-	eng := c.eng
+	eng := s.eng
+	acc := s.acc
 	rows := int64(eng.MPopc(rowMask))
 	if rows == 0 {
 		return
@@ -647,7 +918,7 @@ func (c *Castle) aggregateScalar(q *plan.Query, fact *storage.Table, base, vl in
 	loadCol := func(name string) cape.VReg {
 		r, cached := regs.forCol(name)
 		if !cached {
-			eng.Load(r, fact.MustColumn(name).Data[base:base+vl], c.colWidth(q.Fact, name))
+			eng.Load(r, fact.MustColumn(name).Data[base:base+vl], s.c.colWidth(q.Fact, name))
 		}
 		return r
 	}
@@ -677,7 +948,7 @@ func (c *Castle) aggregateScalar(q *plan.Query, fact *storage.Table, base, vl in
 		case plan.AggCountDistinct:
 			r := loadCol(a.A)
 			values := distinctUnder(fact.MustColumn(a.A).Data, base, rowMask)
-			c.chargeDistinctLoop(int64(len(values)), eng.RegWidth(r))
+			s.chargeDistinctLoop(int64(len(values)), eng.RegWidth(r))
 			acc.addDistinct(nil, i, values)
 		}
 		eng.Scalar(4)
@@ -689,11 +960,12 @@ func (c *Castle) aggregateScalar(q *plan.Query, fact *storage.Table, base, vl in
 // first unprocessed row identifies a group; one search per group column
 // (ANDed) recovers all of the group's rows; predicated reductions compute
 // the aggregates; XOR retires the group.
-func (c *Castle) aggregateGroups(q *plan.Query, fact *storage.Table, base, vl int,
+func (s *tileSweep) aggregateGroups(q *plan.Query, fact *storage.Table, base, vl int,
 	rowMask *bitvec.Vector, regs *regAlloc, attrRegs map[string]cape.VReg,
-	acc *groupAcc, loadFactCol func(string) cape.VReg) {
+	loadFactCol func(string) cape.VReg) {
 
-	eng := c.eng
+	eng := s.eng
+	acc := s.acc
 
 	groupRegs := make([]cape.VReg, len(q.GroupBy))
 	for i, g := range q.GroupBy {
@@ -717,8 +989,8 @@ func (c *Castle) aggregateGroups(q *plan.Query, fact *storage.Table, base, vl in
 		}
 	}
 
-	if len(groupRegs) == 1 && !c.opts.NoBulkAggFastPath &&
-		c.bulkGroupLoop(q, groupRegs[0], aggRegs, rowMask, acc) {
+	if len(groupRegs) == 1 && !s.c.opts.NoBulkAggFastPath &&
+		s.bulkGroupLoop(q, groupRegs[0], aggRegs, rowMask) {
 		return
 	}
 
@@ -757,7 +1029,7 @@ func (c *Castle) aggregateGroups(q *plan.Query, fact *storage.Table, base, vl in
 				aggs[i] = int64(v)
 			case plan.AggCountDistinct:
 				values := distinctUnder(fact.MustColumn(a.A).Data, base, groupMask)
-				c.chargeDistinctLoop(int64(len(values)), eng.RegWidth(aggRegs[i][0]))
+				s.chargeDistinctLoop(int64(len(values)), eng.RegWidth(aggRegs[i][0]))
 				acc.addDistinct(keys, i, values)
 				aggs[i] = 0
 			}
@@ -777,15 +1049,16 @@ func (c *Castle) aggregateGroups(q *plan.Query, fact *storage.Table, base, vl in
 // iterative loop would issue (vfirst + extract + search + mask AND +
 // predicated reductions + mask XOR + CP bookkeeping). Returns false when an
 // aggregate shape is unsupported, falling back to the literal loop.
-func (c *Castle) bulkGroupLoop(q *plan.Query, groupReg cape.VReg, aggRegs [][2]cape.VReg,
-	rowMask *bitvec.Vector, acc *groupAcc) bool {
+func (s *tileSweep) bulkGroupLoop(q *plan.Query, groupReg cape.VReg, aggRegs [][2]cape.VReg,
+	rowMask *bitvec.Vector) bool {
 
 	for _, a := range q.Aggs {
 		if a.Kind == plan.AggSumMul || a.Kind == plan.AggCountDistinct {
 			return false // the literal loop handles these shapes
 		}
 	}
-	eng := c.eng
+	eng := s.eng
+	acc := s.acc
 	gdata := eng.Peek(groupReg)
 	adata := make([][2][]uint32, len(q.Aggs))
 	widths := make([][2]int, len(q.Aggs))
@@ -884,7 +1157,8 @@ func (c *Castle) bulkGroupLoop(q *plan.Query, groupReg cape.VReg, aggRegs [][2]c
 
 // prepareDim filters one dimension on CAPE and compacts the qualifying keys
 // plus needed attributes into values arrays (Figure 4), grouped by
-// attribute tuple for batched probing.
+// attribute tuple for batched probing. Prep always runs on the executor's
+// primary engine — it is charged once per run, not per tile.
 func (c *Castle) prepareDim(q *plan.Query, e plan.JoinEdge, db *storage.Database) dimSide {
 	eng := c.eng
 	dim := db.MustTable(e.Dim)
@@ -924,7 +1198,7 @@ func (c *Castle) prepareDim(q *plan.Query, e plan.JoinEdge, db *storage.Database
 			if !cached {
 				eng.Load(r, dim.MustColumn(pr.Column).Data[base:base+vl], c.colWidth(e.Dim, pr.Column))
 			}
-			m := c.predMask(r, pr)
+			m := predMask(eng, r, pr)
 			if mask == nil {
 				mask = m
 			} else {
@@ -979,10 +1253,11 @@ func (d *dimSide) buildGroups(e plan.JoinEdge) {
 
 // chargeFissionOverhead models disabling operator fusion (§7.4): each
 // operator boundary materializes its output mask through main memory once
-// per partition instead of keeping it resident in the CSB.
-func (c *Castle) chargeFissionOverhead(p *plan.Physical, factRows, maxvl int) {
-	eng := c.eng
-	parts := (factRows + maxvl - 1) / maxvl
+// per partition instead of keeping it resident in the CSB. parts is the
+// number of partitions this sweep executed (a tile charges only its own
+// share).
+func (s *tileSweep) chargeFissionOverhead(p *plan.Physical, parts, maxvl int) {
+	eng := s.eng
 	boundaries := 1 + len(p.Joins) // selections | joins... | aggregation
 	maskBytes := int64((maxvl + 7) / 8)
 	for i := 0; i < parts*boundaries; i++ {

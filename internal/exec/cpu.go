@@ -2,7 +2,10 @@ package exec
 
 import (
 	"context"
+	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"castle/internal/baseline"
 	"castle/internal/bitvec"
@@ -16,13 +19,42 @@ import (
 // selections as branchless SIMD scans, dimension hash tables built on the
 // filtered dimensions, a pipelined left-deep probe pass over the fact
 // relation, and hash aggregation.
+//
+// Like Castle, all mutable per-run accounting lives in a run-scoped book
+// published atomically at run end, so the executor is reentrant; the
+// underlying baseline.CPU still executes one run at a time — use one CPU
+// (and one CPUExec) per in-flight query, as the server's core pool does.
 type CPUExec struct {
 	cpu *baseline.CPU
 
-	perJoin map[string]int64
+	// parallelism is the number of cores the fact sweep may fan out across
+	// (<= 1 runs serially). Mirrors CastleOptions.Parallelism.
+	parallelism int
 
-	tel       *telemetry.Telemetry
-	parent    *telemetry.Span
+	tel    *telemetry.Telemetry
+	parent *telemetry.Span
+
+	// last is the most recent run's closed books (nil before the first run).
+	last atomic.Pointer[cpuRunBooks]
+}
+
+// cpuRunBooks is the run-scoped accounting of one RunContext invocation.
+type cpuRunBooks struct {
+	perJoin     map[string]int64
+	prepCycles  map[string]int64
+	prepRows    map[string]int64
+	buildCycles map[string]int64
+
+	filterCycles int64
+	aggCycles    int64
+
+	// Parallel-sweep accounting (coreCycles nil for serial runs).
+	cores       int
+	coreCycles  []int64
+	coreRows    []int64
+	mergeCycles int64
+	elapsed     int64
+
 	breakdown *telemetry.Breakdown
 }
 
@@ -32,26 +64,74 @@ func NewCPUExec(cpu *baseline.CPU) *CPUExec { return &CPUExec{cpu: cpu} }
 // CPU returns the underlying core (for cycle/traffic inspection).
 func (x *CPUExec) CPU() *baseline.CPU { return x.cpu }
 
+// SetParallelism sets how many cores subsequent Runs' fact sweeps may fan
+// out across. Values <= 1 run serially; K > 1 forks K sibling cores (shared
+// last-level cache split K ways), assigns each a contiguous fact-row range,
+// and merges the per-core partial group accumulators in fixed core order, so
+// results are bit-identical to serial execution. Not safe to call while a
+// run is in flight.
+func (x *CPUExec) SetParallelism(k int) { x.parallelism = k }
+
 // PerJoinCycles returns cycles attributed to each join edge of the last
-// Run, keyed by dimension name (dimension filter + build + probe). The map
-// is a copy; callers may mutate it freely.
+// Run, keyed by dimension name (build + probe; for parallel runs the build
+// on the primary core plus probe work summed across cores). The map is a
+// copy; callers may mutate it freely.
 func (x *CPUExec) PerJoinCycles() map[string]int64 {
-	out := make(map[string]int64, len(x.perJoin))
-	for k, v := range x.perJoin {
+	b := x.last.Load()
+	if b == nil {
+		return map[string]int64{}
+	}
+	out := make(map[string]int64, len(b.perJoin))
+	for k, v := range b.perJoin {
 		out[k] = v
 	}
 	return out
 }
 
 // SetTelemetry attaches a telemetry sink and the span Run's operator spans
-// should nest under. Both may be nil (telemetry off).
+// should nest under. Both may be nil (telemetry off). Not safe to call
+// while a run is in flight.
 func (x *CPUExec) SetTelemetry(tel *telemetry.Telemetry, parent *telemetry.Span) {
 	x.tel = tel
 	x.parent = parent
 }
 
-// Breakdown returns the per-operator cycle breakdown of the last Run.
-func (x *CPUExec) Breakdown() *telemetry.Breakdown { return x.breakdown.Clone() }
+// Breakdown returns the per-operator cycle breakdown of the last Run. The
+// rows partition TotalCycles exactly; parallel runs report per-core sweep
+// work plus an explicit negative "parallel-overlap" credit for cycles
+// hidden under the critical core. Returns a copy; nil before the first Run.
+func (x *CPUExec) Breakdown() *telemetry.Breakdown {
+	b := x.last.Load()
+	if b == nil {
+		return nil
+	}
+	return b.breakdown.Clone()
+}
+
+// ParallelStats returns the last run's sweep execution profile (zero value
+// before the first run). Tiles counts cores on this device; slices are
+// defensive copies.
+func (x *CPUExec) ParallelStats() ParallelStats {
+	b := x.last.Load()
+	if b == nil {
+		return ParallelStats{}
+	}
+	var sum, max int64
+	for _, cy := range b.coreCycles {
+		sum += cy
+		if cy > max {
+			max = cy
+		}
+	}
+	return ParallelStats{
+		Tiles:         b.cores,
+		TileCycles:    append([]int64(nil), b.coreCycles...),
+		TileRows:      append([]int64(nil), b.coreRows...),
+		MergeCycles:   b.mergeCycles,
+		ElapsedCycles: b.elapsed,
+		WorkCycles:    b.elapsed + (sum - max),
+	}
+}
 
 // Run executes a bound query and returns its result relation.
 func (x *CPUExec) Run(q *plan.Query, db *storage.Database) *Result {
@@ -63,10 +143,37 @@ func (x *CPUExec) Run(q *plan.Query, db *storage.Database) *Result {
 // checks; checking per row would put a mutexed Err() read in the inner loop.
 const cancelCheckRows = 1 << 16
 
+// dimJoin is a filtered dimension prepared for the probe pass: qualifying
+// keys, the attribute values aligned with them (one slice per NeedAttrs
+// entry), and the survival fraction that orders the pipeline.
+type dimJoin struct {
+	edge     plan.JoinEdge
+	keys     []uint32
+	vals     [][]uint32
+	fraction float64
+}
+
+// joinTable holds the hash tables of one join edge when they are prebuilt
+// on the primary core (parallel runs): the semi-join table, or one map
+// table per needed attribute. Tables are read-only after build, so forked
+// cores probe them concurrently.
+type joinTable struct {
+	semi *baseline.HashTable
+	attr []*baseline.HashTable
+}
+
 // RunContext is Run with cancellation: ctx is checked at operator
-// boundaries (filter, each dimension prep, each join, aggregation) and
-// periodically inside the aggregation visit loop, so a canceled or expired
-// context stops the simulated work promptly and returns ctx.Err().
+// boundaries (each dimension prep, each join, aggregation) and periodically
+// inside the aggregation visit loop, so a canceled or expired context stops
+// the simulated work promptly and returns ctx.Err().
+//
+// With parallelism > 1 the fact sweep runs morsel-parallel: dimension prep
+// and hash-table builds stay on the primary core, then K forked cores each
+// filter, probe and aggregate a contiguous fact-row range, and the partial
+// group accumulators merge in fixed core order. Results are bit-identical
+// to serial execution; the primary core's cycles advance by the elapsed
+// view (prep + builds + max core + merge) while per-core work remains
+// visible through ParallelStats and the breakdown.
 func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Database) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -74,41 +181,30 @@ func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Dat
 	cpu := x.cpu
 	fact := db.MustTable(q.Fact)
 	rows := fact.Rows()
+	run := &cpuRunBooks{
+		perJoin:     make(map[string]int64, len(q.Joins)),
+		prepCycles:  make(map[string]int64, len(q.Joins)),
+		prepRows:    make(map[string]int64, len(q.Joins)),
+		buildCycles: make(map[string]int64, len(q.Joins)),
+	}
 	runStart := cpu.Cycles()
-	prepCycles := make(map[string]int64, len(q.Joins))
-	prepRows := make(map[string]int64, len(q.Joins))
 
-	// Fact selections: SIMD scans, masks ANDed.
-	spf := x.parent.Child("filter")
-	filterStart := cpu.Cycles()
-	var sel *bitvec.Vector
-	for _, pr := range q.FactPreds {
-		col := fact.MustColumn(pr.Column)
-		pr := pr
-		m := cpu.SelectionScan(col.Data, func(v uint32) bool { return pr.Matches(v) })
-		if sel == nil {
-			sel = m
-		} else {
-			sel.And(m)
-			cpu.ChargeCompute(float64(rows) / 64) // word-wise mask AND
-		}
+	k := x.parallelism
+	if k < 1 {
+		k = 1
 	}
-	filterCycles := cpu.Cycles() - filterStart
-	spf.SetInt("cycles", filterCycles)
-	spf.SetInt("rows", int64(rows))
-	spf.End()
+	if k > rows {
+		// Never fork more cores than there are fact rows to split.
+		k = rows
+	}
+	if k < 1 {
+		k = 1
+	}
+	run.cores = k
 
-	// Pipelined left-deep joins: filter each dimension (scan), build a
-	// hash table, probe with the surviving fact rows. The optimized
-	// codebase probes the most selective dimension first so later probes
-	// see fewer rows. Joins that feed group-by columns materialize the
-	// attribute; pure filters stay semi-joins.
-	type dimJoin struct {
-		edge     plan.JoinEdge
-		dimMask  *bitvec.Vector
-		keys     []uint32
-		fraction float64
-	}
+	// Dimension prep on the primary core: selection scans plus key and
+	// attribute-value collection (collection is functional only; the scans
+	// carry the cycle cost).
 	joins := make([]dimJoin, 0, len(q.Joins))
 	for _, e := range q.Joins {
 		if err := ctx.Err(); err != nil {
@@ -120,7 +216,6 @@ func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Dat
 		spp := x.parent.Child("prep:" + e.Dim)
 		prepStart := cpu.Cycles()
 
-		// Dimension selection scan.
 		var dimMask *bitvec.Vector
 		for _, pr := range preds {
 			col := dim.MustColumn(pr.Column)
@@ -135,8 +230,17 @@ func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Dat
 		}
 
 		keyCol := dim.MustColumn(e.DimKey).Data
-		var keys []uint32
-		collect := func(i int) { keys = append(keys, keyCol[i]) }
+		attrData := make([][]uint32, len(e.NeedAttrs))
+		for ai, a := range e.NeedAttrs {
+			attrData[ai] = dim.MustColumn(a).Data
+		}
+		j := dimJoin{edge: e, vals: make([][]uint32, len(e.NeedAttrs))}
+		collect := func(i int) {
+			j.keys = append(j.keys, keyCol[i])
+			for ai := range attrData {
+				j.vals[ai] = append(j.vals[ai], attrData[ai][i])
+			}
+		}
 		if dimMask == nil {
 			for i := range keyCol {
 				collect(i)
@@ -146,56 +250,328 @@ func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Dat
 				collect(i)
 			}
 		}
-		frac := 1.0
+		j.fraction = 1.0
 		if dim.Rows() > 0 {
-			frac = float64(len(keys)) / float64(dim.Rows())
+			j.fraction = float64(len(j.keys)) / float64(dim.Rows())
 		}
-		joins = append(joins, dimJoin{edge: e, dimMask: dimMask, keys: keys, fraction: frac})
+		joins = append(joins, j)
 
-		prepCycles[e.Dim] = cpu.Cycles() - prepStart
-		prepRows[e.Dim] = int64(len(keys))
-		spp.SetInt("cycles", prepCycles[e.Dim])
+		run.prepCycles[e.Dim] = cpu.Cycles() - prepStart
+		run.prepRows[e.Dim] = int64(len(j.keys))
+		spp.SetInt("cycles", run.prepCycles[e.Dim])
 		spp.SetInt("rows_in", int64(dim.Rows()))
-		spp.SetInt("rows_out", int64(len(keys)))
+		spp.SetInt("rows_out", int64(len(j.keys)))
 		spp.End()
 	}
+	// The optimized codebase probes the most selective dimension first so
+	// later probes see fewer rows.
 	sort.SliceStable(joins, func(i, j int) bool { return joins[i].fraction < joins[j].fraction })
 
-	x.perJoin = make(map[string]int64, len(joins))
-	attrCols := make(map[string][]uint32) // "dim.attr" -> fact-aligned values
-	for _, j := range joins {
-		if err := ctx.Err(); err != nil {
+	acc := newGroupAcc(q.Aggs)
+	if k == 1 {
+		// Serial: one sweep over the whole fact range on the primary core,
+		// building each join's hash table inline (charge order identical to
+		// the pipelined build-probe-build-probe sequence).
+		s := &cpuSweep{x: x, cpu: cpu, acc: acc, perJoin: run.perJoin, span: x.parent}
+		if err := s.run(ctx, q, db, joins, nil, 0, rows); err != nil {
 			return nil, err
 		}
+		run.filterCycles, run.aggCycles = s.filterCycles, s.aggCycles
+	} else {
+		if err := x.runParallelSweep(ctx, run, q, db, joins, rows, k, acc); err != nil {
+			return nil, err
+		}
+	}
+
+	run.elapsed = cpu.Cycles() - runStart
+	x.finishBreakdown(run, q, int64(rows), int64(len(acc.order)))
+	if x.tel != nil {
+		scanned := int64(rows)
+		for _, e := range q.Joins {
+			scanned += int64(db.MustTable(e.Dim).Rows())
+		}
+		x.tel.Metrics().Counter(telemetry.MetricRowsScanned, "Rows scanned across fact and dimension tables.",
+			telemetry.L("device", "cpu")).Add(scanned)
+	}
+	x.last.Store(run)
+	return acc.result(q), nil
+}
+
+// runParallelSweep builds every join's hash tables once on the primary
+// core, forks k sibling cores, and sweeps contiguous fact-row ranges on
+// them concurrently. The primary core absorbs the critical (max-cycle)
+// core's elapsed time and every core's memory traffic, then pays a merge
+// pass that folds the per-core partial group tables together in fixed core
+// order.
+func (x *CPUExec) runParallelSweep(ctx context.Context, run *cpuRunBooks, q *plan.Query,
+	db *storage.Database, joins []dimJoin, rows, k int, acc *groupAcc) error {
+
+	cpu := x.cpu
+
+	// Hash tables build once, on the primary core, in probe order.
+	tables := make([]joinTable, len(joins))
+	for ji, j := range joins {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		spb := x.parent.Child("build:" + j.edge.Dim)
+		buildStart := cpu.Cycles()
+		if len(j.edge.NeedAttrs) == 0 {
+			tables[ji].semi = cpu.BuildHashSemi(j.keys)
+		} else {
+			tables[ji].attr = make([]*baseline.HashTable, len(j.edge.NeedAttrs))
+			for ai := range j.edge.NeedAttrs {
+				tables[ji].attr[ai] = cpu.BuildHashMap(j.keys, j.vals[ai])
+			}
+		}
+		cy := cpu.Cycles() - buildStart
+		run.buildCycles[j.edge.Dim] = cy
+		run.perJoin[j.edge.Dim] += cy
+		spb.SetInt("cycles", cy)
+		spb.SetInt("build_keys", int64(len(j.keys)))
+		spb.End()
+	}
+
+	cores := cpu.Fork(k)
+	sweep := x.parent.Child("fact-sweep")
+	sweepStart := cpu.Cycles()
+	sweeps := make([]*cpuSweep, k)
+	for i, core := range cores {
+		if x.tel != nil {
+			// Per-core hooks stream live, so telemetry counters accumulate
+			// work cycles (the sum over cores), not elapsed. Each core needs
+			// its own bridge closure — the bridge keeps local state.
+			AttachCPUTelemetry(core, x.tel)
+		}
+		sweeps[i] = &cpuSweep{
+			x:       x,
+			cpu:     core,
+			acc:     newGroupAcc(q.Aggs),
+			perJoin: make(map[string]int64, len(joins)),
+			span:    sweep.Child(fmt.Sprintf("core%d", i)),
+		}
+	}
+
+	run.coreRows = make([]int64, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := range sweeps {
+		base, end := i*rows/k, (i+1)*rows/k
+		wg.Add(1)
+		go func(ti, base, end int) {
+			defer wg.Done()
+			s := sweeps[ti]
+			defer s.span.End()
+			errs[ti] = s.run(ctx, q, db, joins, tables, base, end)
+			s.span.SetInt("cycles", s.cpu.Cycles())
+			s.span.SetInt("rows", int64(end-base))
+		}(i, base, end)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Fold the cores back into the primary: elapsed advances by the critical
+	// core (raw cycles, so sub-cycle differences cannot flip the choice),
+	// traffic by the sum.
+	run.coreCycles = make([]int64, k)
+	var maxRaw float64
+	for i, s := range sweeps {
+		run.coreCycles[i] = s.cpu.Cycles()
+		run.coreRows[i] = int64((i+1)*rows/k - i*rows/k)
+		if raw := s.cpu.RawCycles(); raw > maxRaw {
+			maxRaw = raw
+		}
+		for d, cy := range s.perJoin {
+			run.perJoin[d] += cy
+		}
+		run.filterCycles += s.filterCycles
+		run.aggCycles += s.aggCycles
+	}
+	cpu.AbsorbElapsed(maxRaw)
+	for _, core := range cores {
+		cpu.AbsorbTraffic(core)
+	}
+
+	// Merge the per-core partial group tables on the primary core, in fixed
+	// core order so the accumulated result is deterministic: one hash+update
+	// per partial row into a table sized by the merged group count.
+	msp := sweep.Child("merge")
+	mergeStart := cpu.Cycles()
+	var partialRows int64
+	for _, s := range sweeps {
+		acc.merge(s.acc)
+		partialRows += int64(len(s.acc.order))
+	}
+	kc := cpu.Config().Kernels
+	cpu.ChargeCompute(float64(partialRows) * (kc.HashCyclesPerKey + kc.AggUpdateCyclesPerRow))
+	cpu.ChargeRandomAccesses(partialRows, int64(len(acc.order))*32)
+	run.mergeCycles = cpu.Cycles() - mergeStart
+	msp.SetInt("cycles", run.mergeCycles)
+	msp.SetInt("rows", partialRows)
+	msp.End()
+
+	sweep.SetInt("cycles", cpu.Cycles()-sweepStart)
+	sweep.SetInt("rows", int64(rows))
+	sweep.SetInt("cores", int64(k))
+	sweep.End()
+	return nil
+}
+
+// finishBreakdown closes the per-operator books for the last Run; the rows
+// partition TotalCycles exactly, with an explicit "overhead" remainder.
+// Parallel runs replace the serial filter/join/aggregate rows with build
+// rows, per-core sweep work, a negative "parallel-overlap" credit (cores
+// run concurrently, so only the critical core's cycles are elapsed time)
+// and a "merge" row.
+func (x *CPUExec) finishBreakdown(run *cpuRunBooks, q *plan.Query, factRows, groups int64) {
+	b := &telemetry.Breakdown{Device: "CPU", TotalCycles: run.elapsed}
+	var covered int64
+	for _, e := range q.Joins {
+		b.Operators = append(b.Operators, telemetry.OperatorStats{
+			Operator: "prep:" + e.Dim, Cycles: run.prepCycles[e.Dim], Rows: run.prepRows[e.Dim],
+		})
+		covered += run.prepCycles[e.Dim]
+	}
+	if run.coreCycles == nil {
+		b.Operators = append(b.Operators, telemetry.OperatorStats{
+			Operator: "filter", Cycles: run.filterCycles, Rows: factRows,
+		})
+		covered += run.filterCycles
+		for _, e := range q.Joins {
+			b.Operators = append(b.Operators, telemetry.OperatorStats{
+				Operator: "join:" + e.Dim, Cycles: run.perJoin[e.Dim], Rows: -1,
+			})
+			covered += run.perJoin[e.Dim]
+		}
+		b.Operators = append(b.Operators, telemetry.OperatorStats{
+			Operator: "aggregate", Cycles: run.aggCycles, Rows: groups,
+		})
+		covered += run.aggCycles
+	} else {
+		for _, e := range q.Joins {
+			b.Operators = append(b.Operators, telemetry.OperatorStats{
+				Operator: "build:" + e.Dim, Cycles: run.buildCycles[e.Dim], Rows: run.prepRows[e.Dim],
+			})
+			covered += run.buildCycles[e.Dim]
+		}
+		var sum, max int64
+		for t, cy := range run.coreCycles {
+			b.Operators = append(b.Operators, telemetry.OperatorStats{
+				Operator: fmt.Sprintf("sweep[%d]", t), Cycles: cy, Rows: run.coreRows[t],
+			})
+			sum += cy
+			if cy > max {
+				max = cy
+			}
+			covered += cy
+		}
+		// The cores overlapped: only the critical core is elapsed time, so
+		// credit the hidden work back with an explicit negative row.
+		b.Operators = append(b.Operators, telemetry.OperatorStats{
+			Operator: "parallel-overlap", Cycles: max - sum, Rows: -1,
+		})
+		covered += max - sum
+		b.Operators = append(b.Operators, telemetry.OperatorStats{
+			Operator: "merge", Cycles: run.mergeCycles, Rows: groups,
+		})
+		covered += run.mergeCycles
+	}
+	if oh := run.elapsed - covered; oh != 0 {
+		b.Operators = append(b.Operators, telemetry.OperatorStats{
+			Operator: "overhead", Cycles: oh, Rows: -1,
+		})
+	}
+	run.breakdown = b
+}
+
+// cpuSweep is one core's share of the fact sweep and its accounting: the
+// serial path runs a single sweep over the executor's own core; the
+// parallel path runs one per forked core, each on its own goroutine. A
+// sweep only reads shared state (storage, prepared dimensions, prebuilt
+// hash tables) and writes its own fields, which is what makes the fan-out
+// race-free.
+type cpuSweep struct {
+	x   *CPUExec
+	cpu *baseline.CPU
+	acc *groupAcc
+
+	perJoin      map[string]int64
+	filterCycles int64
+	aggCycles    int64
+
+	// span hosts the per-operator child spans: the run's parent span when
+	// serial, this core's "coreN" span when parallel.
+	span *telemetry.Span
+}
+
+// run executes the fact-side pipeline over rows [base, end): SIMD selection
+// scans, the pipelined probe pass, and the aggregation visit. With tables
+// nil (serial) each join builds its hash table inline on this core; with
+// tables set (parallel) the prebuilt read-only tables are probed. All row
+// indexing is range-local, so every column is sliced once up front.
+func (s *cpuSweep) run(ctx context.Context, q *plan.Query, db *storage.Database,
+	joins []dimJoin, tables []joinTable, base, end int) error {
+
+	cpu := s.cpu
+	fact := db.MustTable(q.Fact)
+	n := end - base
+
+	// Fact selections: SIMD scans, masks ANDed.
+	spf := s.span.Child("filter")
+	filterStart := cpu.Cycles()
+	var sel *bitvec.Vector
+	for _, pr := range q.FactPreds {
+		col := fact.MustColumn(pr.Column).Data[base:end]
+		pr := pr
+		m := cpu.SelectionScan(col, func(v uint32) bool { return pr.Matches(v) })
+		if sel == nil {
+			sel = m
+		} else {
+			sel.And(m)
+			cpu.ChargeCompute(float64(n) / 64) // word-wise mask AND
+		}
+	}
+	s.filterCycles += cpu.Cycles() - filterStart
+	spf.SetInt("cycles", cpu.Cycles()-filterStart)
+	spf.SetInt("rows", int64(n))
+	spf.End()
+
+	// Pipelined probe pass: joins that feed group-by columns materialize
+	// the attribute; pure filters stay semi-joins.
+	attrCols := make(map[string][]uint32) // "dim.attr" -> range-aligned values
+	for ji, j := range joins {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		e := j.edge
-		spj := x.parent.Child("join:" + e.Dim)
+		spj := s.span.Child("join:" + e.Dim)
 		joinStart := cpu.Cycles()
-		dim := db.MustTable(e.Dim)
-		dimMask, keys := j.dimMask, j.keys
-		keyCol := dim.MustColumn(e.DimKey).Data
-		fkCol := fact.MustColumn(e.FactFK).Data
+		fkCol := fact.MustColumn(e.FactFK).Data[base:end]
 
 		switch len(e.NeedAttrs) {
 		case 0:
-			m := cpu.HashJoinSemi(fkCol, keys, sel)
+			var m *bitvec.Vector
+			if tables == nil {
+				m = cpu.HashJoinSemi(fkCol, j.keys, sel)
+			} else {
+				m = cpu.ProbeSemi(fkCol, tables[ji].semi, sel)
+			}
 			sel = intersect(sel, m)
 		default:
-			// One build pass per needed attribute re-uses the same probe
+			// One probe pass per needed attribute re-uses the same probe
 			// pattern; the first probe prunes the selection mask.
 			for ai, attr := range e.NeedAttrs {
-				attrCol := dim.MustColumn(attr).Data
-				vals := make([]uint32, 0, len(keys))
-				appendVal := func(i int) { vals = append(vals, attrCol[i]) }
-				if dimMask == nil {
-					for i := range keyCol {
-						appendVal(i)
-					}
+				var m *bitvec.Vector
+				var mat []uint32
+				if tables == nil {
+					m, mat = cpu.HashJoinMap(fkCol, j.keys, j.vals[ai], sel)
 				} else {
-					for i := dimMask.First(); i != -1; i = dimMask.NextAfter(i) {
-						appendVal(i)
-					}
+					m, mat = cpu.ProbeMap(fkCol, tables[ji].attr[ai], sel)
 				}
-				m, mat := cpu.HashJoinMap(fkCol, keys, vals, sel)
 				attrCols[e.Dim+"."+attr] = mat
 				if ai == 0 {
 					sel = intersect(sel, m)
@@ -203,18 +579,18 @@ func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Dat
 			}
 		}
 		cy := cpu.Cycles() - joinStart
-		x.perJoin[e.Dim] += cy
+		s.perJoin[e.Dim] += cy
 		spj.SetInt("cycles", cy)
-		spj.SetInt("build_keys", int64(len(keys)))
+		spj.SetInt("build_keys", int64(len(j.keys)))
 		spj.End()
 	}
 
 	// Aggregate input columns. Per-row values feed the kind-aware group
 	// accumulator (MIN/MAX take extrema, the rest add).
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	spa := x.parent.Child("aggregate")
+	spa := s.span.Child("aggregate")
 	aggStart := cpu.Cycles()
 	valueOf := make([]func(i int) int64, len(q.Aggs))
 	type distinctSlot struct {
@@ -225,18 +601,18 @@ func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Dat
 	for ai, a := range q.Aggs {
 		switch a.Kind {
 		case plan.AggSumCol, plan.AggMin, plan.AggMax, plan.AggAvg:
-			col := fact.MustColumn(a.A).Data
+			col := fact.MustColumn(a.A).Data[base:end]
 			valueOf[ai] = func(i int) int64 { return int64(col[i]) }
 		case plan.AggSumMul:
-			ca, cb := fact.MustColumn(a.A).Data, fact.MustColumn(a.B).Data
+			ca, cb := fact.MustColumn(a.A).Data[base:end], fact.MustColumn(a.B).Data[base:end]
 			valueOf[ai] = func(i int) int64 { return int64(ca[i]) * int64(cb[i]) }
 		case plan.AggSumSub:
-			ca, cb := fact.MustColumn(a.A).Data, fact.MustColumn(a.B).Data
+			ca, cb := fact.MustColumn(a.A).Data[base:end], fact.MustColumn(a.B).Data[base:end]
 			valueOf[ai] = func(i int) int64 { return int64(ca[i]) - int64(cb[i]) }
 		case plan.AggCount:
 			valueOf[ai] = func(i int) int64 { return 1 }
 		case plan.AggCountDistinct:
-			col := fact.MustColumn(a.A).Data
+			col := fact.MustColumn(a.A).Data[base:end]
 			valueOf[ai] = func(i int) int64 { return 0 }
 			distinctSlots = append(distinctSlots, distinctSlot{slot: ai, col: col})
 		}
@@ -246,7 +622,7 @@ func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Dat
 	keySrc := make([]func(i int) uint32, len(q.GroupBy))
 	for gi, g := range q.GroupBy {
 		if g.Table == q.Fact {
-			col := fact.MustColumn(g.Column).Data
+			col := fact.MustColumn(g.Column).Data[base:end]
 			keySrc[gi] = func(i int) uint32 { return col[i] }
 			continue
 		}
@@ -258,7 +634,7 @@ func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Dat
 		keySrc[gi] = func(i int) uint32 { return c[i] }
 	}
 
-	acc := newGroupAcc(q.Aggs)
+	acc := s.acc
 	keys := make([]uint32, len(q.GroupBy))
 	aggs := make([]int64, len(q.Aggs))
 	visit := func(i int) {
@@ -275,20 +651,20 @@ func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Dat
 	}
 	matched := 0
 	if sel == nil {
-		for i := 0; i < rows; i++ {
+		for i := 0; i < n; i++ {
 			if i%cancelCheckRows == 0 {
 				if err := ctx.Err(); err != nil {
-					return nil, err
+					return err
 				}
 			}
 			visit(i)
 		}
-		matched = rows
+		matched = n
 	} else {
 		for i := sel.First(); i != -1; i = sel.NextAfter(i) {
 			if matched%cancelCheckRows == 0 {
 				if err := ctx.Err(); err != nil {
-					return nil, err
+					return err
 				}
 			}
 			visit(i)
@@ -309,7 +685,7 @@ func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Dat
 	}
 	// The group-by pass re-reads the materialized group-key columns as
 	// well as the aggregate inputs.
-	aggBytes := int64(rows) * 4 * int64(aggCols+len(q.GroupBy))
+	aggBytes := int64(n) * 4 * int64(aggCols+len(q.GroupBy))
 	k := cpu.Config().Kernels
 	if len(q.GroupBy) == 0 {
 		cpu.ChargeStream(float64(matched)*0.4, aggBytes)
@@ -323,8 +699,8 @@ func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Dat
 	if len(distinctSlots) > 0 {
 		var setEntries int64
 		for _, r := range acc.rows {
-			for _, s := range r.sets {
-				setEntries += int64(len(s))
+			for _, set := range r.sets {
+				setEntries += int64(len(set))
 			}
 		}
 		for range distinctSlots {
@@ -332,55 +708,16 @@ func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Dat
 			cpu.ChargeRandomAccesses(int64(matched), setEntries*16)
 		}
 	}
-	// A single global group always yields one output row.
+	// A single global group always yields one output row (the zero rows
+	// merge into one at accumulator level when the sweep is parallel).
 	if len(q.GroupBy) == 0 && len(acc.order) == 0 {
 		acc.add(nil, make([]int64, len(q.Aggs)), 0)
 	}
-	aggCycles := cpu.Cycles() - aggStart
-	spa.SetInt("cycles", aggCycles)
+	s.aggCycles += cpu.Cycles() - aggStart
+	spa.SetInt("cycles", cpu.Cycles()-aggStart)
 	spa.SetInt("groups", int64(len(acc.order)))
 	spa.End()
-
-	total := cpu.Cycles() - runStart
-	b := &telemetry.Breakdown{Device: "CPU", TotalCycles: total}
-	var covered int64
-	for _, e := range q.Joins {
-		b.Operators = append(b.Operators, telemetry.OperatorStats{
-			Operator: "prep:" + e.Dim, Cycles: prepCycles[e.Dim], Rows: prepRows[e.Dim],
-		})
-		covered += prepCycles[e.Dim]
-	}
-	b.Operators = append(b.Operators, telemetry.OperatorStats{
-		Operator: "filter", Cycles: filterCycles, Rows: int64(rows),
-	})
-	covered += filterCycles
-	for _, e := range q.Joins {
-		b.Operators = append(b.Operators, telemetry.OperatorStats{
-			Operator: "join:" + e.Dim, Cycles: x.perJoin[e.Dim], Rows: -1,
-		})
-		covered += x.perJoin[e.Dim]
-	}
-	b.Operators = append(b.Operators, telemetry.OperatorStats{
-		Operator: "aggregate", Cycles: aggCycles, Rows: int64(len(acc.order)),
-	})
-	covered += aggCycles
-	if oh := total - covered; oh != 0 {
-		b.Operators = append(b.Operators, telemetry.OperatorStats{
-			Operator: "overhead", Cycles: oh, Rows: -1,
-		})
-	}
-	x.breakdown = b
-
-	if x.tel != nil {
-		scanned := int64(rows)
-		for _, e := range q.Joins {
-			scanned += int64(db.MustTable(e.Dim).Rows())
-		}
-		reg := x.tel.Metrics()
-		reg.Counter(telemetry.MetricRowsScanned, "Rows scanned across fact and dimension tables.",
-			telemetry.L("device", "cpu")).Add(scanned)
-	}
-	return acc.result(q), nil
+	return nil
 }
 
 // intersect ANDs a nullable selection mask with a new mask.

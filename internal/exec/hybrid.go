@@ -38,6 +38,14 @@ func NewHybrid(castle *Castle, cpu *CPUExec, cat *stats.Catalog) *Hybrid {
 	return &Hybrid{castle: castle, cpu: cpu, cat: cat}
 }
 
+// SetParallelism propagates a fact-sweep fan-out degree to both engines, so
+// whichever device the routing heuristics pick honours it. Not safe to call
+// while a run is in flight.
+func (h *Hybrid) SetParallelism(k int) {
+	h.castle.SetParallelism(k)
+	h.cpu.SetParallelism(k)
+}
+
 // Device names the engine a hybrid decision selected.
 type Device int
 

@@ -193,6 +193,33 @@ func (g *groupAcc) addDistinct(keys []uint32, slot int, values []uint32) {
 	}
 }
 
+// merge folds a partial accumulator (one tile's or one core's share of a
+// parallel sweep) into g by replaying each partial row through add and
+// addDistinct. Sums, counts and extrema are associative and commutative,
+// and result() normalizes row order, so the merged result is bit-identical
+// to a serial run regardless of how the rows were partitioned — callers
+// still merge partials in fixed tile order so the accumulator's internal
+// insertion order is deterministic too.
+func (g *groupAcc) merge(o *groupAcc) {
+	for _, ks := range o.order {
+		r := o.rows[ks]
+		g.add(r.keys, r.vals, r.count)
+		if r.sets == nil {
+			continue
+		}
+		for slot, set := range r.sets {
+			if set == nil {
+				continue
+			}
+			values := make([]uint32, 0, len(set))
+			for v := range set {
+				values = append(values, v)
+			}
+			g.addDistinct(r.keys, slot, values)
+		}
+	}
+}
+
 // result materializes the accumulated groups, resolves AVG's final
 // division (integer floor; zero when no rows contributed), normalizes the
 // rows, and applies the query's ORDER BY (a stable re-sort on top of the

@@ -1,0 +1,211 @@
+package experiments
+
+// bench.go produces the machine-readable benchmark artifact CI archives on
+// every run (BENCH_PR3.json): the waterfall geomean, per-query cycle
+// counts, a K=1..4 morsel-parallel scaling curve for both devices, and the
+// serving layer's latency distribution under concurrent load.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"castle"
+	"castle/internal/baseline"
+	"castle/internal/cape"
+	"castle/internal/exec"
+	"castle/internal/optimizer"
+	"castle/internal/server"
+)
+
+// BenchScalingMAXVL is the CAPE vector length used for the scaling curve.
+// At small scale factors the default 32,768 leaves too few MAXVL-sized
+// morsels to occupy four tiles (SF 0.01 has ~60K fact rows = 2 morsels), so
+// the curve measures fan-out at a vector length that yields >= 4 morsels.
+const BenchScalingMAXVL = 8192
+
+// BenchReport is the schema of the benchmark JSON artifact.
+type BenchReport struct {
+	SF             float64        `json:"sf"`
+	GeomeanSpeedup float64        `json:"geomean_speedup"` // full system vs AVX-512 baseline
+	Queries        []BenchQuery   `json:"queries"`
+	Scaling        []ScalingPoint `json:"scaling"` // K=1..4 per device
+	Server         ServerBench    `json:"server"`
+}
+
+// BenchQuery is one SSB query's cycle accounting.
+type BenchQuery struct {
+	Num            int     `json:"num"`
+	Flight         string  `json:"flight"`
+	BaselineCycles int64   `json:"baseline_cycles"`
+	CastleCycles   int64   `json:"castle_cycles"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// ScalingPoint is one (device, K) cell of the parallel-scaling curve.
+type ScalingPoint struct {
+	Device string `json:"device"`
+	K      int    `json:"k"`
+	// GeomeanCycles is the geometric mean of elapsed cycles over the 13
+	// queries; GeomeanWork uses the summed-over-tiles work view.
+	GeomeanCycles float64 `json:"geomean_cycles"`
+	GeomeanWork   float64 `json:"geomean_work_cycles"`
+	// SpeedupVsK1 is geomean(K=1 cycles / this K's cycles).
+	SpeedupVsK1 float64 `json:"speedup_vs_k1"`
+}
+
+// ServerBench is the serving-layer load result.
+type ServerBench struct {
+	Clients    int     `json:"clients"`
+	Requests   int     `json:"requests"`
+	P50Micros  int64   `json:"p50_micros"`
+	P99Micros  int64   `json:"p99_micros"`
+	Throughput float64 `json:"throughput_rps"`
+}
+
+// RunBench assembles the full benchmark report at one scale factor.
+func RunBench(sf float64) *BenchReport {
+	r := NewRunner(sf)
+	results := r.RunSuite()
+
+	rep := &BenchReport{SF: sf, GeomeanSpeedup: GeoMean(results, TierABA)}
+	for _, q := range results {
+		rep.Queries = append(rep.Queries, BenchQuery{
+			Num:            q.Num,
+			Flight:         q.Flight,
+			BaselineCycles: q.BaselineCycles,
+			CastleCycles:   q.Tiers[TierABA].Cycles,
+			Speedup:        q.Speedup(TierABA),
+		})
+	}
+
+	ks := []int{1, 2, 3, 4}
+	rep.Scaling = append(rep.Scaling, r.ScalingCurve("cape", ks)...)
+	rep.Scaling = append(rep.Scaling, r.ScalingCurve("cpu", ks)...)
+	rep.Server = RunServerBench(sf, 8, 104)
+	return rep
+}
+
+// ScalingCurve measures elapsed and work cycles for all 13 queries at each
+// requested fan-out K. device is "cape" (at BenchScalingMAXVL, see above)
+// or "cpu" (core count is the only knob).
+func (r *Runner) ScalingCurve(device string, ks []int) []ScalingPoint {
+	base := make([]float64, 0, len(ks))
+	var out []ScalingPoint
+	for _, k := range ks {
+		elapsed, work := make([]float64, 13), make([]float64, 13)
+		for n := 1; n <= 13; n++ {
+			e, w := r.runScaled(device, n, k)
+			elapsed[n-1], work[n-1] = float64(e), float64(w)
+		}
+		if k == ks[0] {
+			base = elapsed
+		}
+		sp := ScalingPoint{
+			Device:        device,
+			K:             k,
+			GeomeanCycles: geomeanF(elapsed),
+			GeomeanWork:   geomeanF(work),
+		}
+		ratios := make([]float64, len(elapsed))
+		for i := range elapsed {
+			ratios[i] = base[i] / elapsed[i]
+		}
+		sp.SpeedupVsK1 = geomeanF(ratios)
+		out = append(out, sp)
+	}
+	return out
+}
+
+// runScaled executes one SSB query at fan-out k and returns (elapsed, work)
+// cycles.
+func (r *Runner) runScaled(device string, num, k int) (int64, int64) {
+	q := r.bind(querySQL(num))
+	if device == "cpu" {
+		cpu := baseline.New(baseline.DefaultConfig())
+		x := exec.NewCPUExec(cpu)
+		x.SetParallelism(k)
+		x.Run(q, r.DB)
+		return cpu.Cycles(), x.ParallelStats().WorkCycles
+	}
+	maxvl := BenchScalingMAXVL
+	cfg := TierABA.config(maxvl)
+	p, err := optimizer.Optimize(q, r.Cat, maxvl)
+	if err != nil {
+		panic(err)
+	}
+	eng := cape.New(cfg)
+	cas := exec.NewCastle(eng, r.Cat, exec.DefaultCastleOptions())
+	cas.SetParallelism(k)
+	cas.Run(p, r.DB)
+	return eng.Stats().TotalCycles(), cas.ParallelStats().WorkCycles
+}
+
+// RunServerBench drives the full serving path (admission queue, hybrid
+// routing, elastic device leases, plan cache) with nClients concurrent
+// clients issuing total requests, and reports the latency distribution.
+func RunServerBench(sf float64, nClients, total int) ServerBench {
+	db := castle.GenerateSSB(sf, 1)
+	svc, err := server.New(db, nil, server.Config{
+		QueueDepth: 1024, CAPETiles: 2, CPUSlots: 2, MaxTilesPerQuery: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer svc.Close()
+
+	queries := castle.SSBQueries()
+	lat := make([]int64, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < total; i += nClients {
+				q := queries[i%len(queries)]
+				t0 := time.Now()
+				if _, err := svc.Do(context.Background(), server.Request{SQL: q.SQL}); err != nil {
+					panic(fmt.Sprintf("experiments: server bench request: %v", err))
+				}
+				lat[i] = time.Since(t0).Microseconds()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) int64 { return lat[int(p*float64(len(lat)-1))] }
+	return ServerBench{
+		Clients:    nClients,
+		Requests:   total,
+		P50Micros:  pct(0.50),
+		P99Micros:  pct(0.99),
+		Throughput: float64(total) / elapsed.Seconds(),
+	}
+}
+
+// WriteBenchJSON renders the report as indented JSON.
+func (rep *BenchReport) WriteBenchJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// geomeanF is the geometric mean of positive values.
+func geomeanF(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

@@ -119,6 +119,20 @@ func (s *System) AccountRead(n int64) { s.bytesRead += s.roundUpToLine(n) }
 // AccountWrite records n bytes of write traffic.
 func (s *System) AccountWrite(n int64) { s.bytesWritten += s.roundUpToLine(n) }
 
+// Absorb folds another system's traffic counters into s without charging any
+// cycle cost. Used when per-tile memory systems are merged back into a parent
+// after a parallel fact sweep: the tiles already paid their transfer cycles
+// as work, and the parent only inherits the byte accounting that backs the
+// paper's data-movement comparison (§6.3).
+func (s *System) Absorb(o *System) {
+	if o == nil {
+		return
+	}
+	s.bytesRead += o.bytesRead
+	s.bytesWritten += o.bytesWritten
+	s.requests += o.requests
+}
+
 // BytesRead returns total bytes read since creation or the last Reset.
 func (s *System) BytesRead() int64 { return s.bytesRead }
 

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"castle"
+	"castle/internal/telemetry"
+)
+
+// TestElasticLeases exercises AcquireN's contract: the first tile blocks,
+// extras are best-effort, leases shrink under contention, and the gauges
+// track tiles (leased) separately from queries (busy).
+func TestElasticLeases(t *testing.T) {
+	ctx := context.Background()
+	reg := telemetry.NewRegistry()
+	sched := NewScheduler(4, 1, reg)
+	leased := func() int64 {
+		return reg.Gauge(telemetry.MetricServerTilesLeased,
+			"", telemetry.L("device", "cape")).Value()
+	}
+
+	l1, err := sched.AcquireN(ctx, castle.DeviceCAPE, 3)
+	if err != nil || l1.Size() != 3 {
+		t.Fatalf("first AcquireN(3) = size %d, %v; want 3 tiles", l1.Size(), err)
+	}
+	if got := leased(); got != 3 {
+		t.Fatalf("leased gauge = %d, want 3", got)
+	}
+
+	// Only one tile is left: an elastic request for 3 shrinks to 1 and must
+	// not block (blocking here is the deadlock the design rules out).
+	l2, err := sched.AcquireN(ctx, castle.DeviceCAPE, 3)
+	if err != nil || l2.Size() != 1 {
+		t.Fatalf("contended AcquireN(3) = size %d, %v; want 1 tile", l2.Size(), err)
+	}
+	if got := leased(); got != 4 {
+		t.Fatalf("leased gauge = %d, want 4", got)
+	}
+
+	// Pool drained: the blocking first acquire respects the context.
+	shortCtx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, err := sched.AcquireN(shortCtx, castle.DeviceCAPE, 2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drained AcquireN: want DeadlineExceeded, got %v", err)
+	}
+
+	l2.Release()
+	l2.Release() // idempotent: must not double-return tiles
+	l1.Release()
+	if got := leased(); got != 0 {
+		t.Fatalf("leased gauge after release = %d, want 0", got)
+	}
+
+	// Oversized requests clamp to the pool.
+	l3, err := sched.AcquireN(ctx, castle.DeviceCAPE, 10)
+	if err != nil || l3.Size() != 4 {
+		t.Fatalf("AcquireN(10) = size %d, %v; want the whole pool of 4", l3.Size(), err)
+	}
+	l3.Release()
+
+	// want < 1 normalizes to one tile; unknown devices fail fast.
+	l4, err := sched.AcquireN(ctx, castle.DeviceCAPE, 0)
+	if err != nil || l4.Size() != 1 {
+		t.Fatalf("AcquireN(0) = size %d, %v; want 1", l4.Size(), err)
+	}
+	l4.Release()
+	if _, err := sched.AcquireN(ctx, castle.DeviceHybrid, 2); err == nil {
+		t.Fatal("hybrid AcquireN must fail: no pool")
+	}
+}
+
+// TestServerElasticSaturation is the load test under elastic leases: with
+// MaxTilesPerQuery above the pool size, saturating concurrent clients must
+// neither deadlock nor shed, and every result must match the reference.
+func TestServerElasticSaturation(t *testing.T) {
+	s := newTestServer(t, Config{
+		QueueDepth: 512, CAPETiles: 2, CPUSlots: 2, MaxTilesPerQuery: 4,
+	})
+	queries := castle.SSBQueries()
+
+	const clients, perClient = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				q := queries[(c*perClient+i)%len(queries)]
+				resp, err := s.Do(context.Background(), Request{SQL: q.SQL})
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if !reflect.DeepEqual(resp.Rows, reference[q.Num]) {
+					errs <- errors.New(q.Flight + ": rows diverged from reference under elastic leases")
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	reg := s.Telemetry().Metrics()
+	if got := reg.CounterValue(telemetry.MetricServerRequests, telemetry.L("status", "ok")); got != clients*perClient {
+		t.Fatalf("ok requests = %d, want %d (sheds or errors under elastic leases)", got, clients*perClient)
+	}
+	if shed := reg.CounterValue(telemetry.MetricServerShed); shed != 0 {
+		t.Fatalf("elastic leases shed %d requests with a deep queue", shed)
+	}
+	// All tiles are back home, and the lease-size histogram surfaced on the
+	// metrics endpoint.
+	for _, dev := range []string{"cape", "cpu"} {
+		if got := reg.Gauge(telemetry.MetricServerTilesLeased, "", telemetry.L("device", dev)).Value(); got != 0 {
+			t.Fatalf("%s leased gauge = %d after drain, want 0", dev, got)
+		}
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{telemetry.MetricServerLeaseSize, telemetry.MetricServerTilesLeased, telemetry.MetricServerQueueWait} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}

@@ -47,13 +47,20 @@ type Config struct {
 	CAPETiles int
 	// CPUSlots is the number of baseline-CPU slots available (default 2).
 	CPUSlots int
+	// MaxTilesPerQuery caps the elastic lease one query may hold: the
+	// scheduler grants one tile blocking plus up to MaxTilesPerQuery-1 more
+	// only when they are idle, and the query's fact sweep fans out across
+	// the granted lease (Options.Parallelism is set to the lease size).
+	// Values <= 1 keep the one-tile-per-query behaviour.
+	MaxTilesPerQuery int
 	// DefaultTimeout applies when a request carries no deadline
 	// (default 30s).
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested deadlines (default 2m).
 	MaxTimeout time.Duration
 	// Options is the base query configuration (design point, plan shape).
-	// Device and Telemetry are managed by the server; a request's NoCache
+	// Device, Telemetry and Parallelism are managed by the server (the
+	// latter set per query from the elastic lease); a request's NoCache
 	// flag overrides DisablePlanCache per call.
 	Options castle.Options
 }
@@ -126,6 +133,7 @@ type Server struct {
 	shed      *telemetry.Counter
 	latency   *telemetry.Histogram
 	queueWait *telemetry.Histogram
+	leaseSize *telemetry.Histogram
 }
 
 type task struct {
@@ -170,6 +178,8 @@ func New(db *castle.DB, tel *castle.Telemetry, cfg Config) (*Server, error) {
 			"End-to-end request wall time in microseconds."),
 		queueWait: reg.Histogram(telemetry.MetricServerQueueWait,
 			"Queue wait before a worker picked the request up, in microseconds."),
+		leaseSize: reg.Histogram(telemetry.MetricServerLeaseSize,
+			"Tiles leased per query (elastic-lease fan-out granted)."),
 	}
 	// Pre-register the per-status request counters so /metrics shows the
 	// full vocabulary at zero before the first request lands.
@@ -191,6 +201,14 @@ func (s *Server) Telemetry() *castle.Telemetry { return s.tel }
 
 // DB returns the database the server fronts.
 func (s *Server) DB() *castle.DB { return s.db }
+
+// maxTiles normalizes Config.MaxTilesPerQuery (values <= 1 mean one tile).
+func (s *Server) maxTiles() int {
+	if s.cfg.MaxTilesPerQuery < 1 {
+		return 1
+	}
+	return s.cfg.MaxTilesPerQuery
+}
 
 func (s *Server) requests(status string) *telemetry.Counter {
 	return s.tel.Metrics().Counter(telemetry.MetricServerRequests,
@@ -313,13 +331,15 @@ func (s *Server) run(t *task) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	release, err := s.sched.Acquire(t.ctx, dev)
+	lease, err := s.sched.AcquireN(t.ctx, dev, s.maxTiles())
 	if err != nil {
 		return nil, err
 	}
-	defer release()
+	defer lease.Release()
+	s.leaseSize.Observe(float64(lease.Size()))
 
 	opt.Device = dev
+	opt.Parallelism = lease.Size()
 	rows, m, err := s.db.QueryContext(t.ctx, t.req.SQL, opt)
 	if err != nil {
 		return nil, err
@@ -353,7 +373,7 @@ func (s *Server) Close() error {
 
 // String describes the service sizing (for startup logs).
 func (s *Server) String() string {
-	return fmt.Sprintf("server{device=%s queue=%d cape_tiles=%d cpu_slots=%d timeout=%s}",
+	return fmt.Sprintf("server{device=%s queue=%d cape_tiles=%d cpu_slots=%d max_tiles_per_query=%d timeout=%s}",
 		s.cfg.Device, cap(s.queue), s.sched.Capacity(castle.DeviceCAPE),
-		s.sched.Capacity(castle.DeviceCPU), s.cfg.DefaultTimeout)
+		s.sched.Capacity(castle.DeviceCPU), s.maxTiles(), s.cfg.DefaultTimeout)
 }

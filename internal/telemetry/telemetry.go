@@ -120,4 +120,12 @@ const (
 	// MetricServerTilesBusy gauges execution resources in use, labelled by
 	// device (cape tiles, cpu slots).
 	MetricServerTilesBusy = "castle_server_tiles_busy"
+	// MetricServerTilesLeased gauges resources currently leased to
+	// in-flight queries, labelled by device. Unlike the busy gauge it
+	// counts elastic leases: a query fanning its fact sweep across K tiles
+	// holds K here.
+	MetricServerTilesLeased = "castle_server_tiles_leased"
+	// MetricServerLeaseSize is a histogram of tiles leased per query (the
+	// elastic-lease fan-out the scheduler actually granted).
+	MetricServerLeaseSize = "castle_server_lease_size"
 )
