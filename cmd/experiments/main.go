@@ -5,6 +5,7 @@
 //	experiments -sf 1 -run all
 //	experiments -sf 0.1 -run fig6,fig10
 //	experiments -run table1,table2,fig5          # no data generation needed
+//	experiments -sf 0.005 -diff 50               # differential fuzz campaign
 //
 // Available experiments: suite, fig1, fig5, fig6, fig7, fig10, fig11,
 // fig12, selection, mks, datamovement, fusion, aba, codebases, power,
@@ -17,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"castle/internal/diffcheck"
 	"castle/internal/experiments"
 )
 
@@ -25,7 +27,15 @@ func main() {
 	runList := flag.String("run", "all", "comma-separated experiments to run")
 	quick := flag.Bool("quick", false, "shrink microbenchmark sweeps for a fast pass")
 	benchJSON := flag.String("bench-json", "", "write a benchmark report (geomean, per-query cycles, K=1..4 scaling, server latency) as JSON to this path and exit")
+	diffN := flag.Int("diff", 0, "run a differential fuzz campaign of N random queries (reference vs CAPE vs CPU at K=1,4) and exit; nonzero exit on any mismatch")
+	diffSeed := flag.Int64("diff-seed", 1, "base query seed for -diff (queries use seeds base..base+N-1)")
+	diffOut := flag.String("diff-out", "DIFF_REPRO.txt", "where -diff writes the shrunk reproducer on failure")
 	flag.Parse()
+
+	if *diffN > 0 {
+		runDiff(*sf, *diffN, *diffSeed, *diffOut)
+		return
+	}
 
 	if *benchJSON != "" {
 		fmt.Printf("benchmarking at SF=%.2f (suite + scaling curve + server load)...\n", *sf)
@@ -193,4 +203,35 @@ func main() {
 		experiments.RenderPower(out, pts)
 		fmt.Fprintln(out)
 	}
+}
+
+// runDiff is the -diff mode: a differential fuzz campaign over freshly
+// generated SSB data. On a mismatch the shrunk reproducer is written to
+// diffOut and the process exits 1; the report names the seed, so
+// `diffcheck.NewSSB(sf, 42).Generate(seed)` replays it exactly.
+func runDiff(sf float64, n int, base int64, diffOut string) {
+	fmt.Printf("differential campaign: %d queries at SF=%.3f, seeds %d..%d, K in {1,4}\n",
+		n, sf, base, base+int64(n)-1)
+	c := diffcheck.NewSSB(sf, 42)
+	m := c.Campaign(n, base, diffcheck.DefaultOptions(), func(done int) {
+		if done%25 == 0 {
+			fmt.Printf("  %d/%d ok\n", done, n)
+		}
+	})
+	if m == nil {
+		fmt.Printf("all %d queries agree across reference, CPU, and CAPE\n", n)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "MISMATCH:\n%s\n", m)
+	f, err := os.Create(diffOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: writing repro: %v\n", err)
+		os.Exit(1)
+	}
+	m.WriteReport(f)
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: writing repro: %v\n", err)
+	}
+	fmt.Fprintf(os.Stderr, "shrunk reproducer written to %s\n", diffOut)
+	os.Exit(1)
 }

@@ -1,0 +1,109 @@
+package diffcheck
+
+// campaign.go drives whole fuzzing campaigns: N seeded queries through
+// Check, with the first failure shrunk to a minimal reproducer. Seeds are
+// sequential from a base so a campaign is one number to replay.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"castle/internal/plan"
+)
+
+// Campaign generates and checks n queries with seeds base, base+1, ....
+// On the first failure it shrinks the query (under the same Check) and
+// returns the minimized mismatch; nil means the whole campaign passed.
+// progress (may be nil) is called after every passing query.
+func (c *Corpus) Campaign(n int, base int64, opts Options, progress func(done int)) *Mismatch {
+	for i := 0; i < n; i++ {
+		seed := base + int64(i)
+		q := c.Generate(seed)
+		m := c.Check(q, opts)
+		if m == nil {
+			if progress != nil {
+				progress(i + 1)
+			}
+			continue
+		}
+		shrunk := Shrink(q, func(cand *plan.Query) bool {
+			return c.Check(cand, opts) != nil
+		})
+		// Re-check the minimal query to attach its (possibly different)
+		// engine and detail to the report.
+		final := c.Check(shrunk, opts)
+		if final == nil {
+			// Shrinking raced a non-deterministic failure; report the
+			// original unminimized mismatch instead.
+			final = m
+		}
+		final.Seed = seed
+		return final
+	}
+	return nil
+}
+
+// WriteReport renders a mismatch as a reproducible report (the file
+// cmd/experiments -diff drops on failure).
+func (m *Mismatch) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "differential mismatch (replay: Corpus.Generate(%d), then shrink)\n", m.Seed)
+	fmt.Fprintf(w, "engine: %s\n", m.Engine)
+	fmt.Fprintf(w, "minimal query:\n%s\n", FormatQuery(m.Query))
+	fmt.Fprintf(w, "detail:\n%s\n", m.Detail)
+}
+
+// FormatQuery renders a bound query as readable pseudo-SQL over encoded
+// (32-bit) literals.
+func FormatQuery(q *plan.Query) string {
+	if q == nil {
+		return "<nil>"
+	}
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	var sel []string
+	for _, g := range q.GroupBy {
+		sel = append(sel, g.String())
+	}
+	for _, a := range q.Aggs {
+		sel = append(sel, a.String())
+	}
+	b.WriteString(strings.Join(sel, ", "))
+	b.WriteString("\nFROM " + q.Fact)
+	for _, e := range q.Joins {
+		fmt.Fprintf(&b, " JOIN %s ON %s = %s", e.Dim, e.FactFK, e.DimKey)
+		if len(e.NeedAttrs) > 0 {
+			fmt.Fprintf(&b, " /* attrs: %s */", strings.Join(e.NeedAttrs, ","))
+		}
+	}
+	var where []string
+	for _, p := range q.FactPreds {
+		where = append(where, p.String())
+	}
+	for _, e := range q.Joins {
+		for _, p := range q.DimPreds[e.Dim] {
+			where = append(where, p.String())
+		}
+	}
+	if len(where) > 0 {
+		b.WriteString("\nWHERE " + strings.Join(where, " AND "))
+	}
+	if len(q.GroupBy) > 0 {
+		var gs []string
+		for _, g := range q.GroupBy {
+			gs = append(gs, g.String())
+		}
+		b.WriteString("\nGROUP BY " + strings.Join(gs, ", "))
+	}
+	if len(q.OrderBy) > 0 {
+		var os []string
+		for _, t := range q.OrderBy {
+			os = append(os, t.String())
+		}
+		b.WriteString("\nORDER BY " + strings.Join(os, ", "))
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, "\nLIMIT %d", q.Limit)
+	}
+	return b.String()
+}

@@ -1,0 +1,284 @@
+// Package diffcheck is the differential query-fuzzing harness: a seeded
+// generator of random SSB-shaped star queries, a checker that runs each
+// query through the scalar reference oracle (internal/reference), the
+// baseline CPU executor, and the Castle/CAPE executor at several fan-out
+// degrees and asserts identical answers plus the accounting invariants
+// (breakdown rows partition TotalCycles; forked tiles absorb traffic
+// exactly), and a greedy shrinker that minimizes any failing query before
+// it is reported.
+//
+// Reproducing a report: every generated query is a pure function of its
+// seed over a corpus, so `Generate(seed)` + `Check` replays a failure
+// exactly. See docs/ARCHITECTURE.md §9.
+package diffcheck
+
+import (
+	"math/rand"
+
+	"castle/internal/ssb"
+	"castle/internal/stats"
+	"castle/internal/storage"
+)
+
+// dimSpec describes one dimension the generator may join.
+type dimSpec struct {
+	table   string
+	key     string
+	factFK  string
+	// attrs are columns usable in predicates and GROUP BY.
+	attrs []string
+}
+
+// Corpus is a database plus the schema vocabulary the generator draws
+// from. The column names are SSB's, so a corpus can wrap either the real
+// ssb.Generate output or the tiny synthetic database from NewTiny.
+type Corpus struct {
+	DB  *storage.Database
+	Cat *stats.Catalog
+
+	dims []dimSpec
+	// measures are fact columns usable as aggregate inputs.
+	measures []string
+	// mulPairs are (A, B) pairs safe for SUM(A*B): every per-row product
+	// fits the engine's 32-bit lanes (CAPE's vmul.vv truncates to 32 bits,
+	// exactly like hardware would; SSB's own SUM(a*b) queries stay in
+	// domain, so the generator must too).
+	mulPairs [][2]string
+	// subPairs are (A, B) pairs for SUM(A-B); differences accumulate in
+	// int64 on every engine, so wide columns are fine here.
+	subPairs [][2]string
+	// factGroupCols are low-cardinality fact columns usable in GROUP BY.
+	factGroupCols []string
+	// factPredCols are fact columns usable in WHERE.
+	factPredCols []string
+}
+
+// ssbVocab is the generator vocabulary shared by every corpus.
+type ssbVocab struct {
+	dims          []dimSpec
+	measures      []string
+	mulPairs      [][2]string
+	subPairs      [][2]string
+	factGroupCols []string
+	factPredCols  []string
+}
+
+func ssbSpec() ssbVocab {
+	dims := []dimSpec{
+		{table: "date", key: "d_datekey", factFK: "lo_orderdate",
+			attrs: []string{"d_year", "d_yearmonthnum", "d_monthnuminyear", "d_weeknuminyear", "d_daynuminweek"}},
+		{table: "customer", key: "c_custkey", factFK: "lo_custkey",
+			attrs: []string{"c_region", "c_nation", "c_city", "c_mktsegment"}},
+		{table: "supplier", key: "s_suppkey", factFK: "lo_suppkey",
+			attrs: []string{"s_region", "s_nation", "s_city"}},
+		{table: "part", key: "p_partkey", factFK: "lo_partkey",
+			attrs: []string{"p_mfgr", "p_category", "p_brand1", "p_size"}},
+	}
+	return ssbVocab{
+		dims:     dims,
+		measures: []string{"lo_quantity", "lo_extendedprice", "lo_discount", "lo_revenue", "lo_supplycost"},
+		// extendedprice <= 50*200,000 and discount <= 10, so both products
+		// stay below 2^32; revenue*supplycost (~6e13) would not, and is
+		// deliberately absent — see mulPairs in Corpus.
+		mulPairs: [][2]string{
+			{"lo_extendedprice", "lo_discount"},
+			{"lo_quantity", "lo_discount"},
+		},
+		subPairs: [][2]string{
+			{"lo_extendedprice", "lo_discount"},
+			{"lo_quantity", "lo_discount"},
+			{"lo_revenue", "lo_supplycost"},
+		},
+		factGroupCols: []string{"lo_discount", "lo_quantity"},
+		factPredCols:  []string{"lo_quantity", "lo_discount", "lo_extendedprice", "lo_orderdate"},
+	}
+}
+
+// New wraps an SSB-schema database (e.g. ssb.Generate output) as a corpus.
+func New(db *storage.Database) *Corpus {
+	c := &Corpus{DB: db, Cat: stats.Collect(db)}
+	v := ssbSpec()
+	c.dims, c.measures = v.dims, v.measures
+	c.mulPairs, c.subPairs = v.mulPairs, v.subPairs
+	c.factGroupCols, c.factPredCols = v.factGroupCols, v.factPredCols
+	return c
+}
+
+// NewSSB generates a real SSB database at the given scale factor and wraps
+// it. The reference oracle is O(fact x dim) per join, so keep sf small
+// (the CI smoke uses 0.005).
+func NewSSB(sf float64, seed uint64) *Corpus {
+	return New(ssb.Generate(ssb.Config{SF: sf, Seed: seed}))
+}
+
+// NewTiny builds a miniature SSB-shaped database: the same tables and
+// column names at a few thousand fact rows, with deliberately nasty data
+// the real generator never produces — dangling foreign keys (inner-join
+// drops), skewed measures, and a date dimension small enough that a
+// low-MAXVL CAPE config still spans several partitions. This is the corpus
+// the ≥200-query property test and the fuzz target run on.
+func NewTiny(seed int64) *Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	db := storage.NewDatabase()
+
+	// date: 3 years x 3 months x 10 days = 90 rows.
+	var (
+		dKeys, dYears, dYMNums, dWeeks, dMonths, dDows []uint32
+		dYMs                                           []string
+	)
+	months := []string{"Jan", "Feb", "Mar"}
+	for y := 1992; y <= 1994; y++ {
+		for m := 1; m <= 3; m++ {
+			for d := 1; d <= 10; d++ {
+				dKeys = append(dKeys, uint32(y*10000+m*100+d))
+				dYears = append(dYears, uint32(y))
+				dYMNums = append(dYMNums, uint32(y*100+m))
+				dYMs = append(dYMs, months[m-1]+string(rune('0'+y-1990)))
+				dWeeks = append(dWeeks, uint32(1+((m-1)*10+d-1)/7))
+				dMonths = append(dMonths, uint32(m))
+				dDows = append(dDows, uint32((y+m+d)%7))
+			}
+		}
+	}
+	date := storage.NewTable("date")
+	date.AddIntColumn("d_datekey", dKeys)
+	date.AddIntColumn("d_year", dYears)
+	date.AddIntColumn("d_yearmonthnum", dYMNums)
+	date.AddStringColumn("d_yearmonth", dYMs)
+	date.AddIntColumn("d_weeknuminyear", dWeeks)
+	date.AddIntColumn("d_monthnuminyear", dMonths)
+	date.AddIntColumn("d_daynuminweek", dDows)
+	db.Add(date)
+
+	regions := []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nationsOf := map[string][]string{
+		"AFRICA":      {"ALGERIA", "KENYA"},
+		"AMERICA":     {"BRAZIL", "CANADA"},
+		"ASIA":        {"CHINA", "JAPAN"},
+		"EUROPE":      {"FRANCE", "GERMANY"},
+		"MIDDLE EAST": {"IRAN", "JORDAN"},
+	}
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+
+	const custRows = 60
+	cust := storage.NewTable("customer")
+	{
+		keys := make([]uint32, custRows)
+		cities := make([]string, custRows)
+		nats := make([]string, custRows)
+		regs := make([]string, custRows)
+		segs := make([]string, custRows)
+		for i := 0; i < custRows; i++ {
+			keys[i] = uint32(i + 1)
+			reg := regions[rng.Intn(len(regions))]
+			nat := nationsOf[reg][rng.Intn(2)]
+			regs[i], nats[i] = reg, nat
+			cities[i] = nat + string(rune('0'+rng.Intn(5)))
+			segs[i] = segments[rng.Intn(len(segments))]
+		}
+		cust.AddIntColumn("c_custkey", keys)
+		cust.AddStringColumn("c_city", cities)
+		cust.AddStringColumn("c_nation", nats)
+		cust.AddStringColumn("c_region", regs)
+		cust.AddStringColumn("c_mktsegment", segs)
+	}
+	db.Add(cust)
+
+	const suppRows = 12
+	supp := storage.NewTable("supplier")
+	{
+		keys := make([]uint32, suppRows)
+		cities := make([]string, suppRows)
+		nats := make([]string, suppRows)
+		regs := make([]string, suppRows)
+		for i := 0; i < suppRows; i++ {
+			keys[i] = uint32(i + 1)
+			reg := regions[rng.Intn(len(regions))]
+			nat := nationsOf[reg][rng.Intn(2)]
+			regs[i], nats[i] = reg, nat
+			cities[i] = nat + string(rune('0'+rng.Intn(5)))
+		}
+		supp.AddIntColumn("s_suppkey", keys)
+		supp.AddStringColumn("s_city", cities)
+		supp.AddStringColumn("s_nation", nats)
+		supp.AddStringColumn("s_region", regs)
+	}
+	db.Add(supp)
+
+	const partRows = 75
+	part := storage.NewTable("part")
+	{
+		keys := make([]uint32, partRows)
+		mfgrs := make([]string, partRows)
+		cats := make([]string, partRows)
+		brands := make([]string, partRows)
+		sizes := make([]uint32, partRows)
+		for i := 0; i < partRows; i++ {
+			keys[i] = uint32(i + 1)
+			m := 1 + i%5
+			c := 1 + (i/5)%5
+			b := 1 + (i/25)%3
+			mfgrs[i] = "MFGR#" + string(rune('0'+m))
+			cats[i] = mfgrs[i] + string(rune('0'+c))
+			brands[i] = cats[i] + string(rune('0'+b))
+			sizes[i] = uint32(1 + i%50)
+		}
+		part.AddIntColumn("p_partkey", keys)
+		part.AddStringColumn("p_mfgr", mfgrs)
+		part.AddStringColumn("p_category", cats)
+		part.AddStringColumn("p_brand1", brands)
+		part.AddIntColumn("p_size", sizes)
+	}
+	db.Add(part)
+
+	const factRows = 2500
+	lo := storage.NewTable("lineorder")
+	{
+		ordkey := make([]uint32, factRows)
+		custkey := make([]uint32, factRows)
+		partkey := make([]uint32, factRows)
+		suppkey := make([]uint32, factRows)
+		orderdate := make([]uint32, factRows)
+		quantity := make([]uint32, factRows)
+		extprice := make([]uint32, factRows)
+		discount := make([]uint32, factRows)
+		revenue := make([]uint32, factRows)
+		supplycost := make([]uint32, factRows)
+		// dangling returns an out-of-domain key ~3% of the time, so inner
+		// joins drop rows (the real SSB generator never does this).
+		dangling := func(valid uint32) uint32 {
+			if rng.Intn(33) == 0 {
+				return valid + 1_000_000
+			}
+			return valid
+		}
+		for i := 0; i < factRows; i++ {
+			ordkey[i] = uint32(1 + i/4)
+			custkey[i] = dangling(uint32(1 + rng.Intn(custRows)))
+			partkey[i] = dangling(uint32(1 + rng.Intn(partRows)))
+			suppkey[i] = dangling(uint32(1 + rng.Intn(suppRows)))
+			orderdate[i] = dangling(dKeys[rng.Intn(len(dKeys))])
+			q := uint32(1 + rng.Intn(50))
+			quantity[i] = q
+			price := uint32(90_000 + rng.Intn(110_000))
+			extprice[i] = q * price
+			d := uint32(rng.Intn(11))
+			discount[i] = d
+			revenue[i] = extprice[i] * (100 - d) / 100
+			supplycost[i] = revenue[i] * uint32(40+rng.Intn(20)) / 100
+		}
+		lo.AddIntColumn("lo_orderkey", ordkey)
+		lo.AddIntColumn("lo_custkey", custkey)
+		lo.AddIntColumn("lo_partkey", partkey)
+		lo.AddIntColumn("lo_suppkey", suppkey)
+		lo.AddIntColumn("lo_orderdate", orderdate)
+		lo.AddIntColumn("lo_quantity", quantity)
+		lo.AddIntColumn("lo_extendedprice", extprice)
+		lo.AddIntColumn("lo_discount", discount)
+		lo.AddIntColumn("lo_revenue", revenue)
+		lo.AddIntColumn("lo_supplycost", supplycost)
+	}
+	db.Add(lo)
+
+	return New(db)
+}

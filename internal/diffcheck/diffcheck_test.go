@@ -1,0 +1,251 @@
+package diffcheck
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"castle/internal/exec"
+	"castle/internal/plan"
+	"castle/internal/reference"
+	"castle/internal/telemetry"
+)
+
+// TestDifferentialCampaign is the harness's main property test: hundreds of
+// seeded random queries through the scalar reference, the hash oracle, the
+// CPU baseline, and the CAPE executor at K in {1,4} on two design points,
+// asserting identical answers and balanced accounting on every one.
+func TestDifferentialCampaign(t *testing.T) {
+	for _, cs := range []int64{1, 2} {
+		c := NewTiny(cs)
+		n := 0
+		m := c.Campaign(250, cs*10_000, DefaultOptions(), func(done int) { n = done })
+		if m != nil {
+			t.Fatalf("corpus %d:\n%s", cs, m)
+		}
+		if n != 250 {
+			t.Fatalf("corpus %d: campaign checked %d queries, want 250", cs, n)
+		}
+	}
+}
+
+// TestDifferentialCampaignSSB runs a shorter campaign on real generated SSB
+// data (the same corpus the CI smoke uses), so the harness is exercised on
+// in-domain value distributions too, not just the adversarial tiny corpus.
+func TestDifferentialCampaignSSB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SSB corpus generation is the slow part; covered by the tiny corpora in -short mode")
+	}
+	c := NewSSB(0.002, 42)
+	if m := c.Campaign(60, 5_000, DefaultOptions(), nil); m != nil {
+		t.Fatalf("ssb corpus:\n%s", m)
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	c := NewTiny(1)
+	for seed := int64(0); seed < 50; seed++ {
+		a, b := c.Generate(seed), c.Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations differ:\n%s\nvs\n%s", seed, FormatQuery(a), FormatQuery(b))
+		}
+	}
+}
+
+// TestGenerateCoversGrammar draws many queries and checks every grammar
+// production actually fires — and that the two deliberate holes hold: no
+// SUM(a*b) under GROUP BY, and only 32-bit-safe multiply pairs.
+func TestGenerateCoversGrammar(t *testing.T) {
+	c := NewTiny(1)
+	var (
+		sawJoin, sawNoJoin, sawGroup, sawOrder, sawLimit bool
+		sawNever, sawIn, sawDimPred, sawFactPred         bool
+		aggKinds                                         = map[plan.AggKind]bool{}
+	)
+	mulSafe := map[[2]string]bool{}
+	for _, p := range c.mulPairs {
+		mulSafe[p] = true
+	}
+	for seed := int64(0); seed < 2000; seed++ {
+		q := c.Generate(seed)
+		if len(q.Joins) > 0 {
+			sawJoin = true
+		} else {
+			sawNoJoin = true
+		}
+		if len(q.GroupBy) > 0 {
+			sawGroup = true
+		}
+		if len(q.OrderBy) > 0 {
+			sawOrder = true
+		}
+		if q.Limit > 0 {
+			sawLimit = true
+		}
+		var preds []plan.Predicate
+		preds = append(preds, q.FactPreds...)
+		if len(q.FactPreds) > 0 {
+			sawFactPred = true
+		}
+		for _, ps := range q.DimPreds {
+			sawDimPred = true
+			preds = append(preds, ps...)
+		}
+		for _, p := range preds {
+			if p.Never {
+				sawNever = true
+			}
+			if p.Op == plan.PredIn {
+				sawIn = true
+			}
+		}
+		for _, a := range q.Aggs {
+			aggKinds[a.Kind] = true
+			if a.Kind == plan.AggSumMul {
+				if len(q.GroupBy) > 0 {
+					t.Fatalf("seed %d: SUM(a*b) under GROUP BY:\n%s", seed, FormatQuery(q))
+				}
+				if !mulSafe[[2]string{a.A, a.B}] {
+					t.Fatalf("seed %d: SUM(%s*%s) is not a 32-bit-safe pair", seed, a.A, a.B)
+				}
+			}
+		}
+		// Every dimension group-by key must be materialized by its join.
+		for _, g := range q.GroupBy {
+			if g.Table == q.Fact {
+				continue
+			}
+			e := q.JoinFor(g.Table)
+			if e == nil {
+				t.Fatalf("seed %d: group key %s has no join edge", seed, g)
+			}
+			found := false
+			for _, a := range e.NeedAttrs {
+				found = found || a == g.Column
+			}
+			if !found {
+				t.Fatalf("seed %d: group key %s not in NeedAttrs %v", seed, g, e.NeedAttrs)
+			}
+		}
+	}
+	for _, flag := range []struct {
+		ok   bool
+		what string
+	}{
+		{sawJoin, "join"}, {sawNoJoin, "join-free query"}, {sawGroup, "group-by"},
+		{sawOrder, "order-by"}, {sawLimit, "limit"}, {sawNever, "Never predicate"},
+		{sawIn, "IN predicate"}, {sawDimPred, "dimension predicate"}, {sawFactPred, "fact predicate"},
+	} {
+		if !flag.ok {
+			t.Errorf("2000 seeds never produced a %s", flag.what)
+		}
+	}
+	for kind := plan.AggSumCol; kind <= plan.AggCountDistinct; kind++ {
+		if !aggKinds[kind] {
+			t.Errorf("2000 seeds never produced aggregate kind %d", kind)
+		}
+	}
+}
+
+func TestTinyCorpusHasDanglingKeys(t *testing.T) {
+	c := NewTiny(1)
+	lo := c.DB.MustTable("lineorder")
+	for _, fk := range []string{"lo_custkey", "lo_partkey", "lo_suppkey", "lo_orderdate"} {
+		dangling := 0
+		for _, v := range lo.MustColumn(fk).Data {
+			if v >= 1_000_000 {
+				dangling++
+			}
+		}
+		if dangling == 0 {
+			t.Errorf("%s has no dangling keys; the corpus should force inner-join drops", fk)
+		}
+	}
+}
+
+// TestDiffResultsDetects exercises the comparator on hand-built divergences
+// so a regression in it cannot silently turn the whole harness green.
+func TestDiffResultsDetects(t *testing.T) {
+	ref := &reference.Result{Rows: []reference.Row{{Keys: []uint32{1}, Aggs: []int64{10, 20}}}}
+	same := &exec.Result{Rows: []exec.Row{{Keys: []uint32{1}, Aggs: []int64{10, 20}}}}
+	if d := diffResults(ref, same); d != "" {
+		t.Fatalf("equal results reported as diff: %s", d)
+	}
+	cases := []struct {
+		name string
+		got  *exec.Result
+		want string
+	}{
+		{"row count", &exec.Result{}, "row count"},
+		{"key", &exec.Result{Rows: []exec.Row{{Keys: []uint32{2}, Aggs: []int64{10, 20}}}}, "key[0]"},
+		{"agg", &exec.Result{Rows: []exec.Row{{Keys: []uint32{1}, Aggs: []int64{10, 21}}}}, "agg[1]"},
+		{"arity", &exec.Result{Rows: []exec.Row{{Keys: []uint32{1}, Aggs: []int64{10}}}}, "arity"},
+	}
+	for _, tc := range cases {
+		if d := diffResults(ref, tc.got); !strings.Contains(d, tc.want) {
+			t.Errorf("%s: diff %q does not mention %q", tc.name, d, tc.want)
+		}
+	}
+}
+
+// TestCheckAccountingDetects feeds checkAccounting books that violate each
+// invariant in turn.
+func TestCheckAccountingDetects(t *testing.T) {
+	goodBD := func() *telemetry.Breakdown {
+		return &telemetry.Breakdown{TotalCycles: 100, Operators: []telemetry.OperatorStats{
+			{Operator: "prep", Cycles: 40, Rows: -1},
+			{Operator: "sweep", Cycles: 60, Rows: -1},
+		}}
+	}
+	goodPS := func() exec.ParallelStats {
+		return exec.ParallelStats{
+			Tiles: 2, ElapsedCycles: 100, WorkCycles: 170,
+			TileCycles: []int64{70, 100}, TileRows: []int64{500, 500},
+		}
+	}
+	if d := checkAccounting(goodBD(), goodPS(), 100, 1000); d != "" {
+		t.Fatalf("balanced books flagged: %s", d)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*telemetry.Breakdown, *exec.ParallelStats)
+		want   string
+	}{
+		{"nil breakdown", nil, "no breakdown"},
+		{"total mismatch", func(b *telemetry.Breakdown, _ *exec.ParallelStats) { b.TotalCycles = 99 }, "TotalCycles"},
+		{"rows don't sum", func(b *telemetry.Breakdown, _ *exec.ParallelStats) {
+			b.Operators = append(b.Operators, telemetry.OperatorStats{Operator: "extra", Cycles: 1})
+		}, "sum to"},
+		{"elapsed mismatch", func(_ *telemetry.Breakdown, ps *exec.ParallelStats) { ps.ElapsedCycles = 99 }, "elapsed"},
+		{"lost rows", func(_ *telemetry.Breakdown, ps *exec.ParallelStats) { ps.TileRows[0] = 499 }, "fact rows"},
+		{"work identity", func(_ *telemetry.Breakdown, ps *exec.ParallelStats) { ps.WorkCycles = 171 }, "WorkCycles"},
+		{"tile vector size", func(_ *telemetry.Breakdown, ps *exec.ParallelStats) { ps.TileCycles = ps.TileCycles[:1] }, "tile vectors"},
+	}
+	for _, tc := range cases {
+		b, ps := goodBD(), goodPS()
+		if tc.mutate != nil {
+			tc.mutate(b, &ps)
+		} else {
+			b = nil
+		}
+		if d := checkAccounting(b, ps, 100, 1000); !strings.Contains(d, tc.want) {
+			t.Errorf("%s: detail %q does not mention %q", tc.name, d, tc.want)
+		}
+	}
+}
+
+// TestMismatchReport checks the report a failing campaign would drop:
+// it must carry the replay seed, the engine name, and the minimal query.
+func TestMismatchReport(t *testing.T) {
+	c := NewTiny(1)
+	q := c.Generate(3)
+	m := &Mismatch{Seed: 3, Query: q, Engine: "CAPE[maxvl=512,K=4]", Detail: "row 0 agg[0] = 1, reference has 2"}
+	var b strings.Builder
+	m.WriteReport(&b)
+	out := b.String()
+	for _, want := range []string{"Generate(3)", "CAPE[maxvl=512,K=4]", "reference has 2", "FROM lineorder"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package diffcheck
+
+import (
+	"sync"
+	"testing"
+
+	"castle/internal/plan"
+)
+
+// fuzzCorpus is shared across fuzz iterations: corpus construction is the
+// expensive part and the corpus is immutable under Check.
+var (
+	fuzzOnce   sync.Once
+	fuzzShared *Corpus
+)
+
+func fuzzCorpus() *Corpus {
+	fuzzOnce.Do(func() { fuzzShared = NewTiny(1) })
+	return fuzzShared
+}
+
+// FuzzDifferentialQuery is the native fuzz entry: the input is a query
+// seed; the property is that the whole engine matrix agrees with the scalar
+// reference and keeps its books balanced. Run with
+//
+//	go test ./internal/diffcheck -fuzz FuzzDifferentialQuery -fuzztime 10s
+func FuzzDifferentialQuery(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	opts := DefaultOptions()
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := fuzzCorpus()
+		q := c.Generate(seed)
+		m := c.Check(q, opts)
+		if m == nil {
+			return
+		}
+		shrunk := Shrink(q, func(cand *plan.Query) bool { return c.Check(cand, opts) != nil })
+		if final := c.Check(shrunk, opts); final != nil {
+			final.Seed = seed
+			m = final
+		}
+		t.Fatalf("seed %d:\n%s", seed, m)
+	})
+}

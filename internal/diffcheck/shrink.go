@@ -1,0 +1,193 @@
+package diffcheck
+
+// shrink.go minimizes a failing query before it is reported. The shrinker
+// is greedy: it proposes structurally smaller candidates one at a time and
+// keeps any candidate on which the failure predicate still fires, looping
+// to a fixed point. Every accepted candidate strictly reduces a finite
+// measure of the query (clause count, IN-list length), so termination is
+// guaranteed.
+
+import "castle/internal/plan"
+
+// Shrink minimizes q under fails, which must report true for any query
+// that still exhibits the failure (typically a closure over Corpus.Check).
+// The returned query fails, and no single further reduction of it does.
+func Shrink(q *plan.Query, fails func(*plan.Query) bool) *plan.Query {
+	cur := CloneQuery(q)
+	for {
+		if next := shrinkStep(cur, fails); next != nil {
+			cur = next
+			continue
+		}
+		return cur
+	}
+}
+
+// shrinkStep tries every single-step reduction of q and returns the first
+// one that still fails, or nil when q is minimal.
+func shrinkStep(q *plan.Query, fails func(*plan.Query) bool) *plan.Query {
+	var candidates []*plan.Query
+
+	// Ordering and limits first: they never change which rows aggregate.
+	if len(q.OrderBy) > 0 {
+		c := CloneQuery(q)
+		c.OrderBy = nil
+		candidates = append(candidates, c)
+	}
+	if q.Limit > 0 {
+		c := CloneQuery(q)
+		c.Limit = 0
+		candidates = append(candidates, c)
+	}
+	// Drop whole join edges (with their predicates) when no group-by key
+	// needs the dimension.
+	for i := range q.Joins {
+		dim := q.Joins[i].Dim
+		needed := false
+		for _, g := range q.GroupBy {
+			if g.Table == dim {
+				needed = true
+			}
+		}
+		if needed {
+			continue
+		}
+		c := CloneQuery(q)
+		c.Joins = append(c.Joins[:i], c.Joins[i+1:]...)
+		delete(c.DimPreds, dim)
+		candidates = append(candidates, dropDanglingOrder(c))
+	}
+	// Drop group-by columns (and the matching NeedAttrs entry).
+	for i := range q.GroupBy {
+		g := q.GroupBy[i]
+		c := CloneQuery(q)
+		c.GroupBy = append(c.GroupBy[:i], c.GroupBy[i+1:]...)
+		if e := c.JoinFor(g.Table); e != nil {
+			e.NeedAttrs = removeString(e.NeedAttrs, g.Column)
+		}
+		candidates = append(candidates, dropDanglingOrder(c))
+	}
+	// Drop aggregates (keep at least one).
+	if len(q.Aggs) > 1 {
+		for i := range q.Aggs {
+			c := CloneQuery(q)
+			c.Aggs = append(c.Aggs[:i], c.Aggs[i+1:]...)
+			candidates = append(candidates, dropDanglingOrder(c))
+		}
+	}
+	// Drop predicates.
+	for i := range q.FactPreds {
+		c := CloneQuery(q)
+		c.FactPreds = append(c.FactPreds[:i], c.FactPreds[i+1:]...)
+		candidates = append(candidates, c)
+	}
+	for dim, preds := range q.DimPreds {
+		for i := range preds {
+			c := CloneQuery(q)
+			ps := c.DimPreds[dim]
+			ps = append(ps[:i], ps[i+1:]...)
+			if len(ps) == 0 {
+				delete(c.DimPreds, dim)
+			} else {
+				c.DimPreds[dim] = ps
+			}
+			candidates = append(candidates, c)
+		}
+	}
+	// Shrink IN lists.
+	for i, p := range q.FactPreds {
+		if p.Op == plan.PredIn && len(p.Values) > 1 {
+			for v := range p.Values {
+				c := CloneQuery(q)
+				c.FactPreds[i].Values = append(c.FactPreds[i].Values[:v], c.FactPreds[i].Values[v+1:]...)
+				candidates = append(candidates, c)
+			}
+		}
+	}
+	for dim, preds := range q.DimPreds {
+		for i, p := range preds {
+			if p.Op == plan.PredIn && len(p.Values) > 1 {
+				for v := range p.Values {
+					c := CloneQuery(q)
+					vals := c.DimPreds[dim][i].Values
+					c.DimPreds[dim][i].Values = append(vals[:v], vals[v+1:]...)
+					candidates = append(candidates, c)
+				}
+			}
+		}
+	}
+	// Prune attribute materializations no group-by key uses.
+	for i := range q.Joins {
+		for _, a := range q.Joins[i].NeedAttrs {
+			if q.HasGroupCol(q.Joins[i].Dim, a) {
+				continue
+			}
+			c := CloneQuery(q)
+			c.Joins[i].NeedAttrs = removeString(c.Joins[i].NeedAttrs, a)
+			candidates = append(candidates, c)
+		}
+	}
+
+	for _, c := range candidates {
+		if fails(c) {
+			return c
+		}
+	}
+	return nil
+}
+
+// dropDanglingOrder clears ORDER BY terms whose key/agg indices no longer
+// exist after a structural reduction (simplest safe repair: the shrinker
+// separately proposes dropping the ordering anyway).
+func dropDanglingOrder(q *plan.Query) *plan.Query {
+	for _, t := range q.OrderBy {
+		if (t.KeyIdx >= 0 && t.KeyIdx >= len(q.GroupBy)) ||
+			(t.AggIdx >= 0 && t.AggIdx >= len(q.Aggs)) {
+			q.OrderBy = nil
+			break
+		}
+	}
+	return q
+}
+
+// CloneQuery deep-copies a query so candidate mutations never alias the
+// original.
+func CloneQuery(q *plan.Query) *plan.Query {
+	c := &plan.Query{
+		Fact:    q.Fact,
+		Limit:   q.Limit,
+		GroupBy: append([]plan.ColRef(nil), q.GroupBy...),
+		Aggs:    append([]plan.AggExpr(nil), q.Aggs...),
+		OrderBy: append([]plan.OrderTerm(nil), q.OrderBy...),
+	}
+	c.FactPreds = clonePreds(q.FactPreds)
+	c.DimPreds = make(map[string][]plan.Predicate, len(q.DimPreds))
+	for dim, ps := range q.DimPreds {
+		c.DimPreds[dim] = clonePreds(ps)
+	}
+	c.Joins = make([]plan.JoinEdge, len(q.Joins))
+	for i, e := range q.Joins {
+		e.NeedAttrs = append([]string(nil), e.NeedAttrs...)
+		c.Joins[i] = e
+	}
+	return c
+}
+
+func clonePreds(ps []plan.Predicate) []plan.Predicate {
+	out := make([]plan.Predicate, len(ps))
+	for i, p := range ps {
+		p.Values = append([]uint32(nil), p.Values...)
+		out[i] = p
+	}
+	return out
+}
+
+func removeString(s []string, v string) []string {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}

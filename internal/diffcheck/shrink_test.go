@@ -1,0 +1,167 @@
+package diffcheck
+
+import (
+	"reflect"
+	"testing"
+
+	"castle/internal/plan"
+)
+
+// hasAggKind is the structural failure predicate the shrinker tests use: it
+// is deterministic and independent of any engine, so minimality assertions
+// are exact.
+func hasAggKind(kind plan.AggKind) func(*plan.Query) bool {
+	return func(q *plan.Query) bool {
+		for _, a := range q.Aggs {
+			if a.Kind == kind {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// TestShrinkToMinimalAggregate shrinks a deliberately baroque query under
+// "contains a MIN aggregate" and expects everything else stripped: no
+// joins, no predicates, no grouping, no ordering, one aggregate.
+func TestShrinkToMinimalAggregate(t *testing.T) {
+	c := NewTiny(1)
+	var q *plan.Query
+	// Find a seed whose query has a MIN plus plenty of other structure.
+	for seed := int64(0); ; seed++ {
+		if seed > 10_000 {
+			t.Fatal("no suitably baroque seed found")
+		}
+		cand := c.Generate(seed)
+		if hasAggKind(plan.AggMin)(cand) && len(cand.Joins) > 0 && len(cand.Aggs) > 1 &&
+			(len(cand.FactPreds) > 0 || len(cand.DimPreds) > 0) {
+			q = cand
+			break
+		}
+	}
+	min := Shrink(q, hasAggKind(plan.AggMin))
+	if !hasAggKind(plan.AggMin)(min) {
+		t.Fatal("shrunk query no longer fails the predicate")
+	}
+	if len(min.Aggs) != 1 || min.Aggs[0].Kind != plan.AggMin {
+		t.Errorf("aggs not minimal: %v", min.Aggs)
+	}
+	if len(min.Joins) != 0 || len(min.GroupBy) != 0 || len(min.FactPreds) != 0 ||
+		len(min.DimPreds) != 0 || len(min.OrderBy) != 0 || min.Limit != 0 {
+		t.Errorf("residual structure after shrink:\n%s", FormatQuery(min))
+	}
+}
+
+// TestShrinkKeepsGroupedJoin shrinks under "groups by a dimension column"
+// and expects the join edge that materializes the key to survive.
+func TestShrinkKeepsGroupedJoin(t *testing.T) {
+	c := NewTiny(1)
+	fails := func(q *plan.Query) bool {
+		for _, g := range q.GroupBy {
+			if g.Table != q.Fact {
+				return true
+			}
+		}
+		return false
+	}
+	for seed := int64(0); ; seed++ {
+		if seed > 10_000 {
+			t.Fatal("no seed with a dimension group key found")
+		}
+		q := c.Generate(seed)
+		if !fails(q) {
+			continue
+		}
+		min := Shrink(q, fails)
+		if len(min.GroupBy) != 1 {
+			t.Fatalf("want exactly one surviving group key, got %v", min.GroupBy)
+		}
+		g := min.GroupBy[0]
+		e := min.JoinFor(g.Table)
+		if e == nil {
+			t.Fatalf("surviving group key %s lost its join edge:\n%s", g, FormatQuery(min))
+		}
+		if len(e.NeedAttrs) != 1 || e.NeedAttrs[0] != g.Column {
+			t.Errorf("join attrs not minimal: %v for key %s", e.NeedAttrs, g)
+		}
+		return
+	}
+}
+
+// TestShrinkInList shrinks under "has an IN predicate" and expects the
+// surviving list to be a single element.
+func TestShrinkInList(t *testing.T) {
+	c := NewTiny(1)
+	fails := func(q *plan.Query) bool {
+		for _, p := range q.FactPreds {
+			if p.Op == plan.PredIn {
+				return true
+			}
+		}
+		return false
+	}
+	for seed := int64(0); ; seed++ {
+		if seed > 10_000 {
+			t.Fatal("no seed with a fact IN predicate found")
+		}
+		q := c.Generate(seed)
+		if !fails(q) {
+			continue
+		}
+		min := Shrink(q, fails)
+		if len(min.FactPreds) != 1 || min.FactPreds[0].Op != plan.PredIn {
+			t.Fatalf("want one surviving IN predicate, got %v", min.FactPreds)
+		}
+		if n := len(min.FactPreds[0].Values); n != 1 {
+			t.Errorf("IN list not minimal: %d values", n)
+		}
+		return
+	}
+}
+
+// TestCloneQueryNoAliasing mutates every slice/map of a clone and checks
+// the original is untouched.
+func TestCloneQueryNoAliasing(t *testing.T) {
+	c := NewTiny(1)
+	for seed := int64(0); seed < 200; seed++ {
+		q := c.Generate(seed)
+		if len(q.Joins) == 0 || len(q.FactPreds) == 0 {
+			continue
+		}
+		orig := c.Generate(seed) // independent copy for comparison
+		cl := CloneQuery(q)
+		cl.Fact = "mutated"
+		if len(cl.Joins) > 0 {
+			cl.Joins[0].Dim = "mutated"
+			cl.Joins[0].NeedAttrs = append(cl.Joins[0].NeedAttrs, "mutated")
+		}
+		if len(cl.FactPreds) > 0 {
+			cl.FactPreds[0].Column = "mutated"
+			cl.FactPreds[0].Values = append(cl.FactPreds[0].Values, 99)
+		}
+		for dim := range cl.DimPreds {
+			cl.DimPreds[dim] = nil
+		}
+		cl.GroupBy = append(cl.GroupBy, plan.ColRef{Table: "x", Column: "y"})
+		cl.Aggs = append(cl.Aggs, plan.AggExpr{Kind: plan.AggCount})
+		cl.OrderBy = append(cl.OrderBy, plan.OrderTerm{KeyIdx: -1, AggIdx: 0})
+		if !reflect.DeepEqual(q, orig) {
+			t.Fatalf("seed %d: mutating the clone changed the original", seed)
+		}
+		return
+	}
+	t.Fatal("no seed exercised every clone path")
+}
+
+// TestShrinkPassthrough: a query that is already minimal shrinks to itself.
+func TestShrinkPassthrough(t *testing.T) {
+	q := &plan.Query{
+		Fact:     "lineorder",
+		DimPreds: map[string][]plan.Predicate{},
+		Aggs:     []plan.AggExpr{{Kind: plan.AggCount}},
+	}
+	min := Shrink(q, func(*plan.Query) bool { return true })
+	if len(min.Aggs) != 1 || min.Aggs[0].Kind != plan.AggCount {
+		t.Fatalf("minimal query changed: %s", FormatQuery(min))
+	}
+}

@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -688,7 +689,9 @@ func (s *tileSweep) chargeDistinctLoop(distinct int64, width int) {
 
 // distinctUnder gathers the distinct values of a fact column among the
 // masked rows of the current partition (the functional result of the
-// charged loop above).
+// charged loop above). The result is sorted ascending: a canonical order
+// that does not depend on row order within the partition, so repeated runs
+// and different partitionings hand identical value lists downstream.
 func distinctUnder(col []uint32, base int, mask *bitvec.Vector) []uint32 {
 	seen := make(map[uint32]struct{})
 	out := make([]uint32, 0, 16)
@@ -699,6 +702,7 @@ func distinctUnder(col []uint32, base int, mask *bitvec.Vector) []uint32 {
 			out = append(out, v)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -1,0 +1,46 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"castle/internal/bitvec"
+)
+
+// TestDistinctUnderCanonicalOrder: the distinct-value list must come back
+// in a canonical (ascending) order that is independent of row order, so
+// repeated runs and different sweep partitionings are bit-identical.
+func TestDistinctUnderCanonicalOrder(t *testing.T) {
+	col := []uint32{9, 3, 9, 7, 3, 1, 7, 1, 5}
+	mask := bitvec.New(len(col))
+	for i := range col {
+		mask.Set(i)
+	}
+	got := distinctUnder(col, 0, mask)
+	want := []uint32{1, 3, 5, 7, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("distinctUnder = %v, want %v", got, want)
+	}
+
+	// Same values encountered in a different order produce the same list.
+	rev := []uint32{5, 1, 7, 1, 3, 7, 9, 3, 9}
+	if got2 := distinctUnder(rev, 0, mask); !reflect.DeepEqual(got2, want) {
+		t.Fatalf("row order leaked into output: %v vs %v", got2, want)
+	}
+}
+
+// TestDistinctUnderRespectsMaskAndBase: only masked rows of the addressed
+// partition contribute.
+func TestDistinctUnderRespectsMaskAndBase(t *testing.T) {
+	col := []uint32{100, 100, 4, 2, 4, 8}
+	base := 2 // partition starts at col[2]
+	mask := bitvec.New(4)
+	mask.Set(0) // col[2] = 4
+	mask.Set(1) // col[3] = 2
+	mask.Set(3) // col[5] = 8
+	got := distinctUnder(col, base, mask)
+	want := []uint32{2, 4, 8}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("distinctUnder = %v, want %v", got, want)
+	}
+}

@@ -8,7 +8,12 @@ import (
 // Reference executes a bound query with a naive row-at-a-time strategy:
 // hash maps for dimensions, a single scan of the fact relation, and a Go
 // map for aggregation. It has no timing model — it exists purely as the
-// correctness oracle for the CAPE and baseline executors.
+// correctness oracle for the CAPE and baseline executors. It is fast
+// enough for the microbenchmark cross-checks (hash joins make it
+// O(fact + dim)); the differential fuzz harness additionally checks it
+// against internal/reference, a share-nothing scalar interpreter with
+// linear-scan joins, so the two oracles guard each other (see
+// docs/ARCHITECTURE.md §9).
 func Reference(q *plan.Query, db *storage.Database) *Result {
 	fact := db.MustTable(q.Fact)
 

@@ -216,6 +216,16 @@ type Query struct {
 	Limit int
 }
 
+// HasGroupCol reports whether table.column is already a group-by key.
+func (q *Query) HasGroupCol(table, column string) bool {
+	for _, g := range q.GroupBy {
+		if g.Table == table && g.Column == column {
+			return true
+		}
+	}
+	return false
+}
+
 // JoinFor returns the join edge for a dimension table, or nil.
 func (q *Query) JoinFor(dim string) *JoinEdge {
 	for i := range q.Joins {

@@ -1,0 +1,316 @@
+// Package reference is the ground-truth oracle for the differential
+// harness (internal/diffcheck): a deliberately simple row-at-a-time scalar
+// interpreter over storage tables. It shares no code with the executors it
+// checks — no hash maps, no vectorized sweeps, no cycle model, no shared
+// accumulator plumbing — so a bug in the engines' common infrastructure
+// cannot hide by appearing on both sides of a comparison. Everything is
+// nested loops and linear scans, slow and obviously correct.
+//
+// Semantics mirror the engines exactly:
+//   - inner-join star queries: a fact row survives only if every join edge
+//     finds a dimension row that passes that dimension's predicates;
+//   - AVG is integer floor division (toward negative infinity), 0 when no
+//     rows contributed;
+//   - COUNT(DISTINCT col) is the cardinality of the per-group value set;
+//   - a grand aggregate (no GROUP BY) always yields exactly one row, all
+//     zeros when nothing matched;
+//   - rows are normalized (sorted by group key), then the ORDER BY is a
+//     stable re-sort on top, then LIMIT truncates.
+package reference
+
+import (
+	"sort"
+
+	"castle/internal/plan"
+	"castle/internal/storage"
+)
+
+// Row is one output group: encoded key values and one value per aggregate.
+type Row struct {
+	Keys []uint32
+	Aggs []int64
+}
+
+// Result is the oracle's answer relation.
+type Result struct {
+	Rows []Row
+}
+
+// group is one in-flight group during the scan. Distinct value sets are
+// kept as sorted slices (binary-search insert), not maps.
+type group struct {
+	keys  []uint32
+	sums  []int64
+	count int64
+	sets  [][]uint32 // per aggregate slot; nil except COUNT(DISTINCT)
+}
+
+// Run evaluates a bound star query by brute force. Cost is
+// O(factRows x dimRows) per join edge — use it on corpora sized for
+// checking answers, not for benchmarks.
+func Run(q *plan.Query, db *storage.Database) *Result {
+	fact := db.MustTable(q.Fact)
+
+	// Per-dimension state: the key column, a pass flag per dimension row
+	// (all of that dimension's predicates hold), and the attribute columns
+	// the query needs from it.
+	type dimState struct {
+		fk    []uint32
+		key   []uint32
+		pass  []bool
+		attrs [][]uint32 // indexed like edge.NeedAttrs
+	}
+	dims := make([]dimState, len(q.Joins))
+	for di, e := range q.Joins {
+		dim := db.MustTable(e.Dim)
+		st := dimState{
+			fk:   fact.MustColumn(e.FactFK).Data,
+			key:  dim.MustColumn(e.DimKey).Data,
+			pass: make([]bool, dim.Rows()),
+		}
+		preds := q.DimPreds[e.Dim]
+		for r := 0; r < dim.Rows(); r++ {
+			ok := true
+			for _, p := range preds {
+				if !p.Matches(dim.MustColumn(p.Column).Data[r]) {
+					ok = false
+					break
+				}
+			}
+			st.pass[r] = ok
+		}
+		st.attrs = make([][]uint32, len(e.NeedAttrs))
+		for ai, a := range e.NeedAttrs {
+			st.attrs[ai] = dim.MustColumn(a).Data
+		}
+		dims[di] = st
+	}
+
+	factPredCols := make([][]uint32, len(q.FactPreds))
+	for i, p := range q.FactPreds {
+		factPredCols[i] = fact.MustColumn(p.Column).Data
+	}
+
+	// Group keys come from fact columns or joined-dimension attributes.
+	type keySrc struct {
+		factCol []uint32 // non-nil for fact columns
+		dim     int
+		attr    int
+	}
+	srcs := make([]keySrc, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		if g.Table == q.Fact {
+			srcs[i] = keySrc{factCol: fact.MustColumn(g.Column).Data}
+			continue
+		}
+		found := false
+		for di, e := range q.Joins {
+			if e.Dim != g.Table {
+				continue
+			}
+			for ai, a := range e.NeedAttrs {
+				if a == g.Column {
+					srcs[i] = keySrc{dim: di, attr: ai}
+					found = true
+				}
+			}
+		}
+		if !found {
+			panic("reference: group-by column " + g.String() + " unreachable from join edges")
+		}
+	}
+
+	aggA := make([][]uint32, len(q.Aggs))
+	aggB := make([][]uint32, len(q.Aggs))
+	for i, a := range q.Aggs {
+		if a.Kind != plan.AggCount {
+			aggA[i] = fact.MustColumn(a.A).Data
+		}
+		if a.Kind == plan.AggSumMul || a.Kind == plan.AggSumSub {
+			aggB[i] = fact.MustColumn(a.B).Data
+		}
+	}
+
+	var groups []*group
+	keys := make([]uint32, len(q.GroupBy))
+	dimRow := make([]int, len(dims))
+
+rowLoop:
+	for r := 0; r < fact.Rows(); r++ {
+		for i, p := range q.FactPreds {
+			if !p.Matches(factPredCols[i][r]) {
+				continue rowLoop
+			}
+		}
+		// Join: scan each dimension back to front for a passing row whose
+		// key equals this row's foreign key. Back-to-front matches the
+		// engines' hash-build semantics (last passing duplicate wins);
+		// star-schema keys are unique so order only matters under
+		// deliberately malformed inputs.
+		for di := range dims {
+			d := &dims[di]
+			fk := d.fk[r]
+			match := -1
+			for dr := len(d.key) - 1; dr >= 0; dr-- {
+				if d.key[dr] == fk && d.pass[dr] {
+					match = dr
+					break
+				}
+			}
+			if match < 0 {
+				continue rowLoop
+			}
+			dimRow[di] = match
+		}
+		for i, s := range srcs {
+			if s.factCol != nil {
+				keys[i] = s.factCol[r]
+			} else {
+				keys[i] = dims[s.dim].attrs[s.attr][dimRow[s.dim]]
+			}
+		}
+		g := findGroup(&groups, keys, q.Aggs)
+		g.count++
+		for i, a := range q.Aggs {
+			switch a.Kind {
+			case plan.AggSumCol, plan.AggAvg:
+				g.sums[i] += int64(aggA[i][r])
+			case plan.AggSumMul:
+				g.sums[i] += int64(aggA[i][r]) * int64(aggB[i][r])
+			case plan.AggSumSub:
+				g.sums[i] += int64(aggA[i][r]) - int64(aggB[i][r])
+			case plan.AggCount:
+				g.sums[i]++
+			case plan.AggMin:
+				if v := int64(aggA[i][r]); g.count == 1 || v < g.sums[i] {
+					g.sums[i] = v
+				}
+			case plan.AggMax:
+				if v := int64(aggA[i][r]); g.count == 1 || v > g.sums[i] {
+					g.sums[i] = v
+				}
+			case plan.AggCountDistinct:
+				insertSorted(&g.sets[i], aggA[i][r])
+			}
+		}
+	}
+
+	// Grand aggregates produce exactly one all-zero row when no fact row
+	// qualified (the engines do not model SQL NULL).
+	if len(q.GroupBy) == 0 && len(groups) == 0 {
+		groups = append(groups, newGroup(nil, q.Aggs))
+	}
+
+	res := &Result{Rows: make([]Row, 0, len(groups))}
+	for _, g := range groups {
+		row := Row{Keys: g.keys, Aggs: append([]int64(nil), g.sums...)}
+		for i, a := range q.Aggs {
+			switch a.Kind {
+			case plan.AggAvg:
+				if g.count > 0 {
+					row.Aggs[i] = floorDiv(g.sums[i], g.count)
+				} else {
+					row.Aggs[i] = 0
+				}
+			case plan.AggCountDistinct:
+				row.Aggs[i] = int64(len(g.sets[i]))
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.normalize()
+	res.applyOrder(q.OrderBy)
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res
+}
+
+// findGroup locates the group with the given keys by linear search, or
+// appends a fresh one.
+func findGroup(groups *[]*group, keys []uint32, aggs []plan.AggExpr) *group {
+next:
+	for _, g := range *groups {
+		for i := range keys {
+			if g.keys[i] != keys[i] {
+				continue next
+			}
+		}
+		return g
+	}
+	g := newGroup(keys, aggs)
+	*groups = append(*groups, g)
+	return g
+}
+
+func newGroup(keys []uint32, aggs []plan.AggExpr) *group {
+	return &group{
+		keys: append([]uint32(nil), keys...),
+		sums: make([]int64, len(aggs)),
+		sets: make([][]uint32, len(aggs)),
+	}
+}
+
+// insertSorted adds v to the sorted set if absent.
+func insertSorted(set *[]uint32, v uint32) {
+	s := *set
+	i := sort.Search(len(s), func(k int) bool { return s[k] >= v })
+	if i < len(s) && s[i] == v {
+		return
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	*set = s
+}
+
+// floorDiv divides toward negative infinity (AVG over SUM(a-b) partials can
+// be negative).
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// normalize sorts rows by group key, the engines' canonical comparison
+// order.
+func (r *Result) normalize() {
+	sort.Slice(r.Rows, func(i, j int) bool {
+		a, b := r.Rows[i].Keys, r.Rows[j].Keys
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// applyOrder stably re-sorts by the ORDER BY terms on top of the normalized
+// order, so ties stay deterministic.
+func (r *Result) applyOrder(terms []plan.OrderTerm) {
+	if len(terms) == 0 {
+		return
+	}
+	sort.SliceStable(r.Rows, func(i, j int) bool {
+		a, b := r.Rows[i], r.Rows[j]
+		for _, t := range terms {
+			var av, bv int64
+			if t.KeyIdx >= 0 {
+				av, bv = int64(a.Keys[t.KeyIdx]), int64(b.Keys[t.KeyIdx])
+			} else {
+				av, bv = a.Aggs[t.AggIdx], b.Aggs[t.AggIdx]
+			}
+			if av == bv {
+				continue
+			}
+			if t.Desc {
+				return av > bv
+			}
+			return av < bv
+		}
+		return false
+	})
+}

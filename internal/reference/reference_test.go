@@ -1,0 +1,218 @@
+package reference
+
+import (
+	"testing"
+
+	"castle/internal/plan"
+	"castle/internal/storage"
+)
+
+func tinyDB() *storage.Database {
+	db := storage.NewDatabase()
+	d := storage.NewTable("dim")
+	d.AddIntColumn("d_key", []uint32{1, 2, 3})
+	d.AddIntColumn("d_year", []uint32{1992, 1992, 1993})
+	db.Add(d)
+	f := storage.NewTable("facts")
+	f.AddIntColumn("f_dk", []uint32{1, 1, 2, 3, 3, 9}) // 9 dangles
+	f.AddIntColumn("f_a", []uint32{10, 20, 30, 40, 50, 60})
+	f.AddIntColumn("f_b", []uint32{1, 2, 3, 4, 5, 6})
+	db.Add(f)
+	return db
+}
+
+func join(attrs ...string) plan.JoinEdge {
+	return plan.JoinEdge{Dim: "dim", FactFK: "f_dk", DimKey: "d_key", NeedAttrs: attrs}
+}
+
+func TestGroupedSumAndCount(t *testing.T) {
+	db := tinyDB()
+	q := &plan.Query{
+		Fact:    "facts",
+		Joins:   []plan.JoinEdge{join("d_year")},
+		GroupBy: []plan.ColRef{{Table: "dim", Column: "d_year"}},
+		Aggs: []plan.AggExpr{
+			{Kind: plan.AggSumCol, A: "f_a"},
+			{Kind: plan.AggCount},
+		},
+	}
+	res := Run(q, db)
+	// Dangling fk 9 drops; 1992 <- rows {10,20,30}, 1993 <- {40,50}.
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	if res.Rows[0].Keys[0] != 1992 || res.Rows[0].Aggs[0] != 60 || res.Rows[0].Aggs[1] != 3 {
+		t.Fatalf("1992 row = %+v", res.Rows[0])
+	}
+	if res.Rows[1].Keys[0] != 1993 || res.Rows[1].Aggs[0] != 90 || res.Rows[1].Aggs[1] != 2 {
+		t.Fatalf("1993 row = %+v", res.Rows[1])
+	}
+}
+
+func TestDimPredicateFilters(t *testing.T) {
+	db := tinyDB()
+	q := &plan.Query{
+		Fact:     "facts",
+		Joins:    []plan.JoinEdge{join()},
+		DimPreds: map[string][]plan.Predicate{"dim": {{Table: "dim", Column: "d_year", Op: plan.PredEQ, Value: 1993}}},
+		Aggs:     []plan.AggExpr{{Kind: plan.AggSumMul, A: "f_a", B: "f_b"}},
+	}
+	res := Run(q, db)
+	if len(res.Rows) != 1 || res.Rows[0].Aggs[0] != 40*4+50*5 {
+		t.Fatalf("result = %+v, want 410", res.Rows)
+	}
+}
+
+func TestGrandAggregateZeroRowOnEmptyMatch(t *testing.T) {
+	db := tinyDB()
+	q := &plan.Query{
+		Fact:      "facts",
+		FactPreds: []plan.Predicate{{Table: "facts", Column: "f_a", Op: plan.PredGT, Value: 1000}},
+		Aggs: []plan.AggExpr{
+			{Kind: plan.AggSumCol, A: "f_a"},
+			{Kind: plan.AggMin, A: "f_a"},
+			{Kind: plan.AggAvg, A: "f_a"},
+		},
+	}
+	res := Run(q, db)
+	if len(res.Rows) != 1 {
+		t.Fatalf("want exactly one zero row, got %+v", res.Rows)
+	}
+	for i, v := range res.Rows[0].Aggs {
+		if v != 0 {
+			t.Fatalf("agg %d = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestGroupedEmptyMatchYieldsNoRows(t *testing.T) {
+	db := tinyDB()
+	q := &plan.Query{
+		Fact:      "facts",
+		Joins:     []plan.JoinEdge{join("d_year")},
+		FactPreds: []plan.Predicate{{Table: "facts", Column: "f_a", Op: plan.PredLT, Value: 0}},
+		GroupBy:   []plan.ColRef{{Table: "dim", Column: "d_year"}},
+		Aggs:      []plan.AggExpr{{Kind: plan.AggCount}},
+	}
+	if res := Run(q, db); len(res.Rows) != 0 {
+		t.Fatalf("grouped empty match must be empty, got %+v", res.Rows)
+	}
+}
+
+func TestMinMaxAvgDistinct(t *testing.T) {
+	db := tinyDB()
+	q := &plan.Query{
+		Fact: "facts",
+		Aggs: []plan.AggExpr{
+			{Kind: plan.AggMin, A: "f_a"},
+			{Kind: plan.AggMax, A: "f_a"},
+			{Kind: plan.AggAvg, A: "f_b"},
+			{Kind: plan.AggCountDistinct, A: "f_dk"},
+		},
+	}
+	res := Run(q, db)
+	// f_b sums to 21 over 6 rows -> floor(21/6) = 3; distinct f_dk = {1,2,3,9}.
+	want := []int64{10, 60, 3, 4}
+	for i, w := range want {
+		if res.Rows[0].Aggs[i] != w {
+			t.Fatalf("agg %d = %d, want %d (all %v)", i, res.Rows[0].Aggs[i], w, res.Rows[0].Aggs)
+		}
+	}
+}
+
+func TestSumSubCanGoNegative(t *testing.T) {
+	db := tinyDB()
+	q := &plan.Query{
+		Fact:      "facts",
+		FactPreds: []plan.Predicate{{Table: "facts", Column: "f_dk", Op: plan.PredEQ, Value: 1}},
+		Aggs:      []plan.AggExpr{{Kind: plan.AggSumSub, A: "f_b", B: "f_a"}},
+	}
+	res := Run(q, db)
+	if res.Rows[0].Aggs[0] != (1-10)+(2-20) {
+		t.Fatalf("got %d, want -27", res.Rows[0].Aggs[0])
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	db := tinyDB()
+	q := &plan.Query{
+		Fact:    "facts",
+		GroupBy: []plan.ColRef{{Table: "facts", Column: "f_dk"}},
+		Aggs:    []plan.AggExpr{{Kind: plan.AggSumCol, A: "f_a"}},
+		OrderBy: []plan.OrderTerm{{KeyIdx: -1, AggIdx: 0, Desc: true}},
+		Limit:   2,
+	}
+	res := Run(q, db)
+	if len(res.Rows) != 2 {
+		t.Fatalf("limit ignored: %+v", res.Rows)
+	}
+	// Sums by f_dk: 1->30, 2->30, 3->90, 9->60. DESC: 90, 60.
+	if res.Rows[0].Aggs[0] != 90 || res.Rows[1].Aggs[0] != 60 {
+		t.Fatalf("order wrong: %+v", res.Rows)
+	}
+}
+
+func TestOrderByTiesStayNormalized(t *testing.T) {
+	db := tinyDB()
+	q := &plan.Query{
+		Fact:    "facts",
+		GroupBy: []plan.ColRef{{Table: "facts", Column: "f_dk"}},
+		Aggs:    []plan.AggExpr{{Kind: plan.AggSumCol, A: "f_a"}},
+		OrderBy: []plan.OrderTerm{{KeyIdx: -1, AggIdx: 0}},
+	}
+	res := Run(q, db)
+	// Groups 1 and 2 tie at sum 30; the stable sort must keep them in
+	// normalized (key-ascending) order.
+	if res.Rows[0].Keys[0] != 1 || res.Rows[1].Keys[0] != 2 {
+		t.Fatalf("tie order wrong: %+v", res.Rows)
+	}
+}
+
+func TestDuplicateDimKeysLastPassingWins(t *testing.T) {
+	db := storage.NewDatabase()
+	d := storage.NewTable("dim")
+	d.AddIntColumn("d_key", []uint32{7, 7})
+	d.AddIntColumn("d_attr", []uint32{100, 200})
+	db.Add(d)
+	f := storage.NewTable("facts")
+	f.AddIntColumn("f_dk", []uint32{7})
+	f.AddIntColumn("f_v", []uint32{1})
+	db.Add(f)
+	q := &plan.Query{
+		Fact:    "facts",
+		Joins:   []plan.JoinEdge{{Dim: "dim", FactFK: "f_dk", DimKey: "d_key", NeedAttrs: []string{"d_attr"}}},
+		GroupBy: []plan.ColRef{{Table: "dim", Column: "d_attr"}},
+		Aggs:    []plan.AggExpr{{Kind: plan.AggCount}},
+	}
+	res := Run(q, db)
+	if len(res.Rows) != 1 || res.Rows[0].Keys[0] != 200 {
+		t.Fatalf("want last duplicate's attrs (200), got %+v", res.Rows)
+	}
+}
+
+func TestInsertSorted(t *testing.T) {
+	var s []uint32
+	for _, v := range []uint32{5, 1, 9, 5, 1, 3} {
+		insertSorted(&s, v)
+	}
+	want := []uint32{1, 3, 5, 9}
+	if len(s) != len(want) {
+		t.Fatalf("set = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("set = %v, want %v", s, want)
+		}
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 3}, {-7, 2, -4}, {6, 2, 3}, {-6, 2, -3}, {0, 5, 0},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

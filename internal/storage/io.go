@@ -26,38 +26,75 @@ import (
 const (
 	binaryMagic   = "CSTL"
 	binaryVersion = 1
+
+	// maxStrLen bounds every length-prefixed string in the format (names
+	// and dictionary entries). Far above anything a real schema produces,
+	// low enough that a corrupt length cannot force a giant allocation.
+	maxStrLen = 1 << 24
+	// maxCount bounds table and column counts: they only gate loops, but a
+	// corrupt count should fail with a format error, not a long stall.
+	maxCount = 1 << 20
+	// readChunkRows is the allocation granularity for column data. Corrupt
+	// (or truncated) inputs claiming billions of rows fail at the first
+	// short chunk instead of first allocating rows*4 bytes.
+	readChunkRows = 1 << 16
 )
 
-// WriteBinary serializes the database.
+// WriteBinary serializes the database. Every count and length in the format
+// is a u32; writing a database that cannot round-trip (2^32 or more rows,
+// columns, dictionary entries, or a longer string) fails loudly instead of
+// silently truncating the count.
 func (db *Database) WriteBinary(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.WriteString(binaryMagic); err != nil {
 		return err
 	}
 	writeU32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	checkedU32 := func(n int, what string) (uint32, error) {
+		if n < 0 || int64(n) > int64(^uint32(0)) {
+			return 0, fmt.Errorf("storage: %s %d does not fit the format's u32", what, n)
+		}
+		return uint32(n), nil
+	}
 	writeStr := func(s string) error {
-		if err := writeU32(uint32(len(s))); err != nil {
+		n, err := checkedU32(len(s), "string length")
+		if err != nil {
 			return err
 		}
-		_, err := bw.WriteString(s)
+		if err := writeU32(n); err != nil {
+			return err
+		}
+		_, err = bw.WriteString(s)
 		return err
 	}
 	if err := writeU32(binaryVersion); err != nil {
 		return err
 	}
 	tables := db.Tables()
-	if err := writeU32(uint32(len(tables))); err != nil {
+	tc, err := checkedU32(len(tables), "table count")
+	if err != nil {
+		return err
+	}
+	if err := writeU32(tc); err != nil {
 		return err
 	}
 	for _, t := range tables {
 		if err := writeStr(t.Name); err != nil {
 			return err
 		}
-		if err := writeU32(uint32(t.Rows())); err != nil {
+		rows, err := checkedU32(t.Rows(), "row count of "+t.Name)
+		if err != nil {
+			return err
+		}
+		if err := writeU32(rows); err != nil {
 			return err
 		}
 		cols := t.Columns()
-		if err := writeU32(uint32(len(cols))); err != nil {
+		cc, err := checkedU32(len(cols), "column count of "+t.Name)
+		if err != nil {
+			return err
+		}
+		if err := writeU32(cc); err != nil {
 			return err
 		}
 		for _, c := range cols {
@@ -68,7 +105,11 @@ func (db *Database) WriteBinary(w io.Writer) error {
 				return err
 			}
 			if c.Kind == KindString {
-				if err := writeU32(uint32(c.Dict.Size())); err != nil {
+				ds, err := checkedU32(c.Dict.Size(), "dictionary size of "+t.Name+"."+c.Name)
+				if err != nil {
+					return err
+				}
+				if err := writeU32(ds); err != nil {
 					return err
 				}
 				for code := 0; code < c.Dict.Size(); code++ {
@@ -85,7 +126,11 @@ func (db *Database) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadBinary deserializes a database written by WriteBinary.
+// ReadBinary deserializes a database written by WriteBinary. The input is
+// untrusted: every count and length field is sanity-checked before it
+// drives an allocation, column data is read in bounded chunks so a corrupt
+// row count fails on truncation instead of exhausting memory, and
+// duplicate table/column names are format errors rather than panics.
 func ReadBinary(r io.Reader) (*Database, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, 4)
@@ -105,14 +150,38 @@ func ReadBinary(r io.Reader) (*Database, error) {
 		if err != nil {
 			return "", err
 		}
-		if n > 1<<24 {
+		if n > maxStrLen {
 			return "", fmt.Errorf("storage: unreasonable string length %d", n)
 		}
 		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return "", err
+		if m, err := io.ReadFull(br, buf); err != nil {
+			return "", fmt.Errorf("storage: string truncated after %d of %d bytes: %w", m, n, err)
 		}
 		return string(buf), nil
+	}
+	// readColumnData reads rows u32 values in bounded chunks: the largest
+	// single allocation is readChunkRows entries, so a corrupt row count
+	// backed by a short file errors out early.
+	readColumnData := func(rows uint32, what string) ([]uint32, error) {
+		capHint := rows
+		if capHint > readChunkRows {
+			capHint = readChunkRows
+		}
+		data := make([]uint32, 0, capHint)
+		for remaining := rows; remaining > 0; {
+			n := remaining
+			if n > readChunkRows {
+				n = readChunkRows
+			}
+			chunk := make([]uint32, n)
+			if err := binary.Read(br, binary.LittleEndian, chunk); err != nil {
+				return nil, fmt.Errorf("storage: %s truncated after %d of %d rows: %w",
+					what, len(data), rows, err)
+			}
+			data = append(data, chunk...)
+			remaining -= n
+		}
+		return data, nil
 	}
 
 	version, err := readU32()
@@ -126,11 +195,17 @@ func ReadBinary(r io.Reader) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
+	if tableCount > maxCount {
+		return nil, fmt.Errorf("storage: unreasonable table count %d", tableCount)
+	}
 	db := NewDatabase()
 	for ti := uint32(0); ti < tableCount; ti++ {
 		name, err := readStr()
 		if err != nil {
 			return nil, err
+		}
+		if db.Table(name) != nil {
+			return nil, fmt.Errorf("storage: duplicate table %q in input", name)
 		}
 		rows, err := readU32()
 		if err != nil {
@@ -140,15 +215,24 @@ func ReadBinary(r io.Reader) (*Database, error) {
 		if err != nil {
 			return nil, err
 		}
+		if colCount > maxCount {
+			return nil, fmt.Errorf("storage: unreasonable column count %d in table %q", colCount, name)
+		}
 		t := NewTable(name)
 		for ci := uint32(0); ci < colCount; ci++ {
 			colName, err := readStr()
 			if err != nil {
 				return nil, err
 			}
+			if t.Column(colName) != nil {
+				return nil, fmt.Errorf("storage: duplicate column %s.%s in input", name, colName)
+			}
 			kindRaw, err := readU32()
 			if err != nil {
 				return nil, err
+			}
+			if k := Kind(kindRaw); k != KindInt && k != KindString {
+				return nil, fmt.Errorf("storage: unknown column kind %d for %s.%s", kindRaw, name, colName)
 			}
 			var dictVals []string
 			if Kind(kindRaw) == KindString {
@@ -156,16 +240,26 @@ func ReadBinary(r io.Reader) (*Database, error) {
 				if err != nil {
 					return nil, err
 				}
-				dictVals = make([]string, dictSize)
-				for di := range dictVals {
-					if dictVals[di], err = readStr(); err != nil {
-						return nil, err
+				// Entries are length-prefixed, so truncation surfaces at the
+				// first short entry; growing incrementally keeps a corrupt
+				// dictSize from allocating gigabytes of headers up front.
+				capHint := dictSize
+				if capHint > readChunkRows {
+					capHint = readChunkRows
+				}
+				dictVals = make([]string, 0, capHint)
+				for di := uint32(0); di < dictSize; di++ {
+					s, err := readStr()
+					if err != nil {
+						return nil, fmt.Errorf("storage: dictionary of %s.%s truncated after %d of %d entries: %w",
+							name, colName, di, dictSize, err)
 					}
+					dictVals = append(dictVals, s)
 				}
 			}
-			data := make([]uint32, rows)
-			if err := binary.Read(br, binary.LittleEndian, data); err != nil {
-				return nil, fmt.Errorf("storage: reading %s.%s: %w", name, colName, err)
+			data, err := readColumnData(rows, name+"."+colName)
+			if err != nil {
+				return nil, err
 			}
 			switch Kind(kindRaw) {
 			case KindInt:
@@ -181,8 +275,6 @@ func ReadBinary(r io.Reader) (*Database, error) {
 					vals[i] = dictVals[code]
 				}
 				t.AddStringColumn(colName, vals)
-			default:
-				return nil, fmt.Errorf("storage: unknown column kind %d", kindRaw)
 			}
 		}
 		db.Add(t)
@@ -202,6 +294,13 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 	}
 	if len(header) == 0 {
 		return nil, fmt.Errorf("storage: empty CSV header")
+	}
+	seen := make(map[string]bool, len(header))
+	for _, h := range header {
+		if seen[h] {
+			return nil, fmt.Errorf("storage: duplicate CSV column %q", h)
+		}
+		seen[h] = true
 	}
 	cols := make([][]string, len(header))
 	for {
