@@ -246,6 +246,53 @@ func ParseDevice(s string) (Device, error) {
 	return 0, fmt.Errorf("castle: unknown device %q (valid: cape, cpu, hybrid)", s)
 }
 
+// Placement selects the device-assignment granularity for DeviceHybrid.
+type Placement int
+
+// Placements.
+const (
+	// PlacementWholeQuery routes the entire query to one engine with the
+	// §7.2 crossover heuristics (the historical hybrid behaviour).
+	PlacementWholeQuery Placement = iota
+	// PlacementPerOperator lets the optimizer assign each physical operator
+	// its own device: the fused fact stage (scan+filter+probes), each
+	// dimension build, and the aggregation tail are placed independently
+	// with explicit transfer costs on CAPE<->CPU crossings, so a query can
+	// filter selectively on CAPE and aggregate its high-cardinality groups
+	// on the CPU within one execution.
+	PlacementPerOperator
+)
+
+// String names the placement mode for logs and API payloads.
+func (p Placement) String() string {
+	switch p {
+	case PlacementWholeQuery:
+		return "whole-query"
+	case PlacementPerOperator:
+		return "per-operator"
+	}
+	return fmt.Sprintf("placement(%d)", int(p))
+}
+
+// ParsePlacement maps a placement name ("whole-query", "per-operator") to
+// its Placement.
+func ParsePlacement(s string) (Placement, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "whole-query":
+		return PlacementWholeQuery, nil
+	case "per-operator":
+		return PlacementPerOperator, nil
+	}
+	return 0, fmt.Errorf("castle: unknown placement %q (valid: whole-query, per-operator)", s)
+}
+
+func (p Placement) validate() error {
+	if p < PlacementWholeQuery || p > PlacementPerOperator {
+		return fmt.Errorf("castle: unknown placement %d (valid: PlacementWholeQuery, PlacementPerOperator)", int(p))
+	}
+	return nil
+}
+
 // PlanShape forces a join-plan shape (§3.4); ShapeAuto lets the AP-aware
 // optimizer choose.
 type PlanShape int
@@ -261,6 +308,11 @@ const (
 // Options configure one query execution.
 type Options struct {
 	Device Device
+	// Placement selects the device-assignment granularity when Device is
+	// DeviceHybrid: whole-query crossover routing (the default) or
+	// per-operator placement with explicit transfer costs. Ignored for
+	// DeviceCAPE and DeviceCPU, whose device is forced.
+	Placement Placement
 	// Shape forces a plan shape on CAPE (ShapeAuto = optimizer's choice).
 	Shape PlanShape
 	// MAXVL overrides the CAPE vector length (0 = the paper's 32,768).
@@ -501,6 +553,9 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*R
 	if err := opt.Device.validate(); err != nil {
 		return nil, nil, err
 	}
+	if err := opt.Placement.validate(); err != nil {
+		return nil, nil, err
+	}
 	if opt.Parallelism < 0 {
 		return nil, nil, fmt.Errorf("castle: negative Parallelism %d", opt.Parallelism)
 	}
@@ -548,6 +603,10 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*R
 
 	cat := db.catalog()
 	phys := cp.Phys
+
+	if opt.Device == DeviceHybrid && opt.Placement == PlacementPerOperator {
+		return db.runPlaced(ctx, qs, cp.Phys, cfg, cat, opt)
+	}
 
 	if opt.Device == DeviceHybrid {
 		h := exec.NewDefaultHybrid(cfg, cat)
@@ -619,6 +678,93 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*R
 	}
 	db.recordQueryMetrics(tel, qs, m, phys.Shape().String())
 	return db.decode(res), m, nil
+}
+
+// runPlaced executes a per-operator placed pipeline (DeviceHybrid with
+// PlacementPerOperator): the optimizer assigns each physical operator its
+// own device and the placed executor runs the split pipeline; a mixed
+// placement's metrics combine both engines' cycle accounting, and its
+// breakdown rows carry per-operator devices plus explicit "xfer:" rows for
+// the crossings.
+func (db *DB) runPlaced(ctx context.Context, qs *telemetry.Span, phys *plan.Physical, cfg cape.Config, cat *stats.Catalog, opt Options) (*Rows, *Metrics, error) {
+	pp := optimizer.PlacePlan(phys, cat, cfg.MAXVL)
+	tel := opt.Telemetry
+	h := exec.NewDefaultHybrid(cfg, cat)
+	h.SetParallelism(opt.Parallelism)
+	exec.AttachEngineTelemetry(h.Castle().Engine(), tel)
+	exec.AttachCPUTelemetry(h.CPUExec().CPU(), tel)
+	es := qs.Child("execute")
+	h.Placed().SetTelemetry(tel, es)
+	res, _, err := h.RunPlacedContext(ctx, pp, db.store)
+	if err != nil {
+		es.End()
+		return nil, nil, err
+	}
+	capeCy, cpuCy := h.Placed().DeviceCycles()
+	st := h.Castle().Engine().Stats()
+	cpu := h.CPUExec().CPU()
+	used := "CAPE+CPU"
+	if dev, uniform := pp.Uniform(); uniform {
+		used = dev.String()
+	}
+	m := &Metrics{
+		Cycles:     capeCy + cpuCy,
+		Seconds:    st.Seconds(cfg.ClockHz) + cpu.Seconds(),
+		BytesMoved: h.Castle().Engine().Mem().BytesMoved() + cpu.Mem().BytesMoved(),
+		Plan:       pp.String(),
+		DeviceUsed: used,
+		Breakdown:  h.Placed().Breakdown(),
+	}
+	es.SetInt("cycles", m.Cycles)
+	es.SetStr("device", m.DeviceUsed)
+	es.SetStr("placement", PlacementPerOperator.String())
+	es.End()
+	shape := ""
+	if pp.FactDevice() == plan.DeviceCAPE {
+		shape = phys.Shape().String()
+	}
+	db.recordQueryMetrics(tel, qs, m, shape)
+	return db.decode(res), m, nil
+}
+
+// PlacedExplain describes the per-operator placement chosen for a
+// statement: the rendered operator tree (the EXPLAIN surface) plus the
+// routing facts a scheduler needs before committing execution resources.
+type PlacedExplain struct {
+	// Tree is the rendered placed operator tree: one line per operator with
+	// its device, estimated rows and cycles, and transfer costs.
+	Tree string
+	// FactDevice is the device the fused fact stage (scan+filter+probes)
+	// runs on — the execution resource that drives the sweep's fan-out.
+	FactDevice Device
+	// Mixed reports whether the placement spans both devices.
+	Mixed bool
+	// EstCycles is the cost model's estimate for the whole placed pipeline,
+	// transfers included.
+	EstCycles int64
+}
+
+// ExplainPlacement resolves the per-operator placement for a statement
+// under opt's design point without executing it. Preparation goes through
+// the plan cache, so explaining an already-seen statement is cheap.
+func (db *DB) ExplainPlacement(sqlText string, opt Options) (*PlacedExplain, error) {
+	opt.Device = DeviceHybrid
+	cfg := capeConfig(opt)
+	cp, err := db.prepare(nil, sqlText, opt, cfg.MAXVL)
+	if err != nil {
+		return nil, err
+	}
+	pp := optimizer.PlacePlan(cp.Phys, db.catalog(), cfg.MAXVL)
+	fd := DeviceCAPE
+	if pp.FactDevice() == plan.DeviceCPU {
+		fd = DeviceCPU
+	}
+	return &PlacedExplain{
+		Tree:       pp.String(),
+		FactDevice: fd,
+		Mixed:      pp.Mixed(),
+		EstCycles:  pp.EstCycles(),
+	}, nil
 }
 
 // recordQueryMetrics updates the run-level counters and histograms after a

@@ -40,6 +40,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "SSB generator seed")
 	loadPath := flag.String("load", "", "load a CSTL binary database instead of generating SSB")
 	device := flag.String("device", "hybrid", "default execution device: cape, cpu, or hybrid")
+	placement := flag.String("placement", "whole-query", "hybrid device granularity: whole-query or per-operator")
 	capeTiles := flag.Int("cape-tiles", 2, "number of CAPE tiles to schedule")
 	cpuSlots := flag.Int("cpu-slots", 2, "number of baseline-CPU slots to schedule")
 	maxTiles := flag.Int("max-tiles", 1, "elastic lease size: tiles/slots a single query may fan its fact sweep across")
@@ -58,6 +59,9 @@ func main() {
 	if _, err := castle.ParseDevice(*device); err != nil {
 		fatalf("%v", err)
 	}
+	if _, err := castle.ParsePlacement(*placement); err != nil {
+		fatalf("%v", err)
+	}
 
 	var db *castle.DB
 	if *loadPath != "" {
@@ -73,6 +77,7 @@ func main() {
 
 	svc, err := server.New(db, nil, server.Config{
 		Device:           *device,
+		Placement:        *placement,
 		QueueDepth:       *queueDepth,
 		CAPETiles:        *capeTiles,
 		CPUSlots:         *cpuSlots,

@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,7 +38,7 @@ func main() {
 	sf := flag.Float64("sf", 0.1, "SSB scale factor")
 	queryText := flag.String("query", "", "SQL query to run")
 	ssbNum := flag.Int("ssb", 0, "run SSB query 1..13 instead of -query")
-	device := flag.String("device", "cape", "execution device: cape, cpu, or both")
+	device := flag.String("device", "cape", "execution device: cape, cpu, both, or hybrid (per-operator placement)")
 	explain := flag.Bool("explain", false, "print every candidate plan with its cost")
 	analyze := flag.Bool("analyze", false, "print the EXPLAIN ANALYZE per-operator cycle breakdown")
 	noEnh := flag.Bool("no-enhancements", false, "disable ADL/MKS/ABA (unmodified CAPE)")
@@ -51,9 +52,9 @@ func main() {
 	flag.Parse()
 
 	switch *device {
-	case "cape", "cpu", "both":
+	case "cape", "cpu", "both", "hybrid":
 	default:
-		fatalf("unknown -device %q (valid: cape, cpu, both)", *device)
+		fatalf("unknown -device %q (valid: cape, cpu, both, hybrid)", *device)
 	}
 
 	qsql := *queryText
@@ -187,7 +188,7 @@ type session struct {
 // toggles the EXPLAIN ANALYZE breakdown, \parallel N sets the fact-sweep
 // fan-out.
 func (s *session) repl() {
-	fmt.Println("castle> enter SQL (one statement per line; \\analyze toggles breakdowns; \\parallel N sets fan-out; \\q to quit)")
+	fmt.Println("castle> enter SQL (one statement per line; \\analyze toggles breakdowns; \\explain toggles plans; \\device D switches engine; \\parallel N sets fan-out; \\q to quit)")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Print("castle> ")
@@ -203,6 +204,22 @@ func (s *session) repl() {
 				fmt.Println("explain analyze: on")
 			} else {
 				fmt.Println("explain analyze: off")
+			}
+		case line == "\\explain":
+			s.explain = !s.explain
+			if s.explain {
+				fmt.Println("explain: on (candidate plans + placed operator tree)")
+			} else {
+				fmt.Println("explain: off")
+			}
+		case line == "\\device" || strings.HasPrefix(line, "\\device "):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, "\\device"))
+			switch arg {
+			case "cape", "cpu", "both", "hybrid":
+				s.device = arg
+				fmt.Printf("device: %s\n", s.device)
+			default:
+				fmt.Fprintf(os.Stderr, "error: \\device wants cape, cpu, both or hybrid, got %q\n", arg)
 			}
 		case line == "\\parallel" || strings.HasPrefix(line, "\\parallel "):
 			arg := strings.TrimSpace(strings.TrimPrefix(line, "\\parallel"))
@@ -289,8 +306,13 @@ func (s *session) runQuery(qsql string) error {
 			fmt.Printf("  %s %-11v switch=%d searches=%-12d order=%v\n",
 				marker, c.Shape(), c.SwitchAt, c.Searches, dimNames(c.Joins))
 		}
+		fmt.Println(optimizer.PlacePlan(phys, s.cat, cfg.MAXVL).String())
 	}
 	fmt.Printf("plan: %v\n\n", phys)
+
+	if s.device == "hybrid" {
+		return s.runHybrid(qs, phys, cfg)
+	}
 
 	if s.device == "cape" || s.device == "both" {
 		eng := cape.New(cfg)
@@ -340,6 +362,48 @@ func (s *session) runQuery(qsql string) error {
 			fmt.Println("\nEXPLAIN ANALYZE:")
 			fmt.Println(x.Breakdown().Format())
 		}
+	}
+	return nil
+}
+
+// runHybrid executes one plan under the optimizer's per-operator placement:
+// the placed pipeline may keep the whole query on one device or split the
+// fact stage and the aggregation tail across CAPE and the CPU, with both
+// devices' cycle accounting combined.
+func (s *session) runHybrid(qs *telemetry.Span, phys *plan.Physical, cfg cape.Config) error {
+	pp := optimizer.PlacePlan(phys, s.cat, cfg.MAXVL)
+	h := exec.NewDefaultHybrid(cfg, s.cat)
+	h.SetParallelism(s.parallel)
+	exec.AttachEngineTelemetry(h.Castle().Engine(), s.tel)
+	exec.AttachCPUTelemetry(h.CPUExec().CPU(), s.tel)
+	es := qs.Child("execute")
+	h.Placed().SetTelemetry(s.tel, es)
+	res, _, err := h.RunPlacedContext(context.Background(), pp, s.db)
+	if err != nil {
+		es.End()
+		return err
+	}
+	capeCy, cpuCy := h.Placed().DeviceCycles()
+	total := capeCy + cpuCy
+	used := "CAPE+CPU"
+	if dev, uniform := pp.Uniform(); uniform {
+		used = dev.String()
+	}
+	es.SetInt("cycles", total)
+	es.SetStr("device", used)
+	es.End()
+	seconds := h.Castle().Engine().Stats().Seconds(cfg.ClockHz) + h.CPUExec().CPU().Seconds()
+	moved := h.Castle().Engine().Mem().BytesMoved() + h.CPUExec().CPU().Mem().BytesMoved()
+	s.countQuery(strings.ToLower(used), total, moved, phys.Shape().String(), seconds)
+
+	fmt.Printf("== hybrid (%s)\n", used)
+	fmt.Println(pp.String())
+	fmt.Print(res.Format(s.db))
+	fmt.Printf("\ntotal=%d cycles (CAPE %d + CPU %d); wall time: %.3f ms; DRAM traffic: %.1f MB\n",
+		total, capeCy, cpuCy, seconds*1e3, float64(moved)/(1<<20))
+	if s.analyze {
+		fmt.Println("\nEXPLAIN ANALYZE:")
+		fmt.Println(h.Placed().Breakdown().Format())
 	}
 	return nil
 }

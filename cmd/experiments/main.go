@@ -27,6 +27,8 @@ func main() {
 	runList := flag.String("run", "all", "comma-separated experiments to run")
 	quick := flag.Bool("quick", false, "shrink microbenchmark sweeps for a fast pass")
 	benchJSON := flag.String("bench-json", "", "write a benchmark report (geomean, per-query cycles, K=1..4 scaling, server latency) as JSON to this path and exit")
+	benchBaseline := flag.String("bench-baseline", "", "with -bench-json: compare the run's geomean speedup against this committed baseline report; nonzero exit on regression beyond -bench-tolerance")
+	benchTol := flag.Float64("bench-tolerance", 0.02, "fractional geomean regression allowed by -bench-baseline (0.02 = 2%)")
 	diffN := flag.Int("diff", 0, "run a differential fuzz campaign of N random queries (reference vs CAPE vs CPU at K=1,4) and exit; nonzero exit on any mismatch")
 	diffSeed := flag.Int64("diff-seed", 1, "base query seed for -diff (queries use seeds base..base+N-1)")
 	diffOut := flag.String("diff-out", "DIFF_REPRO.txt", "where -diff writes the shrunk reproducer on failure")
@@ -55,6 +57,25 @@ func main() {
 		}
 		fmt.Printf("wrote %s (geomean speedup %.2fx; server p50=%dus p99=%dus)\n",
 			*benchJSON, rep.GeomeanSpeedup, rep.Server.P50Micros, rep.Server.P99Micros)
+		if *benchBaseline != "" {
+			bf, err := os.Open(*benchBaseline)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			base, err := experiments.ReadBenchJSON(bf)
+			bf.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if err := rep.CompareGeomean(base, *benchTol); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("geomean within %.1f%% of baseline %s (%.2fx vs %.2fx)\n",
+				*benchTol*100, *benchBaseline, rep.GeomeanSpeedup, base.GeomeanSpeedup)
+		}
 		return
 	}
 

@@ -7,6 +7,7 @@ package diffcheck
 // caught and reported as mismatches rather than crashing a campaign.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -89,6 +90,12 @@ func (c *Corpus) Check(q *plan.Query, opts Options) *Mismatch {
 				return m
 			}
 			traffic = append(traffic, bytes)
+			if m := c.checkRouted(q, want, cfg, k); m != nil {
+				return m
+			}
+			if m := c.checkMixed(q, want, cfg, k); m != nil {
+				return m
+			}
 		}
 		// Fork traffic absorption: BytesMoved is a work metric — each
 		// partition loads the same columns whichever tile runs it, and the
@@ -171,6 +178,104 @@ func (c *Corpus) checkCAPE(q *plan.Query, want *reference.Result, cfg cape.Confi
 		return 0, &Mismatch{Query: q, Engine: name, Detail: d}
 	}
 	return eng.Mem().BytesMoved(), nil
+}
+
+// checkRouted runs the whole-query hybrid router (exec.DecideDevice through
+// Hybrid.RunContext): whichever engine the §7.2 crossovers pick must
+// reproduce the scalar reference bit for bit.
+func (c *Corpus) checkRouted(q *plan.Query, want *reference.Result, cfg cape.Config, k int) (m *Mismatch) {
+	name := fmt.Sprintf("HYBRID[maxvl=%d,K=%d]", cfg.MAXVL, k)
+	defer func() {
+		if r := recover(); r != nil {
+			m = &Mismatch{Query: q, Engine: name, Detail: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	p, err := optimizer.Optimize(q, c.Cat, cfg.MAXVL)
+	if err != nil {
+		return &Mismatch{Query: q, Engine: name, Detail: fmt.Sprintf("optimize: %v", err)}
+	}
+	h := exec.NewDefaultHybrid(cfg, c.Cat)
+	h.SetParallelism(k)
+	got, dev, err := h.RunContext(context.Background(), p, c.DB)
+	if err != nil {
+		return &Mismatch{Query: q, Engine: name, Detail: fmt.Sprintf("run: %v", err)}
+	}
+	if d := diffResults(want, got); d != "" {
+		return &Mismatch{Query: q, Engine: name + "->" + dev.String(), Detail: d}
+	}
+	return nil
+}
+
+// groupedVVArith reports the one aggregate shape the CAPE aggregation
+// kernel rejects (SUM(a*b) under GROUP BY); forced placements must keep its
+// tail off CAPE, exactly as the optimizer's placement layer does.
+func groupedVVArith(q *plan.Query) bool {
+	if len(q.GroupBy) == 0 {
+		return false
+	}
+	for _, a := range q.Aggs {
+		if a.Kind == plan.AggSumMul {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMixed forces both mixed per-operator placements — fact stage on CAPE
+// with the aggregation tail on the CPU, and the reverse — through the
+// placed executor: results must match the scalar reference, and the
+// two-device books must balance exactly.
+func (c *Corpus) checkMixed(q *plan.Query, want *reference.Result, cfg cape.Config, k int) (m *Mismatch) {
+	name := fmt.Sprintf("MIXED[maxvl=%d,K=%d]", cfg.MAXVL, k)
+	defer func() {
+		if r := recover(); r != nil {
+			m = &Mismatch{Query: q, Engine: name, Detail: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	p, err := optimizer.Optimize(q, c.Cat, cfg.MAXVL)
+	if err != nil {
+		return &Mismatch{Query: q, Engine: name, Detail: fmt.Sprintf("optimize: %v", err)}
+	}
+	for _, factDev := range []plan.Device{plan.DeviceCAPE, plan.DeviceCPU} {
+		aggDev := plan.DeviceCPU
+		if factDev == plan.DeviceCPU {
+			aggDev = plan.DeviceCAPE
+			if groupedVVArith(q) {
+				continue
+			}
+		}
+		dimDev := make(map[string]plan.Device, len(p.Joins))
+		for _, e := range p.Joins {
+			dimDev[e.Dim] = factDev
+		}
+		pp := plan.Compile(p, factDev).Place(factDev, aggDev, dimDev)
+		name := fmt.Sprintf("MIXED[fact=%s,maxvl=%d,K=%d]", factDev, cfg.MAXVL, k)
+		castle := exec.NewCastle(cape.New(cfg), c.Cat, exec.DefaultCastleOptions())
+		cpuex := exec.NewCPUExec(baseline.New(baseline.DefaultConfig()))
+		x := exec.NewPlaced(castle, cpuex, c.Cat)
+		x.SetParallelism(k)
+		got, err := x.Run(pp, c.DB)
+		if err != nil {
+			return &Mismatch{Query: q, Engine: name, Detail: fmt.Sprintf("run: %v", err)}
+		}
+		if d := diffResults(want, got); d != "" {
+			return &Mismatch{Query: q, Engine: name, Detail: d}
+		}
+		capeCy, cpuCy := x.DeviceCycles()
+		bd := x.Breakdown()
+		if bd == nil {
+			return &Mismatch{Query: q, Engine: name, Detail: "no breakdown recorded"}
+		}
+		if bd.TotalCycles != capeCy+cpuCy {
+			return &Mismatch{Query: q, Engine: name,
+				Detail: fmt.Sprintf("breakdown TotalCycles %d != CAPE %d + CPU %d", bd.TotalCycles, capeCy, cpuCy)}
+		}
+		if sum := bd.SumCycles(); sum != bd.TotalCycles {
+			return &Mismatch{Query: q, Engine: name,
+				Detail: fmt.Sprintf("breakdown rows sum to %d, want %d exactly", sum, bd.TotalCycles)}
+		}
+	}
+	return nil
 }
 
 // checkAccounting asserts the run's books balance: the breakdown rows

@@ -1,0 +1,299 @@
+package exec
+
+// cape_aggregate.go holds the CAPE Aggregate kernels: Algorithm 2's
+// per-group search loop (generalised to composite keys), the scalar
+// no-GROUP-BY reductions, the single-group-column bulk fast path, and the
+// COUNT(DISTINCT) nested loop.
+
+import (
+	"sort"
+
+	"castle/internal/bitvec"
+	"castle/internal/cape"
+	"castle/internal/isa"
+	"castle/internal/plan"
+	"castle/internal/storage"
+)
+
+// chargeDistinctLoop bills the nested Algorithm-2-style loop that counts a
+// column's distinct values under a mask on the AP: per distinct value one
+// vfirst, one vextract, one search, and one mask XOR retire the value's
+// rows (plus loop scalars); one final vfirst finds the exhausted mask.
+func (s *tileSweep) chargeDistinctLoop(distinct int64, width int) {
+	eng := s.eng
+	eng.Charge(isa.OpVMFirst, 32, distinct+1)
+	eng.Charge(isa.OpVExtract, 32, distinct)
+	eng.Charge(isa.OpVMSeqVX, width, distinct)
+	eng.Charge(isa.OpVMXor, 32, distinct)
+	eng.Scalar(6 * distinct)
+}
+
+// distinctUnder gathers the distinct values of a fact column among the
+// masked rows of the current partition (the functional result of the
+// charged loop above). The result is sorted ascending: a canonical order
+// that does not depend on row order within the partition, so repeated runs
+// and different partitionings hand identical value lists downstream.
+func distinctUnder(col []uint32, base int, mask *bitvec.Vector) []uint32 {
+	seen := make(map[uint32]struct{})
+	out := make([]uint32, 0, 16)
+	for i := mask.First(); i != -1; i = mask.NextAfter(i) {
+		v := col[base+i]
+		if _, dup := seen[v]; !dup {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// aggregateScalar handles queries without GROUP BY: per-partition partial
+// reductions merge into the CP-side accumulator.
+func (s *tileSweep) aggregateScalar(q *plan.Query, fact *storage.Table, base, vl int,
+	rowMask *bitvec.Vector, regs *regAlloc) {
+
+	eng := s.eng
+	acc := s.acc
+	rows := int64(eng.MPopc(rowMask))
+	if rows == 0 {
+		return
+	}
+	loadCol := func(name string) cape.VReg {
+		r, cached := regs.forCol(name)
+		if !cached {
+			eng.Load(r, fact.MustColumn(name).Data[base:base+vl], colWidth(s.cat, q.Fact, name))
+		}
+		return r
+	}
+	vals := make([]int64, len(q.Aggs))
+	for i, a := range q.Aggs {
+		switch a.Kind {
+		case plan.AggSumCol, plan.AggAvg:
+			vals[i] = eng.RedSum(loadCol(a.A), rowMask)
+		case plan.AggSumMul:
+			ra, rb := loadCol(a.A), loadCol(a.B)
+			tmp := regs.fresh()
+			eng.MulVV(tmp, ra, rb)
+			vals[i] = eng.RedSum(tmp, rowMask)
+		case plan.AggSumSub:
+			// sum(a-b) = sum(a) - sum(b): two predicated reductions and a
+			// scalar subtract, avoiding bit-serial vv subtraction.
+			vals[i] = eng.RedSum(loadCol(a.A), rowMask) - eng.RedSum(loadCol(a.B), rowMask)
+			eng.Scalar(1)
+		case plan.AggCount:
+			vals[i] = rows
+		case plan.AggMin:
+			v, _ := eng.RedMin(loadCol(a.A), rowMask)
+			vals[i] = int64(v)
+		case plan.AggMax:
+			v, _ := eng.RedMax(loadCol(a.A), rowMask)
+			vals[i] = int64(v)
+		case plan.AggCountDistinct:
+			r := loadCol(a.A)
+			values := distinctUnder(fact.MustColumn(a.A).Data, base, rowMask)
+			s.chargeDistinctLoop(int64(len(values)), eng.RegWidth(r))
+			acc.addDistinct(nil, i, values)
+		}
+		eng.Scalar(4)
+	}
+	acc.add(nil, vals, rows)
+}
+
+// aggregateGroups is Algorithm 2 generalised to composite group keys: the
+// first unprocessed row identifies a group; one search per group column
+// (ANDed) recovers all of the group's rows; predicated reductions compute
+// the aggregates; XOR retires the group.
+func (s *tileSweep) aggregateGroups(q *plan.Query, fact *storage.Table, base, vl int,
+	rowMask *bitvec.Vector, regs *regAlloc, attrRegs map[string]cape.VReg,
+	loadFactCol func(string) cape.VReg) {
+
+	eng := s.eng
+	acc := s.acc
+
+	groupRegs := make([]cape.VReg, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		if g.Table == q.Fact {
+			groupRegs[i] = loadFactCol(g.Column)
+			continue
+		}
+		r, ok := attrRegs[g.Table+"."+g.Column]
+		if !ok {
+			panic("exec: group-by attribute " + g.String() + " was not materialized by any join")
+		}
+		groupRegs[i] = r
+	}
+	aggRegs := make([][2]cape.VReg, len(q.Aggs))
+	for i, a := range q.Aggs {
+		if a.Kind != plan.AggCount {
+			aggRegs[i][0] = loadFactCol(a.A)
+		}
+		if a.Kind == plan.AggSumMul || a.Kind == plan.AggSumSub {
+			aggRegs[i][1] = loadFactCol(a.B)
+		}
+	}
+
+	if len(groupRegs) == 1 && !s.opts.NoBulkAggFastPath &&
+		s.bulkGroupLoop(q, groupRegs[0], aggRegs, rowMask) {
+		return
+	}
+
+	remaining := rowMask
+	keys := make([]uint32, len(q.GroupBy))
+	aggs := make([]int64, len(q.Aggs))
+	for {
+		idx := eng.MFirst(remaining)
+		if idx == -1 {
+			break
+		}
+		groupMask := remaining
+		for i, r := range groupRegs {
+			keys[i] = eng.Extract(r, idx)
+			groupMask = eng.MaskAnd(groupMask, eng.Search(r, keys[i]))
+		}
+		groupRows := int64(eng.MPopc(groupMask))
+		for i, a := range q.Aggs {
+			switch a.Kind {
+			case plan.AggSumCol, plan.AggAvg:
+				aggs[i] = eng.RedSum(aggRegs[i][0], groupMask)
+			case plan.AggSumSub:
+				aggs[i] = eng.RedSum(aggRegs[i][0], groupMask) - eng.RedSum(aggRegs[i][1], groupMask)
+				eng.Scalar(1)
+			case plan.AggSumMul:
+				tmp := regs.fresh()
+				eng.MulVV(tmp, aggRegs[i][0], aggRegs[i][1])
+				aggs[i] = eng.RedSum(tmp, groupMask)
+			case plan.AggCount:
+				aggs[i] = groupRows
+			case plan.AggMin:
+				v, _ := eng.RedMin(aggRegs[i][0], groupMask)
+				aggs[i] = int64(v)
+			case plan.AggMax:
+				v, _ := eng.RedMax(aggRegs[i][0], groupMask)
+				aggs[i] = int64(v)
+			case plan.AggCountDistinct:
+				values := distinctUnder(fact.MustColumn(a.A).Data, base, groupMask)
+				s.chargeDistinctLoop(int64(len(values)), eng.RegWidth(aggRegs[i][0]))
+				acc.addDistinct(keys, i, values)
+				aggs[i] = 0
+			}
+		}
+		acc.add(keys, aggs, groupRows)
+		eng.Scalar(12) // CP-side result append/merge instructions
+		// Merging into the CP-side result table is data-dependent: its
+		// working set is the accumulated group set.
+		eng.CPAccess(1, int64(len(acc.order))*16)
+		remaining = eng.MaskXor(remaining, groupMask)
+	}
+}
+
+// bulkGroupLoop is a simulator fast path for Algorithm 2 with a single
+// group column: it computes every group's aggregates in one pass over the
+// partition and bills the exact per-group instruction sequence the
+// iterative loop would issue (vfirst + extract + search + mask AND +
+// predicated reductions + mask XOR + CP bookkeeping). Returns false when an
+// aggregate shape is unsupported, falling back to the literal loop.
+func (s *tileSweep) bulkGroupLoop(q *plan.Query, groupReg cape.VReg, aggRegs [][2]cape.VReg,
+	rowMask *bitvec.Vector) bool {
+
+	for _, a := range q.Aggs {
+		if a.Kind == plan.AggSumMul || a.Kind == plan.AggCountDistinct {
+			return false // the literal loop handles these shapes
+		}
+	}
+	eng := s.eng
+	acc := s.acc
+	gdata := eng.Peek(groupReg)
+	adata := make([][2][]uint32, len(q.Aggs))
+	widths := make([][2]int, len(q.Aggs))
+	for i, a := range q.Aggs {
+		if a.Kind != plan.AggCount {
+			adata[i][0] = eng.Peek(aggRegs[i][0])
+			widths[i][0] = eng.RegWidth(aggRegs[i][0])
+		}
+		if a.Kind == plan.AggSumSub {
+			adata[i][1] = eng.Peek(aggRegs[i][1])
+			widths[i][1] = eng.RegWidth(aggRegs[i][1])
+		}
+	}
+
+	type gacc struct {
+		sums  []int64
+		count int64
+	}
+	groups := make(map[uint32]*gacc)
+	order := make([]uint32, 0, 64)
+	for i := rowMask.First(); i != -1; i = rowMask.NextAfter(i) {
+		k := gdata[i]
+		g := groups[k]
+		if g == nil {
+			g = &gacc{sums: make([]int64, len(q.Aggs))}
+			for ai, a := range q.Aggs {
+				if a.Kind == plan.AggMin || a.Kind == plan.AggMax {
+					g.sums[ai] = int64(adata[ai][0][i])
+				}
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.count++
+		for ai, a := range q.Aggs {
+			switch a.Kind {
+			case plan.AggSumCol, plan.AggAvg:
+				g.sums[ai] += int64(adata[ai][0][i])
+			case plan.AggSumSub:
+				g.sums[ai] += int64(adata[ai][0][i]) - int64(adata[ai][1][i])
+			case plan.AggCount:
+				g.sums[ai]++
+			case plan.AggMin:
+				if v := int64(adata[ai][0][i]); v < g.sums[ai] {
+					g.sums[ai] = v
+				}
+			case plan.AggMax:
+				if v := int64(adata[ai][0][i]); v > g.sums[ai] {
+					g.sums[ai] = v
+				}
+			}
+		}
+	}
+
+	// Bill the instruction stream the iterative loop would have issued.
+	n := int64(len(order))
+	gw := 32
+	if eng.Layout() == cape.GPMode {
+		// GP-mode searches are bit-serial at the register's ABA width;
+		// CAM-mode searches cost 3 cycles regardless, with no width
+		// discovery.
+		gw = eng.RegWidth(groupReg)
+	}
+	eng.Charge(isa.OpVMFirst, 32, n+1) // one extra probe finds the empty mask
+	eng.Charge(isa.OpVExtract, 32, n)
+	eng.Charge(isa.OpVMSeqVX, gw, n)
+	eng.Charge(isa.OpVMAnd, 32, n)
+	eng.Charge(isa.OpVMXor, 32, n)
+	eng.Charge(isa.OpVMPopc, 32, n) // per-group row count
+	for ai, a := range q.Aggs {
+		switch a.Kind {
+		case plan.AggSumCol, plan.AggAvg:
+			eng.Charge(isa.OpVRedSum, widths[ai][0], n)
+		case plan.AggSumSub:
+			eng.Charge(isa.OpVRedSum, widths[ai][0], n)
+			eng.Charge(isa.OpVRedSum, widths[ai][1], n)
+			eng.Scalar(n)
+		case plan.AggCount:
+			// counted by the shared vcpop above
+		case plan.AggMin:
+			eng.Charge(isa.OpVRedMin, widths[ai][0], n)
+		case plan.AggMax:
+			eng.Charge(isa.OpVRedMax, widths[ai][0], n)
+		}
+	}
+	eng.Scalar(12 * n)
+
+	key := make([]uint32, 1)
+	for _, k := range order {
+		key[0] = k
+		acc.add(key, groups[k].sums, groups[k].count)
+		eng.CPAccess(1, int64(len(acc.order))*16)
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+package exec
+
+// cape_dimbuild.go is the CAPE DimBuild kernel: filter one dimension on the
+// AP and compact the qualifying keys plus needed attributes into values
+// arrays (Figure 4), grouped by attribute tuple for batched probing.
+
+import (
+	"castle/internal/bitvec"
+	"castle/internal/cape"
+	"castle/internal/plan"
+	"castle/internal/stats"
+	"castle/internal/storage"
+)
+
+// dimSide is a filtered dimension prepared for probing.
+type dimSide struct {
+	edge plan.JoinEdge
+	// keys are the qualifying dimension keys.
+	keys []uint32
+	// attrs[i] are the attribute tuples aligned with keys (one slice per
+	// NeedAttrs entry).
+	attrs [][]uint32
+	// groups batch keys by attribute tuple so a whole group can probe with
+	// one vmks and materialize with one vmerge per attribute.
+	groups []attrGroup
+	// totalRows is the dimension's unfiltered cardinality.
+	totalRows int
+}
+
+type attrGroup struct {
+	attrVals []uint32
+	keys     []uint32
+}
+
+// capePrepareDim filters one dimension on CAPE and compacts the qualifying
+// keys plus needed attributes into values arrays (Figure 4), grouped by
+// attribute tuple for batched probing. Prep always runs on a run's primary
+// engine — it is charged once per run, not per tile.
+func capePrepareDim(eng *cape.Engine, cat *stats.Catalog, q *plan.Query, e plan.JoinEdge,
+	db *storage.Database) dimSide {
+
+	dim := db.MustTable(e.Dim)
+	maxvl := eng.Config().MAXVL
+	preds := q.DimPreds[e.Dim]
+
+	d := dimSide{edge: e, totalRows: dim.Rows(), attrs: make([][]uint32, len(e.NeedAttrs))}
+	keyData := dim.MustColumn(e.DimKey).Data
+	attrData := make([][]uint32, len(e.NeedAttrs))
+	for i, a := range e.NeedAttrs {
+		attrData[i] = dim.MustColumn(a).Data
+	}
+
+	// Unfiltered dimensions need no CAPE pass: the key (and attribute)
+	// columns are the values arrays already.
+	if len(preds) == 0 {
+		d.keys = keyData
+		copy(d.attrs, attrData)
+		eng.Scalar(8)
+		d.buildGroups(e)
+		if len(e.NeedAttrs) > 0 {
+			eng.Scalar(int64(4 * len(d.keys)))
+		}
+		return d
+	}
+
+	for base := 0; base < dim.Rows(); base += maxvl {
+		vl := dim.Rows() - base
+		if vl > maxvl {
+			vl = maxvl
+		}
+		eng.SetVL(vl)
+		regs := newRegAlloc(eng.Config().NumVRegs)
+		var mask *bitvec.Vector
+		for _, pr := range preds {
+			r, cached := regs.forCol(pr.Column)
+			if !cached {
+				eng.Load(r, dim.MustColumn(pr.Column).Data[base:base+vl], colWidth(cat, e.Dim, pr.Column))
+			}
+			m := predMask(eng, r, pr)
+			if mask == nil {
+				mask = m
+			} else {
+				mask = eng.MaskAnd(mask, m)
+			}
+		}
+		if mask == nil {
+			mask = eng.MaskInit(true)
+		}
+		// Compact to a values array: matched keys and attributes stream
+		// back to memory (Figure 4's "values array").
+		n := eng.MPopc(mask)
+		eng.Scalar(int64(3 * n))
+		eng.ChargeStreamWrite(int64(4 * n * (1 + len(e.NeedAttrs))))
+		for i := mask.First(); i != -1; i = mask.NextAfter(i) {
+			d.keys = append(d.keys, keyData[base+i])
+			for ai := range attrData {
+				d.attrs[ai] = append(d.attrs[ai], attrData[ai][base+i])
+			}
+		}
+	}
+
+	// Batch keys by attribute tuple for group-aware probing.
+	d.buildGroups(e)
+	if len(e.NeedAttrs) > 0 {
+		eng.Scalar(int64(4 * len(d.keys)))
+	}
+	return d
+}
+
+// buildGroups batches the filtered keys by attribute tuple.
+func (d *dimSide) buildGroups(e plan.JoinEdge) {
+	if len(e.NeedAttrs) == 0 {
+		return
+	}
+	idx := make(map[string]int)
+	for r := range d.keys {
+		tuple := make([]uint32, len(e.NeedAttrs))
+		for ai := range tuple {
+			tuple[ai] = d.attrs[ai][r]
+		}
+		ks := groupKeyString(tuple)
+		gi, ok := idx[ks]
+		if !ok {
+			gi = len(d.groups)
+			idx[ks] = gi
+			d.groups = append(d.groups, attrGroup{attrVals: tuple})
+		}
+		d.groups[gi].keys = append(d.groups[gi].keys, d.keys[r])
+	}
+}

@@ -1,0 +1,53 @@
+package exec
+
+// cape_filter.go is the CAPE Filter kernel: predicate evaluation over a
+// CSB-resident column (Figure 4's selection masks).
+
+import (
+	"fmt"
+
+	"castle/internal/bitvec"
+	"castle/internal/cape"
+	"castle/internal/plan"
+)
+
+// predMask evaluates one predicate on a loaded column.
+func predMask(eng *cape.Engine, r cape.VReg, pr plan.Predicate) *bitvec.Vector {
+	if pr.Never {
+		return eng.MaskInit(false)
+	}
+	switch pr.Op {
+	case plan.PredEQ:
+		return eng.Search(r, pr.Value)
+	case plan.PredNE:
+		return eng.MaskNot(eng.Search(r, pr.Value))
+	case plan.PredLT:
+		return eng.Compare(cape.CmpLT, r, pr.Value)
+	case plan.PredLE:
+		return eng.Compare(cape.CmpLE, r, pr.Value)
+	case plan.PredGT:
+		return eng.Compare(cape.CmpGT, r, pr.Value)
+	case plan.PredGE:
+		return eng.Compare(cape.CmpGE, r, pr.Value)
+	case plan.PredBetween:
+		lo := eng.Compare(cape.CmpGE, r, pr.Lo)
+		hi := eng.Compare(cape.CmpLE, r, pr.Hi)
+		return eng.MaskAnd(lo, hi)
+	case plan.PredIn:
+		// A disjunction of searches (Figure 4's m1 OR m2).
+		var m *bitvec.Vector
+		for _, v := range pr.Values {
+			sm := eng.Search(r, v)
+			if m == nil {
+				m = sm
+			} else {
+				m = eng.MaskOr(m, sm)
+			}
+		}
+		if m == nil {
+			return eng.MaskInit(false)
+		}
+		return m
+	}
+	panic(fmt.Sprintf("exec: unhandled predicate %v", pr))
+}

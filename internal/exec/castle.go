@@ -3,13 +3,10 @@ package exec
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
-	"castle/internal/bitvec"
 	"castle/internal/cape"
-	"castle/internal/isa"
 	"castle/internal/plan"
 	"castle/internal/stats"
 	"castle/internal/storage"
@@ -31,12 +28,12 @@ type CastleOptions struct {
 	// results and bills identical cycles; this switch exists so tests can
 	// assert that equivalence.
 	NoBulkAggFastPath bool
-	// Parallelism is the number of CAPE tiles the fact sweep may fan out
-	// across (§7.2's tiled deployment). Values <= 1 run the sweep serially
-	// on the executor's engine; K > 1 forks K tile engines, dispatches
-	// MAXVL-sized morsels round-robin, and merges the partial group
-	// accumulators in fixed tile order, so results are bit-identical to
-	// serial execution.
+	// Parallelism is the initial number of CAPE tiles the fact sweep may
+	// fan out across (§7.2's tiled deployment). Values <= 1 run the sweep
+	// serially on the executor's engine; K > 1 forks K tile engines,
+	// dispatches MAXVL-sized morsels round-robin, and merges the partial
+	// group accumulators in fixed tile order, so results are bit-identical
+	// to serial execution. Adjust later runs with SetParallelism.
 	Parallelism int
 }
 
@@ -61,6 +58,12 @@ type Castle struct {
 	eng  *cape.Engine
 	cat  *stats.Catalog
 	opts CastleOptions
+
+	// par is the fan-out degree for subsequent runs. It lives in an atomic
+	// (not in opts) because SetParallelism is documented safe to call
+	// concurrently with RunContext: a run loads the value exactly once at
+	// entry.
+	par atomic.Int32
 
 	// tel and parent carry the observability pipeline: operator spans nest
 	// under parent (the caller's "execute" span). Both may be nil; span
@@ -120,16 +123,19 @@ type ParallelStats struct {
 // NewCastle wraps a CAPE engine. The statistics catalog supplies column
 // bitwidths to ABA (§5.1); pass nil to force embedded bitwidth discovery.
 func NewCastle(eng *cape.Engine, cat *stats.Catalog, opts CastleOptions) *Castle {
-	return &Castle{eng: eng, cat: cat, opts: opts}
+	c := &Castle{eng: eng, cat: cat, opts: opts}
+	c.par.Store(int32(opts.Parallelism))
+	return c
 }
 
 // Engine returns the underlying CAPE engine (for cycle/traffic inspection).
 func (c *Castle) Engine() *cape.Engine { return c.eng }
 
 // SetParallelism sets how many tiles subsequent Runs' fact sweeps may fan
-// out across (see CastleOptions.Parallelism). Not safe to call while a run
-// is in flight.
-func (c *Castle) SetParallelism(k int) { c.opts.Parallelism = k }
+// out across (see CastleOptions.Parallelism). Safe to call concurrently
+// with RunContext: an in-flight run keeps the degree it observed at entry;
+// later runs observe the new value.
+func (c *Castle) SetParallelism(k int) { c.par.Store(int32(k)) }
 
 // PerJoinCycles returns the cycles attributed to each join edge of the
 // last Run, keyed by dimension name (§7.2's per-join analysis; join-edge
@@ -195,26 +201,6 @@ func (c *Castle) ParallelStats() ParallelStats {
 	}
 }
 
-// dimSide is a filtered dimension prepared for probing.
-type dimSide struct {
-	edge plan.JoinEdge
-	// keys are the qualifying dimension keys.
-	keys []uint32
-	// attrs[i] are the attribute tuples aligned with keys (one slice per
-	// NeedAttrs entry).
-	attrs [][]uint32
-	// groups batch keys by attribute tuple so a whole group can probe with
-	// one vmks and materialize with one vmerge per attribute.
-	groups []attrGroup
-	// totalRows is the dimension's unfiltered cardinality.
-	totalRows int
-}
-
-type attrGroup struct {
-	attrVals []uint32
-	keys     []uint32
-}
-
 // Run executes a physical plan and returns the result relation. Cycle and
 // traffic accounting accumulates on the engine; callers snapshot
 // eng.Stats() around Run.
@@ -230,9 +216,9 @@ func (c *Castle) Run(p *plan.Physical, db *storage.Database) *Result {
 // cycles it charged before the cancellation point; abandoned runs simply
 // stop accruing.
 //
-// With opts.Parallelism > 1 the fact sweep runs morsel-parallel: the
-// engine forks into K tile engines, partition m executes on tile m%K, and
-// the partial group accumulators merge in fixed tile order. Results are
+// With parallelism > 1 the fact sweep runs morsel-parallel: the engine
+// forks into K tile engines, partition m executes on tile m%K, and the
+// partial group accumulators merge in fixed tile order. Results are
 // bit-identical to serial execution; the engine's Stats advance by the
 // elapsed view (prep + max tile + merge) while per-tile work remains
 // visible through ParallelStats and the breakdown.
@@ -272,7 +258,7 @@ func (c *Castle) RunContext(ctx context.Context, p *plan.Physical, db *storage.D
 		}
 		sp := c.parent.Child("prep:" + e.Dim)
 		before := eng.TotalCycles()
-		dims[i] = c.prepareDim(q, e, db)
+		dims[i] = capePrepareDim(eng, c.cat, q, e, db)
 		cy := eng.TotalCycles() - before
 		run.prepCycles[e.Dim] = cy
 		run.prepRows[e.Dim] = int64(len(dims[i].keys))
@@ -289,7 +275,7 @@ func (c *Castle) RunContext(ctx context.Context, p *plan.Physical, db *storage.D
 	maxvl := cfg.MAXVL
 	parts := (factRows + maxvl - 1) / maxvl
 
-	k := c.opts.Parallelism
+	k := int(c.par.Load())
 	if k < 1 || parts < 1 {
 		k = 1
 	}
@@ -304,7 +290,7 @@ func (c *Castle) RunContext(ctx context.Context, p *plan.Physical, db *storage.D
 	sweep := c.parent.Child("fact-sweep")
 	sweepStart := eng.TotalCycles()
 	if k == 1 {
-		s := &tileSweep{c: c, eng: eng, acc: acc, perJoin: run.perJoin, span: sweep}
+		s := &tileSweep{cat: c.cat, opts: c.opts, eng: eng, acc: acc, perJoin: run.perJoin, span: sweep}
 		for base := 0; base < factRows; base += maxvl {
 			vl := factRows - base
 			if vl > maxvl {
@@ -368,7 +354,8 @@ func (c *Castle) runParallelSweep(ctx context.Context, run *runBooks, p *plan.Ph
 			AttachEngineTelemetry(t, c.tel)
 		}
 		sweeps[i] = &tileSweep{
-			c:       c,
+			cat:     c.cat,
+			opts:    c.opts,
 			eng:     t,
 			acc:     newGroupAcc(q.Aggs),
 			perJoin: make(map[string]int64, len(p.Joins)),
@@ -457,27 +444,27 @@ func (c *Castle) finishBreakdown(run *runBooks, p *plan.Physical, factRows, grou
 	for _, e := range p.Joins {
 		cy := run.prepCycles[e.Dim]
 		b.Operators = append(b.Operators, telemetry.OperatorStats{
-			Operator: "prep:" + e.Dim, Cycles: cy, Rows: run.prepRows[e.Dim]})
+			Operator: "prep:" + e.Dim, Device: "CAPE", Cycles: cy, Rows: run.prepRows[e.Dim]})
 		covered += cy
 	}
 	if run.tileCycles == nil {
 		b.Operators = append(b.Operators, telemetry.OperatorStats{
-			Operator: "filter", Cycles: run.filterCycles, Rows: factRows})
+			Operator: "filter", Device: "CAPE", Cycles: run.filterCycles, Rows: factRows})
 		covered += run.filterCycles
 		for _, e := range p.Joins {
 			cy := run.perJoin[e.Dim]
 			b.Operators = append(b.Operators, telemetry.OperatorStats{
-				Operator: "join:" + e.Dim, Cycles: cy, Rows: run.prepRows[e.Dim]})
+				Operator: "join:" + e.Dim, Device: "CAPE", Cycles: cy, Rows: run.prepRows[e.Dim]})
 			covered += cy
 		}
 		b.Operators = append(b.Operators, telemetry.OperatorStats{
-			Operator: "aggregate", Cycles: run.aggCycles, Rows: groups})
+			Operator: "aggregate", Device: "CAPE", Cycles: run.aggCycles, Rows: groups})
 		covered += run.aggCycles
 	} else {
 		var sum, max int64
 		for t, cy := range run.tileCycles {
 			b.Operators = append(b.Operators, telemetry.OperatorStats{
-				Operator: fmt.Sprintf("sweep[%d]", t), Cycles: cy, Rows: run.tileRows[t]})
+				Operator: fmt.Sprintf("sweep[%d]", t), Device: "CAPE", Cycles: cy, Rows: run.tileRows[t]})
 			sum += cy
 			if cy > max {
 				max = cy
@@ -487,14 +474,14 @@ func (c *Castle) finishBreakdown(run *runBooks, p *plan.Physical, factRows, grou
 		// The tiles overlapped: only the critical tile is elapsed time, so
 		// credit the hidden work back with an explicit negative row.
 		b.Operators = append(b.Operators, telemetry.OperatorStats{
-			Operator: "parallel-overlap", Cycles: max - sum, Rows: -1})
+			Operator: "parallel-overlap", Device: "CAPE", Cycles: max - sum, Rows: -1})
 		covered += max - sum
 		b.Operators = append(b.Operators, telemetry.OperatorStats{
-			Operator: "merge", Cycles: run.mergeCycles, Rows: groups})
+			Operator: "merge", Device: "CAPE", Cycles: run.mergeCycles, Rows: groups})
 		covered += run.mergeCycles
 	}
 	b.Operators = append(b.Operators, telemetry.OperatorStats{
-		Operator: "overhead", Cycles: run.elapsed - covered, Rows: -1})
+		Operator: "overhead", Device: "CAPE", Cycles: run.elapsed - covered, Rows: -1})
 	run.breakdown = b
 }
 
@@ -513,760 +500,14 @@ func (c *Castle) recordRunMetrics(p *plan.Physical, db *storage.Database, factRo
 		telemetry.L("device", "cape")).Add(scanned)
 }
 
-// regAlloc hands out CSB vector registers.
-type regAlloc struct {
-	next  int
-	max   int
-	byCol map[string]cape.VReg
-}
-
-func newRegAlloc(n int) *regAlloc {
-	return &regAlloc{max: n, byCol: make(map[string]cape.VReg)}
-}
-
-func (r *regAlloc) fresh() cape.VReg {
-	if r.next >= r.max {
-		panic(fmt.Sprintf("exec: out of CSB vector registers (%d)", r.max))
-	}
-	v := cape.VReg(r.next)
-	r.next++
-	return v
-}
-
-func (r *regAlloc) forCol(name string) (cape.VReg, bool) {
-	if v, ok := r.byCol[name]; ok {
-		return v, true
-	}
-	v := r.fresh()
-	r.byCol[name] = v
-	return v, false
-}
-
-// tileSweep is one engine's share of the fact sweep and its accounting: the
-// serial path runs a single sweep over the executor's own engine; the
-// parallel path runs one per forked tile, each on its own goroutine. A
-// sweep only reads shared state (catalog, options, storage, prepared
-// dimensions) and writes its own fields, which is what makes the fan-out
-// race-free.
-type tileSweep struct {
-	c   *Castle
-	eng *cape.Engine
-	acc *groupAcc
-
-	perJoin      map[string]int64
-	filterCycles int64
-	aggCycles    int64
-
-	// span hosts the per-operator child spans: the "fact-sweep" span when
-	// serial, this tile's "tileN" span when parallel.
-	span *telemetry.Span
-}
-
-// runPartition executes the fused operator pipeline over one fact
-// partition: selections -> joins (right-deep then left-deep segments) ->
-// aggregation (Algorithm 2). Cancellation is checked at every operator
-// boundary within the partition.
-func (s *tileSweep) runPartition(ctx context.Context, p *plan.Physical, db *storage.Database,
-	dims []dimSide, base, vl int, needGPArith, camCapable bool) error {
-
-	q := p.Query
-	eng := s.eng
-	fact := db.MustTable(q.Fact)
-	eng.SetVL(vl)
-
-	regs := newRegAlloc(eng.Config().NumVRegs)
-	loadFactCol := func(name string) cape.VReg {
-		r, cached := regs.forCol(name)
-		if !cached {
-			col := fact.MustColumn(name)
-			eng.Load(r, col.Data[base:base+vl], s.c.colWidth(q.Fact, name))
-		}
-		return r
-	}
-
-	// --- Selections (Figure 4): per-predicate masks combined with mask ops.
-	spf := s.span.Child("filter")
-	before := eng.TotalCycles()
-	eng.Scalar(8) // loop setup
-	var rowMask *bitvec.Vector
-	for _, pr := range q.FactPreds {
-		m := predMask(eng, loadFactCol(pr.Column), pr)
-		if rowMask == nil {
-			rowMask = m
-		} else {
-			rowMask = eng.MaskAnd(rowMask, m)
-		}
-	}
-	if rowMask == nil {
-		rowMask = eng.MaskInit(true)
-	}
-	cy := eng.TotalCycles() - before
-	s.filterCycles += cy
-	spf.SetInt("cycles", cy)
-	spf.SetInt("rows", int64(vl))
-	spf.End()
-
-	// --- Right-deep joins: filtered dimensions probe the resident fact
-	// partition (Algorithm 1 with the probe side swapped, §3.2).
-	attrRegs := make(map[string]cape.VReg) // "dim.attr" -> fact-aligned vector
-	for di := 0; di < p.Switch; di++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		d := dims[di]
-		spj := s.span.Child("join:" + d.edge.Dim)
-		before := eng.TotalCycles()
-		fkReg := loadFactCol(d.edge.FactFK)
-		joinMask := s.probeFactWithDim(fkReg, d, regs, attrRegs)
-		rowMask = eng.MaskAnd(rowMask, joinMask)
-		cy := eng.TotalCycles() - before
-		s.perJoin[d.edge.Dim] += cy
-		spj.SetInt("cycles", cy)
-		spj.SetInt("probe_keys", int64(len(d.keys)))
-		spj.End()
-	}
-
-	// --- Left-deep segment: surviving intermediate rows probe
-	// CSB-resident dimension partitions.
-	for di := p.Switch; di < len(p.Joins); di++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		d := dims[di]
-		spj := s.span.Child("join:" + d.edge.Dim)
-		before := eng.TotalCycles()
-		loadFactCol(d.edge.FactFK) // FK column resident for the CP to read
-		rowMask = s.probeDimWithRows(fact, d, base, vl, rowMask, regs, attrRegs)
-		cy := eng.TotalCycles() - before
-		s.perJoin[d.edge.Dim] += cy
-		spj.SetInt("cycles", cy)
-		spj.SetInt("dim_rows", int64(len(d.keys)))
-		spj.End()
-	}
-
-	// --- Aggregation (Algorithm 2), fused on the partition's rowMask.
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	spa := s.span.Child("aggregate")
-	before = eng.TotalCycles()
-	if needGPArith && camCapable {
-		// Bit-serial vv arithmetic requires the bitsliced layout: switch,
-		// carry the row mask across with vrelayout, and reload the
-		// aggregate input columns in GP layout (§5.2).
-		eng.SetLayout(cape.GPMode)
-		rowMask = eng.Relayout(rowMask)
-		regs = newRegAlloc(eng.Config().NumVRegs)
-		if len(q.GroupBy) > 0 {
-			panic("exec: GROUP BY with vv-arithmetic aggregates is outside SSB's shape")
-		}
-	}
-
-	if len(q.GroupBy) == 0 {
-		s.aggregateScalar(q, fact, base, vl, rowMask, regs)
-	} else {
-		s.aggregateGroups(q, fact, base, vl, rowMask, regs, attrRegs, loadFactCol)
-	}
-	cy = eng.TotalCycles() - before
-	s.aggCycles += cy
-	spa.SetInt("cycles", cy)
-	spa.End()
-	return nil
-}
-
-// chargeDistinctLoop bills the nested Algorithm-2-style loop that counts a
-// column's distinct values under a mask on the AP: per distinct value one
-// vfirst, one vextract, one search, and one mask XOR retire the value's
-// rows (plus loop scalars); one final vfirst finds the exhausted mask.
-func (s *tileSweep) chargeDistinctLoop(distinct int64, width int) {
-	eng := s.eng
-	eng.Charge(isa.OpVMFirst, 32, distinct+1)
-	eng.Charge(isa.OpVExtract, 32, distinct)
-	eng.Charge(isa.OpVMSeqVX, width, distinct)
-	eng.Charge(isa.OpVMXor, 32, distinct)
-	eng.Scalar(6 * distinct)
-}
-
-// distinctUnder gathers the distinct values of a fact column among the
-// masked rows of the current partition (the functional result of the
-// charged loop above). The result is sorted ascending: a canonical order
-// that does not depend on row order within the partition, so repeated runs
-// and different partitionings hand identical value lists downstream.
-func distinctUnder(col []uint32, base int, mask *bitvec.Vector) []uint32 {
-	seen := make(map[uint32]struct{})
-	out := make([]uint32, 0, 16)
-	for i := mask.First(); i != -1; i = mask.NextAfter(i) {
-		v := col[base+i]
-		if _, dup := seen[v]; !dup {
-			seen[v] = struct{}{}
-			out = append(out, v)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
 // colWidth returns the ABA bitwidth for a column from catalog statistics
 // (0 = unknown, triggering embedded discovery).
-func (c *Castle) colWidth(table, col string) int {
-	if c.cat == nil {
+func colWidth(cat *stats.Catalog, table, col string) int {
+	if cat == nil {
 		return 0
 	}
-	if cs, ok := c.cat.Column(table, col); ok {
+	if cs, ok := cat.Column(table, col); ok {
 		return cs.BitWidth
 	}
 	return 0
-}
-
-// predMask evaluates one predicate on a loaded column.
-func predMask(eng *cape.Engine, r cape.VReg, pr plan.Predicate) *bitvec.Vector {
-	if pr.Never {
-		return eng.MaskInit(false)
-	}
-	switch pr.Op {
-	case plan.PredEQ:
-		return eng.Search(r, pr.Value)
-	case plan.PredNE:
-		return eng.MaskNot(eng.Search(r, pr.Value))
-	case plan.PredLT:
-		return eng.Compare(cape.CmpLT, r, pr.Value)
-	case plan.PredLE:
-		return eng.Compare(cape.CmpLE, r, pr.Value)
-	case plan.PredGT:
-		return eng.Compare(cape.CmpGT, r, pr.Value)
-	case plan.PredGE:
-		return eng.Compare(cape.CmpGE, r, pr.Value)
-	case plan.PredBetween:
-		lo := eng.Compare(cape.CmpGE, r, pr.Lo)
-		hi := eng.Compare(cape.CmpLE, r, pr.Hi)
-		return eng.MaskAnd(lo, hi)
-	case plan.PredIn:
-		// A disjunction of searches (Figure 4's m1 OR m2).
-		var m *bitvec.Vector
-		for _, v := range pr.Values {
-			sm := eng.Search(r, v)
-			if m == nil {
-				m = sm
-			} else {
-				m = eng.MaskOr(m, sm)
-			}
-		}
-		if m == nil {
-			return eng.MaskInit(false)
-		}
-		return m
-	}
-	panic(fmt.Sprintf("exec: unhandled predicate %v", pr))
-}
-
-// mksThreshold returns the minimum batch size worth a vmks.
-func (s *tileSweep) mksThreshold() int {
-	if s.c.opts.MKSMinKeys > 0 {
-		return s.c.opts.MKSMinKeys
-	}
-	// One cacheline of keys: smaller fetches waste bandwidth (§6.2).
-	return s.eng.Config().Mem.LineBytes / 4
-}
-
-// probeFactWithDim probes the resident fact FK column with every qualifying
-// key of a filtered dimension, returning the semi-join mask and
-// materializing needed attributes via bulk updates.
-func (s *tileSweep) probeFactWithDim(fkReg cape.VReg, d dimSide, regs *regAlloc, attrRegs map[string]cape.VReg) *bitvec.Vector {
-	eng := s.eng
-	useMKS := eng.Config().EnableMKS
-
-	// Attribute target vectors, zero-initialised per partition.
-	targets := make([]cape.VReg, len(d.edge.NeedAttrs))
-	for i, a := range d.edge.NeedAttrs {
-		key := d.edge.Dim + "." + a
-		r, ok := attrRegs[key]
-		if !ok {
-			r = regs.fresh()
-			attrRegs[key] = r
-		}
-		eng.Broadcast(r, 0)
-		targets[i] = r
-	}
-
-	searchKeys := func(keys []uint32) *bitvec.Vector {
-		if useMKS && len(keys) >= s.mksThreshold() {
-			eng.Scalar(4)
-			return eng.MultiKeySearch(fkReg, keys)
-		}
-		eng.Scalar(int64(3 * len(keys))) // key load + loop control per vmseq.vx
-		return eng.SearchBatch(fkReg, keys)
-	}
-
-	if len(d.edge.NeedAttrs) == 0 {
-		return searchKeys(d.keys)
-	}
-	// Group-aware probing: all keys sharing an attribute tuple probe as
-	// one batch, then a single predicated bulk update per attribute
-	// materializes the tuple into the fact-aligned vectors.
-	var join *bitvec.Vector
-	for _, g := range d.groups {
-		m := searchKeys(g.keys)
-		for i, r := range targets {
-			eng.Merge(r, m, g.attrVals[i])
-		}
-		if join == nil {
-			join = m
-		} else {
-			join = eng.MaskOr(join, m)
-		}
-	}
-	if join == nil {
-		return eng.MaskInit(false)
-	}
-	return join
-}
-
-// probeDimWithRows implements the left-deep direction: each surviving fact
-// row's foreign key probes CSB-resident partitions of the filtered
-// dimension; rows without a match are cleared from the row mask, and needed
-// attributes are fetched via vfirst+extract.
-func (s *tileSweep) probeDimWithRows(fact *storage.Table, d dimSide, base, factVL int,
-	rowMask *bitvec.Vector, regs *regAlloc, attrRegs map[string]cape.VReg) *bitvec.Vector {
-
-	eng := s.eng
-	maxvl := eng.Config().MAXVL
-	fkData := fact.MustColumn(d.edge.FactFK).Data
-
-	// Compact the surviving rows to a CP-side values array (Figure 4).
-	survivors := rowMask.Indices()
-	eng.Scalar(int64(2 * len(survivors))) // compaction bookkeeping
-	eng.ChargeStreamWrite(int64(4 * len(survivors)))
-
-	keyReg := regs.fresh()
-	attrSrc := make([]cape.VReg, len(d.edge.NeedAttrs))
-	for i := range d.edge.NeedAttrs {
-		attrSrc[i] = regs.fresh()
-	}
-	targets := make([]cape.VReg, len(d.edge.NeedAttrs))
-	for i, a := range d.edge.NeedAttrs {
-		key := d.edge.Dim + "." + a
-		r, ok := attrRegs[key]
-		if !ok {
-			r = regs.fresh()
-			attrRegs[key] = r
-			eng.SetVL(factVL)
-			eng.Broadcast(r, 0)
-		}
-		targets[i] = r
-	}
-
-	matched := bitvec.New(factVL)
-	rowAttr := make(map[int][]uint32, len(survivors))
-
-	for off := 0; off < len(d.keys) || off == 0; off += maxvl {
-		dvl := len(d.keys) - off
-		if dvl > maxvl {
-			dvl = maxvl
-		}
-		if dvl <= 0 {
-			break
-		}
-		eng.SetVL(dvl)
-		eng.Load(keyReg, d.keys[off:off+dvl], 0)
-		for i := range attrSrc {
-			eng.Load(attrSrc[i], d.attrs[i][off:off+dvl], 0)
-		}
-		for _, row := range survivors {
-			fk := fkData[base+row]
-			eng.Scalar(3)
-			idx := eng.SearchFirst(keyReg, fk)
-			if idx == -1 {
-				continue
-			}
-			matched.Set(row)
-			if len(attrSrc) > 0 {
-				vals := make([]uint32, len(attrSrc))
-				for i, r := range attrSrc {
-					vals[i] = eng.Extract(r, idx)
-				}
-				rowAttr[row] = vals
-			}
-		}
-	}
-
-	eng.SetVL(factVL)
-	newMask := rowMask.Clone().And(matched)
-	eng.Scalar(2)
-
-	// Materialize fetched attributes into the fact-aligned vectors with
-	// single-row bulk updates.
-	for row, vals := range rowAttr {
-		if !newMask.Get(row) {
-			continue
-		}
-		single := bitvec.New(factVL)
-		single.Set(row)
-		for i, r := range targets {
-			eng.Merge(r, single, vals[i])
-		}
-	}
-	return newMask
-}
-
-// aggregateScalar handles queries without GROUP BY: per-partition partial
-// reductions merge into the CP-side accumulator.
-func (s *tileSweep) aggregateScalar(q *plan.Query, fact *storage.Table, base, vl int,
-	rowMask *bitvec.Vector, regs *regAlloc) {
-
-	eng := s.eng
-	acc := s.acc
-	rows := int64(eng.MPopc(rowMask))
-	if rows == 0 {
-		return
-	}
-	loadCol := func(name string) cape.VReg {
-		r, cached := regs.forCol(name)
-		if !cached {
-			eng.Load(r, fact.MustColumn(name).Data[base:base+vl], s.c.colWidth(q.Fact, name))
-		}
-		return r
-	}
-	vals := make([]int64, len(q.Aggs))
-	for i, a := range q.Aggs {
-		switch a.Kind {
-		case plan.AggSumCol, plan.AggAvg:
-			vals[i] = eng.RedSum(loadCol(a.A), rowMask)
-		case plan.AggSumMul:
-			ra, rb := loadCol(a.A), loadCol(a.B)
-			tmp := regs.fresh()
-			eng.MulVV(tmp, ra, rb)
-			vals[i] = eng.RedSum(tmp, rowMask)
-		case plan.AggSumSub:
-			// sum(a-b) = sum(a) - sum(b): two predicated reductions and a
-			// scalar subtract, avoiding bit-serial vv subtraction.
-			vals[i] = eng.RedSum(loadCol(a.A), rowMask) - eng.RedSum(loadCol(a.B), rowMask)
-			eng.Scalar(1)
-		case plan.AggCount:
-			vals[i] = rows
-		case plan.AggMin:
-			v, _ := eng.RedMin(loadCol(a.A), rowMask)
-			vals[i] = int64(v)
-		case plan.AggMax:
-			v, _ := eng.RedMax(loadCol(a.A), rowMask)
-			vals[i] = int64(v)
-		case plan.AggCountDistinct:
-			r := loadCol(a.A)
-			values := distinctUnder(fact.MustColumn(a.A).Data, base, rowMask)
-			s.chargeDistinctLoop(int64(len(values)), eng.RegWidth(r))
-			acc.addDistinct(nil, i, values)
-		}
-		eng.Scalar(4)
-	}
-	acc.add(nil, vals, rows)
-}
-
-// aggregateGroups is Algorithm 2 generalised to composite group keys: the
-// first unprocessed row identifies a group; one search per group column
-// (ANDed) recovers all of the group's rows; predicated reductions compute
-// the aggregates; XOR retires the group.
-func (s *tileSweep) aggregateGroups(q *plan.Query, fact *storage.Table, base, vl int,
-	rowMask *bitvec.Vector, regs *regAlloc, attrRegs map[string]cape.VReg,
-	loadFactCol func(string) cape.VReg) {
-
-	eng := s.eng
-	acc := s.acc
-
-	groupRegs := make([]cape.VReg, len(q.GroupBy))
-	for i, g := range q.GroupBy {
-		if g.Table == q.Fact {
-			groupRegs[i] = loadFactCol(g.Column)
-			continue
-		}
-		r, ok := attrRegs[g.Table+"."+g.Column]
-		if !ok {
-			panic("exec: group-by attribute " + g.String() + " was not materialized by any join")
-		}
-		groupRegs[i] = r
-	}
-	aggRegs := make([][2]cape.VReg, len(q.Aggs))
-	for i, a := range q.Aggs {
-		if a.Kind != plan.AggCount {
-			aggRegs[i][0] = loadFactCol(a.A)
-		}
-		if a.Kind == plan.AggSumMul || a.Kind == plan.AggSumSub {
-			aggRegs[i][1] = loadFactCol(a.B)
-		}
-	}
-
-	if len(groupRegs) == 1 && !s.c.opts.NoBulkAggFastPath &&
-		s.bulkGroupLoop(q, groupRegs[0], aggRegs, rowMask) {
-		return
-	}
-
-	remaining := rowMask
-	keys := make([]uint32, len(q.GroupBy))
-	aggs := make([]int64, len(q.Aggs))
-	for {
-		idx := eng.MFirst(remaining)
-		if idx == -1 {
-			break
-		}
-		groupMask := remaining
-		for i, r := range groupRegs {
-			keys[i] = eng.Extract(r, idx)
-			groupMask = eng.MaskAnd(groupMask, eng.Search(r, keys[i]))
-		}
-		groupRows := int64(eng.MPopc(groupMask))
-		for i, a := range q.Aggs {
-			switch a.Kind {
-			case plan.AggSumCol, plan.AggAvg:
-				aggs[i] = eng.RedSum(aggRegs[i][0], groupMask)
-			case plan.AggSumSub:
-				aggs[i] = eng.RedSum(aggRegs[i][0], groupMask) - eng.RedSum(aggRegs[i][1], groupMask)
-				eng.Scalar(1)
-			case plan.AggSumMul:
-				tmp := regs.fresh()
-				eng.MulVV(tmp, aggRegs[i][0], aggRegs[i][1])
-				aggs[i] = eng.RedSum(tmp, groupMask)
-			case plan.AggCount:
-				aggs[i] = groupRows
-			case plan.AggMin:
-				v, _ := eng.RedMin(aggRegs[i][0], groupMask)
-				aggs[i] = int64(v)
-			case plan.AggMax:
-				v, _ := eng.RedMax(aggRegs[i][0], groupMask)
-				aggs[i] = int64(v)
-			case plan.AggCountDistinct:
-				values := distinctUnder(fact.MustColumn(a.A).Data, base, groupMask)
-				s.chargeDistinctLoop(int64(len(values)), eng.RegWidth(aggRegs[i][0]))
-				acc.addDistinct(keys, i, values)
-				aggs[i] = 0
-			}
-		}
-		acc.add(keys, aggs, groupRows)
-		eng.Scalar(12) // CP-side result append/merge instructions
-		// Merging into the CP-side result table is data-dependent: its
-		// working set is the accumulated group set.
-		eng.CPAccess(1, int64(len(acc.order))*16)
-		remaining = eng.MaskXor(remaining, groupMask)
-	}
-}
-
-// bulkGroupLoop is a simulator fast path for Algorithm 2 with a single
-// group column: it computes every group's aggregates in one pass over the
-// partition and bills the exact per-group instruction sequence the
-// iterative loop would issue (vfirst + extract + search + mask AND +
-// predicated reductions + mask XOR + CP bookkeeping). Returns false when an
-// aggregate shape is unsupported, falling back to the literal loop.
-func (s *tileSweep) bulkGroupLoop(q *plan.Query, groupReg cape.VReg, aggRegs [][2]cape.VReg,
-	rowMask *bitvec.Vector) bool {
-
-	for _, a := range q.Aggs {
-		if a.Kind == plan.AggSumMul || a.Kind == plan.AggCountDistinct {
-			return false // the literal loop handles these shapes
-		}
-	}
-	eng := s.eng
-	acc := s.acc
-	gdata := eng.Peek(groupReg)
-	adata := make([][2][]uint32, len(q.Aggs))
-	widths := make([][2]int, len(q.Aggs))
-	for i, a := range q.Aggs {
-		if a.Kind != plan.AggCount {
-			adata[i][0] = eng.Peek(aggRegs[i][0])
-			widths[i][0] = eng.RegWidth(aggRegs[i][0])
-		}
-		if a.Kind == plan.AggSumSub {
-			adata[i][1] = eng.Peek(aggRegs[i][1])
-			widths[i][1] = eng.RegWidth(aggRegs[i][1])
-		}
-	}
-
-	type gacc struct {
-		sums  []int64
-		count int64
-	}
-	groups := make(map[uint32]*gacc)
-	order := make([]uint32, 0, 64)
-	for i := rowMask.First(); i != -1; i = rowMask.NextAfter(i) {
-		k := gdata[i]
-		g := groups[k]
-		if g == nil {
-			g = &gacc{sums: make([]int64, len(q.Aggs))}
-			for ai, a := range q.Aggs {
-				if a.Kind == plan.AggMin || a.Kind == plan.AggMax {
-					g.sums[ai] = int64(adata[ai][0][i])
-				}
-			}
-			groups[k] = g
-			order = append(order, k)
-		}
-		g.count++
-		for ai, a := range q.Aggs {
-			switch a.Kind {
-			case plan.AggSumCol, plan.AggAvg:
-				g.sums[ai] += int64(adata[ai][0][i])
-			case plan.AggSumSub:
-				g.sums[ai] += int64(adata[ai][0][i]) - int64(adata[ai][1][i])
-			case plan.AggCount:
-				g.sums[ai]++
-			case plan.AggMin:
-				if v := int64(adata[ai][0][i]); v < g.sums[ai] {
-					g.sums[ai] = v
-				}
-			case plan.AggMax:
-				if v := int64(adata[ai][0][i]); v > g.sums[ai] {
-					g.sums[ai] = v
-				}
-			}
-		}
-	}
-
-	// Bill the instruction stream the iterative loop would have issued.
-	n := int64(len(order))
-	gw := 32
-	if eng.Layout() == cape.GPMode {
-		// GP-mode searches are bit-serial at the register's ABA width;
-		// CAM-mode searches cost 3 cycles regardless, with no width
-		// discovery.
-		gw = eng.RegWidth(groupReg)
-	}
-	eng.Charge(isa.OpVMFirst, 32, n+1) // one extra probe finds the empty mask
-	eng.Charge(isa.OpVExtract, 32, n)
-	eng.Charge(isa.OpVMSeqVX, gw, n)
-	eng.Charge(isa.OpVMAnd, 32, n)
-	eng.Charge(isa.OpVMXor, 32, n)
-	eng.Charge(isa.OpVMPopc, 32, n) // per-group row count
-	for ai, a := range q.Aggs {
-		switch a.Kind {
-		case plan.AggSumCol, plan.AggAvg:
-			eng.Charge(isa.OpVRedSum, widths[ai][0], n)
-		case plan.AggSumSub:
-			eng.Charge(isa.OpVRedSum, widths[ai][0], n)
-			eng.Charge(isa.OpVRedSum, widths[ai][1], n)
-			eng.Scalar(n)
-		case plan.AggCount:
-			// counted by the shared vcpop above
-		case plan.AggMin:
-			eng.Charge(isa.OpVRedMin, widths[ai][0], n)
-		case plan.AggMax:
-			eng.Charge(isa.OpVRedMax, widths[ai][0], n)
-		}
-	}
-	eng.Scalar(12 * n)
-
-	key := make([]uint32, 1)
-	for _, k := range order {
-		key[0] = k
-		acc.add(key, groups[k].sums, groups[k].count)
-		eng.CPAccess(1, int64(len(acc.order))*16)
-	}
-	return true
-}
-
-// prepareDim filters one dimension on CAPE and compacts the qualifying keys
-// plus needed attributes into values arrays (Figure 4), grouped by
-// attribute tuple for batched probing. Prep always runs on the executor's
-// primary engine — it is charged once per run, not per tile.
-func (c *Castle) prepareDim(q *plan.Query, e plan.JoinEdge, db *storage.Database) dimSide {
-	eng := c.eng
-	dim := db.MustTable(e.Dim)
-	maxvl := eng.Config().MAXVL
-	preds := q.DimPreds[e.Dim]
-
-	d := dimSide{edge: e, totalRows: dim.Rows(), attrs: make([][]uint32, len(e.NeedAttrs))}
-	keyData := dim.MustColumn(e.DimKey).Data
-	attrData := make([][]uint32, len(e.NeedAttrs))
-	for i, a := range e.NeedAttrs {
-		attrData[i] = dim.MustColumn(a).Data
-	}
-
-	// Unfiltered dimensions need no CAPE pass: the key (and attribute)
-	// columns are the values arrays already.
-	if len(preds) == 0 {
-		d.keys = keyData
-		copy(d.attrs, attrData)
-		eng.Scalar(8)
-		d.buildGroups(e)
-		if len(e.NeedAttrs) > 0 {
-			eng.Scalar(int64(4 * len(d.keys)))
-		}
-		return d
-	}
-
-	for base := 0; base < dim.Rows(); base += maxvl {
-		vl := dim.Rows() - base
-		if vl > maxvl {
-			vl = maxvl
-		}
-		eng.SetVL(vl)
-		regs := newRegAlloc(eng.Config().NumVRegs)
-		var mask *bitvec.Vector
-		for _, pr := range preds {
-			r, cached := regs.forCol(pr.Column)
-			if !cached {
-				eng.Load(r, dim.MustColumn(pr.Column).Data[base:base+vl], c.colWidth(e.Dim, pr.Column))
-			}
-			m := predMask(eng, r, pr)
-			if mask == nil {
-				mask = m
-			} else {
-				mask = eng.MaskAnd(mask, m)
-			}
-		}
-		if mask == nil {
-			mask = eng.MaskInit(true)
-		}
-		// Compact to a values array: matched keys and attributes stream
-		// back to memory (Figure 4's "values array").
-		n := eng.MPopc(mask)
-		eng.Scalar(int64(3 * n))
-		eng.ChargeStreamWrite(int64(4 * n * (1 + len(e.NeedAttrs))))
-		for i := mask.First(); i != -1; i = mask.NextAfter(i) {
-			d.keys = append(d.keys, keyData[base+i])
-			for ai := range attrData {
-				d.attrs[ai] = append(d.attrs[ai], attrData[ai][base+i])
-			}
-		}
-	}
-
-	// Batch keys by attribute tuple for group-aware probing.
-	d.buildGroups(e)
-	if len(e.NeedAttrs) > 0 {
-		eng.Scalar(int64(4 * len(d.keys)))
-	}
-	return d
-}
-
-// buildGroups batches the filtered keys by attribute tuple.
-func (d *dimSide) buildGroups(e plan.JoinEdge) {
-	if len(e.NeedAttrs) == 0 {
-		return
-	}
-	idx := make(map[string]int)
-	for r := range d.keys {
-		tuple := make([]uint32, len(e.NeedAttrs))
-		for ai := range tuple {
-			tuple[ai] = d.attrs[ai][r]
-		}
-		ks := groupKeyString(tuple)
-		gi, ok := idx[ks]
-		if !ok {
-			gi = len(d.groups)
-			idx[ks] = gi
-			d.groups = append(d.groups, attrGroup{attrVals: tuple})
-		}
-		d.groups[gi].keys = append(d.groups[gi].keys, d.keys[r])
-	}
-}
-
-// chargeFissionOverhead models disabling operator fusion (§7.4): each
-// operator boundary materializes its output mask through main memory once
-// per partition instead of keeping it resident in the CSB. parts is the
-// number of partitions this sweep executed (a tile charges only its own
-// share).
-func (s *tileSweep) chargeFissionOverhead(p *plan.Physical, parts, maxvl int) {
-	eng := s.eng
-	boundaries := 1 + len(p.Joins) // selections | joins... | aggregation
-	maskBytes := int64((maxvl + 7) / 8)
-	for i := 0; i < parts*boundaries; i++ {
-		eng.ChargeStreamWrite(maskBytes)
-		eng.ChargeStreamRead(maskBytes)
-		eng.Scalar(40) // per-sweep loop re-setup
-	}
 }

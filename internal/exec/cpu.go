@@ -8,7 +8,6 @@ import (
 	"sync/atomic"
 
 	"castle/internal/baseline"
-	"castle/internal/bitvec"
 	"castle/internal/plan"
 	"castle/internal/storage"
 	"castle/internal/telemetry"
@@ -27,9 +26,11 @@ import (
 type CPUExec struct {
 	cpu *baseline.CPU
 
-	// parallelism is the number of cores the fact sweep may fan out across
-	// (<= 1 runs serially). Mirrors CastleOptions.Parallelism.
-	parallelism int
+	// par is the number of cores the fact sweep may fan out across (<= 1
+	// runs serially). Mirrors Castle.par: an atomic because SetParallelism
+	// is safe to call concurrently with RunContext — a run loads the value
+	// exactly once at entry.
+	par atomic.Int32
 
 	tel    *telemetry.Telemetry
 	parent *telemetry.Span
@@ -68,9 +69,10 @@ func (x *CPUExec) CPU() *baseline.CPU { return x.cpu }
 // out across. Values <= 1 run serially; K > 1 forks K sibling cores (shared
 // last-level cache split K ways), assigns each a contiguous fact-row range,
 // and merges the per-core partial group accumulators in fixed core order, so
-// results are bit-identical to serial execution. Not safe to call while a
-// run is in flight.
-func (x *CPUExec) SetParallelism(k int) { x.parallelism = k }
+// results are bit-identical to serial execution. Safe to call concurrently
+// with RunContext: an in-flight run keeps the degree it observed at entry;
+// later runs observe the new value.
+func (x *CPUExec) SetParallelism(k int) { x.par.Store(int32(k)) }
 
 // PerJoinCycles returns cycles attributed to each join edge of the last
 // Run, keyed by dimension name (build + probe; for parallel runs the build
@@ -139,29 +141,6 @@ func (x *CPUExec) Run(q *plan.Query, db *storage.Database) *Result {
 	return res
 }
 
-// cancelCheckRows is how many aggregation-visit rows pass between context
-// checks; checking per row would put a mutexed Err() read in the inner loop.
-const cancelCheckRows = 1 << 16
-
-// dimJoin is a filtered dimension prepared for the probe pass: qualifying
-// keys, the attribute values aligned with them (one slice per NeedAttrs
-// entry), and the survival fraction that orders the pipeline.
-type dimJoin struct {
-	edge     plan.JoinEdge
-	keys     []uint32
-	vals     [][]uint32
-	fraction float64
-}
-
-// joinTable holds the hash tables of one join edge when they are prebuilt
-// on the primary core (parallel runs): the semi-join table, or one map
-// table per needed attribute. Tables are read-only after build, so forked
-// cores probe them concurrently.
-type joinTable struct {
-	semi *baseline.HashTable
-	attr []*baseline.HashTable
-}
-
 // RunContext is Run with cancellation: ctx is checked at operator
 // boundaries (each dimension prep, each join, aggregation) and periodically
 // inside the aggregation visit loop, so a canceled or expired context stops
@@ -189,7 +168,7 @@ func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Dat
 	}
 	runStart := cpu.Cycles()
 
-	k := x.parallelism
+	k := int(x.par.Load())
 	if k < 1 {
 		k = 1
 	}
@@ -210,56 +189,14 @@ func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Dat
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		dim := db.MustTable(e.Dim)
-		preds := q.DimPreds[e.Dim]
-
 		spp := x.parent.Child("prep:" + e.Dim)
 		prepStart := cpu.Cycles()
-
-		var dimMask *bitvec.Vector
-		for _, pr := range preds {
-			col := dim.MustColumn(pr.Column)
-			pr := pr
-			m := cpu.SelectionScan(col.Data, func(v uint32) bool { return pr.Matches(v) })
-			if dimMask == nil {
-				dimMask = m
-			} else {
-				dimMask.And(m)
-				cpu.ChargeCompute(float64(dim.Rows()) / 64)
-			}
-		}
-
-		keyCol := dim.MustColumn(e.DimKey).Data
-		attrData := make([][]uint32, len(e.NeedAttrs))
-		for ai, a := range e.NeedAttrs {
-			attrData[ai] = dim.MustColumn(a).Data
-		}
-		j := dimJoin{edge: e, vals: make([][]uint32, len(e.NeedAttrs))}
-		collect := func(i int) {
-			j.keys = append(j.keys, keyCol[i])
-			for ai := range attrData {
-				j.vals[ai] = append(j.vals[ai], attrData[ai][i])
-			}
-		}
-		if dimMask == nil {
-			for i := range keyCol {
-				collect(i)
-			}
-		} else {
-			for i := dimMask.First(); i != -1; i = dimMask.NextAfter(i) {
-				collect(i)
-			}
-		}
-		j.fraction = 1.0
-		if dim.Rows() > 0 {
-			j.fraction = float64(len(j.keys)) / float64(dim.Rows())
-		}
+		j := cpuPrepareDim(cpu, q, e, db)
 		joins = append(joins, j)
-
 		run.prepCycles[e.Dim] = cpu.Cycles() - prepStart
 		run.prepRows[e.Dim] = int64(len(j.keys))
 		spp.SetInt("cycles", run.prepCycles[e.Dim])
-		spp.SetInt("rows_in", int64(dim.Rows()))
+		spp.SetInt("rows_in", int64(db.MustTable(e.Dim).Rows()))
 		spp.SetInt("rows_out", int64(len(j.keys)))
 		spp.End()
 	}
@@ -272,7 +209,7 @@ func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Dat
 		// Serial: one sweep over the whole fact range on the primary core,
 		// building each join's hash table inline (charge order identical to
 		// the pipelined build-probe-build-probe sequence).
-		s := &cpuSweep{x: x, cpu: cpu, acc: acc, perJoin: run.perJoin, span: x.parent}
+		s := &cpuSweep{cpu: cpu, acc: acc, perJoin: run.perJoin, span: x.parent}
 		if err := s.run(ctx, q, db, joins, nil, 0, rows); err != nil {
 			return nil, err
 		}
@@ -344,7 +281,6 @@ func (x *CPUExec) runParallelSweep(ctx context.Context, run *cpuRunBooks, q *pla
 			AttachCPUTelemetry(core, x.tel)
 		}
 		sweeps[i] = &cpuSweep{
-			x:       x,
 			cpu:     core,
 			acc:     newGroupAcc(q.Aggs),
 			perJoin: make(map[string]int64, len(joins)),
@@ -432,36 +368,36 @@ func (x *CPUExec) finishBreakdown(run *cpuRunBooks, q *plan.Query, factRows, gro
 	var covered int64
 	for _, e := range q.Joins {
 		b.Operators = append(b.Operators, telemetry.OperatorStats{
-			Operator: "prep:" + e.Dim, Cycles: run.prepCycles[e.Dim], Rows: run.prepRows[e.Dim],
+			Operator: "prep:" + e.Dim, Device: "CPU", Cycles: run.prepCycles[e.Dim], Rows: run.prepRows[e.Dim],
 		})
 		covered += run.prepCycles[e.Dim]
 	}
 	if run.coreCycles == nil {
 		b.Operators = append(b.Operators, telemetry.OperatorStats{
-			Operator: "filter", Cycles: run.filterCycles, Rows: factRows,
+			Operator: "filter", Device: "CPU", Cycles: run.filterCycles, Rows: factRows,
 		})
 		covered += run.filterCycles
 		for _, e := range q.Joins {
 			b.Operators = append(b.Operators, telemetry.OperatorStats{
-				Operator: "join:" + e.Dim, Cycles: run.perJoin[e.Dim], Rows: -1,
+				Operator: "join:" + e.Dim, Device: "CPU", Cycles: run.perJoin[e.Dim], Rows: -1,
 			})
 			covered += run.perJoin[e.Dim]
 		}
 		b.Operators = append(b.Operators, telemetry.OperatorStats{
-			Operator: "aggregate", Cycles: run.aggCycles, Rows: groups,
+			Operator: "aggregate", Device: "CPU", Cycles: run.aggCycles, Rows: groups,
 		})
 		covered += run.aggCycles
 	} else {
 		for _, e := range q.Joins {
 			b.Operators = append(b.Operators, telemetry.OperatorStats{
-				Operator: "build:" + e.Dim, Cycles: run.buildCycles[e.Dim], Rows: run.prepRows[e.Dim],
+				Operator: "build:" + e.Dim, Device: "CPU", Cycles: run.buildCycles[e.Dim], Rows: run.prepRows[e.Dim],
 			})
 			covered += run.buildCycles[e.Dim]
 		}
 		var sum, max int64
 		for t, cy := range run.coreCycles {
 			b.Operators = append(b.Operators, telemetry.OperatorStats{
-				Operator: fmt.Sprintf("sweep[%d]", t), Cycles: cy, Rows: run.coreRows[t],
+				Operator: fmt.Sprintf("sweep[%d]", t), Device: "CPU", Cycles: cy, Rows: run.coreRows[t],
 			})
 			sum += cy
 			if cy > max {
@@ -472,258 +408,18 @@ func (x *CPUExec) finishBreakdown(run *cpuRunBooks, q *plan.Query, factRows, gro
 		// The cores overlapped: only the critical core is elapsed time, so
 		// credit the hidden work back with an explicit negative row.
 		b.Operators = append(b.Operators, telemetry.OperatorStats{
-			Operator: "parallel-overlap", Cycles: max - sum, Rows: -1,
+			Operator: "parallel-overlap", Device: "CPU", Cycles: max - sum, Rows: -1,
 		})
 		covered += max - sum
 		b.Operators = append(b.Operators, telemetry.OperatorStats{
-			Operator: "merge", Cycles: run.mergeCycles, Rows: groups,
+			Operator: "merge", Device: "CPU", Cycles: run.mergeCycles, Rows: groups,
 		})
 		covered += run.mergeCycles
 	}
 	if oh := run.elapsed - covered; oh != 0 {
 		b.Operators = append(b.Operators, telemetry.OperatorStats{
-			Operator: "overhead", Cycles: oh, Rows: -1,
+			Operator: "overhead", Device: "CPU", Cycles: oh, Rows: -1,
 		})
 	}
 	run.breakdown = b
-}
-
-// cpuSweep is one core's share of the fact sweep and its accounting: the
-// serial path runs a single sweep over the executor's own core; the
-// parallel path runs one per forked core, each on its own goroutine. A
-// sweep only reads shared state (storage, prepared dimensions, prebuilt
-// hash tables) and writes its own fields, which is what makes the fan-out
-// race-free.
-type cpuSweep struct {
-	x   *CPUExec
-	cpu *baseline.CPU
-	acc *groupAcc
-
-	perJoin      map[string]int64
-	filterCycles int64
-	aggCycles    int64
-
-	// span hosts the per-operator child spans: the run's parent span when
-	// serial, this core's "coreN" span when parallel.
-	span *telemetry.Span
-}
-
-// run executes the fact-side pipeline over rows [base, end): SIMD selection
-// scans, the pipelined probe pass, and the aggregation visit. With tables
-// nil (serial) each join builds its hash table inline on this core; with
-// tables set (parallel) the prebuilt read-only tables are probed. All row
-// indexing is range-local, so every column is sliced once up front.
-func (s *cpuSweep) run(ctx context.Context, q *plan.Query, db *storage.Database,
-	joins []dimJoin, tables []joinTable, base, end int) error {
-
-	cpu := s.cpu
-	fact := db.MustTable(q.Fact)
-	n := end - base
-
-	// Fact selections: SIMD scans, masks ANDed.
-	spf := s.span.Child("filter")
-	filterStart := cpu.Cycles()
-	var sel *bitvec.Vector
-	for _, pr := range q.FactPreds {
-		col := fact.MustColumn(pr.Column).Data[base:end]
-		pr := pr
-		m := cpu.SelectionScan(col, func(v uint32) bool { return pr.Matches(v) })
-		if sel == nil {
-			sel = m
-		} else {
-			sel.And(m)
-			cpu.ChargeCompute(float64(n) / 64) // word-wise mask AND
-		}
-	}
-	s.filterCycles += cpu.Cycles() - filterStart
-	spf.SetInt("cycles", cpu.Cycles()-filterStart)
-	spf.SetInt("rows", int64(n))
-	spf.End()
-
-	// Pipelined probe pass: joins that feed group-by columns materialize
-	// the attribute; pure filters stay semi-joins.
-	attrCols := make(map[string][]uint32) // "dim.attr" -> range-aligned values
-	for ji, j := range joins {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		e := j.edge
-		spj := s.span.Child("join:" + e.Dim)
-		joinStart := cpu.Cycles()
-		fkCol := fact.MustColumn(e.FactFK).Data[base:end]
-
-		switch len(e.NeedAttrs) {
-		case 0:
-			var m *bitvec.Vector
-			if tables == nil {
-				m = cpu.HashJoinSemi(fkCol, j.keys, sel)
-			} else {
-				m = cpu.ProbeSemi(fkCol, tables[ji].semi, sel)
-			}
-			sel = intersect(sel, m)
-		default:
-			// One probe pass per needed attribute re-uses the same probe
-			// pattern; the first probe prunes the selection mask.
-			for ai, attr := range e.NeedAttrs {
-				var m *bitvec.Vector
-				var mat []uint32
-				if tables == nil {
-					m, mat = cpu.HashJoinMap(fkCol, j.keys, j.vals[ai], sel)
-				} else {
-					m, mat = cpu.ProbeMap(fkCol, tables[ji].attr[ai], sel)
-				}
-				attrCols[e.Dim+"."+attr] = mat
-				if ai == 0 {
-					sel = intersect(sel, m)
-				}
-			}
-		}
-		cy := cpu.Cycles() - joinStart
-		s.perJoin[e.Dim] += cy
-		spj.SetInt("cycles", cy)
-		spj.SetInt("build_keys", int64(len(j.keys)))
-		spj.End()
-	}
-
-	// Aggregate input columns. Per-row values feed the kind-aware group
-	// accumulator (MIN/MAX take extrema, the rest add).
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	spa := s.span.Child("aggregate")
-	aggStart := cpu.Cycles()
-	valueOf := make([]func(i int) int64, len(q.Aggs))
-	type distinctSlot struct {
-		slot int
-		col  []uint32
-	}
-	var distinctSlots []distinctSlot
-	for ai, a := range q.Aggs {
-		switch a.Kind {
-		case plan.AggSumCol, plan.AggMin, plan.AggMax, plan.AggAvg:
-			col := fact.MustColumn(a.A).Data[base:end]
-			valueOf[ai] = func(i int) int64 { return int64(col[i]) }
-		case plan.AggSumMul:
-			ca, cb := fact.MustColumn(a.A).Data[base:end], fact.MustColumn(a.B).Data[base:end]
-			valueOf[ai] = func(i int) int64 { return int64(ca[i]) * int64(cb[i]) }
-		case plan.AggSumSub:
-			ca, cb := fact.MustColumn(a.A).Data[base:end], fact.MustColumn(a.B).Data[base:end]
-			valueOf[ai] = func(i int) int64 { return int64(ca[i]) - int64(cb[i]) }
-		case plan.AggCount:
-			valueOf[ai] = func(i int) int64 { return 1 }
-		case plan.AggCountDistinct:
-			col := fact.MustColumn(a.A).Data[base:end]
-			valueOf[ai] = func(i int) int64 { return 0 }
-			distinctSlots = append(distinctSlots, distinctSlot{slot: ai, col: col})
-		}
-	}
-
-	// Group-key sources.
-	keySrc := make([]func(i int) uint32, len(q.GroupBy))
-	for gi, g := range q.GroupBy {
-		if g.Table == q.Fact {
-			col := fact.MustColumn(g.Column).Data[base:end]
-			keySrc[gi] = func(i int) uint32 { return col[i] }
-			continue
-		}
-		col := attrCols[g.Table+"."+g.Column]
-		if col == nil {
-			panic("exec: group-by attribute " + g.String() + " was not materialized")
-		}
-		c := col
-		keySrc[gi] = func(i int) uint32 { return c[i] }
-	}
-
-	acc := s.acc
-	keys := make([]uint32, len(q.GroupBy))
-	aggs := make([]int64, len(q.Aggs))
-	visit := func(i int) {
-		for gi := range keySrc {
-			keys[gi] = keySrc[gi](i)
-		}
-		for ai := range valueOf {
-			aggs[ai] = valueOf[ai](i)
-		}
-		acc.add(keys, aggs, 1)
-		for _, d := range distinctSlots {
-			acc.addDistinct(keys, d.slot, []uint32{d.col[i]})
-		}
-	}
-	matched := 0
-	if sel == nil {
-		for i := 0; i < n; i++ {
-			if i%cancelCheckRows == 0 {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-			}
-			visit(i)
-		}
-		matched = n
-	} else {
-		for i := sel.First(); i != -1; i = sel.NextAfter(i) {
-			if matched%cancelCheckRows == 0 {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-			}
-			visit(i)
-			matched++
-		}
-	}
-
-	// Aggregation timing: the aggregate input columns stream in full
-	// (scattered qualifying rows still touch nearly every line of a
-	// columnar layout); Q1-style global reductions are SIMD streams,
-	// group-bys pay the hash-aggregation model per qualifying row.
-	aggCols := 0
-	for _, a := range q.Aggs {
-		aggCols++
-		if a.Kind == plan.AggSumMul || a.Kind == plan.AggSumSub {
-			aggCols++
-		}
-	}
-	// The group-by pass re-reads the materialized group-key columns as
-	// well as the aggregate inputs.
-	aggBytes := int64(n) * 4 * int64(aggCols+len(q.GroupBy))
-	k := cpu.Config().Kernels
-	if len(q.GroupBy) == 0 {
-		cpu.ChargeStream(float64(matched)*0.4, aggBytes)
-	} else {
-		groups := int64(len(acc.order))
-		cpu.ChargeStream(float64(matched)*(k.HashCyclesPerKey+k.AggUpdateCyclesPerRow), aggBytes)
-		cpu.ChargeRandomAccesses(int64(matched), groups*32)
-	}
-	// COUNT(DISTINCT) maintains per-group hash sets: one extra hash+probe
-	// per qualifying row per distinct slot over the sets' working set.
-	if len(distinctSlots) > 0 {
-		var setEntries int64
-		for _, r := range acc.rows {
-			for _, set := range r.sets {
-				setEntries += int64(len(set))
-			}
-		}
-		for range distinctSlots {
-			cpu.ChargeCompute(float64(matched) * k.HashCyclesPerKey)
-			cpu.ChargeRandomAccesses(int64(matched), setEntries*16)
-		}
-	}
-	// A single global group always yields one output row (the zero rows
-	// merge into one at accumulator level when the sweep is parallel).
-	if len(q.GroupBy) == 0 && len(acc.order) == 0 {
-		acc.add(nil, make([]int64, len(q.Aggs)), 0)
-	}
-	s.aggCycles += cpu.Cycles() - aggStart
-	spa.SetInt("cycles", cpu.Cycles()-aggStart)
-	spa.SetInt("groups", int64(len(acc.order)))
-	spa.End()
-	return nil
-}
-
-// intersect ANDs a nullable selection mask with a new mask.
-func intersect(sel, m *bitvec.Vector) *bitvec.Vector {
-	if sel == nil {
-		return m
-	}
-	return sel.And(m)
 }

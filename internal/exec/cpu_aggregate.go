@@ -1,0 +1,162 @@
+package exec
+
+// cpu_aggregate.go is the CPU Aggregate kernel: the per-row visit loop
+// feeding the kind-aware group accumulator, plus the hash-aggregation
+// charge model (streamed aggregate inputs, per-row hash+update, random
+// accesses over the group table and distinct sets).
+
+import (
+	"context"
+
+	"castle/internal/bitvec"
+	"castle/internal/plan"
+	"castle/internal/storage"
+)
+
+// cancelCheckRows is how many aggregation-visit rows pass between context
+// checks; checking per row would put a mutexed Err() read in the inner loop.
+const cancelCheckRows = 1 << 16
+
+// runAggregate executes the range's Aggregate operator over the selection
+// mask and materialized attribute columns runFilterJoins produced.
+func (s *cpuSweep) runAggregate(ctx context.Context, q *plan.Query, db *storage.Database,
+	sel *bitvec.Vector, attrCols map[string][]uint32, base, end int) error {
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	cpu := s.cpu
+	fact := db.MustTable(q.Fact)
+	n := end - base
+
+	// Aggregate input columns. Per-row values feed the kind-aware group
+	// accumulator (MIN/MAX take extrema, the rest add).
+	spa := s.span.Child("aggregate")
+	aggStart := cpu.Cycles()
+	valueOf := make([]func(i int) int64, len(q.Aggs))
+	type distinctSlot struct {
+		slot int
+		col  []uint32
+	}
+	var distinctSlots []distinctSlot
+	for ai, a := range q.Aggs {
+		switch a.Kind {
+		case plan.AggSumCol, plan.AggMin, plan.AggMax, plan.AggAvg:
+			col := fact.MustColumn(a.A).Data[base:end]
+			valueOf[ai] = func(i int) int64 { return int64(col[i]) }
+		case plan.AggSumMul:
+			ca, cb := fact.MustColumn(a.A).Data[base:end], fact.MustColumn(a.B).Data[base:end]
+			valueOf[ai] = func(i int) int64 { return int64(ca[i]) * int64(cb[i]) }
+		case plan.AggSumSub:
+			ca, cb := fact.MustColumn(a.A).Data[base:end], fact.MustColumn(a.B).Data[base:end]
+			valueOf[ai] = func(i int) int64 { return int64(ca[i]) - int64(cb[i]) }
+		case plan.AggCount:
+			valueOf[ai] = func(i int) int64 { return 1 }
+		case plan.AggCountDistinct:
+			col := fact.MustColumn(a.A).Data[base:end]
+			valueOf[ai] = func(i int) int64 { return 0 }
+			distinctSlots = append(distinctSlots, distinctSlot{slot: ai, col: col})
+		}
+	}
+
+	// Group-key sources.
+	keySrc := make([]func(i int) uint32, len(q.GroupBy))
+	for gi, g := range q.GroupBy {
+		if g.Table == q.Fact {
+			col := fact.MustColumn(g.Column).Data[base:end]
+			keySrc[gi] = func(i int) uint32 { return col[i] }
+			continue
+		}
+		col := attrCols[g.Table+"."+g.Column]
+		if col == nil {
+			panic("exec: group-by attribute " + g.String() + " was not materialized")
+		}
+		c := col
+		keySrc[gi] = func(i int) uint32 { return c[i] }
+	}
+
+	acc := s.acc
+	keys := make([]uint32, len(q.GroupBy))
+	aggs := make([]int64, len(q.Aggs))
+	visit := func(i int) {
+		for gi := range keySrc {
+			keys[gi] = keySrc[gi](i)
+		}
+		for ai := range valueOf {
+			aggs[ai] = valueOf[ai](i)
+		}
+		acc.add(keys, aggs, 1)
+		for _, d := range distinctSlots {
+			acc.addDistinct(keys, d.slot, []uint32{d.col[i]})
+		}
+	}
+	matched := 0
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if i%cancelCheckRows == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			visit(i)
+		}
+		matched = n
+	} else {
+		for i := sel.First(); i != -1; i = sel.NextAfter(i) {
+			if matched%cancelCheckRows == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			visit(i)
+			matched++
+		}
+	}
+
+	// Aggregation timing: the aggregate input columns stream in full
+	// (scattered qualifying rows still touch nearly every line of a
+	// columnar layout); Q1-style global reductions are SIMD streams,
+	// group-bys pay the hash-aggregation model per qualifying row.
+	aggCols := 0
+	for _, a := range q.Aggs {
+		aggCols++
+		if a.Kind == plan.AggSumMul || a.Kind == plan.AggSumSub {
+			aggCols++
+		}
+	}
+	// The group-by pass re-reads the materialized group-key columns as
+	// well as the aggregate inputs.
+	aggBytes := int64(n) * 4 * int64(aggCols+len(q.GroupBy))
+	k := cpu.Config().Kernels
+	if len(q.GroupBy) == 0 {
+		cpu.ChargeStream(float64(matched)*0.4, aggBytes)
+	} else {
+		groups := int64(len(acc.order))
+		cpu.ChargeStream(float64(matched)*(k.HashCyclesPerKey+k.AggUpdateCyclesPerRow), aggBytes)
+		cpu.ChargeRandomAccesses(int64(matched), groups*32)
+	}
+	// COUNT(DISTINCT) maintains per-group hash sets: one extra hash+probe
+	// per qualifying row per distinct slot over the sets' working set.
+	if len(distinctSlots) > 0 {
+		var setEntries int64
+		for _, r := range acc.rows {
+			for _, set := range r.sets {
+				setEntries += int64(len(set))
+			}
+		}
+		for range distinctSlots {
+			cpu.ChargeCompute(float64(matched) * k.HashCyclesPerKey)
+			cpu.ChargeRandomAccesses(int64(matched), setEntries*16)
+		}
+	}
+	// A single global group always yields one output row (the zero rows
+	// merge into one at accumulator level when the sweep is parallel).
+	if len(q.GroupBy) == 0 && len(acc.order) == 0 {
+		acc.add(nil, make([]int64, len(q.Aggs)), 0)
+	}
+	s.aggCycles += cpu.Cycles() - aggStart
+	spa.SetInt("cycles", cpu.Cycles()-aggStart)
+	spa.SetInt("groups", int64(len(acc.order)))
+	spa.End()
+	return nil
+}

@@ -26,6 +26,7 @@ type Hybrid struct {
 	castle *Castle
 	cpu    *CPUExec
 	cat    *stats.Catalog
+	placed *Placed
 
 	// GroupThreshold and DimThreshold override the paper's crossovers
 	// (zero selects the defaults).
@@ -35,7 +36,9 @@ type Hybrid struct {
 
 // NewHybrid couples a Castle executor and a baseline executor.
 func NewHybrid(castle *Castle, cpu *CPUExec, cat *stats.Catalog) *Hybrid {
-	return &Hybrid{castle: castle, cpu: cpu, cat: cat}
+	h := &Hybrid{castle: castle, cpu: cpu, cat: cat}
+	h.placed = NewPlaced(castle, cpu, cat)
+	return h
 }
 
 // SetParallelism propagates a fact-sweep fan-out degree to both engines, so
@@ -44,23 +47,19 @@ func NewHybrid(castle *Castle, cpu *CPUExec, cat *stats.Catalog) *Hybrid {
 func (h *Hybrid) SetParallelism(k int) {
 	h.castle.SetParallelism(k)
 	h.cpu.SetParallelism(k)
+	h.placed.SetParallelism(k)
 }
 
-// Device names the engine a hybrid decision selected.
-type Device int
+// Device names the engine a hybrid decision selected. It aliases
+// plan.Device so whole-query routing decisions and per-operator placements
+// (plan.PlacedPlan) speak the same vocabulary.
+type Device = plan.Device
 
 // Devices.
 const (
-	DeviceCAPE Device = iota
-	DeviceCPU
+	DeviceCAPE = plan.DeviceCAPE
+	DeviceCPU  = plan.DeviceCPU
 )
-
-func (d Device) String() string {
-	if d == DeviceCAPE {
-		return "CAPE"
-	}
-	return "CPU"
-}
 
 // EstimateGroups predicts the number of result groups: the product of the
 // group columns' distinct counts, capped by the fact cardinality.
@@ -165,6 +164,20 @@ func (h *Hybrid) RunContext(ctx context.Context, p *plan.Physical, db *storage.D
 	}
 	res, err := h.castle.RunContext(ctx, p, db)
 	return res, DeviceCAPE, err
+}
+
+// Placed returns the per-operator placement executor sharing this hybrid's
+// engines (mixed placements interleave both devices' cycle accounting).
+func (h *Hybrid) Placed() *Placed { return h.placed }
+
+// RunPlacedContext executes a per-operator placed pipeline (the tentpole
+// path behind Options.Placement): uniform placements delegate to the owning
+// single-device executor, mixed placements split the fused fact stage and
+// the aggregation tail across the devices. Returns the fact-stage device as
+// the headline device; DeviceCycles/Breakdown on Placed carry the split.
+func (h *Hybrid) RunPlacedContext(ctx context.Context, pp *plan.PlacedPlan, db *storage.Database) (*Result, Device, error) {
+	res, err := h.placed.RunContext(ctx, pp, db)
+	return res, pp.FactDevice(), err
 }
 
 // Cycles returns the cycle count of whichever engine ran last under the

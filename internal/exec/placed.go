@@ -1,0 +1,967 @@
+package exec
+
+// placed.go executes plans whose operator pipeline spans both devices — the
+// paper's §7.2 hybrid case with per-operator granularity. The fused fact
+// stage (Scan+Filter+JoinProbe) runs on one device using the same kernels
+// the single-device executors run (tileSweep / cpuSweep), each DimBuild runs
+// on its placed device (paying an explicit transfer when it feeds the other
+// side), and the aggregation tail runs on its placed device over the
+// survivor tuples the fact stage ships across.
+//
+// Results are bit-identical to the single-device engines: the fact stage
+// computes the same survivor set either way, survivors are consumed in
+// ascending row order lane by lane, and each aggregation kernel keeps its
+// device's exact arithmetic (which agree on every supported shape).
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"castle/internal/baseline"
+	"castle/internal/bitvec"
+	"castle/internal/cape"
+	"castle/internal/plan"
+	"castle/internal/stats"
+	"castle/internal/storage"
+	"castle/internal/telemetry"
+)
+
+// Placed executes placed operator pipelines (plan.PlacedPlan) across a CAPE
+// engine and a baseline core. Uniform placements delegate to the
+// single-device executors; mixed placements run the split pipeline here.
+type Placed struct {
+	castle *Castle
+	cpu    *CPUExec
+	cat    *stats.Catalog
+
+	// par mirrors Castle.par: the fact-stage fan-out degree for subsequent
+	// runs, atomically retargetable while a run is in flight.
+	par atomic.Int32
+
+	tel    *telemetry.Telemetry
+	parent *telemetry.Span
+
+	last atomic.Pointer[placedBooks]
+}
+
+// placedBooks is the closed accounting of one placed run.
+type placedBooks struct {
+	capeCycles int64
+	cpuCycles  int64
+	breakdown  *telemetry.Breakdown
+}
+
+// NewPlaced couples the two single-device executors into a placed-pipeline
+// executor. The executors' engines are shared: cycle accounting accumulates
+// on them exactly as single-device runs do.
+func NewPlaced(castle *Castle, cpu *CPUExec, cat *stats.Catalog) *Placed {
+	return &Placed{castle: castle, cpu: cpu, cat: cat}
+}
+
+// SetParallelism sets the fact-stage fan-out degree for subsequent runs
+// (tiles when the fact stage is on CAPE, cores when on the CPU). The
+// aggregation tail of a mixed placement always runs on its device's primary
+// engine — it is a pipeline consumer fed by every lane, merged in fixed
+// lane order so results stay bit-identical. Safe to call concurrently with
+// RunContext; an in-flight run keeps the degree it observed at entry.
+func (x *Placed) SetParallelism(k int) { x.par.Store(int32(k)) }
+
+// SetTelemetry attaches a telemetry sink and parent span for subsequent
+// runs (either may be nil). Not safe to call while a run is in flight.
+func (x *Placed) SetTelemetry(tel *telemetry.Telemetry, parent *telemetry.Span) {
+	x.tel = tel
+	x.parent = parent
+	x.castle.SetTelemetry(tel, parent)
+	x.cpu.SetTelemetry(tel, parent)
+}
+
+// Breakdown returns the last run's per-operator cycle breakdown. For mixed
+// runs every row carries the device it ran on, device crossings appear as
+// explicit "xfer:" rows, and the rows partition the combined two-device
+// total exactly. Returns a copy; nil before the first run.
+func (x *Placed) Breakdown() *telemetry.Breakdown {
+	b := x.last.Load()
+	if b == nil {
+		return nil
+	}
+	return b.breakdown.Clone()
+}
+
+// DeviceCycles returns the last run's per-device cycle split (CAPE, CPU);
+// both zero before the first run.
+func (x *Placed) DeviceCycles() (int64, int64) {
+	b := x.last.Load()
+	if b == nil {
+		return 0, 0
+	}
+	return b.capeCycles, b.cpuCycles
+}
+
+// Run executes a placed plan. See RunContext.
+func (x *Placed) Run(pp *plan.PlacedPlan, db *storage.Database) (*Result, error) {
+	return x.RunContext(context.Background(), pp, db)
+}
+
+// RunContext executes a placed operator pipeline. Uniform placements
+// delegate to the owning single-device executor (identical results,
+// identical accounting); mixed placements run the fact stage on its device
+// — morsel-parallel across K lanes when parallelism is set — ship the
+// survivor tuples across the device boundary, and run the aggregation tail
+// on the other device. A mixed run's TotalCycles is the sum of both
+// devices' advances: the tail consumes the fact stage's output, so the
+// phases serialize across the boundary.
+func (x *Placed) RunContext(ctx context.Context, pp *plan.PlacedPlan, db *storage.Database) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := pp.Validate(); err != nil {
+		return nil, err
+	}
+	if dev, uniform := pp.Uniform(); uniform {
+		return x.runUniform(ctx, pp, db, dev)
+	}
+	if pp.FactDevice() == plan.DeviceCAPE {
+		return x.runCAPEFactCPUAgg(ctx, pp, db)
+	}
+	return x.runCPUFactCAPEAgg(ctx, pp, db)
+}
+
+// runUniform delegates a single-device placement to the owning executor and
+// republishes its books.
+func (x *Placed) runUniform(ctx context.Context, pp *plan.PlacedPlan, db *storage.Database, dev plan.Device) (*Result, error) {
+	capeStart := x.castle.eng.TotalCycles()
+	cpuStart := x.cpu.cpu.Cycles()
+	var res *Result
+	var err error
+	if dev == plan.DeviceCPU {
+		x.cpu.SetParallelism(int(x.par.Load()))
+		res, err = x.cpu.RunContext(ctx, pp.Phys.Query, db)
+	} else {
+		x.castle.SetParallelism(int(x.par.Load()))
+		res, err = x.castle.RunContext(ctx, pp.Phys, db)
+	}
+	if err != nil {
+		return nil, err
+	}
+	books := &placedBooks{
+		capeCycles: x.castle.eng.TotalCycles() - capeStart,
+		cpuCycles:  x.cpu.cpu.Cycles() - cpuStart,
+	}
+	if dev == plan.DeviceCPU {
+		books.breakdown = x.cpu.Breakdown()
+	} else {
+		books.breakdown = x.castle.Breakdown()
+	}
+	x.last.Store(books)
+	return res, nil
+}
+
+// placedBreakdown accumulates the operator rows of a mixed run.
+type placedBreakdown struct {
+	ops     []telemetry.OperatorStats
+	perJoin map[string]int64
+}
+
+func newPlacedBreakdown() *placedBreakdown {
+	return &placedBreakdown{perJoin: make(map[string]int64)}
+}
+
+func (b *placedBreakdown) row(op, dev string, cycles, rows int64) {
+	b.ops = append(b.ops, telemetry.OperatorStats{Operator: op, Device: dev, Cycles: cycles, Rows: rows})
+}
+
+// publish closes a mixed run's books: the operator rows plus an explicit
+// "overhead" remainder partition the combined total exactly.
+func (x *Placed) publish(bk *placedBreakdown, capeCycles, cpuCycles int64) {
+	total := capeCycles + cpuCycles
+	var covered int64
+	for _, o := range bk.ops {
+		covered += o.Cycles
+	}
+	bk.ops = append(bk.ops, telemetry.OperatorStats{
+		Operator: "overhead", Device: "CAPE+CPU", Cycles: total - covered, Rows: -1})
+	x.last.Store(&placedBooks{
+		capeCycles: capeCycles,
+		cpuCycles:  cpuCycles,
+		breakdown:  &telemetry.Breakdown{Device: "CAPE+CPU", Operators: bk.ops, TotalCycles: total},
+	})
+}
+
+// shipTailCols lists the dimension attributes ("dim.attr") a device
+// crossing before aggregation must carry, and the width of one shipped
+// tuple in 4-byte fields: the row identifier plus those attributes (fact
+// columns are re-read by the consumer from shared memory).
+func shipTailCols(q *plan.Query) (attrKeys []string, cols int) {
+	for _, g := range q.GroupBy {
+		if g.Table != q.Fact {
+			attrKeys = append(attrKeys, g.Table+"."+g.Column)
+		}
+	}
+	return attrKeys, 1 + len(attrKeys)
+}
+
+// shipment is one fact-stage lane's survivor tuples, in ascending row
+// order: absolute fact-row indices plus the dimension-attribute values the
+// aggregation tail needs (keyed "dim.attr", aligned with rows).
+type shipment struct {
+	rows  []int
+	attrs map[string][]uint32
+}
+
+func newShipment(attrKeys []string) *shipment {
+	s := &shipment{attrs: make(map[string][]uint32, len(attrKeys))}
+	for _, k := range attrKeys {
+		s.attrs[k] = nil
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// CAPE fact stage -> CPU aggregation tail (the paper's hybrid direction:
+// selective fact filtering on the AP, high-cardinality aggregation on the
+// CPU).
+// ---------------------------------------------------------------------------
+
+func (x *Placed) runCAPEFactCPUAgg(ctx context.Context, pp *plan.PlacedPlan, db *storage.Database) (*Result, error) {
+	p := pp.Phys
+	q := p.Query
+	eng := x.castle.eng
+	cpu := x.cpu.cpu
+	cfg := eng.Config()
+	camCapable := cfg.EnableADL
+
+	capeStart := eng.TotalCycles()
+	cpuStart := cpu.Cycles()
+	bk := newPlacedBreakdown()
+
+	if camCapable {
+		eng.SetLayout(cape.CAMMode)
+	}
+
+	// --- DimBuild per edge, on its placed device; CPU-built dimensions ship
+	// their values arrays into CAPE.
+	dims := make([]dimSide, len(p.Joins))
+	for i, e := range p.Joins {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		dev := pp.DimDevice(e.Dim)
+		sp := x.parent.Child("prep:" + e.Dim)
+		c0, u0 := eng.TotalCycles(), cpu.Cycles()
+		if dev == plan.DeviceCAPE {
+			dims[i] = capePrepareDim(eng, x.cat, q, e, db)
+		} else {
+			j := cpuPrepareDim(cpu, q, e, db)
+			dims[i] = dimSide{edge: e, keys: j.keys, attrs: j.vals, totalRows: db.MustTable(e.Dim).Rows()}
+		}
+		c1, u1 := eng.TotalCycles(), cpu.Cycles()
+		bk.row("prep:"+e.Dim, dev.String(), (c1-c0)+(u1-u0), int64(len(dims[i].keys)))
+		if dev == plan.DeviceCPU {
+			// Ship the values array across: the core streams it out, the AP
+			// streams it in, and the CP rebuilds the attribute grouping an
+			// on-device prep would have built.
+			bytes := int64(4 * len(dims[i].keys) * (1 + len(e.NeedAttrs)))
+			cpu.ChargeStreamWrite(0, bytes)
+			eng.ChargeStreamRead(bytes)
+			dims[i].buildGroups(e)
+			if len(e.NeedAttrs) > 0 {
+				eng.Scalar(int64(4 * len(dims[i].keys)))
+			}
+			c2, u2 := eng.TotalCycles(), cpu.Cycles()
+			bk.row("xfer:"+e.Dim, "CAPE+CPU", (c2-c1)+(u2-u1), int64(len(dims[i].keys)))
+		}
+		sp.SetInt("rows_out", int64(len(dims[i].keys)))
+		sp.End()
+	}
+
+	// --- Fact stage on CAPE: Scan+Filter+JoinProbe per partition, gathering
+	// survivor tuples instead of aggregating.
+	fact := db.MustTable(q.Fact)
+	factRows := fact.Rows()
+	maxvl := cfg.MAXVL
+	parts := (factRows + maxvl - 1) / maxvl
+	k := int(x.par.Load())
+	if k < 1 || parts < 1 {
+		k = 1
+	}
+	if k > parts && parts > 0 {
+		k = parts
+	}
+
+	attrKeys, shipCols := shipTailCols(q)
+	sweep := x.parent.Child("fact-sweep")
+	sweepStart := eng.TotalCycles()
+	ships := make([]*shipment, k)
+
+	if k == 1 {
+		s := &tileSweep{cat: x.cat, opts: x.castle.opts, eng: eng, perJoin: bk.perJoin, span: sweep}
+		ships[0] = newShipment(attrKeys)
+		var exportCycles int64
+		for base := 0; base < factRows; base += maxvl {
+			vl := factRows - base
+			if vl > maxvl {
+				vl = maxvl
+			}
+			rowMask, _, attrRegs, _, err := s.runFilterJoins(ctx, p, db, dims, base, vl)
+			if err != nil {
+				return nil, err
+			}
+			e0 := eng.TotalCycles()
+			exportSurvivors(eng, ships[0], rowMask, base, attrKeys, attrRegs, shipCols)
+			exportCycles += eng.TotalCycles() - e0
+			if camCapable {
+				eng.SetLayout(cape.CAMMode)
+			}
+		}
+		bk.row("filter", "CAPE", s.filterCycles, int64(factRows))
+		for _, e := range p.Joins {
+			bk.row("join:"+e.Dim, "CAPE", bk.perJoin[e.Dim], -1)
+		}
+		bk.row("xfer:aggregate", "CAPE+CPU", exportCycles, int64(len(ships[0].rows)))
+	} else {
+		group := eng.Fork(k)
+		sweeps := make([]*tileSweep, k)
+		for i, t := range group.Tiles() {
+			if x.tel != nil {
+				AttachEngineTelemetry(t, x.tel)
+			}
+			sweeps[i] = &tileSweep{cat: x.cat, opts: x.castle.opts, eng: t,
+				perJoin: make(map[string]int64, len(p.Joins)),
+				span:    sweep.Child(fmt.Sprintf("tile%d", i))}
+			ships[i] = newShipment(attrKeys)
+		}
+		laneRows := make([]int64, k)
+		errs := make([]error, k)
+		var wg sync.WaitGroup
+		for i := range sweeps {
+			wg.Add(1)
+			go func(ti int) {
+				defer wg.Done()
+				s := sweeps[ti]
+				defer s.span.End()
+				for pi := ti; pi < parts; pi += k {
+					base := pi * maxvl
+					vl := factRows - base
+					if vl > maxvl {
+						vl = maxvl
+					}
+					rowMask, _, attrRegs, _, err := s.runFilterJoins(ctx, p, db, dims, base, vl)
+					if err != nil {
+						errs[ti] = err
+						return
+					}
+					exportSurvivors(s.eng, ships[ti], rowMask, base, attrKeys, attrRegs, shipCols)
+					if camCapable {
+						s.eng.SetLayout(cape.CAMMode)
+					}
+					laneRows[ti] += int64(vl)
+				}
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Elapsed advances by the critical tile; per-tile work (including
+		// each tile's export charges) shows as sweep rows with the hidden
+		// overlap credited back, as in the single-device executors.
+		tileCycles := group.Merge()
+		var sum, max int64
+		for t, cy := range tileCycles {
+			bk.row(fmt.Sprintf("sweep[%d]", t), "CAPE", cy, laneRows[t])
+			sum += cy
+			if cy > max {
+				max = cy
+			}
+		}
+		bk.row("parallel-overlap", "CAPE", max-sum, -1)
+		for _, s := range sweeps {
+			for d, cy := range s.perJoin {
+				bk.perJoin[d] += cy
+			}
+		}
+	}
+	sweep.SetInt("cycles", eng.TotalCycles()-sweepStart)
+	sweep.SetInt("tiles", int64(k))
+	sweep.End()
+
+	// --- Aggregation tail on the CPU's primary core: lanes consumed in
+	// fixed order, per-row hash aggregation with the cpu_aggregate charge
+	// model over the shipped tuples plus the fact columns they reference.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	spa := x.parent.Child("aggregate")
+	a0 := cpu.Cycles()
+	acc := newGroupAcc(q.Aggs)
+	matched, err := cpuAggregateShipments(ctx, cpu, q, fact, ships, acc, shipCols)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.GroupBy) == 0 && len(acc.order) == 0 {
+		acc.add(nil, make([]int64, len(q.Aggs)), 0)
+	}
+	aggCycles := cpu.Cycles() - a0
+	bk.row("aggregate", "CPU", aggCycles, int64(len(acc.order)))
+	spa.SetInt("cycles", aggCycles)
+	spa.SetInt("rows", matched)
+	spa.SetInt("groups", int64(len(acc.order)))
+	spa.End()
+
+	res := acc.result(q)
+	x.publish(bk, eng.TotalCycles()-capeStart, cpu.Cycles()-cpuStart)
+	return res, nil
+}
+
+// exportSurvivors gathers one partition's surviving rows into the lane's
+// shipment and bills the CAPE side of the crossing: a CP gather loop over
+// the survivors plus the streamed tuple bytes.
+func exportSurvivors(eng *cape.Engine, ship *shipment, rowMask *bitvec.Vector, base int,
+	attrKeys []string, attrRegs map[string]cape.VReg, shipCols int) {
+
+	attrData := make([][]uint32, len(attrKeys))
+	for ai, key := range attrKeys {
+		r, ok := attrRegs[key]
+		if !ok {
+			panic("exec: shipped attribute " + key + " was not materialized by any join")
+		}
+		attrData[ai] = eng.Peek(r)
+	}
+	var n int64
+	for i := rowMask.First(); i != -1; i = rowMask.NextAfter(i) {
+		ship.rows = append(ship.rows, base+i)
+		for ai, key := range attrKeys {
+			ship.attrs[key] = append(ship.attrs[key], attrData[ai][i])
+		}
+		n++
+	}
+	eng.Scalar(2 * n)
+	eng.ChargeStreamWrite(4 * n * int64(shipCols))
+}
+
+// cpuAggregateShipments folds every lane's survivor tuples into acc with
+// the CPU's exact aggregation semantics, then pays the hash-aggregation
+// charge model over the tuple bytes plus the fact-column fields each row
+// gathers.
+func cpuAggregateShipments(ctx context.Context, cpu *baseline.CPU, q *plan.Query,
+	fact *storage.Table, ships []*shipment, acc *groupAcc, shipCols int) (int64, error) {
+
+	valueOf := make([]func(row int) int64, len(q.Aggs))
+	type distinctSlot struct {
+		slot int
+		col  []uint32
+	}
+	var distinctSlots []distinctSlot
+	aggCols := 0
+	for ai, a := range q.Aggs {
+		aggCols++
+		switch a.Kind {
+		case plan.AggSumCol, plan.AggMin, plan.AggMax, plan.AggAvg:
+			col := fact.MustColumn(a.A).Data
+			valueOf[ai] = func(r int) int64 { return int64(col[r]) }
+		case plan.AggSumMul:
+			ca, cb := fact.MustColumn(a.A).Data, fact.MustColumn(a.B).Data
+			valueOf[ai] = func(r int) int64 { return int64(ca[r]) * int64(cb[r]) }
+			aggCols++
+		case plan.AggSumSub:
+			ca, cb := fact.MustColumn(a.A).Data, fact.MustColumn(a.B).Data
+			valueOf[ai] = func(r int) int64 { return int64(ca[r]) - int64(cb[r]) }
+			aggCols++
+		case plan.AggCount:
+			valueOf[ai] = func(r int) int64 { return 1 }
+		case plan.AggCountDistinct:
+			col := fact.MustColumn(a.A).Data
+			valueOf[ai] = func(r int) int64 { return 0 }
+			distinctSlots = append(distinctSlots, distinctSlot{slot: ai, col: col})
+		}
+	}
+	factGroupCols := 0
+	keySrc := make([]func(s *shipment, si, row int) uint32, len(q.GroupBy))
+	for gi, g := range q.GroupBy {
+		if g.Table == q.Fact {
+			col := fact.MustColumn(g.Column).Data
+			keySrc[gi] = func(_ *shipment, _ int, r int) uint32 { return col[r] }
+			factGroupCols++
+			continue
+		}
+		key := g.Table + "." + g.Column
+		keySrc[gi] = func(s *shipment, si int, _ int) uint32 { return s.attrs[key][si] }
+	}
+
+	keys := make([]uint32, len(q.GroupBy))
+	aggs := make([]int64, len(q.Aggs))
+	var matched int64
+	for _, ship := range ships {
+		for si, row := range ship.rows {
+			if matched%cancelCheckRows == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
+			for gi := range keySrc {
+				keys[gi] = keySrc[gi](ship, si, row)
+			}
+			for ai := range valueOf {
+				aggs[ai] = valueOf[ai](row)
+			}
+			acc.add(keys, aggs, 1)
+			for _, d := range distinctSlots {
+				acc.addDistinct(keys, d.slot, []uint32{d.col[row]})
+			}
+			matched++
+		}
+	}
+
+	// Charge model: the shipped tuples stream in, each row gathers its fact
+	// fields and pays the hash-aggregation constants (cpuSweep.runAggregate
+	// with the full-column stream replaced by the tuple + gathered fields).
+	touchedBytes := matched * 4 * int64(shipCols+aggCols+factGroupCols)
+	k := cpu.Config().Kernels
+	if len(q.GroupBy) == 0 {
+		cpu.ChargeStream(float64(matched)*0.4, touchedBytes)
+	} else {
+		cpu.ChargeStream(float64(matched)*(k.HashCyclesPerKey+k.AggUpdateCyclesPerRow), touchedBytes)
+		cpu.ChargeRandomAccesses(matched, int64(len(acc.order))*32)
+	}
+	if len(distinctSlots) > 0 {
+		var setEntries int64
+		for _, r := range acc.rows {
+			for _, set := range r.sets {
+				setEntries += int64(len(set))
+			}
+		}
+		for range distinctSlots {
+			cpu.ChargeCompute(float64(matched) * k.HashCyclesPerKey)
+			cpu.ChargeRandomAccesses(matched, setEntries*16)
+		}
+	}
+	return matched, nil
+}
+
+// ---------------------------------------------------------------------------
+// CPU fact stage -> CAPE aggregation tail (the reverse crossing; rarely
+// chosen by the cost model but fully supported, and exercised by the
+// forced-placement differential columns).
+// ---------------------------------------------------------------------------
+
+func (x *Placed) runCPUFactCAPEAgg(ctx context.Context, pp *plan.PlacedPlan, db *storage.Database) (*Result, error) {
+	p := pp.Phys
+	q := p.Query
+	eng := x.castle.eng
+	cpu := x.cpu.cpu
+	camCapable := eng.Config().EnableADL
+
+	capeStart := eng.TotalCycles()
+	cpuStart := cpu.Cycles()
+	bk := newPlacedBreakdown()
+
+	// --- DimBuild per edge; CAPE-built dimensions ship their values arrays
+	// to the CPU.
+	joins := make([]dimJoin, 0, len(p.Joins))
+	for _, e := range p.Joins {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		dev := pp.DimDevice(e.Dim)
+		sp := x.parent.Child("prep:" + e.Dim)
+		c0, u0 := eng.TotalCycles(), cpu.Cycles()
+		var j dimJoin
+		if dev == plan.DeviceCPU {
+			j = cpuPrepareDim(cpu, q, e, db)
+		} else {
+			if camCapable {
+				eng.SetLayout(cape.CAMMode)
+			}
+			d := capePrepareDim(eng, x.cat, q, e, db)
+			j = dimJoin{edge: e, keys: d.keys, vals: d.attrs, fraction: 1}
+			if d.totalRows > 0 {
+				j.fraction = float64(len(d.keys)) / float64(d.totalRows)
+			}
+		}
+		c1, u1 := eng.TotalCycles(), cpu.Cycles()
+		bk.row("prep:"+e.Dim, dev.String(), (c1-c0)+(u1-u0), int64(len(j.keys)))
+		if dev == plan.DeviceCAPE {
+			bytes := int64(4 * len(j.keys) * (1 + len(e.NeedAttrs)))
+			eng.ChargeStreamWrite(bytes)
+			cpu.ChargeStream(0, bytes)
+			c2, u2 := eng.TotalCycles(), cpu.Cycles()
+			bk.row("xfer:"+e.Dim, "CAPE+CPU", (c2-c1)+(u2-u1), int64(len(j.keys)))
+		}
+		joins = append(joins, j)
+		sp.SetInt("rows_out", int64(len(j.keys)))
+		sp.End()
+	}
+	// Probe the most selective dimension first, exactly as CPUExec does.
+	sort.SliceStable(joins, func(i, j int) bool { return joins[i].fraction < joins[j].fraction })
+
+	// --- Fact stage on the CPU: filter + probe pass, gathering survivor
+	// tuples.
+	fact := db.MustTable(q.Fact)
+	rows := fact.Rows()
+	k := int(x.par.Load())
+	if k < 1 {
+		k = 1
+	}
+	if k > rows {
+		k = rows
+	}
+	if k < 1 {
+		k = 1
+	}
+
+	attrKeys, shipCols := shipTailCols(q)
+	sweep := x.parent.Child("fact-sweep")
+	sweepStart := cpu.Cycles()
+	ships := make([]*shipment, k)
+
+	if k == 1 {
+		s := &cpuSweep{cpu: cpu, perJoin: bk.perJoin, span: sweep}
+		sel, attrCols, err := s.runFilterJoins(ctx, q, db, joins, nil, 0, rows)
+		if err != nil {
+			return nil, err
+		}
+		x0 := cpu.Cycles()
+		ships[0] = gatherCPUSurvivors(cpu, sel, attrCols, attrKeys, 0, rows, shipCols)
+		bk.row("filter", "CPU", s.filterCycles, int64(rows))
+		for _, e := range p.Joins {
+			bk.row("join:"+e.Dim, "CPU", bk.perJoin[e.Dim], -1)
+		}
+		bk.row("xfer:aggregate", "CAPE+CPU", cpu.Cycles()-x0, int64(len(ships[0].rows)))
+	} else {
+		// Hash tables build once on the primary core, as in CPUExec.
+		tables := make([]joinTable, len(joins))
+		for ji, j := range joins {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			b0 := cpu.Cycles()
+			if len(j.edge.NeedAttrs) == 0 {
+				tables[ji].semi = cpu.BuildHashSemi(j.keys)
+			} else {
+				tables[ji].attr = make([]*baseline.HashTable, len(j.edge.NeedAttrs))
+				for ai := range j.edge.NeedAttrs {
+					tables[ji].attr[ai] = cpu.BuildHashMap(j.keys, j.vals[ai])
+				}
+			}
+			cy := cpu.Cycles() - b0
+			bk.row("build:"+j.edge.Dim, "CPU", cy, int64(len(j.keys)))
+			bk.perJoin[j.edge.Dim] += cy
+		}
+
+		cores := cpu.Fork(k)
+		sweeps := make([]*cpuSweep, k)
+		for i, core := range cores {
+			if x.tel != nil {
+				AttachCPUTelemetry(core, x.tel)
+			}
+			sweeps[i] = &cpuSweep{cpu: core,
+				perJoin: make(map[string]int64, len(joins)),
+				span:    sweep.Child(fmt.Sprintf("core%d", i))}
+		}
+		laneRows := make([]int64, k)
+		errs := make([]error, k)
+		var wg sync.WaitGroup
+		for i := range sweeps {
+			base, end := i*rows/k, (i+1)*rows/k
+			wg.Add(1)
+			go func(ti, base, end int) {
+				defer wg.Done()
+				s := sweeps[ti]
+				defer s.span.End()
+				sel, attrCols, err := s.runFilterJoins(ctx, q, db, joins, tables, base, end)
+				if err != nil {
+					errs[ti] = err
+					return
+				}
+				ships[ti] = gatherCPUSurvivors(s.cpu, sel, attrCols, attrKeys, base, end, shipCols)
+				laneRows[ti] = int64(end - base)
+			}(i, base, end)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		var maxRaw float64
+		var sum, max int64
+		for i, s := range sweeps {
+			cy := s.cpu.Cycles()
+			bk.row(fmt.Sprintf("sweep[%d]", i), "CPU", cy, laneRows[i])
+			sum += cy
+			if cy > max {
+				max = cy
+			}
+			if raw := s.cpu.RawCycles(); raw > maxRaw {
+				maxRaw = raw
+			}
+			for d, cyj := range s.perJoin {
+				bk.perJoin[d] += cyj
+			}
+		}
+		bk.row("parallel-overlap", "CPU", max-sum, -1)
+		cpu.AbsorbElapsed(maxRaw)
+		for _, core := range cores {
+			cpu.AbsorbTraffic(core)
+		}
+	}
+	sweep.SetInt("cycles", cpu.Cycles()-sweepStart)
+	sweep.SetInt("cores", int64(k))
+	sweep.End()
+
+	// --- Aggregation tail on the CAPE primary engine: shipped tuples load
+	// into the CSB in MAXVL chunks (the loads' stream reads bill the
+	// transfer's read side) and Algorithm 2 runs over each chunk.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	spa := x.parent.Child("aggregate")
+	a0 := eng.TotalCycles()
+	acc := newGroupAcc(q.Aggs)
+	if err := x.capeAggregateShipments(ctx, q, fact, ships, acc, camCapable); err != nil {
+		return nil, err
+	}
+	if len(q.GroupBy) == 0 && len(acc.order) == 0 {
+		acc.add(nil, make([]int64, len(q.Aggs)), 0)
+	}
+	aggCycles := eng.TotalCycles() - a0
+	bk.row("aggregate", "CAPE", aggCycles, int64(len(acc.order)))
+	spa.SetInt("cycles", aggCycles)
+	spa.SetInt("groups", int64(len(acc.order)))
+	spa.End()
+
+	res := acc.result(q)
+	x.publish(bk, eng.TotalCycles()-capeStart, cpu.Cycles()-cpuStart)
+	return res, nil
+}
+
+// gatherCPUSurvivors collects a lane's surviving rows (and the tail's
+// dimension attributes) into a shipment and bills the CPU side of the
+// crossing: a gather loop plus the streamed tuple bytes.
+func gatherCPUSurvivors(cpu *baseline.CPU, sel *bitvec.Vector, attrCols map[string][]uint32,
+	attrKeys []string, base, end, shipCols int) *shipment {
+
+	ship := newShipment(attrKeys)
+	collect := func(i int) { // i is range-local
+		ship.rows = append(ship.rows, base+i)
+		for _, key := range attrKeys {
+			col := attrCols[key]
+			if col == nil {
+				panic("exec: shipped attribute " + key + " was not materialized by any join")
+			}
+			ship.attrs[key] = append(ship.attrs[key], col[i])
+		}
+	}
+	if sel == nil {
+		for i := 0; i < end-base; i++ {
+			collect(i)
+		}
+	} else {
+		for i := sel.First(); i != -1; i = sel.NextAfter(i) {
+			collect(i)
+		}
+	}
+	n := len(ship.rows)
+	cpu.ChargeStreamWrite(float64(2*n), int64(4*n*shipCols))
+	return ship
+}
+
+// capeAggregateShipments runs the CAPE aggregation kernels over shipped
+// survivor tuples: each lane's tuples are processed in fixed order, loaded
+// into the CSB in MAXVL chunks as gathered columns, and folded with the
+// exact instruction billing of the on-device Algorithm 2 loop.
+func (x *Placed) capeAggregateShipments(ctx context.Context, q *plan.Query, fact *storage.Table,
+	ships []*shipment, acc *groupAcc, camCapable bool) error {
+
+	eng := x.castle.eng
+	maxvl := eng.Config().MAXVL
+
+	needGPArith := false
+	for _, a := range q.Aggs {
+		if a.Kind == plan.AggSumMul {
+			needGPArith = true
+		}
+	}
+	if needGPArith && len(q.GroupBy) > 0 {
+		panic("exec: GROUP BY with vv-arithmetic aggregates is outside SSB's shape")
+	}
+	if camCapable {
+		if needGPArith {
+			eng.SetLayout(cape.GPMode)
+		} else {
+			eng.SetLayout(cape.CAMMode)
+		}
+	}
+	// The charged loop helpers live on tileSweep; borrow one bound to the
+	// primary engine.
+	ts := &tileSweep{cat: x.cat, opts: x.castle.opts, eng: eng, acc: acc}
+
+	for _, ship := range ships {
+		for lo := 0; lo < len(ship.rows); lo += maxvl {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			hi := lo + maxvl
+			if hi > len(ship.rows) {
+				hi = len(ship.rows)
+			}
+			x.capeAggregateChunk(q, fact, ship, lo, hi, ts)
+		}
+	}
+	return nil
+}
+
+// capeAggregateChunk loads one chunk of shipped tuples into the CSB and
+// aggregates it: gathered fact columns and shipped attributes become CSB
+// vectors (loads bill the stream reads), then the scalar reductions or the
+// literal per-group Algorithm 2 loop run with on-device billing.
+func (x *Placed) capeAggregateChunk(q *plan.Query, fact *storage.Table,
+	ship *shipment, lo, hi int, ts *tileSweep) {
+
+	eng := x.castle.eng
+	acc := ts.acc
+	n := hi - lo
+	eng.SetVL(n)
+	regs := newRegAlloc(eng.Config().NumVRegs)
+
+	gatherFact := func(name string) []uint32 {
+		col := fact.MustColumn(name).Data
+		out := make([]uint32, n)
+		for i, row := range ship.rows[lo:hi] {
+			out[i] = col[row]
+		}
+		return out
+	}
+	loaded := make(map[string]cape.VReg)
+	loadGathered := func(key string, data []uint32, table, col string) cape.VReg {
+		if r, ok := loaded[key]; ok {
+			return r
+		}
+		r := regs.fresh()
+		eng.Load(r, data, colWidth(x.cat, table, col))
+		loaded[key] = r
+		return r
+	}
+	loadFact := func(name string) cape.VReg {
+		if r, ok := loaded[name]; ok {
+			return r
+		}
+		return loadGathered(name, gatherFact(name), q.Fact, name)
+	}
+
+	rowMask := eng.MaskInit(true)
+
+	// --- Scalar tail (no GROUP BY): predicated reductions per aggregate.
+	if len(q.GroupBy) == 0 {
+		rows := int64(eng.MPopc(rowMask))
+		if rows == 0 {
+			return
+		}
+		vals := make([]int64, len(q.Aggs))
+		for i, a := range q.Aggs {
+			switch a.Kind {
+			case plan.AggSumCol, plan.AggAvg:
+				vals[i] = eng.RedSum(loadFact(a.A), rowMask)
+			case plan.AggSumMul:
+				ra, rb := loadFact(a.A), loadFact(a.B)
+				tmp := regs.fresh()
+				eng.MulVV(tmp, ra, rb)
+				vals[i] = eng.RedSum(tmp, rowMask)
+			case plan.AggSumSub:
+				vals[i] = eng.RedSum(loadFact(a.A), rowMask) - eng.RedSum(loadFact(a.B), rowMask)
+				eng.Scalar(1)
+			case plan.AggCount:
+				vals[i] = rows
+			case plan.AggMin:
+				v, _ := eng.RedMin(loadFact(a.A), rowMask)
+				vals[i] = int64(v)
+			case plan.AggMax:
+				v, _ := eng.RedMax(loadFact(a.A), rowMask)
+				vals[i] = int64(v)
+			case plan.AggCountDistinct:
+				data := gatherFact(a.A)
+				r := loadGathered(a.A, data, q.Fact, a.A)
+				values := distinctUnder(data, 0, rowMask)
+				ts.chargeDistinctLoop(int64(len(values)), eng.RegWidth(r))
+				acc.addDistinct(nil, i, values)
+			}
+			eng.Scalar(4)
+		}
+		acc.add(nil, vals, rows)
+		return
+	}
+
+	// --- Grouped tail: the literal Algorithm 2 loop over the chunk.
+	groupRegs := make([]cape.VReg, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		if g.Table == q.Fact {
+			groupRegs[i] = loadFact(g.Column)
+			continue
+		}
+		key := g.Table + "." + g.Column
+		data := ship.attrs[key][lo:hi]
+		groupRegs[i] = loadGathered(key, data, g.Table, g.Column)
+	}
+	aggRegs := make([][2]cape.VReg, len(q.Aggs))
+	distinctData := make([][]uint32, len(q.Aggs))
+	for i, a := range q.Aggs {
+		if a.Kind == plan.AggCountDistinct {
+			distinctData[i] = gatherFact(a.A)
+			aggRegs[i][0] = loadGathered(a.A, distinctData[i], q.Fact, a.A)
+			continue
+		}
+		if a.Kind != plan.AggCount {
+			aggRegs[i][0] = loadFact(a.A)
+		}
+		if a.Kind == plan.AggSumSub {
+			aggRegs[i][1] = loadFact(a.B)
+		}
+	}
+
+	remaining := rowMask
+	keys := make([]uint32, len(q.GroupBy))
+	aggs := make([]int64, len(q.Aggs))
+	for {
+		idx := eng.MFirst(remaining)
+		if idx == -1 {
+			break
+		}
+		groupMask := remaining
+		for i, r := range groupRegs {
+			keys[i] = eng.Extract(r, idx)
+			groupMask = eng.MaskAnd(groupMask, eng.Search(r, keys[i]))
+		}
+		groupRows := int64(eng.MPopc(groupMask))
+		for i, a := range q.Aggs {
+			switch a.Kind {
+			case plan.AggSumCol, plan.AggAvg:
+				aggs[i] = eng.RedSum(aggRegs[i][0], groupMask)
+			case plan.AggSumSub:
+				aggs[i] = eng.RedSum(aggRegs[i][0], groupMask) - eng.RedSum(aggRegs[i][1], groupMask)
+				eng.Scalar(1)
+			case plan.AggCount:
+				aggs[i] = groupRows
+			case plan.AggMin:
+				v, _ := eng.RedMin(aggRegs[i][0], groupMask)
+				aggs[i] = int64(v)
+			case plan.AggMax:
+				v, _ := eng.RedMax(aggRegs[i][0], groupMask)
+				aggs[i] = int64(v)
+			case plan.AggCountDistinct:
+				values := distinctUnder(distinctData[i], 0, groupMask)
+				ts.chargeDistinctLoop(int64(len(values)), eng.RegWidth(aggRegs[i][0]))
+				acc.addDistinct(keys, i, values)
+				aggs[i] = 0
+			}
+		}
+		acc.add(keys, aggs, groupRows)
+		eng.Scalar(12)
+		eng.CPAccess(1, int64(len(acc.order))*16)
+		remaining = eng.MaskXor(remaining, groupMask)
+	}
+}

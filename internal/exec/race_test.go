@@ -1,0 +1,65 @@
+package exec
+
+// race_test.go pins the SetParallelism contract: both executors document
+// that the fan-out degree may be retargeted concurrently with an in-flight
+// RunContext (an in-flight run keeps the degree it observed at entry).
+// Under -race the old implementations — a plain int mutated on the receiver
+// — fail here; the atomic ones must not.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"castle/internal/baseline"
+	"castle/internal/cape"
+	"castle/internal/ssb"
+)
+
+func TestSetParallelismConcurrentWithRuns(t *testing.T) {
+	database, cat := db(t)
+	bound := bindQuery(t, database, ssb.Queries()[3].SQL)
+	cfg := smallCape()
+	p := optimize(t, bound, cat, cfg.MAXVL)
+	want := Reference(bound, database)
+
+	c := NewCastle(cape.New(cfg), cat, DefaultCastleOptions())
+	x := NewCPUExec(baseline.New(baseline.DefaultConfig()))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; ; k++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.SetParallelism(1 + k%4)
+			x.SetParallelism(1 + k%4)
+		}
+	}()
+
+	// The engines run one query at a time; the races under test are the
+	// executor-level option writes against the run's own reads.
+	for i := 0; i < 6; i++ {
+		res, err := c.RunContext(context.Background(), p, database)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(res) {
+			t.Fatalf("CAPE run %d diverged while parallelism was retargeted", i)
+		}
+		cres, err := x.RunContext(context.Background(), bound, database)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(cres) {
+			t.Fatalf("CPU run %d diverged while parallelism was retargeted", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

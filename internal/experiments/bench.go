@@ -198,6 +198,36 @@ func (rep *BenchReport) WriteBenchJSON(w io.Writer) error {
 	return enc.Encode(rep)
 }
 
+// ReadBenchJSON parses a benchmark artifact previously written by
+// WriteBenchJSON (e.g. a committed baseline).
+func ReadBenchJSON(r io.Reader) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench baseline: %w", err)
+	}
+	return &rep, nil
+}
+
+// CompareGeomean gates rep against a committed baseline: it returns an
+// error when the waterfall geomean speedup regressed by more than tol
+// (fractional, 0.02 = 2%). Improvements and within-tolerance noise pass.
+// Both reports must be at the same scale factor — cycle counts are not
+// comparable across SF.
+func (rep *BenchReport) CompareGeomean(base *BenchReport, tol float64) error {
+	if base.SF != rep.SF {
+		return fmt.Errorf("bench baseline: SF mismatch (baseline %.3f vs run %.3f)", base.SF, rep.SF)
+	}
+	if base.GeomeanSpeedup <= 0 {
+		return fmt.Errorf("bench baseline: geomean %.4f is not positive", base.GeomeanSpeedup)
+	}
+	floor := base.GeomeanSpeedup * (1 - tol)
+	if rep.GeomeanSpeedup < floor {
+		return fmt.Errorf("geomean speedup regressed: %.3fx vs baseline %.3fx (floor %.3fx at %.1f%% tolerance)",
+			rep.GeomeanSpeedup, base.GeomeanSpeedup, floor, tol*100)
+	}
+	return nil
+}
+
 // geomeanF is the geometric mean of positive values.
 func geomeanF(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -1,0 +1,64 @@
+package optimizer
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"castle/internal/plan"
+	"castle/internal/ssb"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden EXPLAIN snapshots")
+
+// TestPlacedExplainGolden snapshots the placed operator tree of all
+// thirteen SSB queries under the default cost model — the auto placement
+// plus both uniform single-device placements — pinning the EXPLAIN surface
+// end to end: operator order, probe directions, devices, and cost
+// annotations. Regenerate with `go test ./internal/optimizer -run Golden
+// -update` after an intentional cost-model change.
+func TestPlacedExplainGolden(t *testing.T) {
+	db, cat := ssbEnv(t)
+	const maxvl = 32768
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "SSB placed operator trees (SF 0.01, seed 20260704, MAXVL %d)\n", maxvl)
+	for _, qq := range ssb.Queries() {
+		q := bindSQL(t, db, qq.SQL)
+		p, err := Optimize(q, cat, maxvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := newPlaceCtx(p, cat, maxvl, DefaultCostModel())
+
+		fmt.Fprintf(&b, "\n==== %s (query %d) ====\n", qq.Flight, qq.Num)
+		fmt.Fprintf(&b, "-- auto --\n%s\n", PlacePlan(p, cat, maxvl).String())
+		for _, dev := range []plan.Device{plan.DeviceCAPE, plan.DeviceCPU} {
+			pp := plan.Compile(p, dev)
+			c.annotate(pp, dev, dev, nil)
+			fmt.Fprintf(&b, "-- uniform %s --\n%s\n", dev, pp.String())
+		}
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "placed_explain.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("placed EXPLAIN trees diverged from %s; rerun with -update if the cost model changed intentionally.\ngot:\n%s", path, got)
+	}
+}

@@ -1,0 +1,303 @@
+package plan
+
+// optree.go is the explicit physical-operator pipeline behind per-operator
+// hybrid placement: a Physical plan compiles into a linear operator tree
+// (DimBuild* -> Scan -> Filter -> JoinProbe* -> Aggregate -> Merge ->
+// OrderLimit) whose nodes each carry the device they are placed on. The
+// optimizer fills devices and cost annotations; both executors consume the
+// same tree, with exec.Placed handling plans whose operators span devices.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Device identifies the engine an operator is placed on.
+type Device int
+
+// Devices.
+const (
+	DeviceCAPE Device = iota
+	DeviceCPU
+)
+
+func (d Device) String() string {
+	if d == DeviceCAPE {
+		return "CAPE"
+	}
+	return "CPU"
+}
+
+// OpKind names a physical-operator pipeline stage.
+type OpKind int
+
+// Operator kinds, in the order they appear in a placed pipeline.
+const (
+	// OpDimBuild filters one dimension and compacts its qualifying keys and
+	// attributes (CAPE: Figure 4 values arrays; CPU: selection scans feeding
+	// hash-table builds).
+	OpDimBuild OpKind = iota
+	// OpScan streams the fact partition's columns into the executing
+	// device (CSB loads on CAPE, cache-line streams on the CPU).
+	OpScan
+	// OpFilter evaluates the fact selection predicates into a row mask.
+	OpFilter
+	// OpJoinProbe probes one join edge (right-deep: the filtered dimension
+	// probes the resident fact partition; left-deep: surviving rows probe
+	// the dimension).
+	OpJoinProbe
+	// OpAggregate folds surviving rows into the group accumulator
+	// (Algorithm 2 on CAPE, hash aggregation on the CPU).
+	OpAggregate
+	// OpMerge combines partial group accumulators (morsel-parallel lanes,
+	// and the device boundary when aggregation runs off the fact device).
+	OpMerge
+	// OpOrderLimit applies the final ORDER BY / LIMIT on the result
+	// relation (CP-side on either device).
+	OpOrderLimit
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpDimBuild:
+		return "dimbuild"
+	case OpScan:
+		return "scan"
+	case OpFilter:
+		return "filter"
+	case OpJoinProbe:
+		return "joinprobe"
+	case OpAggregate:
+		return "aggregate"
+	case OpMerge:
+		return "merge"
+	case OpOrderLimit:
+		return "orderlimit"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// PlacedOp is one node of a placed operator pipeline.
+type PlacedOp struct {
+	Kind OpKind
+	// Dim names the dimension for OpDimBuild / OpJoinProbe nodes.
+	Dim string
+	// Device is the engine this operator executes on.
+	Device Device
+	// EstRows is the optimizer's output-cardinality estimate (input rows
+	// for OpScan/OpFilter; qualifying dimension rows for dimension nodes;
+	// groups for aggregation nodes). Zero when not annotated.
+	EstRows int64
+	// EstCycles is the optimizer's per-operator cycle estimate on Device.
+	// Zero when not annotated.
+	EstCycles int64
+	// XferCycles is the estimated device-transfer cost paid entering this
+	// operator from a producer placed on the other device (0 when the
+	// pipeline stays put).
+	XferCycles int64
+}
+
+// PlacedPlan is a Physical plan with its operator pipeline placed onto
+// devices. The fused fact stage (Scan, Filter, every JoinProbe) shares one
+// device — CAPE fusion keeps row masks CSB-resident between those
+// operators, so splitting inside the stage would materialize every mask
+// through memory — and the aggregation tail (Aggregate, Merge, OrderLimit)
+// shares another; each DimBuild may sit on either side, paying a transfer
+// when it feeds a fact stage on the other device.
+type PlacedPlan struct {
+	Phys *Physical
+	Ops  []PlacedOp
+}
+
+// Compile builds the unplaced operator pipeline for a physical plan, every
+// node on dev. Ops follow execution order: one DimBuild per join edge (plan
+// order), Scan, Filter (when the query has fact predicates), one JoinProbe
+// per edge, Aggregate, Merge, and OrderLimit (when the query orders or
+// limits).
+func Compile(p *Physical, dev Device) *PlacedPlan {
+	q := p.Query
+	pp := &PlacedPlan{Phys: p}
+	for _, e := range p.Joins {
+		pp.Ops = append(pp.Ops, PlacedOp{Kind: OpDimBuild, Dim: e.Dim, Device: dev})
+	}
+	pp.Ops = append(pp.Ops, PlacedOp{Kind: OpScan, Device: dev})
+	if len(q.FactPreds) > 0 {
+		pp.Ops = append(pp.Ops, PlacedOp{Kind: OpFilter, Device: dev})
+	}
+	for _, e := range p.Joins {
+		pp.Ops = append(pp.Ops, PlacedOp{Kind: OpJoinProbe, Dim: e.Dim, Device: dev})
+	}
+	pp.Ops = append(pp.Ops, PlacedOp{Kind: OpAggregate, Device: dev})
+	pp.Ops = append(pp.Ops, PlacedOp{Kind: OpMerge, Device: dev})
+	if len(q.OrderBy) > 0 || q.Limit > 0 {
+		pp.Ops = append(pp.Ops, PlacedOp{Kind: OpOrderLimit, Device: dev})
+	}
+	return pp
+}
+
+// Place sets the devices of a compiled pipeline: the fused fact stage on
+// factDev, the aggregation tail on aggDev, and each DimBuild per dimDev
+// (dimensions absent from the map follow factDev).
+func (pp *PlacedPlan) Place(factDev, aggDev Device, dimDev map[string]Device) *PlacedPlan {
+	for i := range pp.Ops {
+		op := &pp.Ops[i]
+		switch op.Kind {
+		case OpDimBuild:
+			if d, ok := dimDev[op.Dim]; ok {
+				op.Device = d
+			} else {
+				op.Device = factDev
+			}
+		case OpScan, OpFilter, OpJoinProbe:
+			op.Device = factDev
+		case OpAggregate, OpMerge, OpOrderLimit:
+			op.Device = aggDev
+		}
+	}
+	return pp
+}
+
+// Validate checks the placement constraints Compile/Place maintain by
+// construction: the fused fact stage on one device and the aggregation
+// tail on one device.
+func (pp *PlacedPlan) Validate() error {
+	factSet, aggSet := false, false
+	var factDev, aggDev Device
+	for _, op := range pp.Ops {
+		switch op.Kind {
+		case OpScan, OpFilter, OpJoinProbe:
+			if factSet && op.Device != factDev {
+				return fmt.Errorf("plan: fused fact stage split across devices (%s on %s, want %s)",
+					op.Kind, op.Device, factDev)
+			}
+			factDev, factSet = op.Device, true
+		case OpAggregate, OpMerge, OpOrderLimit:
+			if aggSet && op.Device != aggDev {
+				return fmt.Errorf("plan: aggregation tail split across devices (%s on %s, want %s)",
+					op.Kind, op.Device, aggDev)
+			}
+			aggDev, aggSet = op.Device, true
+		}
+	}
+	return nil
+}
+
+// FactDevice returns the device of the fused fact stage.
+func (pp *PlacedPlan) FactDevice() Device {
+	for _, op := range pp.Ops {
+		if op.Kind == OpScan {
+			return op.Device
+		}
+	}
+	return DeviceCAPE
+}
+
+// AggDevice returns the device of the aggregation tail.
+func (pp *PlacedPlan) AggDevice() Device {
+	for _, op := range pp.Ops {
+		if op.Kind == OpAggregate {
+			return op.Device
+		}
+	}
+	return pp.FactDevice()
+}
+
+// DimDevice returns the device building a dimension (the fact device for
+// unknown names).
+func (pp *PlacedPlan) DimDevice(dim string) Device {
+	for _, op := range pp.Ops {
+		if op.Kind == OpDimBuild && op.Dim == dim {
+			return op.Device
+		}
+	}
+	return pp.FactDevice()
+}
+
+// Uniform reports whether every operator sits on one device, and which.
+func (pp *PlacedPlan) Uniform() (Device, bool) {
+	if len(pp.Ops) == 0 {
+		return DeviceCAPE, true
+	}
+	d := pp.Ops[0].Device
+	for _, op := range pp.Ops[1:] {
+		if op.Device != d {
+			return d, false
+		}
+	}
+	return d, true
+}
+
+// Mixed reports whether the placement spans both devices.
+func (pp *PlacedPlan) Mixed() bool {
+	_, uniform := pp.Uniform()
+	return !uniform
+}
+
+// EstCycles sums the per-operator cycle and transfer estimates (zero when
+// the pipeline is unannotated).
+func (pp *PlacedPlan) EstCycles() int64 {
+	var n int64
+	for _, op := range pp.Ops {
+		n += op.EstCycles + op.XferCycles
+	}
+	return n
+}
+
+// Crossings counts the device transfers the placement pays: one per
+// DimBuild feeding a fact stage on the other device, plus one when the
+// aggregation tail leaves the fact device.
+func (pp *PlacedPlan) Crossings() int {
+	fact, agg := pp.FactDevice(), pp.AggDevice()
+	n := 0
+	for _, op := range pp.Ops {
+		if op.Kind == OpDimBuild && op.Device != fact {
+			n++
+		}
+	}
+	if agg != fact {
+		n++
+	}
+	return n
+}
+
+// String renders the placed operator tree (the \explain surface and the
+// golden-test snapshot form): one aligned line per operator with its
+// device, probe direction, and cost annotations.
+func (pp *PlacedPlan) String() string {
+	var b strings.Builder
+	kind := "uniform"
+	if pp.Mixed() {
+		kind = "mixed"
+	}
+	fmt.Fprintf(&b, "placed plan (%s, %s shape, est %d cycles):\n",
+		kind, pp.Phys.Shape(), pp.EstCycles())
+	for _, op := range pp.Ops {
+		name := op.Kind.String()
+		switch op.Kind {
+		case OpDimBuild, OpJoinProbe:
+			name += "[" + op.Dim + "]"
+		case OpScan:
+			name += "[" + pp.Phys.Query.Fact + "]"
+		}
+		fmt.Fprintf(&b, "  %-22s %-4s", name, op.Device)
+		if op.Kind == OpJoinProbe {
+			dir := "dim-probes-fact"
+			for i, e := range pp.Phys.Joins {
+				if e.Dim == op.Dim && i >= pp.Phys.Switch {
+					dir = "rows-probe-dim"
+				}
+			}
+			fmt.Fprintf(&b, " %-16s", dir)
+		} else {
+			fmt.Fprintf(&b, " %-16s", "")
+		}
+		if op.EstRows > 0 || op.EstCycles > 0 {
+			fmt.Fprintf(&b, " rows~%-10d cycles~%d", op.EstRows, op.EstCycles)
+		}
+		if op.XferCycles > 0 {
+			fmt.Fprintf(&b, " +xfer~%d", op.XferCycles)
+		}
+		b.WriteByte('\n')
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

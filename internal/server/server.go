@@ -40,6 +40,10 @@ type Config struct {
 	// one: "cape", "cpu" or "hybrid". Empty selects "hybrid", the paper's
 	// deployment model.
 	Device string
+	// Placement is the default device-assignment granularity for hybrid
+	// requests: "whole-query" (empty selects it) or "per-operator", which
+	// lets the optimizer split one query's pipeline across both devices.
+	Placement string
 	// QueueDepth bounds the admission queue (default 64). Requests arriving
 	// with the queue full are shed with ErrOverloaded.
 	QueueDepth int
@@ -94,6 +98,9 @@ type Request struct {
 	// Device optionally overrides the server's default device
 	// ("cape", "cpu", "hybrid").
 	Device string `json:"device,omitempty"`
+	// Placement optionally overrides the server's default placement
+	// granularity for hybrid execution ("whole-query", "per-operator").
+	Placement string `json:"placement,omitempty"`
 	// TimeoutMillis optionally sets the request deadline (capped by
 	// Config.MaxTimeout; 0 means Config.DefaultTimeout).
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
@@ -106,7 +113,8 @@ type Response struct {
 	Columns  []string   `json:"columns"`
 	Rows     [][]string `json:"rows"`
 	RowCount int        `json:"row_count"`
-	// Device names the engine that executed ("CAPE" or "CPU").
+	// Device names the engine that executed ("CAPE", "CPU", or "CAPE+CPU"
+	// when a per-operator placement mixed devices).
 	Device string `json:"device"`
 	// Cycles and SimSeconds are the simulated execution cost.
 	Cycles     int64   `json:"cycles"`
@@ -118,12 +126,13 @@ type Response struct {
 // Server is the admission controller plus worker pool. Create with New,
 // submit with Do (or the HTTP handler), stop with Close.
 type Server struct {
-	db     *castle.DB
-	cfg    Config
-	device castle.Device // resolved Config.Device
-	tel    *castle.Telemetry
-	sched  *Scheduler
-	queue  chan *task
+	db        *castle.DB
+	cfg       Config
+	device    castle.Device    // resolved Config.Device
+	placement castle.Placement // resolved Config.Placement
+	tel       *castle.Telemetry
+	sched     *Scheduler
+	queue     chan *task
 
 	mu     sync.RWMutex // guards closed against concurrent enqueues
 	closed bool
@@ -137,11 +146,12 @@ type Server struct {
 }
 
 type task struct {
-	ctx      context.Context
-	req      Request
-	device   castle.Device
-	enqueued time.Time
-	done     chan taskResult // buffered: workers never block on delivery
+	ctx       context.Context
+	req       Request
+	device    castle.Device
+	placement castle.Placement
+	enqueued  time.Time
+	done      chan taskResult // buffered: workers never block on delivery
 }
 
 type taskResult struct {
@@ -159,17 +169,22 @@ func New(db *castle.DB, tel *castle.Telemetry, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	placement, err := castle.ParsePlacement(cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
 	if tel == nil {
 		tel = castle.NewTelemetry()
 	}
 	reg := tel.Metrics()
 	s := &Server{
-		db:     db,
-		cfg:    cfg,
-		device: device,
-		tel:    tel,
-		sched: NewScheduler(cfg.CAPETiles, cfg.CPUSlots, reg),
-		queue: make(chan *task, cfg.QueueDepth),
+		db:        db,
+		cfg:       cfg,
+		device:    device,
+		placement: placement,
+		tel:       tel,
+		sched:     NewScheduler(cfg.CAPETiles, cfg.CPUSlots, reg),
+		queue:     make(chan *task, cfg.QueueDepth),
 		depth: reg.Gauge(telemetry.MetricServerQueueDepth,
 			"Requests waiting in the admission queue."),
 		shed: reg.Counter(telemetry.MetricServerShed,
@@ -260,6 +275,13 @@ func (s *Server) do(ctx context.Context, req Request, start time.Time) (*Respons
 			return nil, err
 		}
 	}
+	placement := s.placement
+	if req.Placement != "" {
+		var err error
+		if placement, err = castle.ParsePlacement(req.Placement); err != nil {
+			return nil, err
+		}
+	}
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMillis > 0 {
 		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
@@ -271,11 +293,12 @@ func (s *Server) do(ctx context.Context, req Request, start time.Time) (*Respons
 	defer cancel()
 
 	t := &task{
-		ctx:      ctx,
-		req:      req,
-		device:   device,
-		enqueued: start,
-		done:     make(chan taskResult, 1),
+		ctx:       ctx,
+		req:       req,
+		device:    device,
+		placement: placement,
+		enqueued:  start,
+		done:      make(chan taskResult, 1),
 	}
 
 	s.mu.RLock()
@@ -327,9 +350,24 @@ func (s *Server) run(t *task) (*Response, error) {
 	}
 
 	opt.Device = t.device
-	dev, err := s.db.Route(t.req.SQL, opt)
-	if err != nil {
-		return nil, err
+	var dev castle.Device
+	if t.device == castle.DeviceHybrid && t.placement == castle.PlacementPerOperator {
+		// Per-operator placement: the fact stage's device drives the fan-out,
+		// so that's the resource to lease; execution stays on DeviceHybrid so
+		// the placed pipeline (possibly spanning both devices) runs.
+		pe, err := s.db.ExplainPlacement(t.req.SQL, opt)
+		if err != nil {
+			return nil, err
+		}
+		dev = pe.FactDevice
+		opt.Placement = castle.PlacementPerOperator
+	} else {
+		var err error
+		dev, err = s.db.Route(t.req.SQL, opt)
+		if err != nil {
+			return nil, err
+		}
+		opt.Device = dev
 	}
 	lease, err := s.sched.AcquireN(t.ctx, dev, s.maxTiles())
 	if err != nil {
@@ -338,7 +376,6 @@ func (s *Server) run(t *task) (*Response, error) {
 	defer lease.Release()
 	s.leaseSize.Observe(float64(lease.Size()))
 
-	opt.Device = dev
 	opt.Parallelism = lease.Size()
 	rows, m, err := s.db.QueryContext(t.ctx, t.req.SQL, opt)
 	if err != nil {
@@ -373,7 +410,7 @@ func (s *Server) Close() error {
 
 // String describes the service sizing (for startup logs).
 func (s *Server) String() string {
-	return fmt.Sprintf("server{device=%s queue=%d cape_tiles=%d cpu_slots=%d max_tiles_per_query=%d timeout=%s}",
-		s.cfg.Device, cap(s.queue), s.sched.Capacity(castle.DeviceCAPE),
+	return fmt.Sprintf("server{device=%s placement=%s queue=%d cape_tiles=%d cpu_slots=%d max_tiles_per_query=%d timeout=%s}",
+		s.cfg.Device, s.placement, cap(s.queue), s.sched.Capacity(castle.DeviceCAPE),
 		s.sched.Capacity(castle.DeviceCPU), s.maxTiles(), s.cfg.DefaultTimeout)
 }

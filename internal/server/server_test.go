@@ -338,3 +338,28 @@ func TestHTTPEndpoints(t *testing.T) {
 		t.Fatalf("GET /healthz after Close = %d", resp.StatusCode)
 	}
 }
+
+// TestServerPerOperatorPlacement submits SSB queries with per-operator
+// placement: results must match the whole-query reference, a grouping-heavy
+// flight must report the mixed CAPE+CPU device, and unknown placements must
+// be rejected up front.
+func TestServerPerOperatorPlacement(t *testing.T) {
+	s := newTestServer(t, Config{QueueDepth: 32, CAPETiles: 1, CPUSlots: 1})
+
+	for _, q := range castle.SSBQueries() {
+		resp, err := s.Do(context.Background(), Request{SQL: q.SQL, Placement: "per-operator"})
+		if err != nil {
+			t.Fatalf("%s: %v", q.Flight, err)
+		}
+		if !reflect.DeepEqual(resp.Rows, reference[q.Num]) {
+			t.Errorf("%s: per-operator rows diverged from reference", q.Flight)
+		}
+		if q.Flight == "Q3.2" && resp.Device != "CAPE+CPU" {
+			t.Errorf("%s: device = %q, want CAPE+CPU under per-operator placement", q.Flight, resp.Device)
+		}
+	}
+
+	if _, err := s.Do(context.Background(), Request{SQL: castle.SSBQueries()[0].SQL, Placement: "diagonal"}); err == nil {
+		t.Fatal("unknown placement accepted")
+	}
+}

@@ -12,6 +12,9 @@ type OperatorStats struct {
 	// Operator names the plan node, e.g. "prep:date", "join:part",
 	// "filter", "aggregate", "overhead".
 	Operator string
+	// Device names the engine the operator ran on ("CAPE" or "CPU"); empty
+	// on breakdowns recorded before per-operator placement existed.
+	Device string
 	// Cycles is the simulated cycle count attributed to the operator.
 	Cycles int64
 	// Rows is the operator's row cardinality (filtered dimension rows for
@@ -25,7 +28,8 @@ type OperatorStats struct {
 // sum(Operators[i].Cycles) == TotalCycles exactly (the executor closes the
 // books with an explicit "overhead" row).
 type Breakdown struct {
-	// Device names the engine that ran ("CAPE" or "CPU").
+	// Device names the engine that ran ("CAPE", "CPU", or "CAPE+CPU" for
+	// mixed per-operator placements).
 	Device string
 	// Operators lists plan nodes in execution order.
 	Operators []OperatorStats
@@ -67,8 +71,21 @@ func (b *Breakdown) Format() string {
 	if b == nil {
 		return ""
 	}
+	// A device column renders when any operator carries one (placed plans);
+	// older breakdowns without per-operator devices keep the narrow table.
+	withDevice := false
+	for _, o := range b.Operators {
+		if o.Device != "" {
+			withDevice = true
+			break
+		}
+	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-20s %14s %8s %12s\n", "operator", "cycles", "share", "rows")
+	if withDevice {
+		fmt.Fprintf(&sb, "%-20s %-8s %14s %8s %12s\n", "operator", "device", "cycles", "share", "rows")
+	} else {
+		fmt.Fprintf(&sb, "%-20s %14s %8s %12s\n", "operator", "cycles", "share", "rows")
+	}
 	for _, o := range b.Operators {
 		share := 0.0
 		if b.TotalCycles > 0 {
@@ -78,8 +95,16 @@ func (b *Breakdown) Format() string {
 		if o.Rows >= 0 {
 			rows = fmt.Sprintf("%d", o.Rows)
 		}
-		fmt.Fprintf(&sb, "%-20s %14d %7.1f%% %12s\n", o.Operator, o.Cycles, share, rows)
+		if withDevice {
+			fmt.Fprintf(&sb, "%-20s %-8s %14d %7.1f%% %12s\n", o.Operator, o.Device, o.Cycles, share, rows)
+		} else {
+			fmt.Fprintf(&sb, "%-20s %14d %7.1f%% %12s\n", o.Operator, o.Cycles, share, rows)
+		}
 	}
-	fmt.Fprintf(&sb, "%-20s %14d %7.1f%%\n", "total ("+b.Device+")", b.TotalCycles, 100.0)
+	if withDevice {
+		fmt.Fprintf(&sb, "%-20s %-8s %14d %7.1f%%\n", "total ("+b.Device+")", "", b.TotalCycles, 100.0)
+	} else {
+		fmt.Fprintf(&sb, "%-20s %14d %7.1f%%\n", "total ("+b.Device+")", b.TotalCycles, 100.0)
+	}
 	return sb.String()
 }
