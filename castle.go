@@ -8,10 +8,12 @@ package castle
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"castle/internal/baseline"
 	"castle/internal/cape"
@@ -383,6 +385,21 @@ type Metrics struct {
 	// the tile cycles that overlapped under the critical tile — the energy
 	// and §6.3 byte-accounting view.
 	Parallel ParallelStats
+	// EstCycles is the placement cost model's predicted total for the
+	// placement that executed (transfers included); the same model prices
+	// the per-operator "est" column of the Breakdown. Zero when no
+	// prediction applied.
+	EstCycles int64
+	// AltEstCycles is the predicted total of the best alternative placement
+	// the optimizer rejected (the other device for forced/uniform runs, the
+	// runner-up fact/agg assignment for per-operator placement). When
+	// Cycles exceeds it, perfect information would have flipped the
+	// placement — the would-flip counter tracks exactly that.
+	AltEstCycles int64
+	// FlightSeq is the sequence number of the flight record this execution
+	// committed to Options.Telemetry's flight recorder (0 without
+	// telemetry).
+	FlightSeq uint64
 }
 
 // Rows is a decoded result relation: group-key columns first (strings
@@ -550,6 +567,33 @@ func (db *DB) Route(sqlText string, opt Options) (Device, error) {
 // boundary and returns ctx.Err(). The database stays fully usable after a
 // cancellation (each execution runs on its own simulated engine).
 func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*Rows, *Metrics, error) {
+	start := time.Now()
+	rows, m, err := db.queryContext(ctx, sqlText, opt, start)
+	if err != nil && opt.Telemetry != nil {
+		// Failed executions still leave a flight record, so /debug/queries
+		// shows what was asked and how long the attempt ran before failing.
+		status := "error"
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			status = "deadline"
+		case errors.Is(err, context.Canceled):
+			status = "canceled"
+		}
+		wall := time.Since(start).Microseconds()
+		opt.Telemetry.Flight().Record(telemetry.FlightRecord{
+			SQL:         sqlText,
+			Fingerprint: telemetry.FingerprintSQL(sqlText),
+			Start:       start,
+			WallMicros:  wall,
+			Status:      status,
+			Error:       err.Error(),
+			Phases:      []telemetry.FlightPhase{{Name: "total", Micros: wall}},
+		})
+	}
+	return rows, m, err
+}
+
+func (db *DB) queryContext(ctx context.Context, sqlText string, opt Options, start time.Time) (*Rows, *Metrics, error) {
 	if err := opt.Device.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -574,6 +618,7 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*R
 	if err != nil {
 		return nil, nil, err
 	}
+	prepEnd := time.Now()
 
 	if opt.Device == DeviceCPU {
 		cpu := baseline.New(baseline.DefaultConfig())
@@ -597,7 +642,14 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*R
 			Breakdown:  x.Breakdown(),
 			Parallel:   x.ParallelStats(),
 		}
-		db.recordQueryMetrics(tel, qs, m, "")
+		// CPU preparations stop at binding, so the prediction runs its own
+		// plan-shape pass (planning costs microseconds against a simulation
+		// that costs milliseconds; the result is not cached).
+		var pred *plan.PlacedPlan
+		if physP, perr := optimizer.Optimize(cp.Bound, db.catalog(), cfg.MAXVL); perr == nil {
+			pred = optimizer.PredictUniform(physP, db.catalog(), cfg.MAXVL, plan.DeviceCPU)
+		}
+		db.finishQuery(tel, qs, m, "", pred, sqlText, opt, len(res.Rows), start, prepEnd)
 		return db.decode(res), m, nil
 	}
 
@@ -605,7 +657,7 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*R
 	phys := cp.Phys
 
 	if opt.Device == DeviceHybrid && opt.Placement == PlacementPerOperator {
-		return db.runPlaced(ctx, qs, cp.Phys, cfg, cat, opt)
+		return db.runPlaced(ctx, qs, cp.Phys, cfg, cat, opt, sqlText, start, prepEnd)
 	}
 
 	if opt.Device == DeviceHybrid {
@@ -637,10 +689,14 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*R
 		es.SetStr("device", m.DeviceUsed)
 		es.End()
 		shape := ""
+		pdev := plan.DeviceCAPE
 		if dev == exec.DeviceCAPE {
 			shape = phys.Shape().String()
+		} else {
+			pdev = plan.DeviceCPU
 		}
-		db.recordQueryMetrics(tel, qs, m, shape)
+		pred := optimizer.PredictUniform(phys, cat, cfg.MAXVL, pdev)
+		db.finishQuery(tel, qs, m, shape, pred, sqlText, opt, len(res.Rows), start, prepEnd)
 		return db.decode(res), m, nil
 	}
 
@@ -676,7 +732,8 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*R
 		Breakdown:    cas.Breakdown(),
 		Parallel:     cas.ParallelStats(),
 	}
-	db.recordQueryMetrics(tel, qs, m, phys.Shape().String())
+	pred := optimizer.PredictUniform(phys, cat, cfg.MAXVL, plan.DeviceCAPE)
+	db.finishQuery(tel, qs, m, phys.Shape().String(), pred, sqlText, opt, len(res.Rows), start, prepEnd)
 	return db.decode(res), m, nil
 }
 
@@ -686,7 +743,7 @@ func (db *DB) QueryContext(ctx context.Context, sqlText string, opt Options) (*R
 // placement's metrics combine both engines' cycle accounting, and its
 // breakdown rows carry per-operator devices plus explicit "xfer:" rows for
 // the crossings.
-func (db *DB) runPlaced(ctx context.Context, qs *telemetry.Span, phys *plan.Physical, cfg cape.Config, cat *stats.Catalog, opt Options) (*Rows, *Metrics, error) {
+func (db *DB) runPlaced(ctx context.Context, qs *telemetry.Span, phys *plan.Physical, cfg cape.Config, cat *stats.Catalog, opt Options, sqlText string, start, prepEnd time.Time) (*Rows, *Metrics, error) {
 	pp := optimizer.PlacePlan(phys, cat, cfg.MAXVL)
 	tel := opt.Telemetry
 	h := exec.NewDefaultHybrid(cfg, cat)
@@ -723,8 +780,124 @@ func (db *DB) runPlaced(ctx context.Context, qs *telemetry.Span, phys *plan.Phys
 	if pp.FactDevice() == plan.DeviceCAPE {
 		shape = phys.Shape().String()
 	}
-	db.recordQueryMetrics(tel, qs, m, shape)
+	db.finishQuery(tel, qs, m, shape, pp, sqlText, opt, len(res.Rows), start, prepEnd)
 	return db.decode(res), m, nil
+}
+
+// finishQuery is the common tail of every successful execution path: attach
+// the cost model's per-operator predictions to the breakdown, record the
+// run-level and misestimate metrics, and commit the flight record.
+func (db *DB) finishQuery(tel *Telemetry, qs *telemetry.Span, m *Metrics, shape string, pred *plan.PlacedPlan, sqlText string, opt Options, rowCount int, start, prepEnd time.Time) {
+	if pred != nil {
+		m.Breakdown.ApplyEstimates(pred.EstimateMap())
+		m.EstCycles = pred.EstCycles()
+		m.AltEstCycles = pred.AltEstCycles
+		qs.SetInt("est_cycles", m.EstCycles)
+		db.recordMisestimates(tel, m)
+	}
+	db.recordQueryMetrics(tel, qs, m, shape)
+	m.FlightSeq = db.recordFlight(tel, sqlText, opt, m, rowCount, start, prepEnd)
+}
+
+// recordMisestimates feeds the predicted-vs-actual telemetry: a divergence
+// histogram per operator kind and device, and the placement-would-flip
+// counter when measured cycles overtook the rejected placement's estimate.
+func (db *DB) recordMisestimates(tel *Telemetry, m *Metrics) {
+	if tel == nil || m.Breakdown == nil {
+		return
+	}
+	reg := tel.Metrics()
+	for _, o := range m.Breakdown.Operators {
+		if o.EstCycles <= 0 || o.Cycles <= 0 {
+			continue
+		}
+		// Symmetric ratio as a percentage: 100 = perfect, 200 = 2x off in
+		// either direction. Keeps under- and over-estimates on one scale.
+		div := 100 * float64(o.EstCycles) / float64(o.Cycles)
+		if o.Cycles > o.EstCycles {
+			div = 100 * float64(o.Cycles) / float64(o.EstCycles)
+		}
+		dev := o.Device
+		if dev == "" {
+			dev = m.DeviceUsed
+		}
+		reg.Histogram(telemetry.MetricEstimateDivergence,
+			"Per-operator predicted-vs-actual cycle divergence (percent; 100 = exact).",
+			telemetry.L("kind", opKindOfRow(o.Operator)),
+			telemetry.L("device", strings.ToLower(dev))).Observe(div)
+	}
+	if m.AltEstCycles > 0 && m.Cycles > m.AltEstCycles {
+		reg.Counter(telemetry.MetricPlacementWouldFlip,
+			"Queries whose measured cycles exceeded the rejected placement's estimate.",
+			telemetry.L("device", strings.ToLower(m.DeviceUsed))).Inc()
+	}
+}
+
+// opKindOfRow maps a breakdown row name to its operator kind label.
+func opKindOfRow(name string) string {
+	switch {
+	case strings.HasPrefix(name, "prep:"):
+		return "dimbuild"
+	case strings.HasPrefix(name, "join:"):
+		return "joinprobe"
+	case strings.HasPrefix(name, "xfer:"):
+		return "xfer"
+	case name == "filter":
+		return "filter"
+	case name == "aggregate":
+		return "aggregate"
+	case name == "merge":
+		return "merge"
+	}
+	return "other"
+}
+
+// recordFlight commits the flight record of a successful execution. Phases
+// cover the facade's view (prepare, execute); the server amends them with
+// its queue/lease/exec/serialize lifecycle when the query came through Do.
+func (db *DB) recordFlight(tel *Telemetry, sqlText string, opt Options, m *Metrics, rowCount int, start, prepEnd time.Time) uint64 {
+	if tel == nil {
+		return 0
+	}
+	prepMicros := prepEnd.Sub(start).Microseconds()
+	wall := time.Since(start).Microseconds()
+	placement := ""
+	if opt.Device == DeviceHybrid {
+		placement = opt.Placement.String()
+	}
+	var ops []telemetry.FlightOp
+	if m.Breakdown != nil {
+		ops = make([]telemetry.FlightOp, 0, len(m.Breakdown.Operators))
+		for _, o := range m.Breakdown.Operators {
+			dev := o.Device
+			if dev == "" {
+				dev = m.Breakdown.Device
+			}
+			ops = append(ops, telemetry.FlightOp{
+				Operator: o.Operator, Device: dev,
+				EstCycles: o.EstCycles, Cycles: o.Cycles, Rows: o.Rows,
+			})
+		}
+	}
+	return tel.Flight().Record(telemetry.FlightRecord{
+		SQL:          sqlText,
+		Fingerprint:  telemetry.FingerprintSQL(sqlText),
+		Start:        start,
+		WallMicros:   wall,
+		Status:       "ok",
+		Device:       m.DeviceUsed,
+		Placement:    placement,
+		Plan:         m.Plan,
+		RowCount:     rowCount,
+		Cycles:       m.Cycles,
+		EstCycles:    m.EstCycles,
+		AltEstCycles: m.AltEstCycles,
+		Phases: []telemetry.FlightPhase{
+			{Name: "prepare", Micros: prepMicros},
+			{Name: "execute", Micros: wall - prepMicros},
+		},
+		Ops: ops,
+	})
 }
 
 // PlacedExplain describes the per-operator placement chosen for a

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -46,6 +47,8 @@ func main() {
 	maxTiles := flag.Int("max-tiles", 1, "elastic lease size: tiles/slots a single query may fan its fact sweep across")
 	queueDepth := flag.Int("queue", 64, "admission queue depth (beyond this, requests are shed with 429)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	slowMs := flag.Int64("slow-query-ms", 0, "log requests slower than this many milliseconds with phase attribution (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 
 	clientURL := flag.String("client", "", "run as a load-generating client against this base URL instead of serving")
 	clients := flag.Int("clients", 8, "client mode: concurrent clients")
@@ -83,9 +86,27 @@ func main() {
 		CPUSlots:         *cpuSlots,
 		MaxTilesPerQuery: *maxTiles,
 		DefaultTimeout:   *timeout,
+		SlowQueryMillis:  *slowMs,
 	})
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	if *debugAddr != "" {
+		// Profiling gets its own mux on its own listener, so pprof never
+		// shares the serving port (or its admission queue) with queries.
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Printf("pprof listening on %s\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, debugMux); err != nil {
+				fmt.Fprintf(os.Stderr, "castle-server: pprof listener: %v\n", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{Addr: *listen, Handler: svc.Handler()}
@@ -123,6 +144,7 @@ func runClient(baseURL string, nClients, nRequests int, timeout time.Duration) i
 	type outcome struct {
 		status  int
 		micros  int64
+		timings server.Timings
 		failure string
 	}
 	results := make([][]outcome, nClients)
@@ -145,6 +167,11 @@ func runClient(baseURL string, nClients, nRequests int, timeout time.Duration) i
 					if resp.StatusCode != http.StatusOK {
 						b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 						o.failure = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+					} else {
+						var sr server.Response
+						if derr := json.NewDecoder(resp.Body).Decode(&sr); derr == nil {
+							o.timings = sr.TimingsMicros
+						}
 					}
 					resp.Body.Close()
 				}
@@ -157,11 +184,16 @@ func runClient(baseURL string, nClients, nRequests int, timeout time.Duration) i
 
 	var ok, failed int
 	var lat []int64
+	var sum server.Timings
 	for _, rs := range results {
 		for _, o := range rs {
 			if o.failure == "" {
 				ok++
 				lat = append(lat, o.micros)
+				sum.QueueMicros += o.timings.QueueMicros
+				sum.LeaseMicros += o.timings.LeaseMicros
+				sum.ExecMicros += o.timings.ExecMicros
+				sum.SerializeMicros += o.timings.SerializeMicros
 			} else {
 				failed++
 				fmt.Fprintf(os.Stderr, "request failed: %s\n", o.failure)
@@ -181,6 +213,12 @@ func runClient(baseURL string, nClients, nRequests int, timeout time.Duration) i
 		float64(ok)/elapsed.Seconds())
 	fmt.Printf("latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
 		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
+	if ok > 0 {
+		n := float64(ok) * 1e3
+		fmt.Printf("server-side attribution (mean ms): queue=%.2f lease=%.2f exec=%.2f serialize=%.2f\n",
+			float64(sum.QueueMicros)/n, float64(sum.LeaseMicros)/n,
+			float64(sum.ExecMicros)/n, float64(sum.SerializeMicros)/n)
+	}
 	if failed > 0 {
 		return 1
 	}

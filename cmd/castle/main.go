@@ -21,6 +21,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"castle/internal/baseline"
 	"castle/internal/cape"
@@ -113,6 +114,7 @@ func main() {
 		db: db, cat: cat,
 		device: *device, explain: *explain, analyze: *analyze,
 		noEnh: *noEnh, shape: *shape, parallel: *parallel, tel: tel,
+		flight: telemetry.NewFlightRecorder(0),
 	}
 
 	if *interactive {
@@ -182,13 +184,16 @@ type session struct {
 	shape    string
 	parallel int
 	tel      *telemetry.Telemetry
+	// flight retains a post-mortem record for every statement the session
+	// runs; \flight lists them, \flight N prints one in full.
+	flight *telemetry.FlightRecorder
 }
 
 // repl reads SQL statements from stdin, one per line; \q quits, \analyze
 // toggles the EXPLAIN ANALYZE breakdown, \parallel N sets the fact-sweep
 // fan-out.
 func (s *session) repl() {
-	fmt.Println("castle> enter SQL (one statement per line; \\analyze toggles breakdowns; \\explain toggles plans; \\device D switches engine; \\parallel N sets fan-out; \\q to quit)")
+	fmt.Println("castle> enter SQL (one statement per line; \\analyze toggles breakdowns; \\explain toggles plans; \\device D switches engine; \\parallel N sets fan-out; \\flight [N] shows query post-mortems; \\q to quit)")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Print("castle> ")
@@ -241,6 +246,8 @@ func (s *session) repl() {
 				s.parallel = n
 			}
 			fmt.Printf("parallelism: %d\n", s.parallel)
+		case line == "\\flight" || strings.HasPrefix(line, "\\flight "):
+			s.showFlight(strings.TrimSpace(strings.TrimPrefix(line, "\\flight")))
 		default:
 			if err := s.runQuery(line); err != nil {
 				fmt.Fprintf(os.Stderr, "error: %v\n", err)
@@ -253,20 +260,23 @@ func (s *session) repl() {
 // runQuery parses, optimizes and executes one statement on the configured
 // device(s).
 func (s *session) runQuery(qsql string) error {
+	start := time.Now()
 	qs := s.tel.StartSpan("query")
 	defer qs.End()
 
 	sp := qs.Child("parse")
 	stmt, err := sql.Parse(qsql)
 	sp.End()
+	parseEnd := time.Now()
 	if err != nil {
-		return fmt.Errorf("parse: %w", err)
+		return s.flightFail(qsql, start, fmt.Errorf("parse: %w", err))
 	}
 	sp = qs.Child("bind")
 	q, err := plan.Bind(stmt, s.db)
 	sp.End()
+	bindEnd := time.Now()
 	if err != nil {
-		return fmt.Errorf("bind: %w", err)
+		return s.flightFail(qsql, start, fmt.Errorf("bind: %w", err))
 	}
 
 	cfg := cape.DefaultConfig()
@@ -280,21 +290,23 @@ func (s *session) runQuery(qsql string) error {
 		sh, err := parseShape(s.shape)
 		if err != nil {
 			osp.End()
-			return err
+			return s.flightFail(qsql, start, err)
 		}
 		phys, err = optimizer.BestWithShapeTraced(q, s.cat, cfg.MAXVL, sh, osp)
 		if err != nil {
 			osp.End()
-			return fmt.Errorf("optimize: %w", err)
+			return s.flightFail(qsql, start, fmt.Errorf("optimize: %w", err))
 		}
 	} else {
 		phys, err = optimizer.OptimizeTraced(q, s.cat, cfg.MAXVL, osp)
 		if err != nil {
 			osp.End()
-			return fmt.Errorf("optimize: %w", err)
+			return s.flightFail(qsql, start, fmt.Errorf("optimize: %w", err))
 		}
 	}
 	osp.End()
+	optEnd := time.Now()
+	marks := flightMarks{start: start, parseEnd: parseEnd, bindEnd: bindEnd, optEnd: optEnd}
 
 	if s.explain {
 		fmt.Println("candidate plans:")
@@ -311,7 +323,7 @@ func (s *session) runQuery(qsql string) error {
 	fmt.Printf("plan: %v\n\n", phys)
 
 	if s.device == "hybrid" {
-		return s.runHybrid(qs, phys, cfg)
+		return s.runHybrid(qs, qsql, phys, cfg, marks)
 	}
 
 	if s.device == "cape" || s.device == "both" {
@@ -321,11 +333,16 @@ func (s *session) runQuery(qsql string) error {
 		castle.SetParallelism(s.parallel)
 		es := qs.Child("execute")
 		castle.SetTelemetry(s.tel, es)
+		execStart := time.Now()
 		res := castle.Run(phys, s.db)
 		st := eng.Stats()
 		es.SetInt("cycles", st.TotalCycles())
 		es.SetStr("device", "CAPE")
 		es.End()
+		pred := optimizer.PredictUniform(phys, s.cat, cfg.MAXVL, plan.DeviceCAPE)
+		bd := castle.Breakdown()
+		bd.ApplyEstimates(pred.EstimateMap())
+		s.recordFlight(qsql, "CAPE", phys, bd, pred, len(res.Rows), st.TotalCycles(), marks, execStart)
 		s.countQuery("cape", st.TotalCycles(), eng.Mem().BytesMoved(),
 			phys.Shape().String(), st.Seconds(cfg.ClockHz))
 		fmt.Printf("== CAPE (%v)\n", cfg)
@@ -338,7 +355,7 @@ func (s *session) runQuery(qsql string) error {
 		fmt.Println()
 		if s.analyze {
 			fmt.Println("EXPLAIN ANALYZE:")
-			fmt.Println(castle.Breakdown().Format())
+			fmt.Println(bd.Format())
 		}
 	}
 	if s.device == "cpu" || s.device == "both" {
@@ -348,10 +365,15 @@ func (s *session) runQuery(qsql string) error {
 		x.SetParallelism(s.parallel)
 		es := qs.Child("execute")
 		x.SetTelemetry(s.tel, es)
+		execStart := time.Now()
 		res := x.Run(q, s.db)
 		es.SetInt("cycles", cpu.Cycles())
 		es.SetStr("device", "CPU")
 		es.End()
+		pred := optimizer.PredictUniform(phys, s.cat, cfg.MAXVL, plan.DeviceCPU)
+		bd := x.Breakdown()
+		bd.ApplyEstimates(pred.EstimateMap())
+		s.recordFlight(qsql, "CPU", phys, bd, pred, len(res.Rows), cpu.Cycles(), marks, execStart)
 		s.countQuery("cpu", cpu.Cycles(), cpu.Mem().BytesMoved(), "", cpu.Seconds())
 		fmt.Printf("== baseline (%v)\n", cpu.Config())
 		fmt.Print(res.Format(s.db))
@@ -360,7 +382,7 @@ func (s *session) runQuery(qsql string) error {
 		printParallel(x.ParallelStats())
 		if s.analyze {
 			fmt.Println("\nEXPLAIN ANALYZE:")
-			fmt.Println(x.Breakdown().Format())
+			fmt.Println(bd.Format())
 		}
 	}
 	return nil
@@ -370,7 +392,7 @@ func (s *session) runQuery(qsql string) error {
 // the placed pipeline may keep the whole query on one device or split the
 // fact stage and the aggregation tail across CAPE and the CPU, with both
 // devices' cycle accounting combined.
-func (s *session) runHybrid(qs *telemetry.Span, phys *plan.Physical, cfg cape.Config) error {
+func (s *session) runHybrid(qs *telemetry.Span, qsql string, phys *plan.Physical, cfg cape.Config, marks flightMarks) error {
 	pp := optimizer.PlacePlan(phys, s.cat, cfg.MAXVL)
 	h := exec.NewDefaultHybrid(cfg, s.cat)
 	h.SetParallelism(s.parallel)
@@ -378,10 +400,11 @@ func (s *session) runHybrid(qs *telemetry.Span, phys *plan.Physical, cfg cape.Co
 	exec.AttachCPUTelemetry(h.CPUExec().CPU(), s.tel)
 	es := qs.Child("execute")
 	h.Placed().SetTelemetry(s.tel, es)
+	execStart := time.Now()
 	res, _, err := h.RunPlacedContext(context.Background(), pp, s.db)
 	if err != nil {
 		es.End()
-		return err
+		return s.flightFail(qsql, marks.start, err)
 	}
 	capeCy, cpuCy := h.Placed().DeviceCycles()
 	total := capeCy + cpuCy
@@ -392,6 +415,9 @@ func (s *session) runHybrid(qs *telemetry.Span, phys *plan.Physical, cfg cape.Co
 	es.SetInt("cycles", total)
 	es.SetStr("device", used)
 	es.End()
+	bd := h.Placed().Breakdown()
+	bd.ApplyEstimates(pp.EstimateMap())
+	s.recordFlight(qsql, used, phys, bd, pp, len(res.Rows), total, marks, execStart)
 	seconds := h.Castle().Engine().Stats().Seconds(cfg.ClockHz) + h.CPUExec().CPU().Seconds()
 	moved := h.Castle().Engine().Mem().BytesMoved() + h.CPUExec().CPU().Mem().BytesMoved()
 	s.countQuery(strings.ToLower(used), total, moved, phys.Shape().String(), seconds)
@@ -403,9 +429,113 @@ func (s *session) runHybrid(qs *telemetry.Span, phys *plan.Physical, cfg cape.Co
 		total, capeCy, cpuCy, seconds*1e3, float64(moved)/(1<<20))
 	if s.analyze {
 		fmt.Println("\nEXPLAIN ANALYZE:")
-		fmt.Println(h.Placed().Breakdown().Format())
+		fmt.Println(bd.Format())
 	}
 	return nil
+}
+
+// flightMarks carries the wall-clock boundaries of the shared planning
+// phases so per-device flight records can attribute latency.
+type flightMarks struct {
+	start, parseEnd, bindEnd, optEnd time.Time
+}
+
+// flightFail records a post-mortem for a statement that never executed and
+// passes the error through.
+func (s *session) flightFail(qsql string, start time.Time, err error) error {
+	wall := time.Since(start).Microseconds()
+	s.flight.Record(telemetry.FlightRecord{
+		SQL:         qsql,
+		Fingerprint: telemetry.FingerprintSQL(qsql),
+		Start:       start,
+		WallMicros:  wall,
+		Status:      "error",
+		Error:       err.Error(),
+		Phases:      []telemetry.FlightPhase{{Name: "total", Micros: wall}},
+	})
+	return err
+}
+
+// recordFlight retains one device execution as a flight record. The shared
+// planning phases telescope from the statement's start; execute is measured
+// from execStart so that under -device both the second engine's phase does
+// not absorb the first engine's run (WallMicros is the phase sum, which for
+// a single-device run equals end-to-end wall time).
+func (s *session) recordFlight(qsql, device string, phys *plan.Physical, bd *telemetry.Breakdown, pred *plan.PlacedPlan, rows int, cycles int64, marks flightMarks, execStart time.Time) {
+	p0 := marks.parseEnd.Sub(marks.start).Microseconds()
+	p1 := marks.bindEnd.Sub(marks.start).Microseconds()
+	p2 := marks.optEnd.Sub(marks.start).Microseconds()
+	ex := time.Since(execStart).Microseconds()
+	rec := telemetry.FlightRecord{
+		SQL:         qsql,
+		Fingerprint: telemetry.FingerprintSQL(qsql),
+		Start:       marks.start,
+		WallMicros:  p2 + ex,
+		Status:      "ok",
+		Device:      device,
+		Plan:        fmt.Sprintf("%v", phys),
+		RowCount:    rows,
+		Cycles:      cycles,
+		Phases: []telemetry.FlightPhase{
+			{Name: "parse", Micros: p0},
+			{Name: "bind", Micros: p1 - p0},
+			{Name: "optimize", Micros: p2 - p1},
+			{Name: "execute", Micros: ex},
+		},
+	}
+	if pred != nil {
+		rec.EstCycles = pred.EstCycles()
+		rec.AltEstCycles = pred.AltEstCycles
+	}
+	if bd != nil {
+		for _, o := range bd.Operators {
+			dev := o.Device
+			if dev == "" {
+				dev = bd.Device
+			}
+			rec.Ops = append(rec.Ops, telemetry.FlightOp{
+				Operator: o.Operator, Device: dev,
+				EstCycles: o.EstCycles, Cycles: o.Cycles, Rows: o.Rows,
+			})
+		}
+	}
+	s.flight.Record(rec)
+}
+
+// showFlight implements \flight: with no argument it lists the retained
+// records newest first; with a sequence number it prints that record's full
+// post-mortem.
+func (s *session) showFlight(arg string) {
+	if arg == "" {
+		recs := s.flight.Snapshot()
+		if len(recs) == 0 {
+			fmt.Println("no flight records yet (run a query first)")
+			return
+		}
+		fmt.Printf("%4s  %-6s  %-9s  %12s  %12s  %10s  sql\n",
+			"seq", "status", "device", "cycles", "est", "wall_ms")
+		for _, r := range recs {
+			sqlText := r.SQL
+			if len(sqlText) > 48 {
+				sqlText = sqlText[:45] + "..."
+			}
+			fmt.Printf("%4d  %-6s  %-9s  %12d  %12d  %10.3f  %s\n",
+				r.Seq, r.Status, r.Device, r.Cycles, r.EstCycles,
+				float64(r.WallMicros)/1e3, sqlText)
+		}
+		return
+	}
+	seq, err := strconv.ParseUint(arg, 10, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: \\flight wants a sequence number, got %q\n", arg)
+		return
+	}
+	rec, ok := s.flight.Get(seq)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "error: no flight record #%d (evicted or never recorded)\n", seq)
+		return
+	}
+	fmt.Print(rec.Format())
 }
 
 // printParallel reports the fact-sweep fan-out of the last run, when it

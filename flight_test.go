@@ -1,0 +1,93 @@
+package castle_test
+
+import (
+	"strings"
+	"testing"
+
+	castle "castle"
+)
+
+// TestEstimatesForAllSSBQueries pins the predicted-vs-actual contract on
+// the facade: for every SSB query on both forced devices, the cost model's
+// per-operator estimates land on the EXPLAIN ANALYZE breakdown — every
+// priced operator row (prep/filter/join/aggregate) carries EstCycles > 0 —
+// and the rendered table grows the est and est/act columns.
+func TestEstimatesForAllSSBQueries(t *testing.T) {
+	db := castle.GenerateSSB(0.005, 1)
+	for _, q := range castle.SSBQueries() {
+		for _, dev := range []castle.Device{castle.DeviceCAPE, castle.DeviceCPU} {
+			_, m, err := db.QueryWith(q.SQL, castle.Options{Device: dev})
+			if err != nil {
+				t.Fatalf("%s on %v: %v", q.Flight, dev, err)
+			}
+			if m.EstCycles <= 0 {
+				t.Errorf("%s on %v: no total estimate (EstCycles=%d)", q.Flight, dev, m.EstCycles)
+			}
+			if m.AltEstCycles <= 0 {
+				t.Errorf("%s on %v: no alternative-placement estimate", q.Flight, dev)
+			}
+			if m.Breakdown == nil {
+				t.Fatalf("%s on %v: no breakdown", q.Flight, dev)
+			}
+			for _, op := range m.Breakdown.Operators {
+				priced := op.Operator == "filter" || op.Operator == "aggregate" ||
+					strings.HasPrefix(op.Operator, "prep:") || strings.HasPrefix(op.Operator, "join:")
+				if priced && op.EstCycles <= 0 {
+					t.Errorf("%s on %v: operator %q has no estimate", q.Flight, dev, op.Operator)
+				}
+				if !priced && op.EstCycles != 0 {
+					t.Errorf("%s on %v: unpriced operator %q has estimate %d", q.Flight, dev, op.Operator, op.EstCycles)
+				}
+			}
+			table := m.Breakdown.Format()
+			if !strings.Contains(table, "est") || !strings.Contains(table, "est/act") {
+				t.Errorf("%s on %v: table missing est columns:\n%s", q.Flight, dev, table)
+			}
+		}
+	}
+}
+
+// TestFacadeFlightRecords checks the facade-side flight recording: every
+// query through QueryWith commits one record whose phases partition its
+// wall time, and failed statements are recorded with their error.
+func TestFacadeFlightRecords(t *testing.T) {
+	db := castle.GenerateSSB(0.005, 1)
+	tel := castle.NewTelemetry()
+	q := castle.SSBQueries()[0]
+
+	_, m, err := db.QueryWith(q.SQL, castle.Options{Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FlightSeq == 0 {
+		t.Fatal("metrics carry no flight sequence")
+	}
+	rec, ok := tel.Flight().Get(m.FlightSeq)
+	if !ok {
+		t.Fatalf("flight record #%d missing", m.FlightSeq)
+	}
+	if rec.Status != "ok" || rec.SQL != q.SQL || rec.Cycles != m.Cycles {
+		t.Fatalf("flight record: %+v", rec)
+	}
+	if rec.SumPhaseMicros() != rec.WallMicros || rec.WallMicros <= 0 {
+		t.Fatalf("phases %+v sum %dµs, wall %dµs", rec.Phases, rec.SumPhaseMicros(), rec.WallMicros)
+	}
+	if rec.PhaseMicros("execute") <= 0 {
+		t.Fatalf("no execute phase: %+v", rec.Phases)
+	}
+	if len(rec.Ops) == 0 || rec.EstCycles != m.EstCycles {
+		t.Fatalf("record ops/estimates incomplete: %+v", rec)
+	}
+
+	// Failures are recorded too.
+	if _, _, err := db.QueryWith("SELECT FROM nope", castle.Options{Telemetry: tel}); err == nil {
+		t.Fatal("bad statement accepted")
+	}
+	snap := tel.Flight().Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("flight ring holds %d records, want 2", len(snap))
+	}
+	if snap[0].Status != "error" || snap[0].Error == "" {
+		t.Fatalf("failed statement not recorded: %+v", snap[0])
+	}
+}

@@ -59,13 +59,20 @@ type ScalingPoint struct {
 	SpeedupVsK1 float64 `json:"speedup_vs_k1"`
 }
 
-// ServerBench is the serving-layer load result.
+// ServerBench is the serving-layer load result. Beyond the end-to-end
+// latency distribution it reports server-side attribution: mean
+// microseconds per request spent in each lifecycle phase
+// (queue/lease/exec/serialize, from Response.TimingsMicros).
 type ServerBench struct {
-	Clients    int     `json:"clients"`
-	Requests   int     `json:"requests"`
-	P50Micros  int64   `json:"p50_micros"`
-	P99Micros  int64   `json:"p99_micros"`
-	Throughput float64 `json:"throughput_rps"`
+	Clients             int     `json:"clients"`
+	Requests            int     `json:"requests"`
+	P50Micros           int64   `json:"p50_micros"`
+	P99Micros           int64   `json:"p99_micros"`
+	Throughput          float64 `json:"throughput_rps"`
+	QueueMeanMicros     int64   `json:"queue_mean_micros"`
+	LeaseMeanMicros     int64   `json:"lease_mean_micros"`
+	ExecMeanMicros      int64   `json:"exec_mean_micros"`
+	SerializeMeanMicros int64   `json:"serialize_mean_micros"`
 }
 
 // RunBench assembles the full benchmark report at one scale factor.
@@ -161,6 +168,7 @@ func RunServerBench(sf float64, nClients, total int) ServerBench {
 
 	queries := castle.SSBQueries()
 	lat := make([]int64, total)
+	timings := make([]server.Timings, total)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < nClients; c++ {
@@ -170,24 +178,38 @@ func RunServerBench(sf float64, nClients, total int) ServerBench {
 			for i := c; i < total; i += nClients {
 				q := queries[i%len(queries)]
 				t0 := time.Now()
-				if _, err := svc.Do(context.Background(), server.Request{SQL: q.SQL}); err != nil {
+				resp, err := svc.Do(context.Background(), server.Request{SQL: q.SQL})
+				if err != nil {
 					panic(fmt.Sprintf("experiments: server bench request: %v", err))
 				}
 				lat[i] = time.Since(t0).Microseconds()
+				timings[i] = resp.TimingsMicros
 			}
 		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	var sum server.Timings
+	for _, tm := range timings {
+		sum.QueueMicros += tm.QueueMicros
+		sum.LeaseMicros += tm.LeaseMicros
+		sum.ExecMicros += tm.ExecMicros
+		sum.SerializeMicros += tm.SerializeMicros
+	}
+	n := int64(total)
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	pct := func(p float64) int64 { return lat[int(p*float64(len(lat)-1))] }
 	return ServerBench{
-		Clients:    nClients,
-		Requests:   total,
-		P50Micros:  pct(0.50),
-		P99Micros:  pct(0.99),
-		Throughput: float64(total) / elapsed.Seconds(),
+		Clients:             nClients,
+		Requests:            total,
+		P50Micros:           pct(0.50),
+		P99Micros:           pct(0.99),
+		Throughput:          float64(total) / elapsed.Seconds(),
+		QueueMeanMicros:     sum.QueueMicros / n,
+		LeaseMeanMicros:     sum.LeaseMicros / n,
+		ExecMeanMicros:      sum.ExecMicros / n,
+		SerializeMeanMicros: sum.SerializeMicros / n,
 	}
 }
 

@@ -414,6 +414,11 @@ func PlacePlanWith(p *plan.Physical, cat *stats.Catalog, maxvl int, m CostModel)
 	bestCost := int64(math.MaxInt64)
 	bestCross := 0
 	bestFact := plan.DeviceCAPE
+	// comboBest tracks the cheapest candidate per (fact, agg) device
+	// assignment, so the winner can carry the runner-up's estimate
+	// (AltEstCycles) — the "would the placement have flipped?" baseline.
+	type combo struct{ fact, agg plan.Device }
+	comboBest := make(map[combo]int64, 4)
 	cand := plan.Compile(p, plan.DeviceCAPE)
 	for _, factDev := range []plan.Device{plan.DeviceCAPE, plan.DeviceCPU} {
 		for _, aggDev := range aggDevs {
@@ -427,6 +432,10 @@ func PlacePlanWith(p *plan.Physical, cat *stats.Catalog, maxvl int, m CostModel)
 					}
 				}
 				cost := c.annotate(cand, factDev, aggDev, dimDev)
+				k := combo{factDev, aggDev}
+				if cur, ok := comboBest[k]; !ok || cost < cur {
+					comboBest[k] = cost
+				}
 				cross := cand.Crossings()
 				better := cost < bestCost ||
 					(cost == bestCost && cross < bestCross) ||
@@ -439,6 +448,16 @@ func PlacePlanWith(p *plan.Physical, cat *stats.Catalog, maxvl int, m CostModel)
 				}
 			}
 		}
+	}
+	winner := combo{best.FactDevice(), best.AggDevice()}
+	alt := int64(math.MaxInt64)
+	for k, cost := range comboBest {
+		if k != winner && cost < alt {
+			alt = cost
+		}
+	}
+	if alt < int64(math.MaxInt64) {
+		best.AltEstCycles = alt
 	}
 	return best
 }

@@ -1,0 +1,25 @@
+package optimizer
+
+// predict.go exposes the placement cost model as a prediction surface for
+// executions whose device was forced (DeviceCAPE, DeviceCPU, whole-query
+// hybrid routing): the same per-operator annotations the placement search
+// prices become the "est" half of EXPLAIN ANALYZE's predicted-vs-actual
+// columns and the flight recorder's misestimate telemetry.
+
+import (
+	"castle/internal/plan"
+	"castle/internal/stats"
+)
+
+// PredictUniform compiles p with every operator on dev and annotates it
+// with the default cost model's per-operator estimates. The returned plan's
+// AltEstCycles carries the other device's uniform total, so callers can
+// tell when the measured run overtook the road not taken.
+func PredictUniform(p *plan.Physical, cat *stats.Catalog, maxvl int, dev plan.Device) *plan.PlacedPlan {
+	c := newPlaceCtx(p, cat, maxvl, DefaultCostModel())
+	pp := plan.Compile(p, dev)
+	c.annotate(pp, dev, dev, nil)
+	alt := plan.Compile(p, otherDevice(dev))
+	pp.AltEstCycles = c.annotate(alt, otherDevice(dev), otherDevice(dev), nil)
+	return pp
+}

@@ -1,0 +1,95 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"castle/internal/plan"
+	"castle/internal/ssb"
+	"castle/internal/stats"
+)
+
+// ssbPhysical optimizes one SSB query (1..13) against a small generated
+// database.
+func ssbPhysical(t *testing.T, num int) (*plan.Physical, *stats.Catalog) {
+	t.Helper()
+	db, cat := ssbEnv(t)
+	q := bindSQL(t, db, ssb.Queries()[num-1].SQL)
+	p, err := Optimize(q, cat, 32768)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, cat
+}
+
+// TestPredictUniform checks the forced-device prediction surface: the
+// annotated plan is uniform on the requested device, every priced operator
+// carries a positive estimate, the estimate map speaks the breakdown-row
+// vocabulary, and AltEstCycles prices the other device.
+func TestPredictUniform(t *testing.T) {
+	p, cat := ssbPhysical(t, 4) // Q2.1: three joins, grouped
+	for _, dev := range []plan.Device{plan.DeviceCAPE, plan.DeviceCPU} {
+		pp := PredictUniform(p, cat, 32768, dev)
+		if got, uniform := pp.Uniform(); !uniform || got != dev {
+			t.Fatalf("prediction for %v is not uniform: %v %v", dev, got, uniform)
+		}
+		if pp.EstCycles() <= 0 {
+			t.Fatalf("prediction for %v has no total", dev)
+		}
+		if pp.AltEstCycles <= 0 {
+			t.Fatalf("prediction for %v has no alternative total", dev)
+		}
+		ests := pp.Estimates()
+		if len(ests) == 0 {
+			t.Fatalf("prediction for %v yields no row estimates", dev)
+		}
+		rows := map[string]bool{}
+		for _, e := range ests {
+			if e.Cycles <= 0 {
+				t.Fatalf("%v row %q priced at %d", dev, e.Row, e.Cycles)
+			}
+			if e.Device != dev {
+				t.Fatalf("%v row %q placed on %v", dev, e.Row, e.Device)
+			}
+			rows[e.Row] = true
+		}
+		for _, want := range []string{"filter", "aggregate", "join:date"} {
+			if !rows[want] {
+				t.Fatalf("%v estimates missing row %q; have %v", dev, want, rows)
+			}
+		}
+		for row := range rows {
+			if strings.HasPrefix(row, "xfer:") {
+				t.Fatalf("uniform %v prediction charges a transfer: %q", dev, row)
+			}
+		}
+		if m := pp.EstimateMap(); len(m) != len(ests) {
+			t.Fatalf("estimate map dropped rows: %d vs %d", len(m), len(ests))
+		}
+	}
+	// The two uniform predictions are each other's alternatives.
+	cape := PredictUniform(p, cat, 32768, plan.DeviceCAPE)
+	cpu := PredictUniform(p, cat, 32768, plan.DeviceCPU)
+	if cape.AltEstCycles != cpu.EstCycles() || cpu.AltEstCycles != cape.EstCycles() {
+		t.Fatalf("alternatives do not cross: cape alt=%d cpu=%d; cpu alt=%d cape=%d",
+			cape.AltEstCycles, cpu.EstCycles(), cpu.AltEstCycles, cape.EstCycles())
+	}
+}
+
+// TestPlacePlanAltEstimate checks the placement search records the
+// runner-up: the winning placement's AltEstCycles is the cheapest rejected
+// (fact, agg) device combination and never beats the winner.
+func TestPlacePlanAltEstimate(t *testing.T) {
+	for num := 1; num <= 13; num++ {
+		p, cat := ssbPhysical(t, num)
+		pp := PlacePlan(p, cat, 32768)
+		if pp.AltEstCycles <= 0 {
+			t.Errorf("query %d: no runner-up estimate", num)
+			continue
+		}
+		if pp.AltEstCycles < pp.EstCycles() {
+			t.Errorf("query %d: runner-up %d beats winner %d",
+				num, pp.AltEstCycles, pp.EstCycles())
+		}
+	}
+}

@@ -107,6 +107,12 @@ type PlacedOp struct {
 type PlacedPlan struct {
 	Phys *Physical
 	Ops  []PlacedOp
+	// AltEstCycles is the estimated total of the best placement the search
+	// rejected (the cheapest candidate with a different fact/agg device
+	// assignment). Zero when the pipeline was not placed by a search.
+	// Comparing it against measured cycles tells whether the placement
+	// decision would have flipped under perfect information.
+	AltEstCycles int64
 }
 
 // Compile builds the unplaced operator pipeline for a physical plan, every
@@ -241,6 +247,100 @@ func (pp *PlacedPlan) EstCycles() int64 {
 		n += op.EstCycles + op.XferCycles
 	}
 	return n
+}
+
+// OpEstimate is one annotated operator projected onto the breakdown-row
+// vocabulary both executors emit, so predictions can sit next to measured
+// cycles in an EXPLAIN ANALYZE table.
+type OpEstimate struct {
+	// Row is the breakdown row name ("prep:date", "filter", "join:part",
+	// "xfer:aggregate", ...).
+	Row string
+	// Kind is the dominant operator kind behind the row.
+	Kind OpKind
+	// Device is the engine the row is placed on.
+	Device Device
+	// Cycles is the predicted cycle count; Rows the predicted cardinality.
+	Cycles int64
+	Rows   int64
+}
+
+// Estimates projects the annotated pipeline onto breakdown rows: one
+// "prep:<dim>" per dimension build (plus "xfer:<dim>" when it crosses to
+// the fact device), Scan and Filter folded into the "filter" row both
+// executors charge streaming against, one "join:<dim>" per probe,
+// "xfer:aggregate" for a tail crossing, and Aggregate/Merge/OrderLimit
+// folded into "aggregate". Rows the executors emit without a model price
+// ("overhead", per-tile sweeps) have no estimate. Priced rows are floored
+// at 1 cycle: a cardinality estimate that rounds to zero still executed,
+// and est=1 lets the divergence telemetry expose the underprediction
+// instead of the row silently losing its estimate.
+func (pp *PlacedPlan) Estimates() []OpEstimate {
+	var out []OpEstimate
+	var filter, agg OpEstimate
+	for _, op := range pp.Ops {
+		switch op.Kind {
+		case OpDimBuild:
+			out = append(out, OpEstimate{
+				Row: "prep:" + op.Dim, Kind: OpDimBuild, Device: op.Device,
+				Cycles: op.EstCycles, Rows: op.EstRows,
+			})
+			if op.XferCycles > 0 {
+				out = append(out, OpEstimate{
+					Row: "xfer:" + op.Dim, Kind: OpDimBuild, Device: op.Device,
+					Cycles: op.XferCycles, Rows: op.EstRows,
+				})
+			}
+		case OpScan:
+			filter = OpEstimate{Row: "filter", Kind: OpFilter, Device: op.Device,
+				Cycles: filter.Cycles + op.EstCycles, Rows: op.EstRows}
+		case OpFilter:
+			filter.Cycles += op.EstCycles
+			filter.Device = op.Device
+		case OpJoinProbe:
+			out = append(out, OpEstimate{
+				Row: "join:" + op.Dim, Kind: OpJoinProbe, Device: op.Device,
+				Cycles: op.EstCycles, Rows: op.EstRows,
+			})
+		case OpAggregate:
+			agg.Row, agg.Kind, agg.Device = "aggregate", OpAggregate, op.Device
+			agg.Cycles += op.EstCycles
+			agg.Rows = op.EstRows
+			if op.XferCycles > 0 {
+				out = append(out, OpEstimate{
+					Row: "xfer:aggregate", Kind: OpAggregate, Device: op.Device,
+					Cycles: op.XferCycles, Rows: op.EstRows,
+				})
+			}
+		case OpMerge, OpOrderLimit:
+			agg.Cycles += op.EstCycles
+		}
+	}
+	if filter.Row != "" {
+		out = append(out, filter)
+	}
+	if agg.Row != "" {
+		out = append(out, agg)
+	}
+	for i := range out {
+		if out[i].Cycles < 1 {
+			out[i].Cycles = 1
+		}
+	}
+	return out
+}
+
+// EstimateMap returns the Estimates keyed by breakdown row name (the form
+// telemetry.Breakdown.ApplyEstimates consumes).
+func (pp *PlacedPlan) EstimateMap() map[string]int64 {
+	ests := pp.Estimates()
+	out := make(map[string]int64, len(ests))
+	for _, e := range ests {
+		if e.Cycles > 0 {
+			out[e.Row] = e.Cycles
+		}
+	}
+	return out
 }
 
 // Crossings counts the device transfers the placement pays: one per

@@ -1,0 +1,96 @@
+package server
+
+// debug.go is the flight-recorder HTTP surface: GET /debug/queries lists
+// the retained per-query records (newest first), /debug/queries/{seq}
+// returns one full post-mortem, and /debug/queries/{seq}/trace downloads a
+// self-contained Chrome trace (Perfetto / chrome://tracing) of that query's
+// lifecycle phases and operator timeline.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"castle/internal/telemetry"
+)
+
+// flightSummary is one row of the /debug/queries list: the record minus its
+// operator table and plan text, so the list stays cheap to scan.
+type flightSummary struct {
+	Seq         uint64                  `json:"seq"`
+	SQL         string                  `json:"sql"`
+	Fingerprint string                  `json:"fingerprint"`
+	Status      string                  `json:"status"`
+	Device      string                  `json:"device,omitempty"`
+	Placement   string                  `json:"placement,omitempty"`
+	RowCount    int                     `json:"row_count"`
+	Cycles      int64                   `json:"cycles"`
+	EstCycles   int64                   `json:"est_cycles,omitempty"`
+	WallMicros  int64                   `json:"wall_micros"`
+	Phases      []telemetry.FlightPhase `json:"phases"`
+}
+
+func (s *Server) handleFlightList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	recs := s.tel.Flight().Snapshot()
+	summaries := make([]flightSummary, 0, len(recs))
+	for i := range recs {
+		rec := &recs[i]
+		summaries = append(summaries, flightSummary{
+			Seq:         rec.Seq,
+			SQL:         rec.SQL,
+			Fingerprint: rec.Fingerprint,
+			Status:      rec.Status,
+			Device:      rec.Device,
+			Placement:   rec.Placement,
+			RowCount:    rec.RowCount,
+			Cycles:      rec.Cycles,
+			EstCycles:   rec.EstCycles,
+			WallMicros:  rec.WallMicros,
+			Phases:      rec.Phases,
+		})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Capacity int             `json:"capacity"`
+		Total    uint64          `json:"total"`
+		Queries  []flightSummary `json:"queries"`
+	}{s.tel.Flight().Cap(), s.tel.Flight().Total(), summaries})
+}
+
+// handleFlightDetail serves /debug/queries/{seq} and
+// /debug/queries/{seq}/trace.
+func (s *Server) handleFlightDetail(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/debug/queries/")
+	wantTrace := false
+	if t := strings.TrimSuffix(rest, "/trace"); t != rest {
+		rest, wantTrace = t, true
+	}
+	seq, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad sequence number: " + rest})
+		return
+	}
+	rec, ok := s.tel.Flight().Get(seq)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no flight record #%d (evicted or never recorded)", seq)})
+		return
+	}
+	if wantTrace {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=query-%d-trace.json", seq))
+		_ = rec.WriteChromeTrace(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}

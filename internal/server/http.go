@@ -1,9 +1,10 @@
 package server
 
 // http.go is the JSON transport over Server.Do: POST /query runs one
-// statement, GET /metrics exposes the shared Prometheus registry, and
-// GET /healthz answers liveness probes. Admission outcomes map onto HTTP
-// status codes (429 shed, 503 draining, 504 deadline).
+// statement, GET /metrics exposes the shared Prometheus registry,
+// GET /healthz answers liveness probes, and GET /debug/queries exposes the
+// flight recorder (see debug.go). Admission outcomes map onto HTTP status
+// codes (429 shed, 503 draining, 504 deadline).
 
 import (
 	"context"
@@ -23,6 +24,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/queries", s.handleFlightList)
+	mux.HandleFunc("/debug/queries/", s.handleFlightDetail)
 	return mux
 }
 

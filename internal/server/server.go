@@ -15,6 +15,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -62,6 +65,12 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested deadlines (default 2m).
 	MaxTimeout time.Duration
+	// SlowQueryMillis, when > 0, logs one line per request whose end-to-end
+	// wall time crosses the threshold: fingerprint, device, lifecycle phase
+	// attribution and predicted-vs-actual cycles.
+	SlowQueryMillis int64
+	// SlowQueryLog receives slow-query lines (default os.Stderr).
+	SlowQueryLog io.Writer
 	// Options is the base query configuration (design point, plan shape).
 	// Device, Telemetry and Parallelism are managed by the server (the
 	// latter set per query from the elastic lease); a request's NoCache
@@ -108,6 +117,22 @@ type Request struct {
 	NoCache bool `json:"no_cache,omitempty"`
 }
 
+// Timings is the server-side lifecycle attribution of one request: where
+// its wall-clock time went between admission and response. The four phases
+// partition WallMicros (within microsecond rounding).
+type Timings struct {
+	// QueueMicros is time spent in the admission queue before a worker
+	// picked the request up.
+	QueueMicros int64 `json:"queue_micros"`
+	// LeaseMicros covers device routing plus waiting for the execution
+	// lease (CAPE tiles or CPU slots).
+	LeaseMicros int64 `json:"lease_micros"`
+	// ExecMicros is the execution itself (QueryContext).
+	ExecMicros int64 `json:"exec_micros"`
+	// SerializeMicros covers building and delivering the response.
+	SerializeMicros int64 `json:"serialize_micros"`
+}
+
 // Response is one query result with its simulation cost.
 type Response struct {
 	Columns  []string   `json:"columns"`
@@ -119,8 +144,17 @@ type Response struct {
 	// Cycles and SimSeconds are the simulated execution cost.
 	Cycles     int64   `json:"cycles"`
 	SimSeconds float64 `json:"sim_seconds"`
+	// EstCycles is the placement cost model's predicted cycle total for the
+	// placement that ran (0 when no prediction applied).
+	EstCycles int64 `json:"est_cycles,omitempty"`
 	// WallMicros is real service time, admission to completion.
 	WallMicros int64 `json:"wall_micros"`
+	// TimingsMicros attributes WallMicros to lifecycle phases, so clients
+	// can report server-side attribution rather than just end-to-end p50/p99.
+	TimingsMicros Timings `json:"timings_micros"`
+	// FlightSeq is the flight-record sequence number for this request;
+	// /debug/queries/{seq} returns the full post-mortem.
+	FlightSeq uint64 `json:"flight_seq,omitempty"`
 }
 
 // Server is the admission controller plus worker pool. Create with New,
@@ -138,11 +172,16 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	depth     *telemetry.Gauge
-	shed      *telemetry.Counter
-	latency   *telemetry.Histogram
-	queueWait *telemetry.Histogram
-	leaseSize *telemetry.Histogram
+	depth      *telemetry.Gauge
+	inFlight   *telemetry.Gauge
+	shed       *telemetry.Counter
+	slowCount  *telemetry.Counter
+	latency    *telemetry.Histogram
+	queueWait  *telemetry.Histogram
+	leaseSize  *telemetry.Histogram
+	phaseHists map[string]*telemetry.Histogram
+	slowLog    *log.Logger
+	slowThresh time.Duration
 }
 
 type task struct {
@@ -152,6 +191,14 @@ type task struct {
 	placement castle.Placement
 	enqueued  time.Time
 	done      chan taskResult // buffered: workers never block on delivery
+
+	// Lifecycle timestamps, filled as the task advances: worker pickup,
+	// lease grant, execution end. Together with the enqueue and completion
+	// instants they partition the request's wall time into the
+	// queue/lease/exec/serialize phases.
+	pickup   time.Time
+	leased   time.Time
+	execDone time.Time
 }
 
 type taskResult struct {
@@ -187,14 +234,32 @@ func New(db *castle.DB, tel *castle.Telemetry, cfg Config) (*Server, error) {
 		queue:     make(chan *task, cfg.QueueDepth),
 		depth: reg.Gauge(telemetry.MetricServerQueueDepth,
 			"Requests waiting in the admission queue."),
+		inFlight: reg.Gauge(telemetry.MetricServerInFlight,
+			"Requests admitted but not yet completed (queued or executing)."),
 		shed: reg.Counter(telemetry.MetricServerShed,
 			"Requests shed because the admission queue was full."),
+		slowCount: reg.Counter(telemetry.MetricServerSlowQueries,
+			"Requests whose wall time crossed the slow-query threshold."),
 		latency: reg.Histogram(telemetry.MetricServerLatency,
 			"End-to-end request wall time in microseconds."),
 		queueWait: reg.Histogram(telemetry.MetricServerQueueWait,
 			"Queue wait before a worker picked the request up, in microseconds."),
 		leaseSize: reg.Histogram(telemetry.MetricServerLeaseSize,
 			"Tiles leased per query (elastic-lease fan-out granted)."),
+		phaseHists: make(map[string]*telemetry.Histogram, 4),
+		slowThresh: time.Duration(cfg.SlowQueryMillis) * time.Millisecond,
+	}
+	for _, phase := range []string{"queue", "lease", "exec", "serialize"} {
+		s.phaseHists[phase] = reg.Histogram(telemetry.MetricServerPhaseMicros,
+			"Per-request lifecycle phase durations in microseconds.",
+			telemetry.L("phase", phase))
+	}
+	if cfg.SlowQueryMillis > 0 {
+		w := cfg.SlowQueryLog
+		if w == nil {
+			w = os.Stderr
+		}
+		s.slowLog = log.New(w, "", log.LstdFlags|log.Lmicroseconds)
 	}
 	// Pre-register the per-status request counters so /metrics shows the
 	// full vocabulary at zero before the first request lands.
@@ -258,9 +323,6 @@ func (s *Server) Do(ctx context.Context, req Request) (*Response, error) {
 	if err == nil || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		s.latency.Observe(float64(time.Since(start).Microseconds()))
 	}
-	if resp != nil {
-		resp.WallMicros = time.Since(start).Microseconds()
-	}
 	return resp, err
 }
 
@@ -310,6 +372,8 @@ func (s *Server) do(ctx context.Context, req Request, start time.Time) (*Respons
 	case s.queue <- t:
 		s.mu.RUnlock()
 		s.depth.Add(1)
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
 	default:
 		s.mu.RUnlock()
 		s.shed.Inc()
@@ -318,6 +382,9 @@ func (s *Server) do(ctx context.Context, req Request, start time.Time) (*Respons
 
 	select {
 	case r := <-t.done:
+		if r.resp != nil {
+			s.finishTimings(t, r.resp, start)
+		}
 		return r.resp, r.err
 	case <-ctx.Done():
 		// The worker that eventually dequeues this task sees the dead ctx
@@ -326,12 +393,56 @@ func (s *Server) do(ctx context.Context, req Request, start time.Time) (*Respons
 	}
 }
 
+// finishTimings closes the books on a successful request: the enqueue,
+// pickup, lease and execution-end instants partition the wall time into
+// queue/lease/exec/serialize phases that sum exactly to WallMicros (each
+// boundary is rounded to microseconds once, so the telescoping differences
+// cannot drift). The phases land on the response, the phase histograms, the
+// request's flight record, and — past the threshold — the slow-query log.
+func (s *Server) finishTimings(t *task, resp *Response, start time.Time) {
+	end := time.Now()
+	wall := end.Sub(start).Microseconds()
+	p1 := t.pickup.Sub(start).Microseconds()
+	p2 := t.leased.Sub(start).Microseconds()
+	p3 := t.execDone.Sub(start).Microseconds()
+	tm := Timings{
+		QueueMicros:     p1,
+		LeaseMicros:     p2 - p1,
+		ExecMicros:      p3 - p2,
+		SerializeMicros: wall - p3,
+	}
+	resp.WallMicros = wall
+	resp.TimingsMicros = tm
+	s.phaseHists["queue"].Observe(float64(tm.QueueMicros))
+	s.phaseHists["lease"].Observe(float64(tm.LeaseMicros))
+	s.phaseHists["exec"].Observe(float64(tm.ExecMicros))
+	s.phaseHists["serialize"].Observe(float64(tm.SerializeMicros))
+	phases := []telemetry.FlightPhase{
+		{Name: "queue", Micros: tm.QueueMicros},
+		{Name: "lease", Micros: tm.LeaseMicros},
+		{Name: "exec", Micros: tm.ExecMicros},
+		{Name: "serialize", Micros: tm.SerializeMicros},
+	}
+	s.tel.Flight().Amend(resp.FlightSeq, func(fr *telemetry.FlightRecord) {
+		fr.WallMicros = wall
+		fr.Phases = phases
+	})
+	if s.slowLog != nil && end.Sub(start) >= s.slowThresh {
+		s.slowCount.Inc()
+		s.slowLog.Printf("slow query (%.1fms): seq=%d fp=%s device=%s cycles=%d est=%d queue=%dµs lease=%dµs exec=%dµs serialize=%dµs sql=%q",
+			float64(wall)/1e3, resp.FlightSeq, telemetry.FingerprintSQL(t.req.SQL),
+			resp.Device, resp.Cycles, resp.EstCycles,
+			tm.QueueMicros, tm.LeaseMicros, tm.ExecMicros, tm.SerializeMicros, t.req.SQL)
+	}
+}
+
 // worker drains the admission queue until Close closes it.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for t := range s.queue {
+		t.pickup = time.Now()
 		s.depth.Add(-1)
-		s.queueWait.Observe(float64(time.Since(t.enqueued).Microseconds()))
+		s.queueWait.Observe(float64(t.pickup.Sub(t.enqueued).Microseconds()))
 		resp, err := s.run(t)
 		t.done <- taskResult{resp: resp, err: err}
 	}
@@ -374,10 +485,12 @@ func (s *Server) run(t *task) (*Response, error) {
 		return nil, err
 	}
 	defer lease.Release()
+	t.leased = time.Now()
 	s.leaseSize.Observe(float64(lease.Size()))
 
 	opt.Parallelism = lease.Size()
 	rows, m, err := s.db.QueryContext(t.ctx, t.req.SQL, opt)
+	t.execDone = time.Now()
 	if err != nil {
 		return nil, err
 	}
@@ -388,6 +501,8 @@ func (s *Server) run(t *task) (*Response, error) {
 		Device:     m.DeviceUsed,
 		Cycles:     m.Cycles,
 		SimSeconds: m.Seconds,
+		EstCycles:  m.EstCycles,
+		FlightSeq:  m.FlightSeq,
 	}
 	return resp, nil
 }

@@ -21,6 +21,10 @@ type OperatorStats struct {
 	// prep/join nodes, scanned fact rows for filter, groups for aggregate;
 	// -1 when not meaningful).
 	Rows int64
+	// EstCycles is the placement cost model's predicted cycle count for the
+	// operator, attached after execution via ApplyEstimates; 0 for rows the
+	// model does not price ("overhead", per-tile sweep rows).
+	EstCycles int64
 }
 
 // Breakdown is the per-operator accounting of one executed query — the
@@ -60,6 +64,37 @@ func (b *Breakdown) SumCycles() int64 {
 	return n
 }
 
+// ApplyEstimates attaches per-operator predicted cycles (keyed by breakdown
+// row name) to matching operator rows, and returns how many rows matched.
+// Estimates without a matching row (e.g. a per-operator prediction against
+// a parallel sweep's per-tile rows) are dropped; rows without an estimate
+// keep EstCycles == 0 and render "-" in the est columns.
+func (b *Breakdown) ApplyEstimates(est map[string]int64) int {
+	if b == nil || len(est) == 0 {
+		return 0
+	}
+	matched := 0
+	for i := range b.Operators {
+		if v, ok := est[b.Operators[i].Operator]; ok && v > 0 {
+			b.Operators[i].EstCycles = v
+			matched++
+		}
+	}
+	return matched
+}
+
+// SumEstCycles sums the attached per-operator predictions.
+func (b *Breakdown) SumEstCycles() int64 {
+	if b == nil {
+		return 0
+	}
+	var n int64
+	for _, o := range b.Operators {
+		n += o.EstCycles
+	}
+	return n
+}
+
 // Format renders the aligned EXPLAIN ANALYZE table:
 //
 //	operator           cycles      share    rows
@@ -67,25 +102,34 @@ func (b *Breakdown) SumCycles() int64 {
 //	join:date          456789     42.3%     2556
 //	...
 //	total              1080000    100.0%
+//
+// A device column renders when any operator carries one (placed plans), and
+// est / est/act columns render when any operator carries a prediction.
 func (b *Breakdown) Format() string {
 	if b == nil {
 		return ""
 	}
-	// A device column renders when any operator carries one (placed plans);
-	// older breakdowns without per-operator devices keep the narrow table.
-	withDevice := false
+	// Optional columns render only when any operator populates them; older
+	// breakdowns without devices or estimates keep the narrow table.
+	withDevice, withEst := false, false
 	for _, o := range b.Operators {
 		if o.Device != "" {
 			withDevice = true
-			break
+		}
+		if o.EstCycles != 0 {
+			withEst = true
 		}
 	}
 	var sb strings.Builder
 	if withDevice {
-		fmt.Fprintf(&sb, "%-20s %-8s %14s %8s %12s\n", "operator", "device", "cycles", "share", "rows")
+		fmt.Fprintf(&sb, "%-20s %-8s %14s %8s %12s", "operator", "device", "cycles", "share", "rows")
 	} else {
-		fmt.Fprintf(&sb, "%-20s %14s %8s %12s\n", "operator", "cycles", "share", "rows")
+		fmt.Fprintf(&sb, "%-20s %14s %8s %12s", "operator", "cycles", "share", "rows")
 	}
+	if withEst {
+		fmt.Fprintf(&sb, " %14s %8s", "est", "est/act")
+	}
+	sb.WriteByte('\n')
 	for _, o := range b.Operators {
 		share := 0.0
 		if b.TotalCycles > 0 {
@@ -96,10 +140,21 @@ func (b *Breakdown) Format() string {
 			rows = fmt.Sprintf("%d", o.Rows)
 		}
 		if withDevice {
-			fmt.Fprintf(&sb, "%-20s %-8s %14d %7.1f%% %12s\n", o.Operator, o.Device, o.Cycles, share, rows)
+			fmt.Fprintf(&sb, "%-20s %-8s %14d %7.1f%% %12s", o.Operator, o.Device, o.Cycles, share, rows)
 		} else {
-			fmt.Fprintf(&sb, "%-20s %14d %7.1f%% %12s\n", o.Operator, o.Cycles, share, rows)
+			fmt.Fprintf(&sb, "%-20s %14d %7.1f%% %12s", o.Operator, o.Cycles, share, rows)
 		}
+		if withEst {
+			est, ratio := "-", "-"
+			if o.EstCycles > 0 {
+				est = fmt.Sprintf("%d", o.EstCycles)
+				if o.Cycles > 0 {
+					ratio = fmt.Sprintf("%.2f", float64(o.EstCycles)/float64(o.Cycles))
+				}
+			}
+			fmt.Fprintf(&sb, " %14s %8s", est, ratio)
+		}
+		sb.WriteByte('\n')
 	}
 	if withDevice {
 		fmt.Fprintf(&sb, "%-20s %-8s %14d %7.1f%%\n", "total ("+b.Device+")", "", b.TotalCycles, 100.0)

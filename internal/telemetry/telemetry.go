@@ -14,17 +14,19 @@ package telemetry
 
 import "io"
 
-// Telemetry couples a span recorder and a metrics registry for one
-// observation scope (typically one process; tests use one per query).
+// Telemetry couples a span recorder, a metrics registry and a query flight
+// recorder for one observation scope (typically one process; tests use one
+// per query).
 type Telemetry struct {
 	trace   *TraceRecorder
 	metrics *Registry
+	flight  *FlightRecorder
 }
 
-// New returns a Telemetry with a default-capacity span recorder and an
-// empty metrics registry.
+// New returns a Telemetry with a default-capacity span recorder, an empty
+// metrics registry and a default-capacity flight recorder.
 func New() *Telemetry {
-	return &Telemetry{trace: NewTraceRecorder(0), metrics: NewRegistry()}
+	return &Telemetry{trace: NewTraceRecorder(0), metrics: NewRegistry(), flight: NewFlightRecorder(0)}
 }
 
 // Trace returns the span recorder (nil for a nil Telemetry).
@@ -41,6 +43,14 @@ func (t *Telemetry) Metrics() *Registry {
 		return nil
 	}
 	return t.metrics
+}
+
+// Flight returns the query flight recorder (nil for a nil Telemetry).
+func (t *Telemetry) Flight() *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	return t.flight
 }
 
 // StartSpan opens a root span. Returns nil (a no-op span) when t is nil.
@@ -98,6 +108,17 @@ const (
 	MetricPlanCacheHits = "castle_plan_cache_hits_total"
 	// MetricPlanCacheMisses counts prepared-plan cache misses.
 	MetricPlanCacheMisses = "castle_plan_cache_misses_total"
+	// MetricEstimateDivergence is a histogram of how far the placement cost
+	// model's per-operator cycle predictions land from the measured actuals,
+	// labelled by operator kind and device. Observations are the larger of
+	// est/actual and actual/est as a percentage, so 100 means a perfect
+	// prediction and 200 means off by 2x in either direction.
+	MetricEstimateDivergence = "castle_estimate_divergence_pct"
+	// MetricPlacementWouldFlip counts queries whose measured cycle total
+	// exceeded the predicted cost of the best alternative placement — the
+	// executions where perfect information would have flipped the
+	// placement decision.
+	MetricPlacementWouldFlip = "castle_placement_would_flip_total"
 )
 
 // Metric names recorded by the query service (internal/server). Histograms
@@ -128,4 +149,14 @@ const (
 	// MetricServerLeaseSize is a histogram of tiles leased per query (the
 	// elastic-lease fan-out the scheduler actually granted).
 	MetricServerLeaseSize = "castle_server_lease_size"
+	// MetricServerInFlight gauges requests admitted but not yet completed
+	// (queued or executing).
+	MetricServerInFlight = "castle_server_in_flight_requests"
+	// MetricServerPhaseMicros is a histogram of per-request lifecycle phase
+	// durations in microseconds, labelled by phase (queue, lease, exec,
+	// serialize). The four phases partition the end-to-end latency.
+	MetricServerPhaseMicros = "castle_server_phase_micros"
+	// MetricServerSlowQueries counts requests whose end-to-end latency
+	// crossed the configured slow-query threshold.
+	MetricServerSlowQueries = "castle_server_slow_queries_total"
 )
