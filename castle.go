@@ -400,6 +400,11 @@ type Metrics struct {
 	// committed to Options.Telemetry's flight recorder (0 without
 	// telemetry).
 	FlightSeq uint64
+	// Cluster carries the scale-out cost accounting when the query ran
+	// through a Cluster: per-node elapsed/work cycle views, cross-node
+	// shuffle bytes, and shard-pruning decisions. Nil for single-node
+	// executions.
+	Cluster *ClusterStats
 }
 
 // Rows is a decoded result relation: group-key columns first (strings

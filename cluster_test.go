@@ -1,0 +1,176 @@
+package castle_test
+
+// cluster_test.go pins the scale-out acceptance contract at the public
+// facade: all 13 SSB queries are bit-identical to single-node execution at
+// every topology (N x R, hash and range, every device path), the per-shard
+// EXPLAIN ANALYZE rows partition the cycle total exactly, pruning is
+// visible in the plan, and flight-record phases sum to the wall time.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"castle"
+	"castle/internal/telemetry"
+)
+
+// clusterGoldenDB is shared across the golden tests (generation dominates
+// test time at this scale factor).
+func clusterGoldenDB(t *testing.T) *castle.DB {
+	t.Helper()
+	return castle.GenerateSSB(0.002, 1)
+}
+
+func TestClusterGoldenSSB(t *testing.T) {
+	db := clusterGoldenDB(t)
+	queries := castle.SSBQueries()
+
+	devices := []castle.Options{
+		{Device: castle.DeviceCAPE, MAXVL: 2048},
+		{Device: castle.DeviceCPU},
+		{Device: castle.DeviceHybrid, Placement: castle.PlacementPerOperator, MAXVL: 2048},
+	}
+
+	// Single-node truth per device.
+	truth := make(map[int]*castle.Rows)
+	for _, q := range queries {
+		rows, _, err := db.QueryWith(q.SQL, devices[0])
+		if err != nil {
+			t.Fatalf("single-node Q%d: %v", q.Num, err)
+		}
+		truth[q.Num] = rows
+		for _, opt := range devices[1:] {
+			other, _, err := db.QueryWith(q.SQL, opt)
+			if err != nil {
+				t.Fatalf("single-node Q%d (%s): %v", q.Num, opt.Device, err)
+			}
+			if !reflect.DeepEqual(other.Data, rows.Data) {
+				t.Fatalf("single-node devices disagree on Q%d", q.Num)
+			}
+		}
+	}
+
+	for _, partition := range []string{"hash", "range"} {
+		for _, n := range []int{1, 2, 4} {
+			for _, r := range []int{1, 2} {
+				cl, err := db.Cluster(castle.ClusterOptions{Nodes: n, Replicas: r, Partition: partition})
+				if err != nil {
+					t.Fatalf("Cluster(n=%d r=%d %s): %v", n, r, partition, err)
+				}
+				for _, opt := range devices {
+					for _, q := range queries {
+						rows, m, err := cl.QueryWith(q.SQL, opt)
+						if err != nil {
+							t.Fatalf("%s n=%d r=%d dev=%s Q%d: %v", partition, n, r, opt.Device, q.Num, err)
+						}
+						if !reflect.DeepEqual(rows.Data, truth[q.Num].Data) {
+							t.Fatalf("%s n=%d r=%d dev=%s Q%d: sharded result differs from single-node",
+								partition, n, r, opt.Device, q.Num)
+						}
+						if m.Cluster == nil {
+							t.Fatalf("Q%d: Metrics.Cluster missing", q.Num)
+						}
+						if m.Breakdown.SumCycles() != m.Breakdown.TotalCycles || m.Breakdown.TotalCycles != m.Cycles {
+							t.Fatalf("%s n=%d r=%d dev=%s Q%d: breakdown rows (sum %d) do not partition cycles (total %d, metrics %d)",
+								partition, n, r, opt.Device, q.Num, m.Breakdown.SumCycles(), m.Breakdown.TotalCycles, m.Cycles)
+						}
+						shardRows := 0
+						for _, o := range m.Breakdown.Operators {
+							if strings.HasPrefix(o.Operator, "shard[") {
+								shardRows++
+							}
+						}
+						if shardRows != n {
+							t.Fatalf("%s n=%d Q%d: EXPLAIN ANALYZE has %d shard rows, want %d", partition, n, q.Num, shardRows, n)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClusterPruningVisibleInPlan asserts shard pruning shows up in the
+// EXPLAIN surface when the partition key is predicated: every SSB flight-1
+// query filters d_year through the date join, but a direct lo_orderdate
+// predicate is the partition-key case.
+func TestClusterPruningVisibleInPlan(t *testing.T) {
+	db := clusterGoldenDB(t)
+	cl, err := db.Cluster(castle.ClusterOptions{Nodes: 4, Partition: "range"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqlText := "SELECT SUM(lo_revenue) FROM lineorder WHERE lo_orderdate <= 19920201"
+	rows, m, err := cl.QueryWith(sqlText, castle.Options{Device: castle.DeviceCPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cluster.PrunedShards == 0 {
+		t.Fatal("no shards pruned for a tight partition-key predicate")
+	}
+	if !strings.Contains(m.Plan, "pruned (key range)") {
+		t.Fatalf("pruning not visible in plan:\n%s", m.Plan)
+	}
+	single, _, err := db.QueryWith(sqlText, castle.Options{Device: castle.DeviceCPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows.Data, single.Data) {
+		t.Fatal("pruned execution differs from single-node")
+	}
+}
+
+// TestClusterFlightPhases asserts the cluster flight record's
+// prepare/scatter/gather phases partition WallMicros exactly.
+func TestClusterFlightPhases(t *testing.T) {
+	db := clusterGoldenDB(t)
+	tel := castle.NewTelemetry()
+	cl, err := db.Cluster(castle.ClusterOptions{Nodes: 2, Replicas: 2, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range castle.SSBQueries() {
+		_, m, err := cl.QueryWith(q.SQL, castle.Options{Device: castle.DeviceHybrid, Telemetry: tel})
+		if err != nil {
+			t.Fatalf("Q%d: %v", q.Num, err)
+		}
+		fr, ok := tel.Flight().Get(m.FlightSeq)
+		if !ok {
+			t.Fatalf("Q%d: no flight record %d", q.Num, m.FlightSeq)
+		}
+		var sum int64
+		names := make([]string, 0, len(fr.Phases))
+		for _, p := range fr.Phases {
+			sum += p.Micros
+			names = append(names, p.Name)
+		}
+		if sum != fr.WallMicros {
+			t.Fatalf("Q%d: phases sum %d != wall %d", q.Num, sum, fr.WallMicros)
+		}
+		if strings.Join(names, ",") != "prepare,scatter,gather" {
+			t.Fatalf("Q%d: phases = %v", q.Num, names)
+		}
+	}
+	// The cluster instruments must be registered and moving.
+	reg := tel.Metrics()
+	if v := reg.CounterValue(telemetry.MetricShuffleBytes, telemetry.L("shard", "0")); v <= 0 {
+		t.Fatalf("castle_shuffle_bytes_total{shard=0} = %d, want > 0", v)
+	}
+}
+
+func TestClusterOptionsValidation(t *testing.T) {
+	db := clusterGoldenDB(t)
+	if _, err := db.Cluster(castle.ClusterOptions{Nodes: 0}); err == nil {
+		t.Fatal("Nodes=0 accepted")
+	}
+	if _, err := db.Cluster(castle.ClusterOptions{Nodes: 2, Replicas: -1}); err == nil {
+		t.Fatal("Replicas=-1 accepted")
+	}
+	if _, err := db.Cluster(castle.ClusterOptions{Nodes: 2, PartitionKey: "lo_missing"}); err == nil {
+		t.Fatal("missing partition key accepted")
+	}
+	if _, err := db.Cluster(castle.ClusterOptions{Nodes: 2, Partition: "round-robin"}); err == nil {
+		t.Fatal("unknown partition scheme accepted")
+	}
+}

@@ -49,6 +49,10 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	slowMs := flag.Int64("slow-query-ms", 0, "log requests slower than this many milliseconds with phase attribution (0 disables)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables)")
+	clusterNodes := flag.Int("cluster-nodes", 0, "shard the database across this many simulated nodes behind a scatter-gather coordinator (0 = single-node)")
+	clusterReplicas := flag.Int("cluster-replicas", 1, "replicas per shard; the coordinator load-balances by queue depth")
+	clusterPartition := flag.String("cluster-partition", "hash", "fact-table partitioning scheme: hash or range (range enables shard pruning)")
+	clusterKey := flag.String("cluster-partition-key", "lo_orderdate", "fact column to partition on")
 
 	clientURL := flag.String("client", "", "run as a load-generating client against this base URL instead of serving")
 	clients := flag.Int("clients", 8, "client mode: concurrent clients")
@@ -79,16 +83,22 @@ func main() {
 	}
 
 	svc, err := server.New(db, nil, server.Config{
-		Device:           *device,
-		Placement:        *placement,
-		QueueDepth:       *queueDepth,
-		CAPETiles:        *capeTiles,
-		CPUSlots:         *cpuSlots,
-		MaxTilesPerQuery: *maxTiles,
-		DefaultTimeout:   *timeout,
-		SlowQueryMillis:  *slowMs,
+		Device:              *device,
+		Placement:           *placement,
+		QueueDepth:          *queueDepth,
+		CAPETiles:           *capeTiles,
+		CPUSlots:            *cpuSlots,
+		MaxTilesPerQuery:    *maxTiles,
+		DefaultTimeout:      *timeout,
+		SlowQueryMillis:     *slowMs,
+		ClusterNodes:        *clusterNodes,
+		ClusterReplicas:     *clusterReplicas,
+		ClusterPartition:    *clusterPartition,
+		ClusterPartitionKey: *clusterKey,
 	})
 	if err != nil {
+		// Topology errors (negative shard/replica counts, a partition key
+		// absent from the schema, an unknown scheme) land here descriptively.
 		fatalf("%v", err)
 	}
 

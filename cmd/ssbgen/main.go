@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +26,18 @@ func main() {
 	out := flag.String("out", ".", "output directory")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	format := flag.String("format", "csv", "output format: csv or binary")
+	queries := flag.Bool("queries", false, "print the 13 SSB queries as JSON ({num, flight, sql} per line) and exit")
 	flag.Parse()
+
+	if *queries {
+		enc := json.NewEncoder(os.Stdout)
+		for _, q := range ssb.Queries() {
+			if err := enc.Encode(map[string]any{"num": q.Num, "flight": q.Flight, "sql": q.SQL}); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		return
+	}
 
 	fmt.Printf("generating SSB at SF=%.2f (seed %d)...\n", *sf, *seed)
 	db := ssb.Generate(ssb.Config{SF: *sf, Seed: *seed})

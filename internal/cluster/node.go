@@ -1,0 +1,225 @@
+package cluster
+
+// node.go models one Castle node of the cluster: its shard database, its
+// own statistics catalog, and a single-admission execution queue. Every
+// statement runs on fresh simulated engines (exactly like the single-node
+// facade), so nodes are safe under concurrent coordinator traffic; the
+// queue-depth counter is what the coordinator's replica load balancer
+// reads.
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"castle/internal/baseline"
+	"castle/internal/cape"
+	"castle/internal/exec"
+	"castle/internal/optimizer"
+	"castle/internal/plan"
+	"castle/internal/stats"
+	"castle/internal/storage"
+	"castle/internal/telemetry"
+)
+
+// ExecOptions selects how shard statements execute on every node.
+type ExecOptions struct {
+	// Device is "cape", "cpu" or "hybrid" (empty selects "hybrid").
+	Device string
+	// PerOperator splits hybrid execution per operator instead of routing
+	// the whole query to one device.
+	PerOperator bool
+	// Config is the CAPE design point (zero MAXVL selects the default
+	// enhanced configuration).
+	Config cape.Config
+	// Parallelism is the per-node fact-sweep fan-out (tiles or cores).
+	Parallelism int
+}
+
+func (o ExecOptions) withDefaults() (ExecOptions, error) {
+	if o.Device == "" {
+		o.Device = "hybrid"
+	}
+	switch o.Device {
+	case "cape", "cpu", "hybrid":
+	default:
+		return o, fmt.Errorf("cluster: unknown device %q (want cape, cpu or hybrid)", o.Device)
+	}
+	if o.Config.MAXVL == 0 {
+		o.Config = cape.DefaultConfig().WithEnhancements()
+	}
+	return o, nil
+}
+
+// NodeCost is one node's simulated cost for a shard program: the elapsed
+// view (critical path of its fact sweep), the work view (summed over
+// tiles), DRAM traffic, and simulated seconds.
+type NodeCost struct {
+	Device     string
+	Cycles     int64
+	WorkCycles int64
+	BytesMoved int64
+	Seconds    float64
+}
+
+// Node is one simulated Castle node: a replica of one shard with its own
+// catalog and a one-at-a-time execution queue.
+type Node struct {
+	Name    string
+	Shard   int
+	Replica int
+
+	db  *storage.Database
+	cat *stats.Catalog
+
+	sem   chan struct{} // capacity 1: one executing statement per node
+	depth atomic.Int64  // queued + executing
+	gauge *telemetry.Gauge
+}
+
+func newNode(shard, replica int, db *storage.Database, reg *telemetry.Registry) *Node {
+	n := &Node{
+		Name:    fmt.Sprintf("shard%d/r%d", shard, replica),
+		Shard:   shard,
+		Replica: replica,
+		db:      db,
+		cat:     stats.Collect(db),
+		sem:     make(chan struct{}, 1),
+	}
+	if reg != nil {
+		n.gauge = reg.Gauge(telemetry.MetricNodeQueueDepth,
+			"Queries queued or executing on one simulated cluster node.",
+			telemetry.L("node", n.Name))
+	}
+	return n
+}
+
+// QueueDepth reports queries queued or executing on this node.
+func (n *Node) QueueDepth() int64 { return n.depth.Load() }
+
+// execute runs a shard program (the rewritten partial query plus any
+// COUNT(DISTINCT) expansion statements) through the node's queue and
+// returns one result per statement with the summed node cost.
+func (n *Node) execute(ctx context.Context, stmts []*plan.Query, o ExecOptions) ([]*exec.Result, NodeCost, error) {
+	n.depth.Add(1)
+	if n.gauge != nil {
+		n.gauge.Add(1)
+	}
+	defer func() {
+		n.depth.Add(-1)
+		if n.gauge != nil {
+			n.gauge.Add(-1)
+		}
+	}()
+
+	select {
+	case n.sem <- struct{}{}:
+		defer func() { <-n.sem }()
+	case <-ctx.Done():
+		return nil, NodeCost{}, ctx.Err()
+	}
+
+	var cost NodeCost
+	out := make([]*exec.Result, len(stmts))
+	for i, q := range stmts {
+		res, c, err := n.run(ctx, q, o)
+		if err != nil {
+			return nil, NodeCost{}, fmt.Errorf("%s: %w", n.Name, err)
+		}
+		out[i] = res
+		cost.Device = c.Device
+		cost.Cycles += c.Cycles
+		cost.WorkCycles += c.WorkCycles
+		cost.BytesMoved += c.BytesMoved
+		cost.Seconds += c.Seconds
+	}
+	return out, cost, nil
+}
+
+// run executes one statement on fresh engines, mirroring the single-node
+// facade's device paths.
+func (n *Node) run(ctx context.Context, q *plan.Query, o ExecOptions) (*exec.Result, NodeCost, error) {
+	if o.Device == "cpu" {
+		cpu := baseline.New(baseline.DefaultConfig())
+		x := exec.NewCPUExec(cpu)
+		x.SetParallelism(o.Parallelism)
+		res, err := x.RunContext(ctx, q, n.db)
+		if err != nil {
+			return nil, NodeCost{}, err
+		}
+		return res, NodeCost{
+			Device:     "CPU",
+			Cycles:     cpu.Cycles(),
+			WorkCycles: x.ParallelStats().WorkCycles,
+			BytesMoved: cpu.Mem().BytesMoved(),
+			Seconds:    cpu.Seconds(),
+		}, nil
+	}
+
+	cfg := o.Config
+	phys, err := optimizer.Optimize(q, n.cat, cfg.MAXVL)
+	if err != nil {
+		return nil, NodeCost{}, err
+	}
+
+	if o.Device == "hybrid" {
+		h := exec.NewDefaultHybrid(cfg, n.cat)
+		h.SetParallelism(o.Parallelism)
+		if o.PerOperator {
+			pp := optimizer.PlacePlan(phys, n.cat, cfg.MAXVL)
+			res, _, err := h.RunPlacedContext(ctx, pp, n.db)
+			if err != nil {
+				return nil, NodeCost{}, err
+			}
+			capeCy, cpuCy := h.Placed().DeviceCycles()
+			return res, NodeCost{
+				Device: "CAPE+CPU",
+				Cycles: capeCy + cpuCy,
+				// The placed pipeline runs its stages serially across
+				// devices, so elapsed and work coincide.
+				WorkCycles: capeCy + cpuCy,
+				BytesMoved: h.Castle().Engine().Mem().BytesMoved() + h.CPUExec().CPU().Mem().BytesMoved(),
+				Seconds:    h.Castle().Engine().Stats().Seconds(cfg.ClockHz) + h.CPUExec().CPU().Seconds(),
+			}, nil
+		}
+		res, dev, err := h.RunContext(ctx, phys, n.db)
+		if err != nil {
+			return nil, NodeCost{}, err
+		}
+		if dev == exec.DeviceCPU {
+			cpu := h.CPUExec().CPU()
+			return res, NodeCost{
+				Device:     "CPU",
+				Cycles:     cpu.Cycles(),
+				WorkCycles: h.CPUExec().ParallelStats().WorkCycles,
+				BytesMoved: cpu.Mem().BytesMoved(),
+				Seconds:    cpu.Seconds(),
+			}, nil
+		}
+		st := h.Castle().Engine().Stats()
+		return res, NodeCost{
+			Device:     "CAPE",
+			Cycles:     st.TotalCycles(),
+			WorkCycles: h.Castle().ParallelStats().WorkCycles,
+			BytesMoved: h.Castle().Engine().Mem().BytesMoved(),
+			Seconds:    st.Seconds(cfg.ClockHz),
+		}, nil
+	}
+
+	eng := cape.New(cfg)
+	opts := exec.DefaultCastleOptions()
+	opts.Parallelism = o.Parallelism
+	cas := exec.NewCastle(eng, n.cat, opts)
+	res, err := cas.RunContext(ctx, phys, n.db)
+	if err != nil {
+		return nil, NodeCost{}, err
+	}
+	st := eng.Stats()
+	return res, NodeCost{
+		Device:     "CAPE",
+		Cycles:     st.TotalCycles(),
+		WorkCycles: cas.ParallelStats().WorkCycles,
+		BytesMoved: eng.Mem().BytesMoved(),
+		Seconds:    st.Seconds(cfg.ClockHz),
+	}, nil
+}

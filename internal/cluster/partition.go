@@ -1,0 +1,158 @@
+// Package cluster is Castle's scatter-gather scale-out tier: it partitions
+// the fact table across N simulated Castle nodes (dimension tables are
+// replicated to every node, the usual star-schema deployment), fans a
+// compiled query out to one replica per shard, and merges the per-shard
+// partial aggregates with the same deterministic accumulator the
+// morsel-parallel sweeps use — so results are bit-identical to a
+// single-node run at every N. Cross-node shuffle traffic is modeled as a
+// first-class cost alongside the per-node cycle accounting, mirroring how
+// Fork/TileGroup splits elapsed versus work cycle views across tiles.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"castle/internal/storage"
+)
+
+// Scheme selects how fact rows map to shards.
+type Scheme int
+
+// Partitioning schemes.
+const (
+	// SchemeHash spreads rows by a multiplicative hash of the partition
+	// key. Load balances regardless of key skew; no shard pruning.
+	SchemeHash Scheme = iota
+	// SchemeRange assigns contiguous key ranges to shards (equal row
+	// counts, split points at sorted-key quantiles). Queries predicated on
+	// the partition key can prune shards whose [min, max] cannot match.
+	SchemeRange
+)
+
+// String names the scheme as accepted by ParseScheme.
+func (s Scheme) String() string {
+	if s == SchemeRange {
+		return "range"
+	}
+	return "hash"
+}
+
+// ParseScheme parses a partitioning scheme name.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "hash", "":
+		return SchemeHash, nil
+	case "range":
+		return SchemeRange, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown partition scheme %q (want hash or range)", s)
+}
+
+// Partitioning is the sharded layout of one database: per-shard databases
+// (fact shard plus replicated dimensions) and, for SchemeRange, the
+// per-shard partition-key bounds pruning consults.
+type Partitioning struct {
+	Scheme Scheme
+	Fact   string // partitioned relation
+	Key    string // partition-key column on Fact
+	Shards []*storage.Database
+
+	// KeyMin, KeyMax bound the partition-key values on each shard (valid
+	// only when the shard is non-empty). Empty marks shards that received
+	// no fact rows.
+	KeyMin, KeyMax []uint32
+	Empty          []bool
+}
+
+// Partition shards db's fact table n ways on the given key column.
+// Dimension tables are shared by reference — they are immutable at query
+// time — and fact shards share the parent's column dictionaries, so
+// encoded values remain comparable across shards.
+func Partition(db *storage.Database, fact, key string, scheme Scheme, n int) (*Partitioning, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: shard count %d is not positive", n)
+	}
+	ft := db.Table(fact)
+	if ft == nil {
+		return nil, fmt.Errorf("cluster: fact table %q does not exist", fact)
+	}
+	kc := ft.Column(key)
+	if kc == nil {
+		return nil, fmt.Errorf("cluster: partition key %s.%s does not exist in the schema", fact, key)
+	}
+
+	assign := make([][]int, n)
+	switch scheme {
+	case SchemeHash:
+		for i, v := range kc.Data {
+			assign[hashShard(v, n)] = append(assign[hashShard(v, n)], i)
+		}
+	case SchemeRange:
+		// Sort row indices by (key, index), cut into n equal-count chunks,
+		// then restore the original scan order within each chunk so a
+		// shard's sweep is deterministic and row-order preserving.
+		idx := make([]int, len(kc.Data))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			if kc.Data[idx[a]] != kc.Data[idx[b]] {
+				return kc.Data[idx[a]] < kc.Data[idx[b]]
+			}
+			return idx[a] < idx[b]
+		})
+		base, rem := len(idx)/n, len(idx)%n
+		at := 0
+		for s := 0; s < n; s++ {
+			size := base
+			if s < rem {
+				size++
+			}
+			chunk := append([]int(nil), idx[at:at+size]...)
+			at += size
+			sort.Ints(chunk)
+			assign[s] = chunk
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown partition scheme %d", scheme)
+	}
+
+	p := &Partitioning{
+		Scheme: scheme, Fact: fact, Key: key,
+		Shards: make([]*storage.Database, n),
+		KeyMin: make([]uint32, n), KeyMax: make([]uint32, n),
+		Empty: make([]bool, n),
+	}
+	for s := 0; s < n; s++ {
+		sdb := storage.NewDatabase()
+		for _, t := range db.Tables() {
+			if t.Name == fact {
+				sdb.Add(t.SelectRows(fact, assign[s]))
+			} else {
+				sdb.Add(t)
+			}
+		}
+		p.Shards[s] = sdb
+		p.Empty[s] = len(assign[s]) == 0
+		first := true
+		for _, r := range assign[s] {
+			v := kc.Data[r]
+			if first || v < p.KeyMin[s] {
+				p.KeyMin[s] = v
+			}
+			if first || v > p.KeyMax[s] {
+				p.KeyMax[s] = v
+			}
+			first = false
+		}
+	}
+	return p, nil
+}
+
+// hashShard maps a key value to a shard by Knuth multiplicative hashing —
+// cheap, deterministic, and spreading even for the dense sequential key
+// domains dictionary encoding produces.
+func hashShard(v uint32, n int) int {
+	return int((uint64(v) * 2654435761) % uint64(n))
+}

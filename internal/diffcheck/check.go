@@ -110,6 +110,10 @@ func (c *Corpus) Check(q *plan.Query, opts Options) *Mismatch {
 			}
 		}
 	}
+	// The sharded scatter-gather tier must agree at every topology too.
+	if m := c.checkSharded(q, want); m != nil {
+		return m
+	}
 	return nil
 }
 

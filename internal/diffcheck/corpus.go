@@ -14,7 +14,9 @@ package diffcheck
 
 import (
 	"math/rand"
+	"sync"
 
+	"castle/internal/cluster"
 	"castle/internal/ssb"
 	"castle/internal/stats"
 	"castle/internal/storage"
@@ -22,9 +24,9 @@ import (
 
 // dimSpec describes one dimension the generator may join.
 type dimSpec struct {
-	table   string
-	key     string
-	factFK  string
+	table  string
+	key    string
+	factFK string
 	// attrs are columns usable in predicates and GROUP BY.
 	attrs []string
 }
@@ -51,6 +53,11 @@ type Corpus struct {
 	factGroupCols []string
 	// factPredCols are fact columns usable in WHERE.
 	factPredCols []string
+
+	// cmu guards clusters, the lazily-built coordinator cache the SHARDED
+	// differential column (sharded.go) reuses across a campaign.
+	cmu      sync.Mutex
+	clusters map[string]*cluster.Coordinator
 }
 
 // ssbVocab is the generator vocabulary shared by every corpus.

@@ -1,0 +1,117 @@
+package diffcheck
+
+// sharded.go adds the SHARDED column to the differential matrix: every
+// query is replayed through the scatter-gather coordinator at several
+// topologies (hash and range partitioning, N in {1,2,4}, a two-replica
+// point so the load balancer is on the hot path) and must reproduce the
+// scalar reference bit for bit, with the per-shard breakdown partitioning
+// the elapsed cycle total exactly.
+
+import (
+	"context"
+	"fmt"
+
+	"castle/internal/cape"
+	"castle/internal/cluster"
+	"castle/internal/plan"
+	"castle/internal/reference"
+)
+
+// shardedPoint is one topology x device the SHARDED sweep runs.
+type shardedPoint struct {
+	scheme   cluster.Scheme
+	nodes    int
+	replicas int
+	device   string
+}
+
+// shardedMatrix keeps a campaign tractable: hash partitioning sweeps the
+// node counts on the CPU engine, range partitioning (the pruning path)
+// sweeps them on the low-MAXVL CAPE design point, and the N=2 rows run two
+// replicas each.
+func shardedMatrix() []shardedPoint {
+	return []shardedPoint{
+		{cluster.SchemeHash, 1, 1, "cpu"},
+		{cluster.SchemeHash, 2, 2, "cpu"},
+		{cluster.SchemeHash, 4, 1, "cpu"},
+		{cluster.SchemeRange, 1, 1, "cape"},
+		{cluster.SchemeRange, 2, 2, "cape"},
+		{cluster.SchemeRange, 4, 1, "cape"},
+	}
+}
+
+// coordinator returns the cached coordinator for one topology.
+// Partitioning is deterministic and shards alias the corpus's column data,
+// so one coordinator per topology serves a whole campaign.
+func (c *Corpus) coordinator(p shardedPoint) (*cluster.Coordinator, error) {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	key := fmt.Sprintf("%s/%d/%d", p.scheme, p.nodes, p.replicas)
+	if coord, ok := c.clusters[key]; ok {
+		return coord, nil
+	}
+	coord, err := cluster.New(c.DB, cluster.Config{Nodes: p.nodes, Replicas: p.replicas, Scheme: p.scheme})
+	if err != nil {
+		return nil, err
+	}
+	if c.clusters == nil {
+		c.clusters = make(map[string]*cluster.Coordinator)
+	}
+	c.clusters[key] = coord
+	return coord, nil
+}
+
+// checkSharded runs q through every cluster topology and holds the merged
+// result to the scalar reference, plus the coordinator's accounting
+// invariants (breakdown rows partition the elapsed total; work >= elapsed).
+func (c *Corpus) checkSharded(q *plan.Query, want *reference.Result) *Mismatch {
+	small := cape.DefaultConfig().WithEnhancements()
+	small.MAXVL = 512
+	for _, p := range shardedMatrix() {
+		if m := c.checkShardedPoint(q, want, p, small); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+func (c *Corpus) checkShardedPoint(q *plan.Query, want *reference.Result, p shardedPoint, small cape.Config) (m *Mismatch) {
+	name := fmt.Sprintf("SHARDED[%s,n=%d,r=%d,%s]", p.scheme, p.nodes, p.replicas, p.device)
+	defer func() {
+		if r := recover(); r != nil {
+			m = &Mismatch{Query: q, Engine: name, Detail: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	coord, err := c.coordinator(p)
+	if err != nil {
+		return &Mismatch{Query: q, Engine: name, Detail: fmt.Sprintf("cluster: %v", err)}
+	}
+	o := cluster.ExecOptions{Device: p.device, Parallelism: 1}
+	if p.device == "cape" {
+		o.Config = small
+	}
+	got, rep, err := coord.Run(context.Background(), q, o)
+	if err != nil {
+		return &Mismatch{Query: q, Engine: name, Detail: fmt.Sprintf("run: %v", err)}
+	}
+	if d := diffResults(want, got); d != "" {
+		return &Mismatch{Query: q, Engine: name, Detail: d}
+	}
+	bd := rep.Breakdown
+	if bd == nil {
+		return &Mismatch{Query: q, Engine: name, Detail: "no breakdown recorded"}
+	}
+	if bd.TotalCycles != rep.Stats.ElapsedCycles {
+		return &Mismatch{Query: q, Engine: name,
+			Detail: fmt.Sprintf("breakdown TotalCycles %d != elapsed %d", bd.TotalCycles, rep.Stats.ElapsedCycles)}
+	}
+	if sum := bd.SumCycles(); sum != bd.TotalCycles {
+		return &Mismatch{Query: q, Engine: name,
+			Detail: fmt.Sprintf("breakdown rows sum to %d, want %d exactly", sum, bd.TotalCycles)}
+	}
+	if rep.Stats.WorkCycles < rep.Stats.ElapsedCycles {
+		return &Mismatch{Query: q, Engine: name,
+			Detail: fmt.Sprintf("WorkCycles %d below elapsed %d", rep.Stats.WorkCycles, rep.Stats.ElapsedCycles)}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package exec
+
+// partial.go exports the deterministic partial-aggregate accumulator to
+// callers outside exec. The morsel-parallel sweeps merge per-tile partials
+// through groupAcc; the scatter-gather coordinator needs the exact same
+// merge semantics for per-shard partials, so it gets the same accumulator
+// behind a thin exported face rather than a reimplementation that could
+// drift.
+
+import "castle/internal/plan"
+
+// PartialAcc accumulates per-group partial aggregates across shards (or any
+// other disjoint partitioning of the fact table) and finalizes them with
+// the single-node semantics: sums/counts/AVG numerators add, MIN/MAX take
+// the extremum, AVG divides by the merged row count with integer floor, and
+// COUNT(DISTINCT) counts the union of the per-partition value sets. Merging
+// is associative and commutative and Result normalizes row order, so the
+// final relation is bit-identical to a single-node run regardless of how
+// rows were partitioned — callers should still feed partials in a fixed
+// partition order so internal insertion order is deterministic too.
+type PartialAcc struct {
+	q   *plan.Query
+	acc *groupAcc
+}
+
+// NewPartialAcc returns an accumulator finalizing with q's aggregate kinds,
+// ORDER BY and LIMIT. Grand aggregates (no GROUP BY) have their zero row
+// materialized immediately, matching single-node semantics even when no
+// partition contributes any rows (for example when every shard was pruned).
+func NewPartialAcc(q *plan.Query) *PartialAcc {
+	p := &PartialAcc{q: q, acc: newGroupAcc(q.Aggs)}
+	if len(q.GroupBy) == 0 {
+		p.acc.add(nil, make([]int64, len(q.Aggs)), 0)
+	}
+	return p
+}
+
+// Add merges one partial row: vals[i] is the partial of q.Aggs[i] over rows
+// source rows. Calls with rows == 0 only materialize the group.
+func (p *PartialAcc) Add(keys []uint32, vals []int64, rows int64) {
+	p.acc.add(keys, vals, rows)
+}
+
+// AddDistinct merges raw values into a COUNT(DISTINCT) slot's union set for
+// a group key.
+func (p *PartialAcc) AddDistinct(keys []uint32, slot int, values []uint32) {
+	p.acc.addDistinct(keys, slot, values)
+}
+
+// Groups returns the number of distinct group keys accumulated so far.
+func (p *PartialAcc) Groups() int { return len(p.acc.order) }
+
+// Result finalizes the accumulated groups: AVG division, distinct counts,
+// normalization, ORDER BY and LIMIT.
+func (p *PartialAcc) Result() *Result { return p.acc.result(p.q) }

@@ -18,6 +18,7 @@ import (
 	"castle"
 	"castle/internal/baseline"
 	"castle/internal/cape"
+	"castle/internal/cluster"
 	"castle/internal/exec"
 	"castle/internal/optimizer"
 	"castle/internal/server"
@@ -35,6 +36,7 @@ type BenchReport struct {
 	GeomeanSpeedup float64        `json:"geomean_speedup"` // full system vs AVX-512 baseline
 	Queries        []BenchQuery   `json:"queries"`
 	Scaling        []ScalingPoint `json:"scaling"` // K=1..4 per device
+	Cluster        []ClusterPoint `json:"cluster"` // N=1..4 scale-out
 	Server         ServerBench    `json:"server"`
 }
 
@@ -57,6 +59,21 @@ type ScalingPoint struct {
 	GeomeanWork   float64 `json:"geomean_work_cycles"`
 	// SpeedupVsK1 is geomean(K=1 cycles / this K's cycles).
 	SpeedupVsK1 float64 `json:"speedup_vs_k1"`
+}
+
+// ClusterPoint is one node-count cell of the scatter-gather scale-out
+// curve: the coordinator's critical-path (elapsed) and total-work cycle
+// views over the 13 queries, plus the cross-node shuffle traffic the
+// gather phase paid.
+type ClusterPoint struct {
+	Scheme        string  `json:"scheme"`
+	Nodes         int     `json:"nodes"`
+	GeomeanCycles float64 `json:"geomean_cycles"`
+	GeomeanWork   float64 `json:"geomean_work_cycles"`
+	// SpeedupVsN1 is geomean(N=1 elapsed / this N's elapsed).
+	SpeedupVsN1 float64 `json:"speedup_vs_n1"`
+	// ShuffleBytes totals the partial-aggregate traffic over all 13 queries.
+	ShuffleBytes int64 `json:"shuffle_bytes_total"`
 }
 
 // ServerBench is the serving-layer load result. Beyond the end-to-end
@@ -94,8 +111,58 @@ func RunBench(sf float64) *BenchReport {
 	ks := []int{1, 2, 3, 4}
 	rep.Scaling = append(rep.Scaling, r.ScalingCurve("cape", ks)...)
 	rep.Scaling = append(rep.Scaling, r.ScalingCurve("cpu", ks)...)
+	rep.Cluster = r.ClusterCurve("hash", []int{1, 2, 3, 4})
 	rep.Server = RunServerBench(sf, 8, 104)
 	return rep
+}
+
+// ClusterCurve measures scatter-gather scale-out: all 13 queries through a
+// coordinator at each node count (CAPE engines at BenchScalingMAXVL on
+// every node), reporting the coordinator's elapsed and work cycle views.
+func (r *Runner) ClusterCurve(scheme string, ns []int) []ClusterPoint {
+	sch, err := cluster.ParseScheme(scheme)
+	if err != nil {
+		panic(err)
+	}
+	cfg := TierABA.config(BenchScalingMAXVL)
+	base := make([]float64, 0, 13)
+	var out []ClusterPoint
+	for _, n := range ns {
+		coord, err := cluster.New(r.DB, cluster.Config{Nodes: n, Scheme: sch})
+		if err != nil {
+			panic(err)
+		}
+		elapsed, work := make([]float64, 13), make([]float64, 13)
+		var shuffle int64
+		for num := 1; num <= 13; num++ {
+			q := r.bind(querySQL(num))
+			_, rep, err := coord.Run(context.Background(), q,
+				cluster.ExecOptions{Device: "cape", Config: cfg, Parallelism: 1})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: cluster bench Q%d n=%d: %v", num, n, err))
+			}
+			elapsed[num-1] = float64(rep.Stats.ElapsedCycles)
+			work[num-1] = float64(rep.Stats.WorkCycles)
+			shuffle += rep.Stats.ShuffleBytes
+		}
+		if n == ns[0] {
+			base = elapsed
+		}
+		cp := ClusterPoint{
+			Scheme:        scheme,
+			Nodes:         n,
+			GeomeanCycles: geomeanF(elapsed),
+			GeomeanWork:   geomeanF(work),
+			ShuffleBytes:  shuffle,
+		}
+		ratios := make([]float64, len(elapsed))
+		for i := range elapsed {
+			ratios[i] = base[i] / elapsed[i]
+		}
+		cp.SpeedupVsN1 = geomeanF(ratios)
+		out = append(out, cp)
+	}
+	return out
 }
 
 // ScalingCurve measures elapsed and work cycles for all 13 queries at each

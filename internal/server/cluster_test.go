@@ -1,0 +1,88 @@
+package server
+
+// cluster_test.go pins the clustered deployment of the service: a server
+// booted with ClusterNodes >= 1 routes every query through the
+// scatter-gather coordinator, returns bit-identical results, reports the
+// shard topology on the response, and attributes wall time to the
+// queue/lease/scatter/gather/serialize lifecycle phases exactly.
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"castle"
+)
+
+func TestServerClustered(t *testing.T) {
+	s := newTestServer(t, Config{
+		QueueDepth:      64,
+		ClusterNodes:    2,
+		ClusterReplicas: 2,
+	})
+	if !strings.Contains(s.String(), "cluster{shards=2 replicas=2") {
+		t.Fatalf("topology missing from String(): %s", s)
+	}
+	for _, q := range castle.SSBQueries() {
+		resp, err := s.Do(context.Background(), Request{SQL: q.SQL})
+		if err != nil {
+			t.Fatalf("%s: %v", q.Flight, err)
+		}
+		if !reflect.DeepEqual(resp.Rows, reference[q.Num]) {
+			t.Fatalf("%s: clustered rows diverged from single-node reference", q.Flight)
+		}
+		if resp.Shards != 2 {
+			t.Fatalf("%s: Shards = %d, want 2", q.Flight, resp.Shards)
+		}
+		if resp.ShuffleBytes <= 0 {
+			t.Fatalf("%s: ShuffleBytes = %d, want > 0", q.Flight, resp.ShuffleBytes)
+		}
+		fr, ok := s.Telemetry().Flight().Get(resp.FlightSeq)
+		if !ok {
+			t.Fatalf("%s: no flight record %d", q.Flight, resp.FlightSeq)
+		}
+		names := make([]string, 0, len(fr.Phases))
+		var sum int64
+		for _, p := range fr.Phases {
+			names = append(names, p.Name)
+			sum += p.Micros
+		}
+		if strings.Join(names, ",") != "queue,lease,scatter,gather,serialize" {
+			t.Fatalf("%s: phases = %v", q.Flight, names)
+		}
+		if sum != fr.WallMicros {
+			t.Fatalf("%s: phases sum %dµs != wall %dµs", q.Flight, sum, fr.WallMicros)
+		}
+		// The four-phase Timings shape survives: exec = scatter + gather.
+		tm := resp.TimingsMicros
+		if tm.QueueMicros+tm.LeaseMicros+tm.ExecMicros+tm.SerializeMicros != resp.WallMicros {
+			t.Fatalf("%s: Timings do not partition WallMicros", q.Flight)
+		}
+		if tm.ExecMicros != fr.PhaseMicros("scatter")+fr.PhaseMicros("gather") {
+			t.Fatalf("%s: exec %dµs != scatter %dµs + gather %dµs",
+				q.Flight, tm.ExecMicros, fr.PhaseMicros("scatter"), fr.PhaseMicros("gather"))
+		}
+	}
+}
+
+func TestServerClusterConfigValidation(t *testing.T) {
+	db := sharedDB(t)
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"negative nodes", Config{ClusterNodes: -2}, "shard count"},
+		{"negative replicas", Config{ClusterNodes: 2, ClusterReplicas: -1}, "replica count"},
+		{"bad scheme", Config{ClusterNodes: 2, ClusterPartition: "round-robin"}, "partition scheme"},
+		{"bad key", Config{ClusterNodes: 2, ClusterPartitionKey: "lo_missing"}, "partition key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(db, nil, tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("New err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -71,6 +71,19 @@ type Config struct {
 	SlowQueryMillis int64
 	// SlowQueryLog receives slow-query lines (default os.Stderr).
 	SlowQueryLog io.Writer
+	// ClusterNodes, when >= 1, serves queries through a scatter-gather
+	// cluster of that many shards instead of the single-node DB (results
+	// are bit-identical; the simulated cost model changes). 0 disables
+	// clustering.
+	ClusterNodes int
+	// ClusterReplicas is the replica count per shard (0 selects 1).
+	ClusterReplicas int
+	// ClusterPartition selects the partitioning scheme: "hash" (default)
+	// or "range".
+	ClusterPartition string
+	// ClusterPartitionKey is the fact column to partition on (empty
+	// selects "lo_orderdate"). Must exist in the schema.
+	ClusterPartitionKey string
 	// Options is the base query configuration (design point, plan shape).
 	// Device, Telemetry and Parallelism are managed by the server (the
 	// latter set per query from the elastic lease); a request's NoCache
@@ -155,6 +168,15 @@ type Response struct {
 	// FlightSeq is the flight-record sequence number for this request;
 	// /debug/queries/{seq} returns the full post-mortem.
 	FlightSeq uint64 `json:"flight_seq,omitempty"`
+	// Shards is the cluster shard count when the server is clustered
+	// (0 on single-node deployments).
+	Shards int `json:"shards,omitempty"`
+	// ShardsPruned counts shards skipped by partition-key pruning for this
+	// query (range partitioning only).
+	ShardsPruned int `json:"shards_pruned,omitempty"`
+	// ShuffleBytes is the simulated cross-node shuffle traffic of this
+	// query's gather phase.
+	ShuffleBytes int64 `json:"shuffle_bytes,omitempty"`
 }
 
 // Server is the admission controller plus worker pool. Create with New,
@@ -166,6 +188,7 @@ type Server struct {
 	placement castle.Placement // resolved Config.Placement
 	tel       *castle.Telemetry
 	sched     *Scheduler
+	cluster   *castle.Cluster // non-nil when Config.ClusterNodes >= 1
 	queue     chan *task
 
 	mu     sync.RWMutex // guards closed against concurrent enqueues
@@ -195,10 +218,13 @@ type task struct {
 	// Lifecycle timestamps, filled as the task advances: worker pickup,
 	// lease grant, execution end. Together with the enqueue and completion
 	// instants they partition the request's wall time into the
-	// queue/lease/exec/serialize phases.
-	pickup   time.Time
-	leased   time.Time
-	execDone time.Time
+	// queue/lease/exec/serialize phases. Cluster executions additionally
+	// record the scatter/gather boundary, splitting exec into
+	// scatter/gather phases.
+	pickup     time.Time
+	leased     time.Time
+	execDone   time.Time
+	scatterEnd time.Time
 }
 
 type taskResult struct {
@@ -249,7 +275,25 @@ func New(db *castle.DB, tel *castle.Telemetry, cfg Config) (*Server, error) {
 		phaseHists: make(map[string]*telemetry.Histogram, 4),
 		slowThresh: time.Duration(cfg.SlowQueryMillis) * time.Millisecond,
 	}
-	for _, phase := range []string{"queue", "lease", "exec", "serialize"} {
+	phases := []string{"queue", "lease", "exec", "serialize"}
+	// Non-zero shard counts (including invalid negative ones) flow through
+	// cluster construction so topology errors surface descriptively here
+	// rather than as a silently single-node server.
+	if cfg.ClusterNodes != 0 {
+		cl, err := db.Cluster(castle.ClusterOptions{
+			Nodes:        cfg.ClusterNodes,
+			Replicas:     cfg.ClusterReplicas,
+			Partition:    cfg.ClusterPartition,
+			PartitionKey: cfg.ClusterPartitionKey,
+			Telemetry:    tel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = cl
+		phases = append(phases, "scatter", "gather")
+	}
+	for _, phase := range phases {
 		s.phaseHists[phase] = reg.Histogram(telemetry.MetricServerPhaseMicros,
 			"Per-request lifecycle phase durations in microseconds.",
 			telemetry.L("phase", phase))
@@ -415,13 +459,31 @@ func (s *Server) finishTimings(t *task, resp *Response, start time.Time) {
 	resp.TimingsMicros = tm
 	s.phaseHists["queue"].Observe(float64(tm.QueueMicros))
 	s.phaseHists["lease"].Observe(float64(tm.LeaseMicros))
-	s.phaseHists["exec"].Observe(float64(tm.ExecMicros))
 	s.phaseHists["serialize"].Observe(float64(tm.SerializeMicros))
-	phases := []telemetry.FlightPhase{
-		{Name: "queue", Micros: tm.QueueMicros},
-		{Name: "lease", Micros: tm.LeaseMicros},
-		{Name: "exec", Micros: tm.ExecMicros},
-		{Name: "serialize", Micros: tm.SerializeMicros},
+	var phases []telemetry.FlightPhase
+	if s.cluster != nil && !t.scatterEnd.IsZero() {
+		// Clustered executions split exec at the scatter/gather boundary the
+		// coordinator recorded; the Timings struct keeps the four-phase shape
+		// (exec = scatter + gather) for response compatibility.
+		pS := t.scatterEnd.Sub(start).Microseconds()
+		scatter, gather := pS-p2, p3-pS
+		s.phaseHists["scatter"].Observe(float64(scatter))
+		s.phaseHists["gather"].Observe(float64(gather))
+		phases = []telemetry.FlightPhase{
+			{Name: "queue", Micros: tm.QueueMicros},
+			{Name: "lease", Micros: tm.LeaseMicros},
+			{Name: "scatter", Micros: scatter},
+			{Name: "gather", Micros: gather},
+			{Name: "serialize", Micros: tm.SerializeMicros},
+		}
+	} else {
+		s.phaseHists["exec"].Observe(float64(tm.ExecMicros))
+		phases = []telemetry.FlightPhase{
+			{Name: "queue", Micros: tm.QueueMicros},
+			{Name: "lease", Micros: tm.LeaseMicros},
+			{Name: "exec", Micros: tm.ExecMicros},
+			{Name: "serialize", Micros: tm.SerializeMicros},
+		}
 	}
 	s.tel.Flight().Amend(resp.FlightSeq, func(fr *telemetry.FlightRecord) {
 		fr.WallMicros = wall
@@ -458,6 +520,9 @@ func (s *Server) run(t *task) (*Response, error) {
 	opt.Telemetry = s.tel
 	if t.req.NoCache {
 		opt.DisablePlanCache = true
+	}
+	if s.cluster != nil {
+		return s.runCluster(t, opt)
 	}
 
 	opt.Device = t.device
@@ -507,6 +572,37 @@ func (s *Server) run(t *task) (*Response, error) {
 	return resp, nil
 }
 
+// runCluster executes one admitted task across the sharded cluster. The
+// per-node queues and semaphores model the execution resources, so this
+// path skips the single-node scheduler lease (the lease timestamp still
+// lands, as a zero-width phase, so the lifecycle telescopes); every node
+// fans its fact sweep out across the full per-query tile budget.
+func (s *Server) runCluster(t *task, opt castle.Options) (*Response, error) {
+	opt.Device = t.device
+	opt.Placement = t.placement
+	opt.Parallelism = s.maxTiles()
+	t.leased = time.Now()
+	rows, m, err := s.cluster.QueryContext(t.ctx, t.req.SQL, opt)
+	t.execDone = time.Now()
+	if err != nil {
+		return nil, err
+	}
+	t.scatterEnd = m.Cluster.ScatterEnd
+	return &Response{
+		Columns:      rows.Columns,
+		Rows:         rows.Data,
+		RowCount:     len(rows.Data),
+		Device:       m.DeviceUsed,
+		Cycles:       m.Cycles,
+		SimSeconds:   m.Seconds,
+		EstCycles:    m.EstCycles,
+		FlightSeq:    m.FlightSeq,
+		Shards:       m.Cluster.Shards,
+		ShardsPruned: m.Cluster.PrunedShards,
+		ShuffleBytes: m.Cluster.ShuffleBytes,
+	}, nil
+}
+
 // Close drains the server: no new requests are admitted, queued and
 // in-flight requests run to completion, then the workers exit. Safe to call
 // more than once.
@@ -525,7 +621,11 @@ func (s *Server) Close() error {
 
 // String describes the service sizing (for startup logs).
 func (s *Server) String() string {
-	return fmt.Sprintf("server{device=%s placement=%s queue=%d cape_tiles=%d cpu_slots=%d max_tiles_per_query=%d timeout=%s}",
+	base := fmt.Sprintf("server{device=%s placement=%s queue=%d cape_tiles=%d cpu_slots=%d max_tiles_per_query=%d timeout=%s}",
 		s.cfg.Device, s.placement, cap(s.queue), s.sched.Capacity(castle.DeviceCAPE),
 		s.sched.Capacity(castle.DeviceCPU), s.maxTiles(), s.cfg.DefaultTimeout)
+	if s.cluster != nil {
+		return base + " " + s.cluster.String()
+	}
+	return base
 }

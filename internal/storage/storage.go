@@ -171,6 +171,24 @@ func (t *Table) addColumn(c *Column) *Column {
 	return c
 }
 
+// SelectRows projects the given row indices into a new relation named
+// name. Projected columns keep the parent's Kind and share its Dictionary
+// pointer, so codes in one projection stay comparable with codes in any
+// other projection of the same parent — the property a partitioned fact
+// table needs for cross-shard aggregate merges. Row order (and any
+// duplicates) is preserved; indices must be in range.
+func (t *Table) SelectRows(name string, rows []int) *Table {
+	out := NewTable(name)
+	for _, c := range t.cols {
+		data := make([]uint32, len(rows))
+		for i, r := range rows {
+			data[i] = c.Data[r]
+		}
+		out.addColumn(&Column{Name: c.Name, Kind: c.Kind, Data: data, Dict: c.Dict})
+	}
+	return out
+}
+
 // Column returns the named column, or nil if absent.
 func (t *Table) Column(name string) *Column { return t.byN[name] }
 

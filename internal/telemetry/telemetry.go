@@ -160,3 +160,22 @@ const (
 	// crossed the configured slow-query threshold.
 	MetricServerSlowQueries = "castle_server_slow_queries_total"
 )
+
+// Metric names recorded by the scatter-gather cluster tier
+// (internal/cluster).
+const (
+	// MetricNodeQueueDepth gauges queries queued or executing on one
+	// simulated node, labelled by node ("shard<i>/r<j>"). The coordinator's
+	// replica load balancer picks the replica with the smallest value.
+	MetricNodeQueueDepth = "castle_node_queue_depth"
+	// MetricShuffleBytes counts cross-node shuffle traffic (partial
+	// aggregate rows shipped from shard executors to the coordinator),
+	// labelled by shard index.
+	MetricShuffleBytes = "castle_shuffle_bytes_total"
+	// MetricClusterPhaseMicros is a histogram of coordinator phase
+	// durations in microseconds, labelled by phase (scatter, gather).
+	MetricClusterPhaseMicros = "castle_cluster_phase_micros"
+	// MetricClusterShardsPruned counts shards skipped by range-partition
+	// min/max pruning.
+	MetricClusterShardsPruned = "castle_cluster_shards_pruned_total"
+)
