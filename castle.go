@@ -336,6 +336,13 @@ type Options struct {
 	// to serial execution. The value is clamped to the available morsels;
 	// it does not affect plan-cache identity. Negative values are rejected.
 	Parallelism int
+	// Streaming runs the pull-based batch pipeline: operators exchange
+	// MAXVL-sized batches instead of materializing whole intermediates, and
+	// device crossings double-buffer so each batch's transfer overlaps the
+	// next batch's compute. Results are bit-identical to materializing;
+	// mixed placements get an "xfer-overlap" credit row in the breakdown
+	// and peak intermediate memory drops to O(K·MAXVL).
+	Streaming bool
 	// Telemetry, when non-nil, records the query lifecycle: a span tree
 	// (query → parse/bind/optimize/execute → per-operator) into its trace
 	// recorder and cycle/row counters into its metrics registry. Nil costs
@@ -405,6 +412,16 @@ type Metrics struct {
 	// shuffle bytes, and shard-pruning decisions. Nil for single-node
 	// executions.
 	Cluster *ClusterStats
+	// StreamBatches counts the batches the streaming pipeline pulled
+	// (0 for materializing runs).
+	StreamBatches int64
+	// PeakBatchBytes is the high-water mark of bytes resident in streaming
+	// batches — O(K·MAXVL) by construction (0 for materializing runs).
+	PeakBatchBytes int64
+	// XferOverlapCycles is the transfer time hidden under compute by
+	// double-buffered crossings; the breakdown's "xfer-overlap" row credits
+	// exactly this amount back, so Cycles already reflects the overlap.
+	XferOverlapCycles int64
 }
 
 // Rows is a decoded result relation: group-key columns first (strings
@@ -630,6 +647,7 @@ func (db *DB) queryContext(ctx context.Context, sqlText string, opt Options, sta
 		exec.AttachCPUTelemetry(cpu, tel)
 		x := exec.NewCPUExec(cpu)
 		x.SetParallelism(opt.Parallelism)
+		x.SetStreaming(opt.Streaming)
 		es := qs.Child("execute")
 		x.SetTelemetry(tel, es)
 		res, err := x.RunContext(ctx, cp.Bound, db.store)
@@ -647,6 +665,7 @@ func (db *DB) queryContext(ctx context.Context, sqlText string, opt Options, sta
 			Breakdown:  x.Breakdown(),
 			Parallel:   x.ParallelStats(),
 		}
+		applyStreamStats(m, x.StreamStats())
 		// CPU preparations stop at binding, so the prediction runs its own
 		// plan-shape pass (planning costs microseconds against a simulation
 		// that costs milliseconds; the result is not cached).
@@ -668,6 +687,7 @@ func (db *DB) queryContext(ctx context.Context, sqlText string, opt Options, sta
 	if opt.Device == DeviceHybrid {
 		h := exec.NewDefaultHybrid(cfg, cat)
 		h.SetParallelism(opt.Parallelism)
+		h.SetStreaming(opt.Streaming)
 		exec.AttachEngineTelemetry(h.Castle().Engine(), tel)
 		exec.AttachCPUTelemetry(h.CPUExec().CPU(), tel)
 		es := qs.Child("execute")
@@ -683,12 +703,14 @@ func (db *DB) queryContext(ctx context.Context, sqlText string, opt Options, sta
 			m.Cycles, m.Seconds, m.BytesMoved = cpu.Cycles(), cpu.Seconds(), cpu.Mem().BytesMoved()
 			m.Breakdown = h.CPUExec().Breakdown()
 			m.Parallel = h.CPUExec().ParallelStats()
+			applyStreamStats(m, h.CPUExec().StreamStats())
 		} else {
 			st := h.Castle().Engine().Stats()
 			m.Cycles, m.Seconds = st.TotalCycles(), st.Seconds(cfg.ClockHz)
 			m.BytesMoved = h.Castle().Engine().Mem().BytesMoved()
 			m.Breakdown = h.Castle().Breakdown()
 			m.Parallel = h.Castle().ParallelStats()
+			applyStreamStats(m, h.Castle().StreamStats())
 		}
 		es.SetInt("cycles", m.Cycles)
 		es.SetStr("device", m.DeviceUsed)
@@ -711,6 +733,7 @@ func (db *DB) queryContext(ctx context.Context, sqlText string, opt Options, sta
 	opts.Fusion = !opt.DisableFusion
 	opts.Parallelism = opt.Parallelism
 	cas := exec.NewCastle(eng, cat, opts)
+	cas.SetStreaming(opt.Streaming)
 	es := qs.Child("execute")
 	cas.SetTelemetry(tel, es)
 	res, err := cas.RunContext(ctx, phys, db.store)
@@ -737,6 +760,7 @@ func (db *DB) queryContext(ctx context.Context, sqlText string, opt Options, sta
 		Breakdown:    cas.Breakdown(),
 		Parallel:     cas.ParallelStats(),
 	}
+	applyStreamStats(m, cas.StreamStats())
 	pred := optimizer.PredictUniform(phys, cat, cfg.MAXVL, plan.DeviceCAPE)
 	db.finishQuery(tel, qs, m, phys.Shape().String(), pred, sqlText, opt, len(res.Rows), start, prepEnd)
 	return db.decode(res), m, nil
@@ -749,10 +773,17 @@ func (db *DB) queryContext(ctx context.Context, sqlText string, opt Options, sta
 // breakdown rows carry per-operator devices plus explicit "xfer:" rows for
 // the crossings.
 func (db *DB) runPlaced(ctx context.Context, qs *telemetry.Span, phys *plan.Physical, cfg cape.Config, cat *stats.Catalog, opt Options, sqlText string, start, prepEnd time.Time) (*Rows, *Metrics, error) {
+	// Streaming prices crossings with the double-buffered overlap term, so
+	// the placement search sees the same transfer costs the executor will
+	// realize.
 	pp := optimizer.PlacePlan(phys, cat, cfg.MAXVL)
+	if opt.Streaming {
+		pp = optimizer.PlacePlanStreaming(phys, cat, cfg.MAXVL)
+	}
 	tel := opt.Telemetry
 	h := exec.NewDefaultHybrid(cfg, cat)
 	h.SetParallelism(opt.Parallelism)
+	h.SetStreaming(opt.Streaming)
 	exec.AttachEngineTelemetry(h.Castle().Engine(), tel)
 	exec.AttachCPUTelemetry(h.CPUExec().CPU(), tel)
 	es := qs.Child("execute")
@@ -763,6 +794,7 @@ func (db *DB) runPlaced(ctx context.Context, qs *telemetry.Span, phys *plan.Phys
 		return nil, nil, err
 	}
 	capeCy, cpuCy := h.Placed().DeviceCycles()
+	stream := h.Placed().StreamStats()
 	st := h.Castle().Engine().Stats()
 	cpu := h.CPUExec().CPU()
 	used := "CAPE+CPU"
@@ -770,13 +802,16 @@ func (db *DB) runPlaced(ctx context.Context, qs *telemetry.Span, phys *plan.Phys
 		used = dev.String()
 	}
 	m := &Metrics{
-		Cycles:     capeCy + cpuCy,
+		// The overlap credit is part of the breakdown's exact partition, so
+		// elapsed cycles subtract the transfer time hidden under compute.
+		Cycles:     capeCy + cpuCy - stream.OverlapCycles,
 		Seconds:    st.Seconds(cfg.ClockHz) + cpu.Seconds(),
 		BytesMoved: h.Castle().Engine().Mem().BytesMoved() + cpu.Mem().BytesMoved(),
 		Plan:       pp.String(),
 		DeviceUsed: used,
 		Breakdown:  h.Placed().Breakdown(),
 	}
+	applyStreamStats(m, stream)
 	es.SetInt("cycles", m.Cycles)
 	es.SetStr("device", m.DeviceUsed)
 	es.SetStr("placement", PlacementPerOperator.String())
@@ -787,6 +822,14 @@ func (db *DB) runPlaced(ctx context.Context, qs *telemetry.Span, phys *plan.Phys
 	}
 	db.finishQuery(tel, qs, m, shape, pp, sqlText, opt, len(res.Rows), start, prepEnd)
 	return db.decode(res), m, nil
+}
+
+// applyStreamStats copies an executor's streaming accounting into the
+// metrics (all zeros for materializing runs).
+func applyStreamStats(m *Metrics, st exec.StreamStats) {
+	m.StreamBatches = st.Batches
+	m.PeakBatchBytes = st.PeakBatchBytes
+	m.XferOverlapCycles = st.OverlapCycles
 }
 
 // finishQuery is the common tail of every successful execution path: attach
@@ -845,7 +888,7 @@ func opKindOfRow(name string) string {
 		return "dimbuild"
 	case strings.HasPrefix(name, "join:"):
 		return "joinprobe"
-	case strings.HasPrefix(name, "xfer:"):
+	case strings.HasPrefix(name, "xfer:"), name == "xfer-overlap":
 		return "xfer"
 	case name == "filter":
 		return "filter"
@@ -885,18 +928,20 @@ func (db *DB) recordFlight(tel *Telemetry, sqlText string, opt Options, m *Metri
 		}
 	}
 	return tel.Flight().Record(telemetry.FlightRecord{
-		SQL:          sqlText,
-		Fingerprint:  telemetry.FingerprintSQL(sqlText),
-		Start:        start,
-		WallMicros:   wall,
-		Status:       "ok",
-		Device:       m.DeviceUsed,
-		Placement:    placement,
-		Plan:         m.Plan,
-		RowCount:     rowCount,
-		Cycles:       m.Cycles,
-		EstCycles:    m.EstCycles,
-		AltEstCycles: m.AltEstCycles,
+		SQL:            sqlText,
+		Fingerprint:    telemetry.FingerprintSQL(sqlText),
+		Start:          start,
+		WallMicros:     wall,
+		Status:         "ok",
+		Device:         m.DeviceUsed,
+		Placement:      placement,
+		Plan:           m.Plan,
+		RowCount:       rowCount,
+		Cycles:         m.Cycles,
+		EstCycles:      m.EstCycles,
+		AltEstCycles:   m.AltEstCycles,
+		Batches:        m.StreamBatches,
+		PeakBatchBytes: m.PeakBatchBytes,
 		Phases: []telemetry.FlightPhase{
 			{Name: "prepare", Micros: prepMicros},
 			{Name: "execute", Micros: wall - prepMicros},
@@ -967,6 +1012,16 @@ func (db *DB) recordQueryMetrics(tel *Telemetry, qs *telemetry.Span, m *Metrics,
 		Observe(float64(m.Cycles))
 	reg.Histogram(telemetry.MetricQuerySeconds, "Simulated seconds per query.").
 		Observe(m.Seconds)
+	if m.XferOverlapCycles > 0 {
+		reg.Counter(telemetry.MetricXferOverlapCycles,
+			"Transfer cycles hidden under compute by double-buffered streaming.",
+			telemetry.L("device", dev)).Add(m.XferOverlapCycles)
+	}
+	if m.PeakBatchBytes > 0 {
+		reg.Gauge(telemetry.MetricPeakBatchBytes,
+			"Peak bytes resident in streaming batches (last streamed query).").
+			Set(m.PeakBatchBytes)
+	}
 }
 
 func internalShape(s PlanShape) plan.Shape {

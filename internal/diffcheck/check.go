@@ -81,6 +81,9 @@ func (c *Corpus) Check(q *plan.Query, opts Options) *Mismatch {
 		if m := c.checkCPU(q, want, k, factRows); m != nil {
 			return m
 		}
+		if m := c.checkStreamedCPU(q, want, k, factRows); m != nil {
+			return m
+		}
 	}
 	for _, cfg := range opts.Configs {
 		var traffic []int64
@@ -94,6 +97,9 @@ func (c *Corpus) Check(q *plan.Query, opts Options) *Mismatch {
 				return m
 			}
 			if m := c.checkMixed(q, want, cfg, k); m != nil {
+				return m
+			}
+			if m := c.checkStreamed(q, want, cfg, k, factRows); m != nil {
 				return m
 			}
 		}

@@ -65,6 +65,13 @@ type Castle struct {
 	// entry.
 	par atomic.Int32
 
+	// streaming only toggles stream accounting here: the CAPE sweep is
+	// already a pipeline of MAXVL partitions (the fused fact sweep never
+	// materializes an operator's full output), so "streaming" a pure-CAPE
+	// run changes no work — it just reports each partition as a batch and
+	// the CSB-resident partition footprint as the peak.
+	streaming atomic.Bool
+
 	// tel and parent carry the observability pipeline: operator spans nest
 	// under parent (the caller's "execute" span). Both may be nil; span
 	// calls on nil receivers are no-ops, so a disabled pipeline costs only
@@ -94,6 +101,8 @@ type runBooks struct {
 	tileRows    []int64
 	mergeCycles int64
 	elapsed     int64
+
+	stream StreamStats
 
 	breakdown *telemetry.Breakdown
 }
@@ -136,6 +145,23 @@ func (c *Castle) Engine() *cape.Engine { return c.eng }
 // with RunContext: an in-flight run keeps the degree it observed at entry;
 // later runs observe the new value.
 func (c *Castle) SetParallelism(k int) { c.par.Store(int32(k)) }
+
+// SetStreaming toggles stream accounting for subsequent runs (see the
+// streaming field: pure-CAPE execution is already partition-pipelined, so
+// this changes reporting, not work). Safe to call concurrently with
+// RunContext.
+func (c *Castle) SetStreaming(on bool) { c.streaming.Store(on) }
+
+// StreamStats returns the last run's streaming summary: one batch per
+// MAXVL fact partition and the peak CSB-resident partition bytes across
+// the K concurrent tiles. Zero for runs with streaming off.
+func (c *Castle) StreamStats() StreamStats {
+	b := c.last.Load()
+	if b == nil {
+		return StreamStats{}
+	}
+	return b.stream
+}
 
 // PerJoinCycles returns the cycles attributed to each join edge of the
 // last Run, keyed by dimension name (§7.2's per-join analysis; join-edge
@@ -320,6 +346,17 @@ func (c *Castle) RunContext(ctx context.Context, p *plan.Physical, db *storage.D
 	sweep.SetInt("tiles", int64(k))
 	sweep.End()
 
+	if c.streaming.Load() && factRows > 0 {
+		resident := factRows
+		if resident > maxvl {
+			resident = maxvl
+		}
+		run.stream = StreamStats{
+			Batches:        int64(parts),
+			PeakBatchBytes: int64(k) * int64(4*resident*factSweepCols(q)),
+		}
+	}
+
 	if len(q.GroupBy) == 0 && len(acc.order) == 0 {
 		acc.add(nil, make([]int64, len(q.Aggs)), 0)
 	}
@@ -498,6 +535,37 @@ func (c *Castle) recordRunMetrics(p *plan.Physical, db *storage.Database, factRo
 	c.tel.Metrics().Counter(telemetry.MetricRowsScanned,
 		"Rows scanned across fact and dimension tables.",
 		telemetry.L("device", "cape")).Add(scanned)
+}
+
+// factSweepCols counts the distinct fact-aligned vectors one partition
+// keeps CSB-resident during the fused sweep: predicate and foreign-key
+// columns, fact group-by columns, aggregate inputs, and the materialized
+// dimension attributes each join produces.
+func factSweepCols(q *plan.Query) int {
+	seen := make(map[string]bool)
+	for _, pr := range q.FactPreds {
+		seen[pr.Column] = true
+	}
+	for _, e := range q.Joins {
+		seen[e.FactFK] = true
+		for _, a := range e.NeedAttrs {
+			seen[e.Dim+"."+a] = true
+		}
+	}
+	for _, g := range q.GroupBy {
+		if g.Table == q.Fact {
+			seen[g.Column] = true
+		}
+	}
+	for _, a := range q.Aggs {
+		if a.A != "" {
+			seen[a.A] = true
+		}
+		if a.B != "" {
+			seen[a.B] = true
+		}
+	}
+	return len(seen)
 }
 
 // colWidth returns the ABA bitwidth for a column from catalog statistics

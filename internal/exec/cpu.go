@@ -32,6 +32,16 @@ type CPUExec struct {
 	// exactly once at entry.
 	par atomic.Int32
 
+	// streaming sweeps the fact table in bounded row chunks instead of one
+	// whole-range pass: hash tables build once up front, then each chunk
+	// filters, probes and folds into the accumulator before the next chunk
+	// starts, bounding the working set (materialized attribute columns and
+	// selection bitmap) at O(K·batch) rows. Results are bit-identical.
+	streaming atomic.Bool
+	// batchRows is the streaming chunk size in fact rows (<= 0 selects
+	// defaultStreamBatchRows).
+	batchRows atomic.Int32
+
 	tel    *telemetry.Telemetry
 	parent *telemetry.Span
 
@@ -56,8 +66,15 @@ type cpuRunBooks struct {
 	mergeCycles int64
 	elapsed     int64
 
+	stream StreamStats
+
 	breakdown *telemetry.Breakdown
 }
+
+// defaultStreamBatchRows is the CPU streaming chunk size: large enough to
+// amortize per-chunk overhead, small enough that the per-core working set
+// stays cache-resident.
+const defaultStreamBatchRows = 32768
 
 // NewCPUExec wraps a baseline CPU.
 func NewCPUExec(cpu *baseline.CPU) *CPUExec { return &CPUExec{cpu: cpu} }
@@ -73,6 +90,26 @@ func (x *CPUExec) CPU() *baseline.CPU { return x.cpu }
 // with RunContext: an in-flight run keeps the degree it observed at entry;
 // later runs observe the new value.
 func (x *CPUExec) SetParallelism(k int) { x.par.Store(int32(k)) }
+
+// SetStreaming toggles chunked fact sweeps for subsequent Runs. Safe to
+// call concurrently with RunContext; an in-flight run keeps the mode it
+// observed at entry.
+func (x *CPUExec) SetStreaming(on bool) { x.streaming.Store(on) }
+
+// SetStreamBatchRows sets the streaming chunk size in fact rows (values
+// <= 0 restore the default).
+func (x *CPUExec) SetStreamBatchRows(n int) { x.batchRows.Store(int32(n)) }
+
+// StreamStats returns the last run's streaming summary (batches swept and
+// peak resident chunk bytes; OverlapCycles is always zero on a single
+// device — there is no crossing to hide). Zero for materializing runs.
+func (x *CPUExec) StreamStats() StreamStats {
+	b := x.last.Load()
+	if b == nil {
+		return StreamStats{}
+	}
+	return b.stream
+}
 
 // PerJoinCycles returns cycles attributed to each join edge of the last
 // Run, keyed by dimension name (build + probe; for parallel runs the build
@@ -205,17 +242,44 @@ func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Dat
 	sort.SliceStable(joins, func(i, j int) bool { return joins[i].fraction < joins[j].fraction })
 
 	acc := newGroupAcc(q.Aggs)
+	streaming := x.streaming.Load()
 	if k == 1 {
-		// Serial: one sweep over the whole fact range on the primary core,
-		// building each join's hash table inline (charge order identical to
-		// the pipelined build-probe-build-probe sequence).
 		s := &cpuSweep{cpu: cpu, acc: acc, perJoin: run.perJoin, span: x.parent}
-		if err := s.run(ctx, q, db, joins, nil, 0, rows); err != nil {
-			return nil, err
+		if streaming {
+			// Streaming: hash tables build once (their cycles fold into the
+			// same per-join books the inline builds would), then the fact
+			// range sweeps in bounded chunks, each folded into acc before
+			// the next starts.
+			tables, err := x.buildJoinTables(ctx, run, joins)
+			if err != nil {
+				return nil, err
+			}
+			step := x.streamStep()
+			attrCount := streamAttrCount(joins)
+			for base := 0; base < rows; base += step {
+				end := base + step
+				if end > rows {
+					end = rows
+				}
+				if err := s.run(ctx, q, db, joins, tables, base, end); err != nil {
+					return nil, err
+				}
+				run.stream.Batches++
+				if b := streamResidentBytes(end-base, attrCount); b > run.stream.PeakBatchBytes {
+					run.stream.PeakBatchBytes = b
+				}
+			}
+		} else {
+			// Serial: one sweep over the whole fact range on the primary
+			// core, building each join's hash table inline (charge order
+			// identical to the pipelined build-probe-build-probe sequence).
+			if err := s.run(ctx, q, db, joins, nil, 0, rows); err != nil {
+				return nil, err
+			}
 		}
 		run.filterCycles, run.aggCycles = s.filterCycles, s.aggCycles
 	} else {
-		if err := x.runParallelSweep(ctx, run, q, db, joins, rows, k, acc); err != nil {
+		if err := x.runParallelSweep(ctx, run, q, db, joins, rows, k, acc, streaming); err != nil {
 			return nil, err
 		}
 	}
@@ -241,32 +305,13 @@ func (x *CPUExec) RunContext(ctx context.Context, q *plan.Query, db *storage.Dat
 // pass that folds the per-core partial group tables together in fixed core
 // order.
 func (x *CPUExec) runParallelSweep(ctx context.Context, run *cpuRunBooks, q *plan.Query,
-	db *storage.Database, joins []dimJoin, rows, k int, acc *groupAcc) error {
+	db *storage.Database, joins []dimJoin, rows, k int, acc *groupAcc, streaming bool) error {
 
 	cpu := x.cpu
 
-	// Hash tables build once, on the primary core, in probe order.
-	tables := make([]joinTable, len(joins))
-	for ji, j := range joins {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		spb := x.parent.Child("build:" + j.edge.Dim)
-		buildStart := cpu.Cycles()
-		if len(j.edge.NeedAttrs) == 0 {
-			tables[ji].semi = cpu.BuildHashSemi(j.keys)
-		} else {
-			tables[ji].attr = make([]*baseline.HashTable, len(j.edge.NeedAttrs))
-			for ai := range j.edge.NeedAttrs {
-				tables[ji].attr[ai] = cpu.BuildHashMap(j.keys, j.vals[ai])
-			}
-		}
-		cy := cpu.Cycles() - buildStart
-		run.buildCycles[j.edge.Dim] = cy
-		run.perJoin[j.edge.Dim] += cy
-		spb.SetInt("cycles", cy)
-		spb.SetInt("build_keys", int64(len(j.keys)))
-		spb.End()
+	tables, err := x.buildJoinTables(ctx, run, joins)
+	if err != nil {
+		return err
 	}
 
 	cores := cpu.Fork(k)
@@ -289,6 +334,10 @@ func (x *CPUExec) runParallelSweep(ctx context.Context, run *cpuRunBooks, q *pla
 	}
 
 	run.coreRows = make([]int64, k)
+	step := x.streamStep()
+	attrCount := streamAttrCount(joins)
+	laneBatches := make([]int64, k)
+	lanePeak := make([]int64, k)
 	errs := make([]error, k)
 	var wg sync.WaitGroup
 	for i := range sweeps {
@@ -298,7 +347,21 @@ func (x *CPUExec) runParallelSweep(ctx context.Context, run *cpuRunBooks, q *pla
 			defer wg.Done()
 			s := sweeps[ti]
 			defer s.span.End()
-			errs[ti] = s.run(ctx, q, db, joins, tables, base, end)
+			if streaming {
+				for lo := base; lo < end && errs[ti] == nil; lo += step {
+					hi := lo + step
+					if hi > end {
+						hi = end
+					}
+					errs[ti] = s.run(ctx, q, db, joins, tables, lo, hi)
+					laneBatches[ti]++
+					if b := streamResidentBytes(hi-lo, attrCount); b > lanePeak[ti] {
+						lanePeak[ti] = b
+					}
+				}
+			} else {
+				errs[ti] = s.run(ctx, q, db, joins, tables, base, end)
+			}
 			s.span.SetInt("cycles", s.cpu.Cycles())
 			s.span.SetInt("rows", int64(end-base))
 		}(i, base, end)
@@ -307,6 +370,14 @@ func (x *CPUExec) runParallelSweep(ctx context.Context, run *cpuRunBooks, q *pla
 	for _, err := range errs {
 		if err != nil {
 			return err
+		}
+	}
+	if streaming {
+		// Lanes run concurrently, so peak residency is the sum of per-lane
+		// chunk high-water marks.
+		for i := range laneBatches {
+			run.stream.Batches += laneBatches[i]
+			run.stream.PeakBatchBytes += lanePeak[i]
 		}
 	}
 
@@ -355,6 +426,62 @@ func (x *CPUExec) runParallelSweep(ctx context.Context, run *cpuRunBooks, q *pla
 	sweep.SetInt("cores", int64(k))
 	sweep.End()
 	return nil
+}
+
+// buildJoinTables builds every join's hash table once on the primary core,
+// in probe order, folding the build cycles into both the per-join and
+// per-build books (serial streaming reports them inside "join:" rows,
+// parallel runs as explicit "build:" rows).
+func (x *CPUExec) buildJoinTables(ctx context.Context, run *cpuRunBooks, joins []dimJoin) ([]joinTable, error) {
+	cpu := x.cpu
+	tables := make([]joinTable, len(joins))
+	for ji, j := range joins {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		spb := x.parent.Child("build:" + j.edge.Dim)
+		buildStart := cpu.Cycles()
+		if len(j.edge.NeedAttrs) == 0 {
+			tables[ji].semi = cpu.BuildHashSemi(j.keys)
+		} else {
+			tables[ji].attr = make([]*baseline.HashTable, len(j.edge.NeedAttrs))
+			for ai := range j.edge.NeedAttrs {
+				tables[ji].attr[ai] = cpu.BuildHashMap(j.keys, j.vals[ai])
+			}
+		}
+		cy := cpu.Cycles() - buildStart
+		run.buildCycles[j.edge.Dim] = cy
+		run.perJoin[j.edge.Dim] += cy
+		spb.SetInt("cycles", cy)
+		spb.SetInt("build_keys", int64(len(j.keys)))
+		spb.End()
+	}
+	return tables, nil
+}
+
+// streamStep returns the configured streaming chunk size in fact rows.
+func (x *CPUExec) streamStep() int {
+	if n := int(x.batchRows.Load()); n > 0 {
+		return n
+	}
+	return defaultStreamBatchRows
+}
+
+// streamAttrCount counts the dimension-attribute columns a sweep
+// materializes per chunk — the dominant term of the chunk working set.
+func streamAttrCount(joins []dimJoin) int {
+	n := 0
+	for _, j := range joins {
+		n += len(j.edge.NeedAttrs)
+	}
+	return n
+}
+
+// streamResidentBytes models one chunk's resident working set: 4-byte
+// materialized attribute values per surviving probe plus the selection
+// bitmap.
+func streamResidentBytes(rows, attrCount int) int64 {
+	return int64(4*rows*attrCount) + int64(rows+7)/8
 }
 
 // finishBreakdown closes the per-operator books for the last Run; the rows

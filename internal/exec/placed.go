@@ -41,6 +41,14 @@ type Placed struct {
 	// runs, atomically retargetable while a run is in flight.
 	par atomic.Int32
 
+	// streaming selects the pull-based batch pipeline for mixed runs: the
+	// fact stage produces MAXVL-sized batches through a BatchSource, the
+	// tail consumes each batch immediately (peak memory O(K·MAXVL) instead
+	// of O(table)), and the device crossing is double-buffered so interior
+	// transfers hide under the next batch's compute. Results are
+	// bit-identical to materializing.
+	streaming atomic.Bool
+
 	tel    *telemetry.Telemetry
 	parent *telemetry.Span
 
@@ -51,6 +59,7 @@ type Placed struct {
 type placedBooks struct {
 	capeCycles int64
 	cpuCycles  int64
+	stream     StreamStats
 	breakdown  *telemetry.Breakdown
 }
 
@@ -68,6 +77,23 @@ func NewPlaced(castle *Castle, cpu *CPUExec, cat *stats.Catalog) *Placed {
 // lane order so results stay bit-identical. Safe to call concurrently with
 // RunContext; an in-flight run keeps the degree it observed at entry.
 func (x *Placed) SetParallelism(k int) { x.par.Store(int32(k)) }
+
+// SetStreaming toggles the pull-based batch pipeline for subsequent mixed
+// runs. Uniform placements are unaffected here (the single-device executors
+// own their streaming switches). Safe to call concurrently with RunContext;
+// an in-flight run keeps the mode it observed at entry.
+func (x *Placed) SetStreaming(on bool) { x.streaming.Store(on) }
+
+// StreamStats returns the last run's streaming summary: batches produced,
+// transfer cycles hidden under compute, and peak resident batch bytes. All
+// zero for materializing runs and before the first run.
+func (x *Placed) StreamStats() StreamStats {
+	b := x.last.Load()
+	if b == nil {
+		return StreamStats{}
+	}
+	return b.stream
+}
 
 // SetTelemetry attaches a telemetry sink and parent span for subsequent
 // runs (either may be nil). Not safe to call while a run is in flight.
@@ -138,9 +164,11 @@ func (x *Placed) runUniform(ctx context.Context, pp *plan.PlacedPlan, db *storag
 	var err error
 	if dev == plan.DeviceCPU {
 		x.cpu.SetParallelism(int(x.par.Load()))
+		x.cpu.SetStreaming(x.streaming.Load())
 		res, err = x.cpu.RunContext(ctx, pp.Phys.Query, db)
 	} else {
 		x.castle.SetParallelism(int(x.par.Load()))
+		x.castle.SetStreaming(x.streaming.Load())
 		res, err = x.castle.RunContext(ctx, pp.Phys, db)
 	}
 	if err != nil {
@@ -152,8 +180,10 @@ func (x *Placed) runUniform(ctx context.Context, pp *plan.PlacedPlan, db *storag
 	}
 	if dev == plan.DeviceCPU {
 		books.breakdown = x.cpu.Breakdown()
+		books.stream = x.cpu.StreamStats()
 	} else {
 		books.breakdown = x.castle.Breakdown()
+		books.stream = x.castle.StreamStats()
 	}
 	x.last.Store(books)
 	return res, nil
@@ -174,9 +204,16 @@ func (b *placedBreakdown) row(op, dev string, cycles, rows int64) {
 }
 
 // publish closes a mixed run's books: the operator rows plus an explicit
-// "overhead" remainder partition the combined total exactly.
-func (x *Placed) publish(bk *placedBreakdown, capeCycles, cpuCycles int64) {
-	total := capeCycles + cpuCycles
+// "overhead" remainder partition the total exactly. For streaming runs the
+// total is the elapsed view — both devices' work minus the transfer cycles
+// that hid under the next batch's compute — and the hidden portion appears
+// as an explicit negative "xfer-overlap" credit row so the rows still
+// partition TotalCycles exactly.
+func (x *Placed) publish(bk *placedBreakdown, capeCycles, cpuCycles int64, stream StreamStats) {
+	if stream.OverlapCycles != 0 {
+		bk.row("xfer-overlap", "CAPE+CPU", -stream.OverlapCycles, -1)
+	}
+	total := capeCycles + cpuCycles - stream.OverlapCycles
 	var covered int64
 	for _, o := range bk.ops {
 		covered += o.Cycles
@@ -186,6 +223,7 @@ func (x *Placed) publish(bk *placedBreakdown, capeCycles, cpuCycles int64) {
 	x.last.Store(&placedBooks{
 		capeCycles: capeCycles,
 		cpuCycles:  cpuCycles,
+		stream:     stream,
 		breakdown:  &telemetry.Breakdown{Device: "CAPE+CPU", Operators: bk.ops, TotalCycles: total},
 	})
 }
@@ -201,22 +239,6 @@ func shipTailCols(q *plan.Query) (attrKeys []string, cols int) {
 		}
 	}
 	return attrKeys, 1 + len(attrKeys)
-}
-
-// shipment is one fact-stage lane's survivor tuples, in ascending row
-// order: absolute fact-row indices plus the dimension-attribute values the
-// aggregation tail needs (keyed "dim.attr", aligned with rows).
-type shipment struct {
-	rows  []int
-	attrs map[string][]uint32
-}
-
-func newShipment(attrKeys []string) *shipment {
-	s := &shipment{attrs: make(map[string][]uint32, len(attrKeys))}
-	for _, k := range attrKeys {
-		s.attrs[k] = nil
-	}
-	return s
 }
 
 // ---------------------------------------------------------------------------
@@ -292,35 +314,73 @@ func (x *Placed) runCAPEFactCPUAgg(ctx context.Context, pp *plan.PlacedPlan, db 
 	}
 
 	attrKeys, shipCols := shipTailCols(q)
+	streaming := x.streaming.Load()
 	sweep := x.parent.Child("fact-sweep")
 	sweepStart := eng.TotalCycles()
-	ships := make([]*shipment, k)
+	ships := make([]*Batch, k)
+
+	// The accumulator and its consumer exist up front so the streaming path
+	// can fold each batch the moment it lands; the materializing path feeds
+	// the same consumer with whole-lane batches at the end. Either way the
+	// bulk CPU charge at the tail is computed from identical totals, so the
+	// two paths' CPU cycles match exactly.
+	acc := newGroupAcc(q.Aggs)
+	cons := newCPUAggConsumer(q, fact, acc)
+	var laneAccs []*groupAcc
+	var laneCons []*cpuAggConsumer
+	var stream StreamStats
+	laneRows := make([]int64, k)
 
 	if k == 1 {
 		s := &tileSweep{cat: x.cat, opts: x.castle.opts, eng: eng, perJoin: bk.perJoin, span: sweep}
-		ships[0] = newShipment(attrKeys)
-		var exportCycles int64
-		for base := 0; base < factRows; base += maxvl {
-			vl := factRows - base
-			if vl > maxvl {
-				vl = maxvl
+		if streaming {
+			ch := &xferChannel{}
+			src := &capeFactSource{s: s, p: p, db: db, dims: dims,
+				attrKeys: attrKeys, shipCols: shipCols, camCapable: camCapable,
+				factRows: factRows, maxvl: maxvl, next: 0, stride: 1, ch: ch}
+			for {
+				b, err := src.Next(ctx)
+				if err != nil {
+					return nil, err
+				}
+				if b == nil {
+					break
+				}
+				if err := cons.consume(ctx, b); err != nil {
+					return nil, err
+				}
 			}
-			rowMask, _, attrRegs, _, err := s.runFilterJoins(ctx, p, db, dims, base, vl)
-			if err != nil {
-				return nil, err
+			stream = StreamStats{Batches: ch.batches, OverlapCycles: ch.credit, PeakBatchBytes: ch.peakBytes}
+			bk.row("filter", "CAPE", s.filterCycles, int64(factRows))
+			for _, e := range p.Joins {
+				bk.row("join:"+e.Dim, "CAPE", bk.perJoin[e.Dim], -1)
 			}
-			e0 := eng.TotalCycles()
-			exportSurvivors(eng, ships[0], rowMask, base, attrKeys, attrRegs, shipCols)
-			exportCycles += eng.TotalCycles() - e0
-			if camCapable {
-				eng.SetLayout(cape.CAMMode)
+			bk.row("xfer:aggregate", "CAPE+CPU", ch.xferCycles, cons.matched)
+		} else {
+			ships[0] = NewBatch(0, attrKeys)
+			var exportCycles int64
+			for base := 0; base < factRows; base += maxvl {
+				vl := factRows - base
+				if vl > maxvl {
+					vl = maxvl
+				}
+				rowMask, _, attrRegs, _, err := s.runFilterJoins(ctx, p, db, dims, base, vl)
+				if err != nil {
+					return nil, err
+				}
+				e0 := eng.TotalCycles()
+				exportSurvivors(eng, ships[0], rowMask, base, attrKeys, attrRegs, shipCols)
+				exportCycles += eng.TotalCycles() - e0
+				if camCapable {
+					eng.SetLayout(cape.CAMMode)
+				}
 			}
+			bk.row("filter", "CAPE", s.filterCycles, int64(factRows))
+			for _, e := range p.Joins {
+				bk.row("join:"+e.Dim, "CAPE", bk.perJoin[e.Dim], -1)
+			}
+			bk.row("xfer:aggregate", "CAPE+CPU", exportCycles, int64(len(ships[0].Rows)))
 		}
-		bk.row("filter", "CAPE", s.filterCycles, int64(factRows))
-		for _, e := range p.Joins {
-			bk.row("join:"+e.Dim, "CAPE", bk.perJoin[e.Dim], -1)
-		}
-		bk.row("xfer:aggregate", "CAPE+CPU", exportCycles, int64(len(ships[0].rows)))
 	} else {
 		group := eng.Fork(k)
 		sweeps := make([]*tileSweep, k)
@@ -331,9 +391,22 @@ func (x *Placed) runCAPEFactCPUAgg(ctx context.Context, pp *plan.PlacedPlan, db 
 			sweeps[i] = &tileSweep{cat: x.cat, opts: x.castle.opts, eng: t,
 				perJoin: make(map[string]int64, len(p.Joins)),
 				span:    sweep.Child(fmt.Sprintf("tile%d", i))}
-			ships[i] = newShipment(attrKeys)
 		}
-		laneRows := make([]int64, k)
+		var chans []*xferChannel
+		if streaming {
+			chans = make([]*xferChannel, k)
+			laneAccs = make([]*groupAcc, k)
+			laneCons = make([]*cpuAggConsumer, k)
+			for i := range chans {
+				chans[i] = &xferChannel{}
+				laneAccs[i] = newGroupAcc(q.Aggs)
+				laneCons[i] = newCPUAggConsumer(q, fact, laneAccs[i])
+			}
+		} else {
+			for i := range sweeps {
+				ships[i] = NewBatch(0, attrKeys)
+			}
+		}
 		errs := make([]error, k)
 		var wg sync.WaitGroup
 		for i := range sweeps {
@@ -342,6 +415,27 @@ func (x *Placed) runCAPEFactCPUAgg(ctx context.Context, pp *plan.PlacedPlan, db 
 				defer wg.Done()
 				s := sweeps[ti]
 				defer s.span.End()
+				if streaming {
+					src := &capeFactSource{s: s, p: p, db: db, dims: dims,
+						attrKeys: attrKeys, shipCols: shipCols, camCapable: camCapable,
+						factRows: factRows, maxvl: maxvl, next: ti, stride: k, ch: chans[ti]}
+					for {
+						b, err := src.Next(ctx)
+						if err != nil {
+							errs[ti] = err
+							return
+						}
+						if b == nil {
+							break
+						}
+						if err := laneCons[ti].consume(ctx, b); err != nil {
+							errs[ti] = err
+							return
+						}
+					}
+					laneRows[ti] = src.rowsIn
+					return
+				}
 				for pi := ti; pi < parts; pi += k {
 					base := pi * maxvl
 					vl := factRows - base
@@ -385,6 +479,18 @@ func (x *Placed) runCAPEFactCPUAgg(ctx context.Context, pp *plan.PlacedPlan, db 
 				bk.perJoin[d] += cy
 			}
 		}
+		if streaming {
+			// The run-level credit is bounded by the critical lane: the tiles
+			// already overlap each other, so only the transfer cycles that
+			// shorten the critical path count.
+			credits := make([]int64, k)
+			for i, ch := range chans {
+				credits[i] = ch.credit
+				stream.Batches += ch.batches
+				stream.PeakBatchBytes += ch.peakBytes
+			}
+			stream.OverlapCycles = overlapElapsedCredit(tileCycles, credits)
+		}
 	}
 	sweep.SetInt("cycles", eng.TotalCycles()-sweepStart)
 	sweep.SetInt("tiles", int64(k))
@@ -398,10 +504,24 @@ func (x *Placed) runCAPEFactCPUAgg(ctx context.Context, pp *plan.PlacedPlan, db 
 	}
 	spa := x.parent.Child("aggregate")
 	a0 := cpu.Cycles()
-	acc := newGroupAcc(q.Aggs)
-	matched, err := cpuAggregateShipments(ctx, cpu, q, fact, ships, acc, shipCols)
-	if err != nil {
-		return nil, err
+	var matched int64
+	if streaming {
+		// Batches were folded as they streamed (per-lane accumulators when
+		// fanned out, merged here in fixed lane order); the deferred bulk
+		// charge prices the identical totals the materializing path would,
+		// so CPU cycles match it exactly.
+		for i, la := range laneAccs {
+			acc.merge(la)
+			cons.matched += laneCons[i].matched
+		}
+		matched = cons.matched
+		cons.charge(cpu, shipCols, acc, matched)
+	} else {
+		var err error
+		matched, err = cpuAggregateShipments(ctx, cpu, q, fact, ships, acc, shipCols)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if len(q.GroupBy) == 0 && len(acc.order) == 0 {
 		acc.add(nil, make([]int64, len(q.Aggs)), 0)
@@ -414,14 +534,68 @@ func (x *Placed) runCAPEFactCPUAgg(ctx context.Context, pp *plan.PlacedPlan, db 
 	spa.End()
 
 	res := acc.result(q)
-	x.publish(bk, eng.TotalCycles()-capeStart, cpu.Cycles()-cpuStart)
+	x.publish(bk, eng.TotalCycles()-capeStart, cpu.Cycles()-cpuStart, stream)
 	return res, nil
 }
 
+// capeFactSource is the CAPE-side batch producer for one lane of a streaming
+// mixed run: each Next runs the fused Scan+Filter+JoinProbe kernels over the
+// lane's next MAXVL partition, exports the survivors as a batch, and records
+// the (compute, transfer) split into the lane's double-buffered channel.
+type capeFactSource struct {
+	s          *tileSweep
+	p          *plan.Physical
+	db         *storage.Database
+	dims       []dimSide
+	attrKeys   []string
+	shipCols   int
+	camCapable bool
+
+	factRows int
+	maxvl    int
+	next     int // partition index of the next batch
+	stride   int // partition stride between this lane's batches
+
+	ch     *xferChannel
+	rowsIn int64
+}
+
+func (src *capeFactSource) Next(ctx context.Context) (*Batch, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	base := src.next * src.maxvl
+	if src.maxvl <= 0 || base >= src.factRows {
+		return nil, nil
+	}
+	vl := src.factRows - base
+	if vl > src.maxvl {
+		vl = src.maxvl
+	}
+	s := src.s
+	c0 := s.eng.TotalCycles()
+	rowMask, _, attrRegs, _, err := s.runFilterJoins(ctx, src.p, src.db, src.dims, base, vl)
+	if err != nil {
+		return nil, err
+	}
+	compute := s.eng.TotalCycles() - c0
+	b := NewBatch(base, src.attrKeys)
+	e0 := s.eng.TotalCycles()
+	exportSurvivors(s.eng, b, rowMask, base, src.attrKeys, attrRegs, src.shipCols)
+	xfer := s.eng.TotalCycles() - e0
+	if src.camCapable {
+		s.eng.SetLayout(cape.CAMMode)
+	}
+	src.ch.record(compute, xfer, b.ShipBytes(src.shipCols))
+	src.rowsIn += int64(vl)
+	src.next += src.stride
+	return b, nil
+}
+
 // exportSurvivors gathers one partition's surviving rows into the lane's
-// shipment and bills the CAPE side of the crossing: a CP gather loop over
-// the survivors plus the streamed tuple bytes.
-func exportSurvivors(eng *cape.Engine, ship *shipment, rowMask *bitvec.Vector, base int,
+// batch and bills the CAPE side of the crossing: a CP gather loop over the
+// survivors plus the streamed tuple bytes.
+func exportSurvivors(eng *cape.Engine, b *Batch, rowMask *bitvec.Vector, base int,
 	attrKeys []string, attrRegs map[string]cape.VReg, shipCols int) {
 
 	attrData := make([][]uint32, len(attrKeys))
@@ -434,9 +608,9 @@ func exportSurvivors(eng *cape.Engine, ship *shipment, rowMask *bitvec.Vector, b
 	}
 	var n int64
 	for i := rowMask.First(); i != -1; i = rowMask.NextAfter(i) {
-		ship.rows = append(ship.rows, base+i)
+		b.Rows = append(b.Rows, base+i)
 		for ai, key := range attrKeys {
-			ship.attrs[key] = append(ship.attrs[key], attrData[ai][i])
+			b.Attrs[key] = append(b.Attrs[key], attrData[ai][i])
 		}
 		n++
 	}
@@ -444,103 +618,141 @@ func exportSurvivors(eng *cape.Engine, ship *shipment, rowMask *bitvec.Vector, b
 	eng.ChargeStreamWrite(4 * n * int64(shipCols))
 }
 
-// cpuAggregateShipments folds every lane's survivor tuples into acc with
-// the CPU's exact aggregation semantics, then pays the hash-aggregation
-// charge model over the tuple bytes plus the fact-column fields each row
-// gathers.
-func cpuAggregateShipments(ctx context.Context, cpu *baseline.CPU, q *plan.Query,
-	fact *storage.Table, ships []*shipment, acc *groupAcc, shipCols int) (int64, error) {
+// cpuAggConsumer folds shipped survivor tuples into a groupAcc with the
+// CPU's exact aggregation semantics. Consumption is pure bookkeeping — the
+// hash-aggregation charge model is paid once, in bulk, by charge, from
+// totals that are identical whether the tuples arrived as whole-lane
+// shipments or as a stream of batches. That split is what keeps streaming
+// CPU cycles bit-identical to materializing.
+type cpuAggConsumer struct {
+	q    *plan.Query
+	fact *storage.Table
+	acc  *groupAcc
 
-	valueOf := make([]func(row int) int64, len(q.Aggs))
-	type distinctSlot struct {
-		slot int
-		col  []uint32
-	}
-	var distinctSlots []distinctSlot
-	aggCols := 0
+	valueOf       []func(row int) int64
+	distinctSlots []distinctSlot
+	keySrc        []func(b *Batch, si, row int) uint32
+	aggCols       int
+	factGroupCols int
+
+	keys    []uint32
+	aggs    []int64
+	matched int64
+}
+
+type distinctSlot struct {
+	slot int
+	col  []uint32
+}
+
+func newCPUAggConsumer(q *plan.Query, fact *storage.Table, acc *groupAcc) *cpuAggConsumer {
+	cc := &cpuAggConsumer{q: q, fact: fact, acc: acc,
+		keys: make([]uint32, len(q.GroupBy)), aggs: make([]int64, len(q.Aggs))}
+	cc.valueOf = make([]func(row int) int64, len(q.Aggs))
 	for ai, a := range q.Aggs {
-		aggCols++
+		cc.aggCols++
 		switch a.Kind {
 		case plan.AggSumCol, plan.AggMin, plan.AggMax, plan.AggAvg:
 			col := fact.MustColumn(a.A).Data
-			valueOf[ai] = func(r int) int64 { return int64(col[r]) }
+			cc.valueOf[ai] = func(r int) int64 { return int64(col[r]) }
 		case plan.AggSumMul:
 			ca, cb := fact.MustColumn(a.A).Data, fact.MustColumn(a.B).Data
-			valueOf[ai] = func(r int) int64 { return int64(ca[r]) * int64(cb[r]) }
-			aggCols++
+			cc.valueOf[ai] = func(r int) int64 { return int64(ca[r]) * int64(cb[r]) }
+			cc.aggCols++
 		case plan.AggSumSub:
 			ca, cb := fact.MustColumn(a.A).Data, fact.MustColumn(a.B).Data
-			valueOf[ai] = func(r int) int64 { return int64(ca[r]) - int64(cb[r]) }
-			aggCols++
+			cc.valueOf[ai] = func(r int) int64 { return int64(ca[r]) - int64(cb[r]) }
+			cc.aggCols++
 		case plan.AggCount:
-			valueOf[ai] = func(r int) int64 { return 1 }
+			cc.valueOf[ai] = func(r int) int64 { return 1 }
 		case plan.AggCountDistinct:
 			col := fact.MustColumn(a.A).Data
-			valueOf[ai] = func(r int) int64 { return 0 }
-			distinctSlots = append(distinctSlots, distinctSlot{slot: ai, col: col})
+			cc.valueOf[ai] = func(r int) int64 { return 0 }
+			cc.distinctSlots = append(cc.distinctSlots, distinctSlot{slot: ai, col: col})
 		}
 	}
-	factGroupCols := 0
-	keySrc := make([]func(s *shipment, si, row int) uint32, len(q.GroupBy))
+	cc.keySrc = make([]func(b *Batch, si, row int) uint32, len(q.GroupBy))
 	for gi, g := range q.GroupBy {
 		if g.Table == q.Fact {
 			col := fact.MustColumn(g.Column).Data
-			keySrc[gi] = func(_ *shipment, _ int, r int) uint32 { return col[r] }
-			factGroupCols++
+			cc.keySrc[gi] = func(_ *Batch, _ int, r int) uint32 { return col[r] }
+			cc.factGroupCols++
 			continue
 		}
 		key := g.Table + "." + g.Column
-		keySrc[gi] = func(s *shipment, si int, _ int) uint32 { return s.attrs[key][si] }
+		cc.keySrc[gi] = func(b *Batch, si int, _ int) uint32 { return b.Attrs[key][si] }
 	}
+	return cc
+}
 
-	keys := make([]uint32, len(q.GroupBy))
-	aggs := make([]int64, len(q.Aggs))
-	var matched int64
-	for _, ship := range ships {
-		for si, row := range ship.rows {
-			if matched%cancelCheckRows == 0 {
-				if err := ctx.Err(); err != nil {
-					return 0, err
-				}
+// consume folds one batch into the accumulator, checkpointing ctx every
+// cancelCheckRows matched rows.
+func (cc *cpuAggConsumer) consume(ctx context.Context, b *Batch) error {
+	for si, row := range b.Rows {
+		if cc.matched%cancelCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
 			}
-			for gi := range keySrc {
-				keys[gi] = keySrc[gi](ship, si, row)
-			}
-			for ai := range valueOf {
-				aggs[ai] = valueOf[ai](row)
-			}
-			acc.add(keys, aggs, 1)
-			for _, d := range distinctSlots {
-				acc.addDistinct(keys, d.slot, []uint32{d.col[row]})
-			}
-			matched++
 		}
+		for gi := range cc.keySrc {
+			cc.keys[gi] = cc.keySrc[gi](b, si, row)
+		}
+		for ai := range cc.valueOf {
+			cc.aggs[ai] = cc.valueOf[ai](row)
+		}
+		cc.acc.add(cc.keys, cc.aggs, 1)
+		for _, d := range cc.distinctSlots {
+			cc.acc.addDistinct(cc.keys, d.slot, []uint32{d.col[row]})
+		}
+		cc.matched++
 	}
+	return nil
+}
 
-	// Charge model: the shipped tuples stream in, each row gathers its fact
-	// fields and pays the hash-aggregation constants (cpuSweep.runAggregate
-	// with the full-column stream replaced by the tuple + gathered fields).
-	touchedBytes := matched * 4 * int64(shipCols+aggCols+factGroupCols)
+// charge pays the bulk hash-aggregation charge model: the shipped tuples
+// stream in, each row gathers its fact fields and pays the hash-aggregation
+// constants (cpuSweep.runAggregate with the full-column stream replaced by
+// the tuple + gathered fields). acc and matched are passed explicitly so a
+// fanned-out run can charge once over its merged accumulator.
+func (cc *cpuAggConsumer) charge(cpu *baseline.CPU, shipCols int, acc *groupAcc, matched int64) {
+	touchedBytes := matched * 4 * int64(shipCols+cc.aggCols+cc.factGroupCols)
 	k := cpu.Config().Kernels
-	if len(q.GroupBy) == 0 {
+	if len(cc.q.GroupBy) == 0 {
 		cpu.ChargeStream(float64(matched)*0.4, touchedBytes)
 	} else {
 		cpu.ChargeStream(float64(matched)*(k.HashCyclesPerKey+k.AggUpdateCyclesPerRow), touchedBytes)
 		cpu.ChargeRandomAccesses(matched, int64(len(acc.order))*32)
 	}
-	if len(distinctSlots) > 0 {
+	if len(cc.distinctSlots) > 0 {
 		var setEntries int64
 		for _, r := range acc.rows {
 			for _, set := range r.sets {
 				setEntries += int64(len(set))
 			}
 		}
-		for range distinctSlots {
+		for range cc.distinctSlots {
 			cpu.ChargeCompute(float64(matched) * k.HashCyclesPerKey)
 			cpu.ChargeRandomAccesses(matched, setEntries*16)
 		}
 	}
-	return matched, nil
+}
+
+// cpuAggregateShipments is the materializing tail: every lane's survivor
+// tuples fold into acc in fixed lane order, then the bulk charge is paid.
+func cpuAggregateShipments(ctx context.Context, cpu *baseline.CPU, q *plan.Query,
+	fact *storage.Table, ships []*Batch, acc *groupAcc, shipCols int) (int64, error) {
+
+	cons := newCPUAggConsumer(q, fact, acc)
+	for _, ship := range ships {
+		if ship == nil {
+			continue
+		}
+		if err := cons.consume(ctx, ship); err != nil {
+			return 0, err
+		}
+	}
+	cons.charge(cpu, shipCols, acc, cons.matched)
+	return cons.matched, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -615,42 +827,80 @@ func (x *Placed) runCPUFactCAPEAgg(ctx context.Context, pp *plan.PlacedPlan, db 
 	}
 
 	attrKeys, shipCols := shipTailCols(q)
+	streaming := x.streaming.Load()
+	maxvl := eng.Config().MAXVL
 	sweep := x.parent.Child("fact-sweep")
 	sweepStart := cpu.Cycles()
-	ships := make([]*shipment, k)
+	ships := make([]*Batch, k)
+
+	acc := newGroupAcc(q.Aggs)
+	var stream StreamStats
+	var aggCycles int64 // CAPE consumption cycles accumulated by the streaming path
+	laneRows := make([]int64, k)
+
+	// Streaming consumes each batch into the CAPE tail the moment it lands,
+	// so the aggregation layout must be pinned before the first batch (the
+	// CPU-side producer never touches the engine between chunks), and the
+	// hash tables build once up front — probing chunk by chunk would
+	// otherwise rebuild them per batch.
+	var streamTS *tileSweep
+	if streaming {
+		a0 := eng.TotalCycles()
+		x.setAggLayout(q, camCapable)
+		aggCycles += eng.TotalCycles() - a0
+		streamTS = &tileSweep{cat: x.cat, opts: x.castle.opts, eng: eng, acc: acc}
+	}
 
 	if k == 1 {
 		s := &cpuSweep{cpu: cpu, perJoin: bk.perJoin, span: sweep}
-		sel, attrCols, err := s.runFilterJoins(ctx, q, db, joins, nil, 0, rows)
-		if err != nil {
-			return nil, err
-		}
-		x0 := cpu.Cycles()
-		ships[0] = gatherCPUSurvivors(cpu, sel, attrCols, attrKeys, 0, rows, shipCols)
-		bk.row("filter", "CPU", s.filterCycles, int64(rows))
-		for _, e := range p.Joins {
-			bk.row("join:"+e.Dim, "CPU", bk.perJoin[e.Dim], -1)
-		}
-		bk.row("xfer:aggregate", "CAPE+CPU", cpu.Cycles()-x0, int64(len(ships[0].rows)))
-	} else {
-		// Hash tables build once on the primary core, as in CPUExec.
-		tables := make([]joinTable, len(joins))
-		for ji, j := range joins {
-			if err := ctx.Err(); err != nil {
+		if streaming {
+			tables, err := x.buildShipTables(ctx, cpu, joins, bk)
+			if err != nil {
 				return nil, err
 			}
-			b0 := cpu.Cycles()
-			if len(j.edge.NeedAttrs) == 0 {
-				tables[ji].semi = cpu.BuildHashSemi(j.keys)
-			} else {
-				tables[ji].attr = make([]*baseline.HashTable, len(j.edge.NeedAttrs))
-				for ai := range j.edge.NeedAttrs {
-					tables[ji].attr[ai] = cpu.BuildHashMap(j.keys, j.vals[ai])
+			ch := &xferChannel{}
+			src := &cpuFactSource{s: s, q: q, db: db, joins: joins, tables: tables,
+				attrKeys: attrKeys, shipCols: shipCols, base: 0, end: rows, step: maxvl, ch: ch}
+			var matched int64
+			for {
+				b, err := src.Next(ctx)
+				if err != nil {
+					return nil, err
+				}
+				if b == nil {
+					break
+				}
+				if b.Len() > 0 {
+					a0 := eng.TotalCycles()
+					x.capeAggregateChunk(q, fact, b, 0, b.Len(), streamTS)
+					aggCycles += eng.TotalCycles() - a0
+					matched += int64(b.Len())
 				}
 			}
-			cy := cpu.Cycles() - b0
-			bk.row("build:"+j.edge.Dim, "CPU", cy, int64(len(j.keys)))
-			bk.perJoin[j.edge.Dim] += cy
+			stream = StreamStats{Batches: ch.batches, OverlapCycles: ch.credit, PeakBatchBytes: ch.peakBytes}
+			bk.row("filter", "CPU", s.filterCycles, int64(rows))
+			for _, e := range p.Joins {
+				bk.row("join:"+e.Dim, "CPU", bk.perJoin[e.Dim], -1)
+			}
+			bk.row("xfer:aggregate", "CAPE+CPU", ch.xferCycles, matched)
+		} else {
+			sel, attrCols, err := s.runFilterJoins(ctx, q, db, joins, nil, 0, rows)
+			if err != nil {
+				return nil, err
+			}
+			x0 := cpu.Cycles()
+			ships[0] = gatherCPUSurvivors(cpu, sel, attrCols, attrKeys, 0, rows, shipCols)
+			bk.row("filter", "CPU", s.filterCycles, int64(rows))
+			for _, e := range p.Joins {
+				bk.row("join:"+e.Dim, "CPU", bk.perJoin[e.Dim], -1)
+			}
+			bk.row("xfer:aggregate", "CAPE+CPU", cpu.Cycles()-x0, int64(len(ships[0].Rows)))
+		}
+	} else {
+		// Hash tables build once on the primary core, as in CPUExec.
+		tables, err := x.buildShipTables(ctx, cpu, joins, bk)
+		if err != nil {
+			return nil, err
 		}
 
 		cores := cpu.Fork(k)
@@ -663,7 +913,19 @@ func (x *Placed) runCPUFactCAPEAgg(ctx context.Context, pp *plan.PlacedPlan, db 
 				perJoin: make(map[string]int64, len(joins)),
 				span:    sweep.Child(fmt.Sprintf("core%d", i))}
 		}
-		laneRows := make([]int64, k)
+		var chans []*xferChannel
+		var laneAccs []*groupAcc
+		var laneAgg []int64
+		var engMu sync.Mutex
+		if streaming {
+			chans = make([]*xferChannel, k)
+			laneAccs = make([]*groupAcc, k)
+			laneAgg = make([]int64, k)
+			for i := range chans {
+				chans[i] = &xferChannel{}
+				laneAccs[i] = newGroupAcc(q.Aggs)
+			}
+		}
 		errs := make([]error, k)
 		var wg sync.WaitGroup
 		for i := range sweeps {
@@ -673,6 +935,34 @@ func (x *Placed) runCPUFactCAPEAgg(ctx context.Context, pp *plan.PlacedPlan, db 
 				defer wg.Done()
 				s := sweeps[ti]
 				defer s.span.End()
+				if streaming {
+					// The tail's engine is shared: lanes serialize chunk
+					// consumption under a mutex into per-lane accumulators
+					// (merged in lane order below), so the engine's additive
+					// charges and the results stay deterministic.
+					lts := &tileSweep{cat: x.cat, opts: x.castle.opts, eng: eng, acc: laneAccs[ti]}
+					src := &cpuFactSource{s: s, q: q, db: db, joins: joins, tables: tables,
+						attrKeys: attrKeys, shipCols: shipCols, base: base, end: end, step: maxvl, ch: chans[ti]}
+					for {
+						b, err := src.Next(ctx)
+						if err != nil {
+							errs[ti] = err
+							return
+						}
+						if b == nil {
+							break
+						}
+						if b.Len() > 0 {
+							engMu.Lock()
+							a0 := eng.TotalCycles()
+							x.capeAggregateChunk(q, fact, b, 0, b.Len(), lts)
+							laneAgg[ti] += eng.TotalCycles() - a0
+							engMu.Unlock()
+						}
+					}
+					laneRows[ti] = src.rowsIn
+					return
+				}
 				sel, attrCols, err := s.runFilterJoins(ctx, q, db, joins, tables, base, end)
 				if err != nil {
 					errs[ti] = err
@@ -690,8 +980,10 @@ func (x *Placed) runCPUFactCAPEAgg(ctx context.Context, pp *plan.PlacedPlan, db 
 		}
 		var maxRaw float64
 		var sum, max int64
+		laneCycles := make([]int64, k)
 		for i, s := range sweeps {
 			cy := s.cpu.Cycles()
+			laneCycles[i] = cy
 			bk.row(fmt.Sprintf("sweep[%d]", i), "CPU", cy, laneRows[i])
 			sum += cy
 			if cy > max {
@@ -709,6 +1001,23 @@ func (x *Placed) runCPUFactCAPEAgg(ctx context.Context, pp *plan.PlacedPlan, db 
 		for _, core := range cores {
 			cpu.AbsorbTraffic(core)
 		}
+		if streaming {
+			credits := make([]int64, k)
+			for i, ch := range chans {
+				credits[i] = ch.credit
+				stream.Batches += ch.batches
+				stream.PeakBatchBytes += ch.peakBytes
+			}
+			stream.OverlapCycles = overlapElapsedCredit(laneCycles, credits)
+			// Merge the per-lane accumulators in fixed lane order — the same
+			// consumption order the materializing tail uses.
+			for _, la := range laneAccs {
+				acc.merge(la)
+			}
+			for _, cy := range laneAgg {
+				aggCycles += cy
+			}
+		}
 	}
 	sweep.SetInt("cycles", cpu.Cycles()-sweepStart)
 	sweep.SetInt("cores", int64(k))
@@ -716,45 +1025,119 @@ func (x *Placed) runCPUFactCAPEAgg(ctx context.Context, pp *plan.PlacedPlan, db 
 
 	// --- Aggregation tail on the CAPE primary engine: shipped tuples load
 	// into the CSB in MAXVL chunks (the loads' stream reads bill the
-	// transfer's read side) and Algorithm 2 runs over each chunk.
+	// transfer's read side) and Algorithm 2 runs over each chunk. The
+	// streaming path already consumed every batch above; only the close-out
+	// remains.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	spa := x.parent.Child("aggregate")
-	a0 := eng.TotalCycles()
-	acc := newGroupAcc(q.Aggs)
-	if err := x.capeAggregateShipments(ctx, q, fact, ships, acc, camCapable); err != nil {
-		return nil, err
+	if !streaming {
+		a0 := eng.TotalCycles()
+		if err := x.capeAggregateShipments(ctx, q, fact, ships, acc, camCapable); err != nil {
+			return nil, err
+		}
+		aggCycles = eng.TotalCycles() - a0
 	}
 	if len(q.GroupBy) == 0 && len(acc.order) == 0 {
 		acc.add(nil, make([]int64, len(q.Aggs)), 0)
 	}
-	aggCycles := eng.TotalCycles() - a0
 	bk.row("aggregate", "CAPE", aggCycles, int64(len(acc.order)))
 	spa.SetInt("cycles", aggCycles)
 	spa.SetInt("groups", int64(len(acc.order)))
 	spa.End()
 
 	res := acc.result(q)
-	x.publish(bk, eng.TotalCycles()-capeStart, cpu.Cycles()-cpuStart)
+	x.publish(bk, eng.TotalCycles()-capeStart, cpu.Cycles()-cpuStart, stream)
 	return res, nil
 }
 
+// buildShipTables builds the probe-side hash tables once on the primary
+// core, emitting a "build:" row per dimension. Probe cycles accumulate
+// separately (per-lane perJoin), so build rows never double-count.
+func (x *Placed) buildShipTables(ctx context.Context, cpu *baseline.CPU, joins []dimJoin,
+	bk *placedBreakdown) ([]joinTable, error) {
+
+	tables := make([]joinTable, len(joins))
+	for ji, j := range joins {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		b0 := cpu.Cycles()
+		if len(j.edge.NeedAttrs) == 0 {
+			tables[ji].semi = cpu.BuildHashSemi(j.keys)
+		} else {
+			tables[ji].attr = make([]*baseline.HashTable, len(j.edge.NeedAttrs))
+			for ai := range j.edge.NeedAttrs {
+				tables[ji].attr[ai] = cpu.BuildHashMap(j.keys, j.vals[ai])
+			}
+		}
+		bk.row("build:"+j.edge.Dim, "CPU", cpu.Cycles()-b0, int64(len(j.keys)))
+	}
+	return tables, nil
+}
+
+// cpuFactSource is the CPU-side batch producer for one lane of a streaming
+// mixed run: each Next runs the filter+probe pass over the lane's next
+// MAXVL-row chunk, gathers the survivors as a batch, and records the
+// (compute, transfer) split into the lane's double-buffered channel.
+type cpuFactSource struct {
+	s        *cpuSweep
+	q        *plan.Query
+	db       *storage.Database
+	joins    []dimJoin
+	tables   []joinTable
+	attrKeys []string
+	shipCols int
+
+	base, end, step int
+
+	ch     *xferChannel
+	rowsIn int64
+}
+
+func (src *cpuFactSource) Next(ctx context.Context) (*Batch, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if src.step <= 0 || src.base >= src.end {
+		return nil, nil
+	}
+	lo, hi := src.base, src.base+src.step
+	if hi > src.end {
+		hi = src.end
+	}
+	core := src.s.cpu
+	c0 := core.Cycles()
+	sel, attrCols, err := src.s.runFilterJoins(ctx, src.q, src.db, src.joins, src.tables, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	compute := core.Cycles() - c0
+	x0 := core.Cycles()
+	b := gatherCPUSurvivors(core, sel, attrCols, src.attrKeys, lo, hi, src.shipCols)
+	xfer := core.Cycles() - x0
+	src.ch.record(compute, xfer, b.ShipBytes(src.shipCols))
+	src.rowsIn += int64(hi - lo)
+	src.base = hi
+	return b, nil
+}
+
 // gatherCPUSurvivors collects a lane's surviving rows (and the tail's
-// dimension attributes) into a shipment and bills the CPU side of the
+// dimension attributes) into a batch and bills the CPU side of the
 // crossing: a gather loop plus the streamed tuple bytes.
 func gatherCPUSurvivors(cpu *baseline.CPU, sel *bitvec.Vector, attrCols map[string][]uint32,
-	attrKeys []string, base, end, shipCols int) *shipment {
+	attrKeys []string, base, end, shipCols int) *Batch {
 
-	ship := newShipment(attrKeys)
+	b := NewBatch(base, attrKeys)
 	collect := func(i int) { // i is range-local
-		ship.rows = append(ship.rows, base+i)
+		b.Rows = append(b.Rows, base+i)
 		for _, key := range attrKeys {
 			col := attrCols[key]
 			if col == nil {
 				panic("exec: shipped attribute " + key + " was not materialized by any join")
 			}
-			ship.attrs[key] = append(ship.attrs[key], col[i])
+			b.Attrs[key] = append(b.Attrs[key], col[i])
 		}
 	}
 	if sel == nil {
@@ -766,21 +1149,15 @@ func gatherCPUSurvivors(cpu *baseline.CPU, sel *bitvec.Vector, attrCols map[stri
 			collect(i)
 		}
 	}
-	n := len(ship.rows)
+	n := len(b.Rows)
 	cpu.ChargeStreamWrite(float64(2*n), int64(4*n*shipCols))
-	return ship
+	return b
 }
 
-// capeAggregateShipments runs the CAPE aggregation kernels over shipped
-// survivor tuples: each lane's tuples are processed in fixed order, loaded
-// into the CSB in MAXVL chunks as gathered columns, and folded with the
-// exact instruction billing of the on-device Algorithm 2 loop.
-func (x *Placed) capeAggregateShipments(ctx context.Context, q *plan.Query, fact *storage.Table,
-	ships []*shipment, acc *groupAcc, camCapable bool) error {
-
-	eng := x.castle.eng
-	maxvl := eng.Config().MAXVL
-
+// setAggLayout pins the CSB layout the CAPE aggregation tail needs:
+// GP mode when a vector-vector arithmetic aggregate must run, CAM mode
+// otherwise. Grouped vv-arithmetic is outside the supported shape.
+func (x *Placed) setAggLayout(q *plan.Query, camCapable bool) {
 	needGPArith := false
 	for _, a := range q.Aggs {
 		if a.Kind == plan.AggSumMul {
@@ -792,23 +1169,39 @@ func (x *Placed) capeAggregateShipments(ctx context.Context, q *plan.Query, fact
 	}
 	if camCapable {
 		if needGPArith {
-			eng.SetLayout(cape.GPMode)
+			x.castle.eng.SetLayout(cape.GPMode)
 		} else {
-			eng.SetLayout(cape.CAMMode)
+			x.castle.eng.SetLayout(cape.CAMMode)
 		}
 	}
+}
+
+// capeAggregateShipments runs the CAPE aggregation kernels over shipped
+// survivor tuples: each lane's tuples are processed in fixed order, loaded
+// into the CSB in MAXVL chunks as gathered columns, and folded with the
+// exact instruction billing of the on-device Algorithm 2 loop.
+func (x *Placed) capeAggregateShipments(ctx context.Context, q *plan.Query, fact *storage.Table,
+	ships []*Batch, acc *groupAcc, camCapable bool) error {
+
+	eng := x.castle.eng
+	maxvl := eng.Config().MAXVL
+
+	x.setAggLayout(q, camCapable)
 	// The charged loop helpers live on tileSweep; borrow one bound to the
 	// primary engine.
 	ts := &tileSweep{cat: x.cat, opts: x.castle.opts, eng: eng, acc: acc}
 
 	for _, ship := range ships {
-		for lo := 0; lo < len(ship.rows); lo += maxvl {
+		if ship == nil {
+			continue
+		}
+		for lo := 0; lo < len(ship.Rows); lo += maxvl {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			hi := lo + maxvl
-			if hi > len(ship.rows) {
-				hi = len(ship.rows)
+			if hi > len(ship.Rows) {
+				hi = len(ship.Rows)
 			}
 			x.capeAggregateChunk(q, fact, ship, lo, hi, ts)
 		}
@@ -821,7 +1214,7 @@ func (x *Placed) capeAggregateShipments(ctx context.Context, q *plan.Query, fact
 // vectors (loads bill the stream reads), then the scalar reductions or the
 // literal per-group Algorithm 2 loop run with on-device billing.
 func (x *Placed) capeAggregateChunk(q *plan.Query, fact *storage.Table,
-	ship *shipment, lo, hi int, ts *tileSweep) {
+	ship *Batch, lo, hi int, ts *tileSweep) {
 
 	eng := x.castle.eng
 	acc := ts.acc
@@ -832,7 +1225,7 @@ func (x *Placed) capeAggregateChunk(q *plan.Query, fact *storage.Table,
 	gatherFact := func(name string) []uint32 {
 		col := fact.MustColumn(name).Data
 		out := make([]uint32, n)
-		for i, row := range ship.rows[lo:hi] {
+		for i, row := range ship.Rows[lo:hi] {
 			out[i] = col[row]
 		}
 		return out
@@ -904,7 +1297,7 @@ func (x *Placed) capeAggregateChunk(q *plan.Query, fact *storage.Table,
 			continue
 		}
 		key := g.Table + "." + g.Column
-		data := ship.attrs[key][lo:hi]
+		data := ship.Attrs[key][lo:hi]
 		groupRegs[i] = loadGathered(key, data, g.Table, g.Column)
 	}
 	aggRegs := make([][2]cape.VReg, len(q.Aggs))

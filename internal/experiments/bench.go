@@ -21,6 +21,7 @@ import (
 	"castle/internal/cluster"
 	"castle/internal/exec"
 	"castle/internal/optimizer"
+	"castle/internal/plan"
 	"castle/internal/server"
 )
 
@@ -32,12 +33,13 @@ const BenchScalingMAXVL = 8192
 
 // BenchReport is the schema of the benchmark JSON artifact.
 type BenchReport struct {
-	SF             float64        `json:"sf"`
-	GeomeanSpeedup float64        `json:"geomean_speedup"` // full system vs AVX-512 baseline
-	Queries        []BenchQuery   `json:"queries"`
-	Scaling        []ScalingPoint `json:"scaling"` // K=1..4 per device
-	Cluster        []ClusterPoint `json:"cluster"` // N=1..4 scale-out
-	Server         ServerBench    `json:"server"`
+	SF             float64          `json:"sf"`
+	GeomeanSpeedup float64          `json:"geomean_speedup"` // full system vs AVX-512 baseline
+	Queries        []BenchQuery     `json:"queries"`
+	Scaling        []ScalingPoint   `json:"scaling"`   // K=1..4 per device
+	Cluster        []ClusterPoint   `json:"cluster"`   // N=1..4 scale-out
+	Streaming      []StreamingPoint `json:"streaming"` // streaming vs materializing, mixed placement
+	Server         ServerBench      `json:"server"`
 }
 
 // BenchQuery is one SSB query's cycle accounting.
@@ -76,6 +78,24 @@ type ClusterPoint struct {
 	ShuffleBytes int64 `json:"shuffle_bytes_total"`
 }
 
+// StreamingPoint is one (query, K) cell of the streaming-vs-materializing
+// comparison: the same forced mixed placement (fact stage on CAPE,
+// aggregation tail on the CPU) run both ways. StreamedCycles subtracts the
+// double-buffered overlap credit, so the delta is the transfer time the
+// pipeline hid under compute; PeakBatchBytes shows the O(K·MAXVL)
+// intermediate footprint.
+type StreamingPoint struct {
+	Num                int     `json:"num"`
+	Flight             string  `json:"flight"`
+	K                  int     `json:"k"`
+	MaterializedCycles int64   `json:"materialized_cycles"`
+	StreamedCycles     int64   `json:"streamed_cycles"`
+	OverlapCycles      int64   `json:"overlap_cycles"`
+	Batches            int64   `json:"batches"`
+	PeakBatchBytes     int64   `json:"peak_batch_bytes"`
+	Speedup            float64 `json:"speedup"` // materialized / streamed
+}
+
 // ServerBench is the serving-layer load result. Beyond the end-to-end
 // latency distribution it reports server-side attribution: mean
 // microseconds per request spent in each lifecycle phase
@@ -112,8 +132,62 @@ func RunBench(sf float64) *BenchReport {
 	rep.Scaling = append(rep.Scaling, r.ScalingCurve("cape", ks)...)
 	rep.Scaling = append(rep.Scaling, r.ScalingCurve("cpu", ks)...)
 	rep.Cluster = r.ClusterCurve("hash", []int{1, 2, 3, 4})
+	rep.Streaming = r.StreamingCurve([]int{1, 2})
 	rep.Server = RunServerBench(sf, 8, 104)
 	return rep
+}
+
+// StreamingCurve runs all 13 queries through the forced mixed placement
+// (fact stage on CAPE at BenchScalingMAXVL, aggregation tail on the CPU)
+// both materializing and streaming at each fan-out K. The placement is
+// forced rather than optimized so every cell actually crosses the device
+// boundary — the crossing is what double buffering accelerates.
+func (r *Runner) StreamingCurve(ks []int) []StreamingPoint {
+	maxvl := BenchScalingMAXVL
+	cfg := TierABA.config(maxvl)
+	var out []StreamingPoint
+	for _, k := range ks {
+		for num := 1; num <= 13; num++ {
+			q := r.bind(querySQL(num))
+			p, err := optimizer.Optimize(q, r.Cat, maxvl)
+			if err != nil {
+				panic(err)
+			}
+			dimDev := make(map[string]plan.Device, len(p.Joins))
+			for _, e := range p.Joins {
+				dimDev[e.Dim] = plan.DeviceCAPE
+			}
+			pp := plan.Compile(p, plan.DeviceCAPE).Place(plan.DeviceCAPE, plan.DeviceCPU, dimDev)
+			run := func(streaming bool) (int64, exec.StreamStats) {
+				castle := exec.NewCastle(cape.New(cfg), r.Cat, exec.DefaultCastleOptions())
+				cpuex := exec.NewCPUExec(baseline.New(baseline.DefaultConfig()))
+				x := exec.NewPlaced(castle, cpuex, r.Cat)
+				x.SetParallelism(k)
+				x.SetStreaming(streaming)
+				if _, err := x.Run(pp, r.DB); err != nil {
+					panic(fmt.Sprintf("experiments: streaming bench Q%d k=%d: %v", num, k, err))
+				}
+				return x.Breakdown().TotalCycles, x.StreamStats()
+			}
+			mat, _ := run(false)
+			str, st := run(true)
+			sp := StreamingPoint{
+				Num:                num,
+				Flight:             queryMeta(num).Flight,
+				K:                  k,
+				MaterializedCycles: mat,
+				StreamedCycles:     str,
+				OverlapCycles:      st.OverlapCycles,
+				Batches:            st.Batches,
+				PeakBatchBytes:     st.PeakBatchBytes,
+			}
+			if str > 0 {
+				sp.Speedup = float64(mat) / float64(str)
+			}
+			out = append(out, sp)
+		}
+	}
+	return out
 }
 
 // ClusterCurve measures scatter-gather scale-out: all 13 queries through a

@@ -46,6 +46,15 @@ type CostModel struct {
 	// XferBytesPerCycle prices the payload.
 	XferFixedCycles   float64
 	XferBytesPerCycle float64
+	// Streaming prices the pre-aggregation crossing with the double-buffered
+	// overlap formula instead of the raw wire cycles: with B fact batches,
+	// only the drain edge (1/B of the payload) plus whatever transfer
+	// exceeds the producer's compute stays on the critical path —
+	// xfer = fixed + P - min(P, C_fact)·(B-1)/B, where P is the raw payload
+	// cycles and C_fact the fact stage's compute estimate. Matches
+	// exec.Placed's xfer-overlap credit, so EXPLAIN ANALYZE's est/act
+	// divergence for "xfer" rows stays meaningful under streaming.
+	Streaming bool
 }
 
 // DefaultCostModel returns the calibration used by the facade.
@@ -324,12 +333,35 @@ func (c *placeCtx) xferCost(bytes float64) float64 {
 	return c.m.XferFixedCycles + bytes/c.m.XferBytesPerCycle
 }
 
+// xferAggCost prices the pre-aggregation crossing. Materializing pays the
+// full wire cost. Streaming double-buffers: each of the B fact batches
+// ships ~1/B of the payload, and every interior batch's transfer hides
+// under the next batch's fact-stage compute — only the drain edge plus the
+// un-hidden excess stays on the critical path:
+//
+//	xfer = fixed + P - min(P, C_fact)·(B-1)/B
+//
+// where P is the raw payload cycles and C_fact the fact stage's compute
+// estimate (scan + filter + probes).
+func (c *placeCtx) xferAggCost(bytes, factCompute float64) float64 {
+	raw := bytes / c.m.XferBytesPerCycle
+	if !c.m.Streaming || c.factParts <= 1 {
+		return c.m.XferFixedCycles + raw
+	}
+	hidden := raw
+	if factCompute < hidden {
+		hidden = factCompute
+	}
+	return c.m.XferFixedCycles + raw - hidden*(c.factParts-1)/c.factParts
+}
+
 // annotate fills the devices and per-operator cost annotations of a
 // compiled pipeline for one candidate placement and returns its total cost.
 func (c *placeCtx) annotate(pp *plan.PlacedPlan, factDev, aggDev plan.Device, dimDev map[string]plan.Device) int64 {
 	q := c.p.Query
 	pp.Place(factDev, aggDev, dimDev)
 	ji := 0
+	var factEst float64 // fact-stage compute, accumulated in op order
 	for i := range pp.Ops {
 		op := &pp.Ops[i]
 		op.EstCycles, op.EstRows, op.XferCycles = 0, 0, 0
@@ -345,20 +377,23 @@ func (c *placeCtx) annotate(pp *plan.PlacedPlan, factDev, aggDev plan.Device, di
 		case plan.OpScan:
 			op.EstRows = int64(c.factRows)
 			op.EstCycles = int64(math.Round(c.scanCost(op.Device)))
+			factEst += float64(op.EstCycles)
 		case plan.OpFilter:
 			op.EstRows = int64(math.Round(c.factRows * c.est.ConjunctionSelectivity(q.FactPreds)))
 			op.EstCycles = int64(math.Round(c.filterCost(op.Device)))
+			factEst += float64(op.EstCycles)
 		case plan.OpJoinProbe:
 			e := c.p.Joins[ji]
 			op.EstRows = int64(math.Round(c.edgeSearches[ji]))
 			op.EstCycles = int64(math.Round(c.joinProbeCost(ji, e, op.Device)))
+			factEst += float64(op.EstCycles)
 			ji++
 		case plan.OpAggregate:
 			op.EstRows = int64(c.groups)
 			op.EstCycles = int64(math.Round(c.aggregateCost(op.Device)))
 			if op.Device != factDev {
 				bytes := 4 * c.matched * float64(c.tailCols)
-				op.XferCycles = int64(math.Round(c.xferCost(bytes)))
+				op.XferCycles = int64(math.Round(c.xferAggCost(bytes, factEst)))
 			}
 		case plan.OpMerge:
 			op.EstRows = int64(c.groups)
@@ -391,6 +426,16 @@ func hasGroupedSumMul(q *plan.Query) bool {
 // default cost model.
 func PlacePlan(p *plan.Physical, cat *stats.Catalog, maxvl int) *plan.PlacedPlan {
 	return PlacePlanWith(p, cat, maxvl, DefaultCostModel())
+}
+
+// PlacePlanStreaming places under the default cost model with the
+// double-buffered transfer term (CostModel.Streaming): interior batch
+// transfers hide under compute, so mixed placements price crossings
+// cheaper and flip sooner than the materializing search would.
+func PlacePlanStreaming(p *plan.Physical, cat *stats.Catalog, maxvl int) *plan.PlacedPlan {
+	m := DefaultCostModel()
+	m.Streaming = true
+	return PlacePlanWith(p, cat, maxvl, m)
 }
 
 // PlacePlanWith enumerates every placement the executors support — the

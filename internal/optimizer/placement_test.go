@@ -197,3 +197,60 @@ func TestGroupedSumMulForcedToCPU(t *testing.T) {
 		t.Fatalf("grouped SUM(a*b) placed its tail on %s; the CAPE kernel rejects that shape", pp.AggDevice())
 	}
 }
+
+// TestStreamingXferOverlapFormula pins the double-buffered crossing price:
+// with B fact batches and ample producer compute, only the fixed penalty
+// plus the drain edge (1/B of the payload) stays on the critical path; with
+// a single batch (or streaming off) the full wire cost is charged.
+func TestStreamingXferOverlapFormula(t *testing.T) {
+	c := &placeCtx{m: DefaultCostModel().withDefaults(), factParts: 4}
+	const bytes = 64000.0
+	raw := bytes / c.m.XferBytesPerCycle
+
+	mat := c.xferAggCost(bytes, 1e12)
+	if want := c.m.XferFixedCycles + raw; mat != want {
+		t.Fatalf("materializing xfer = %.1f, want fixed+raw = %.1f", mat, want)
+	}
+
+	c.m.Streaming = true
+	str := c.xferAggCost(bytes, 1e12)
+	if want := c.m.XferFixedCycles + raw/4; math.Abs(str-want) > 1e-6 {
+		t.Errorf("streaming xfer = %.1f, want fixed + raw/B = %.1f", str, want)
+	}
+	if str >= mat {
+		t.Errorf("streaming xfer %.1f not cheaper than materializing %.1f", str, mat)
+	}
+
+	// Compute-bound producer: only factCompute·(B-1)/B hides.
+	bound := c.xferAggCost(bytes, raw/2)
+	if want := c.m.XferFixedCycles + raw - (raw/2)*3/4; math.Abs(bound-want) > 1e-6 {
+		t.Errorf("compute-bound xfer = %.1f, want %.1f", bound, want)
+	}
+
+	// One batch: fill + drain only, nothing hides.
+	c.factParts = 1
+	if got := c.xferAggCost(bytes, 1e12); got != mat {
+		t.Errorf("single-batch streaming xfer = %.1f, want full wire cost %.1f", got, mat)
+	}
+}
+
+// TestPlacePlanStreamingNeverCostsMore checks dominance: streaming prices
+// every candidate at or below its materializing price, so the chosen
+// streaming placement's estimate can never exceed the materializing one.
+func TestPlacePlanStreamingNeverCostsMore(t *testing.T) {
+	db, cat := ssbEnv(t)
+	maxvl := 8192
+	for _, qq := range ssb.Queries() {
+		q := bindSQL(t, db, qq.SQL)
+		p, err := Optimize(q, cat, maxvl)
+		if err != nil {
+			t.Fatalf("%s: %v", qq.Flight, err)
+		}
+		mat := PlacePlan(p, cat, maxvl)
+		str := PlacePlanStreaming(p, cat, maxvl)
+		if str.EstCycles() > mat.EstCycles() {
+			t.Errorf("%s: streaming placement estimate %d exceeds materializing %d",
+				qq.Flight, str.EstCycles(), mat.EstCycles())
+		}
+	}
+}

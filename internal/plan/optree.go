@@ -57,6 +57,27 @@ const (
 	OpOrderLimit
 )
 
+// PipelineBreaker reports whether an operator must observe its entire
+// input before emitting anything: DimBuild (the hash table / values array
+// is consulted by every probe), Aggregate and Merge (a group's value is
+// unknown until the last contributing row), and OrderLimit (ordering is a
+// property of the whole relation). A streaming executor may not release a
+// breaker's output batch-by-batch; everything downstream of the fact scan
+// up to the first breaker streams.
+func (k OpKind) PipelineBreaker() bool {
+	switch k {
+	case OpDimBuild, OpAggregate, OpMerge, OpOrderLimit:
+		return true
+	}
+	return false
+}
+
+// Streams reports the complement of PipelineBreaker: the operator maps
+// each input batch to an output batch independently (Scan, Filter,
+// JoinProbe), so a streaming executor can pipeline MAXVL-sized batches
+// straight through it.
+func (k OpKind) Streams() bool { return !k.PipelineBreaker() }
+
 func (k OpKind) String() string {
 	switch k {
 	case OpDimBuild:
@@ -93,8 +114,13 @@ type PlacedOp struct {
 	EstCycles int64
 	// XferCycles is the estimated device-transfer cost paid entering this
 	// operator from a producer placed on the other device (0 when the
-	// pipeline stays put).
+	// pipeline stays put). Under a streaming cost model this is the
+	// overlapped (elapsed) transfer term, not the raw wire cycles.
 	XferCycles int64
+	// Breaker marks a pipeline breaker: the operator consumes its whole
+	// input before producing output, so a streaming executor materializes
+	// at this node. Set by Compile from the kind's PipelineBreaker rule.
+	Breaker bool
 }
 
 // PlacedPlan is a Physical plan with its operator pipeline placed onto
@@ -137,6 +163,9 @@ func Compile(p *Physical, dev Device) *PlacedPlan {
 	pp.Ops = append(pp.Ops, PlacedOp{Kind: OpMerge, Device: dev})
 	if len(q.OrderBy) > 0 || q.Limit > 0 {
 		pp.Ops = append(pp.Ops, PlacedOp{Kind: OpOrderLimit, Device: dev})
+	}
+	for i := range pp.Ops {
+		pp.Ops[i].Breaker = pp.Ops[i].Kind.PipelineBreaker()
 	}
 	return pp
 }

@@ -1,0 +1,56 @@
+package plan
+
+import "testing"
+
+// TestPipelineBreakerVocabulary pins which operators break the streaming
+// pipeline (they must see all input before emitting) and which stream
+// batch-at-a-time; Streams is the exact complement.
+func TestPipelineBreakerVocabulary(t *testing.T) {
+	breakers := map[OpKind]bool{
+		OpDimBuild:   true,
+		OpScan:       false,
+		OpFilter:     false,
+		OpJoinProbe:  false,
+		OpAggregate:  true,
+		OpMerge:      true,
+		OpOrderLimit: true,
+	}
+	for kind, want := range breakers {
+		if got := kind.PipelineBreaker(); got != want {
+			t.Errorf("%s.PipelineBreaker() = %v, want %v", kind, got, want)
+		}
+		if got := kind.Streams(); got == kind.PipelineBreaker() {
+			t.Errorf("%s.Streams() = %v must complement PipelineBreaker", kind, got)
+		}
+	}
+}
+
+// TestCompileAnnotatesBreakers checks that every compiled placed operator
+// carries its kind's breaker flag, so executors and tools read the
+// pipeline-breaker rule as data instead of re-deriving it.
+func TestCompileAnnotatesBreakers(t *testing.T) {
+	q := &Query{
+		Fact:      "lineorder",
+		FactPreds: []Predicate{{Table: "lineorder", Column: "lo_discount", Op: PredLT, Value: 3}},
+		Joins:     []JoinEdge{{Dim: "date", FactFK: "lo_orderdate", DimKey: "d_datekey"}},
+		Aggs:      []AggExpr{{Kind: AggSumCol, A: "lo_revenue"}},
+		Limit:     5,
+	}
+	p := &Physical{Query: q, Joins: q.Joins}
+	pp := Compile(p, DeviceCAPE)
+	if len(pp.Ops) == 0 {
+		t.Fatal("compile produced no operators")
+	}
+	kinds := map[OpKind]bool{}
+	for _, op := range pp.Ops {
+		kinds[op.Kind] = true
+		if op.Breaker != op.Kind.PipelineBreaker() {
+			t.Errorf("op %s: Breaker = %v, want %v", op.Kind, op.Breaker, op.Kind.PipelineBreaker())
+		}
+	}
+	for _, k := range []OpKind{OpDimBuild, OpScan, OpFilter, OpJoinProbe, OpAggregate, OpMerge, OpOrderLimit} {
+		if !kinds[k] {
+			t.Errorf("compiled pipeline missing %s", k)
+		}
+	}
+}

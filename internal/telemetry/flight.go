@@ -87,6 +87,12 @@ type FlightRecord struct {
 	Phases []FlightPhase `json:"phases"`
 	// Ops is the per-operator predicted-vs-actual table.
 	Ops []FlightOp `json:"ops,omitempty"`
+	// Batches counts the MAXVL-sized batches the streaming pipeline pulled
+	// (0 for materializing runs).
+	Batches int64 `json:"batches,omitempty"`
+	// PeakBatchBytes is the high-water mark of bytes resident in streaming
+	// batches across the run (0 for materializing runs).
+	PeakBatchBytes int64 `json:"peak_batch_bytes,omitempty"`
 }
 
 // PhaseMicros returns the duration of a named phase (0 when absent).
@@ -129,6 +135,9 @@ func (r *FlightRecord) Format() string {
 	fmt.Fprintf(&b, "  cycles=%d est=%d", r.Cycles, r.EstCycles)
 	if r.AltEstCycles > 0 {
 		fmt.Fprintf(&b, " alt_est=%d", r.AltEstCycles)
+	}
+	if r.Batches > 0 {
+		fmt.Fprintf(&b, " batches=%d peak_batch_bytes=%d", r.Batches, r.PeakBatchBytes)
 	}
 	if r.Error != "" {
 		fmt.Fprintf(&b, " error=%q", r.Error)

@@ -119,6 +119,12 @@ const (
 	// executions where perfect information would have flipped the
 	// placement decision.
 	MetricPlacementWouldFlip = "castle_placement_would_flip_total"
+	// MetricPeakBatchBytes gauges the peak bytes resident in streaming
+	// batches during the most recent streamed query (O(K·MAXVL) by design).
+	MetricPeakBatchBytes = "castle_peak_batch_bytes"
+	// MetricXferOverlapCycles counts transfer cycles hidden under compute
+	// by the double-buffered streaming pipeline (the xfer-overlap credit).
+	MetricXferOverlapCycles = "castle_xfer_overlap_cycles_total"
 )
 
 // Metric names recorded by the query service (internal/server). Histograms

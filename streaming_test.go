@@ -1,0 +1,93 @@
+package castle_test
+
+// streaming_test.go covers the facade surface of the streaming pipeline:
+// Options.Streaming must not change any answer on any device, the metrics
+// must report batch counts and peak residency, and the telemetry exports
+// (Prometheus names, flight records) must carry the new streaming fields.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	castle "castle"
+)
+
+// TestStreamingOptionBitIdentical runs SSB queries on every device with
+// streaming on and off: answers must match exactly and streamed runs must
+// report their batch accounting.
+func TestStreamingOptionBitIdentical(t *testing.T) {
+	db := castle.GenerateSSB(0.01, 7)
+	devices := []castle.Options{
+		{Device: castle.DeviceCAPE},
+		{Device: castle.DeviceCPU},
+		{Device: castle.DeviceHybrid, Placement: castle.PlacementPerOperator},
+	}
+	for _, q := range []castle.SSBQuery{castle.SSBQueries()[0], castle.SSBQueries()[3], castle.SSBQueries()[8]} {
+		for _, opt := range devices {
+			mat, _, err := db.QueryWith(q.SQL, opt)
+			if err != nil {
+				t.Fatalf("%s %s materializing: %v", q.Flight, opt.Device, err)
+			}
+			opt.Streaming = true
+			str, m, err := db.QueryWith(q.SQL, opt)
+			if err != nil {
+				t.Fatalf("%s %s streaming: %v", q.Flight, opt.Device, err)
+			}
+			if !reflect.DeepEqual(mat.Data, str.Data) {
+				t.Errorf("%s %s: streaming changed the answer\nmat: %v\nstr: %v",
+					q.Flight, opt.Device, mat.Data, str.Data)
+			}
+			if m.StreamBatches == 0 {
+				t.Errorf("%s %s: streamed run reports no batches", q.Flight, opt.Device)
+			}
+			// A mixed placement ships only survivors, so an empty answer can
+			// legitimately ship zero bytes; any non-empty answer cannot.
+			if len(str.Data) > 0 && m.PeakBatchBytes <= 0 {
+				t.Errorf("%s %s: streamed run reports no peak batch bytes", q.Flight, opt.Device)
+			}
+			if m.XferOverlapCycles < 0 {
+				t.Errorf("%s %s: negative overlap credit %d", q.Flight, opt.Device, m.XferOverlapCycles)
+			}
+		}
+	}
+}
+
+// TestStreamingTelemetryExports checks the observable tail: the Prometheus
+// rendering carries the peak-residency gauge (and the overlap counter when
+// a crossing overlapped), and the flight record reports batch accounting.
+func TestStreamingTelemetryExports(t *testing.T) {
+	db := castle.GenerateSSB(0.01, 7)
+	tel := castle.NewTelemetry()
+	q := castle.SSBQueries()[3]
+	_, m, err := db.QueryWith(q.SQL, castle.Options{
+		Device:    castle.DeviceHybrid,
+		Placement: castle.PlacementPerOperator,
+		Streaming: true,
+		Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tel.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "castle_peak_batch_bytes") {
+		t.Error("Prometheus output missing castle_peak_batch_bytes")
+	}
+	if m.XferOverlapCycles > 0 && !strings.Contains(out, "castle_xfer_overlap_cycles_total") {
+		t.Error("overlap credited but castle_xfer_overlap_cycles_total not exported")
+	}
+	rec, ok := tel.Flight().Get(m.FlightSeq)
+	if !ok {
+		t.Fatalf("flight record #%d missing", m.FlightSeq)
+	}
+	if rec.Batches != m.StreamBatches {
+		t.Errorf("flight batches = %d, metrics report %d", rec.Batches, m.StreamBatches)
+	}
+	if rec.PeakBatchBytes != m.PeakBatchBytes {
+		t.Errorf("flight peak bytes = %d, metrics report %d", rec.PeakBatchBytes, m.PeakBatchBytes)
+	}
+}
