@@ -42,6 +42,11 @@ type DB struct {
 	cat     *stats.Catalog
 	dirty   bool
 	version uint64
+	// statsEpoch counts catalog collections. Plans are priced from the
+	// histograms, so the plan cache's consistency token folds this in: a
+	// statistics refresh stales every cached placement even when the schema
+	// version alone has not moved.
+	statsEpoch uint64
 
 	plans *optimizer.PlanCache
 }
@@ -105,7 +110,9 @@ func (db *DB) Save(path string) error {
 
 // ImportCSV adds a relation from a CSV file with a header row; columns
 // whose values all parse as unsigned integers become integer columns, the
-// rest are dictionary-encoded strings.
+// rest are dictionary-encoded strings. Importing under an existing name
+// replaces that relation: the mutation stales the statistics catalog and
+// every cached plan, so the next query re-plans against the new contents.
 func (db *DB) ImportCSV(tableName, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -116,7 +123,7 @@ func (db *DB) ImportCSV(tableName, path string) error {
 	if err != nil {
 		return err
 	}
-	db.store.Add(t)
+	db.store.Put(t)
 	db.mutate()
 	return nil
 }
@@ -194,8 +201,29 @@ func (db *DB) catalog() *stats.Catalog {
 	if db.dirty || db.cat == nil {
 		db.cat = stats.Collect(db.store)
 		db.dirty = false
+		db.statsEpoch++
 	}
 	return db.cat
+}
+
+// RefreshStats recollects the statistics catalog immediately and advances
+// the stats epoch, staling every cached plan: placements are priced from
+// the histograms, so a plan prepared against old statistics may pick the
+// wrong device for the data now present.
+func (db *DB) RefreshStats() {
+	db.mu.Lock()
+	db.dirty = true
+	db.mu.Unlock()
+	db.catalog()
+}
+
+// cacheToken derives the plan cache's consistency token from the mutation
+// version and the stats epoch: a cached plan is reusable only when neither
+// the stored data nor the statistics it was priced against have changed.
+func (db *DB) cacheToken() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return optimizer.Token(db.version, db.statsEpoch)
 }
 
 // Device selects the simulated execution engine.
@@ -343,6 +371,21 @@ type Options struct {
 	// mixed placements get an "xfer-overlap" credit row in the breakdown
 	// and peak intermediate memory drops to O(K·MAXVL).
 	Streaming bool
+	// AdaptivePlacement enables the mid-query re-placement checkpoint for
+	// per-operator placed executions (DeviceHybrid + PlacementPerOperator):
+	// after the fact stage completes, the observed survivor count is
+	// compared against the planner's estimate, and past the divergence
+	// threshold the placement search re-runs for the unexecuted aggregation
+	// tail with the observed cardinality — the tail switches devices when
+	// the model flips. Results are bit-identical either way; only cycle
+	// accounting can change. Adaptive runs always materialize the fact
+	// stage's survivors (the checkpoint needs the complete count), so
+	// Streaming is ignored when this is set.
+	AdaptivePlacement bool
+	// AdaptiveThreshold overrides the checkpoint's symmetric divergence
+	// ratio (<= 0 selects the default, 2.0: the observation must be off by
+	// more than 2x in either direction to trigger a re-plan).
+	AdaptiveThreshold float64
 	// Telemetry, when non-nil, records the query lifecycle: a span tree
 	// (query → parse/bind/optimize/execute → per-operator) into its trace
 	// recorder and cycle/row counters into its metrics registry. Nil costs
@@ -368,6 +411,10 @@ type OperatorStats = telemetry.OperatorStats
 // ParallelStats describes how an execution's fact sweep fanned out: tile
 // (or core) count, per-tile work, and the elapsed-versus-work cycle views.
 type ParallelStats = exec.ParallelStats
+
+// AdaptiveStats reports what the mid-query re-placement checkpoint saw and
+// did (Options.AdaptivePlacement).
+type AdaptiveStats = exec.AdaptiveStats
 
 // Metrics reports the simulation cost of one execution.
 type Metrics struct {
@@ -401,8 +448,20 @@ type Metrics struct {
 	// the optimizer rejected (the other device for forced/uniform runs, the
 	// runner-up fact/agg assignment for per-operator placement). When
 	// Cycles exceeds it, perfect information would have flipped the
-	// placement — the would-flip counter tracks exactly that.
+	// placement — the would-flip counter tracks exactly that. Meaningful
+	// only when AltFeasible is true.
 	AltEstCycles int64
+	// AltFeasible reports whether a rejected alternative placement existed
+	// at all: a grouped SUM(a*b) tail can only run on the CPU, so such
+	// plans have no alternative and their AltEstCycles is not a runner-up
+	// estimate. The would-flip counter never fires for them.
+	AltFeasible bool
+	// Replaced reports whether the adaptive checkpoint moved the
+	// aggregation tail to a different device mid-query.
+	Replaced bool
+	// Adaptive carries the checkpoint's accounting (estimate, observation,
+	// divergence, outcome) when AdaptivePlacement ran; nil otherwise.
+	Adaptive *AdaptiveStats
 	// FlightSeq is the sequence number of the flight record this execution
 	// committed to Options.Telemetry's flight recorder (0 without
 	// telemetry).
@@ -498,7 +557,11 @@ func (db *DB) prepare(qs *telemetry.Span, sqlText string, opt Options, maxvl int
 		deviceClass, maxvl, shapeForced = "cpu", 0, false
 	}
 	key := optimizer.Fingerprint(sqlText, deviceClass, maxvl, internalShape(opt.Shape), shapeForced)
-	version := db.storeVersion()
+	// Collect statistics before deriving the token: optimization below
+	// consults the catalog anyway, and collecting first keeps the epoch
+	// stable between the Get and the Put.
+	db.catalog()
+	version := db.cacheToken()
 	if !opt.DisablePlanCache {
 		if cp, ok := db.plans.Get(key, version); ok {
 			qs.SetStr("plan_cache", "hit")
@@ -775,20 +838,46 @@ func (db *DB) queryContext(ctx context.Context, sqlText string, opt Options, sta
 func (db *DB) runPlaced(ctx context.Context, qs *telemetry.Span, phys *plan.Physical, cfg cape.Config, cat *stats.Catalog, opt Options, sqlText string, start, prepEnd time.Time) (*Rows, *Metrics, error) {
 	// Streaming prices crossings with the double-buffered overlap term, so
 	// the placement search sees the same transfer costs the executor will
-	// realize.
+	// realize. Adaptive runs materialize (the checkpoint needs the complete
+	// survivor count), so they always place with the materializing model.
 	pp := optimizer.PlacePlan(phys, cat, cfg.MAXVL)
-	if opt.Streaming {
+	if opt.Streaming && !opt.AdaptivePlacement {
 		pp = optimizer.PlacePlanStreaming(phys, cat, cfg.MAXVL)
 	}
 	tel := opt.Telemetry
 	h := exec.NewDefaultHybrid(cfg, cat)
 	h.SetParallelism(opt.Parallelism)
-	h.SetStreaming(opt.Streaming)
+	h.SetStreaming(opt.Streaming && !opt.AdaptivePlacement)
 	exec.AttachEngineTelemetry(h.Castle().Engine(), tel)
 	exec.AttachCPUTelemetry(h.CPUExec().CPU(), tel)
 	es := qs.Child("execute")
 	h.Placed().SetTelemetry(tel, es)
-	res, _, err := h.RunPlacedContext(ctx, pp, db.store)
+
+	var res *exec.Result
+	var err error
+	var ast exec.AdaptiveStats
+	adaptive := opt.AdaptivePlacement
+	if adaptive {
+		// The replan hook re-runs the tail placement search with the
+		// observed cardinality; the plan it returns carries the
+		// observed-source estimate annotations the breakdown attaches below.
+		finalPP := pp
+		aopts := exec.AdaptiveOptions{
+			EstSurvivors: pp.EstSurvivors,
+			Threshold:    opt.AdaptiveThreshold,
+			Replan: func(observed int64) plan.Device {
+				np, _ := optimizer.ReplaceTail(pp, cat, cfg.MAXVL, optimizer.DefaultCostModel(), observed)
+				finalPP = np
+				return np.AggDevice()
+			},
+		}
+		res, ast, err = h.Placed().RunAdaptiveContext(ctx, pp, db.store, aopts)
+		if err == nil && ast.Fired {
+			pp = finalPP
+		}
+	} else {
+		res, _, err = h.RunPlacedContext(ctx, pp, db.store)
+	}
 	if err != nil {
 		es.End()
 		return nil, nil, err
@@ -812,9 +901,26 @@ func (db *DB) runPlaced(ctx context.Context, qs *telemetry.Span, phys *plan.Phys
 		Breakdown:  h.Placed().Breakdown(),
 	}
 	applyStreamStats(m, stream)
+	if adaptive {
+		a := ast
+		m.Adaptive = &a
+		m.Replaced = ast.Replaced
+		if ast.Replaced && tel != nil {
+			from := plan.DeviceCAPE
+			if ast.TailDevice == plan.DeviceCAPE {
+				from = plan.DeviceCPU
+			}
+			tel.Metrics().Counter(telemetry.MetricReplacements,
+				"Aggregation tails re-placed mid-query by the adaptive checkpoint.",
+				telemetry.L("direction", from.String()+"->"+ast.TailDevice.String())).Inc()
+		}
+	}
 	es.SetInt("cycles", m.Cycles)
 	es.SetStr("device", m.DeviceUsed)
 	es.SetStr("placement", PlacementPerOperator.String())
+	if adaptive {
+		es.SetStr("adaptive", fmt.Sprintf("fired=%v replaced=%v", ast.Fired, ast.Replaced))
+	}
 	es.End()
 	shape := ""
 	if pp.FactDevice() == plan.DeviceCAPE {
@@ -837,9 +943,15 @@ func applyStreamStats(m *Metrics, st exec.StreamStats) {
 // run-level and misestimate metrics, and commit the flight record.
 func (db *DB) finishQuery(tel *Telemetry, qs *telemetry.Span, m *Metrics, shape string, pred *plan.PlacedPlan, sqlText string, opt Options, rowCount int, start, prepEnd time.Time) {
 	if pred != nil {
-		m.Breakdown.ApplyEstimates(pred.EstimateMap())
+		cells := pred.EstimateCells()
+		tc := make(map[string]telemetry.EstimateCell, len(cells))
+		for k, c := range cells {
+			tc[k] = telemetry.EstimateCell{Cycles: c.Cycles, Source: c.Source}
+		}
+		m.Breakdown.ApplyEstimateCells(tc)
 		m.EstCycles = pred.EstCycles()
 		m.AltEstCycles = pred.AltEstCycles
+		m.AltFeasible = pred.AltFeasible
 		qs.SetInt("est_cycles", m.EstCycles)
 		db.recordMisestimates(tel, m)
 	}
@@ -856,25 +968,35 @@ func (db *DB) recordMisestimates(tel *Telemetry, m *Metrics) {
 	}
 	reg := tel.Metrics()
 	for _, o := range m.Breakdown.Operators {
-		if o.EstCycles <= 0 || o.Cycles <= 0 {
+		if !o.Estimated() {
 			continue
 		}
 		// Symmetric ratio as a percentage: 100 = perfect, 200 = 2x off in
-		// either direction. Keeps under- and over-estimates on one scale.
-		div := 100 * float64(o.EstCycles) / float64(o.Cycles)
-		if o.Cycles > o.EstCycles {
-			div = 100 * float64(o.Cycles) / float64(o.EstCycles)
+		// either direction. The zero cases are guarded, not floored: both
+		// sides zero observes as exact, a one-sided zero has no finite
+		// ratio and is skipped.
+		div, ok := telemetry.DivergencePct(o.EstCycles, o.Cycles)
+		if !ok {
+			continue
 		}
 		dev := o.Device
 		if dev == "" {
 			dev = m.DeviceUsed
 		}
+		src := o.EstSource
+		if src == "" {
+			src = "assumed"
+		}
 		reg.Histogram(telemetry.MetricEstimateDivergence,
 			"Per-operator predicted-vs-actual cycle divergence (percent; 100 = exact).",
 			telemetry.L("kind", opKindOfRow(o.Operator)),
-			telemetry.L("device", strings.ToLower(dev))).Observe(div)
+			telemetry.L("device", strings.ToLower(dev)),
+			telemetry.L("source", src)).Observe(div)
 	}
-	if m.AltEstCycles > 0 && m.Cycles > m.AltEstCycles {
+	// Plans with no feasible alternative placement (AltFeasible false) have
+	// nothing to flip to; counting them would inflate the signal with
+	// decisions no planner could have made differently.
+	if m.AltFeasible && m.AltEstCycles > 0 && m.Cycles > m.AltEstCycles {
 		reg.Counter(telemetry.MetricPlacementWouldFlip,
 			"Queries whose measured cycles exceeded the rejected placement's estimate.",
 			telemetry.L("device", strings.ToLower(m.DeviceUsed))).Inc()
@@ -924,6 +1046,7 @@ func (db *DB) recordFlight(tel *Telemetry, sqlText string, opt Options, m *Metri
 			ops = append(ops, telemetry.FlightOp{
 				Operator: o.Operator, Device: dev,
 				EstCycles: o.EstCycles, Cycles: o.Cycles, Rows: o.Rows,
+				EstSource: o.EstSource,
 			})
 		}
 	}
@@ -940,6 +1063,7 @@ func (db *DB) recordFlight(tel *Telemetry, sqlText string, opt Options, m *Metri
 		Cycles:         m.Cycles,
 		EstCycles:      m.EstCycles,
 		AltEstCycles:   m.AltEstCycles,
+		Replaced:       m.Replaced,
 		Batches:        m.StreamBatches,
 		PeakBatchBytes: m.PeakBatchBytes,
 		Phases: []telemetry.FlightPhase{

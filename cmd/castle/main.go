@@ -341,7 +341,7 @@ func (s *session) runQuery(qsql string) error {
 		es.End()
 		pred := optimizer.PredictUniform(phys, s.cat, cfg.MAXVL, plan.DeviceCAPE)
 		bd := castle.Breakdown()
-		bd.ApplyEstimates(pred.EstimateMap())
+		applyEstimateCells(bd, pred)
 		s.recordFlight(qsql, "CAPE", phys, bd, pred, len(res.Rows), st.TotalCycles(), marks, execStart)
 		s.countQuery("cape", st.TotalCycles(), eng.Mem().BytesMoved(),
 			phys.Shape().String(), st.Seconds(cfg.ClockHz))
@@ -372,7 +372,7 @@ func (s *session) runQuery(qsql string) error {
 		es.End()
 		pred := optimizer.PredictUniform(phys, s.cat, cfg.MAXVL, plan.DeviceCPU)
 		bd := x.Breakdown()
-		bd.ApplyEstimates(pred.EstimateMap())
+		applyEstimateCells(bd, pred)
 		s.recordFlight(qsql, "CPU", phys, bd, pred, len(res.Rows), cpu.Cycles(), marks, execStart)
 		s.countQuery("cpu", cpu.Cycles(), cpu.Mem().BytesMoved(), "", cpu.Seconds())
 		fmt.Printf("== baseline (%v)\n", cpu.Config())
@@ -416,7 +416,7 @@ func (s *session) runHybrid(qs *telemetry.Span, qsql string, phys *plan.Physical
 	es.SetStr("device", used)
 	es.End()
 	bd := h.Placed().Breakdown()
-	bd.ApplyEstimates(pp.EstimateMap())
+	applyEstimateCells(bd, pp)
 	s.recordFlight(qsql, used, phys, bd, pp, len(res.Rows), total, marks, execStart)
 	seconds := h.Castle().Engine().Stats().Seconds(cfg.ClockHz) + h.CPUExec().CPU().Seconds()
 	moved := h.Castle().Engine().Mem().BytesMoved() + h.CPUExec().CPU().Mem().BytesMoved()
@@ -496,6 +496,7 @@ func (s *session) recordFlight(qsql, device string, phys *plan.Physical, bd *tel
 			rec.Ops = append(rec.Ops, telemetry.FlightOp{
 				Operator: o.Operator, Device: dev,
 				EstCycles: o.EstCycles, Cycles: o.Cycles, Rows: o.Rows,
+				EstSource: o.EstSource,
 			})
 		}
 	}
@@ -603,4 +604,15 @@ func dimNames(joins []plan.JoinEdge) []string {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "castle: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// applyEstimateCells attaches a placed plan's source-tagged per-operator
+// predictions to an EXPLAIN ANALYZE breakdown.
+func applyEstimateCells(bd *telemetry.Breakdown, pp *plan.PlacedPlan) {
+	cells := pp.EstimateCells()
+	tc := make(map[string]telemetry.EstimateCell, len(cells))
+	for k, c := range cells {
+		tc[k] = telemetry.EstimateCell{Cycles: c.Cycles, Source: c.Source}
+	}
+	bd.ApplyEstimateCells(tc)
 }

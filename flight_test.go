@@ -10,8 +10,9 @@ import (
 // TestEstimatesForAllSSBQueries pins the predicted-vs-actual contract on
 // the facade: for every SSB query on both forced devices, the cost model's
 // per-operator estimates land on the EXPLAIN ANALYZE breakdown — every
-// priced operator row (prep/filter/join/aggregate) carries EstCycles > 0 —
-// and the rendered table grows the est and est/act columns.
+// priced operator row (prep/filter/join/aggregate) is Estimated(), i.e.
+// carries a provenance source even when the histogram rounds its cost to
+// zero cycles — and the rendered table grows the est and est/act columns.
 func TestEstimatesForAllSSBQueries(t *testing.T) {
 	db := castle.GenerateSSB(0.005, 1)
 	for _, q := range castle.SSBQueries() {
@@ -32,11 +33,11 @@ func TestEstimatesForAllSSBQueries(t *testing.T) {
 			for _, op := range m.Breakdown.Operators {
 				priced := op.Operator == "filter" || op.Operator == "aggregate" ||
 					strings.HasPrefix(op.Operator, "prep:") || strings.HasPrefix(op.Operator, "join:")
-				if priced && op.EstCycles <= 0 {
+				if priced && !op.Estimated() {
 					t.Errorf("%s on %v: operator %q has no estimate", q.Flight, dev, op.Operator)
 				}
-				if !priced && op.EstCycles != 0 {
-					t.Errorf("%s on %v: unpriced operator %q has estimate %d", q.Flight, dev, op.Operator, op.EstCycles)
+				if !priced && op.Estimated() {
+					t.Errorf("%s on %v: unpriced operator %q has estimate %d (%s)", q.Flight, dev, op.Operator, op.EstCycles, op.EstSource)
 				}
 			}
 			table := m.Breakdown.Format()

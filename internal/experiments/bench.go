@@ -39,7 +39,12 @@ type BenchReport struct {
 	Scaling        []ScalingPoint   `json:"scaling"`   // K=1..4 per device
 	Cluster        []ClusterPoint   `json:"cluster"`   // N=1..4 scale-out
 	Streaming      []StreamingPoint `json:"streaming"` // streaming vs materializing, mixed placement
-	Server         ServerBench      `json:"server"`
+	// Misestimates compares per-operator estimate divergence under the
+	// histogram estimator vs the fixed-constant model; Adaptive is the
+	// static-vs-checkpoint curve per SSB query.
+	Misestimates []MisestimateModel `json:"misestimates"`
+	Adaptive     []AdaptivePoint    `json:"adaptive"`
+	Server       ServerBench        `json:"server"`
 }
 
 // BenchQuery is one SSB query's cycle accounting.
@@ -133,6 +138,8 @@ func RunBench(sf float64) *BenchReport {
 	rep.Scaling = append(rep.Scaling, r.ScalingCurve("cpu", ks)...)
 	rep.Cluster = r.ClusterCurve("hash", []int{1, 2, 3, 4})
 	rep.Streaming = r.StreamingCurve([]int{1, 2})
+	rep.Misestimates = r.MisestimateSummary()
+	rep.Adaptive = RunAdaptiveCurve(sf)
 	rep.Server = RunServerBench(sf, 8, 104)
 	return rep
 }

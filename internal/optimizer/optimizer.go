@@ -22,55 +22,49 @@ import (
 	"castle/internal/telemetry"
 )
 
-// Estimator derives cardinality estimates from catalog statistics.
+// Estimator derives cardinality estimates from catalog statistics. With
+// Fixed set it ignores the statistics and prices every predicate with the
+// classic fixed-constant (System R) selectivities instead — the "assumed"
+// model the bench harness compares the histogram-driven estimates against.
 type Estimator struct {
-	Cat *stats.Catalog
+	Cat   *stats.Catalog
+	Fixed bool
 }
 
 // PredSelectivity estimates the fraction of rows a predicate retains.
 func (e Estimator) PredSelectivity(p plan.Predicate) float64 {
-	if p.Never {
-		return 0
+	s, _ := e.PredSelectivitySource(p)
+	return s
+}
+
+// PredSelectivitySource estimates the fraction of rows a predicate retains
+// and reports where the number came from.
+func (e Estimator) PredSelectivitySource(p plan.Predicate) (float64, stats.Source) {
+	if e.Fixed {
+		return stats.FixedEstimate(p), stats.SourceAssumed
 	}
-	cs, ok := e.Cat.Column(p.Table, p.Column)
-	if !ok {
-		return 1
-	}
-	switch p.Op {
-	case plan.PredEQ:
-		return cs.EqSelectivity()
-	case plan.PredNE:
-		return 1 - cs.EqSelectivity()
-	case plan.PredLT:
-		if p.Value == 0 {
-			return 0
-		}
-		return cs.RangeSelectivity(cs.Min, p.Value-1)
-	case plan.PredLE:
-		return cs.RangeSelectivity(cs.Min, p.Value)
-	case plan.PredGT:
-		if p.Value == math.MaxUint32 {
-			return 0
-		}
-		return cs.RangeSelectivity(p.Value+1, cs.Max)
-	case plan.PredGE:
-		return cs.RangeSelectivity(p.Value, cs.Max)
-	case plan.PredBetween:
-		return cs.RangeSelectivity(p.Lo, p.Hi)
-	case plan.PredIn:
-		return cs.InSelectivity(len(p.Values))
-	}
-	return 1
+	return e.Cat.Estimate(p)
 }
 
 // ConjunctionSelectivity multiplies the independent selectivities of a
 // predicate list (the standard independence assumption).
 func (e Estimator) ConjunctionSelectivity(preds []plan.Predicate) float64 {
-	s := 1.0
-	for _, p := range preds {
-		s *= e.PredSelectivity(p)
-	}
+	s, _ := e.ConjunctionSource(preds)
 	return s
+}
+
+// ConjunctionSource is ConjunctionSelectivity with provenance: histogram
+// only when every conjunct was statistics-backed.
+func (e Estimator) ConjunctionSource(preds []plan.Predicate) (float64, stats.Source) {
+	s, src := 1.0, stats.SourceHistogram
+	for _, p := range preds {
+		ps, psrc := e.PredSelectivitySource(p)
+		s *= ps
+		if psrc == stats.SourceAssumed {
+			src = stats.SourceAssumed
+		}
+	}
+	return s, src
 }
 
 // FilteredDimRows estimates the surviving rows of a dimension after its

@@ -55,6 +55,11 @@ type CostModel struct {
 	// exec.Placed's xfer-overlap credit, so EXPLAIN ANALYZE's est/act
 	// divergence for "xfer" rows stays meaningful under streaming.
 	Streaming bool
+	// FixedEstimates prices predicates with the classic fixed-constant
+	// selectivities instead of the collected statistics (Estimator.Fixed).
+	// Used by the bench harness to quantify what the histograms buy; every
+	// estimate is stamped "assumed".
+	FixedEstimates bool
 }
 
 // DefaultCostModel returns the calibration used by the facade.
@@ -133,27 +138,10 @@ func EdgeSearches(q *plan.Query, est Estimator, maxvl int, joins []plan.JoinEdge
 }
 
 // EstimateGroups predicts the number of result groups: the product of the
-// group columns' distinct counts, capped by the fact cardinality. (Mirrors
-// exec.Hybrid's estimate; duplicated so exec does not import the
-// optimizer.)
+// group columns' distinct counts, capped by the fact cardinality.
 func EstimateGroups(q *plan.Query, cat *stats.Catalog) int {
-	if len(q.GroupBy) == 0 {
-		return 1
-	}
-	groups := 1
-	for _, g := range q.GroupBy {
-		if cs, ok := cat.Column(g.Table, g.Column); ok && cs.Distinct > 0 {
-			if groups > 1<<30/cs.Distinct {
-				groups = 1 << 30
-				break
-			}
-			groups *= cs.Distinct
-		}
-	}
-	if rows := cat.MustTable(q.Fact).Rows; groups > rows {
-		groups = rows
-	}
-	return groups
+	g, _ := cat.GroupCardinality(q.Fact, q.GroupBy)
+	return g
 }
 
 // placeCtx carries the shared cardinality estimates one placement search
@@ -175,24 +163,44 @@ type placeCtx struct {
 	factCols     int // distinct fact columns the sweep touches
 	aggInputCols int // aggregate input columns (SumMul/SumSub count two)
 	tailCols     int // columns a device-crossing before aggregation ships
+
+	// Estimate provenance, stamped onto the placed ops by annotate.
+	factSrc   stats.Source            // fact-predicate conjunction
+	dimSrc    map[string]stats.Source // per-dimension conjunction
+	groupsSrc stats.Source            // group-cardinality product
+	tailSrc   string                  // non-empty overrides the tail ops' source ("observed")
 }
 
 func newPlaceCtx(p *plan.Physical, cat *stats.Catalog, maxvl int, m CostModel) *placeCtx {
 	q := p.Query
-	est := Estimator{Cat: cat}
+	est := Estimator{Cat: cat, Fixed: m.FixedEstimates}
 	c := &placeCtx{
 		p: p, cat: cat, est: est, m: m.withDefaults(), maxvl: maxvl,
 		dimSurvivors: make(map[string]float64, len(p.Joins)),
+		dimSrc:       make(map[string]stats.Source, len(p.Joins)),
 	}
 	c.factRows = float64(cat.MustTable(q.Fact).Rows)
 	c.factParts = partitions(c.factRows, maxvl)
 	c.edgeSearches = EdgeSearches(q, est, maxvl, p.Joins, p.Switch)
-	c.matched = c.factRows * est.ConjunctionSelectivity(q.FactPreds)
+	var factSel float64
+	factSel, c.factSrc = est.ConjunctionSource(q.FactPreds)
+	c.matched = c.factRows * factSel
 	for _, j := range p.Joins {
 		c.dimSurvivors[j.Dim] = est.FilteredDimRows(q, j.Dim)
+		_, c.dimSrc[j.Dim] = est.ConjunctionSource(q.DimPreds[j.Dim])
 		c.matched *= est.JoinFraction(q, j.Dim)
 	}
-	c.groups = float64(EstimateGroups(q, cat))
+	var groups int
+	groups, c.groupsSrc = cat.GroupCardinality(q.Fact, q.GroupBy)
+	c.groups = float64(groups)
+	if est.Fixed {
+		// The fixed-constant model consults no statistics: every estimate it
+		// produces is an assumption, whatever the catalog knows.
+		c.factSrc, c.groupsSrc = stats.SourceAssumed, stats.SourceAssumed
+		for d := range c.dimSrc {
+			c.dimSrc[d] = stats.SourceAssumed
+		}
+	}
 
 	cols := make(map[string]struct{})
 	for _, pr := range q.FactPreds {
@@ -355,6 +363,17 @@ func (c *placeCtx) xferAggCost(bytes, factCompute float64) float64 {
 	return c.m.XferFixedCycles + raw - hidden*(c.factParts-1)/c.factParts
 }
 
+// srcName renders a source for op stamping; tailSrc ("observed", set by
+// ReplaceTail) overrides the tail ops' provenance.
+func (c *placeCtx) srcName(s stats.Source) string { return s.String() }
+
+func (c *placeCtx) tailSrcName(s stats.Source) string {
+	if c.tailSrc != "" {
+		return c.tailSrc
+	}
+	return s.String()
+}
+
 // annotate fills the devices and per-operator cost annotations of a
 // compiled pipeline for one candidate placement and returns its total cost.
 func (c *placeCtx) annotate(pp *plan.PlacedPlan, factDev, aggDev plan.Device, dimDev map[string]plan.Device) int64 {
@@ -362,6 +381,10 @@ func (c *placeCtx) annotate(pp *plan.PlacedPlan, factDev, aggDev plan.Device, di
 	pp.Place(factDev, aggDev, dimDev)
 	ji := 0
 	var factEst float64 // fact-stage compute, accumulated in op order
+	scanSrc := stats.SourceHistogram // table row counts are always collected
+	if c.est.Fixed {
+		scanSrc = stats.SourceAssumed
+	}
 	for i := range pp.Ops {
 		op := &pp.Ops[i]
 		op.EstCycles, op.EstRows, op.XferCycles = 0, 0, 0
@@ -370,6 +393,7 @@ func (c *placeCtx) annotate(pp *plan.PlacedPlan, factDev, aggDev plan.Device, di
 			e := *q.JoinFor(op.Dim)
 			op.EstRows = int64(math.Round(c.dimSurvivors[op.Dim]))
 			op.EstCycles = int64(math.Round(c.dimBuildCost(e, op.Device)))
+			op.EstSource = c.srcName(c.dimSrc[op.Dim])
 			if op.Device != factDev {
 				bytes := 4 * c.dimSurvivors[op.Dim] * float64(1+len(e.NeedAttrs))
 				op.XferCycles = int64(math.Round(c.xferCost(bytes)))
@@ -377,20 +401,24 @@ func (c *placeCtx) annotate(pp *plan.PlacedPlan, factDev, aggDev plan.Device, di
 		case plan.OpScan:
 			op.EstRows = int64(c.factRows)
 			op.EstCycles = int64(math.Round(c.scanCost(op.Device)))
+			op.EstSource = c.srcName(scanSrc)
 			factEst += float64(op.EstCycles)
 		case plan.OpFilter:
 			op.EstRows = int64(math.Round(c.factRows * c.est.ConjunctionSelectivity(q.FactPreds)))
 			op.EstCycles = int64(math.Round(c.filterCost(op.Device)))
+			op.EstSource = c.srcName(c.factSrc)
 			factEst += float64(op.EstCycles)
 		case plan.OpJoinProbe:
 			e := c.p.Joins[ji]
 			op.EstRows = int64(math.Round(c.edgeSearches[ji]))
 			op.EstCycles = int64(math.Round(c.joinProbeCost(ji, e, op.Device)))
+			op.EstSource = c.srcName(c.dimSrc[e.Dim])
 			factEst += float64(op.EstCycles)
 			ji++
 		case plan.OpAggregate:
 			op.EstRows = int64(c.groups)
 			op.EstCycles = int64(math.Round(c.aggregateCost(op.Device)))
+			op.EstSource = c.tailSrcName(c.groupsSrc)
 			if op.Device != factDev {
 				bytes := 4 * c.matched * float64(c.tailCols)
 				op.XferCycles = int64(math.Round(c.xferAggCost(bytes, factEst)))
@@ -398,11 +426,15 @@ func (c *placeCtx) annotate(pp *plan.PlacedPlan, factDev, aggDev plan.Device, di
 		case plan.OpMerge:
 			op.EstRows = int64(c.groups)
 			op.EstCycles = int64(math.Round(c.mergeCost(op.Device)))
+			op.EstSource = c.tailSrcName(c.groupsSrc)
 		case plan.OpOrderLimit:
 			op.EstRows = int64(c.groups)
 			op.EstCycles = int64(math.Round(c.orderLimitCost()))
+			op.EstSource = c.tailSrcName(c.groupsSrc)
 		}
 	}
+	pp.EstSurvivors = int64(math.Round(c.matched))
+	pp.EstGroups = int64(c.groups)
 	return pp.EstCycles()
 }
 
@@ -503,6 +535,7 @@ func PlacePlanWith(p *plan.Physical, cat *stats.Catalog, maxvl int, m CostModel)
 	}
 	if alt < int64(math.MaxInt64) {
 		best.AltEstCycles = alt
+		best.AltFeasible = true
 	}
 	return best
 }

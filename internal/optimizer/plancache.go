@@ -46,6 +46,19 @@ func Fingerprint(sqlText, deviceClass string, maxvl int, shape plan.Shape, shape
 	return fmt.Sprintf("%s|%s|%d|%s", deviceClass, sh, maxvl, strings.TrimSpace(sqlText))
 }
 
+// Token folds the statistics epoch into the version token the plan cache
+// invalidates on. Plans are now priced from histograms, so a statistics
+// refresh stales every cached placement even when the schema version alone
+// would not have moved — the cache must see a different token whenever
+// either input changes. syncVersion flushes on any difference (no
+// monotonicity assumption), so a mixed token is safe; the multiplier keeps
+// (version, epoch) pairs from colliding under small deltas.
+func Token(version, statsEpoch uint64) uint64 {
+	x := version ^ (statsEpoch * 0x9e3779b97f4a7c15)
+	x ^= x >> 32
+	return x
+}
+
 // DefaultPlanCacheCapacity bounds the cache when the caller passes no
 // capacity. Serving workloads cycle through tens of statement templates;
 // 256 keeps them all resident while bounding a pathological client that

@@ -51,6 +51,46 @@ func TestPlanCacheVersionFlush(t *testing.T) {
 	}
 }
 
+// TestTokenFoldsStatsEpoch: a statistics refresh alone must move the cache
+// token — plans are priced from histograms, so stale statistics stale every
+// cached placement even when the schema version is unchanged.
+func TestTokenFoldsStatsEpoch(t *testing.T) {
+	if Token(1, 0) == Token(1, 1) {
+		t.Fatal("stats epoch does not move the token")
+	}
+	if Token(1, 0) == Token(2, 0) {
+		t.Fatal("version does not move the token")
+	}
+	// No collisions across a small (version, epoch) grid — the mixer must
+	// keep nearby pairs apart.
+	seen := make(map[uint64][2]uint64)
+	for v := uint64(0); v < 32; v++ {
+		for e := uint64(0); e < 32; e++ {
+			tok := Token(v, e)
+			if prev, dup := seen[tok]; dup {
+				t.Fatalf("Token(%d,%d) collides with Token(%d,%d)", v, e, prev[0], prev[1])
+			}
+			seen[tok] = [2]uint64{v, e}
+		}
+	}
+}
+
+// TestPlanCacheStatsEpochFlush: a cache keyed by Token must flush when only
+// the statistics epoch changes.
+func TestPlanCacheStatsEpochFlush(t *testing.T) {
+	c := NewPlanCache(8)
+	c.Put("k", Token(3, 0), CachedPlan{Bound: &plan.Query{Fact: "a"}})
+	if _, ok := c.Get("k", Token(3, 0)); !ok {
+		t.Fatal("warm get missed")
+	}
+	if _, ok := c.Get("k", Token(3, 1)); ok {
+		t.Fatal("plan prepared against old statistics served after an epoch bump")
+	}
+	if st := c.Stats(); st.Flushes != 1 || st.Entries != 0 {
+		t.Fatalf("stats after epoch flush: %+v", st)
+	}
+}
+
 func TestPlanCacheConcurrent(t *testing.T) {
 	c := NewPlanCache(16)
 	var wg sync.WaitGroup

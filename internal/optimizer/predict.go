@@ -14,12 +14,20 @@ import (
 // PredictUniform compiles p with every operator on dev and annotates it
 // with the default cost model's per-operator estimates. The returned plan's
 // AltEstCycles carries the other device's uniform total, so callers can
-// tell when the measured run overtook the road not taken.
+// tell when the measured run overtook the road not taken. When the other
+// device cannot run the query at all — a grouped SUM(a*b) tail is rejected
+// by CAPE's aggregation kernel — there is no road not taken: AltFeasible
+// stays false and AltEstCycles zero, so would-flip telemetry cannot count
+// an un-flippable plan.
 func PredictUniform(p *plan.Physical, cat *stats.Catalog, maxvl int, dev plan.Device) *plan.PlacedPlan {
 	c := newPlaceCtx(p, cat, maxvl, DefaultCostModel())
 	pp := plan.Compile(p, dev)
 	c.annotate(pp, dev, dev, nil)
+	if otherDevice(dev) == plan.DeviceCAPE && hasGroupedSumMul(p.Query) {
+		return pp
+	}
 	alt := plan.Compile(p, otherDevice(dev))
 	pp.AltEstCycles = c.annotate(alt, otherDevice(dev), otherDevice(dev), nil)
+	pp.AltFeasible = true
 	return pp
 }

@@ -76,6 +76,41 @@ func TestPredictUniform(t *testing.T) {
 	}
 }
 
+// TestPredictUniformInfeasibleAlternative is the single-candidate
+// regression: a grouped SUM(a*b) forced onto the CPU has no CAPE road not
+// taken (the kernel rejects that tail), so the prediction must mark the
+// alternative infeasible instead of publishing a garbage runner-up that
+// would-flip telemetry then counts.
+func TestPredictUniformInfeasibleAlternative(t *testing.T) {
+	db, cat := ssbEnv(t)
+	q := bindSQL(t, db, `
+		SELECT d_year, SUM(lo_extendedprice * lo_discount) AS revenue
+		FROM lineorder, date
+		WHERE lo_orderdate = d_datekey AND d_year = 1993
+		GROUP BY d_year`)
+	p, err := Optimize(q, cat, 32768)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := PredictUniform(p, cat, 32768, plan.DeviceCPU)
+	if pp.AltFeasible || pp.AltEstCycles != 0 {
+		t.Fatalf("grouped SUM(a*b) on CPU reported a CAPE alternative: feasible=%v alt=%d",
+			pp.AltFeasible, pp.AltEstCycles)
+	}
+	// The CAPE->CPU direction is fine: the CPU can always take the query.
+	if pp := PredictUniform(p, cat, 32768, plan.DeviceCAPE); !pp.AltFeasible || pp.AltEstCycles <= 0 {
+		t.Fatalf("forced-CAPE prediction lost its CPU alternative: feasible=%v alt=%d",
+			pp.AltFeasible, pp.AltEstCycles)
+	}
+	// Ordinary shapes keep both candidates.
+	p2, cat2 := ssbPhysical(t, 4)
+	for _, dev := range []plan.Device{plan.DeviceCAPE, plan.DeviceCPU} {
+		if pp := PredictUniform(p2, cat2, 32768, dev); !pp.AltFeasible {
+			t.Fatalf("ordinary query on %v lost its alternative", dev)
+		}
+	}
+}
+
 // TestPlacePlanAltEstimate checks the placement search records the
 // runner-up: the winning placement's AltEstCycles is the cheapest rejected
 // (fact, agg) device combination and never beats the winner.

@@ -117,6 +117,11 @@ type PlacedOp struct {
 	// pipeline stays put). Under a streaming cost model this is the
 	// overlapped (elapsed) transfer term, not the raw wire cycles.
 	XferCycles int64
+	// EstSource records where the cardinality behind EstRows/EstCycles came
+	// from: "assumed" (fixed constants / unknown columns), "histogram"
+	// (collected statistics), or "observed" (measured mid-query by the
+	// adaptive checkpoint). Empty when the op is unannotated.
+	EstSource string
 	// Breaker marks a pipeline breaker: the operator consumes its whole
 	// input before producing output, so a streaming executor materializes
 	// at this node. Set by Compile from the kind's PipelineBreaker rule.
@@ -139,6 +144,20 @@ type PlacedPlan struct {
 	// Comparing it against measured cycles tells whether the placement
 	// decision would have flipped under perfect information.
 	AltEstCycles int64
+	// AltFeasible distinguishes "no alternative exists" from "alternative
+	// costs zero": false when the search space collapsed to a single
+	// (fact, agg) device assignment (grouped SUM(a*b) force-places the tail
+	// on the CPU) or the pipeline was never placed by a search. Would-flip
+	// telemetry must not count plans whose placement could not have gone the
+	// other way.
+	AltFeasible bool
+	// EstSurvivors is the estimated fact-stage survivor count (rows reaching
+	// the aggregation tail) the placement was priced with; the adaptive
+	// checkpoint compares it against the observed count. Zero when
+	// unannotated.
+	EstSurvivors int64
+	// EstGroups is the estimated result-group cardinality.
+	EstGroups int64
 }
 
 // Compile builds the unplaced operator pipeline for a physical plan, every
@@ -292,6 +311,10 @@ type OpEstimate struct {
 	// Cycles is the predicted cycle count; Rows the predicted cardinality.
 	Cycles int64
 	Rows   int64
+	// EstSource is the provenance of the estimate (assumed|histogram|
+	// observed); empty when the pipeline was annotated before sources were
+	// tracked.
+	EstSource string
 }
 
 // Estimates projects the annotated pipeline onto breakdown rows: one
@@ -300,10 +323,12 @@ type OpEstimate struct {
 // executors charge streaming against, one "join:<dim>" per probe,
 // "xfer:aggregate" for a tail crossing, and Aggregate/Merge/OrderLimit
 // folded into "aggregate". Rows the executors emit without a model price
-// ("overhead", per-tile sweeps) have no estimate. Priced rows are floored
-// at 1 cycle: a cardinality estimate that rounds to zero still executed,
-// and est=1 lets the divergence telemetry expose the underprediction
-// instead of the row silently losing its estimate.
+// ("overhead", per-tile sweeps) have no estimate. Estimates that round to
+// zero are reported as true zeros — flooring them at 1 used to make the
+// symmetric-ratio divergence telemetry print finite-but-meaningless ratios
+// for zero-cardinality operators; consumers must guard zero denominators
+// instead (an estimated row is one with a non-empty EstSource, not one
+// with Cycles > 0).
 func (pp *PlacedPlan) Estimates() []OpEstimate {
 	var out []OpEstimate
 	var filter, agg OpEstimate
@@ -312,33 +337,38 @@ func (pp *PlacedPlan) Estimates() []OpEstimate {
 		case OpDimBuild:
 			out = append(out, OpEstimate{
 				Row: "prep:" + op.Dim, Kind: OpDimBuild, Device: op.Device,
-				Cycles: op.EstCycles, Rows: op.EstRows,
+				Cycles: op.EstCycles, Rows: op.EstRows, EstSource: op.EstSource,
 			})
 			if op.XferCycles > 0 {
 				out = append(out, OpEstimate{
 					Row: "xfer:" + op.Dim, Kind: OpDimBuild, Device: op.Device,
-					Cycles: op.XferCycles, Rows: op.EstRows,
+					Cycles: op.XferCycles, Rows: op.EstRows, EstSource: op.EstSource,
 				})
 			}
 		case OpScan:
 			filter = OpEstimate{Row: "filter", Kind: OpFilter, Device: op.Device,
-				Cycles: filter.Cycles + op.EstCycles, Rows: op.EstRows}
+				Cycles: filter.Cycles + op.EstCycles, Rows: op.EstRows,
+				EstSource: op.EstSource}
 		case OpFilter:
 			filter.Cycles += op.EstCycles
 			filter.Device = op.Device
+			if op.EstSource != "" {
+				filter.EstSource = op.EstSource
+			}
 		case OpJoinProbe:
 			out = append(out, OpEstimate{
 				Row: "join:" + op.Dim, Kind: OpJoinProbe, Device: op.Device,
-				Cycles: op.EstCycles, Rows: op.EstRows,
+				Cycles: op.EstCycles, Rows: op.EstRows, EstSource: op.EstSource,
 			})
 		case OpAggregate:
 			agg.Row, agg.Kind, agg.Device = "aggregate", OpAggregate, op.Device
 			agg.Cycles += op.EstCycles
 			agg.Rows = op.EstRows
+			agg.EstSource = op.EstSource
 			if op.XferCycles > 0 {
 				out = append(out, OpEstimate{
 					Row: "xfer:aggregate", Kind: OpAggregate, Device: op.Device,
-					Cycles: op.XferCycles, Rows: op.EstRows,
+					Cycles: op.XferCycles, Rows: op.EstRows, EstSource: op.EstSource,
 				})
 			}
 		case OpMerge, OpOrderLimit:
@@ -351,16 +381,13 @@ func (pp *PlacedPlan) Estimates() []OpEstimate {
 	if agg.Row != "" {
 		out = append(out, agg)
 	}
-	for i := range out {
-		if out[i].Cycles < 1 {
-			out[i].Cycles = 1
-		}
-	}
 	return out
 }
 
 // EstimateMap returns the Estimates keyed by breakdown row name (the form
-// telemetry.Breakdown.ApplyEstimates consumes).
+// telemetry.Breakdown.ApplyEstimates consumes). Zero-cycle estimates are
+// dropped — legacy consumers treat Cycles > 0 as "has estimate"; use
+// EstimateCells to see true zeros and sources.
 func (pp *PlacedPlan) EstimateMap() map[string]int64 {
 	ests := pp.Estimates()
 	out := make(map[string]int64, len(ests))
@@ -368,6 +395,31 @@ func (pp *PlacedPlan) EstimateMap() map[string]int64 {
 		if e.Cycles > 0 {
 			out[e.Row] = e.Cycles
 		}
+	}
+	return out
+}
+
+// EstCell is one breakdown row's estimate with provenance — the form
+// telemetry.Breakdown.ApplyEstimateCells consumes. Unlike EstimateMap,
+// a zero-cycle cell survives: "estimated at zero" and "not estimated" are
+// different facts, and the divergence telemetry needs to tell them apart.
+type EstCell struct {
+	Cycles int64
+	Rows   int64
+	Source string
+}
+
+// EstimateCells returns the Estimates keyed by breakdown row name,
+// preserving true-zero estimates and per-row sources.
+func (pp *PlacedPlan) EstimateCells() map[string]EstCell {
+	ests := pp.Estimates()
+	out := make(map[string]EstCell, len(ests))
+	for _, e := range ests {
+		src := e.EstSource
+		if src == "" {
+			src = "assumed"
+		}
+		out[e.Row] = EstCell{Cycles: e.Cycles, Rows: e.Rows, Source: src}
 	}
 	return out
 }

@@ -54,3 +54,65 @@ func TestCompileAnnotatesBreakers(t *testing.T) {
 		}
 	}
 }
+
+// TestEstimatesPreserveTrueZeros is the floor-removal regression: an
+// operator estimated at zero cycles (an impossible predicate, an empty
+// dimension) must surface as a true zero with its provenance intact —
+// flooring it at 1 used to make the symmetric-ratio divergence telemetry
+// print finite-but-meaningless ratios. EstimateCells keeps the zero;
+// the legacy EstimateMap (whose consumers treat Cycles > 0 as "has
+// estimate") drops it.
+func TestEstimatesPreserveTrueZeros(t *testing.T) {
+	q := &Query{
+		Fact:      "lineorder",
+		FactPreds: []Predicate{{Table: "lineorder", Column: "lo_discount", Op: PredLT, Value: 3}},
+		Joins:     []JoinEdge{{Dim: "date", FactFK: "lo_orderdate", DimKey: "d_datekey"}},
+		Aggs:      []AggExpr{{Kind: AggSumCol, A: "lo_revenue"}},
+	}
+	p := &Physical{Query: q, Joins: q.Joins}
+	pp := Compile(p, DeviceCAPE)
+	for i := range pp.Ops {
+		op := &pp.Ops[i]
+		op.EstSource = "histogram"
+		if op.Kind == OpJoinProbe {
+			op.EstCycles = 42
+		}
+	}
+
+	var joinCells, zeroCells int
+	for _, e := range pp.Estimates() {
+		if e.Cycles == 0 {
+			zeroCells++
+			if e.EstSource == "" {
+				t.Errorf("zero-cycle row %q lost its source", e.Row)
+			}
+		}
+	}
+	if zeroCells == 0 {
+		t.Fatal("no zero-cycle estimate survived projection; the 1-cycle floor is back")
+	}
+	cells := pp.EstimateCells()
+	for row, c := range cells {
+		if c.Cycles == 0 && c.Source == "" {
+			t.Errorf("cell %q: zero estimate with no source", row)
+		}
+		if row == "join:date" {
+			joinCells++
+			if c.Cycles != 42 {
+				t.Errorf("join cell cycles = %d, want 42", c.Cycles)
+			}
+		}
+	}
+	if joinCells != 1 {
+		t.Fatalf("join:date cell missing from EstimateCells")
+	}
+	if len(cells) <= len(pp.EstimateMap()) {
+		t.Errorf("EstimateCells (%d rows) should keep zeros EstimateMap (%d rows) drops",
+			len(cells), len(pp.EstimateMap()))
+	}
+	for row, cy := range pp.EstimateMap() {
+		if cy <= 0 {
+			t.Errorf("EstimateMap leaked zero-cycle row %q", row)
+		}
+	}
+}

@@ -189,9 +189,12 @@ func TestServerResponseTimings(t *testing.T) {
 	found := false
 	for _, kind := range []string{"filter", "joinprobe", "aggregate", "dimbuild"} {
 		for _, dev := range []string{"cape", "cpu"} {
-			if h := reg.Histogram(telemetry.MetricEstimateDivergence, "",
-				telemetry.L("kind", kind), telemetry.L("device", dev)); h.Count() > 0 {
-				found = true
+			for _, src := range []string{"assumed", "histogram", "observed"} {
+				if h := reg.Histogram(telemetry.MetricEstimateDivergence, "",
+					telemetry.L("kind", kind), telemetry.L("device", dev),
+					telemetry.L("source", src)); h.Count() > 0 {
+					found = true
+				}
 			}
 		}
 	}

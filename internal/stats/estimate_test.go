@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"castle/internal/plan"
+	"castle/internal/storage"
+)
+
+// randPredicate builds an arbitrary single-column predicate over t.year
+// (known to the catalog) or a missing column, across every operator.
+func randPredicate(r *rand.Rand) plan.Predicate {
+	ops := []plan.PredOp{plan.PredEQ, plan.PredNE, plan.PredLT, plan.PredLE,
+		plan.PredGT, plan.PredGE, plan.PredBetween, plan.PredIn}
+	p := plan.Predicate{Table: "t", Column: "year", Op: ops[r.Intn(len(ops))]}
+	if r.Intn(4) == 0 {
+		p.Column = "missing"
+	}
+	p.Value = uint32(r.Int63n(5000))
+	lo, hi := uint32(r.Int63n(5000)), uint32(r.Int63n(5000))
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	p.Lo, p.Hi = lo, hi
+	for i := 0; i < r.Intn(5); i++ {
+		p.Values = append(p.Values, uint32(r.Int63n(5000)))
+	}
+	if r.Intn(8) == 0 {
+		p.Never = true
+	}
+	return p
+}
+
+// TestQuickEstimateInUnitInterval: every estimate, for every operator and
+// for known and unknown columns alike, is a valid selectivity in [0, 1] —
+// the fixed-constant model included.
+func TestQuickEstimateInUnitInterval(t *testing.T) {
+	c := testCatalog()
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed int64) bool {
+		p := randPredicate(rand.New(rand.NewSource(seed)))
+		s, src := c.Estimate(p)
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			t.Logf("Estimate(%+v) = %f", p, s)
+			return false
+		}
+		if _, known := c.Column(p.Table, p.Column); !known && !p.Never && src != SourceAssumed {
+			t.Logf("unknown column estimated from %v", src)
+			return false
+		}
+		if fs := FixedEstimate(p); fs < 0 || fs > 1 {
+			t.Logf("FixedEstimate(%+v) = %f", p, fs)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConjunctionNeverIncreases: adding a conjunct can only shrink (or
+// keep) the estimated survivor fraction — the independence product must be
+// monotonically non-increasing in the predicate list.
+func TestQuickConjunctionNeverIncreases(t *testing.T) {
+	c := testCatalog()
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var preds []plan.Predicate
+		prev := 1.0
+		for i := 0; i < 1+r.Intn(5); i++ {
+			preds = append(preds, randPredicate(r))
+			s, _ := c.EstimateConjunction(preds)
+			if s > prev+1e-12 || s < 0 || s > 1 {
+				t.Logf("conjunction grew: %f after %f with %d preds", s, prev, len(preds))
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCardinalityBounds: the predicted group count never exceeds the
+// distinct-count product nor the fact table's cardinality, and an unknown
+// group column degrades the source to assumed.
+func TestGroupCardinalityBounds(t *testing.T) {
+	c := testCatalog()
+	g, src := c.GroupCardinality("t", []plan.ColRef{{Table: "t", Column: "year"}})
+	if g != 4 || src != SourceHistogram {
+		t.Fatalf("GroupCardinality(year) = %d/%v, want 4/histogram", g, src)
+	}
+	g, src = c.GroupCardinality("t", []plan.ColRef{
+		{Table: "t", Column: "year"}, {Table: "t", Column: "qty"}})
+	if g != 6 || src != SourceHistogram { // 4*6 = 24 capped at 6 rows
+		t.Fatalf("GroupCardinality(year,qty) = %d/%v, want row-capped 6/histogram", g, src)
+	}
+	g, src = c.GroupCardinality("t", []plan.ColRef{{Table: "t", Column: "missing"}})
+	if g != 1 || src != SourceAssumed {
+		t.Fatalf("GroupCardinality(missing) = %d/%v, want 1/assumed", g, src)
+	}
+	if g, _ := c.GroupCardinality("t", nil); g != 1 {
+		t.Fatalf("GroupCardinality(no group by) = %d, want 1", g)
+	}
+}
+
+// TestEstimateSources pins the provenance contract: known columns are
+// histogram-backed, unknown columns are assumed, a bind-time contradiction
+// is exact knowledge, and one assumed conjunct taints the product.
+func TestEstimateSources(t *testing.T) {
+	c := testCatalog()
+	if _, src := c.Estimate(plan.Predicate{Table: "t", Column: "year", Op: plan.PredEQ, Value: 1993}); src != SourceHistogram {
+		t.Fatalf("known column source = %v", src)
+	}
+	if s, src := c.Estimate(plan.Predicate{Table: "t", Column: "nope", Op: plan.PredEQ}); s != 1 || src != SourceAssumed {
+		t.Fatalf("unknown column = %f/%v", s, src)
+	}
+	if s, src := c.Estimate(plan.Predicate{Never: true}); s != 0 || src != SourceHistogram {
+		t.Fatalf("contradiction = %f/%v", s, src)
+	}
+	_, src := c.EstimateConjunction([]plan.Predicate{
+		{Table: "t", Column: "year", Op: plan.PredEQ, Value: 1993},
+		{Table: "t", Column: "nope", Op: plan.PredEQ, Value: 1},
+	})
+	if src != SourceAssumed {
+		t.Fatalf("tainted conjunction source = %v, want assumed", src)
+	}
+}
+
+// TestEstimateEdgeColumns covers the histogram edge cases through the
+// estimation surface: an empty column, a single-value column, and a heavily
+// skewed domain must all produce valid selectivities.
+func TestEstimateEdgeColumns(t *testing.T) {
+	db := storage.NewDatabase()
+	tb := storage.NewTable("edge")
+	tb.AddIntColumn("empty", nil)
+	db.Add(tb)
+	one := storage.NewTable("one")
+	one.AddIntColumn("v", []uint32{7, 7, 7, 7})
+	db.Add(one)
+	skew := storage.NewTable("skew")
+	vals := make([]uint32, 10000)
+	for i := range vals {
+		if i%100 == 0 {
+			vals[i] = uint32(i) // 1% spread over a wide domain
+		} else {
+			vals[i] = 5 // 99% at one point
+		}
+	}
+	skew.AddIntColumn("v", vals)
+	db.Add(skew)
+	c := Collect(db)
+
+	for _, tc := range []struct {
+		table, col string
+		p          plan.Predicate
+	}{
+		{"edge", "empty", plan.Predicate{Table: "edge", Column: "empty", Op: plan.PredEQ, Value: 1}},
+		{"edge", "empty", plan.Predicate{Table: "edge", Column: "empty", Op: plan.PredBetween, Lo: 1, Hi: 10}},
+		{"one", "v", plan.Predicate{Table: "one", Column: "v", Op: plan.PredEQ, Value: 7}},
+		{"one", "v", plan.Predicate{Table: "one", Column: "v", Op: plan.PredLT, Value: 7}},
+		{"skew", "v", plan.Predicate{Table: "skew", Column: "v", Op: plan.PredEQ, Value: 5}},
+		{"skew", "v", plan.Predicate{Table: "skew", Column: "v", Op: plan.PredBetween, Lo: 0, Hi: 4}},
+	} {
+		s, _ := c.Estimate(tc.p)
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			t.Errorf("%s.%s %v: estimate %f outside [0,1]", tc.table, tc.col, tc.p.Op, s)
+		}
+	}
+	// The single-value column's equality estimate is exact.
+	if s, _ := c.Estimate(plan.Predicate{Table: "one", Column: "v", Op: plan.PredEQ, Value: 7}); s != 1 {
+		t.Errorf("single-value EQ estimate = %f, want 1", s)
+	}
+	// On the skewed domain the wide range holding every row estimates near
+	// 1, far above the fixed 1/3 constant — the histogram knows the domain.
+	s, src := c.Estimate(plan.Predicate{Table: "skew", Column: "v", Op: plan.PredBetween, Lo: 0, Hi: 9900})
+	if src != SourceHistogram {
+		t.Fatalf("skew estimate source = %v", src)
+	}
+	if s < 0.9 {
+		t.Errorf("full-domain range estimate = %f, want ≈1", s)
+	}
+}
+
+// TestSketchDistinct: below the exact cap counting is exact; above it the
+// KMV estimate lands within a reasonable relative error, deterministically.
+func TestSketchDistinct(t *testing.T) {
+	small := make([]uint32, 1000)
+	for i := range small {
+		small[i] = uint32(i % 137)
+	}
+	if got := countDistinct(small); got != 137 {
+		t.Fatalf("small countDistinct = %d, want exact 137", got)
+	}
+
+	const n, d = 200000, 50000
+	big := make([]uint32, n)
+	r := rand.New(rand.NewSource(42))
+	for i := range big {
+		big[i] = uint32(r.Intn(d))
+	}
+	got := countDistinct(big)
+	if rel := math.Abs(float64(got)-d) / d; rel > 0.10 {
+		t.Fatalf("sketch distinct = %d for true %d (rel err %.3f > 0.10)", got, d, rel)
+	}
+	if again := countDistinct(big); again != got {
+		t.Fatalf("sketch not deterministic: %d then %d", got, again)
+	}
+}

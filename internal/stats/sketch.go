@@ -1,0 +1,91 @@
+package stats
+
+// sketch.go is the distinct-count sketch behind large-column statistics: a
+// KMV (k minimum values) estimator. Exact distinct counting hashes every
+// value into a map — fine for dimension tables, but a multi-million-row
+// fact column would make statistics collection cost a measurable fraction
+// of the import itself. KMV keeps only the k smallest hashes seen; the
+// density of those k order statistics in the hash space estimates the
+// distinct count as (k-1) / kth-minimum-normalized. The hash is a fixed
+// 64-bit mixer, so the sketch is deterministic: the same column always
+// yields the same estimate, which keeps plans and goldens reproducible.
+
+import "sort"
+
+// sketchK is the number of minimum hash values retained. 1024 gives a
+// relative standard error of about 1/sqrt(k-1) ≈ 3%.
+const sketchK = 1024
+
+// sketchExactCap is the column size up to which Collect counts distinct
+// values exactly. Small relations (every SSB dimension, test fixtures) keep
+// exact counts — and therefore exactly reproducible plans — while columns
+// beyond the cap switch to the sketch.
+const sketchExactCap = 1 << 16
+
+// mix64 is the SplitMix64 finalizer: a fast, well-distributed 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// estimateDistinctKMV sketches the distinct count of data with a KMV
+// estimator. Falls back to exact counting when the domain is small enough
+// that the sketch saturates (fewer than k distinct hashes seen).
+func estimateDistinctKMV(data []uint32) int {
+	// Collect the k smallest distinct hashes. A small map bounds the
+	// candidate set; values hashing above the current kth minimum are
+	// skipped without insertion.
+	mins := make(map[uint64]struct{}, 2*sketchK)
+	var threshold uint64 = ^uint64(0)
+	for _, v := range data {
+		h := mix64(uint64(v))
+		if h > threshold {
+			continue
+		}
+		mins[h] = struct{}{}
+		if len(mins) > 2*sketchK {
+			threshold = shrinkToK(mins, sketchK)
+		}
+	}
+	if len(mins) > sketchK {
+		shrinkToK(mins, sketchK)
+	}
+	if len(mins) < sketchK {
+		// Sketch never filled: the column has fewer than k distinct values,
+		// and the candidate set holds exactly one hash per distinct value.
+		return len(mins)
+	}
+	hashes := make([]uint64, 0, len(mins))
+	for h := range mins {
+		hashes = append(hashes, h)
+	}
+	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	kth := hashes[sketchK-1]
+	if kth == 0 {
+		return sketchK
+	}
+	// E[distinct] = (k-1) / fraction of hash space below the kth minimum.
+	est := float64(sketchK-1) / (float64(kth) / float64(^uint64(0)))
+	if est < float64(sketchK) {
+		est = float64(sketchK)
+	}
+	return int(est)
+}
+
+// shrinkToK trims the candidate map down to its k smallest hashes and
+// returns the new kth minimum (the admission threshold).
+func shrinkToK(mins map[uint64]struct{}, k int) uint64 {
+	hashes := make([]uint64, 0, len(mins))
+	for h := range mins {
+		hashes = append(hashes, h)
+	}
+	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	for _, h := range hashes[k:] {
+		delete(mins, h)
+	}
+	return hashes[k-1]
+}

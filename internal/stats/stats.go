@@ -53,7 +53,13 @@ func Collect(db *storage.Database) *Catalog {
 	return c
 }
 
+// countDistinct counts distinct values — exactly for small columns, with
+// the deterministic KMV sketch beyond sketchExactCap rows (an exact map
+// over a multi-million-row fact column would dominate collection time).
 func countDistinct(data []uint32) int {
+	if len(data) > sketchExactCap {
+		return estimateDistinctKMV(data)
+	}
 	seen := make(map[uint32]struct{}, 1024)
 	for _, v := range data {
 		seen[v] = struct{}{}

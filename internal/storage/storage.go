@@ -224,6 +224,19 @@ func (db *Database) Add(t *Table) {
 	db.order = append(db.order, t.Name)
 }
 
+// Put adds the relation, replacing any existing one of the same name in
+// place (creation order is preserved on replacement). Re-importing a
+// refreshed extract under the same name goes through here; statistics and
+// cached plans bound against the old contents are the caller's to
+// invalidate.
+func (db *Database) Put(t *Table) {
+	if _, ok := db.tables[t.Name]; ok {
+		db.tables[t.Name] = t
+		return
+	}
+	db.Add(t)
+}
+
 // Table returns the named relation, or nil.
 func (db *Database) Table(name string) *Table { return db.tables[name] }
 

@@ -25,6 +25,18 @@ type OperatorStats struct {
 	// operator, attached after execution via ApplyEstimates; 0 for rows the
 	// model does not price ("overhead", per-tile sweep rows).
 	EstCycles int64
+	// EstSource is the provenance of the attached estimate ("assumed",
+	// "histogram", or "observed"); empty for rows the model does not price.
+	// A non-empty EstSource with EstCycles == 0 is a true zero estimate,
+	// not an unpriced row.
+	EstSource string
+}
+
+// Estimated reports whether the row carries an estimate at all. EstCycles
+// alone cannot answer this: a zero-cardinality operator is legitimately
+// estimated at zero cycles.
+func (o OperatorStats) Estimated() bool {
+	return o.EstSource != "" || o.EstCycles > 0
 }
 
 // Breakdown is the per-operator accounting of one executed query — the
@@ -83,6 +95,55 @@ func (b *Breakdown) ApplyEstimates(est map[string]int64) int {
 	return matched
 }
 
+// DivergencePct computes the symmetric-ratio divergence between a
+// predicted and a measured count: max(est/act, act/est) as a percentage,
+// so 100 means exact and 200 means off by 2x in either direction. The
+// zero cases are guarded explicitly rather than floored away: both zero is
+// an exact prediction (100, defined); exactly one zero has no finite ratio
+// (0, undefined) — callers must branch on ok instead of recording a
+// meaningless number.
+func DivergencePct(est, act int64) (pct float64, ok bool) {
+	if est <= 0 && act <= 0 {
+		return 100, true
+	}
+	if est <= 0 || act <= 0 {
+		return 0, false
+	}
+	r := float64(est) / float64(act)
+	if r < 1 {
+		r = 1 / r
+	}
+	return 100 * r, true
+}
+
+// EstimateCell is one row's estimate with provenance, the source-aware
+// form of an ApplyEstimates value (mirrors plan.EstCell without importing
+// the plan package).
+type EstimateCell struct {
+	Cycles int64
+	Source string
+}
+
+// ApplyEstimateCells attaches source-tagged per-operator predictions,
+// keyed by breakdown row name, and returns how many rows matched. Unlike
+// ApplyEstimates, a zero-cycle cell still attaches — its non-empty Source
+// marks the row as estimated, so divergence telemetry can distinguish
+// "predicted zero" from "never priced".
+func (b *Breakdown) ApplyEstimateCells(est map[string]EstimateCell) int {
+	if b == nil || len(est) == 0 {
+		return 0
+	}
+	matched := 0
+	for i := range b.Operators {
+		if c, ok := est[b.Operators[i].Operator]; ok {
+			b.Operators[i].EstCycles = c.Cycles
+			b.Operators[i].EstSource = c.Source
+			matched++
+		}
+	}
+	return matched
+}
+
 // SumEstCycles sums the attached per-operator predictions.
 func (b *Breakdown) SumEstCycles() int64 {
 	if b == nil {
@@ -111,13 +172,16 @@ func (b *Breakdown) Format() string {
 	}
 	// Optional columns render only when any operator populates them; older
 	// breakdowns without devices or estimates keep the narrow table.
-	withDevice, withEst := false, false
+	withDevice, withEst, withSrc := false, false, false
 	for _, o := range b.Operators {
 		if o.Device != "" {
 			withDevice = true
 		}
-		if o.EstCycles != 0 {
+		if o.Estimated() {
 			withEst = true
+		}
+		if o.EstSource != "" {
+			withSrc = true
 		}
 	}
 	var sb strings.Builder
@@ -128,6 +192,9 @@ func (b *Breakdown) Format() string {
 	}
 	if withEst {
 		fmt.Fprintf(&sb, " %14s %8s", "est", "est/act")
+	}
+	if withSrc {
+		fmt.Fprintf(&sb, " %-10s", "est-src")
 	}
 	sb.WriteByte('\n')
 	for _, o := range b.Operators {
@@ -146,13 +213,23 @@ func (b *Breakdown) Format() string {
 		}
 		if withEst {
 			est, ratio := "-", "-"
-			if o.EstCycles > 0 {
+			if o.Estimated() {
 				est = fmt.Sprintf("%d", o.EstCycles)
 				if o.Cycles > 0 {
 					ratio = fmt.Sprintf("%.2f", float64(o.EstCycles)/float64(o.Cycles))
+				} else if o.EstCycles == 0 {
+					// Both sides zero: the prediction was exact.
+					ratio = "1.00"
 				}
 			}
 			fmt.Fprintf(&sb, " %14s %8s", est, ratio)
+		}
+		if withSrc {
+			src := "-"
+			if o.EstSource != "" {
+				src = o.EstSource
+			}
+			fmt.Fprintf(&sb, " %-10s", src)
 		}
 		sb.WriteByte('\n')
 	}

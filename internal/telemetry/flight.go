@@ -46,6 +46,10 @@ type FlightOp struct {
 	// Rows is the operator's measured row cardinality (-1 when not
 	// meaningful).
 	Rows int64 `json:"rows"`
+	// EstSource is the provenance of the estimate: "assumed" (fixed
+	// constants), "histogram" (collected statistics), "observed" (measured
+	// mid-query by the adaptive checkpoint). Empty for unpriced rows.
+	EstSource string `json:"est_source,omitempty"`
 }
 
 // FlightRecord is the complete post-mortem of one query.
@@ -83,6 +87,10 @@ type FlightRecord struct {
 	// (the runner-up the optimizer rejected). When Cycles exceeds it the
 	// placement would have flipped under perfect information.
 	AltEstCycles int64 `json:"alt_est_cycles,omitempty"`
+	// Replaced marks a run whose aggregation tail was re-placed mid-query
+	// by the adaptive checkpoint (the observed survivor count diverged far
+	// enough from the estimate to flip the placement model).
+	Replaced bool `json:"replaced,omitempty"`
 	// Phases are the wall-clock lifecycle intervals, in order.
 	Phases []FlightPhase `json:"phases"`
 	// Ops is the per-operator predicted-vs-actual table.
@@ -136,6 +144,9 @@ func (r *FlightRecord) Format() string {
 	if r.AltEstCycles > 0 {
 		fmt.Fprintf(&b, " alt_est=%d", r.AltEstCycles)
 	}
+	if r.Replaced {
+		b.WriteString(" replaced")
+	}
 	if r.Batches > 0 {
 		fmt.Fprintf(&b, " batches=%d peak_batch_bytes=%d", r.Batches, r.PeakBatchBytes)
 	}
@@ -151,8 +162,18 @@ func (r *FlightRecord) Format() string {
 		b.WriteByte('\n')
 	}
 	if len(r.Ops) > 0 {
-		fmt.Fprintf(&b, "  %-20s %-8s %14s %14s %9s %12s\n",
+		withSrc := false
+		for _, op := range r.Ops {
+			if op.EstSource != "" {
+				withSrc = true
+			}
+		}
+		fmt.Fprintf(&b, "  %-20s %-8s %14s %14s %9s %12s",
 			"operator", "device", "est", "cycles", "est/act", "rows")
+		if withSrc {
+			fmt.Fprintf(&b, " %-10s", "est-src")
+		}
+		b.WriteByte('\n')
 		for _, op := range r.Ops {
 			ratio := "-"
 			if op.EstCycles > 0 && op.Cycles > 0 {
@@ -163,11 +184,19 @@ func (r *FlightRecord) Format() string {
 				rows = fmt.Sprintf("%d", op.Rows)
 			}
 			est := ""
-			if op.EstCycles > 0 {
+			if op.EstCycles > 0 || op.EstSource != "" {
 				est = fmt.Sprintf("%d", op.EstCycles)
 			}
-			fmt.Fprintf(&b, "  %-20s %-8s %14s %14d %9s %12s\n",
+			fmt.Fprintf(&b, "  %-20s %-8s %14s %14d %9s %12s",
 				op.Operator, op.Device, est, op.Cycles, ratio, rows)
+			if withSrc {
+				src := "-"
+				if op.EstSource != "" {
+					src = op.EstSource
+				}
+				fmt.Fprintf(&b, " %-10s", src)
+			}
+			b.WriteByte('\n')
 		}
 	}
 	return b.String()

@@ -349,3 +349,82 @@ func TestBreakdownFormatAndClone(t *testing.T) {
 		t.Fatal("nil breakdown accessors should be no-ops")
 	}
 }
+
+// TestDivergencePctZeroGuards pins the explicit zero handling that replaced
+// the old 1-cycle floor: both sides zero is an exact prediction, a single
+// zero has no finite symmetric ratio and must come back undefined instead of
+// a fabricated number.
+func TestDivergencePctZeroGuards(t *testing.T) {
+	for _, tc := range []struct {
+		est, act int64
+		pct      float64
+		ok       bool
+	}{
+		{0, 0, 100, true},
+		{-3, 0, 100, true}, // negatives clamp into the zero case
+		{0, 500, 0, false},
+		{500, 0, 0, false},
+		{100, 100, 100, true},
+		{200, 100, 200, true},
+		{100, 200, 200, true}, // symmetric: under- and over-estimate alike
+		{100, 400, 400, true},
+	} {
+		pct, ok := DivergencePct(tc.est, tc.act)
+		if pct != tc.pct || ok != tc.ok {
+			t.Errorf("DivergencePct(%d,%d) = %.1f,%v want %.1f,%v",
+				tc.est, tc.act, pct, ok, tc.pct, tc.ok)
+		}
+	}
+}
+
+// TestApplyEstimateCellsKeepsZeros: a zero-cycle cell with a source still
+// attaches (Estimated becomes true via EstSource), while the legacy
+// ApplyEstimates path drops zero values entirely.
+func TestApplyEstimateCellsKeepsZeros(t *testing.T) {
+	mk := func() *Breakdown {
+		return &Breakdown{Device: "CAPE", TotalCycles: 10, Operators: []OperatorStats{
+			{Operator: "filter", Cycles: 10, Rows: -1},
+			{Operator: "join:date", Cycles: 0, Rows: 0},
+			{Operator: "overhead", Cycles: 0, Rows: -1},
+		}}
+	}
+
+	b := mk()
+	n := b.ApplyEstimateCells(map[string]EstimateCell{
+		"filter":    {Cycles: 12, Source: "histogram"},
+		"join:date": {Cycles: 0, Source: "histogram"},
+	})
+	if n != 2 {
+		t.Fatalf("ApplyEstimateCells matched %d rows, want 2", n)
+	}
+	if o := b.Operators[1]; !o.Estimated() || o.EstCycles != 0 || o.EstSource != "histogram" {
+		t.Fatalf("zero-cycle cell did not attach: %+v", o)
+	}
+	if b.Operators[2].Estimated() {
+		t.Fatal("unpriced row reports an estimate")
+	}
+
+	// The legacy path drops the zero: join:date stays unestimated.
+	lb := mk()
+	if n := lb.ApplyEstimates(map[string]int64{"filter": 12, "join:date": 0}); n != 1 {
+		t.Fatalf("ApplyEstimates matched %d rows, want 1", n)
+	}
+	if lb.Operators[1].Estimated() {
+		t.Fatal("legacy path attached a zero estimate")
+	}
+
+	// Format: est-src column appears, the true zero renders an exact 1.00
+	// ratio instead of a floored fiction, unpriced rows render dashes.
+	out := b.Format()
+	if !strings.Contains(out, "est-src") || !strings.Contains(out, "histogram") {
+		t.Fatalf("Format lacks source column:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "join:date") && !strings.Contains(line, "1.00") {
+			t.Fatalf("zero/zero row did not render an exact ratio: %q", line)
+		}
+		if strings.HasPrefix(line, "overhead") && !strings.Contains(line, "-") {
+			t.Fatalf("unpriced row did not render dashes: %q", line)
+		}
+	}
+}
