@@ -386,6 +386,12 @@ type Options struct {
 	// ratio (<= 0 selects the default, 2.0: the observation must be off by
 	// more than 2x in either direction to trigger a re-plan).
 	AdaptiveThreshold float64
+	// ScanSharing allows QueryGroupContext to fuse eligible same-fact
+	// members into one shared fact sweep (one scan, N predicate sets).
+	// Member results are bit-identical to solo execution; only the scan
+	// stream is charged once and attributed pro-rata. Ignored by the
+	// single-query entry points.
+	ScanSharing bool
 	// Telemetry, when non-nil, records the query lifecycle: a span tree
 	// (query → parse/bind/optimize/execute → per-operator) into its trace
 	// recorder and cycle/row counters into its metrics registry. Nil costs
@@ -481,6 +487,17 @@ type Metrics struct {
 	// double-buffered crossings; the breakdown's "xfer-overlap" row credits
 	// exactly this amount back, so Cycles already reflects the overlap.
 	XferOverlapCycles int64
+	// GroupID identifies the fused shared-scan group this execution was a
+	// member of (0 when the query ran solo). Members of one group share the
+	// id; Cycles then reports the member's attributed share, and the group
+	// members' Cycles sum to the fused run's engine total exactly.
+	GroupID uint64
+	// GroupSize is the member count of the fused group (0 when solo).
+	GroupSize int
+	// SharedScanCycles is the fused fact-scan stream charged once for the
+	// whole group (the same value on every member); this member's
+	// attributed share appears as the breakdown's "shared-scan" row.
+	SharedScanCycles int64
 }
 
 // Rows is a decoded result relation: group-key columns first (strings

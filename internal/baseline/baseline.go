@@ -282,6 +282,29 @@ func (c *CPU) SelectionScan(col []uint32, pred CmpFunc) *bitvec.Vector {
 	return m
 }
 
+// SelectionScanResident is SelectionScan for a column already streamed into
+// the core's working set this pass (a shared fused sweep streams each fact
+// column once for the whole group). The compare/mask work is charged as
+// compute — it no longer hides under a stream it does not issue — and the
+// per-match bookkeeping is unchanged, so a member's functional result is
+// identical to the solo kernel's.
+func (c *CPU) SelectionScanResident(col []uint32, pred CmpFunc) *bitvec.Vector {
+	n := len(col)
+	m := bitvec.New(n)
+	matches := 0
+	for i, x := range col {
+		if pred(x) {
+			m.Set(i)
+			matches++
+		}
+	}
+	k := c.cfg.Kernels
+	vectors := float64(n)/float64(c.cfg.SIMDLanes) + 1
+	c.ChargeCompute(vectors * (k.CompareCyclesPerVector + k.MaskWriteCyclesPerVector))
+	c.ChargeCompute(float64(matches) * k.MatchBookkeepingCycles)
+	return m
+}
+
 // HashTable is a minimal open-addressing uint32->uint32 map used by the
 // join and aggregation kernels (functional only; timing is analytic). It is
 // exported opaquely so an executor can build a dimension table once on the
@@ -433,6 +456,64 @@ func (c *CPU) ProbeMap(factFK []uint32, ht *HashTable, probeMask *bitvec.Vector)
 	return out, vals
 }
 
+// ProbeSemiResident is ProbeSemi for a foreign-key column already streamed
+// by the shared fused sweep: the probe compute and random accesses are
+// charged in full, but the trailing FK column stream is not re-billed.
+func (c *CPU) ProbeSemiResident(factFK []uint32, ht *HashTable, probeMask *bitvec.Vector) *bitvec.Vector {
+	out := bitvec.New(len(factFK))
+	probes := 0
+	if probeMask == nil {
+		for i, k := range factFK {
+			if _, ok := ht.get(k); ok {
+				out.Set(i)
+			}
+		}
+		probes = len(factFK)
+	} else {
+		for i := probeMask.First(); i != -1; i = probeMask.NextAfter(i) {
+			if _, ok := ht.get(factFK[i]); ok {
+				out.Set(i)
+			}
+			probes++
+		}
+	}
+	c.chargeProbeResident(probes, ht)
+	return out
+}
+
+// ProbeMapResident is ProbeMap for a resident foreign-key column: the FK
+// stream is skipped but the materialized attribute column is still written
+// out (each member keeps its own fact-aligned attribute vectors).
+func (c *CPU) ProbeMapResident(factFK []uint32, ht *HashTable, probeMask *bitvec.Vector) (*bitvec.Vector, []uint32) {
+	out := bitvec.New(len(factFK))
+	vals := make([]uint32, len(factFK))
+	probes := 0
+	visit := func(i int) {
+		if v, ok := ht.get(factFK[i]); ok {
+			out.Set(i)
+			vals[i] = v
+		}
+		probes++
+	}
+	if probeMask == nil {
+		for i := range factFK {
+			visit(i)
+		}
+	} else {
+		for i := probeMask.First(); i != -1; i = probeMask.NextAfter(i) {
+			visit(i)
+		}
+	}
+	c.chargeProbeResident(probes, ht)
+	line := int64(c.cfg.Hierarchy.LineBytes)
+	wbytes := int64(probes) * line
+	if full := int64(len(factFK)) * 4; wbytes > full {
+		wbytes = full
+	}
+	c.ChargeStreamWrite(0, wbytes)
+	return out, vals
+}
+
 // HashJoinSemi builds a hash table on the dimension keys and probes it with
 // the fact foreign-key column, returning the fact-side match mask (the
 // semi-join the paper's microbenchmark measures, §7.2). It is
@@ -460,6 +541,15 @@ func (c *CPU) chargeProbe(probes, factRows int, ht *HashTable) {
 	c.ChargeRandomAccesses(int64(probes), ht.bytes())
 	// The FK column is streamed regardless of how many rows probe.
 	c.ChargeStream(0, int64(factRows)*4)
+}
+
+// chargeProbeResident bills a probe whose foreign-key column is already
+// resident (the shared sweep streamed it once for the whole group): probe
+// compute and hash-table random accesses only, no column stream.
+func (c *CPU) chargeProbeResident(probes int, ht *HashTable) {
+	k := c.cfg.Kernels
+	c.ChargeCompute(float64(probes) * (k.HashCyclesPerKey + k.ProbeCyclesPerRow))
+	c.ChargeRandomAccesses(int64(probes), ht.bytes())
 }
 
 // AggResult is one group of a hash aggregation.

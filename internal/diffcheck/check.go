@@ -123,6 +123,10 @@ func (c *Corpus) Check(q *plan.Query, opts Options) *Mismatch {
 	if m := c.checkSharded(q, want); m != nil {
 		return m
 	}
+	// So must the fused multi-query shared sweep (shared.go).
+	if m := c.checkShared(q, want, opts); m != nil {
+		return m
+	}
 	return nil
 }
 

@@ -105,6 +105,22 @@ func (s *tileSweep) runFilterJoins(ctx context.Context, p *plan.Physical, db *st
 		}
 		return r
 	}
+	rowMask, attrRegs, err := s.runFilterJoinsWith(ctx, p, db, dims, base, vl, regs, loadFactCol)
+	return rowMask, regs, attrRegs, loadFactCol, err
+}
+
+// runFilterJoinsWith is runFilterJoins over caller-supplied register state:
+// the shared fused sweep (shared_cape.go) preloads the member union of fact
+// columns into one allocator and runs each member's filter+join pipeline
+// against it, so every column is loaded once per morsel regardless of how
+// many member queries read it. The caller is responsible for eng.SetVL.
+func (s *tileSweep) runFilterJoinsWith(ctx context.Context, p *plan.Physical, db *storage.Database,
+	dims []dimSide, base, vl int, regs *regAlloc,
+	loadFactCol func(string) cape.VReg) (*bitvec.Vector, map[string]cape.VReg, error) {
+
+	q := p.Query
+	eng := s.eng
+	fact := db.MustTable(q.Fact)
 
 	// --- Selections (Figure 4): per-predicate masks combined with mask ops.
 	spf := s.span.Child("filter")
@@ -133,7 +149,7 @@ func (s *tileSweep) runFilterJoins(ctx context.Context, p *plan.Physical, db *st
 	attrRegs := make(map[string]cape.VReg) // "dim.attr" -> fact-aligned vector
 	for di := 0; di < p.Switch; di++ {
 		if err := ctx.Err(); err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, err
 		}
 		d := dims[di]
 		spj := s.span.Child("join:" + d.edge.Dim)
@@ -152,7 +168,7 @@ func (s *tileSweep) runFilterJoins(ctx context.Context, p *plan.Physical, db *st
 	// CSB-resident dimension partitions.
 	for di := p.Switch; di < len(p.Joins); di++ {
 		if err := ctx.Err(); err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, err
 		}
 		d := dims[di]
 		spj := s.span.Child("join:" + d.edge.Dim)
@@ -165,7 +181,7 @@ func (s *tileSweep) runFilterJoins(ctx context.Context, p *plan.Physical, db *st
 		spj.SetInt("dim_rows", int64(len(d.keys)))
 		spj.End()
 	}
-	return rowMask, regs, attrRegs, loadFactCol, nil
+	return rowMask, attrRegs, nil
 }
 
 // runAggregate executes the partition's Aggregate operator (Algorithm 2),

@@ -128,7 +128,17 @@ func (s *cpuSweep) runAggregate(ctx context.Context, q *plan.Query, db *storage.
 	// well as the aggregate inputs.
 	aggBytes := int64(n) * 4 * int64(aggCols+len(q.GroupBy))
 	k := cpu.Config().Kernels
-	if len(q.GroupBy) == 0 {
+	if s.resident {
+		// Shared fused sweep (shared_cpu.go): the aggregate inputs were
+		// streamed once for the whole group, so only the per-row compute is
+		// billed here; random accesses below are member-private and stay.
+		if len(q.GroupBy) == 0 {
+			cpu.ChargeCompute(float64(matched) * 0.4)
+		} else {
+			cpu.ChargeCompute(float64(matched) * (k.HashCyclesPerKey + k.AggUpdateCyclesPerRow))
+			cpu.ChargeRandomAccesses(int64(matched), int64(len(acc.order))*32)
+		}
+	} else if len(q.GroupBy) == 0 {
 		cpu.ChargeStream(float64(matched)*0.4, aggBytes)
 	} else {
 		groups := int64(len(acc.order))

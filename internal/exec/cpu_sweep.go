@@ -26,6 +26,12 @@ type cpuSweep struct {
 	cpu *baseline.CPU
 	acc *groupAcc
 
+	// resident marks a sweep whose fact columns were already streamed by a
+	// shared fused scan (shared_cpu.go): kernels charge their compute and
+	// random accesses but skip re-streaming the columns. Functional results
+	// are unchanged.
+	resident bool
+
 	perJoin      map[string]int64
 	filterCycles int64
 	aggCycles    int64
@@ -68,7 +74,12 @@ func (s *cpuSweep) runFilterJoins(ctx context.Context, q *plan.Query, db *storag
 	for _, pr := range q.FactPreds {
 		col := fact.MustColumn(pr.Column).Data[base:end]
 		pr := pr
-		m := cpu.SelectionScan(col, func(v uint32) bool { return pr.Matches(v) })
+		var m *bitvec.Vector
+		if s.resident {
+			m = cpu.SelectionScanResident(col, func(v uint32) bool { return pr.Matches(v) })
+		} else {
+			m = cpu.SelectionScan(col, func(v uint32) bool { return pr.Matches(v) })
+		}
 		if sel == nil {
 			sel = m
 		} else {
@@ -96,9 +107,12 @@ func (s *cpuSweep) runFilterJoins(ctx context.Context, q *plan.Query, db *storag
 		switch len(e.NeedAttrs) {
 		case 0:
 			var m *bitvec.Vector
-			if tables == nil {
+			switch {
+			case tables == nil:
 				m = cpu.HashJoinSemi(fkCol, j.keys, sel)
-			} else {
+			case s.resident:
+				m = cpu.ProbeSemiResident(fkCol, tables[ji].semi, sel)
+			default:
 				m = cpu.ProbeSemi(fkCol, tables[ji].semi, sel)
 			}
 			sel = intersect(sel, m)
@@ -108,9 +122,12 @@ func (s *cpuSweep) runFilterJoins(ctx context.Context, q *plan.Query, db *storag
 			for ai, attr := range e.NeedAttrs {
 				var m *bitvec.Vector
 				var mat []uint32
-				if tables == nil {
+				switch {
+				case tables == nil:
 					m, mat = cpu.HashJoinMap(fkCol, j.keys, j.vals[ai], sel)
-				} else {
+				case s.resident:
+					m, mat = cpu.ProbeMapResident(fkCol, tables[ji].attr[ai], sel)
+				default:
 					m, mat = cpu.ProbeMap(fkCol, tables[ji].attr[ai], sel)
 				}
 				attrCols[e.Dim+"."+attr] = mat

@@ -45,6 +45,10 @@ type BenchReport struct {
 	Misestimates []MisestimateModel `json:"misestimates"`
 	Adaptive     []AdaptivePoint    `json:"adaptive"`
 	Server       ServerBench        `json:"server"`
+	// SharedServing contrasts the same skewed multi-tenant offered load with
+	// scan sharing off and on: p50/p99 under identical arrivals plus the
+	// fraction of answers served by fused groups.
+	SharedServing []SharedServingPoint `json:"shared_serving"`
 }
 
 // BenchQuery is one SSB query's cycle accounting.
@@ -141,6 +145,7 @@ func RunBench(sf float64) *BenchReport {
 	rep.Misestimates = r.MisestimateSummary()
 	rep.Adaptive = RunAdaptiveCurve(sf)
 	rep.Server = RunServerBench(sf, 8, 104)
+	rep.SharedServing = RunMixedTenantBench(sf, 8, 250, 4*time.Second)
 	return rep
 }
 
@@ -359,6 +364,137 @@ func RunServerBench(sf float64, nClients, total int) ServerBench {
 		ExecMeanMicros:      sum.ExecMicros / n,
 		SerializeMeanMicros: sum.SerializeMicros / n,
 	}
+}
+
+// SharedServingPoint is one mode of the mixed-tenant comparison: the same
+// skewed arrival process with scan sharing off or on.
+type SharedServingPoint struct {
+	Sharing              bool    `json:"sharing"`
+	CoalesceWindowMicros int64   `json:"coalesce_window_micros"`
+	Clients              int     `json:"clients"`
+	OfferedRPS           float64 `json:"offered_rps"`
+	AchievedRPS          float64 `json:"achieved_rps"`
+	OK                   int     `json:"ok"`
+	Shed                 int     `json:"shed"`
+	P50Micros            int64   `json:"p50_micros"`
+	P99Micros            int64   `json:"p99_micros"`
+	// SharedHitRate is the fraction of successful answers served by a fused
+	// shared-scan group (0 when sharing is off).
+	SharedHitRate float64 `json:"shared_hit_rate"`
+}
+
+// RunMixedTenantBench offers the same skewed multi-tenant workload twice —
+// scan sharing disabled, then enabled with a 2ms coalescing window — at a
+// fixed open-loop rate, and reports both latency distributions side by
+// side. Hot dashboard fingerprints dominate arrivals (the regime the
+// coalescer exists for); the full SSB tail fills the rest.
+func RunMixedTenantBench(sf float64, nClients int, rate float64, dur time.Duration) []SharedServingPoint {
+	db := castle.GenerateSSB(sf, 1)
+	queries := castle.SSBQueries()
+	weights := make([]int, len(queries))
+	for i := range weights {
+		weights[i] = 1
+	}
+	weights[3], weights[8], weights[0] = 8, 6, 4
+	var pick []int
+	for qi, w := range weights {
+		for j := 0; j < w; j++ {
+			pick = append(pick, qi)
+		}
+	}
+	interval := time.Duration(float64(nClients) / rate * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+
+	var out []SharedServingPoint
+	for _, sharing := range []bool{false, true} {
+		window := 2 * time.Millisecond
+		svc, err := server.New(db, nil, server.Config{
+			QueueDepth: 1024, CAPETiles: 2, CPUSlots: 2, MaxTilesPerQuery: 2,
+			ScanSharing: sharing, CoalesceWindow: window, MaxGroupSize: 8,
+		})
+		if err != nil {
+			panic(err)
+		}
+
+		type tally struct {
+			ok, shed, shared int
+			lat              []int64
+		}
+		tallies := make([]tally, nClients)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < nClients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				tick := time.NewTicker(interval)
+				defer tick.Stop()
+				deadline := start.Add(dur)
+				for seq := 0; time.Now().Before(deadline); seq++ {
+					q := queries[pick[(c*7919+seq*104729)%len(pick)]]
+					t0 := time.Now()
+					resp, err := svc.Do(context.Background(), server.Request{SQL: q.SQL})
+					tl := &tallies[c]
+					if err != nil {
+						// At fixed offered load a shed is an outcome to
+						// count, not a bench failure.
+						tl.shed++
+					} else {
+						tl.ok++
+						tl.lat = append(tl.lat, time.Since(t0).Microseconds())
+						if resp.GroupSize > 1 {
+							tl.shared++
+						}
+					}
+					select {
+					case <-tick.C:
+					default:
+						<-tick.C // behind schedule: fire immediately
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if err := svc.Close(); err != nil {
+			panic(err)
+		}
+
+		var all tally
+		for _, tl := range tallies {
+			all.ok += tl.ok
+			all.shed += tl.shed
+			all.shared += tl.shared
+			all.lat = append(all.lat, tl.lat...)
+		}
+		sort.Slice(all.lat, func(i, j int) bool { return all.lat[i] < all.lat[j] })
+		pct := func(p float64) int64 {
+			if len(all.lat) == 0 {
+				return 0
+			}
+			return all.lat[int(p*float64(len(all.lat)-1))]
+		}
+		pt := SharedServingPoint{
+			Sharing:     sharing,
+			Clients:     nClients,
+			OfferedRPS:  rate,
+			AchievedRPS: float64(all.ok) / elapsed.Seconds(),
+			OK:          all.ok,
+			Shed:        all.shed,
+			P50Micros:   pct(0.50),
+			P99Micros:   pct(0.99),
+		}
+		if sharing {
+			pt.CoalesceWindowMicros = window.Microseconds()
+		}
+		if all.ok > 0 {
+			pt.SharedHitRate = float64(all.shared) / float64(all.ok)
+		}
+		out = append(out, pt)
+	}
+	return out
 }
 
 // WriteBenchJSON renders the report as indented JSON.

@@ -1,0 +1,102 @@
+package plan
+
+// shared.go defines the multi-query shared-scan node: one sweep of a fact
+// table evaluated against N member predicate sets, feeding N downstream
+// tails. The node is purely structural — executors (internal/exec) walk the
+// member plans morsel-by-morsel; the server's coalescing window decides
+// which queries become members.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SharedScan groups N physical plans that sweep the same fact table into
+// one fused scan. Each member keeps its own predicate sets, join order and
+// aggregation tail; only the pass over the fact columns is shared.
+type SharedScan struct {
+	// Fact is the common fact relation every member sweeps.
+	Fact string
+	// Members are the fused plans, in admission order. Member results are
+	// produced independently and must be bit-identical to solo execution.
+	Members []*Physical
+}
+
+// NewSharedScan validates that every member sweeps the same fact table and
+// returns the fused node. It requires at least one member; a single-member
+// group is legal (it degenerates to a solo sweep) so callers can treat
+// group construction uniformly.
+func NewSharedScan(members []*Physical) (*SharedScan, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("plan: shared scan needs at least one member")
+	}
+	fact := members[0].Query.Fact
+	for i, m := range members {
+		if m == nil || m.Query == nil {
+			return nil, fmt.Errorf("plan: shared scan member %d is nil", i)
+		}
+		if m.Query.Fact != fact {
+			return nil, fmt.Errorf("plan: shared scan member %d sweeps %q, group sweeps %q",
+				i, m.Query.Fact, fact)
+		}
+	}
+	return &SharedScan{Fact: fact, Members: members}, nil
+}
+
+// SharedColumns returns the union of fact-storage columns the fused sweep
+// must load per morsel: predicate columns, join foreign keys, aggregate
+// inputs and fact-side group-by columns across all members. Dimension
+// attributes are excluded — they are materialized per member by the joins,
+// not streamed from fact storage. The result is in first-use order so the
+// register layout is deterministic.
+func (s *SharedScan) SharedColumns() []string {
+	seen := make(map[string]struct{})
+	var cols []string
+	add := func(name string) {
+		if name == "" {
+			return
+		}
+		if _, dup := seen[name]; dup {
+			return
+		}
+		seen[name] = struct{}{}
+		cols = append(cols, name)
+	}
+	for _, m := range s.Members {
+		q := m.Query
+		for _, p := range q.FactPreds {
+			add(p.Column)
+		}
+		for _, j := range m.Joins {
+			add(j.FactFK)
+		}
+		for _, a := range q.Aggs {
+			if a.Kind != AggCount {
+				add(a.A)
+			}
+			if a.Kind == AggSumMul || a.Kind == AggSumSub {
+				add(a.B)
+			}
+		}
+		for _, g := range q.GroupBy {
+			if g.Table == q.Fact {
+				add(g.Column)
+			}
+		}
+	}
+	return cols
+}
+
+// String renders a one-line summary of the fused node.
+func (s *SharedScan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shared-scan(%s, %d members, %d cols): ",
+		s.Fact, len(s.Members), len(s.SharedColumns()))
+	for i, m := range s.Members {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteString(m.Shape().String())
+	}
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package server
+
+// coalesce_test.go pins the scan-sharing admission layer: a coalesced
+// group takes exactly one scheduler lease (no per-member lease churn), the
+// lease-size histogram reflects the single grant, identical-fingerprint
+// members share one result, member answers stay bit-identical to the solo
+// reference, and the 429 shed path carries a Retry-After hint. Run with
+// -race: members, workers and the window timer all touch the group state.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"castle"
+	"castle/internal/telemetry"
+)
+
+// TestCoalescedGroupSingleLease fires six distinct same-fact queries into
+// one coalescing window and asserts the group ran under exactly one
+// elastic lease with fused shared-scan execution.
+func TestCoalescedGroupSingleLease(t *testing.T) {
+	s := newTestServer(t, Config{
+		QueueDepth: 64, CAPETiles: 2, CPUSlots: 2,
+		Device:      "cpu", // same routed device for every member
+		ScanSharing: true, CoalesceWindow: 250 * time.Millisecond, MaxGroupSize: 8,
+	})
+	queries := castle.SSBQueries()[:6]
+
+	before := s.sched.Acquires()
+	var wg sync.WaitGroup
+	resps := make([]*Response, len(queries))
+	errs := make([]error, len(queries))
+	for i := range queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = s.Do(context.Background(), Request{SQL: queries[i].SQL})
+		}(i)
+	}
+	wg.Wait()
+
+	for i, q := range queries {
+		if errs[i] != nil {
+			t.Fatalf("%s: %v", q.Flight, errs[i])
+		}
+		if !reflect.DeepEqual(resps[i].Rows, reference[q.Num]) {
+			t.Fatalf("%s: coalesced rows diverged from solo reference", q.Flight)
+		}
+		tm := resps[i].TimingsMicros
+		if sum := tm.QueueMicros + tm.LeaseMicros + tm.ExecMicros + tm.SerializeMicros; sum != resps[i].WallMicros {
+			t.Fatalf("%s: member phases sum %dµs != wall %dµs", q.Flight, sum, resps[i].WallMicros)
+		}
+	}
+
+	// Exactly one lease for the whole group: no per-member lease churn.
+	if got := s.sched.Acquires() - before; got != 1 {
+		t.Fatalf("group of %d took %d leases, want 1", len(queries), got)
+	}
+	reg := s.Telemetry().Metrics()
+	if n := reg.Histogram(telemetry.MetricServerLeaseSize, "").Count(); n != 1 {
+		t.Fatalf("lease-size histogram holds %d grants, want 1", n)
+	}
+	if got := reg.CounterValue(telemetry.MetricSharedSweeps, telemetry.L("device", "cpu")); got != 1 {
+		t.Fatalf("shared sweeps = %d, want 1", got)
+	}
+	if got := reg.CounterValue(telemetry.MetricCoalescedQueries, telemetry.L("kind", "fused")); got != int64(len(queries)) {
+		t.Fatalf("fused members = %d, want %d", got, len(queries))
+	}
+	if n := reg.Histogram(telemetry.MetricCoalesceWait, "").Count(); n != int64(len(queries)) {
+		t.Fatalf("coalesce-wait observations = %d, want %d", n, len(queries))
+	}
+
+	// Group identity is shared and sized correctly on every member.
+	gid := resps[0].GroupID
+	if gid == 0 {
+		t.Fatal("fused member reports no group id")
+	}
+	for i, r := range resps {
+		if r.GroupID != gid || r.GroupSize != len(queries) {
+			t.Fatalf("member %d group identity = (%d, %d), want (%d, %d)",
+				i, r.GroupID, r.GroupSize, gid, len(queries))
+		}
+	}
+}
+
+// TestCoalescedDedupSharesResult fires five textually identical queries
+// into one window: one execution serves all five.
+func TestCoalescedDedupSharesResult(t *testing.T) {
+	s := newTestServer(t, Config{
+		QueueDepth: 64, CAPETiles: 1, CPUSlots: 1,
+		Device:      "cpu",
+		ScanSharing: true, CoalesceWindow: 250 * time.Millisecond, MaxGroupSize: 8,
+	})
+	q := castle.SSBQueries()[2]
+
+	before := s.sched.Acquires()
+	const dup = 5
+	var wg sync.WaitGroup
+	resps := make([]*Response, dup)
+	errs := make([]error, dup)
+	for i := 0; i < dup; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = s.Do(context.Background(), Request{SQL: q.SQL})
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < dup; i++ {
+		if errs[i] != nil {
+			t.Fatalf("dup %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(resps[i].Rows, reference[q.Num]) {
+			t.Fatalf("dup %d: rows diverged from reference", i)
+		}
+		if resps[i].FlightSeq != resps[0].FlightSeq {
+			t.Fatalf("dup %d: flight seq %d, want shared %d (one execution serves all)",
+				i, resps[i].FlightSeq, resps[0].FlightSeq)
+		}
+	}
+	if got := s.sched.Acquires() - before; got != 1 {
+		t.Fatalf("deduped group took %d leases, want 1", got)
+	}
+	reg := s.Telemetry().Metrics()
+	if got := reg.CounterValue(telemetry.MetricCoalescedQueries, telemetry.L("kind", "deduped")); got != dup-1 {
+		t.Fatalf("deduped members = %d, want %d", got, dup-1)
+	}
+}
+
+// TestRetryAfterHeader pins the 429 back-pressure hint: shed responses
+// carry a Retry-After of at least one second.
+func TestRetryAfterHeader(t *testing.T) {
+	s := newTestServer(t, Config{QueueDepth: 1, CAPETiles: 1, CPUSlots: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	release := pinPools(t, s)
+	defer release()
+
+	q := castle.SSBQueries()[0].SQL
+	body, _ := json.Marshal(Request{SQL: q})
+	// With both pools pinned and a one-slot queue, a concurrent burst
+	// overflows admission: accepted requests park on the scheduler while
+	// the rest shed synchronously with 429.
+	const burst = 12
+	retries := make(chan string, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query", bytes.NewReader(body))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return // client timeout while parked: not a shed
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				retries <- resp.Header.Get("Retry-After")
+			}
+		}()
+	}
+	wg.Wait()
+	close(retries)
+	shed := 0
+	for retry := range retries {
+		shed++
+		if retry == "" || retry == "0" {
+			t.Fatalf("429 without usable Retry-After (%q)", retry)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("burst never shed")
+	}
+}

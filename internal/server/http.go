@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 )
 
 // errorBody is the JSON error envelope.
@@ -72,6 +73,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.Do(r.Context(), req)
 	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			// Back-pressure hint: how long the backlog would take to drain
+			// at the observed mean execution time. Headers must be set
+			// before writeJSON commits the status line.
+			w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSeconds(), 10))
+		}
 		writeJSON(w, httpStatus(err), errorBody{Error: err.Error()})
 		return
 	}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"castle"
 	"castle/internal/telemetry"
@@ -22,6 +23,9 @@ type Scheduler struct {
 	pools  map[castle.Device]chan int
 	busy   map[castle.Device]*telemetry.Gauge
 	leased map[castle.Device]*telemetry.Gauge
+	// acquires counts granted leases (not tiles): a coalesced group of N
+	// queries takes exactly one, which tests assert against.
+	acquires atomic.Int64
 }
 
 // NewScheduler builds pools of capeTiles CAPE tiles and cpuSlots CPU slots
@@ -63,6 +67,12 @@ func NewScheduler(capeTiles, cpuSlots int, reg *telemetry.Registry) *Scheduler {
 func (s *Scheduler) Capacity(dev castle.Device) int {
 	return cap(s.pools[dev])
 }
+
+// Acquires reports how many leases have been granted over the scheduler's
+// lifetime. Leases, not tiles: an elastic lease of K tiles counts once,
+// and a coalesced group running under one lease counts once for the whole
+// group.
+func (s *Scheduler) Acquires() int64 { return s.acquires.Load() }
 
 // Acquire blocks until a tile of the requested concrete device frees up or
 // ctx ends. DeviceHybrid has no pool — callers resolve routing first (see
@@ -119,6 +129,7 @@ func (s *Scheduler) AcquireN(ctx context.Context, dev castle.Device, want int) (
 		}
 	}
 	n := len(tiles)
+	s.acquires.Add(1)
 	// busy counts queries occupying the device; leased counts the tiles
 	// they hold (equal while every lease is size one).
 	if g := s.busy[dev]; g != nil {

@@ -114,7 +114,7 @@ func TestServerElasticSaturation(t *testing.T) {
 	if got := reg.CounterValue(telemetry.MetricServerRequests, telemetry.L("status", "ok")); got != clients*perClient {
 		t.Fatalf("ok requests = %d, want %d (sheds or errors under elastic leases)", got, clients*perClient)
 	}
-	if shed := reg.CounterValue(telemetry.MetricServerShed); shed != 0 {
+	if shed := reg.CounterValue(telemetry.MetricServerShed, telemetry.L("reason", "queue_full")); shed != 0 {
 		t.Fatalf("elastic leases shed %d requests with a deep queue", shed)
 	}
 	// All tiles are back home, and the lease-size histogram surfaced on the

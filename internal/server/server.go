@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
 	"strings"
 	"sync"
@@ -84,6 +85,21 @@ type Config struct {
 	// ClusterPartitionKey is the fact column to partition on (empty
 	// selects "lo_orderdate"). Must exist in the schema.
 	ClusterPartitionKey string
+	// ScanSharing enables the coalescing admission window: requests arriving
+	// within CoalesceWindow of each other that sweep the same fact table on
+	// the same routed device are grouped into one fused shared-scan
+	// execution — one queue slot, one device lease, one fact sweep serving
+	// every member. Identical-fingerprint members share a single result.
+	// Member answers are bit-identical to solo execution. Ignored when the
+	// server is clustered.
+	ScanSharing bool
+	// CoalesceWindow is how long the first request of a prospective group
+	// waits for companions before the group flushes (default 2ms when
+	// ScanSharing is set). The wait lands in the request's queue phase.
+	CoalesceWindow time.Duration
+	// MaxGroupSize caps members per coalesced group (default 8); a group
+	// reaching the cap flushes immediately without waiting out the window.
+	MaxGroupSize int
 	// Options is the base query configuration (design point, plan shape).
 	// Device, Telemetry and Parallelism are managed by the server (the
 	// latter set per query from the elastic lease); a request's NoCache
@@ -109,6 +125,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.ScanSharing && c.CoalesceWindow <= 0 {
+		c.CoalesceWindow = 2 * time.Millisecond
+	}
+	if c.MaxGroupSize <= 0 {
+		c.MaxGroupSize = 8
 	}
 	return c
 }
@@ -185,6 +207,12 @@ type Response struct {
 	// ShuffleBytes is the simulated cross-node shuffle traffic of this
 	// query's gather phase.
 	ShuffleBytes int64 `json:"shuffle_bytes,omitempty"`
+	// GroupID identifies the fused shared-scan group that served this
+	// request (0 when it executed solo). Cycles then reports this member's
+	// attributed share of the fused run.
+	GroupID uint64 `json:"group_id,omitempty"`
+	// GroupSize is the fused group's member count (0 when solo).
+	GroupSize int `json:"group_size,omitempty"`
 }
 
 // Server is the admission controller plus worker pool. Create with New,
@@ -203,13 +231,18 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	coal *coalescer // non-nil when the coalescing window is enabled
+
 	depth      *telemetry.Gauge
 	inFlight   *telemetry.Gauge
-	shed       *telemetry.Counter
+	shedFull   *telemetry.Counter // shed: admission queue full at arrival
+	shedFlush  *telemetry.Counter // shed: queue full when a coalesced group flushed
 	slowCount  *telemetry.Counter
+	dedupCount *telemetry.Counter
 	latency    *telemetry.Histogram
 	queueWait  *telemetry.Histogram
 	leaseSize  *telemetry.Histogram
+	coalWait   *telemetry.Histogram
 	phaseHists map[string]*telemetry.Histogram
 	slowLog    *log.Logger
 	slowThresh time.Duration
@@ -233,6 +266,19 @@ type task struct {
 	leased     time.Time
 	execDone   time.Time
 	scatterEnd time.Time
+
+	// Coalescing identity, resolved before the task enters a window: the
+	// fact table it sweeps, its routed concrete device, and the normalized
+	// statement fingerprint (identical-fingerprint members of one group
+	// share a single execution's result).
+	fact     string
+	fp       string
+	groupDev castle.Device
+	// members, when non-nil, marks a fused group task: the worker executes
+	// every member against one shared fact sweep under one lease, then
+	// delivers to each member's own done channel. A group occupies one
+	// admission-queue slot.
+	members []*task
 }
 
 type taskResult struct {
@@ -270,16 +316,23 @@ func New(db *castle.DB, tel *castle.Telemetry, cfg Config) (*Server, error) {
 			"Requests waiting in the admission queue."),
 		inFlight: reg.Gauge(telemetry.MetricServerInFlight,
 			"Requests admitted but not yet completed (queued or executing)."),
-		shed: reg.Counter(telemetry.MetricServerShed,
-			"Requests shed because the admission queue was full."),
+		shedFull: reg.Counter(telemetry.MetricServerShed,
+			"Requests shed, by reason.", telemetry.L("reason", "queue_full")),
+		shedFlush: reg.Counter(telemetry.MetricServerShed,
+			"Requests shed, by reason.", telemetry.L("reason", "window_flush")),
 		slowCount: reg.Counter(telemetry.MetricServerSlowQueries,
 			"Requests whose wall time crossed the slow-query threshold."),
+		dedupCount: reg.Counter(telemetry.MetricCoalescedQueries,
+			"Member queries served by fused shared-scan executions.",
+			telemetry.L("kind", "deduped")),
 		latency: reg.Histogram(telemetry.MetricServerLatency,
 			"End-to-end request wall time in microseconds."),
 		queueWait: reg.Histogram(telemetry.MetricServerQueueWait,
 			"Queue wait before a worker picked the request up, in microseconds."),
 		leaseSize: reg.Histogram(telemetry.MetricServerLeaseSize,
 			"Tiles leased per query (elastic-lease fan-out granted)."),
+		coalWait: reg.Histogram(telemetry.MetricCoalesceWait,
+			"Wait in the coalescing window before the group flushed, in microseconds."),
 		phaseHists: make(map[string]*telemetry.Histogram, 4),
 		slowThresh: time.Duration(cfg.SlowQueryMillis) * time.Millisecond,
 	}
@@ -320,6 +373,19 @@ func New(db *castle.DB, tel *castle.Telemetry, cfg Config) (*Server, error) {
 	}
 	reg.Counter(telemetry.MetricPlanCacheHits, "Prepared-plan cache hits.")
 	reg.Counter(telemetry.MetricPlanCacheMisses, "Prepared-plan cache misses.")
+	if cfg.ScanSharing && s.cluster == nil {
+		s.coal = newCoalescer(s, cfg.CoalesceWindow, cfg.MaxGroupSize)
+		// Pre-register the shared-scan vocabulary so /metrics shows it at
+		// zero before the first group fuses.
+		for _, dev := range []string{"cape", "cpu"} {
+			reg.Counter(telemetry.MetricSharedSweeps,
+				"Fused shared-scan executions (one per coalesced group).",
+				telemetry.L("device", dev))
+		}
+		reg.Counter(telemetry.MetricCoalescedQueries,
+			"Member queries served by fused shared-scan executions.",
+			telemetry.L("kind", "fused"))
+	}
 	workers := cfg.CAPETiles + cfg.CPUSlots
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -345,6 +411,28 @@ func (s *Server) maxTiles() int {
 func (s *Server) requests(status string) *telemetry.Counter {
 	return s.tel.Metrics().Counter(telemetry.MetricServerRequests,
 		"Completed requests by outcome.", telemetry.L("status", status))
+}
+
+// retryAfterSeconds derives the Retry-After hint attached to 429 sheds:
+// the current queue backlog (plus the shed request itself) times the
+// observed mean execution phase, rounded up to whole seconds with a
+// one-second floor. Before any request has completed the hint is the floor.
+func (s *Server) retryAfterSeconds() int64 {
+	depth := s.depth.Value()
+	if depth < 0 {
+		depth = 0
+	}
+	var meanExec float64
+	if h := s.phaseHists["exec"]; h != nil {
+		if n := h.Count(); n > 0 {
+			meanExec = h.Sum() / float64(n)
+		}
+	}
+	secs := int64(math.Ceil(float64(depth+1) * meanExec / 1e6))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // statusOf maps a Do outcome to its metrics label.
@@ -415,6 +503,10 @@ func (s *Server) do(ctx context.Context, req Request, start time.Time) (*Respons
 		done:      make(chan taskResult, 1),
 	}
 
+	if resp, err, coalesced := s.tryCoalesce(t, start); coalesced {
+		return resp, err
+	}
+
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -428,7 +520,7 @@ func (s *Server) do(ctx context.Context, req Request, start time.Time) (*Respons
 		defer s.inFlight.Add(-1)
 	default:
 		s.mu.RUnlock()
-		s.shed.Inc()
+		s.shedFull.Inc()
 		return nil, ErrOverloaded
 	}
 
@@ -512,6 +604,10 @@ func (s *Server) worker() {
 	for t := range s.queue {
 		t.pickup = time.Now()
 		s.depth.Add(-1)
+		if t.members != nil {
+			s.runGroup(t)
+			continue
+		}
 		s.queueWait.Observe(float64(t.pickup.Sub(t.enqueued).Microseconds()))
 		resp, err := s.run(t)
 		t.done <- taskResult{resp: resp, err: err}
@@ -626,6 +722,12 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	// Flush pending coalescing windows before closing the queue: their
+	// members were admitted and run to completion like queued requests.
+	// stopAndFlush also prevents any later timer from touching the queue.
+	if s.coal != nil {
+		s.coal.stopAndFlush()
+	}
 	close(s.queue)
 	s.wg.Wait()
 	return nil

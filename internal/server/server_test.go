@@ -250,7 +250,7 @@ func TestServerShedsWhenOverloaded(t *testing.T) {
 	// Release the pools once every non-admitted request has been shed.
 	reg := s.Telemetry().Metrics()
 	for deadline := time.Now().Add(5 * time.Second); ; {
-		if reg.CounterValue(telemetry.MetricServerShed) >= burst-3 {
+		if reg.CounterValue(telemetry.MetricServerShed, telemetry.L("reason", "queue_full")) >= burst-3 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -263,7 +263,7 @@ func TestServerShedsWhenOverloaded(t *testing.T) {
 	if other != 0 || ok < 1 || ok > 3 || ok+shed != burst {
 		t.Fatalf("burst outcomes: ok=%d shed=%d other=%d (want 1..3 admitted, rest shed)", ok, shed, other)
 	}
-	if got := reg.CounterValue(telemetry.MetricServerShed); got != shed {
+	if got := reg.CounterValue(telemetry.MetricServerShed, telemetry.L("reason", "queue_full")); got != shed {
 		t.Fatalf("shed counter = %d, want %d", got, shed)
 	}
 }

@@ -91,6 +91,12 @@ type FlightRecord struct {
 	// by the adaptive checkpoint (the observed survivor count diverged far
 	// enough from the estimate to flip the placement model).
 	Replaced bool `json:"replaced,omitempty"`
+	// GroupID identifies the fused shared-scan group this query executed in
+	// (0 when it ran solo). All members of a coalesced group share one ID.
+	GroupID uint64 `json:"group_id,omitempty"`
+	// GroupSize is how many member queries the fused group executed
+	// together (0 when solo).
+	GroupSize int `json:"group_size,omitempty"`
 	// Phases are the wall-clock lifecycle intervals, in order.
 	Phases []FlightPhase `json:"phases"`
 	// Ops is the per-operator predicted-vs-actual table.
@@ -149,6 +155,9 @@ func (r *FlightRecord) Format() string {
 	}
 	if r.Batches > 0 {
 		fmt.Fprintf(&b, " batches=%d peak_batch_bytes=%d", r.Batches, r.PeakBatchBytes)
+	}
+	if r.GroupSize > 0 {
+		fmt.Fprintf(&b, " group=%d/%d", r.GroupID, r.GroupSize)
 	}
 	if r.Error != "" {
 		fmt.Fprintf(&b, " error=%q", r.Error)

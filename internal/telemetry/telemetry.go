@@ -170,6 +170,17 @@ const (
 	// MetricServerSlowQueries counts requests whose end-to-end latency
 	// crossed the configured slow-query threshold.
 	MetricServerSlowQueries = "castle_server_slow_queries_total"
+	// MetricSharedSweeps counts fused shared-scan executions (one per
+	// coalesced group that ran a fused fact sweep), labelled by device.
+	MetricSharedSweeps = "castle_shared_sweeps_total"
+	// MetricCoalescedQueries counts member queries served by a fused
+	// shared-scan execution (a group of N adds N; identical-fingerprint
+	// members that shared one result still count individually), labelled by
+	// kind (fused, deduped).
+	MetricCoalescedQueries = "castle_coalesced_queries_total"
+	// MetricCoalesceWait is a histogram of how long queries waited in the
+	// coalescing window before their group flushed, in microseconds.
+	MetricCoalesceWait = "castle_coalesce_wait_micros"
 )
 
 // Metric names recorded by the scatter-gather cluster tier
